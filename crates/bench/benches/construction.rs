@@ -1,0 +1,76 @@
+//! Criterion end-to-end construction benchmarks: shared-memory NN-Descent,
+//! distributed DNND (optimized and unoptimized protocols), and the HNSW
+//! baseline, on one small DEEP-like workload. These are the microscale
+//! versions of Figure 3's measurements.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataset::metric::L2;
+use dataset::presets;
+use dnnd::{build as dnnd_build, CommOpts, DnndConfig};
+use hnsw::{HnswIndex, HnswParams};
+use nnd::{build as nnd_build, NnDescentParams};
+use std::sync::Arc;
+use ygm::World;
+
+const N: usize = 400;
+const K: usize = 10;
+
+fn bench_shared_memory(c: &mut Criterion) {
+    let set = presets::deep1b_like(N, 3);
+    let mut group = c.benchmark_group("construction");
+    group.bench_function("nnd_shared_memory", |b| {
+        b.iter(|| nnd_build(&set, &L2, NnDescentParams::new(K).seed(1)))
+    });
+    group.finish();
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let set = Arc::new(presets::deep1b_like(N, 3));
+    let mut group = c.benchmark_group("construction");
+    group.bench_function("dnnd_4ranks_optimized", |b| {
+        b.iter(|| {
+            dnnd_build(
+                &World::new(4),
+                &set,
+                &L2,
+                DnndConfig::new(K).seed(1).comm_opts(CommOpts::optimized()),
+            )
+        })
+    });
+    group.bench_function("dnnd_4ranks_unoptimized", |b| {
+        b.iter(|| {
+            dnnd_build(
+                &World::new(4),
+                &set,
+                &L2,
+                DnndConfig::new(K)
+                    .seed(1)
+                    .comm_opts(CommOpts::unoptimized()),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_hnsw(c: &mut Criterion) {
+    let set = presets::deep1b_like(N, 3);
+    let mut group = c.benchmark_group("construction");
+    group.bench_function("hnsw_m16_efc50", |b| {
+        b.iter(|| HnswIndex::build(&set, L2, HnswParams::new(16, 50).seed(1)))
+    });
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_shared_memory, bench_distributed, bench_hnsw
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for the distance kernels — the inner loop of
+//! every neighbor check. Dimensions match the paper's datasets (GloVe 25,
+//! Last.fm 65, DEEP 96, BigANN 128, NYTimes 256, MNIST 784).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dataset::metric::{Cosine, Jaccard, Metric, SquaredL2, L2};
+use dataset::synth::{sparse_powerlaw, uniform, SparseParams};
+
+fn bench_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_dense_f32");
+    for dim in [25usize, 65, 96, 128, 256, 784] {
+        let set = uniform(2, dim, 7);
+        let a = set.point(0);
+        let b = set.point(1);
+        group.bench_with_input(BenchmarkId::new("l2", dim), &dim, |bench, _| {
+            bench.iter(|| Metric::<Vec<f32>>::distance(&L2, black_box(a), black_box(b)))
+        });
+        group.bench_with_input(BenchmarkId::new("sq_l2", dim), &dim, |bench, _| {
+            bench.iter(|| SquaredL2.distance(black_box(a), black_box(b)))
+        });
+        group.bench_with_input(BenchmarkId::new("cosine", dim), &dim, |bench, _| {
+            bench.iter(|| Cosine.distance(black_box(a), black_box(b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_u8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_dense_u8");
+    for dim in [96usize, 128] {
+        let a: Vec<u8> = (0..dim).map(|i| (i % 251) as u8).collect();
+        let b: Vec<u8> = (0..dim).map(|i| ((i * 7) % 251) as u8).collect();
+        group.bench_with_input(BenchmarkId::new("l2_u8", dim), &dim, |bench, _| {
+            bench.iter(|| Metric::<Vec<u8>>::distance(&L2, black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_jaccard(c: &mut Criterion) {
+    let set = sparse_powerlaw(SparseParams::kosarak_like(2), 3);
+    let a = set.point(0);
+    let b = set.point(1);
+    c.bench_function("distance_jaccard_kosarak_like", |bench| {
+        bench.iter(|| Jaccard.distance(black_box(a), black_box(b)))
+    });
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_dense, bench_u8, bench_jaccard
+}
+criterion_main!(benches);

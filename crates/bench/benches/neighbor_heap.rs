@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the bounded neighbor heap — the data
+//! structure every neighbor-check update (Algorithm 1's `Update`) hits.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nnd::NeighborHeap;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_heap_insert");
+    for k in [10usize, 30, 100] {
+        // Pre-generate a realistic candidate stream: mostly rejected once
+        // the heap saturates, as in late NN-Descent iterations.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let stream: Vec<(u32, f32)> = (0..1_000)
+            .map(|_| (rng.gen_range(0..5_000), rng.gen::<f32>()))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("stream_1k", k), &k, |bench, &k| {
+            bench.iter(|| {
+                let mut h = NeighborHeap::new(k);
+                for &(id, d) in &stream {
+                    black_box(h.checked_insert(id, d, true));
+                }
+                h.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sample_path(c: &mut Criterion) {
+    // The per-iteration flag scan + sorted extraction.
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mut h = NeighborHeap::new(30);
+    for _ in 0..200 {
+        h.checked_insert(rng.gen_range(0..10_000), rng.gen::<f32>(), rng.gen());
+    }
+    c.bench_function("neighbor_heap_flag_scan_and_sort", |bench| {
+        bench.iter(|| {
+            let news = h.flagged_ids(true);
+            let sorted = h.sorted();
+            black_box((news.len(), sorted.len()))
+        })
+    });
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_inserts, bench_sample_path
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the query path: one-shot [`nnd::search`] vs the
+//! buffer-reusing [`nnd::Searcher`], and the epsilon sweep's cost shape
+//! (the per-point version of Figure 2's qps axis).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dataset::metric::L2;
+use dataset::presets;
+use nnd::{build, search, NnDescentParams, SearchParams, Searcher};
+
+fn setup() -> (dataset::PointSet<Vec<f32>>, nnd::KnnGraph) {
+    let set = presets::deep1b_like(2_000, 3);
+    let (g, _) = build(&set, &L2, NnDescentParams::new(10).seed(1));
+    (set, g.optimize(10, 1.5))
+}
+
+fn bench_search_vs_searcher(c: &mut Criterion) {
+    let (set, graph) = setup();
+    let params = SearchParams::new(10).epsilon(0.2).entry_candidates(32);
+    let mut group = c.benchmark_group("query_path");
+    group.bench_function("one_shot_search", |b| {
+        let mut qi = 0u32;
+        b.iter(|| {
+            qi = (qi + 7) % set.len() as u32;
+            black_box(search(&graph, &set, &L2, set.point(qi), params))
+        })
+    });
+    group.bench_function("reused_searcher", |b| {
+        let mut searcher = Searcher::new(set.len());
+        let mut qi = 0u32;
+        b.iter(|| {
+            qi = (qi + 7) % set.len() as u32;
+            black_box(searcher.search(&graph, &set, &L2, set.point(qi), params))
+        })
+    });
+    group.finish();
+}
+
+fn bench_epsilon_cost(c: &mut Criterion) {
+    let (set, graph) = setup();
+    let mut group = c.benchmark_group("query_epsilon");
+    for eps in [0.0f32, 0.2, 0.4] {
+        let params = SearchParams::new(10).epsilon(eps).entry_candidates(32);
+        group.bench_with_input(
+            BenchmarkId::new("eps", format!("{eps:.1}")),
+            &eps,
+            |b, _| {
+                let mut searcher = Searcher::new(set.len());
+                let mut qi = 0u32;
+                b.iter(|| {
+                    qi = (qi + 11) % set.len() as u32;
+                    black_box(searcher.search(&graph, &set, &L2, set.point(qi), params))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_search_vs_searcher, bench_epsilon_cost
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the simulated YGM runtime: fire-and-forget RPC
+//! throughput, barrier cost, and the effect of the aggregation-buffer flush
+//! threshold (the knob behind the paper's Section 4.4 discussion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::cell::RefCell;
+use std::rc::Rc;
+use ygm::World;
+
+const TAG: u16 = 0;
+
+fn rpc_round(n_ranks: usize, msgs_per_rank: u64, flush: usize) -> u64 {
+    let report = World::new(n_ranks).flush_threshold(flush).run(move |comm| {
+        let hits = Rc::new(RefCell::new(0u64));
+        let h = Rc::clone(&hits);
+        comm.register::<u64, _>(TAG, move |_, _| *h.borrow_mut() += 1);
+        for i in 0..msgs_per_rank {
+            comm.async_send((i as usize) % comm.n_ranks(), TAG, &i);
+        }
+        comm.barrier();
+        let n = *hits.borrow();
+        n
+    });
+    report.results.iter().sum()
+}
+
+fn bench_rpc_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ygm_rpc_round");
+    for ranks in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("10k_msgs", ranks), &ranks, |b, &r| {
+            b.iter(|| rpc_round(r, 10_000 / r as u64, ygm::DEFAULT_FLUSH_THRESHOLD))
+        });
+    }
+    group.finish();
+}
+
+fn bench_flush_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ygm_flush_threshold");
+    for flush in [256usize, 4 * 1024, 64 * 1024] {
+        group.bench_with_input(BenchmarkId::new("4ranks_10k", flush), &flush, |b, &f| {
+            b.iter(|| rpc_round(4, 2_500, f))
+        });
+    }
+    group.finish();
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ygm_barrier");
+    for ranks in [2usize, 8] {
+        group.bench_with_input(BenchmarkId::new("empty", ranks), &ranks, |b, &r| {
+            b.iter(|| {
+                World::new(r).run(|comm| {
+                    for _ in 0..10 {
+                        comm.barrier();
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_rpc_throughput, bench_flush_threshold, bench_barrier
+}
+criterion_main!(benches);

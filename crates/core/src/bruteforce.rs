@@ -1,0 +1,233 @@
+//! Distributed exact k-NN (brute force) — the ground-truth computation of
+//! Section 5.2, as a distributed application.
+//!
+//! The paper validates DNND's graphs against brute force on the small
+//! datasets; at larger scale even the *checker* needs distribution. The
+//! standard scheme: each query vertex `v` ships its vector to every rank;
+//! each rank answers with its **partition-local top-k** among the vertices
+//! it owns; `owner(v)` merges the per-partition lists into the exact
+//! global top-k. Exactness holds because the global k nearest are a subset
+//! of the union of per-partition k nearest.
+
+use crate::msgs::name_tags;
+use crate::partition::Partitioner;
+use bytes::{Bytes, BytesMut};
+use dataset::ground_truth::GroundTruth;
+use dataset::metric::Metric;
+use dataset::order::OrdF32;
+use dataset::point::Point;
+use dataset::set::{PointId, PointSet};
+use std::cell::RefCell;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+use ygm::{Comm, Wire, World};
+
+/// Scan request: query vertex + vector, answered with the local top-k.
+pub const TAG_BF_SCAN: u16 = 44;
+/// Partial top-k reply.
+pub const TAG_BF_PARTIAL: u16 = 45;
+
+struct Scan<P> {
+    v: PointId,
+    home: u32,
+    vec: P,
+}
+
+impl<P: Wire> Wire for Scan<P> {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.v.encode(buf);
+        self.home.encode(buf);
+        self.vec.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        Scan {
+            v: PointId::decode(buf),
+            home: u32::decode(buf),
+            vec: P::decode(buf),
+        }
+    }
+    fn wire_size(&self) -> usize {
+        self.v.wire_size() + self.home.wire_size() + self.vec.wire_size()
+    }
+}
+
+type Partial = (PointId, Vec<(PointId, f32)>);
+
+/// Exact k-NNG over `set` (no self edges), computed on `world.n_ranks()`
+/// simulated ranks. Results are identical to
+/// [`dataset::ground_truth::brute_force_knng`].
+pub fn distributed_ground_truth<P, M>(
+    world: &World,
+    set: &Arc<PointSet<P>>,
+    metric: &M,
+    k: usize,
+) -> GroundTruth
+where
+    P: Point,
+    M: Metric<P>,
+{
+    assert!(k < set.len(), "k must be smaller than the dataset");
+    let report = world.run(|comm| rank_bf(comm, Arc::clone(set), metric.clone(), k));
+    let mut ids: Vec<Vec<PointId>> = vec![Vec::new(); set.len()];
+    let mut dists: Vec<Vec<f32>> = vec![Vec::new(); set.len()];
+    for rank_rows in &report.results {
+        for (v, pairs) in rank_rows {
+            ids[*v as usize] = pairs.iter().map(|&(id, _)| id).collect();
+            dists[*v as usize] = pairs.iter().map(|&(_, d)| d).collect();
+        }
+    }
+    GroundTruth { ids, dists }
+}
+
+fn local_topk<P: Point, M: Metric<P>>(
+    set: &PointSet<P>,
+    metric: &M,
+    owned: &[PointId],
+    q: &P,
+    exclude: PointId,
+    k: usize,
+) -> Vec<(PointId, f32)> {
+    let mut heap: BinaryHeap<(OrdF32, PointId)> = BinaryHeap::with_capacity(k + 1);
+    for &u in owned {
+        if u == exclude {
+            continue;
+        }
+        let d = metric.distance(q, set.point(u));
+        if heap.len() < k {
+            heap.push((OrdF32(d), u));
+        } else if let Some(&(worst, worst_id)) = heap.peek() {
+            if (OrdF32(d), u) < (worst, worst_id) {
+                heap.pop();
+                heap.push((OrdF32(d), u));
+            }
+        }
+    }
+    let mut pairs: Vec<(PointId, f32)> = heap.into_iter().map(|(OrdF32(d), id)| (id, d)).collect();
+    pairs.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    pairs
+}
+
+fn rank_bf<P, M>(
+    comm: &Comm,
+    set: Arc<PointSet<P>>,
+    metric: M,
+    k: usize,
+) -> Vec<(PointId, Vec<(PointId, f32)>)>
+where
+    P: Point,
+    M: Metric<P>,
+{
+    let part = Partitioner::new(comm.n_ranks());
+    let owned = part.owned_ids(set.len(), comm.rank());
+    let dim = set.dim().max(1);
+    name_tags(comm);
+    comm.name_tag(TAG_BF_SCAN, "bf_scan");
+    comm.name_tag(TAG_BF_PARTIAL, "bf_partial");
+
+    // Merged partial results per owned query vertex.
+    type Merged = HashMap<PointId, Vec<(PointId, f32)>>;
+    let merged: Rc<RefCell<Merged>> = Rc::new(RefCell::new(HashMap::new()));
+
+    {
+        let set = Arc::clone(&set);
+        let metric = metric.clone();
+        let owned = owned.clone();
+        comm.register::<Scan<P>, _>(TAG_BF_SCAN, move |c, msg| {
+            let local = local_topk(&set, &metric, &owned, &msg.vec, msg.v, k);
+            // The scan over |owned| points is the dominant compute.
+            c.charge_compute(c.cost().distance_cost_ns(dim) * owned.len() as u64);
+            c.async_send(msg.home as usize, TAG_BF_PARTIAL, &(msg.v, local));
+        });
+    }
+    {
+        let merged = Rc::clone(&merged);
+        comm.register::<Partial, _>(TAG_BF_PARTIAL, move |_, (v, mut pairs)| {
+            merged.borrow_mut().entry(v).or_default().append(&mut pairs);
+        });
+    }
+
+    // Ship each owned query vector to every rank, in batches so buffers
+    // stay bounded (same Section 4.4 discipline as construction).
+    let quota = 1usize << 12;
+    let mut idx = 0;
+    loop {
+        let end = (idx + quota / comm.n_ranks().max(1))
+            .min(owned.len())
+            .max(idx);
+        for &v in &owned[idx..end] {
+            for dest in 0..comm.n_ranks() {
+                comm.async_send(
+                    dest,
+                    TAG_BF_SCAN,
+                    &Scan {
+                        v,
+                        home: comm.rank() as u32,
+                        vec: set.point(v).clone(),
+                    },
+                );
+            }
+        }
+        idx = end;
+        comm.barrier();
+        if comm.all_reduce_sum_u64((owned.len() - idx) as u64) == 0 {
+            break;
+        }
+    }
+
+    // Merge the per-rank partial lists into exact global top-k.
+    let mut merged = merged.borrow_mut();
+    owned
+        .iter()
+        .map(|&v| {
+            let mut pairs = merged.remove(&v).unwrap_or_default();
+            pairs.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+            pairs.truncate(k);
+            (v, pairs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::ground_truth::brute_force_knng;
+    use dataset::metric::{Jaccard, L2};
+    use dataset::synth::uniform;
+
+    #[test]
+    fn matches_shared_memory_brute_force_exactly() {
+        let set = Arc::new(uniform(200, 6, 3));
+        let truth = brute_force_knng(&set, &L2, 7);
+        for ranks in [1usize, 3, 5] {
+            let dist = distributed_ground_truth(&World::new(ranks), &set, &L2, 7);
+            assert_eq!(dist, truth, "ranks={ranks} diverged");
+        }
+    }
+
+    #[test]
+    fn exact_on_sparse_jaccard() {
+        let set = Arc::new(dataset::presets::kosarak_like(120, 5));
+        let truth = brute_force_knng(&set, &Jaccard, 4);
+        let dist = distributed_ground_truth(&World::new(4), &set, &Jaccard, 4);
+        assert_eq!(dist, truth);
+    }
+
+    #[test]
+    fn no_self_neighbors() {
+        let set = Arc::new(uniform(80, 3, 9));
+        let gt = distributed_ground_truth(&World::new(3), &set, &L2, 5);
+        for (v, ids) in gt.ids.iter().enumerate() {
+            assert_eq!(ids.len(), 5);
+            assert!(!ids.contains(&(v as PointId)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be smaller")]
+    fn oversized_k_rejected() {
+        let set = Arc::new(uniform(5, 2, 1));
+        let _ = distributed_ground_truth(&World::new(2), &set, &L2, 5);
+    }
+}

@@ -1,0 +1,191 @@
+//! Distributed index facade: one type wrapping the full DNND lifecycle —
+//! distributed construction, the Section 4.5 optimization, sharded
+//! persistence, and distributed query serving. The `dnnd` counterpart of
+//! `nnd::index::NnIndex`, for users who want "a distributed ANN index"
+//! rather than the individual phases.
+
+use crate::config::DnndConfig;
+use crate::engine::{build, BuildReport};
+use crate::persist::{load_sharded, save_sharded};
+use crate::query::{distributed_search_batch, DistSearchParams};
+use dataset::metric::Metric;
+use dataset::point::Point;
+use dataset::set::{PointId, PointSet};
+use metall::Result as StoreResult;
+use nnd::graph::KnnGraph;
+use std::path::Path;
+use std::sync::Arc;
+use ygm::World;
+
+/// A built distributed index: the partitioned search graph plus its base
+/// data, ready to serve queries on any rank count.
+pub struct DistIndex<P, M> {
+    base: Arc<PointSet<P>>,
+    metric: M,
+    graph: Arc<KnnGraph>,
+    /// Construction metrics from the build that produced `graph`.
+    pub report: BuildReport,
+    k: usize,
+}
+
+impl<P: Point, M: Metric<P>> DistIndex<P, M> {
+    /// Build on `world`, always applying the Section 4.5 optimization
+    /// (`m = 1.5` unless the config overrides it) so the graph is
+    /// traversal-ready: the raw directed k-NNG can leave vertices with
+    /// in-degree zero, unreachable by greedy search.
+    pub fn build(world: &World, base: Arc<PointSet<P>>, metric: M, mut cfg: DnndConfig) -> Self {
+        if cfg.graph_opt_m.is_none() {
+            cfg = cfg.graph_opt(1.5);
+        }
+        let k = cfg.k;
+        let out = build(world, &base, &metric, cfg);
+        DistIndex {
+            base,
+            metric,
+            graph: Arc::new(out.graph),
+            report: out.report,
+            k,
+        }
+    }
+
+    /// The optimized, partitionable search graph.
+    pub fn graph(&self) -> &KnnGraph {
+        &self.graph
+    }
+
+    /// The indexed base data.
+    pub fn base(&self) -> &PointSet<P> {
+        &self.base
+    }
+
+    /// Construction `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Serve a query batch on `world.n_ranks()` ranks with the distributed
+    /// engine. Returns per-query neighbor ids.
+    pub fn query_batch(
+        &self,
+        world: &World,
+        queries: &Arc<PointSet<P>>,
+        params: DistSearchParams,
+    ) -> Vec<Vec<PointId>> {
+        let (ids, _) = distributed_search_batch(
+            world,
+            &self.base,
+            &self.graph,
+            queries,
+            &self.metric,
+            params,
+        );
+        ids
+    }
+
+    /// Persist the graph sharded across `n_ranks` per-rank stores under
+    /// `dir` (the Section 5.1.3 layout). The base set persists separately
+    /// via its element-type-specific `save`.
+    pub fn save_sharded(&self, dir: impl AsRef<Path>, n_ranks: usize) -> StoreResult<()> {
+        save_sharded(&self.graph, dir, n_ranks)
+    }
+
+    /// Reattach a sharded graph to its base data.
+    pub fn load_sharded(
+        dir: impl AsRef<Path>,
+        base: Arc<PointSet<P>>,
+        metric: M,
+        k: usize,
+    ) -> StoreResult<Self> {
+        let graph = load_sharded(dir)?;
+        Ok(DistIndex {
+            base,
+            metric,
+            graph: Arc::new(graph),
+            report: BuildReport {
+                n_ranks: 0,
+                iterations: 0,
+                updates_per_iter: Vec::new(),
+                distance_evals: 0,
+                sim_secs: 0.0,
+                breakdown: ygm::ClockBreakdown::default(),
+                phases: Vec::new(),
+                wall_secs: 0.0,
+                tags: Vec::new(),
+                total: ygm::TagStats::default(),
+            },
+            k,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::ground_truth::brute_force_queries;
+    use dataset::metric::L2;
+    use dataset::recall::mean_recall;
+    use dataset::synth::{gaussian_mixture, split_queries, MixtureParams};
+
+    #[test]
+    fn build_and_serve() {
+        let full = gaussian_mixture(MixtureParams::embedding_like(600, 10), 3);
+        let (base, queries) = split_queries(full, 50);
+        let base = Arc::new(base);
+        let queries = Arc::new(queries);
+        let index = DistIndex::build(
+            &World::new(4),
+            Arc::clone(&base),
+            L2,
+            DnndConfig::new(8).seed(1),
+        );
+        assert_eq!(index.k(), 8);
+        assert!(index.report.iterations >= 1);
+        let truth = brute_force_queries(&base, &queries, &L2, 8);
+        let ids = index.query_batch(
+            &World::new(3),
+            &queries,
+            DistSearchParams::new(8).epsilon(0.2).entry_candidates(48),
+        );
+        let recall = mean_recall(&ids, &truth);
+        assert!(recall > 0.85, "dist index recall {recall}");
+    }
+
+    #[test]
+    fn sharded_round_trip_preserves_serving() {
+        let dir = std::env::temp_dir().join(format!(
+            "dist-index-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = Arc::new(gaussian_mixture(MixtureParams::embedding_like(300, 8), 7));
+        let index = DistIndex::build(
+            &World::new(3),
+            Arc::clone(&base),
+            L2,
+            DnndConfig::new(6).seed(2),
+        );
+        index.save_sharded(&dir, 3).unwrap();
+
+        let restored = DistIndex::load_sharded(&dir, Arc::clone(&base), L2, 6).unwrap();
+        assert_eq!(restored.graph(), index.graph());
+        let queries = Arc::new(PointSet::new(vec![base.point(42).clone()]));
+        let ids = restored.query_batch(
+            &World::new(2),
+            &queries,
+            DistSearchParams::new(3).entry_candidates(64),
+        );
+        assert_eq!(ids[0][0], 42);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn build_always_optimizes_graph() {
+        let base = Arc::new(gaussian_mixture(MixtureParams::embedding_like(250, 6), 9));
+        let index = DistIndex::build(&World::new(2), base, L2, DnndConfig::new(5).seed(3));
+        // Reverse-merge makes the graph denser than the raw k-NNG, bounded
+        // by ceil(1.5 * k).
+        assert!(index.graph().edge_count() > 250 * 5);
+        assert!(index.graph().max_degree() <= 8);
+    }
+}

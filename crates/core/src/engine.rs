@@ -1,0 +1,615 @@
+//! The distributed NN-Descent engine.
+//!
+//! One SPMD `rank_main` runs per simulated rank inside a [`ygm::World`].
+//! Phases, mirroring Section 4:
+//!
+//! 1. **Initialization** — every rank seeds its owned vertices' heaps with
+//!    `K` random candidates; distances to remote candidates are computed by
+//!    shipping the vector to the candidate's owner and receiving the
+//!    distance back (the Section 4.1 example RPC chain).
+//! 2. **Descent iterations** — local old/new sampling, the reverse-neighbor
+//!    exchange with shuffled destinations (4.2), then the neighbor checks
+//!    under either the unoptimized (Figure 1a) or optimized (Figure 1b:
+//!    Type 1 / Type 2+ / Type 3) protocol (4.3), issued in globally
+//!    coordinated batches separated by barriers (4.4). Termination when the
+//!    all-reduced update count drops below `delta * K * N`.
+//! 3. **Graph optimization** (optional, 4.5) — reverse edges are shipped to
+//!    their endpoint's owner, merged, deduplicated, and pruned to
+//!    `ceil(K * m)` neighbors.
+
+use crate::config::DnndConfig;
+use crate::msgs::*;
+use crate::partition::Partitioner;
+use dataset::metric::Metric;
+use dataset::point::Point;
+use dataset::set::{PointId, PointSet};
+use nnd::graph::{Edge, KnnGraph};
+use nnd::heap::NeighborHeap;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+use ygm::{ClockBreakdown, Comm, PhaseRecord, TagStats, World};
+
+/// Everything `build` reports besides the graph itself.
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// Ranks the world simulated.
+    pub n_ranks: usize,
+    /// Descent iterations executed.
+    pub iterations: usize,
+    /// Global successful updates (`c`) per iteration.
+    pub updates_per_iter: Vec<u64>,
+    /// Total distance evaluations across all ranks.
+    pub distance_evals: u64,
+    /// Virtual (simulated cluster) construction time, seconds.
+    pub sim_secs: f64,
+    /// Compute / communication / barrier decomposition of `sim_secs` — the
+    /// profiling view the paper's Section 7 asks for.
+    pub breakdown: ClockBreakdown,
+    /// Per-phase (barrier-to-barrier) virtual-time records.
+    pub phases: Vec<PhaseRecord>,
+    /// Real wall-clock time of the whole simulated run, seconds.
+    pub wall_secs: f64,
+    /// Per-tag message statistics (Figure 4's raw data).
+    pub tags: Vec<(u16, String, TagStats)>,
+    /// Totals over all tags.
+    pub total: TagStats,
+}
+
+impl BuildReport {
+    /// Stats for one tag (zero if unused).
+    pub fn tag(&self, tag: u16) -> TagStats {
+        self.tags
+            .iter()
+            .find(|(t, _, _)| *t == tag)
+            .map(|(_, _, s)| *s)
+            .unwrap_or_default()
+    }
+
+    /// Combined count/bytes of the neighbor-check messages only (Type 1, 2,
+    /// 2+, 3) — the paper's Figure 4 scope.
+    pub fn check_traffic(&self) -> TagStats {
+        let mut out = TagStats::default();
+        for t in [TAG_TYPE1, TAG_TYPE2, TAG_TYPE2_PLUS, TAG_TYPE3] {
+            let s = self.tag(t);
+            out.count += s.count;
+            out.bytes += s.bytes;
+            out.remote_count += s.remote_count;
+            out.remote_bytes += s.remote_bytes;
+        }
+        out
+    }
+}
+
+/// The result of a distributed construction.
+#[derive(Debug, Clone)]
+pub struct DnndOutput {
+    /// The assembled k-NNG (optimized if `graph_opt_m` was set).
+    pub graph: KnnGraph,
+    /// Run metrics.
+    pub report: BuildReport,
+}
+
+/// Per-rank mutable state shared between the SPMD main loop and the
+/// message handlers (single-threaded within a rank, hence `Rc<RefCell>`).
+struct State {
+    heaps: HashMap<PointId, NeighborHeap>,
+    rev_new: HashMap<PointId, Vec<PointId>>,
+    rev_old: HashMap<PointId, Vec<PointId>>,
+    /// Reverse edges received during the graph-optimization phase.
+    opt_extra: HashMap<PointId, Vec<Edge>>,
+    /// Successful heap updates this iteration (summand of the global `c`).
+    c: u64,
+    /// Distance evaluations performed on this rank.
+    dist_evals: u64,
+}
+
+impl State {
+    fn new(owned: &[PointId], k: usize) -> Self {
+        State {
+            heaps: owned.iter().map(|&v| (v, NeighborHeap::new(k))).collect(),
+            rev_new: HashMap::new(),
+            rev_old: HashMap::new(),
+            opt_extra: HashMap::new(),
+            c: 0,
+            dist_evals: 0,
+        }
+    }
+}
+
+/// Build a k-NNG over `set` using `world.n_ranks()` simulated ranks.
+///
+/// `set` is shared read-only with every rank (in a real deployment each
+/// rank holds only its partition; handlers here only ever read vectors the
+/// owning rank would hold or that arrived inside a message).
+pub fn build<P, M>(world: &World, set: &Arc<PointSet<P>>, metric: &M, cfg: DnndConfig) -> DnndOutput
+where
+    P: Point,
+    M: Metric<P>,
+{
+    assert!(set.len() >= 2, "need at least two points");
+    assert!(cfg.k >= 1 && cfg.k < set.len(), "require 1 <= k < N");
+    let report = world.run(|comm| rank_main(comm, Arc::clone(set), metric.clone(), cfg));
+
+    // Assemble the distributed rows into one graph (driver-side; the paper
+    // would instead leave the graph partitioned in Metall).
+    let mut rows: Vec<Vec<Edge>> = vec![Vec::new(); set.len()];
+    let mut iterations = 0;
+    let mut updates_per_iter = Vec::new();
+    let mut distance_evals = 0;
+    for (rank_rows, metrics) in &report.results {
+        for (v, edges) in rank_rows {
+            rows[*v as usize] = edges.clone();
+        }
+        iterations = metrics.iterations;
+        updates_per_iter.clone_from(&metrics.updates_per_iter);
+        distance_evals += metrics.dist_evals;
+    }
+    DnndOutput {
+        graph: KnnGraph::from_rows(rows),
+        report: BuildReport {
+            n_ranks: world.n_ranks(),
+            iterations,
+            updates_per_iter,
+            distance_evals,
+            sim_secs: report.sim_secs,
+            breakdown: report.breakdown,
+            phases: report.phases,
+            wall_secs: report.wall_secs,
+            tags: report.tags,
+            total: report.total,
+        },
+    }
+}
+
+/// Per-rank return payload.
+#[derive(Debug, Clone)]
+struct RankMetrics {
+    iterations: usize,
+    updates_per_iter: Vec<u64>,
+    dist_evals: u64,
+}
+
+type RankRows = Vec<(PointId, Vec<Edge>)>;
+
+fn rank_main<P, M>(
+    comm: &Comm,
+    set: Arc<PointSet<P>>,
+    metric: M,
+    cfg: DnndConfig,
+) -> (RankRows, RankMetrics)
+where
+    P: Point,
+    M: Metric<P>,
+{
+    let part = Partitioner::new(comm.n_ranks());
+    let n = set.len();
+    let dim = set.dim().max(1);
+    let owned = part.owned_ids(n, comm.rank());
+    let st = Rc::new(RefCell::new(State::new(&owned, cfg.k)));
+    name_tags(comm);
+    register_handlers(comm, &st, &set, &metric, part, cfg, dim);
+
+    // ---- Phase 1: random initialization ------------------------------------
+    let quota = (cfg.batch_size / comm.n_ranks() as u64).max(1) as usize;
+    batched(comm, owned.len(), quota.max(1), |i| {
+        let v = owned[i];
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (u64::from(v) << 20));
+        let mut chosen: Vec<PointId> = Vec::with_capacity(cfg.k);
+        let mut guard = 0;
+        while chosen.len() < cfg.k && guard < 100 * cfg.k {
+            let u: PointId = rng.gen_range(0..n as PointId);
+            if u != v && !chosen.contains(&u) {
+                chosen.push(u);
+            }
+            guard += 1;
+        }
+        for u in chosen {
+            if part.owner(u) == comm.rank() {
+                // Both endpoints local: compute in place.
+                let d = metric.distance(set.point(v), set.point(u));
+                comm.charge_distance(dim);
+                let mut s = st.borrow_mut();
+                s.dist_evals += 1;
+                if let Some(h) = s.heaps.get_mut(&v) {
+                    h.checked_insert(u, d, true);
+                }
+            } else {
+                comm.async_send(
+                    part.owner(u),
+                    TAG_INIT_REQ,
+                    &InitReq {
+                        v,
+                        u,
+                        vec: set.point(v).clone(),
+                    },
+                );
+            }
+        }
+    });
+
+    // ---- Phase 2: descent iterations ----------------------------------------
+    let max_sample = ((cfg.rho * cfg.k as f64).round() as usize).max(1);
+    let threshold = ((cfg.delta * cfg.k as f64 * n as f64) as u64).max(1);
+    let mut iterations = 0;
+    let mut updates_per_iter = Vec::new();
+
+    for iter in 0..cfg.max_iters {
+        {
+            let mut s = st.borrow_mut();
+            s.c = 0;
+            s.rev_new.clear();
+            s.rev_old.clear();
+        }
+
+        // 2a. Local sampling: split each owned vertex's heap into old ids
+        // and a rho*K sample of new ids (flipped to old).
+        let mut fwd_old: HashMap<PointId, Vec<PointId>> = HashMap::with_capacity(owned.len());
+        let mut fwd_new: HashMap<PointId, Vec<PointId>> = HashMap::with_capacity(owned.len());
+        {
+            let mut s = st.borrow_mut();
+            for &v in &owned {
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    cfg.seed ^ 0xA11CE ^ (u64::from(v) << 18) ^ (iter as u64),
+                );
+                let heap = s.heaps.get_mut(&v).expect("owned vertex heap");
+                let old = heap.flagged_ids(false);
+                let mut candidates = heap.flagged_ids(true);
+                candidates.shuffle(&mut rng);
+                candidates.truncate(max_sample);
+                for &u in &candidates {
+                    heap.mark_old(u);
+                }
+                fwd_old.insert(v, old);
+                fwd_new.insert(v, candidates);
+            }
+        }
+
+        // 2b. Reverse-neighbor exchange (Section 4.2): ship (u, v) to
+        // owner(u). Destination order is shuffled to spread load.
+        let mut order = owned.clone();
+        if cfg.shuffle_reverse {
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                cfg.seed ^ 0x5F0F ^ (iter as u64) ^ ((comm.rank() as u64) << 32),
+            );
+            order.shuffle(&mut rng);
+        }
+        batched(comm, order.len(), quota, |i| {
+            let v = order[i];
+            for &u in &fwd_new[&v] {
+                comm.async_send(part.owner(u), TAG_REV_NEW, &(u, v));
+            }
+            for &u in &fwd_old[&v] {
+                comm.async_send(part.owner(u), TAG_REV_OLD, &(u, v));
+            }
+        });
+
+        // 2c. Sample rho*K of each received reverse list and union into the
+        // forward lists (Algorithm 1 lines 15-16).
+        {
+            let mut s = st.borrow_mut();
+            for &v in &owned {
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    cfg.seed ^ 0xBEE ^ (u64::from(v) << 18) ^ (iter as u64),
+                );
+                let mut union_sample = |fwd: &mut Vec<PointId>, mut rev: Vec<PointId>| {
+                    rev.shuffle(&mut rng);
+                    rev.truncate(max_sample);
+                    for u in rev {
+                        if u != v && !fwd.contains(&u) {
+                            fwd.push(u);
+                        }
+                    }
+                };
+                union_sample(
+                    fwd_new.get_mut(&v).unwrap(),
+                    s.rev_new.remove(&v).unwrap_or_default(),
+                );
+                union_sample(
+                    fwd_old.get_mut(&v).unwrap(),
+                    s.rev_old.remove(&v).unwrap_or_default(),
+                );
+            }
+        }
+
+        // 2d. Generate the neighbor-check pairs for this rank's vertices.
+        let mut pairs: Vec<(PointId, PointId)> = Vec::new();
+        for &v in &owned {
+            let news = &fwd_new[&v];
+            let olds = &fwd_old[&v];
+            for (i, &u1) in news.iter().enumerate() {
+                for &u2 in &news[i + 1..] {
+                    if u1 != u2 {
+                        pairs.push((u1, u2));
+                    }
+                }
+                for &u2 in olds {
+                    if u1 != u2 {
+                        pairs.push((u1, u2));
+                    }
+                }
+            }
+        }
+
+        // 2e. Issue checks in globally coordinated batches (Section 4.4).
+        batched(comm, pairs.len(), quota, |i| {
+            let (u1, u2) = pairs[i];
+            if cfg.opts.one_sided {
+                // Figure 1b: one Type 1 to owner(u1); the rest cascades.
+                comm.async_send(part.owner(u1), TAG_TYPE1, &(u1, u2));
+            } else {
+                // Figure 1a: Type 1 to both endpoints.
+                comm.async_send(part.owner(u1), TAG_TYPE1, &(u1, u2));
+                comm.async_send(part.owner(u2), TAG_TYPE1, &(u2, u1));
+            }
+        });
+
+        // 2f. Convergence test on the all-reduced update count.
+        let c_local = st.borrow().c;
+        let c_global = comm.all_reduce_sum_u64(c_local);
+        iterations = iter + 1;
+        updates_per_iter.push(c_global);
+        if c_global < threshold {
+            break;
+        }
+    }
+
+    // ---- Phase 3: optional distributed graph optimization -------------------
+    let rows: RankRows = if let Some(m) = cfg.graph_opt_m {
+        optimize_distributed(comm, &st, &owned, part, cfg, m, quota)
+    } else {
+        let s = st.borrow();
+        owned
+            .iter()
+            .map(|&v| {
+                let edges = s.heaps[&v]
+                    .sorted()
+                    .iter()
+                    .map(|nb| (nb.id, nb.dist))
+                    .collect();
+                (v, edges)
+            })
+            .collect()
+    };
+
+    let s = st.borrow();
+    (
+        rows,
+        RankMetrics {
+            iterations,
+            updates_per_iter,
+            dist_evals: s.dist_evals,
+        },
+    )
+}
+
+/// Section 4.5 as a distributed pass: ship every edge `v -> u` to
+/// `owner(u)` as a reverse edge, merge + dedup + prune to `ceil(k * m)`.
+fn optimize_distributed(
+    comm: &Comm,
+    st: &Rc<RefCell<State>>,
+    owned: &[PointId],
+    part: Partitioner,
+    cfg: DnndConfig,
+    m: f64,
+    quota: usize,
+) -> RankRows {
+    assert!(m >= 1.0, "paper requires m >= 1");
+    batched(comm, owned.len(), quota, |i| {
+        let v = owned[i];
+        let edges: Vec<Edge> = st.borrow().heaps[&v]
+            .sorted()
+            .iter()
+            .map(|nb| (nb.id, nb.dist))
+            .collect();
+        for (u, d) in edges {
+            comm.async_send(part.owner(u), TAG_OPT_EDGE, &(u, v, d));
+        }
+    });
+    let limit = ((cfg.k as f64) * m).ceil() as usize;
+    let mut s = st.borrow_mut();
+    owned
+        .iter()
+        .map(|&v| {
+            let mut edges: Vec<Edge> = s.heaps[&v]
+                .sorted()
+                .iter()
+                .map(|nb| (nb.id, nb.dist))
+                .collect();
+            if let Some(extra) = s.opt_extra.remove(&v) {
+                edges.extend(extra);
+            }
+            edges.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+            edges.dedup_by_key(|e| e.0);
+            edges.truncate(limit);
+            (v, edges)
+        })
+        .collect()
+}
+
+/// Process local work items `0..total` in chunks of `quota`, with a global
+/// barrier after each chunk, looping until *every* rank is out of work —
+/// the Section 4.4 batched-communication pattern.
+fn batched<F: FnMut(usize)>(comm: &Comm, total: usize, quota: usize, mut f: F) {
+    let mut idx = 0;
+    loop {
+        let end = (idx + quota).min(total);
+        for i in idx..end {
+            f(i);
+        }
+        idx = end;
+        comm.barrier();
+        let remaining = comm.all_reduce_sum_u64((total - idx) as u64);
+        if remaining == 0 {
+            return;
+        }
+    }
+}
+
+fn register_handlers<P, M>(
+    comm: &Comm,
+    st: &Rc<RefCell<State>>,
+    set: &Arc<PointSet<P>>,
+    metric: &M,
+    part: Partitioner,
+    cfg: DnndConfig,
+    dim: usize,
+) where
+    P: Point,
+    M: Metric<P>,
+{
+    // Init: compute theta(v, u) here (we own u), reply to owner(v).
+    {
+        let st = Rc::clone(st);
+        let set = Arc::clone(set);
+        let metric = metric.clone();
+        comm.register::<InitReq<P>, _>(TAG_INIT_REQ, move |c, msg| {
+            let d = metric.distance(&msg.vec, set.point(msg.u));
+            c.charge_distance(dim);
+            st.borrow_mut().dist_evals += 1;
+            c.async_send(part.owner(msg.v), TAG_INIT_RESP, &(msg.v, msg.u, d));
+        });
+    }
+    {
+        let st = Rc::clone(st);
+        comm.register::<InitResp, _>(TAG_INIT_RESP, move |_, (v, u, d)| {
+            if let Some(h) = st.borrow_mut().heaps.get_mut(&v) {
+                h.checked_insert(u, d, true);
+            }
+        });
+    }
+
+    // Reverse-neighbor exchange accumulators.
+    {
+        let st = Rc::clone(st);
+        comm.register::<RevEntry, _>(TAG_REV_NEW, move |_, (u, v)| {
+            st.borrow_mut().rev_new.entry(u).or_default().push(v);
+        });
+    }
+    {
+        let st = Rc::clone(st);
+        comm.register::<RevEntry, _>(TAG_REV_OLD, move |_, (u, v)| {
+            st.borrow_mut().rev_old.entry(u).or_default().push(v);
+        });
+    }
+
+    // Type 1: this rank owns u1.
+    {
+        let st = Rc::clone(st);
+        let set = Arc::clone(set);
+        comm.register::<Type1, _>(TAG_TYPE1, move |c, (u1, u2)| {
+            let (skip, bound) = {
+                let s = st.borrow();
+                let heap = &s.heaps[&u1];
+                let skip = cfg.opts.skip_redundant && heap.contains(u2);
+                let bound = if cfg.opts.prune_distance {
+                    heap.max_dist()
+                } else {
+                    f32::INFINITY
+                };
+                (skip, bound)
+            };
+            if skip {
+                return;
+            }
+            if cfg.opts.one_sided {
+                c.async_send(
+                    part.owner(u2),
+                    TAG_TYPE2_PLUS,
+                    &Type2Plus {
+                        u1,
+                        u2,
+                        bound,
+                        vec: set.point(u1).clone(),
+                    },
+                );
+            } else {
+                c.async_send(
+                    part.owner(u2),
+                    TAG_TYPE2,
+                    &Type2 {
+                        u1,
+                        u2,
+                        vec: set.point(u1).clone(),
+                    },
+                );
+            }
+        });
+    }
+
+    // Type 2 (unoptimized): compute the distance, update only our side.
+    {
+        let st = Rc::clone(st);
+        let set = Arc::clone(set);
+        let metric = metric.clone();
+        comm.register::<Type2<P>, _>(TAG_TYPE2, move |c, msg| {
+            let d = metric.distance(&msg.vec, set.point(msg.u2));
+            c.charge_distance(dim);
+            let mut s = st.borrow_mut();
+            s.dist_evals += 1;
+            if let Some(h) = s.heaps.get_mut(&msg.u2) {
+                if h.checked_insert(msg.u1, d, true) {
+                    s.c += 1;
+                }
+            }
+        });
+    }
+
+    // Type 2+ (optimized): update our side, Type 3 back unless pruned.
+    {
+        let st = Rc::clone(st);
+        let set = Arc::clone(set);
+        let metric = metric.clone();
+        comm.register::<Type2Plus<P>, _>(TAG_TYPE2_PLUS, move |c, msg| {
+            {
+                // Redundant-check reduction on the return path (4.3.2): if
+                // u1 is already our neighbor this pair was checked before.
+                let s = st.borrow();
+                if cfg.opts.skip_redundant && s.heaps[&msg.u2].contains(msg.u1) {
+                    return;
+                }
+            }
+            let d = metric.distance(&msg.vec, set.point(msg.u2));
+            c.charge_distance(dim);
+            {
+                let mut s = st.borrow_mut();
+                s.dist_evals += 1;
+                if let Some(h) = s.heaps.get_mut(&msg.u2) {
+                    if h.checked_insert(msg.u1, d, true) {
+                        s.c += 1;
+                    }
+                }
+            }
+            // Long-distance pruning (4.3.3): only answer if the distance
+            // can possibly improve u1's heap.
+            if d < msg.bound {
+                c.async_send(part.owner(msg.u1), TAG_TYPE3, &(msg.u1, msg.u2, d));
+            }
+        });
+    }
+
+    // Type 3: the returned distance updates u1's heap.
+    {
+        let st = Rc::clone(st);
+        comm.register::<Type3, _>(TAG_TYPE3, move |_, (u1, u2, d)| {
+            let mut s = st.borrow_mut();
+            if let Some(h) = s.heaps.get_mut(&u1) {
+                if h.checked_insert(u2, d, true) {
+                    s.c += 1;
+                }
+            }
+        });
+    }
+
+    // Graph-optimization reverse edges.
+    {
+        let st = Rc::clone(st);
+        comm.register::<OptEdge, _>(TAG_OPT_EDGE, move |_, (u, v, d)| {
+            st.borrow_mut().opt_extra.entry(u).or_default().push((v, d));
+        });
+    }
+}

@@ -1,0 +1,246 @@
+//! Wire messages and tags for the DNND protocol.
+//!
+//! Tag names follow the paper's Figure 1 terminology:
+//!
+//! * **Type 1** — neighbor-check request from the center vertex `v` to (the
+//!   owner of) `u1`, naming the pair `(u1, u2)`. Small: two ids.
+//! * **Type 2** — unoptimized full feature-vector exchange (Figure 1a):
+//!   both endpoints ship their vectors to each other.
+//! * **Type 2+** — optimized vector message (Figure 1b): `u1`'s vector plus
+//!   the distance to `u1`'s current farthest neighbor (the pruning bound of
+//!   Section 4.3.3). The bound is "negligible in size" next to the vector.
+//! * **Type 3** — distance-return message from `u2` back to `u1`.
+//!
+//! Init and reverse-exchange messages round out the protocol; the tag
+//! constants index the [`ygm::Stats`] counters behind Figure 4.
+
+use bytes::{Bytes, BytesMut};
+use dataset::set::PointId;
+use ygm::Wire;
+
+/// k-NNG random initialization: carry `v`'s vector to `owner(u)`.
+pub const TAG_INIT_REQ: u16 = 10;
+/// Initialization reply: distance from `v` to `u`.
+pub const TAG_INIT_RESP: u16 = 11;
+/// Reverse-neighbor exchange entry (Section 4.2), `new` lists.
+pub const TAG_REV_NEW: u16 = 12;
+/// Reverse-neighbor exchange entry (Section 4.2), `old` lists.
+pub const TAG_REV_OLD: u16 = 13;
+/// Neighbor-check request (both protocols).
+pub const TAG_TYPE1: u16 = 14;
+/// Unoptimized full-vector exchange.
+pub const TAG_TYPE2: u16 = 15;
+/// Optimized vector + pruning-bound message.
+pub const TAG_TYPE2_PLUS: u16 = 16;
+/// Distance return.
+pub const TAG_TYPE3: u16 = 17;
+/// Graph-optimization reverse-edge shipment (Section 4.5).
+pub const TAG_OPT_EDGE: u16 = 18;
+
+/// Attach human-readable names to all DNND tags on a comm's stats.
+pub fn name_tags(comm: &ygm::Comm) {
+    comm.name_tag(TAG_INIT_REQ, "init_req");
+    comm.name_tag(TAG_INIT_RESP, "init_resp");
+    comm.name_tag(TAG_REV_NEW, "rev_new");
+    comm.name_tag(TAG_REV_OLD, "rev_old");
+    comm.name_tag(TAG_TYPE1, "type1");
+    comm.name_tag(TAG_TYPE2, "type2");
+    comm.name_tag(TAG_TYPE2_PLUS, "type2plus");
+    comm.name_tag(TAG_TYPE3, "type3");
+    comm.name_tag(TAG_OPT_EDGE, "opt_edge");
+}
+
+/// Init request: compute `theta(v, u)` at `owner(u)` using the attached
+/// vector of `v`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InitReq<P> {
+    /// The vertex being initialized (reply goes to its owner).
+    pub v: PointId,
+    /// The randomly drawn candidate neighbor, owned by the destination.
+    pub u: PointId,
+    /// Feature vector of `v`.
+    pub vec: P,
+}
+
+impl<P: Wire> Wire for InitReq<P> {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.v.encode(buf);
+        self.u.encode(buf);
+        self.vec.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        InitReq {
+            v: PointId::decode(buf),
+            u: PointId::decode(buf),
+            vec: P::decode(buf),
+        }
+    }
+    fn wire_size(&self) -> usize {
+        self.v.wire_size() + self.u.wire_size() + self.vec.wire_size()
+    }
+}
+
+/// Init reply: `(v, u, theta(v, u))` back to `owner(v)`.
+pub type InitResp = (PointId, PointId, f32);
+
+/// Reverse-exchange entry `(u, v)`: "v listed u in its new/old list", sent
+/// to `owner(u)`.
+pub type RevEntry = (PointId, PointId);
+
+/// Type 1: check the pair `(u1, u2)`, delivered to `owner(u1)`.
+pub type Type1 = (PointId, PointId);
+
+/// Type 2 (unoptimized): `u1`'s vector shipped to `owner(u2)`; `u2`
+/// computes the distance and updates only its own neighbor list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Type2<P> {
+    /// Source endpoint (vector attached).
+    pub u1: PointId,
+    /// Destination endpoint (owned by receiving rank).
+    pub u2: PointId,
+    /// Feature vector of `u1`.
+    pub vec: P,
+}
+
+impl<P: Wire> Wire for Type2<P> {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.u1.encode(buf);
+        self.u2.encode(buf);
+        self.vec.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        Type2 {
+            u1: PointId::decode(buf),
+            u2: PointId::decode(buf),
+            vec: P::decode(buf),
+        }
+    }
+    fn wire_size(&self) -> usize {
+        self.u1.wire_size() + self.u2.wire_size() + self.vec.wire_size()
+    }
+}
+
+/// Type 2+ (optimized): like [`Type2`] plus the pruning bound
+/// `theta(u1, G[u1][k])`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Type2Plus<P> {
+    /// Endpoint that forwarded its vector.
+    pub u1: PointId,
+    /// Endpoint owned by the receiving rank.
+    pub u2: PointId,
+    /// `u1`'s current farthest-neighbor distance (`f32::INFINITY` while
+    /// `u1`'s heap is not full, or when pruning is disabled).
+    pub bound: f32,
+    /// Feature vector of `u1`.
+    pub vec: P,
+}
+
+impl<P: Wire> Wire for Type2Plus<P> {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.u1.encode(buf);
+        self.u2.encode(buf);
+        self.bound.encode(buf);
+        self.vec.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        Type2Plus {
+            u1: PointId::decode(buf),
+            u2: PointId::decode(buf),
+            bound: f32::decode(buf),
+            vec: P::decode(buf),
+        }
+    }
+    fn wire_size(&self) -> usize {
+        self.u1.wire_size() + self.u2.wire_size() + self.bound.wire_size() + self.vec.wire_size()
+    }
+}
+
+/// Type 3: `(u1, u2, theta(u1, u2))` returned to `owner(u1)`.
+pub type Type3 = (PointId, PointId, f32);
+
+/// Graph-optimization reverse edge `(u, v, d)`: v holds edge `v -> u` at
+/// distance `d`; ship `u <- v` to `owner(u)` (Section 4.5).
+pub type OptEdge = (PointId, PointId, f32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ygm::codec::{decode_from_bytes, encode_to_bytes};
+
+    #[test]
+    fn init_req_round_trip() {
+        let m = InitReq {
+            v: 3,
+            u: 9,
+            vec: vec![1.0f32, -2.0],
+        };
+        let enc = encode_to_bytes(&m);
+        assert_eq!(enc.len(), m.wire_size());
+        let back: InitReq<Vec<f32>> = decode_from_bytes(enc);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn type2_round_trip_u8() {
+        let m = Type2 {
+            u1: 1,
+            u2: 2,
+            vec: vec![9u8, 8, 7],
+        };
+        let back: Type2<Vec<u8>> = decode_from_bytes(encode_to_bytes(&m));
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn type2plus_round_trip_and_bound() {
+        let m = Type2Plus {
+            u1: 4,
+            u2: 5,
+            bound: 2.5,
+            vec: vec![0.5f32; 8],
+        };
+        let back: Type2Plus<Vec<f32>> = decode_from_bytes(encode_to_bytes(&m));
+        assert_eq!(back, m);
+        // The bound adds exactly 4 bytes over Type 2 — "negligible" next to
+        // the vector, as the paper argues.
+        let t2 = Type2 {
+            u1: 4,
+            u2: 5,
+            vec: vec![0.5f32; 8],
+        };
+        assert_eq!(m.wire_size(), t2.wire_size() + 4);
+    }
+
+    #[test]
+    fn sparse_vectors_travel_in_checks() {
+        let m = Type2Plus {
+            u1: 0,
+            u2: 1,
+            bound: f32::INFINITY,
+            vec: dataset::SparseVec::new(vec![5, 1, 12]),
+        };
+        let back: Type2Plus<dataset::SparseVec> = decode_from_bytes(encode_to_bytes(&m));
+        assert_eq!(back, m);
+        assert!(back.bound.is_infinite());
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let tags = [
+            TAG_INIT_REQ,
+            TAG_INIT_RESP,
+            TAG_REV_NEW,
+            TAG_REV_OLD,
+            TAG_TYPE1,
+            TAG_TYPE2,
+            TAG_TYPE2_PLUS,
+            TAG_TYPE3,
+            TAG_OPT_EDGE,
+        ];
+        let mut sorted = tags.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), tags.len());
+        assert!(tags.iter().all(|&t| (t as usize) < ygm::MAX_TAGS));
+    }
+}

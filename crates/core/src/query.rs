@@ -1,0 +1,520 @@
+//! Distributed ANN search over a partitioned k-NNG.
+//!
+//! The paper queries its graphs with a *shared-memory* program after
+//! gathering them (Section 5.3.1); its conclusion points at "massive-scale
+//! NNG frameworks" where that gather is impossible. This module provides
+//! that next step: the graph and dataset stay hash-partitioned exactly as
+//! DNND built them, and queries run as asynchronous RPC cascades:
+//!
+//! * each query is *homed* on one rank (round-robin), which owns its
+//!   result heap, frontier, and visited set;
+//! * expanding a frontier vertex `v` sends an `Expand` to `owner(v)`,
+//!   which replies with `G[v]`'s ids;
+//! * scoring a candidate `w` sends the query vector to `owner(w)`, which
+//!   computes the distance locally (owner-computes, exactly like the
+//!   Type 2+ messages of construction) and replies;
+//! * the home rank advances the standard Section 3.3 greedy loop with the
+//!   `epsilon` relaxation; a global all-reduce detects when every query
+//!   has converged.
+//!
+//! The engine processes all queries concurrently, so per-round traffic
+//! aggregates into large buffered messages — the same batching philosophy
+//! as construction.
+
+use crate::partition::Partitioner;
+use bytes::{Bytes, BytesMut};
+use dataset::metric::Metric;
+use dataset::order::OrdF32;
+use dataset::point::Point;
+use dataset::set::{PointId, PointSet};
+use nnd::graph::KnnGraph;
+use rand::seq::index::sample as index_sample;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::rc::Rc;
+use std::sync::Arc;
+use ygm::{Comm, Wire, World};
+
+/// Tags for the query protocol (disjoint from the construction tags).
+pub const TAG_EXPAND: u16 = 30;
+/// Neighbor-list reply to an `Expand`.
+pub const TAG_NEIGHBORS: u16 = 31;
+/// Distance-scoring request carrying the query vector.
+pub const TAG_SCORE: u16 = 32;
+/// Scored distance reply.
+pub const TAG_SCORED: u16 = 33;
+
+/// Parameters for distributed search.
+#[derive(Debug, Clone, Copy)]
+pub struct DistSearchParams {
+    /// Neighbors to return per query.
+    pub l: usize,
+    /// Frontier relaxation (Section 3.3 / PyNNDescent `epsilon`).
+    pub epsilon: f32,
+    /// Random entry points per query.
+    pub entry_candidates: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DistSearchParams {
+    /// Defaults: pure greedy, `l` entries.
+    pub fn new(l: usize) -> Self {
+        DistSearchParams {
+            l,
+            epsilon: 0.0,
+            entry_candidates: 0,
+            seed: 0xD15C,
+        }
+    }
+
+    /// Set epsilon.
+    pub fn epsilon(mut self, e: f32) -> Self {
+        assert!(e >= 0.0);
+        self.epsilon = e;
+        self
+    }
+
+    /// Set the number of random entry points.
+    pub fn entry_candidates(mut self, n: usize) -> Self {
+        self.entry_candidates = n;
+        self
+    }
+
+    /// Set the seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+}
+
+/// Expand request: `(query id, home rank, vertex)`.
+type Expand = (u32, u32, PointId);
+/// Neighbor reply: `(query id, vertex, neighbor ids)`.
+type NeighborsMsg = (u32, PointId, Vec<PointId>);
+/// Scored reply: `(query id, candidate, distance)`.
+type Scored = (u32, PointId, f32);
+
+/// Score request: query vector travels to the candidate's owner.
+struct Score<P> {
+    qid: u32,
+    home: u32,
+    w: PointId,
+    query: P,
+}
+
+impl<P: Wire> Wire for Score<P> {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.qid.encode(buf);
+        self.home.encode(buf);
+        self.w.encode(buf);
+        self.query.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        Score {
+            qid: u32::decode(buf),
+            home: u32::decode(buf),
+            w: PointId::decode(buf),
+            query: P::decode(buf),
+        }
+    }
+    fn wire_size(&self) -> usize {
+        self.qid.wire_size() + self.home.wire_size() + self.w.wire_size() + self.query.wire_size()
+    }
+}
+
+/// Per-query state at its home rank.
+struct QueryState {
+    /// Global query index (for result placement).
+    global_idx: usize,
+    /// Best-`l` max-heap.
+    best: BinaryHeap<(OrdF32, PointId)>,
+    /// Frontier min-heap of scored, unexpanded vertices.
+    frontier: BinaryHeap<Reverse<(OrdF32, PointId)>>,
+    visited: HashSet<PointId>,
+    /// Scores requested but not yet answered.
+    pending_scores: usize,
+    /// Expansions requested but not yet answered.
+    pending_expands: usize,
+    done: bool,
+}
+
+struct QueryRankState {
+    queries: Vec<QueryState>,
+}
+
+/// Per-rank result rows: `(global query index, neighbor ids)`.
+pub type RankQueryRows = Vec<(usize, Vec<PointId>)>;
+
+/// Run a batch of queries against the partitioned `(graph, base)` on
+/// `world.n_ranks()` ranks. Returns per-query neighbor ids (query order)
+/// and the world report (virtual time, traffic).
+pub fn distributed_search_batch<P, M>(
+    world: &World,
+    base: &Arc<PointSet<P>>,
+    graph: &Arc<KnnGraph>,
+    queries: &Arc<PointSet<P>>,
+    metric: &M,
+    params: DistSearchParams,
+) -> (Vec<Vec<PointId>>, ygm::WorldReport<RankQueryRows>)
+where
+    P: Point,
+    M: Metric<P>,
+{
+    assert_eq!(graph.len(), base.len(), "graph and base disagree on N");
+    assert!(params.l >= 1 && params.l <= base.len());
+    let report = world.run(|comm| {
+        rank_query_main(
+            comm,
+            Arc::clone(base),
+            Arc::clone(graph),
+            Arc::clone(queries),
+            metric.clone(),
+            params,
+        )
+    });
+    let mut out: Vec<Vec<PointId>> = vec![Vec::new(); queries.len()];
+    for rank_results in &report.results {
+        for (idx, ids) in rank_results {
+            out[*idx] = ids.clone();
+        }
+    }
+    (out, report)
+}
+
+fn rank_query_main<P, M>(
+    comm: &Comm,
+    base: Arc<PointSet<P>>,
+    graph: Arc<KnnGraph>,
+    queries: Arc<PointSet<P>>,
+    metric: M,
+    params: DistSearchParams,
+) -> RankQueryRows
+where
+    P: Point,
+    M: Metric<P>,
+{
+    let part = Partitioner::new(comm.n_ranks());
+    let me = comm.rank();
+    let n = base.len();
+    let dim = base.dim().max(1);
+    let relax = 1.0 + params.epsilon;
+
+    comm.name_tag(TAG_EXPAND, "q_expand");
+    comm.name_tag(TAG_NEIGHBORS, "q_neighbors");
+    comm.name_tag(TAG_SCORE, "q_score");
+    comm.name_tag(TAG_SCORED, "q_scored");
+
+    // Home queries round-robin.
+    let my_queries: Vec<usize> = (0..queries.len())
+        .filter(|q| q % comm.n_ranks() == me)
+        .collect();
+    let st = Rc::new(RefCell::new(QueryRankState {
+        queries: my_queries
+            .iter()
+            .map(|&global_idx| QueryState {
+                global_idx,
+                best: BinaryHeap::new(),
+                frontier: BinaryHeap::new(),
+                visited: HashSet::new(),
+                pending_scores: 0,
+                pending_expands: 0,
+                done: false,
+            })
+            .collect(),
+    }));
+
+    // --- handlers -----------------------------------------------------------
+    {
+        // Expand: we own vertex v; reply with its neighbor ids.
+        let graph = Arc::clone(&graph);
+        comm.register::<Expand, _>(TAG_EXPAND, move |c, (qid, home, v)| {
+            let ids: Vec<PointId> = graph.neighbors(v).iter().map(|&(id, _)| id).collect();
+            c.async_send(home as usize, TAG_NEIGHBORS, &(qid, v, ids));
+        });
+    }
+    {
+        // Score: we own candidate w; compute theta(query, w), reply.
+        let base = Arc::clone(&base);
+        let metric = metric.clone();
+        comm.register::<Score<P>, _>(TAG_SCORE, move |c, msg| {
+            let d = metric.distance(&msg.query, base.point(msg.w));
+            c.charge_distance(dim);
+            c.async_send(msg.home as usize, TAG_SCORED, &(msg.qid, msg.w, d));
+        });
+    }
+    {
+        // Neighbors arrived at the home rank: request scores for unvisited.
+        let st = Rc::clone(&st);
+        let queries = Arc::clone(&queries);
+        comm.register::<NeighborsMsg, _>(TAG_NEIGHBORS, move |c, (qid, _v, ids)| {
+            let mut s = st.borrow_mut();
+            let q = &mut s.queries[qid as usize];
+            q.pending_expands -= 1;
+            let query_vec = queries.point(q.global_idx as PointId).clone();
+            let home = c.rank() as u32;
+            for w in ids {
+                if q.visited.insert(w) {
+                    q.pending_scores += 1;
+                    c.async_send(
+                        Partitioner::new(c.n_ranks()).owner(w),
+                        TAG_SCORE,
+                        &Score {
+                            qid,
+                            home,
+                            w,
+                            query: query_vec.clone(),
+                        },
+                    );
+                }
+            }
+        });
+    }
+    {
+        // Scored distance arrived: update heaps.
+        let st = Rc::clone(&st);
+        comm.register::<Scored, _>(TAG_SCORED, move |_, (qid, w, d)| {
+            let mut s = st.borrow_mut();
+            let q = &mut s.queries[qid as usize];
+            q.pending_scores -= 1;
+            let d_max = q.best.peek().map_or(f32::INFINITY, |&(OrdF32(m), _)| m);
+            if q.best.len() < params.l || d < d_max {
+                q.best.push((OrdF32(d), w));
+                if q.best.len() > params.l {
+                    q.best.pop();
+                }
+            }
+            if d < relax * d_max {
+                q.frontier.push(Reverse((OrdF32(d), w)));
+            }
+        });
+    }
+
+    // --- seed entry points ----------------------------------------------------
+    {
+        let mut s = st.borrow_mut();
+        let home = me as u32;
+        for (qid, q) in s.queries.iter_mut().enumerate() {
+            let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ ((q.global_idx as u64) << 16));
+            let starts = params.l.max(params.entry_candidates).min(n);
+            let query_vec = queries.point(q.global_idx as PointId).clone();
+            for idx in index_sample(&mut rng, n, starts) {
+                let w = idx as PointId;
+                if q.visited.insert(w) {
+                    q.pending_scores += 1;
+                    comm.async_send(
+                        part.owner(w),
+                        TAG_SCORE,
+                        &Score {
+                            qid: qid as u32,
+                            home,
+                            w,
+                            query: query_vec.clone(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+    comm.barrier();
+
+    // --- round loop -------------------------------------------------------------
+    // Each round: every live query expands its best frontier vertex (the
+    // Section 3.3 pop), the barrier retires the Expand/Score cascades, and
+    // an all-reduce decides global convergence.
+    loop {
+        {
+            let mut s = st.borrow_mut();
+            let home = me as u32;
+            for (qid, q) in s.queries.iter_mut().enumerate() {
+                if q.done {
+                    continue;
+                }
+                debug_assert_eq!(q.pending_scores, 0);
+                let d_max = q.best.peek().map_or(f32::INFINITY, |&(OrdF32(m), _)| m);
+                match q.frontier.pop() {
+                    None => q.done = true,
+                    Some(Reverse((OrdF32(d), v))) => {
+                        if d > relax * d_max && q.best.len() >= params.l {
+                            q.done = true;
+                        } else {
+                            q.pending_expands += 1;
+                            comm.async_send(part.owner(v), TAG_EXPAND, &(qid as u32, home, v));
+                        }
+                    }
+                }
+            }
+        }
+        comm.barrier();
+        let live = {
+            let s = st.borrow();
+            s.queries.iter().filter(|q| !q.done).count() as u64
+        };
+        if comm.all_reduce_sum_u64(live) == 0 {
+            break;
+        }
+    }
+
+    // --- extract ----------------------------------------------------------------
+    let s = st.borrow();
+    s.queries
+        .iter()
+        .map(|q| {
+            let mut pairs: Vec<(f32, PointId)> =
+                q.best.iter().map(|&(OrdF32(d), id)| (d, id)).collect();
+            pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            (q.global_idx, pairs.into_iter().map(|(_, id)| id).collect())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build, DnndConfig};
+    use dataset::ground_truth::brute_force_queries;
+    use dataset::metric::L2;
+    use dataset::recall::mean_recall;
+    use dataset::synth::{gaussian_mixture, split_queries, MixtureParams};
+
+    type Fixture = (Arc<PointSet<Vec<f32>>>, Arc<KnnGraph>, PointSet<Vec<f32>>);
+
+    fn setup(n: usize, k: usize) -> Fixture {
+        let full = gaussian_mixture(MixtureParams::embedding_like(n, 12), 5);
+        let (base, queries) = split_queries(full, 50);
+        let base = Arc::new(base);
+        let out = build(
+            &World::new(4),
+            &base,
+            &L2,
+            DnndConfig::new(k).seed(2).graph_opt(1.5),
+        );
+        (base, Arc::new(out.graph), queries)
+    }
+
+    #[test]
+    fn distributed_search_matches_ground_truth() {
+        let (base, graph, queries) = setup(700, 10);
+        let queries = Arc::new(queries);
+        let truth = brute_force_queries(&base, &queries, &L2, 10);
+        let (ids, _) = distributed_search_batch(
+            &World::new(4),
+            &base,
+            &graph,
+            &queries,
+            &L2,
+            DistSearchParams::new(10).epsilon(0.2).entry_candidates(48),
+        );
+        assert_eq!(ids.len(), queries.len());
+        let recall = mean_recall(&ids, &truth);
+        assert!(recall > 0.85, "distributed search recall {recall}");
+    }
+
+    #[test]
+    fn distributed_matches_shared_memory_search_quality() {
+        let (base, graph, queries) = setup(600, 8);
+        let queries = Arc::new(queries);
+        let truth = brute_force_queries(&base, &queries, &L2, 8);
+        let shared = nnd::search_batch(
+            &graph,
+            &base,
+            &L2,
+            &queries,
+            nnd::SearchParams::new(8)
+                .epsilon(0.2)
+                .entry_candidates(48)
+                .seed(0xD15C),
+        );
+        let (dist_ids, _) = distributed_search_batch(
+            &World::new(3),
+            &base,
+            &graph,
+            &queries,
+            &L2,
+            DistSearchParams::new(8).epsilon(0.2).entry_candidates(48),
+        );
+        let r_shared = mean_recall(&shared.ids, &truth);
+        let r_dist = mean_recall(&dist_ids, &truth);
+        assert!(
+            (r_shared - r_dist).abs() < 0.08,
+            "shared {r_shared} vs distributed {r_dist}"
+        );
+    }
+
+    #[test]
+    fn member_queries_find_themselves() {
+        // The raw directed k-NNG can leave vertices with in-degree 0
+        // (unreachable by traversal); querying always uses the Section 4.5
+        // optimized graph, whose reverse-edge merge guarantees every
+        // vertex is reachable from each of its own neighbors.
+        let full = gaussian_mixture(MixtureParams::embedding_like(400, 8), 9);
+        let base = Arc::new(full.clone());
+        let out = build(
+            &World::new(3),
+            &base,
+            &L2,
+            DnndConfig::new(6).seed(1).graph_opt(1.5),
+        );
+        let graph = Arc::new(out.graph);
+        let queries = Arc::new(PointSet::new(vec![
+            base.point(11).clone(),
+            base.point(222).clone(),
+        ]));
+        let (ids, _) = distributed_search_batch(
+            &World::new(3),
+            &base,
+            &graph,
+            &queries,
+            &L2,
+            DistSearchParams::new(5).entry_candidates(64),
+        );
+        assert_eq!(ids[0][0], 11);
+        assert_eq!(ids[1][0], 222);
+    }
+
+    #[test]
+    fn rank_count_does_not_change_results_materially() {
+        let (base, graph, queries) = setup(500, 8);
+        let queries = Arc::new(queries);
+        let truth = brute_force_queries(&base, &queries, &L2, 8);
+        let mut recalls = Vec::new();
+        for ranks in [1usize, 2, 5] {
+            let (ids, _) = distributed_search_batch(
+                &World::new(ranks),
+                &base,
+                &graph,
+                &queries,
+                &L2,
+                DistSearchParams::new(8).epsilon(0.2).entry_candidates(48),
+            );
+            recalls.push(mean_recall(&ids, &truth));
+        }
+        let spread = recalls.iter().cloned().fold(f64::MIN, f64::max)
+            - recalls.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 0.05, "recall varies with ranks: {recalls:?}");
+    }
+
+    #[test]
+    fn query_traffic_is_accounted() {
+        let (base, graph, queries) = setup(400, 6);
+        let queries = Arc::new(queries);
+        let (_, report) = distributed_search_batch(
+            &World::new(4),
+            &base,
+            &graph,
+            &queries,
+            &L2,
+            DistSearchParams::new(6).entry_candidates(24),
+        );
+        let score_tag = report.tag(TAG_SCORE).expect("score traffic");
+        let scored_tag = report.tag(TAG_SCORED).expect("scored traffic");
+        // Every Score gets exactly one Scored reply.
+        assert_eq!(score_tag.count, scored_tag.count);
+        // Score messages carry the query vector; replies are small.
+        assert!(score_tag.bytes > scored_tag.bytes);
+        assert!(report.sim_secs > 0.0);
+    }
+}

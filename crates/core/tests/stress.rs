@@ -1,0 +1,88 @@
+//! Randomized stress test of the distributed engine: arbitrary small
+//! configurations must always produce structurally valid graphs with
+//! conserved message accounting, under both protocols.
+
+use dataset::set::PointId;
+use dataset::synth::{gaussian_mixture, MixtureParams};
+use dataset::L2;
+use dnnd::{build, CommOpts, DnndConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+use ygm::World;
+
+proptest! {
+    // Each case spins up a world; keep the count tight but the coverage
+    // diverse (ranks, k, rho, batch size, protocol all vary).
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn any_config_builds_a_valid_graph(
+        n in 60usize..220,
+        ranks in 1usize..7,
+        k in 2usize..12,
+        rho in 0.3f64..1.0,
+        batch_shift in 6u32..18,
+        optimized in any::<bool>(),
+        graph_opt in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let set = Arc::new(gaussian_mixture(
+            MixtureParams::embedding_like(n, 6),
+            seed,
+        ));
+        let mut cfg = DnndConfig::new(k)
+            .seed(seed)
+            .rho(rho)
+            .batch_size(1 << batch_shift)
+            .max_iters(6)
+            .comm_opts(if optimized {
+                CommOpts::optimized()
+            } else {
+                CommOpts::unoptimized()
+            });
+        if graph_opt {
+            cfg = cfg.graph_opt(1.5);
+        }
+        let out = build(&World::new(ranks), &set, &L2, cfg);
+
+        // Structural invariants.
+        prop_assert_eq!(out.graph.len(), n);
+        let limit = if graph_opt {
+            ((k as f64) * 1.5).ceil() as usize
+        } else {
+            k
+        };
+        for v in 0..n as PointId {
+            let row = out.graph.neighbors(v);
+            prop_assert!(!row.is_empty(), "vertex {} has no neighbors", v);
+            prop_assert!(row.len() <= limit, "vertex {} degree {} > {}", v, row.len(), limit);
+            let ids: Vec<PointId> = row.iter().map(|&(id, _)| id).collect();
+            prop_assert!(!ids.contains(&v), "self edge at {}", v);
+            let mut dedup = ids.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), ids.len(), "duplicates at {}", v);
+            prop_assert!(row.windows(2).all(|w| w[0].1 <= w[1].1), "unsorted at {}", v);
+            prop_assert!(row.iter().all(|&(u, d)| (u as usize) < n && d >= 0.0));
+        }
+
+        // Accounting invariants.
+        prop_assert_eq!(out.report.iterations, out.report.updates_per_iter.len());
+        prop_assert!(out.report.iterations >= 1);
+        prop_assert!(out.report.distance_evals > 0);
+        prop_assert!(out.report.sim_secs >= 0.0);
+        let b = out.report.breakdown;
+        prop_assert!((b.total_secs() - out.report.sim_secs).abs() < 1e-6);
+        if ranks == 1 {
+            prop_assert_eq!(out.report.total.remote_count, 0);
+        }
+        // Protocol tag discipline.
+        use dnnd::msgs::{TAG_TYPE2, TAG_TYPE2_PLUS, TAG_TYPE3};
+        if optimized {
+            prop_assert_eq!(out.report.tag(TAG_TYPE2).count, 0);
+        } else {
+            prop_assert_eq!(out.report.tag(TAG_TYPE2_PLUS).count, 0);
+            prop_assert_eq!(out.report.tag(TAG_TYPE3).count, 0);
+        }
+    }
+}

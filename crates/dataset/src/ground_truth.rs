@@ -1,0 +1,174 @@
+//! Exact k-nearest-neighbor ground truth by brute force.
+//!
+//! The paper's Section 5.2 validates DNND's graphs against a brute-force
+//! all-pairs computation on the six small datasets; Section 5.3 uses the
+//! published query ground truth. Here both come from this module:
+//! [`brute_force_knng`] builds the exact k-NNG over a base set (excluding
+//! self-edges, as a k-NNG has no self loops), and [`brute_force_queries`]
+//! answers held-out queries.
+//!
+//! Parallelized over queries with rayon — the same shared-memory
+//! parallelism the paper's brute-force checker would use.
+
+use crate::metric::Metric;
+use crate::order::OrdF32;
+use crate::point::Point;
+use crate::set::{PointId, PointSet};
+use rayon::prelude::*;
+use std::collections::BinaryHeap;
+
+/// Exact nearest neighbors: for query `q`, `ids[q]` are the `k` closest
+/// base ids ascending by `(distance, id)`, and `dists[q]` the distances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundTruth {
+    /// Neighbor ids per query, closest first.
+    pub ids: Vec<Vec<PointId>>,
+    /// Distances per query, matching `ids`.
+    pub dists: Vec<Vec<f32>>,
+}
+
+impl GroundTruth {
+    /// Number of queries covered.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if no queries are covered.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Neighbors of one query.
+    pub fn neighbors(&self, q: usize) -> &[PointId] {
+        &self.ids[q]
+    }
+}
+
+/// Exact k nearest base points for one explicit query point. `exclude` is
+/// the query's own id when the query is a member of `base` (k-NNG case).
+fn knn_of<P: Point, M: Metric<P>>(
+    base: &PointSet<P>,
+    metric: &M,
+    q: &P,
+    exclude: Option<PointId>,
+    k: usize,
+) -> (Vec<PointId>, Vec<f32>) {
+    // Max-heap of the current k best so the worst is peekable.
+    let mut heap: BinaryHeap<(OrdF32, PointId)> = BinaryHeap::with_capacity(k + 1);
+    for (id, p) in base.iter() {
+        if exclude == Some(id) {
+            continue;
+        }
+        let d = metric.distance(q, p);
+        if heap.len() < k {
+            heap.push((OrdF32(d), id));
+        } else if let Some(&(worst, worst_id)) = heap.peek() {
+            if (OrdF32(d), id) < (worst, worst_id) {
+                heap.pop();
+                heap.push((OrdF32(d), id));
+            }
+        }
+    }
+    let mut pairs = heap.into_vec();
+    pairs.sort_unstable();
+    let ids = pairs.iter().map(|&(_, id)| id).collect();
+    let dists = pairs.iter().map(|&(OrdF32(d), _)| d).collect();
+    (ids, dists)
+}
+
+/// Exact k-NNG over `base` (no self edges). `O(N^2)` distances — the
+/// baseline NN-Descent's `O(n^1.14)` empirical cost is measured against.
+pub fn brute_force_knng<P: Point, M: Metric<P>>(
+    base: &PointSet<P>,
+    metric: &M,
+    k: usize,
+) -> GroundTruth {
+    assert!(k < base.len(), "k must be smaller than the dataset");
+    let results: Vec<(Vec<PointId>, Vec<f32>)> = (0..base.len() as PointId)
+        .into_par_iter()
+        .map(|id| knn_of(base, metric, base.point(id), Some(id), k))
+        .collect();
+    let (ids, dists) = results.into_iter().unzip();
+    GroundTruth { ids, dists }
+}
+
+/// Exact k nearest base neighbors for each held-out query.
+pub fn brute_force_queries<P: Point, M: Metric<P>>(
+    base: &PointSet<P>,
+    queries: &PointSet<P>,
+    metric: &M,
+    k: usize,
+) -> GroundTruth {
+    assert!(k <= base.len(), "k must not exceed the dataset size");
+    let results: Vec<(Vec<PointId>, Vec<f32>)> = queries
+        .points()
+        .par_iter()
+        .map(|q| knn_of(base, metric, q, None, k))
+        .collect();
+    let (ids, dists) = results.into_iter().unzip();
+    GroundTruth { ids, dists }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::L2;
+    use crate::synth::uniform;
+
+    /// A tiny hand-checkable line of points at x = 0, 1, 2, 3, 4.
+    fn line() -> PointSet<Vec<f32>> {
+        PointSet::new((0..5).map(|i| vec![i as f32]).collect())
+    }
+
+    #[test]
+    fn knng_on_a_line() {
+        let gt = brute_force_knng(&line(), &L2, 2);
+        // Point 0's nearest two are 1 then 2.
+        assert_eq!(gt.neighbors(0), &[1, 2]);
+        // Point 2's nearest are 1 and 3 (tie distance 1.0, id ascending).
+        assert_eq!(gt.neighbors(2), &[1, 3]);
+        assert_eq!(gt.dists[2], vec![1.0, 1.0]);
+        // No self edges anywhere.
+        for (q, ids) in gt.ids.iter().enumerate() {
+            assert!(!ids.contains(&(q as PointId)));
+        }
+    }
+
+    #[test]
+    fn queries_on_a_line() {
+        let base = line();
+        let queries = PointSet::new(vec![vec![1.9f32], vec![-10.0]]);
+        let gt = brute_force_queries(&base, &queries, &L2, 3);
+        assert_eq!(gt.neighbors(0), &[2, 1, 3]);
+        assert_eq!(gt.neighbors(1), &[0, 1, 2]);
+        assert_eq!(gt.dists[1][0], 10.0);
+    }
+
+    #[test]
+    fn results_sorted_ascending_by_distance() {
+        let base = uniform(200, 4, 77);
+        let gt = brute_force_knng(&base, &L2, 10);
+        for d in &gt.dists {
+            assert!(d.windows(2).all(|w| w[0] <= w[1]));
+            assert_eq!(d.len(), 10);
+        }
+    }
+
+    #[test]
+    fn query_membership_includes_identical_point() {
+        // A query identical to a base point finds it at distance 0.
+        let base = line();
+        let queries = PointSet::new(vec![vec![3.0f32]]);
+        let gt = brute_force_queries(&base, &queries, &L2, 1);
+        assert_eq!(gt.neighbors(0), &[3]);
+        assert_eq!(gt.dists[0], vec![0.0]);
+    }
+
+    #[test]
+    fn deterministic_under_parallelism() {
+        let base = uniform(300, 8, 5);
+        let a = brute_force_knng(&base, &L2, 5);
+        let b = brute_force_knng(&base, &L2, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,270 @@
+//! Readers/writers for the standard ANN benchmark binary formats.
+//!
+//! * `.fvecs` / `.bvecs` / `.ivecs` (ANN-Benchmarks, TEXMEX): each record is
+//!   a little-endian `u32` dimension followed by `dim` elements.
+//! * `.fbin` / `.u8bin` (Big ANN Benchmarks): a header of two `u32`s
+//!   (`n`, `dim`) followed by `n * dim` elements, row-major.
+//!
+//! These make the harness runnable against the real DEEP/BigANN files when
+//! they are available, while the synthetic presets stand in otherwise.
+
+use crate::set::PointSet;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+// ---- xvecs family ----------------------------------------------------------
+
+/// Write a dense f32 set as `.fvecs`.
+pub fn write_fvecs(path: impl AsRef<Path>, set: &PointSet<Vec<f32>>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for (_, p) in set.iter() {
+        w.write_all(&(p.len() as u32).to_le_bytes())?;
+        for &x in p {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Read an `.fvecs` file.
+pub fn read_fvecs(path: impl AsRef<Path>) -> io::Result<PointSet<Vec<f32>>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut points = Vec::new();
+    loop {
+        let dim = match read_u32(&mut r) {
+            Ok(d) => d as usize,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        };
+        let mut buf = vec![0u8; dim * 4];
+        r.read_exact(&mut buf)?;
+        let v: Vec<f32> = buf
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        if let Some(first) = points.first() {
+            let first: &Vec<f32> = first;
+            if first.len() != v.len() {
+                return Err(bad("inconsistent record dimension in fvecs"));
+            }
+        }
+        points.push(v);
+    }
+    Ok(PointSet::new(points))
+}
+
+/// Write a dense u8 set as `.bvecs`.
+pub fn write_bvecs(path: impl AsRef<Path>, set: &PointSet<Vec<u8>>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for (_, p) in set.iter() {
+        w.write_all(&(p.len() as u32).to_le_bytes())?;
+        w.write_all(p)?;
+    }
+    w.flush()
+}
+
+/// Read a `.bvecs` file.
+pub fn read_bvecs(path: impl AsRef<Path>) -> io::Result<PointSet<Vec<u8>>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut points: Vec<Vec<u8>> = Vec::new();
+    loop {
+        let dim = match read_u32(&mut r) {
+            Ok(d) => d as usize,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        };
+        let mut buf = vec![0u8; dim];
+        r.read_exact(&mut buf)?;
+        if let Some(first) = points.first() {
+            if first.len() != buf.len() {
+                return Err(bad("inconsistent record dimension in bvecs"));
+            }
+        }
+        points.push(buf);
+    }
+    Ok(PointSet::new(points))
+}
+
+/// Write ground-truth id lists as `.ivecs` (one record per query).
+pub fn write_ivecs(path: impl AsRef<Path>, rows: &[Vec<u32>]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for row in rows {
+        w.write_all(&(row.len() as u32).to_le_bytes())?;
+        for &x in row {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Read an `.ivecs` file.
+pub fn read_ivecs(path: impl AsRef<Path>) -> io::Result<Vec<Vec<u32>>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut rows = Vec::new();
+    loop {
+        let dim = match read_u32(&mut r) {
+            Ok(d) => d as usize,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        };
+        let mut buf = vec![0u8; dim * 4];
+        r.read_exact(&mut buf)?;
+        rows.push(
+            buf.chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect(),
+        );
+    }
+    Ok(rows)
+}
+
+// ---- big-ann bin family ----------------------------------------------------
+
+/// Write a dense f32 set in Big-ANN `.fbin` layout.
+pub fn write_fbin(path: impl AsRef<Path>, set: &PointSet<Vec<f32>>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&(set.len() as u32).to_le_bytes())?;
+    w.write_all(&(set.dim() as u32).to_le_bytes())?;
+    for (_, p) in set.iter() {
+        for &x in p {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Read a Big-ANN `.fbin` file.
+pub fn read_fbin(path: impl AsRef<Path>) -> io::Result<PointSet<Vec<f32>>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let n = read_u32(&mut r)? as usize;
+    let dim = read_u32(&mut r)? as usize;
+    let mut buf = vec![0u8; n * dim * 4];
+    r.read_exact(&mut buf)?;
+    let mut points = Vec::with_capacity(n);
+    for row in buf.chunks_exact(dim * 4) {
+        points.push(
+            row.chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect(),
+        );
+    }
+    Ok(PointSet::new(points))
+}
+
+/// Write a dense u8 set in Big-ANN `.u8bin` layout.
+pub fn write_u8bin(path: impl AsRef<Path>, set: &PointSet<Vec<u8>>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&(set.len() as u32).to_le_bytes())?;
+    w.write_all(&(set.dim() as u32).to_le_bytes())?;
+    for (_, p) in set.iter() {
+        w.write_all(p)?;
+    }
+    w.flush()
+}
+
+/// Read a Big-ANN `.u8bin` file.
+pub fn read_u8bin(path: impl AsRef<Path>) -> io::Result<PointSet<Vec<u8>>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let n = read_u32(&mut r)? as usize;
+    let dim = read_u32(&mut r)? as usize;
+    let mut buf = vec![0u8; n * dim];
+    r.read_exact(&mut buf)?;
+    let points = buf.chunks_exact(dim).map(<[u8]>::to_vec).collect();
+    Ok(PointSet::new(points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::uniform;
+    use std::path::PathBuf;
+
+    fn tmpfile(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "dataset-io-{tag}-{}-{:?}.bin",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn fvecs_round_trip() {
+        let path = tmpfile("fvecs");
+        let set = uniform(20, 7, 1);
+        write_fvecs(&path, &set).unwrap();
+        let back = read_fvecs(&path).unwrap();
+        assert_eq!(back, set);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn bvecs_round_trip() {
+        let path = tmpfile("bvecs");
+        let set = PointSet::new(vec![vec![1u8, 2, 3], vec![4, 5, 6]]);
+        write_bvecs(&path, &set).unwrap();
+        let back = read_bvecs(&path).unwrap();
+        assert_eq!(back, set);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn ivecs_round_trip() {
+        let path = tmpfile("ivecs");
+        let rows = vec![vec![1u32, 2, 3], vec![7, 8, 9]];
+        write_ivecs(&path, &rows).unwrap();
+        assert_eq!(read_ivecs(&path).unwrap(), rows);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn fbin_round_trip() {
+        let path = tmpfile("fbin");
+        let set = uniform(13, 5, 2);
+        write_fbin(&path, &set).unwrap();
+        let back = read_fbin(&path).unwrap();
+        assert_eq!(back, set);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn u8bin_round_trip() {
+        let path = tmpfile("u8bin");
+        let set = PointSet::new(vec![vec![0u8, 128, 255], vec![9, 9, 9]]);
+        write_u8bin(&path, &set).unwrap();
+        let back = read_u8bin(&path).unwrap();
+        assert_eq!(back, set);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_fvecs_reads_empty_set() {
+        let path = tmpfile("empty");
+        std::fs::write(&path, []).unwrap();
+        let set = read_fvecs(&path).unwrap();
+        assert!(set.is_empty());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn truncated_fvecs_errors() {
+        let path = tmpfile("trunc");
+        // dim = 4 but only 2 floats present
+        let mut bytes = 4u32.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&1.0f32.to_le_bytes());
+        bytes.extend_from_slice(&2.0f32.to_le_bytes());
+        std::fs::write(&path, bytes).unwrap();
+        assert!(read_fvecs(&path).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,63 @@
+//! Total ordering for `f32` distances.
+//!
+//! Distances are non-negative reals, but `f32` is not `Ord`. [`OrdF32`]
+//! imposes the IEEE total order via `total_cmp`, which all heaps, ground
+//! truth selection, and neighbor lists in this workspace rely on. Ties are
+//! broken by the caller (conventionally by point id) to keep results
+//! deterministic.
+
+use std::cmp::Ordering;
+
+/// An `f32` wrapper with total ordering (`f32::total_cmp`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OrdF32(pub f32);
+
+impl Eq for OrdF32 {}
+
+impl PartialOrd for OrdF32 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF32 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f32> for OrdF32 {
+    fn from(v: f32) -> Self {
+        OrdF32(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_ordinary_values() {
+        assert!(OrdF32(1.0) < OrdF32(2.0));
+        assert!(OrdF32(-1.0) < OrdF32(0.0));
+        assert_eq!(OrdF32(3.0), OrdF32(3.0));
+    }
+
+    #[test]
+    fn handles_special_values_totally() {
+        assert!(OrdF32(f32::NEG_INFINITY) < OrdF32(0.0));
+        assert!(OrdF32(f32::INFINITY) > OrdF32(1e30));
+        // total_cmp puts NaN above +inf; what matters is that comparison
+        // never panics and is consistent.
+        assert!(OrdF32(f32::NAN) > OrdF32(f32::INFINITY));
+    }
+
+    #[test]
+    fn sortable_in_collections() {
+        let mut v = vec![OrdF32(2.0), OrdF32(0.5), OrdF32(1.0)];
+        v.sort();
+        assert_eq!(v, vec![OrdF32(0.5), OrdF32(1.0), OrdF32(2.0)]);
+        let max = v.iter().max().unwrap();
+        assert_eq!(max.0, 2.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Scaled synthetic stand-ins for the paper's eight evaluation datasets
+//! (Table 1).
+//!
+//! | Dataset        | Dim    | Entries (paper) | Metric  | Stand-in here            |
+//! |----------------|--------|-----------------|---------|--------------------------|
+//! | Fashion-MNIST  | 784    | 60,000          | L2      | Gaussian mixture f32     |
+//! | GloVe 25       | 25     | 1,183,514       | Cosine  | normalized mixture f32   |
+//! | Kosarak        | 27,983 | 74,962          | Jaccard | power-law sparse sets    |
+//! | MNIST          | 784    | 60,000          | L2      | Gaussian mixture f32     |
+//! | NYTimes        | 256    | 290,000         | Cosine  | normalized mixture f32   |
+//! | Last.fm        | 65     | 292,385         | Cosine  | normalized mixture f32   |
+//! | Yandex DEEP 1B | 96     | 1,000,000,000   | L2      | Gaussian mixture f32     |
+//! | BigANN         | 128    | 1,000,000,000   | L2      | quantized mixture **u8** |
+//!
+//! Entry counts are scaled by the caller (`n`); dimensionalities and element
+//! types match the originals so message sizes, distance-evaluation costs,
+//! and the f32-vs-u8 asymmetry of Figure 4b are preserved.
+
+use crate::point::SparseVec;
+use crate::set::PointSet;
+use crate::synth::{
+    gaussian_mixture, normalize, quantize_u8, sparse_powerlaw, MixtureParams, SparseParams,
+};
+
+/// Metadata describing one Table 1 row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetInfo {
+    /// Dataset name as printed in Table 1.
+    pub name: &'static str,
+    /// Vector dimensionality (sparse: universe size).
+    pub dim: usize,
+    /// Entry count in the paper's original dataset.
+    pub paper_entries: u64,
+    /// Similarity metric label from Table 1.
+    pub metric: &'static str,
+    /// Element type used on the wire ("f32", "u8", or "u32 ids").
+    pub elem: &'static str,
+}
+
+/// The Table 1 inventory.
+pub const TABLE1: [DatasetInfo; 8] = [
+    DatasetInfo {
+        name: "Fashion-MNIST",
+        dim: 784,
+        paper_entries: 60_000,
+        metric: "L2",
+        elem: "f32",
+    },
+    DatasetInfo {
+        name: "GloVe 25",
+        dim: 25,
+        paper_entries: 1_183_514,
+        metric: "Cosine",
+        elem: "f32",
+    },
+    DatasetInfo {
+        name: "Kosarak",
+        dim: 27_983,
+        paper_entries: 74_962,
+        metric: "Jaccard",
+        elem: "u32 ids",
+    },
+    DatasetInfo {
+        name: "MNIST",
+        dim: 784,
+        paper_entries: 60_000,
+        metric: "L2",
+        elem: "f32",
+    },
+    DatasetInfo {
+        name: "NYTimes",
+        dim: 256,
+        paper_entries: 290_000,
+        metric: "Cosine",
+        elem: "f32",
+    },
+    DatasetInfo {
+        name: "Last.fm",
+        dim: 65,
+        paper_entries: 292_385,
+        metric: "Cosine",
+        elem: "f32",
+    },
+    DatasetInfo {
+        name: "Yandex DEEP 1B",
+        dim: 96,
+        paper_entries: 1_000_000_000,
+        metric: "L2",
+        elem: "f32",
+    },
+    DatasetInfo {
+        name: "BigANN",
+        dim: 128,
+        paper_entries: 1_000_000_000,
+        metric: "L2",
+        elem: "u8",
+    },
+];
+
+fn mixture(n: usize, dim: usize, seed: u64) -> PointSet<Vec<f32>> {
+    gaussian_mixture(MixtureParams::embedding_like(n, dim), seed)
+}
+
+fn normalized_mixture(n: usize, dim: usize, seed: u64) -> PointSet<Vec<f32>> {
+    let mut s = mixture(n, dim, seed);
+    normalize(&mut s);
+    s
+}
+
+/// Fashion-MNIST stand-in: 784-dim f32, L2.
+pub fn fashion_mnist_like(n: usize, seed: u64) -> PointSet<Vec<f32>> {
+    mixture(n, 784, seed ^ 0xFA51)
+}
+
+/// MNIST stand-in: 784-dim f32, L2.
+pub fn mnist_like(n: usize, seed: u64) -> PointSet<Vec<f32>> {
+    mixture(n, 784, seed ^ 0x3A15)
+}
+
+/// GloVe-25 stand-in: 25-dim unit f32, cosine.
+pub fn glove25_like(n: usize, seed: u64) -> PointSet<Vec<f32>> {
+    normalized_mixture(n, 25, seed ^ 0x610E)
+}
+
+/// NYTimes stand-in: 256-dim unit f32, cosine.
+pub fn nytimes_like(n: usize, seed: u64) -> PointSet<Vec<f32>> {
+    normalized_mixture(n, 256, seed ^ 0x417)
+}
+
+/// Last.fm stand-in: 65-dim unit f32, cosine.
+pub fn lastfm_like(n: usize, seed: u64) -> PointSet<Vec<f32>> {
+    normalized_mixture(n, 65, seed ^ 0x1A57)
+}
+
+/// Kosarak stand-in: power-law sparse sets over a 27,983-item universe,
+/// Jaccard.
+pub fn kosarak_like(n: usize, seed: u64) -> PointSet<SparseVec> {
+    sparse_powerlaw(SparseParams::kosarak_like(n), seed ^ 0x0705)
+}
+
+/// Yandex DEEP-1B stand-in: 96-dim f32, L2.
+pub fn deep1b_like(n: usize, seed: u64) -> PointSet<Vec<f32>> {
+    mixture(n, 96, seed ^ 0xDEE9)
+}
+
+/// BigANN stand-in: 128-dim **u8**, L2 (byte vectors halve the Type 2/2+
+/// message volume relative to DEEP, reproducing Figure 4b's asymmetry).
+pub fn bigann_like(n: usize, seed: u64) -> PointSet<Vec<u8>> {
+    quantize_u8(&mixture(n, 128, seed ^ 0xB16A))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_rows() {
+        assert_eq!(TABLE1.len(), 8);
+        assert_eq!(TABLE1[0].name, "Fashion-MNIST");
+        assert_eq!(TABLE1[2].metric, "Jaccard");
+        assert_eq!(TABLE1[6].paper_entries, 1_000_000_000);
+        assert_eq!(TABLE1[7].elem, "u8");
+    }
+
+    #[test]
+    fn presets_have_paper_dimensions() {
+        assert_eq!(fashion_mnist_like(10, 1).dim(), 784);
+        assert_eq!(glove25_like(10, 1).dim(), 25);
+        assert_eq!(nytimes_like(10, 1).dim(), 256);
+        assert_eq!(lastfm_like(10, 1).dim(), 65);
+        assert_eq!(deep1b_like(10, 1).dim(), 96);
+        assert_eq!(bigann_like(10, 1).dim(), 128);
+    }
+
+    #[test]
+    fn cosine_presets_are_normalized() {
+        for (_, p) in glove25_like(20, 2).iter() {
+            let n = crate::point::dense::norm(p);
+            assert!((n - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bigann_is_bytes_deep_is_floats() {
+        // The storage formula N*dim*E: u8 vs f32 is a 4x factor at equal dim.
+        let deep = deep1b_like(100, 3);
+        let big = bigann_like(100, 3);
+        assert_eq!(deep.storage_bytes(), 100 * 96 * 4);
+        assert_eq!(big.storage_bytes(), 100 * 128);
+    }
+
+    #[test]
+    fn kosarak_universe_matches_table1() {
+        let s = kosarak_like(50, 4);
+        for (_, v) in s.iter() {
+            assert!(v.ids().iter().all(|&i| i < 27_983));
+        }
+    }
+
+    #[test]
+    fn presets_are_seed_deterministic() {
+        assert_eq!(deep1b_like(32, 9), deep1b_like(32, 9));
+        assert_ne!(deep1b_like(32, 9), deep1b_like(32, 10));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests of the metric axioms NN-Descent relies on (Section 2):
+//! non-negativity, identity, and symmetry for every metric; the triangle
+//! inequality for the true metrics (L2, L1, Chebyshev, Hamming, Jaccard).
+
+use dataset::metric::{Chebyshev, Cosine, Hamming, Jaccard, Metric, SquaredL2, L1, L2};
+use dataset::SparseVec;
+use proptest::prelude::*;
+
+fn vec_f32(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, len..=len)
+}
+
+fn vec_u8(len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), len..=len)
+}
+
+fn sparse() -> impl Strategy<Value = SparseVec> {
+    prop::collection::vec(0u32..200, 0..20).prop_map(SparseVec::new)
+}
+
+const TRI_EPS: f32 = 1e-3;
+
+macro_rules! axioms_f32 {
+    ($name:ident, $metric:expr, $triangle:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+            #[test]
+            fn $name(a in vec_f32(8), b in vec_f32(8), c in vec_f32(8)) {
+                let m = $metric;
+                let dab = m.distance(&a, &b);
+                let dba = m.distance(&b, &a);
+                prop_assert!(dab >= 0.0, "non-negative");
+                prop_assert!((dab - dba).abs() <= f32::EPSILON * dab.abs().max(1.0), "symmetric");
+                prop_assert!(m.distance(&a, &a).abs() < 1e-4, "identity");
+                if $triangle {
+                    let dac = m.distance(&a, &c);
+                    let dcb = m.distance(&c, &b);
+                    prop_assert!(
+                        dab <= dac + dcb + TRI_EPS * (dab + dac + dcb + 1.0),
+                        "triangle: d(a,b)={} > d(a,c)+d(c,b)={}",
+                        dab,
+                        dac + dcb
+                    );
+                }
+            }
+        }
+    };
+}
+
+axioms_f32!(l2_axioms, L2, true);
+axioms_f32!(l1_axioms, L1, true);
+axioms_f32!(chebyshev_axioms, Chebyshev, true);
+axioms_f32!(sq_l2_axioms_no_triangle, SquaredL2, false);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cosine_axioms(a in vec_f32(8), b in vec_f32(8)) {
+        let dab = Cosine.distance(&a, &b);
+        prop_assert!((-1e-6..=2.0 + 1e-6).contains(&dab), "range");
+        prop_assert!((dab - Cosine.distance(&b, &a)).abs() < 1e-6, "symmetric");
+        prop_assert!(Cosine.distance(&a, &a).abs() < 1e-4, "identity");
+    }
+
+    #[test]
+    fn hamming_axioms(a in vec_u8(12), b in vec_u8(12), c in vec_u8(12)) {
+        let m = Hamming;
+        let dab = m.distance(&a, &b);
+        prop_assert!((0.0..=12.0).contains(&dab));
+        prop_assert_eq!(dab, m.distance(&b, &a));
+        prop_assert_eq!(m.distance(&a, &a), 0.0);
+        prop_assert!(dab <= m.distance(&a, &c) + m.distance(&c, &b));
+    }
+
+    #[test]
+    fn jaccard_axioms(a in sparse(), b in sparse(), c in sparse()) {
+        let m = Jaccard;
+        let dab = m.distance(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&dab));
+        prop_assert_eq!(dab, m.distance(&b, &a));
+        prop_assert_eq!(m.distance(&a, &a), 0.0);
+        // Jaccard distance is a true metric (Steinhaus transform).
+        prop_assert!(
+            dab <= m.distance(&a, &c) + m.distance(&c, &b) + 1e-6,
+            "jaccard triangle violated"
+        );
+    }
+
+    #[test]
+    fn l2_u8_matches_f32_promotion(a in vec_u8(16), b in vec_u8(16)) {
+        let du = Metric::<Vec<u8>>::distance(&L2, &a, &b);
+        let af: Vec<f32> = a.iter().map(|&x| f32::from(x)).collect();
+        let bf: Vec<f32> = b.iter().map(|&x| f32::from(x)).collect();
+        let df = Metric::<Vec<f32>>::distance(&L2, &af, &bf);
+        prop_assert!((du - df).abs() <= df.abs() * 1e-5 + 1e-3);
+    }
+
+    #[test]
+    fn sq_l2_is_square_of_l2(a in vec_f32(10), b in vec_f32(10)) {
+        let d = Metric::<Vec<f32>>::distance(&L2, &a, &b);
+        let sq = SquaredL2.distance(&a, &b);
+        prop_assert!((sq - d * d).abs() <= sq.abs() * 1e-4 + 1e-3);
+    }
+}

@@ -1,0 +1,203 @@
+//! HNSW index persistence into a [`metall::Store`] — the counterpart of
+//! Hnswlib's `saveIndex`/`loadIndex`, so the Table 2 survey's expensive
+//! builds can be constructed once and re-queried.
+//!
+//! Layout under a prefix: `meta` = `[n, max_layer, entry, m, efc]`, plus
+//! per-layer CSR arrays (`layer<l>/offsets`, `layer<l>/ids`) over all
+//! nodes (nodes absent from a layer have empty rows).
+
+use crate::index::{HnswIndex, HnswParams};
+use dataset::metric::Metric;
+use dataset::point::Point;
+use dataset::set::{PointId, PointSet};
+use metall::{Result as StoreResult, Store, StoreError};
+
+/// Snapshot of an index's structure, detached from its borrowed base set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HnswSnapshot {
+    /// Number of nodes.
+    pub n: usize,
+    /// Highest populated layer.
+    pub max_layer: usize,
+    /// Entry point node.
+    pub entry: PointId,
+    /// Construction `m`.
+    pub m: usize,
+    /// Construction `ef_construction`.
+    pub ef_construction: usize,
+    /// Top layer of each node (a node exists on layers `0..=levels[node]`
+    /// even where its link list is empty).
+    pub levels: Vec<u32>,
+    /// `layers[l][node]` = neighbor ids of `node` on layer `l`.
+    pub layers: Vec<Vec<Vec<PointId>>>,
+}
+
+impl HnswSnapshot {
+    /// Persist under `prefix`.
+    pub fn save(&self, store: &mut Store, prefix: &str) -> StoreResult<()> {
+        store.put(
+            &format!("{prefix}/meta"),
+            &vec![
+                self.n as u64,
+                self.max_layer as u64,
+                u64::from(self.entry),
+                self.m as u64,
+                self.ef_construction as u64,
+            ],
+        )?;
+        store.put(&format!("{prefix}/levels"), &self.levels)?;
+        for (l, layer) in self.layers.iter().enumerate() {
+            let mut offsets: Vec<u64> = Vec::with_capacity(self.n + 1);
+            let mut ids: Vec<u32> = Vec::new();
+            offsets.push(0);
+            for row in layer {
+                ids.extend_from_slice(row);
+                offsets.push(ids.len() as u64);
+            }
+            store.put(&format!("{prefix}/layer{l}/offsets"), &offsets)?;
+            store.put(&format!("{prefix}/layer{l}/ids"), &ids)?;
+        }
+        Ok(())
+    }
+
+    /// Load a snapshot persisted by [`HnswSnapshot::save`].
+    pub fn load(store: &Store, prefix: &str) -> StoreResult<Self> {
+        let meta: Vec<u64> = store.get(&format!("{prefix}/meta"))?;
+        let [n, max_layer, entry, m, efc] = meta[..] else {
+            return Err(StoreError::Decode("bad hnsw meta".into()));
+        };
+        let n = n as usize;
+        let levels: Vec<u32> = store.get(&format!("{prefix}/levels"))?;
+        if levels.len() != n {
+            return Err(StoreError::Decode("levels length mismatch".into()));
+        }
+        let mut layers = Vec::with_capacity(max_layer as usize + 1);
+        for l in 0..=max_layer as usize {
+            let offsets: Vec<u64> = store.get(&format!("{prefix}/layer{l}/offsets"))?;
+            let ids: Vec<u32> = store.get(&format!("{prefix}/layer{l}/ids"))?;
+            if offsets.len() != n + 1 || offsets.last().copied() != Some(ids.len() as u64) {
+                return Err(StoreError::Decode(format!("layer {l} arrays inconsistent")));
+            }
+            let layer: Vec<Vec<PointId>> = offsets
+                .windows(2)
+                .map(|w| ids[w[0] as usize..w[1] as usize].to_vec())
+                .collect();
+            layers.push(layer);
+        }
+        Ok(HnswSnapshot {
+            n,
+            max_layer: max_layer as usize,
+            entry: entry as PointId,
+            m: m as usize,
+            ef_construction: efc as usize,
+            levels,
+            layers,
+        })
+    }
+}
+
+impl<'a, P: Point, M: Metric<P>> HnswIndex<'a, P, M> {
+    /// Capture the index structure for persistence.
+    pub fn snapshot(&self) -> HnswSnapshot {
+        let mut layers: Vec<Vec<Vec<PointId>>> =
+            vec![vec![Vec::new(); self.len()]; self.max_layer() + 1];
+        for node in 0..self.len() as PointId {
+            for (l, links) in self.node_layers(node).iter().enumerate() {
+                layers[l][node as usize] = links.clone();
+            }
+        }
+        HnswSnapshot {
+            n: self.len(),
+            max_layer: self.max_layer(),
+            entry: self.entry_point(),
+            m: self.params().m,
+            ef_construction: self.params().ef_construction,
+            levels: (0..self.len() as PointId)
+                .map(|node| (self.node_layers(node).len() - 1) as u32)
+                .collect(),
+            layers,
+        }
+    }
+
+    /// Reattach a snapshot to its base set, producing a queryable index.
+    /// The base set must be the one the snapshot was built over.
+    pub fn from_snapshot(base: &'a PointSet<P>, metric: M, snap: &HnswSnapshot) -> Self {
+        assert_eq!(base.len(), snap.n, "snapshot and base set disagree on N");
+        HnswIndex::restore(
+            base,
+            metric,
+            HnswParams::new(snap.m, snap.ef_construction),
+            snap.entry,
+            snap.max_layer,
+            (0..snap.n as PointId)
+                .map(|node| {
+                    let top = snap.levels[node as usize] as usize;
+                    (0..=top)
+                        .map(|l| snap.layers[l][node as usize].clone())
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::metric::L2;
+    use dataset::synth::uniform;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "hnsw-persist-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn snapshot_save_load_round_trip() {
+        let dir = tmpdir("rt");
+        let base = uniform(300, 6, 1);
+        let idx = HnswIndex::build(&base, L2, HnswParams::new(8, 40).seed(2));
+        let snap = idx.snapshot();
+        let mut store = Store::create(&dir).unwrap();
+        snap.save(&mut store, "hnsw").unwrap();
+        let back = HnswSnapshot::load(&store, "hnsw").unwrap();
+        assert_eq!(back, snap);
+        Store::destroy(&dir).unwrap();
+    }
+
+    #[test]
+    fn restored_index_answers_identically() {
+        let dir = tmpdir("same");
+        let base = uniform(400, 5, 3);
+        let idx = HnswIndex::build(&base, L2, HnswParams::new(6, 30).seed(4));
+        let mut store = Store::create(&dir).unwrap();
+        idx.snapshot().save(&mut store, "h").unwrap();
+        drop(store);
+
+        let store = Store::open(&dir).unwrap();
+        let snap = HnswSnapshot::load(&store, "h").unwrap();
+        let restored = HnswIndex::from_snapshot(&base, L2, &snap);
+        for probe in [0u32, 123, 399] {
+            let a = idx.search(base.point(probe), 5, 40);
+            let b = restored.search(base.point(probe), 5, 40);
+            assert_eq!(a, b, "probe {probe} diverged after restore");
+        }
+        Store::destroy(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot and base set disagree")]
+    fn wrong_base_rejected() {
+        let base = uniform(50, 3, 5);
+        let idx = HnswIndex::build(&base, L2, HnswParams::new(4, 20));
+        let snap = idx.snapshot();
+        let other = uniform(40, 3, 6);
+        let _ = HnswIndex::from_snapshot(&other, L2, &snap);
+    }
+}

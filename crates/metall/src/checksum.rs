@@ -1,0 +1,46 @@
+//! FNV-1a 64-bit checksum used to detect blob corruption and torn writes.
+//!
+//! Metall proper relies on `msync` + filesystem guarantees; this store keeps
+//! an explicit checksum per object in the manifest instead, which is the
+//! portable equivalent for a copy-based datastore.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over `data`.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_offset_basis() {
+        assert_eq!(fnv1a(&[]), FNV_OFFSET);
+    }
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a("a") per the reference implementation.
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn distinguishes_near_collisions() {
+        assert_ne!(fnv1a(b"hello"), fnv1a(b"hellp"));
+        assert_ne!(fnv1a(&[0, 0]), fnv1a(&[0]));
+    }
+
+    #[test]
+    fn deterministic() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(fnv1a(&data), fnv1a(&data));
+    }
+}

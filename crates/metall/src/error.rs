@@ -1,0 +1,51 @@
+//! Error type for store operations.
+
+use std::fmt;
+use std::io;
+
+/// Errors returned by [`crate::Store`] operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// The requested object does not exist in the store.
+    Missing(String),
+    /// An object's bytes do not match its manifest checksum, or the manifest
+    /// itself is malformed.
+    Corrupt(String),
+    /// Attempted to create a store over an existing non-empty directory, or
+    /// open a directory that is not a store.
+    InvalidStore(String),
+    /// A `Persist` implementation rejected the stored bytes.
+    Decode(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::Missing(name) => write!(f, "object not found: {name}"),
+            StoreError::Corrupt(what) => write!(f, "store corruption detected: {what}"),
+            StoreError::InvalidStore(path) => write!(f, "not a valid store: {path}"),
+            StoreError::Decode(what) => write!(f, "failed to decode object: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;

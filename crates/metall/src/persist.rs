@@ -1,0 +1,138 @@
+//! The [`Persist`] trait: types that can be stored in and loaded from a
+//! [`crate::Store`].
+//!
+//! Metall exposes a C++ allocator so STL containers live directly in the
+//! mapped file. Rust has no stable allocator-polymorphic std containers, so
+//! the equivalent ergonomic contract here is explicit binary
+//! serialization: a type describes how to turn itself into bytes and back.
+//! Implementations for the common primitive buffers used by the k-NNG
+//! pipeline (`Vec<u8>`, `Vec<u32>`, `Vec<f32>`, `Vec<f64>`, `String`) are
+//! provided; higher-level crates implement `Persist` for their own graph and
+//! matrix types.
+
+use crate::error::{Result, StoreError};
+
+/// A type that can round-trip through a byte buffer for persistent storage.
+pub trait Persist: Sized {
+    /// Serialize into bytes. Must be deterministic.
+    fn persist_to_bytes(&self) -> Vec<u8>;
+    /// Reconstruct from bytes produced by [`Persist::persist_to_bytes`].
+    fn persist_from_bytes(bytes: &[u8]) -> Result<Self>;
+}
+
+impl Persist for Vec<u8> {
+    fn persist_to_bytes(&self) -> Vec<u8> {
+        self.clone()
+    }
+    fn persist_from_bytes(bytes: &[u8]) -> Result<Self> {
+        Ok(bytes.to_vec())
+    }
+}
+
+macro_rules! impl_persist_le_vec {
+    ($elem:ty, $sz:expr) => {
+        impl Persist for Vec<$elem> {
+            fn persist_to_bytes(&self) -> Vec<u8> {
+                let mut out = Vec::with_capacity(self.len() * $sz);
+                for v in self {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                out
+            }
+            fn persist_from_bytes(bytes: &[u8]) -> Result<Self> {
+                if bytes.len() % $sz != 0 {
+                    return Err(StoreError::Decode(format!(
+                        "byte length {} not a multiple of element size {}",
+                        bytes.len(),
+                        $sz
+                    )));
+                }
+                Ok(bytes
+                    .chunks_exact($sz)
+                    .map(|c| <$elem>::from_le_bytes(c.try_into().unwrap()))
+                    .collect())
+            }
+        }
+    };
+}
+
+impl_persist_le_vec!(u16, 2);
+impl_persist_le_vec!(u32, 4);
+impl_persist_le_vec!(u64, 8);
+impl_persist_le_vec!(i32, 4);
+impl_persist_le_vec!(i64, 8);
+impl_persist_le_vec!(f32, 4);
+impl_persist_le_vec!(f64, 8);
+
+impl Persist for String {
+    fn persist_to_bytes(&self) -> Vec<u8> {
+        self.as_bytes().to_vec()
+    }
+    fn persist_from_bytes(bytes: &[u8]) -> Result<Self> {
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| StoreError::Decode(format!("invalid utf-8: {e}")))
+    }
+}
+
+impl Persist for u64 {
+    fn persist_to_bytes(&self) -> Vec<u8> {
+        self.to_le_bytes().to_vec()
+    }
+    fn persist_from_bytes(bytes: &[u8]) -> Result<Self> {
+        let arr: [u8; 8] = bytes
+            .try_into()
+            .map_err(|_| StoreError::Decode(format!("expected 8 bytes, got {}", bytes.len())))?;
+        Ok(u64::from_le_bytes(arr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Persist + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.persist_to_bytes();
+        let back = T::persist_from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn vec_round_trips() {
+        round_trip(vec![1u8, 2, 3]);
+        round_trip(vec![1u32, u32::MAX]);
+        round_trip(vec![1.5f32, -2.25]);
+        round_trip(vec![1u64, u64::MAX]);
+        round_trip(Vec::<f64>::new());
+    }
+
+    #[test]
+    fn string_round_trips() {
+        round_trip(String::from("k-NNG construction"));
+        round_trip(String::new());
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        round_trip(42u64);
+    }
+
+    #[test]
+    fn misaligned_bytes_rejected() {
+        assert!(matches!(
+            <Vec<u32>>::persist_from_bytes(&[1, 2, 3]),
+            Err(StoreError::Decode(_))
+        ));
+        assert!(matches!(
+            u64::persist_from_bytes(&[1, 2]),
+            Err(StoreError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        assert!(matches!(
+            String::persist_from_bytes(&[0xFF, 0xFE]),
+            Err(StoreError::Decode(_))
+        ));
+    }
+}

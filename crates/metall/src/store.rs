@@ -1,0 +1,440 @@
+//! A crash-consistent named-object datastore.
+//!
+//! On-disk layout:
+//!
+//! ```text
+//! <root>/
+//!   MANIFEST                 # committed index: one line per live object
+//!   objects/<name>.<gen>.blob
+//! ```
+//!
+//! Every [`Store::put`] writes a *new generation* of the object's blob,
+//! commits an updated manifest via write-to-temp + atomic rename, and only
+//! then deletes the previous generation. A crash at any point leaves the
+//! store openable at either the old or the new committed state — the same
+//! guarantee Metall's snapshot-based workflow provides for the paper's
+//! two-executable pipeline (construct k-NNG, persist, reopen, optimize).
+
+use crate::checksum::fnv1a;
+use crate::error::{Result, StoreError};
+use crate::persist::Persist;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const MANIFEST: &str = "MANIFEST";
+const OBJECTS_DIR: &str = "objects";
+const MAGIC: &str = "metall-store v1";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    gen: u64,
+    len: u64,
+    checksum: u64,
+}
+
+/// A persistent datastore rooted at a directory.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    index: BTreeMap<String, Entry>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b'/'))
+        && !name.contains("..")
+        && !name.starts_with('/')
+        && !name.ends_with('/')
+}
+
+impl Store {
+    /// Create a new, empty store at `root`. Fails if a store already exists
+    /// there. Parent directories are created as needed.
+    pub fn create(root: impl AsRef<Path>) -> Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        if root.join(MANIFEST).exists() {
+            return Err(StoreError::InvalidStore(format!(
+                "store already exists at {}",
+                root.display()
+            )));
+        }
+        fs::create_dir_all(root.join(OBJECTS_DIR))?;
+        let store = Store {
+            root,
+            index: BTreeMap::new(),
+        };
+        store.commit_manifest()?;
+        Ok(store)
+    }
+
+    /// Open an existing store, verifying the manifest and the presence of
+    /// every referenced blob.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        let manifest_path = root.join(MANIFEST);
+        if !manifest_path.exists() {
+            return Err(StoreError::InvalidStore(root.display().to_string()));
+        }
+        let text = fs::read_to_string(&manifest_path)?;
+        let mut lines = text.lines();
+        if lines.next() != Some(MAGIC) {
+            return Err(StoreError::Corrupt("bad manifest magic".into()));
+        }
+        let mut index = BTreeMap::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(4, ' ');
+            let parse = || StoreError::Corrupt(format!("bad manifest line: {line:?}"));
+            let gen: u64 = parts
+                .next()
+                .ok_or_else(parse)?
+                .parse()
+                .map_err(|_| parse())?;
+            let checksum =
+                u64::from_str_radix(parts.next().ok_or_else(parse)?, 16).map_err(|_| parse())?;
+            let len: u64 = parts
+                .next()
+                .ok_or_else(parse)?
+                .parse()
+                .map_err(|_| parse())?;
+            let name = parts.next().ok_or_else(parse)?.to_owned();
+            index.insert(name, Entry { gen, len, checksum });
+        }
+        let store = Store { root, index };
+        for (name, entry) in &store.index {
+            if !store.blob_path(name, entry.gen).exists() {
+                return Err(StoreError::Corrupt(format!("missing blob for {name}")));
+            }
+        }
+        Ok(store)
+    }
+
+    /// Open a store if one exists at `root`, otherwise create one.
+    pub fn open_or_create(root: impl AsRef<Path>) -> Result<Self> {
+        if root.as_ref().join(MANIFEST).exists() {
+            Store::open(root)
+        } else {
+            Store::create(root)
+        }
+    }
+
+    /// Remove a store directory entirely. A no-op if it does not exist.
+    pub fn destroy(root: impl AsRef<Path>) -> Result<()> {
+        let root = root.as_ref();
+        if root.exists() {
+            fs::remove_dir_all(root)?;
+        }
+        Ok(())
+    }
+
+    fn blob_path(&self, name: &str, gen: u64) -> PathBuf {
+        let safe = name.replace('/', "__");
+        self.root
+            .join(OBJECTS_DIR)
+            .join(format!("{safe}.{gen}.blob"))
+    }
+
+    fn commit_manifest(&self) -> Result<()> {
+        let tmp = self.root.join(".MANIFEST.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            writeln!(f, "{MAGIC}")?;
+            for (name, e) in &self.index {
+                writeln!(f, "{} {:016x} {} {}", e.gen, e.checksum, e.len, name)?;
+            }
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.root.join(MANIFEST))?;
+        Ok(())
+    }
+
+    /// Store raw bytes under `name`, replacing any previous value.
+    pub fn put_bytes(&mut self, name: &str, bytes: &[u8]) -> Result<()> {
+        if !valid_name(name) {
+            return Err(StoreError::InvalidStore(format!(
+                "invalid object name: {name:?}"
+            )));
+        }
+        let prev = self.index.get(name).copied();
+        let gen = prev.map_or(0, |e| e.gen + 1);
+        let blob = self.blob_path(name, gen);
+        let tmp = blob.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &blob)?;
+        self.index.insert(
+            name.to_owned(),
+            Entry {
+                gen,
+                len: bytes.len() as u64,
+                checksum: fnv1a(bytes),
+            },
+        );
+        self.commit_manifest()?;
+        if let Some(old) = prev {
+            // Best-effort cleanup after the commit point; a leftover blob of
+            // a dead generation is harmless.
+            let _ = fs::remove_file(self.blob_path(name, old.gen));
+        }
+        Ok(())
+    }
+
+    /// Store a [`Persist`] value under `name`.
+    pub fn put<T: Persist>(&mut self, name: &str, value: &T) -> Result<()> {
+        self.put_bytes(name, &value.persist_to_bytes())
+    }
+
+    /// Fetch raw bytes stored under `name`, verifying the checksum.
+    pub fn get_bytes(&self, name: &str) -> Result<Vec<u8>> {
+        let entry = self
+            .index
+            .get(name)
+            .ok_or_else(|| StoreError::Missing(name.to_owned()))?;
+        let bytes = fs::read(self.blob_path(name, entry.gen))?;
+        if bytes.len() as u64 != entry.len || fnv1a(&bytes) != entry.checksum {
+            return Err(StoreError::Corrupt(format!("checksum mismatch for {name}")));
+        }
+        Ok(bytes)
+    }
+
+    /// Fetch and decode a [`Persist`] value.
+    pub fn get<T: Persist>(&self, name: &str) -> Result<T> {
+        T::persist_from_bytes(&self.get_bytes(name)?)
+    }
+
+    /// Whether `name` exists in the store.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// Delete an object. Returns whether it existed.
+    pub fn remove(&mut self, name: &str) -> Result<bool> {
+        match self.index.remove(name) {
+            None => Ok(false),
+            Some(entry) => {
+                self.commit_manifest()?;
+                let _ = fs::remove_file(self.blob_path(name, entry.gen));
+                Ok(true)
+            }
+        }
+    }
+
+    /// Names of all stored objects, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.index.keys().cloned().collect()
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Total committed payload bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.index.values().map(|e| e.len).sum()
+    }
+
+    /// Copy the committed state of this store to a new directory — the
+    /// analogue of Metall's snapshot feature.
+    pub fn snapshot(&self, dest: impl AsRef<Path>) -> Result<Store> {
+        let mut out = Store::create(dest)?;
+        for name in self.names() {
+            let bytes = self.get_bytes(&name)?;
+            out.put_bytes(&name, &bytes)?;
+        }
+        Ok(out)
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "metall-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn create_put_get_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let mut s = Store::create(&dir).unwrap();
+        s.put("graph", &vec![1u32, 2, 3]).unwrap();
+        s.put("notes", &String::from("k=10")).unwrap();
+        let g: Vec<u32> = s.get("graph").unwrap();
+        assert_eq!(g, vec![1, 2, 3]);
+        let n: String = s.get("notes").unwrap();
+        assert_eq!(n, "k=10");
+        Store::destroy(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_sees_committed_state() {
+        let dir = tmpdir("reopen");
+        {
+            let mut s = Store::create(&dir).unwrap();
+            s.put("v", &vec![9u64, 8]).unwrap();
+        }
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.get::<Vec<u64>>("v").unwrap(), vec![9, 8]);
+        assert_eq!(s.names(), vec!["v".to_string()]);
+        Store::destroy(&dir).unwrap();
+    }
+
+    #[test]
+    fn overwrite_bumps_generation_and_keeps_latest() {
+        let dir = tmpdir("overwrite");
+        let mut s = Store::create(&dir).unwrap();
+        s.put("x", &vec![1u32]).unwrap();
+        s.put("x", &vec![2u32, 3]).unwrap();
+        assert_eq!(s.get::<Vec<u32>>("x").unwrap(), vec![2, 3]);
+        drop(s);
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.get::<Vec<u32>>("x").unwrap(), vec![2, 3]);
+        Store::destroy(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_object_errors() {
+        let dir = tmpdir("missing");
+        let s = Store::create(&dir).unwrap();
+        assert!(matches!(s.get_bytes("nope"), Err(StoreError::Missing(_))));
+        Store::destroy(&dir).unwrap();
+    }
+
+    #[test]
+    fn remove_deletes_object() {
+        let dir = tmpdir("remove");
+        let mut s = Store::create(&dir).unwrap();
+        s.put("a", &vec![1u8]).unwrap();
+        assert!(s.remove("a").unwrap());
+        assert!(!s.remove("a").unwrap());
+        assert!(!s.contains("a"));
+        drop(s);
+        let s = Store::open(&dir).unwrap();
+        assert!(!s.contains("a"));
+        Store::destroy(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = tmpdir("corrupt");
+        let mut s = Store::create(&dir).unwrap();
+        s.put("data", &vec![1u8, 2, 3, 4]).unwrap();
+        // Flip bytes in the committed blob behind the store's back.
+        let blob = s.blob_path("data", 0);
+        fs::write(&blob, [9u8, 9, 9, 9]).unwrap();
+        assert!(matches!(s.get_bytes("data"), Err(StoreError::Corrupt(_))));
+        Store::destroy(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_missing_dir_is_invalid() {
+        let dir = tmpdir("nodir");
+        assert!(matches!(
+            Store::open(&dir),
+            Err(StoreError::InvalidStore(_))
+        ));
+    }
+
+    #[test]
+    fn create_over_existing_store_fails() {
+        let dir = tmpdir("exists");
+        let _s = Store::create(&dir).unwrap();
+        assert!(matches!(
+            Store::create(&dir),
+            Err(StoreError::InvalidStore(_))
+        ));
+        Store::destroy(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let dir = tmpdir("names");
+        let mut s = Store::create(&dir).unwrap();
+        for bad in ["", "../etc", "/abs", "sp ace", "a/../b", "trail/"] {
+            assert!(
+                s.put_bytes(bad, b"x").is_err(),
+                "name {bad:?} must be rejected"
+            );
+        }
+        for good in ["a", "k-nng.bin", "dataset/vectors", "A_1.2-3"] {
+            assert!(
+                s.put_bytes(good, b"x").is_ok(),
+                "name {good:?} must be accepted"
+            );
+        }
+        Store::destroy(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_copies_everything() {
+        let dir = tmpdir("snap-src");
+        let dst = tmpdir("snap-dst");
+        let mut s = Store::create(&dir).unwrap();
+        s.put("a", &vec![1u32, 2]).unwrap();
+        s.put("b", &String::from("hello")).unwrap();
+        let snap = s.snapshot(&dst).unwrap();
+        assert_eq!(snap.get::<Vec<u32>>("a").unwrap(), vec![1, 2]);
+        assert_eq!(snap.get::<String>("b").unwrap(), "hello");
+        // Snapshot is independent: mutate original, snapshot unchanged.
+        s.put("a", &vec![7u32]).unwrap();
+        assert_eq!(snap.get::<Vec<u32>>("a").unwrap(), vec![1, 2]);
+        Store::destroy(&dir).unwrap();
+        Store::destroy(&dst).unwrap();
+    }
+
+    #[test]
+    fn sizes_and_listing() {
+        let dir = tmpdir("sizes");
+        let mut s = Store::create(&dir).unwrap();
+        assert!(s.is_empty());
+        s.put_bytes("one", &[0; 10]).unwrap();
+        s.put_bytes("two", &[0; 32]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total_bytes(), 42);
+        assert_eq!(s.names(), vec!["one".to_string(), "two".to_string()]);
+        Store::destroy(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_manifest_write_is_recoverable() {
+        // Simulate a crash between blob write and manifest commit: the blob
+        // of a *new* generation exists but the manifest still points at the
+        // old one. Open must succeed with the old value.
+        let dir = tmpdir("torn");
+        let mut s = Store::create(&dir).unwrap();
+        s.put("k", &vec![1u32]).unwrap();
+        let next_gen_blob = s.blob_path("k", 1);
+        fs::write(&next_gen_blob, [0xAA; 4]).unwrap(); // uncommitted gen 1
+        drop(s);
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.get::<Vec<u32>>("k").unwrap(), vec![1]);
+        Store::destroy(&dir).unwrap();
+    }
+}

@@ -1,0 +1,98 @@
+//! Model-based property test: a random sequence of store operations must
+//! behave exactly like an in-memory map, and the committed state must
+//! survive a close/reopen after every prefix.
+
+use metall::{Store, StoreError};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(String, Vec<u8>),
+    Remove(String),
+    Get(String),
+    Reopen,
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    // A small key universe so operations collide often.
+    prop::sample::select(vec![
+        "alpha".to_string(),
+        "beta".to_string(),
+        "gamma/delta".to_string(),
+        "k-nng.bin".to_string(),
+        "meta_1".to_string(),
+    ])
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (name_strategy(), prop::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(n, v)| Op::Put(n, v)),
+        name_strategy().prop_map(Op::Remove),
+        name_strategy().prop_map(Op::Get),
+        Just(Op::Reopen),
+    ]
+}
+
+fn fresh_dir(case: u64) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "metall-model-{}-{case}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn store_behaves_like_a_map(ops in prop::collection::vec(op_strategy(), 1..40), case in any::<u64>()) {
+        let dir = fresh_dir(case);
+        let mut store = Store::create(&dir).unwrap();
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Put(name, bytes) => {
+                    store.put_bytes(name, bytes).unwrap();
+                    model.insert(name.clone(), bytes.clone());
+                }
+                Op::Remove(name) => {
+                    let existed = store.remove(name).unwrap();
+                    prop_assert_eq!(existed, model.remove(name).is_some());
+                }
+                Op::Get(name) => match (store.get_bytes(name), model.get(name)) {
+                    (Ok(got), Some(want)) => prop_assert_eq!(&got, want),
+                    (Err(StoreError::Missing(_)), None) => {}
+                    (got, want) => {
+                        return Err(TestCaseError::fail(format!(
+                            "get({name}) diverged: store={got:?} model={want:?}"
+                        )))
+                    }
+                },
+                Op::Reopen => {
+                    drop(store);
+                    store = Store::open(&dir).unwrap();
+                }
+            }
+            // Invariants that must hold after every operation.
+            prop_assert_eq!(store.len(), model.len());
+            let mut names = model.keys().cloned().collect::<Vec<_>>();
+            names.sort();
+            prop_assert_eq!(store.names(), names);
+        }
+
+        // Final durability check: a reopened store equals the model.
+        drop(store);
+        let store = Store::open(&dir).unwrap();
+        for (name, want) in &model {
+            prop_assert_eq!(&store.get_bytes(name).unwrap(), want);
+        }
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,147 @@
+//! Graph diversification — PyNNDescent's occlusion pruning.
+//!
+//! The paper's Section 4.5 implements two of PyNNDescent's graph
+//! optimizations (reverse-edge merge, degree pruning). PyNNDescent applies
+//! a third before searching: *diversify* the neighbor lists by removing
+//! occluded edges. Scanning a vertex's neighbors in ascending distance, an
+//! edge `v -> w` is dropped when some already-kept closer neighbor `u`
+//! satisfies `theta(u, w) < prune_prob * theta(v, w)` — `w` is reachable
+//! through `u` anyway, so the direct edge buys little and costs search
+//! fan-out. This is the relative-neighborhood-graph heuristic that HNSW's
+//! select-neighbors rule also approximates.
+//!
+//! Provided as an extension; composes with [`crate::graph::KnnGraph::
+//! merge_reverse`] exactly like PyNNDescent's pipeline (merge, diversify,
+//! prune).
+
+use crate::graph::{Edge, KnnGraph};
+use dataset::metric::Metric;
+use dataset::point::Point;
+use dataset::set::{PointId, PointSet};
+use rayon::prelude::*;
+
+/// Diversify every neighbor list of `graph`. `keep_ratio` in `(0, 1]`
+/// corresponds to PyNNDescent's `1 / pruning_degree_multiplier` safety: a
+/// minimum fraction of each list that is always kept (closest first) no
+/// matter how aggressive the occlusion test is.
+pub fn diversify<P: Point, M: Metric<P>>(
+    graph: &KnnGraph,
+    base: &PointSet<P>,
+    metric: &M,
+    keep_ratio: f64,
+) -> KnnGraph {
+    assert_eq!(graph.len(), base.len(), "graph and base set disagree on N");
+    assert!((0.0..=1.0).contains(&keep_ratio));
+    let rows: Vec<Vec<Edge>> = (0..graph.len() as PointId)
+        .into_par_iter()
+        .map(|v| {
+            let row = graph.neighbors(v);
+            let min_keep = ((row.len() as f64 * keep_ratio).ceil() as usize).max(1);
+            let mut kept: Vec<Edge> = Vec::with_capacity(row.len());
+            for &(w, d_vw) in row {
+                let occluded = kept.len() >= min_keep
+                    && kept
+                        .iter()
+                        .any(|&(u, _)| metric.distance(base.point(u), base.point(w)) < d_vw);
+                if !occluded {
+                    kept.push((w, d_vw));
+                }
+            }
+            kept
+        })
+        .collect();
+    KnnGraph::from_rows(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nndescent::{build, NnDescentParams};
+    use crate::search::{search_batch, SearchParams};
+    use dataset::ground_truth::brute_force_queries;
+    use dataset::metric::L2;
+    use dataset::recall::mean_recall;
+    use dataset::synth::{gaussian_mixture, split_queries, MixtureParams};
+
+    #[test]
+    fn removes_occluded_collinear_edge() {
+        // Points on a line: 0 -- 1 -- 2. Vertex 0's edge to 2 is occluded
+        // by the closer neighbor 1 (d(1,2)=1 < d(0,2)=2).
+        let base = PointSet::new(vec![vec![0.0f32], vec![1.0], vec![2.0]]);
+        let g = KnnGraph::from_rows(vec![
+            vec![(1, 1.0), (2, 2.0)],
+            vec![(0, 1.0), (2, 1.0)],
+            vec![(1, 1.0), (0, 2.0)],
+        ]);
+        let d = diversify(&g, &base, &L2, 0.0);
+        assert_eq!(d.neighbors(0), &[(1, 1.0)]);
+        // 1's neighbors are both at distance 1 from it and distance 2 from
+        // each other: nothing occluded.
+        assert_eq!(d.neighbors(1).len(), 2);
+    }
+
+    #[test]
+    fn keep_ratio_one_is_identity() {
+        let base = dataset::synth::uniform(100, 4, 3);
+        let (g, _) = build(&base, &L2, NnDescentParams::new(6).seed(1));
+        let d = diversify(&g, &base, &L2, 1.0);
+        assert_eq!(d, g);
+    }
+
+    #[test]
+    fn never_empties_a_nonempty_row() {
+        let base = dataset::synth::uniform(150, 4, 5);
+        let (g, _) = build(&base, &L2, NnDescentParams::new(8).seed(2));
+        let d = diversify(&g.merge_reverse(), &base, &L2, 0.0);
+        for v in 0..d.len() as PointId {
+            assert!(!d.neighbors(v).is_empty(), "row {v} emptied");
+        }
+    }
+
+    #[test]
+    fn reduces_edges_on_clustered_data() {
+        let base = gaussian_mixture(MixtureParams::embedding_like(500, 8), 7);
+        let (g, _) = build(&base, &L2, NnDescentParams::new(10).seed(3));
+        let merged = g.merge_reverse();
+        let d = diversify(&merged, &base, &L2, 0.3);
+        assert!(
+            d.edge_count() < merged.edge_count(),
+            "diversify removed nothing: {} vs {}",
+            d.edge_count(),
+            merged.edge_count()
+        );
+    }
+
+    #[test]
+    fn search_on_diversified_graph_is_cheaper_at_similar_recall() {
+        let set = gaussian_mixture(MixtureParams::embedding_like(1200, 12), 11);
+        let (base, queries) = split_queries(set, 60);
+        let (g, _) = build(&base, &L2, NnDescentParams::new(10).seed(4));
+        let merged = g.merge_reverse();
+        let slim = diversify(&merged, &base, &L2, 0.25);
+        let truth = brute_force_queries(&base, &queries, &L2, 10);
+        let p = SearchParams::new(10).epsilon(0.2).entry_candidates(32);
+        let full_run = search_batch(&merged, &base, &L2, &queries, p);
+        let slim_run = search_batch(&slim, &base, &L2, &queries, p);
+        let r_full = mean_recall(&full_run.ids, &truth);
+        let r_slim = mean_recall(&slim_run.ids, &truth);
+        assert!(
+            r_slim > r_full - 0.05,
+            "diversify cost too much recall: {r_full} -> {r_slim}"
+        );
+        assert!(
+            slim_run.distance_evals < full_run.distance_evals,
+            "diversified graph should reduce search work: {} vs {}",
+            slim_run.distance_evals,
+            full_run.distance_evals
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "graph and base set disagree")]
+    fn size_mismatch_rejected() {
+        let base = dataset::synth::uniform(10, 2, 1);
+        let g = KnnGraph::from_rows(vec![vec![]]);
+        let _ = diversify(&g, &base, &L2, 0.5);
+    }
+}

@@ -1,0 +1,289 @@
+//! The k-nearest-neighbor graph `G` — NN-Descent's output — plus the two
+//! PyNNDescent graph optimizations the paper implements (Section 4.5):
+//! reverse-edge merging and neighborhood-size pruning.
+
+use crate::heap::NeighborHeap;
+use dataset::set::PointId;
+use metall::{Result as StoreResult, Store, StoreError};
+
+/// One directed neighbor edge `(target id, distance)`.
+pub type Edge = (PointId, f32);
+
+/// An adjacency-list k-NN graph. Row `v` holds `v`'s approximate nearest
+/// neighbors sorted ascending by `(distance, id)`. After construction every
+/// row has exactly `k` entries; after [`KnnGraph::merge_reverse`] rows may
+/// be longer (bounded again by [`KnnGraph::prune`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnGraph {
+    rows: Vec<Vec<Edge>>,
+}
+
+impl KnnGraph {
+    /// Build from raw adjacency rows; each row is sorted by `(dist, id)`.
+    pub fn from_rows(mut rows: Vec<Vec<Edge>>) -> Self {
+        for row in &mut rows {
+            row.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        }
+        KnnGraph { rows }
+    }
+
+    /// Build from per-vertex neighbor heaps.
+    pub fn from_heaps(heaps: &[NeighborHeap]) -> Self {
+        KnnGraph {
+            rows: heaps
+                .iter()
+                .map(|h| h.sorted().iter().map(|n| (n.id, n.dist)).collect())
+                .collect(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Neighbor row of vertex `v` (ascending by distance).
+    pub fn neighbors(&self, v: PointId) -> &[Edge] {
+        &self.rows[v as usize]
+    }
+
+    /// Neighbor ids only, per row, for recall scoring.
+    pub fn neighbor_ids(&self) -> Vec<Vec<PointId>> {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(|&(id, _)| id).collect())
+            .collect()
+    }
+
+    /// Total directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Maximum out-degree.
+    pub fn max_degree(&self) -> usize {
+        self.rows.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Memory the id+distance payload occupies (the paper's `k x N x T`
+    /// accounting uses ids only; distances double it in this layout).
+    pub fn storage_bytes(&self) -> usize {
+        self.edge_count() * (4 + 4)
+    }
+
+    /// The transposed adjacency: for every edge `v -> u`, an edge `u -> v`.
+    pub fn reversed(&self) -> KnnGraph {
+        let mut rows: Vec<Vec<Edge>> = vec![Vec::new(); self.len()];
+        for (v, edges) in self.rows.iter().enumerate() {
+            for &(u, d) in edges {
+                rows[u as usize].push((v as PointId, d));
+            }
+        }
+        KnnGraph::from_rows(rows)
+    }
+
+    /// Graph optimization 1 (Section 4.5): merge the transposed graph into
+    /// this one and deduplicate, producing a more densely connected graph
+    /// for ANN search. Under a symmetric metric forward and reverse copies
+    /// of an edge carry equal distances; if they ever differ (asymmetric
+    /// similarity functions are legal in NN-Descent) the smaller distance
+    /// is kept.
+    pub fn merge_reverse(&self) -> KnnGraph {
+        let mut rows: Vec<Vec<Edge>> = self.rows.clone();
+        for (v, edges) in self.rows.iter().enumerate() {
+            for &(u, d) in edges {
+                rows[u as usize].push((v as PointId, d));
+            }
+        }
+        for row in &mut rows {
+            // Group same-id duplicates, keep the closest copy.
+            row.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.total_cmp(&b.1)));
+            row.dedup_by_key(|&mut (id, _)| id);
+        }
+        KnnGraph::from_rows(rows)
+    }
+
+    /// Graph optimization 2 (Section 4.5): clamp every neighborhood to the
+    /// `limit` closest entries (the paper uses `limit = k * m`, `m = 1.5`).
+    pub fn prune(&self, limit: usize) -> KnnGraph {
+        assert!(limit >= 1);
+        KnnGraph {
+            rows: self
+                .rows
+                .iter()
+                .map(|r| r.iter().copied().take(limit).collect())
+                .collect(),
+        }
+    }
+
+    /// Convenience: both optimizations as the paper's optimization
+    /// executable applies them — reverse merge, then prune to `k * m`.
+    pub fn optimize(&self, k: usize, m: f64) -> KnnGraph {
+        assert!(m >= 1.0, "paper requires m >= 1");
+        self.merge_reverse().prune((k as f64 * m).ceil() as usize)
+    }
+
+    /// Persist into `store` under `prefix` (CSR-style: offsets, ids, dists).
+    pub fn save(&self, store: &mut Store, prefix: &str) -> StoreResult<()> {
+        let mut offsets: Vec<u64> = Vec::with_capacity(self.len() + 1);
+        let mut ids: Vec<u32> = Vec::with_capacity(self.edge_count());
+        let mut dists: Vec<f32> = Vec::with_capacity(self.edge_count());
+        offsets.push(0);
+        for row in &self.rows {
+            for &(id, d) in row {
+                ids.push(id);
+                dists.push(d);
+            }
+            offsets.push(ids.len() as u64);
+        }
+        store.put(&format!("{prefix}/offsets"), &offsets)?;
+        store.put(&format!("{prefix}/ids"), &ids)?;
+        store.put(&format!("{prefix}/dists"), &dists)
+    }
+
+    /// Load a graph persisted by [`KnnGraph::save`].
+    pub fn load(store: &Store, prefix: &str) -> StoreResult<Self> {
+        let offsets: Vec<u64> = store.get(&format!("{prefix}/offsets"))?;
+        let ids: Vec<u32> = store.get(&format!("{prefix}/ids"))?;
+        let dists: Vec<f32> = store.get(&format!("{prefix}/dists"))?;
+        if ids.len() != dists.len()
+            || offsets.first() != Some(&0)
+            || offsets.last().copied() != Some(ids.len() as u64)
+        {
+            return Err(StoreError::Decode("inconsistent knng arrays".into()));
+        }
+        let rows = offsets
+            .windows(2)
+            .map(|w| {
+                if w[0] > w[1] {
+                    return Err(StoreError::Decode("non-monotone knng offsets".into()));
+                }
+                let (a, b) = (w[0] as usize, w[1] as usize);
+                Ok(ids[a..b]
+                    .iter()
+                    .copied()
+                    .zip(dists[a..b].iter().copied())
+                    .collect())
+            })
+            .collect::<StoreResult<Vec<Vec<Edge>>>>()?;
+        Ok(KnnGraph { rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> KnnGraph {
+        // 0 -> {1, 2}, 1 -> {0}, 2 -> {3}, 3 -> {}
+        KnnGraph::from_rows(vec![
+            vec![(1, 1.0), (2, 2.0)],
+            vec![(0, 1.0)],
+            vec![(3, 0.5)],
+            vec![],
+        ])
+    }
+
+    #[test]
+    fn rows_sorted_on_construction() {
+        let g = KnnGraph::from_rows(vec![vec![(2, 3.0), (1, 1.0), (9, 1.0)]]);
+        assert_eq!(g.neighbors(0), &[(1, 1.0), (9, 1.0), (2, 3.0)]);
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.storage_bytes(), 4 * 8);
+    }
+
+    #[test]
+    fn reversed_transposes() {
+        let g = diamond().reversed();
+        assert_eq!(g.neighbors(0), &[(1, 1.0)]);
+        assert_eq!(g.neighbors(1), &[(0, 1.0)]);
+        assert_eq!(g.neighbors(2), &[(0, 2.0)]);
+        assert_eq!(g.neighbors(3), &[(2, 0.5)]);
+    }
+
+    #[test]
+    fn merge_reverse_adds_missing_back_edges_and_dedups() {
+        let g = diamond().merge_reverse();
+        // 0 <-> 1 existed both ways: stays single after dedup.
+        assert_eq!(g.neighbors(0), &[(1, 1.0), (2, 2.0)]);
+        assert_eq!(g.neighbors(1), &[(0, 1.0)]);
+        // 3 gains the reverse edge to 2.
+        assert_eq!(g.neighbors(3), &[(2, 0.5)]);
+        // 2 keeps 3 and gains 0.
+        assert_eq!(g.neighbors(2), &[(3, 0.5), (0, 2.0)]);
+    }
+
+    #[test]
+    fn prune_keeps_closest() {
+        let g = KnnGraph::from_rows(vec![vec![(1, 1.0), (2, 2.0), (3, 3.0)]]);
+        let p = g.prune(2);
+        assert_eq!(p.neighbors(0), &[(1, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn optimize_bounds_degree_by_k_m() {
+        // Star: many vertices point at 0, so 0's merged degree explodes and
+        // must be pruned back to ceil(k * m).
+        let n = 20;
+        let mut rows = vec![vec![(0u32, 1.0f32)]; n];
+        rows[0] = vec![(1, 1.0)];
+        let g = KnnGraph::from_rows(rows);
+        let k = 2;
+        let opt = g.optimize(k, 1.5);
+        assert!(opt.max_degree() <= 3);
+        // And every vertex keeps at least its original edge.
+        for v in 1..n as u32 {
+            assert!(!opt.neighbors(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn neighbor_ids_strips_distances() {
+        let ids = diamond().neighbor_ids();
+        assert_eq!(ids[0], vec![1, 2]);
+        assert!(ids[3].is_empty());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!(
+            "nnd-graph-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = Store::create(&dir).unwrap();
+        let g = diamond();
+        g.save(&mut store, "knng").unwrap();
+        let back = KnnGraph::load(&store, "knng").unwrap();
+        assert_eq!(back, g);
+        Store::destroy(&dir).unwrap();
+    }
+
+    #[test]
+    fn from_heaps_sorts_rows() {
+        let mut h = NeighborHeap::new(3);
+        h.checked_insert(5, 2.0, true);
+        h.checked_insert(1, 1.0, true);
+        let g = KnnGraph::from_heaps(&[h]);
+        assert_eq!(g.neighbors(0), &[(1, 1.0), (5, 2.0)]);
+    }
+
+    #[test]
+    fn double_reverse_is_identity_for_symmetric_graphs() {
+        let g = KnnGraph::from_rows(vec![vec![(1, 1.0)], vec![(0, 1.0)]]);
+        assert_eq!(g.reversed().reversed(), g);
+    }
+}

@@ -1,0 +1,366 @@
+//! High-level index API — the PyNNDescent `NNDescent` class equivalent.
+//!
+//! Wraps the full shared-memory pipeline behind one type: RP-forest or
+//! random initialization, NN-Descent construction, the Section 4.5 graph
+//! optimizations, optional diversification, query serving, persistence,
+//! and incremental updates. Downstream users who just want "an ANN index"
+//! use this; the individual modules stay available for research use.
+//!
+//! ```
+//! use dataset::{synth, L2};
+//! use nnd::index::{IndexParams, NnIndex};
+//!
+//! let base = synth::uniform(600, 8, 1);
+//! let index = NnIndex::build(base, L2, IndexParams::new(10));
+//! let hits = index.query(index.base().point(5), 3);
+//! assert_eq!(hits[0].0, 5);
+//! ```
+
+use crate::diversify::diversify;
+use crate::graph::KnnGraph;
+use crate::nndescent::{build_with_init, BuildStats, NnDescentParams};
+use crate::refine::insert_points;
+use crate::rptree::{rp_forest_candidates, RpForestParams};
+use crate::search::{search, search_batch, BatchResult, SearchParams};
+use dataset::metric::Metric;
+use dataset::point::Point;
+use dataset::set::{PointId, PointSet};
+use metall::{Result as StoreResult, Store};
+
+/// How the initial candidate graph is seeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitStrategy {
+    /// Random neighbors (Algorithm 1 lines 2–5). Works for any metric.
+    #[default]
+    Random,
+    /// Random-projection forest (PyNNDescent's default for dense data).
+    /// Falls back to random for point types without an RP splitter.
+    RpForest,
+}
+
+/// Index construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexParams {
+    /// Neighbors per vertex (`K`).
+    pub k: usize,
+    /// NN-Descent hyper-parameters (rho, delta, iteration cap, seed).
+    pub descent: NnDescentParams,
+    /// Initialization strategy.
+    pub init: InitStrategy,
+    /// Degree-prune factor `m` for the Section 4.5 optimization.
+    pub prune_m: f64,
+    /// Occlusion-pruning keep-ratio (1.0 disables diversification).
+    pub diversify_keep: f64,
+    /// Default query-time epsilon.
+    pub epsilon: f32,
+    /// Default query-time entry candidates.
+    pub entry_candidates: usize,
+}
+
+impl IndexParams {
+    /// PyNNDescent-flavored defaults for a given `k`.
+    pub fn new(k: usize) -> Self {
+        IndexParams {
+            k,
+            descent: NnDescentParams::new(k),
+            init: InitStrategy::default(),
+            prune_m: 1.5,
+            diversify_keep: 1.0,
+            epsilon: 0.1,
+            entry_candidates: 4 * k,
+        }
+    }
+
+    /// Choose the initialization strategy.
+    pub fn init(mut self, init: InitStrategy) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Set the construction seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.descent = self.descent.seed(seed);
+        self
+    }
+
+    /// Enable diversification with the given keep-ratio (see
+    /// [`crate::diversify()`]).
+    pub fn diversify(mut self, keep: f64) -> Self {
+        assert!((0.0..=1.0).contains(&keep));
+        self.diversify_keep = keep;
+        self
+    }
+
+    /// Set the default query epsilon.
+    pub fn epsilon(mut self, e: f32) -> Self {
+        assert!(e >= 0.0);
+        self.epsilon = e;
+        self
+    }
+}
+
+/// A ready-to-query ANN index owning its base data, raw k-NNG, and the
+/// optimized search graph.
+pub struct NnIndex<P, M> {
+    base: PointSet<P>,
+    metric: M,
+    params: IndexParams,
+    /// The raw NN-Descent output (kept for incremental updates).
+    knng: KnnGraph,
+    /// The optimized (merged/pruned/diversified) search graph.
+    search_graph: KnnGraph,
+    /// Construction counters.
+    pub stats: BuildStats,
+}
+
+/// RP-forest support marker: point types that can seed from a forest.
+pub trait RpInit: Point {
+    /// Candidate lists from an RP forest, or `None` if unsupported.
+    fn rp_candidates(set: &PointSet<Self>, params: RpForestParams) -> Option<Vec<Vec<PointId>>>;
+}
+
+impl RpInit for Vec<f32> {
+    fn rp_candidates(set: &PointSet<Self>, params: RpForestParams) -> Option<Vec<Vec<PointId>>> {
+        Some(rp_forest_candidates(set, params))
+    }
+}
+
+impl RpInit for Vec<u8> {
+    fn rp_candidates(set: &PointSet<Self>, params: RpForestParams) -> Option<Vec<Vec<PointId>>> {
+        // Promote to f32 for splitting only; candidates are ids.
+        let as_f32 = PointSet::new(
+            set.points()
+                .iter()
+                .map(|p| p.iter().map(|&b| f32::from(b)).collect::<Vec<f32>>())
+                .collect(),
+        );
+        Some(rp_forest_candidates(&as_f32, params))
+    }
+}
+
+impl RpInit for dataset::SparseVec {
+    fn rp_candidates(_: &PointSet<Self>, _: RpForestParams) -> Option<Vec<Vec<PointId>>> {
+        None // no vector space to split: fall back to random init
+    }
+}
+
+impl<P: RpInit, M: Metric<P>> NnIndex<P, M> {
+    /// Build the full pipeline over `base`.
+    pub fn build(base: PointSet<P>, metric: M, params: IndexParams) -> Self {
+        let descent = NnDescentParams {
+            k: params.k,
+            ..params.descent
+        };
+        let init = match params.init {
+            InitStrategy::Random => None,
+            InitStrategy::RpForest => P::rp_candidates(&base, RpForestParams::for_k(params.k)),
+        };
+        let (knng, stats) = build_with_init(&base, &metric, descent, init.as_deref());
+        let search_graph = Self::optimize_graph(&knng, &base, &metric, &params);
+        NnIndex {
+            base,
+            metric,
+            params,
+            knng,
+            search_graph,
+            stats,
+        }
+    }
+
+    fn optimize_graph(
+        knng: &KnnGraph,
+        base: &PointSet<P>,
+        metric: &M,
+        params: &IndexParams,
+    ) -> KnnGraph {
+        let merged = knng.merge_reverse();
+        let diversified = if params.diversify_keep < 1.0 {
+            diversify(&merged, base, metric, params.diversify_keep)
+        } else {
+            merged
+        };
+        diversified.prune((params.k as f64 * params.prune_m).ceil() as usize)
+    }
+
+    /// The indexed base data.
+    pub fn base(&self) -> &PointSet<P> {
+        &self.base
+    }
+
+    /// The optimized search graph.
+    pub fn search_graph(&self) -> &KnnGraph {
+        &self.search_graph
+    }
+
+    /// The raw NN-Descent k-NNG.
+    pub fn knng(&self) -> &KnnGraph {
+        &self.knng
+    }
+
+    fn search_params(&self, l: usize) -> SearchParams {
+        SearchParams::new(l)
+            .epsilon(self.params.epsilon)
+            .entry_candidates(self.params.entry_candidates)
+            .seed(self.params.descent.seed ^ 0x5EA4C)
+    }
+
+    /// Query for the `l` approximate nearest neighbors of `q`.
+    pub fn query(&self, q: &P, l: usize) -> Vec<(PointId, f32)> {
+        search(
+            &self.search_graph,
+            &self.base,
+            &self.metric,
+            q,
+            self.search_params(l),
+        )
+        .neighbors
+    }
+
+    /// Parallel batch query.
+    pub fn query_batch(&self, queries: &PointSet<P>, l: usize) -> BatchResult {
+        search_batch(
+            &self.search_graph,
+            &self.base,
+            &self.metric,
+            queries,
+            self.search_params(l),
+        )
+    }
+
+    /// Add points (the Section 7 future-work path): extend the base, run a
+    /// short refinement, re-derive the search graph.
+    pub fn insert(&mut self, new_points: Vec<P>, refine_iters: usize) {
+        if new_points.is_empty() {
+            return;
+        }
+        let mut points = self.base.points().to_vec();
+        points.extend(new_points);
+        let grown = PointSet::new(points);
+        let descent = NnDescentParams {
+            k: self.params.k,
+            ..self.params.descent
+        };
+        let (knng, stats) = insert_points(
+            &self.knng,
+            &self.base,
+            &grown,
+            &self.metric,
+            descent,
+            refine_iters,
+        );
+        self.search_graph = Self::optimize_graph(&knng, &grown, &self.metric, &self.params);
+        self.knng = knng;
+        self.base = grown;
+        self.stats = stats;
+    }
+
+    /// Persist the graphs under `prefix` (the base set persists via
+    /// [`PointSet`]'s own savers, which are element-type specific).
+    pub fn save_graphs(&self, store: &mut Store, prefix: &str) -> StoreResult<()> {
+        self.knng.save(store, &format!("{prefix}/knng"))?;
+        self.search_graph.save(store, &format!("{prefix}/search"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::ground_truth::{brute_force_knng, brute_force_queries};
+    use dataset::metric::{Jaccard, L2};
+    use dataset::recall::mean_recall;
+    use dataset::synth::{gaussian_mixture, split_queries, MixtureParams};
+
+    #[test]
+    fn end_to_end_quality() {
+        let full = gaussian_mixture(MixtureParams::embedding_like(900, 12), 3);
+        let (base, queries) = split_queries(full, 60);
+        let truth = brute_force_queries(&base, &queries, &L2, 10);
+        let index = NnIndex::build(base, L2, IndexParams::new(10).seed(1).epsilon(0.2));
+        let batch = index.query_batch(&queries, 10);
+        let recall = mean_recall(&batch.ids, &truth);
+        assert!(recall > 0.9, "index recall {recall}");
+    }
+
+    #[test]
+    fn rp_forest_init_works_for_f32_and_u8() {
+        let f = gaussian_mixture(MixtureParams::embedding_like(400, 8), 5);
+        let idx = NnIndex::build(
+            f,
+            L2,
+            IndexParams::new(6).seed(2).init(InitStrategy::RpForest),
+        );
+        assert!(idx.stats.iterations >= 1);
+        let u = dataset::presets::bigann_like(300, 5);
+        let idx = NnIndex::build(
+            u,
+            L2,
+            IndexParams::new(6).seed(2).init(InitStrategy::RpForest),
+        );
+        assert!(idx.stats.iterations >= 1);
+    }
+
+    #[test]
+    fn sparse_falls_back_to_random_init() {
+        let s = dataset::presets::kosarak_like(200, 7);
+        let truth = brute_force_knng(&s, &Jaccard, 5);
+        let idx = NnIndex::build(
+            s,
+            Jaccard,
+            IndexParams::new(5).seed(3).init(InitStrategy::RpForest),
+        );
+        let recall = mean_recall(&idx.knng().neighbor_ids(), &truth);
+        assert!(recall > 0.5, "sparse index recall {recall}");
+    }
+
+    #[test]
+    fn member_query_finds_itself() {
+        let base = gaussian_mixture(MixtureParams::embedding_like(500, 8), 9);
+        let index = NnIndex::build(base, L2, IndexParams::new(8).seed(4));
+        let hits = index.query(index.base().point(123), 5);
+        assert_eq!(hits[0].0, 123);
+        assert_eq!(hits[0].1, 0.0);
+    }
+
+    #[test]
+    fn diversified_search_graph_is_sparser() {
+        let base = gaussian_mixture(MixtureParams::embedding_like(600, 10), 11);
+        let plain = NnIndex::build(base.clone(), L2, IndexParams::new(10).seed(5));
+        let slim = NnIndex::build(base, L2, IndexParams::new(10).seed(5).diversify(0.3));
+        assert!(slim.search_graph().edge_count() <= plain.search_graph().edge_count());
+    }
+
+    #[test]
+    fn insert_grows_index_and_keeps_quality() {
+        let full = gaussian_mixture(MixtureParams::embedding_like(700, 10), 13);
+        let initial = PointSet::new(full.points()[..500].to_vec());
+        let extra = full.points()[500..].to_vec();
+        let mut index = NnIndex::build(initial, L2, IndexParams::new(8).seed(6).epsilon(0.2));
+        index.insert(extra, 3);
+        assert_eq!(index.base().len(), 700);
+        let truth = brute_force_knng(&full, &L2, 8);
+        let recall = mean_recall(&index.knng().neighbor_ids(), &truth);
+        assert!(recall > 0.9, "post-insert recall {recall}");
+        // Queries work against the grown index, including new points.
+        let hits = index.query(full.point(650), 3);
+        assert_eq!(hits[0].0, 650);
+    }
+
+    #[test]
+    fn save_graphs_round_trip() {
+        let dir = std::env::temp_dir().join(format!(
+            "nnd-index-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = gaussian_mixture(MixtureParams::embedding_like(300, 8), 15);
+        let index = NnIndex::build(base, L2, IndexParams::new(6).seed(7));
+        let mut store = Store::create(&dir).unwrap();
+        index.save_graphs(&mut store, "idx").unwrap();
+        let knng = KnnGraph::load(&store, "idx/knng").unwrap();
+        let search_g = KnnGraph::load(&store, "idx/search").unwrap();
+        assert_eq!(&knng, index.knng());
+        assert_eq!(&search_g, index.search_graph());
+        Store::destroy(&dir).unwrap();
+    }
+}

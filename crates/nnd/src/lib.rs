@@ -1,0 +1,54 @@
+//! # nnd — shared-memory NN-Descent and k-NNG tooling
+//!
+//! The single-node half of the DNND reproduction:
+//!
+//! * [`heap`] — the bounded per-vertex neighbor heap (`G[v]` of Algorithm 1);
+//! * [`nndescent`] — NN-Descent construction (Dong et al. WWW'11, with
+//!   PyNNDescent's sampling discipline), parallelized with rayon;
+//! * [`graph`] — the [`KnnGraph`] output type, the Section 4.5 graph
+//!   optimizations (reverse-edge merge + degree pruning), and persistence
+//!   into a [`metall::Store`];
+//! * [`mod@search`] — the Section 3.3 greedy ANN search with PyNNDescent's
+//!   `epsilon` relaxation, plus a parallel batch driver;
+//! * [`rptree`] — random-projection-forest initialization (extension);
+//! * [`refine`] — incremental insert/remove with short refinement passes
+//!   (the paper's Section 7 future work);
+//! * [`mod@diversify`] — PyNNDescent's occlusion pruning of search graphs
+//!   (extension).
+//!
+//! The distributed engine in the `dnnd` crate reuses [`heap`] and [`graph`]
+//! so the two implementations differ only in *where* vertices live and how
+//! neighbor checks travel.
+//!
+//! ```
+//! use dataset::{synth, L2};
+//! use nnd::{build, NnDescentParams, search, SearchParams};
+//!
+//! let set = synth::uniform(500, 8, 42);
+//! let (graph, stats) = build(&set, &L2, NnDescentParams::new(10));
+//! assert!(stats.iterations >= 1);
+//!
+//! let optimized = graph.optimize(10, 1.5);
+//! let result = search(&optimized, &set, &L2, set.point(0), SearchParams::new(5));
+//! assert_eq!(result.neighbors[0].0, 0); // a member query finds itself
+//! ```
+
+pub mod diversify;
+pub mod graph;
+pub mod heap;
+pub mod index;
+pub mod nndescent;
+pub mod refine;
+pub mod rptree;
+pub mod search;
+pub mod searcher;
+
+pub use diversify::diversify;
+pub use graph::{Edge, KnnGraph};
+pub use heap::{Neighbor, NeighborHeap};
+pub use index::{IndexParams, InitStrategy, NnIndex};
+pub use nndescent::{build, build_with_init, BuildStats, NnDescentParams};
+pub use refine::{insert_points, remove_points};
+pub use rptree::{rp_forest_candidates, RpForestParams};
+pub use search::{search, search_batch, BatchResult, SearchParams, SearchResult};
+pub use searcher::Searcher;

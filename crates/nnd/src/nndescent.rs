@@ -1,0 +1,389 @@
+//! Shared-memory NN-Descent — Algorithm 1 of the paper, in the PyNNDescent
+//! variant DNND follows.
+//!
+//! The loop structure matches the paper's pseudocode line for line:
+//!
+//! 1. initialize `G` with `K` random neighbors per vertex (or an RP-forest
+//!    initialization, see [`crate::rptree`]);
+//! 2. per vertex, split neighbors into *old* (flag false) and a sample of
+//!    `rho * K` *new* ones (flag true), marking the sampled entries old;
+//! 3. reverse both lists, sample `rho * K` of each reverse list, and union
+//!    into the forward lists;
+//! 4. neighbor-check all `new x new` (ordered) and `new x old` pairs,
+//!    updating both endpoint heaps atomically and counting successful
+//!    updates `c`;
+//! 5. stop when `c < delta * K * N`.
+//!
+//! Parallelism is rayon over vertices with one lock per vertex heap — the
+//! shared-memory analogue of the paper's "c and G are atomically updated".
+
+use crate::graph::KnnGraph;
+use crate::heap::NeighborHeap;
+use dataset::metric::Metric;
+use dataset::point::Point;
+use dataset::set::{PointId, PointSet};
+use parking_lot::Mutex;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// NN-Descent hyper-parameters. Defaults are the paper's evaluation
+/// configuration (Section 5.1.3): `rho = 0.8`, `delta = 0.001`.
+#[derive(Debug, Clone, Copy)]
+pub struct NnDescentParams {
+    /// Neighbors per vertex in the output graph (`K`).
+    pub k: usize,
+    /// Sample rate `rho` for new-neighbor candidates.
+    pub rho: f64,
+    /// Early-termination threshold `delta`: stop when fewer than
+    /// `delta * K * N` updates happen in an iteration.
+    pub delta: f64,
+    /// Hard iteration cap (safety net; the paper relies on `delta` alone).
+    pub max_iters: usize,
+    /// RNG seed: runs are deterministic in this seed (up to thread
+    /// interleaving of equal-distance ties).
+    pub seed: u64,
+}
+
+impl NnDescentParams {
+    /// Paper defaults for a given `k`.
+    pub fn new(k: usize) -> Self {
+        NnDescentParams {
+            k,
+            rho: 0.8,
+            delta: 0.001,
+            max_iters: 60,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the sample rate `rho`.
+    pub fn rho(mut self, rho: f64) -> Self {
+        assert!(rho > 0.0 && rho <= 1.0);
+        self.rho = rho;
+        self
+    }
+
+    /// Set the termination threshold `delta`.
+    pub fn delta(mut self, delta: f64) -> Self {
+        assert!(delta >= 0.0);
+        self.delta = delta;
+        self
+    }
+
+    /// Set the iteration cap.
+    pub fn max_iters(mut self, n: usize) -> Self {
+        self.max_iters = n;
+        self
+    }
+}
+
+/// Counters describing one construction run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BuildStats {
+    /// Iterations executed before `delta` termination (or the cap).
+    pub iterations: usize,
+    /// Total distance evaluations.
+    pub distance_evals: u64,
+    /// Successful heap updates (`c`) per iteration.
+    pub updates_per_iter: Vec<u64>,
+}
+
+/// Build a `k`-NNG over `set` with random initialization.
+pub fn build<P: Point, M: Metric<P>>(
+    set: &PointSet<P>,
+    metric: &M,
+    params: NnDescentParams,
+) -> (KnnGraph, BuildStats) {
+    build_with_init(set, metric, params, None)
+}
+
+/// Build with an optional initial neighbor candidate list per vertex
+/// (e.g. from an RP forest). Vertices with fewer than `k` initial
+/// candidates are topped up with random neighbors.
+pub fn build_with_init<P: Point, M: Metric<P>>(
+    set: &PointSet<P>,
+    metric: &M,
+    params: NnDescentParams,
+    init: Option<&[Vec<PointId>]>,
+) -> (KnnGraph, BuildStats) {
+    let n = set.len();
+    assert!(n >= 2, "need at least two points");
+    assert!(params.k >= 1 && params.k < n, "require 1 <= k < N");
+    let k = params.k;
+    let dist_evals = AtomicU64::new(0);
+    let theta = |a: PointId, b: PointId| {
+        dist_evals.fetch_add(1, Ordering::Relaxed);
+        metric.distance(set.point(a), set.point(b))
+    };
+
+    // ---- Initialization (Algorithm 1 lines 2-5) ----------------------------
+    let heaps: Vec<Mutex<NeighborHeap>> =
+        (0..n).map(|_| Mutex::new(NeighborHeap::new(k))).collect();
+    (0..n as PointId).into_par_iter().for_each(|v| {
+        let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ (u64::from(v) << 20));
+        let mut heap = heaps[v as usize].lock();
+        if let Some(init_rows) = init {
+            for &u in init_rows[v as usize].iter().take(k) {
+                if u != v && !heap.contains(u) {
+                    heap.checked_insert(u, theta(v, u), true);
+                }
+            }
+        }
+        let mut guard = 0;
+        while heap.len() < k && guard < 100 * k {
+            let u: PointId = rng.gen_range(0..n as PointId);
+            if u != v && !heap.contains(u) {
+                heap.checked_insert(u, theta(v, u), true);
+            }
+            guard += 1;
+        }
+    });
+
+    // ---- Descent loop -------------------------------------------------------
+    let max_sample = ((params.rho * k as f64).round() as usize).max(1);
+    let threshold = (params.delta * k as f64 * n as f64) as u64;
+    let mut stats = BuildStats::default();
+
+    for iter in 0..params.max_iters {
+        // Lines 7-10: forward old/new lists; sampled news flip to old.
+        let mut fwd_old: Vec<Vec<PointId>> = Vec::with_capacity(n);
+        let mut fwd_new: Vec<Vec<PointId>> = Vec::with_capacity(n);
+        {
+            let per_vertex: Vec<(Vec<PointId>, Vec<PointId>)> = (0..n as PointId)
+                .into_par_iter()
+                .map(|v| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(
+                        params.seed ^ 0xA11CE ^ (u64::from(v) << 18) ^ (iter as u64),
+                    );
+                    let mut heap = heaps[v as usize].lock();
+                    let old = heap.flagged_ids(false);
+                    let mut candidates = heap.flagged_ids(true);
+                    candidates.shuffle(&mut rng);
+                    candidates.truncate(max_sample);
+                    for &u in &candidates {
+                        heap.mark_old(u);
+                    }
+                    (old, candidates)
+                })
+                .collect();
+            for (old, new) in per_vertex {
+                fwd_old.push(old);
+                fwd_new.push(new);
+            }
+        }
+
+        // Lines 11-12: reversed lists.
+        let mut rev_old: Vec<Vec<PointId>> = vec![Vec::new(); n];
+        let mut rev_new: Vec<Vec<PointId>> = vec![Vec::new(); n];
+        for v in 0..n {
+            for &u in &fwd_old[v] {
+                rev_old[u as usize].push(v as PointId);
+            }
+            for &u in &fwd_new[v] {
+                rev_new[u as usize].push(v as PointId);
+            }
+        }
+
+        // Lines 15-16: sample rho*K of each reverse list, union forward.
+        let union_sample =
+            |fwd: &mut Vec<PointId>, rev: &mut Vec<PointId>, rng: &mut ChaCha8Rng| {
+                rev.shuffle(rng);
+                rev.truncate(max_sample);
+                for &u in rev.iter() {
+                    if !fwd.contains(&u) {
+                        fwd.push(u);
+                    }
+                }
+            };
+        for v in 0..n {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(params.seed ^ 0xBEE ^ ((v as u64) << 18) ^ (iter as u64));
+            union_sample(&mut fwd_old[v], &mut rev_old[v], &mut rng);
+            union_sample(&mut fwd_new[v], &mut rev_new[v], &mut rng);
+        }
+
+        // Lines 17-22: neighbor checks.
+        let counter = AtomicU64::new(0);
+        (0..n).into_par_iter().for_each(|v| {
+            let news = &fwd_new[v];
+            let olds = &fwd_old[v];
+            let check = |u1: PointId, u2: PointId| {
+                if u1 == u2 {
+                    return;
+                }
+                let d = theta(u1, u2);
+                let mut c = 0;
+                if heaps[u1 as usize].lock().checked_insert(u2, d, true) {
+                    c += 1;
+                }
+                if heaps[u2 as usize].lock().checked_insert(u1, d, true) {
+                    c += 1;
+                }
+                if c > 0 {
+                    counter.fetch_add(c, Ordering::Relaxed);
+                }
+            };
+            for (i, &u1) in news.iter().enumerate() {
+                for &u2 in &news[i + 1..] {
+                    check(u1, u2);
+                }
+                for &u2 in olds {
+                    check(u1, u2);
+                }
+            }
+        });
+
+        let c = counter.load(Ordering::Relaxed);
+        stats.iterations = iter + 1;
+        stats.updates_per_iter.push(c);
+        if c < threshold.max(1) {
+            break;
+        }
+    }
+
+    stats.distance_evals = dist_evals.load(Ordering::Relaxed);
+    let heaps: Vec<NeighborHeap> = heaps.into_iter().map(Mutex::into_inner).collect();
+    (KnnGraph::from_heaps(&heaps), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::ground_truth::brute_force_knng;
+    use dataset::metric::{Jaccard, L2};
+    use dataset::recall::mean_recall;
+    use dataset::synth::{gaussian_mixture, uniform, MixtureParams};
+
+    #[test]
+    fn graph_has_exactly_k_neighbors_per_vertex() {
+        let set = uniform(200, 4, 1);
+        let (g, _) = build(&set, &L2, NnDescentParams::new(5));
+        assert_eq!(g.len(), 200);
+        for v in 0..200 {
+            assert_eq!(g.neighbors(v).len(), 5, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn no_self_edges_or_duplicates() {
+        let set = uniform(150, 3, 2);
+        let (g, _) = build(&set, &L2, NnDescentParams::new(8));
+        for v in 0..150u32 {
+            let ids: Vec<PointId> = g.neighbors(v).iter().map(|&(id, _)| id).collect();
+            assert!(!ids.contains(&v), "self edge at {v}");
+            let mut dedup = ids.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), ids.len(), "duplicate edge at {v}");
+        }
+    }
+
+    #[test]
+    fn converges_to_high_recall_on_clustered_data() {
+        let set = gaussian_mixture(MixtureParams::embedding_like(600, 16), 7);
+        let (g, stats) = build(&set, &L2, NnDescentParams::new(10).seed(3));
+        let truth = brute_force_knng(&set, &L2, 10);
+        let recall = mean_recall(&g.neighbor_ids(), &truth);
+        assert!(recall > 0.95, "recall {recall} too low; stats {stats:?}");
+        // NN-Descent must beat brute force on distance evaluations here.
+        assert!(stats.distance_evals < (600u64 * 599) / 2);
+    }
+
+    #[test]
+    fn distances_in_graph_match_metric() {
+        let set = uniform(100, 2, 9);
+        let (g, _) = build(&set, &L2, NnDescentParams::new(4));
+        for v in 0..100u32 {
+            for &(u, d) in g.neighbors(v) {
+                let expect = dataset::Metric::<Vec<f32>>::distance(&L2, set.point(v), set.point(u));
+                assert!((d - expect).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_sorted_ascending() {
+        let set = uniform(80, 3, 4);
+        let (g, _) = build(&set, &L2, NnDescentParams::new(6));
+        for v in 0..80u32 {
+            let row = g.neighbors(v);
+            assert!(row.windows(2).all(|w| w[0].1 <= w[1].1));
+        }
+    }
+
+    #[test]
+    fn works_with_jaccard_metric() {
+        let set = dataset::presets::kosarak_like(200, 5);
+        let (g, _) = build(&set, &Jaccard, NnDescentParams::new(5));
+        let truth = brute_force_knng(&set, &Jaccard, 5);
+        let recall = mean_recall(&g.neighbor_ids(), &truth);
+        // Jaccard on power-law sets has heavy distance ties; a moderate
+        // bar still demonstrates metric-genericity.
+        assert!(recall > 0.5, "jaccard recall {recall}");
+    }
+
+    #[test]
+    fn delta_controls_iterations() {
+        let set = gaussian_mixture(MixtureParams::embedding_like(300, 8), 11);
+        let (_, fast) = build(&set, &L2, NnDescentParams::new(5).delta(0.2).seed(1));
+        let (_, slow) = build(&set, &L2, NnDescentParams::new(5).delta(0.0001).seed(1));
+        assert!(fast.iterations <= slow.iterations);
+    }
+
+    #[test]
+    fn max_iters_caps_work() {
+        let set = uniform(120, 6, 8);
+        let (_, stats) = build(&set, &L2, NnDescentParams::new(6).max_iters(2));
+        assert!(stats.iterations <= 2);
+    }
+
+    #[test]
+    fn tiny_dataset_k1() {
+        let set = uniform(3, 2, 1);
+        let (g, _) = build(&set, &L2, NnDescentParams::new(1));
+        for v in 0..3 {
+            assert_eq!(g.neighbors(v).len(), 1);
+        }
+    }
+
+    #[test]
+    fn init_candidates_are_honored() {
+        // Give every vertex its true nearest neighbor as init; recall of the
+        // first neighbor must be perfect even with max_iters = 0 refinement.
+        let set = uniform(100, 2, 13);
+        let truth = brute_force_knng(&set, &L2, 3);
+        let init: Vec<Vec<PointId>> = truth.ids.clone();
+        let (g, _) = build_with_init(&set, &L2, NnDescentParams::new(3).max_iters(1), Some(&init));
+        let recall = mean_recall(&g.neighbor_ids(), &truth);
+        assert!(recall > 0.99, "init not honored: recall {recall}");
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k < N")]
+    fn k_ge_n_rejected() {
+        let set = uniform(5, 2, 1);
+        let _ = build(&set, &L2, NnDescentParams::new(5));
+    }
+
+    #[test]
+    fn updates_per_iter_is_decreasing_overall() {
+        let set = gaussian_mixture(MixtureParams::embedding_like(400, 8), 21);
+        let (_, stats) = build(&set, &L2, NnDescentParams::new(8).seed(2));
+        let first = stats.updates_per_iter.first().copied().unwrap_or(0);
+        let last = stats.updates_per_iter.last().copied().unwrap_or(0);
+        assert!(
+            last < first,
+            "descent should slow down: {:?}",
+            stats.updates_per_iter
+        );
+    }
+}

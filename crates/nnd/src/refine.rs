@@ -1,0 +1,260 @@
+//! Incremental graph maintenance — the paper's Section 7 future work:
+//!
+//! > "Employing Metall will facilitate rapid graph updates ... new data
+//! > points may be added/deleted, followed by a short graph refinement
+//! > phase, which will fit NN-Descent's iterative nature well."
+//!
+//! [`insert_points`] grows an existing k-NNG when the dataset gains
+//! points: new vertices get candidate neighbors (searched entry or random),
+//! every touched entry is flagged *new*, and a short NN-Descent refinement
+//! (a few iterations, no full restart) re-converges the graph.
+//! [`remove_points`] deletes vertices and repairs the holes they leave in
+//! other neighbor lists from the survivors' own neighborhoods.
+
+use crate::graph::KnnGraph;
+use crate::nndescent::{build_with_init, BuildStats, NnDescentParams};
+use crate::search::{search, SearchParams};
+use dataset::metric::Metric;
+use dataset::point::Point;
+use dataset::set::{PointId, PointSet};
+
+/// Grow `graph` (built over `old_base`) into a graph over `new_base`,
+/// where `new_base` extends `old_base` with extra points at the tail.
+///
+/// Strategy: seed every vertex's candidate list with its current neighbors
+/// (old vertices) or an ANN search against the old graph (new vertices),
+/// then run NN-Descent with `refine_iters` iterations. Because the seeds
+/// are already near-correct, the refinement converges far faster than a
+/// from-scratch build — this is the "short graph refinement phase" the
+/// paper anticipates.
+pub fn insert_points<P: Point, M: Metric<P>>(
+    graph: &KnnGraph,
+    old_base: &PointSet<P>,
+    new_base: &PointSet<P>,
+    metric: &M,
+    params: NnDescentParams,
+    refine_iters: usize,
+) -> (KnnGraph, BuildStats) {
+    let n_old = old_base.len();
+    let n_new = new_base.len();
+    assert_eq!(graph.len(), n_old, "graph must cover the old base");
+    assert!(n_new >= n_old, "new base must extend the old one");
+    for v in 0..n_old as PointId {
+        debug_assert_eq!(new_base.point(v).dim(), old_base.point(v).dim());
+    }
+
+    let mut init: Vec<Vec<PointId>> = Vec::with_capacity(n_new);
+    // Old vertices keep their current neighbors as seeds.
+    for v in 0..n_old as PointId {
+        init.push(graph.neighbors(v).iter().map(|&(id, _)| id).collect());
+    }
+    // New vertices are located by searching the existing graph.
+    for v in n_old as PointId..n_new as PointId {
+        let hits = search(
+            graph,
+            old_base,
+            metric,
+            new_base.point(v),
+            SearchParams::new(params.k.min(n_old))
+                .epsilon(0.2)
+                .entry_candidates(4 * params.k)
+                .seed(params.seed ^ u64::from(v)),
+        );
+        init.push(hits.ids());
+    }
+    build_with_init(
+        new_base,
+        metric,
+        params.max_iters(refine_iters),
+        Some(&init),
+    )
+}
+
+/// Remove the vertices in `gone` from `graph`, compacting ids: survivors
+/// are renumbered in ascending order (the returned vector maps new id ->
+/// old id). Holes in survivors' neighbor lists are refilled from their
+/// remaining neighbors' neighborhoods (one local repair pass); quality can
+/// then be restored fully by a short [`insert_points`]-style refinement if
+/// desired.
+pub fn remove_points<P: Point, M: Metric<P>>(
+    graph: &KnnGraph,
+    base: &PointSet<P>,
+    metric: &M,
+    gone: &[PointId],
+    k: usize,
+) -> (KnnGraph, PointSet<P>, Vec<PointId>) {
+    let n = graph.len();
+    let mut dead = vec![false; n];
+    for &v in gone {
+        dead[v as usize] = true;
+    }
+    // Renumbering: old id -> new id for survivors.
+    let mut remap = vec![PointId::MAX; n];
+    let mut back = Vec::with_capacity(n - gone.len());
+    for old in 0..n {
+        if !dead[old] {
+            remap[old] = back.len() as PointId;
+            back.push(old as PointId);
+        }
+    }
+
+    let survivors: Vec<P> = back.iter().map(|&old| base.point(old).clone()).collect();
+    let new_base = PointSet::new(survivors);
+
+    let mut rows: Vec<Vec<(PointId, f32)>> = Vec::with_capacity(back.len());
+    for &old in &back {
+        let mut row: Vec<(PointId, f32)> = graph
+            .neighbors(old)
+            .iter()
+            .filter(|&&(u, _)| !dead[u as usize])
+            .map(|&(u, d)| (remap[u as usize], d))
+            .collect();
+        // Repair: pull candidates from surviving neighbors' neighbors.
+        if row.len() < k {
+            let me_new = remap[old as usize];
+            let mut candidates: Vec<PointId> = Vec::new();
+            for &(u, _) in &row {
+                let u_old = back[u as usize];
+                for &(w, _) in graph.neighbors(u_old) {
+                    if !dead[w as usize] {
+                        let w_new = remap[w as usize];
+                        if w_new != me_new
+                            && !row.iter().any(|&(x, _)| x == w_new)
+                            && !candidates.contains(&w_new)
+                        {
+                            candidates.push(w_new);
+                        }
+                    }
+                }
+            }
+            let me_point = base.point(old);
+            let mut scored: Vec<(PointId, f32)> = candidates
+                .into_iter()
+                .map(|w_new| {
+                    let w_old = back[w_new as usize];
+                    (w_new, metric.distance(me_point, base.point(w_old)))
+                })
+                .collect();
+            scored.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+            for (w, d) in scored {
+                if row.len() >= k {
+                    break;
+                }
+                row.push((w, d));
+            }
+        }
+        row.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        row.truncate(k);
+        rows.push(row);
+    }
+    (KnnGraph::from_rows(rows), new_base, back)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nndescent::build;
+    use dataset::ground_truth::brute_force_knng;
+    use dataset::metric::L2;
+    use dataset::recall::mean_recall;
+    use dataset::synth::{gaussian_mixture, MixtureParams};
+
+    fn data(n: usize, seed: u64) -> PointSet<Vec<f32>> {
+        gaussian_mixture(MixtureParams::embedding_like(n, 12), seed)
+    }
+
+    #[test]
+    fn insert_extends_graph_with_high_recall() {
+        let full = data(700, 3);
+        let old = PointSet::new(full.points()[..500].to_vec());
+        let params = NnDescentParams::new(8).seed(1);
+        let (g_old, _) = build(&old, &L2, params);
+        let (g_new, stats) = insert_points(&g_old, &old, &full, &L2, params, 4);
+        assert_eq!(g_new.len(), 700);
+        let truth = brute_force_knng(&full, &L2, 8);
+        let recall = mean_recall(&g_new.neighbor_ids(), &truth);
+        assert!(recall > 0.9, "post-insert recall {recall}");
+        assert!(stats.iterations <= 4);
+    }
+
+    #[test]
+    fn refinement_is_cheaper_than_rebuild() {
+        let full = data(600, 5);
+        let old = PointSet::new(full.points()[..550].to_vec());
+        let params = NnDescentParams::new(8).seed(2);
+        let (g_old, _) = build(&old, &L2, params);
+        let (_, full_stats) = build(&full, &L2, params);
+        let (_, refine_stats) = insert_points(&g_old, &old, &full, &L2, params, 3);
+        assert!(
+            refine_stats.distance_evals < full_stats.distance_evals,
+            "refine {} !< rebuild {}",
+            refine_stats.distance_evals,
+            full_stats.distance_evals
+        );
+    }
+
+    #[test]
+    fn insert_noop_when_no_new_points() {
+        let base = data(300, 7);
+        let params = NnDescentParams::new(6).seed(3);
+        let (g, _) = build(&base, &L2, params);
+        let (g2, _) = insert_points(&g, &base, &base, &L2, params, 2);
+        assert_eq!(g2.len(), g.len());
+        let truth = brute_force_knng(&base, &L2, 6);
+        let r = mean_recall(&g2.neighbor_ids(), &truth);
+        assert!(r > 0.9);
+    }
+
+    #[test]
+    fn remove_compacts_and_repairs() {
+        let base = data(400, 9);
+        let (g, _) = build(&base, &L2, NnDescentParams::new(8).seed(4));
+        let gone: Vec<PointId> = (0..40).map(|i| i * 10).collect();
+        let (g2, base2, back) = remove_points(&g, &base, &L2, &gone, 8);
+        assert_eq!(g2.len(), 360);
+        assert_eq!(base2.len(), 360);
+        assert_eq!(back.len(), 360);
+        // No dead vertices referenced; ids in range; mapping consistent.
+        for v in 0..g2.len() as PointId {
+            assert_eq!(base2.point(v), base.point(back[v as usize]));
+            for &(u, _) in g2.neighbors(v) {
+                assert!((u as usize) < 360);
+                assert!(!gone.contains(&back[u as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn remove_preserves_reasonable_quality() {
+        let base = data(400, 11);
+        let (g, _) = build(&base, &L2, NnDescentParams::new(8).seed(5));
+        let gone: Vec<PointId> = (100..150).collect();
+        let (g2, base2, _) = remove_points(&g, &base, &L2, &gone, 8);
+        let truth = brute_force_knng(&base2, &L2, 8);
+        let recall = mean_recall(&g2.neighbor_ids(), &truth);
+        // One repair pass (no descent) should stay in a usable band.
+        assert!(recall > 0.7, "post-remove recall {recall}");
+    }
+
+    #[test]
+    fn remove_then_refine_restores_quality() {
+        let base = data(400, 13);
+        let params = NnDescentParams::new(8).seed(6);
+        let (g, _) = build(&base, &L2, params);
+        let gone: Vec<PointId> = (0..80).collect();
+        let (g2, base2, _) = remove_points(&g, &base, &L2, &gone, 8);
+        let (g3, _) = insert_points(&g2, &base2, &base2, &L2, params, 3);
+        let truth = brute_force_knng(&base2, &L2, 8);
+        let recall = mean_recall(&g3.neighbor_ids(), &truth);
+        assert!(recall > 0.9, "refined post-remove recall {recall}");
+    }
+
+    #[test]
+    #[should_panic(expected = "graph must cover the old base")]
+    fn mismatched_sizes_rejected() {
+        let base = data(100, 15);
+        let (g, _) = build(&base, &L2, NnDescentParams::new(4).seed(7));
+        let wrong = PointSet::new(base.points()[..50].to_vec());
+        let _ = insert_points(&g, &wrong, &base, &L2, NnDescentParams::new(4), 2);
+    }
+}

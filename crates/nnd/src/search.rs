@@ -1,0 +1,356 @@
+//! Greedy best-first ANN search on a k-NNG — the query algorithm of
+//! Section 3.3, including PyNNDescent's `epsilon` frontier relaxation.
+//!
+//! The paper's query program is shared-memory (256 OpenMP threads); here
+//! [`search_batch`] parallelizes over queries with rayon and reports
+//! throughput, which is what Figure 2's qps axis measures.
+
+use crate::graph::KnnGraph;
+use dataset::metric::Metric;
+use dataset::order::OrdF32;
+use dataset::point::Point;
+use dataset::set::{PointId, PointSet};
+use rand::seq::index::sample as index_sample;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Query-time parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchParams {
+    /// Number of nearest neighbors to return (`l`; may exceed the graph's
+    /// `k`).
+    pub l: usize,
+    /// Frontier relaxation: a visited point enters the frontier if
+    /// `dist < (1 + epsilon) * d_max`. `0.0` is pure greedy; the paper
+    /// sweeps `0.1..=0.4` step `0.025` for the billion-scale evaluation.
+    pub epsilon: f32,
+    /// Seed for the random entry points.
+    pub seed: u64,
+    /// Number of random entry points probed before the descent starts
+    /// (clamped to at least `l`). The paper's Section 3.3 algorithm uses
+    /// exactly `l` random starts; on strongly clustered data a k-NNG has
+    /// few cross-cluster edges, so greedy descent can only reach clusters
+    /// an entry point landed in. Raising this is the multi-start analogue
+    /// of PyNNDescent's RP-tree entry-point selection.
+    pub entry_candidates: usize,
+}
+
+impl SearchParams {
+    /// Pure greedy search for `l` neighbors.
+    pub fn new(l: usize) -> Self {
+        SearchParams {
+            l,
+            epsilon: 0.0,
+            seed: 0xCAFE,
+            entry_candidates: 0,
+        }
+    }
+
+    /// Set `epsilon`.
+    pub fn epsilon(mut self, e: f32) -> Self {
+        assert!(e >= 0.0);
+        self.epsilon = e;
+        self
+    }
+
+    /// Set the entry-point seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Probe `n` random entry points (at least `l` are always used).
+    pub fn entry_candidates(mut self, n: usize) -> Self {
+        self.entry_candidates = n;
+        self
+    }
+}
+
+/// Result of one query: neighbors ascending by `(distance, id)` plus the
+/// number of distance evaluations spent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// Up to `l` nearest neighbors found, closest first.
+    pub neighbors: Vec<(PointId, f32)>,
+    /// Distance evaluations performed for this query.
+    pub distance_evals: u64,
+}
+
+impl SearchResult {
+    /// Neighbor ids only.
+    pub fn ids(&self) -> Vec<PointId> {
+        self.neighbors.iter().map(|&(id, _)| id).collect()
+    }
+}
+
+/// Search the graph for the `params.l` approximate nearest neighbors of
+/// `query`. The query need not be a member of `base`.
+pub fn search<P: Point, M: Metric<P>>(
+    graph: &KnnGraph,
+    base: &PointSet<P>,
+    metric: &M,
+    query: &P,
+    params: SearchParams,
+) -> SearchResult {
+    let n = base.len();
+    assert_eq!(graph.len(), n, "graph and base set disagree on N");
+    assert!(params.l >= 1 && params.l <= n);
+    let mut evals: u64 = 0;
+    let mut visited = vec![false; n];
+
+    // Result: max-heap of the best l so far (farthest on top).
+    let mut best: BinaryHeap<(OrdF32, PointId)> = BinaryHeap::with_capacity(params.l + 1);
+    // Frontier: min-heap of candidates to expand.
+    let mut frontier: BinaryHeap<Reverse<(OrdF32, PointId)>> = BinaryHeap::new();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+    let starts = params.l.max(params.entry_candidates).min(n);
+    for idx in index_sample(&mut rng, n, starts) {
+        let id = idx as PointId;
+        visited[idx] = true;
+        let d = metric.distance(query, base.point(id));
+        evals += 1;
+        best.push((OrdF32(d), id));
+        frontier.push(Reverse((OrdF32(d), id)));
+    }
+    while best.len() > params.l {
+        best.pop();
+    }
+
+    let relax = 1.0 + params.epsilon;
+    while let Some(Reverse((OrdF32(d), p))) = frontier.pop() {
+        let d_max = best.peek().map_or(f32::INFINITY, |&(OrdF32(m), _)| m);
+        // Termination: the closest frontier point is already beyond the
+        // (relaxed) worst of the current l best.
+        if d > relax * d_max {
+            break;
+        }
+        for &(w, _) in graph.neighbors(p) {
+            let wi = w as usize;
+            if visited[wi] {
+                continue;
+            }
+            visited[wi] = true;
+            let dw = metric.distance(query, base.point(w));
+            evals += 1;
+            let d_max = best.peek().map_or(f32::INFINITY, |&(OrdF32(m), _)| m);
+            if best.len() < params.l || dw < d_max {
+                best.push((OrdF32(dw), w));
+                if best.len() > params.l {
+                    best.pop();
+                }
+            }
+            // Relaxed admission (PyNNDescent): explore borderline points.
+            if dw < relax * d_max {
+                frontier.push(Reverse((OrdF32(dw), w)));
+            }
+        }
+    }
+
+    let mut neighbors: Vec<(PointId, f32)> =
+        best.into_iter().map(|(OrdF32(d), id)| (id, d)).collect();
+    neighbors.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    SearchResult {
+        neighbors,
+        distance_evals: evals,
+    }
+}
+
+/// Timing and quality summary of a parallel batch of queries.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Per-query neighbor id lists, query order.
+    pub ids: Vec<Vec<PointId>>,
+    /// Wall-clock seconds for the whole batch.
+    pub secs: f64,
+    /// Queries per second (the paper's qps axis in Figure 2).
+    pub qps: f64,
+    /// Total distance evaluations across the batch.
+    pub distance_evals: u64,
+}
+
+/// Run every query in `queries` in parallel (the paper submits all queries
+/// at once on 256 threads).
+pub fn search_batch<P: Point, M: Metric<P>>(
+    graph: &KnnGraph,
+    base: &PointSet<P>,
+    metric: &M,
+    queries: &PointSet<P>,
+    params: SearchParams,
+) -> BatchResult {
+    let evals = AtomicU64::new(0);
+    let start = std::time::Instant::now();
+    let ids: Vec<Vec<PointId>> = queries
+        .points()
+        .par_iter()
+        .enumerate()
+        .map(|(qi, q)| {
+            let r = search(
+                graph,
+                base,
+                metric,
+                q,
+                SearchParams {
+                    seed: params.seed ^ ((qi as u64) << 17),
+                    ..params
+                },
+            );
+            evals.fetch_add(r.distance_evals, Ordering::Relaxed);
+            r.ids()
+        })
+        .collect();
+    let secs = start.elapsed().as_secs_f64();
+    BatchResult {
+        ids,
+        qps: queries.len() as f64 / secs.max(1e-12),
+        secs,
+        distance_evals: evals.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nndescent::{build, NnDescentParams};
+    use dataset::ground_truth::brute_force_queries;
+    use dataset::metric::L2;
+    use dataset::recall::mean_recall;
+    use dataset::synth::{gaussian_mixture, split_queries, uniform, MixtureParams};
+
+    fn small_graph() -> (PointSet<Vec<f32>>, KnnGraph) {
+        let set = uniform(300, 4, 3);
+        let (g, _) = build(&set, &L2, NnDescentParams::new(10).seed(1));
+        (set, g)
+    }
+
+    #[test]
+    fn returns_l_sorted_neighbors() {
+        let (set, g) = small_graph();
+        let r = search(&g, &set, &L2, set.point(0), SearchParams::new(5));
+        assert_eq!(r.neighbors.len(), 5);
+        assert!(r.neighbors.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn member_query_finds_itself() {
+        let (set, g) = small_graph();
+        let r = search(&g, &set, &L2, set.point(42), SearchParams::new(3));
+        assert_eq!(r.neighbors[0].0, 42);
+        assert_eq!(r.neighbors[0].1, 0.0);
+    }
+
+    #[test]
+    fn l_may_exceed_graph_k() {
+        let (set, g) = small_graph();
+        let r = search(&g, &set, &L2, set.point(7), SearchParams::new(25));
+        assert_eq!(r.neighbors.len(), 25);
+    }
+
+    #[test]
+    fn search_visits_far_fewer_points_than_n() {
+        let set = gaussian_mixture(MixtureParams::embedding_like(2000, 8), 5);
+        let (g, _) = build(&set, &L2, NnDescentParams::new(10).seed(2));
+        let opt = g.optimize(10, 1.5);
+        let r = search(&opt, &set, &L2, set.point(100), SearchParams::new(10));
+        assert!(
+            r.distance_evals < 2000 / 2,
+            "visited {} of 2000",
+            r.distance_evals
+        );
+    }
+
+    #[test]
+    fn epsilon_zero_vs_relaxed_quality() {
+        // Larger epsilon explores more, so recall must not decrease and
+        // distance evals must not shrink.
+        let set = gaussian_mixture(MixtureParams::embedding_like(1500, 12), 8);
+        let (base, queries) = split_queries(set, 50);
+        let (g, _) = build(&base, &L2, NnDescentParams::new(10).seed(4));
+        let opt = g.optimize(10, 1.5);
+        let truth = brute_force_queries(&base, &queries, &L2, 10);
+
+        let tight = search_batch(&opt, &base, &L2, &queries, SearchParams::new(10));
+        let relaxed = search_batch(
+            &opt,
+            &base,
+            &L2,
+            &queries,
+            SearchParams::new(10).epsilon(0.3),
+        );
+        let r_tight = mean_recall(&tight.ids, &truth);
+        let r_relaxed = mean_recall(&relaxed.ids, &truth);
+        assert!(
+            r_relaxed >= r_tight - 0.02,
+            "epsilon hurt recall: {r_tight} -> {r_relaxed}"
+        );
+        assert!(relaxed.distance_evals >= tight.distance_evals);
+        assert!(r_relaxed > 0.85, "relaxed recall {r_relaxed}");
+    }
+
+    #[test]
+    fn batch_matches_individual_queries() {
+        let (set, g) = small_graph();
+        let queries = PointSet::new(vec![set.point(1).clone(), set.point(2).clone()]);
+        let batch = search_batch(&g, &set, &L2, &queries, SearchParams::new(4));
+        assert_eq!(batch.ids.len(), 2);
+        assert_eq!(batch.ids[0].len(), 4);
+        // Each query's own id must appear first (distance 0).
+        assert_eq!(batch.ids[0][0], 1);
+        assert_eq!(batch.ids[1][0], 2);
+        assert!(batch.qps > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (set, g) = small_graph();
+        let q = set.point(5);
+        let a = search(&g, &set, &L2, q, SearchParams::new(5).seed(9));
+        let b = search(&g, &set, &L2, q, SearchParams::new(5).seed(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn entry_candidates_rescue_clustered_queries() {
+        // 50 tight, well-separated clusters: a k-NNG has no cross-cluster
+        // edges, so with only l random starts the query's cluster is often
+        // missed entirely; multi-start entry probing fixes it.
+        let set = gaussian_mixture(
+            MixtureParams {
+                n: 1_000,
+                dim: 8,
+                n_clusters: 50,
+                center_spread: 40.0,
+                cluster_std: 0.2,
+            },
+            3,
+        );
+        let (base, queries) = split_queries(set, 40);
+        let (g, _) = build(&base, &L2, NnDescentParams::new(8).seed(1));
+        let opt = g.optimize(8, 1.5);
+        let truth = brute_force_queries(&base, &queries, &L2, 8);
+        let few = search_batch(&opt, &base, &L2, &queries, SearchParams::new(8));
+        let many = search_batch(
+            &opt,
+            &base,
+            &L2,
+            &queries,
+            SearchParams::new(8).entry_candidates(200),
+        );
+        let r_few = mean_recall(&few.ids, &truth);
+        let r_many = mean_recall(&many.ids, &truth);
+        assert!(r_many > r_few, "multi-start must help: {r_few} -> {r_many}");
+        assert!(r_many > 0.9, "multi-start recall {r_many}");
+    }
+
+    #[test]
+    #[should_panic(expected = "graph and base set disagree")]
+    fn mismatched_graph_and_base_panics() {
+        let (set, _) = small_graph();
+        let g = KnnGraph::from_rows(vec![vec![]]);
+        let _ = search(&g, &set, &L2, set.point(0), SearchParams::new(1));
+    }
+}

@@ -1,0 +1,190 @@
+//! Allocation-free repeated search: a [`Searcher`] owns the visited marks
+//! and heap buffers and reuses them across queries.
+//!
+//! [`crate::search::search`] allocates an `N`-slot visited array per query
+//! — fine for one-off calls, wasteful for query services at high qps (the
+//! Figure 2 measurements run 10,000 queries back to back). The searcher
+//! replaces the boolean array with an **epoch-stamped** `u32` array:
+//! marking "visited" writes the current epoch, and starting a new query
+//! just increments the epoch — O(1) reset instead of O(N) clearing, no
+//! allocation at all in steady state.
+
+use crate::graph::KnnGraph;
+use crate::search::{SearchParams, SearchResult};
+use dataset::metric::Metric;
+use dataset::order::OrdF32;
+use dataset::point::Point;
+use dataset::set::{PointId, PointSet};
+use rand::seq::index::sample as index_sample;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Reusable search state for one thread.
+pub struct Searcher {
+    epochs: Vec<u32>,
+    epoch: u32,
+    best: BinaryHeap<(OrdF32, PointId)>,
+    frontier: BinaryHeap<Reverse<(OrdF32, PointId)>>,
+}
+
+impl Searcher {
+    /// A searcher for graphs/base sets with `n` points.
+    pub fn new(n: usize) -> Self {
+        Searcher {
+            epochs: vec![0; n],
+            epoch: 0,
+            best: BinaryHeap::new(),
+            frontier: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn visit(&mut self, id: PointId) -> bool {
+        let slot = &mut self.epochs[id as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    /// Run one query, reusing all internal buffers. Semantics are
+    /// identical to [`crate::search::search`].
+    pub fn search<P: Point, M: Metric<P>>(
+        &mut self,
+        graph: &KnnGraph,
+        base: &PointSet<P>,
+        metric: &M,
+        query: &P,
+        params: SearchParams,
+    ) -> SearchResult {
+        let n = base.len();
+        assert_eq!(graph.len(), n, "graph and base set disagree on N");
+        assert_eq!(self.epochs.len(), n, "searcher sized for a different N");
+        assert!(params.l >= 1 && params.l <= n);
+
+        // New query: bump the epoch; on wraparound do the rare full clear.
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.epochs.fill(0);
+            self.epoch = 1;
+        }
+        self.best.clear();
+        self.frontier.clear();
+        let mut evals: u64 = 0;
+
+        let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+        let starts = params.l.max(params.entry_candidates).min(n);
+        for idx in index_sample(&mut rng, n, starts) {
+            let id = idx as PointId;
+            self.visit(id);
+            let d = metric.distance(query, base.point(id));
+            evals += 1;
+            self.best.push((OrdF32(d), id));
+            self.frontier.push(Reverse((OrdF32(d), id)));
+        }
+        while self.best.len() > params.l {
+            self.best.pop();
+        }
+
+        let relax = 1.0 + params.epsilon;
+        while let Some(Reverse((OrdF32(d), p))) = self.frontier.pop() {
+            let d_max = self.best.peek().map_or(f32::INFINITY, |&(OrdF32(m), _)| m);
+            if d > relax * d_max {
+                break;
+            }
+            for &(w, _) in graph.neighbors(p) {
+                if !self.visit(w) {
+                    continue;
+                }
+                let dw = metric.distance(query, base.point(w));
+                evals += 1;
+                let d_max = self.best.peek().map_or(f32::INFINITY, |&(OrdF32(m), _)| m);
+                if self.best.len() < params.l || dw < d_max {
+                    self.best.push((OrdF32(dw), w));
+                    if self.best.len() > params.l {
+                        self.best.pop();
+                    }
+                }
+                if dw < relax * d_max {
+                    self.frontier.push(Reverse((OrdF32(dw), w)));
+                }
+            }
+        }
+
+        let mut neighbors: Vec<(PointId, f32)> =
+            self.best.drain().map(|(OrdF32(d), id)| (id, d)).collect();
+        neighbors.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        SearchResult {
+            neighbors,
+            distance_evals: evals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nndescent::{build, NnDescentParams};
+    use crate::search::search;
+    use dataset::metric::L2;
+    use dataset::synth::uniform;
+
+    fn setup() -> (PointSet<Vec<f32>>, KnnGraph) {
+        let set = uniform(400, 5, 3);
+        let (g, _) = build(&set, &L2, NnDescentParams::new(8).seed(1));
+        (set, g.optimize(8, 1.5))
+    }
+
+    #[test]
+    fn matches_one_shot_search_exactly() {
+        let (set, g) = setup();
+        let mut s = Searcher::new(set.len());
+        for probe in [0u32, 37, 200, 399] {
+            let p = SearchParams::new(6)
+                .epsilon(0.15)
+                .entry_candidates(24)
+                .seed(9);
+            let a = search(&g, &set, &L2, set.point(probe), p);
+            let b = s.search(&g, &set, &L2, set.point(probe), p);
+            assert_eq!(a, b, "probe {probe} diverged");
+        }
+    }
+
+    #[test]
+    fn back_to_back_queries_are_independent() {
+        let (set, g) = setup();
+        let mut s = Searcher::new(set.len());
+        let p = SearchParams::new(5).entry_candidates(32).seed(2);
+        let first = s.search(&g, &set, &L2, set.point(10), p);
+        // Interleave a different query, then repeat the first: identical.
+        let _ = s.search(&g, &set, &L2, set.point(300), p);
+        let again = s.search(&g, &set, &L2, set.point(10), p);
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn epoch_wraparound_still_correct() {
+        let (set, g) = setup();
+        let mut s = Searcher::new(set.len());
+        // Force the wrap path.
+        s.epoch = u32::MAX - 1;
+        let p = SearchParams::new(5).entry_candidates(32).seed(4);
+        let want = search(&g, &set, &L2, set.point(123), p);
+        for _ in 0..4 {
+            let got = s.search(&g, &set, &L2, set.point(123), p);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sized for a different N")]
+    fn wrong_size_rejected() {
+        let (set, g) = setup();
+        let mut s = Searcher::new(10);
+        let _ = s.search(&g, &set, &L2, set.point(0), SearchParams::new(3));
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests of the k-NNG operations the paper's Section 4.5
+//! optimization step composes: reversal, reverse-merge, pruning.
+
+use nnd::graph::KnnGraph;
+use proptest::prelude::*;
+
+/// A random small directed graph as adjacency rows of (target, dist), with
+/// no self loops or duplicate targets per row.
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = KnnGraph> {
+    (2..max_n).prop_flat_map(move |n| {
+        prop::collection::vec(prop::collection::vec((0..n as u32, 0.0f32..100.0), 0..6), n)
+            .prop_map(move |mut rows| {
+                for (v, row) in rows.iter_mut().enumerate() {
+                    row.retain(|&(u, _)| u as usize != v);
+                    row.sort_by_key(|&(u, _)| u);
+                    row.dedup_by_key(|&mut (u, _)| u);
+                }
+                KnnGraph::from_rows(rows)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn double_reverse_is_identity(g in graph_strategy(24)) {
+        // Reversal is an involution on edge sets: every edge v->u at d
+        // appears as u->v in the reverse and back again.
+        let rr = g.reversed().reversed();
+        prop_assert_eq!(rr.edge_count(), g.edge_count());
+        for v in 0..g.len() as u32 {
+            let mut a = g.neighbors(v).to_vec();
+            let mut b = rr.neighbors(v).to_vec();
+            a.sort_by_key(|x| x.0);
+            b.sort_by_key(|x| x.0);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn reverse_preserves_edge_count(g in graph_strategy(24)) {
+        prop_assert_eq!(g.reversed().edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn merge_reverse_superset_and_symmetric(g in graph_strategy(20)) {
+        let m = g.merge_reverse();
+        // Every original edge survives the merge.
+        for v in 0..g.len() as u32 {
+            for &(u, _) in g.neighbors(v) {
+                prop_assert!(
+                    m.neighbors(v).iter().any(|&(x, _)| x == u),
+                    "edge {v}->{u} lost in merge"
+                );
+            }
+        }
+        // The merged graph is symmetric as an unweighted graph.
+        for v in 0..m.len() as u32 {
+            for &(u, _) in m.neighbors(v) {
+                prop_assert!(
+                    m.neighbors(u).iter().any(|&(x, _)| x == v),
+                    "merge not symmetric at {v}<->{u}"
+                );
+            }
+        }
+        // No duplicates per row.
+        for v in 0..m.len() as u32 {
+            let ids: Vec<u32> = m.neighbors(v).iter().map(|&(u, _)| u).collect();
+            let mut d = ids.clone();
+            d.sort_unstable();
+            d.dedup();
+            prop_assert_eq!(d.len(), ids.len());
+        }
+    }
+
+    #[test]
+    fn prune_keeps_the_closest_prefix(g in graph_strategy(20), limit in 1usize..8) {
+        let p = g.prune(limit);
+        for v in 0..g.len() as u32 {
+            let orig = g.neighbors(v);
+            let kept = p.neighbors(v);
+            prop_assert!(kept.len() <= limit);
+            prop_assert_eq!(kept, &orig[..kept.len().min(orig.len())]);
+        }
+    }
+
+    #[test]
+    fn optimize_bounds_max_degree(g in graph_strategy(20), k in 1usize..6) {
+        let opt = g.optimize(k, 1.5);
+        let limit = ((k as f64) * 1.5).ceil() as usize;
+        prop_assert!(opt.max_degree() <= limit, "degree {} > {}", opt.max_degree(), limit);
+    }
+
+    #[test]
+    fn rows_always_sorted_by_distance(g in graph_strategy(24)) {
+        for graph in [g.reversed(), g.merge_reverse(), g.optimize(3, 1.5)] {
+            for v in 0..graph.len() as u32 {
+                let row = graph.neighbors(v);
+                prop_assert!(row.windows(2).all(|w| w[0].1 <= w[1].1));
+            }
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips(g in graph_strategy(16), case in any::<u64>()) {
+        let dir = std::env::temp_dir().join(format!(
+            "nnd-graph-prop-{}-{case}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = metall::Store::create(&dir).unwrap();
+        g.save(&mut store, "g").unwrap();
+        let back = KnnGraph::load(&store, "g").unwrap();
+        prop_assert_eq!(back, g);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,133 @@
+//! Higher-level collectives built on the message path and the scratch-cell
+//! reducers in [`crate::comm::Comm`]: all-gather, gather-to-root, and
+//! element-wise vector reduction. YGM applications use these for the small
+//! control-plane exchanges around the bulk async traffic (e.g. collecting
+//! per-rank statistics, distributing global parameters).
+//!
+//! All functions are SPMD collectives: every rank must call them at the
+//! same point with the same tag.
+
+use crate::codec::Wire;
+use crate::comm::Comm;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Gather one `Wire` value from every rank; every rank receives the full
+/// vector indexed by rank. Uses `tag` for its traffic (must not collide
+/// with application tags and must be registered by this call only).
+pub fn all_gather<T: Wire + Clone + 'static>(comm: &Comm, tag: u16, value: &T) -> Vec<T> {
+    let slots: Rc<RefCell<Vec<Option<T>>>> = Rc::new(RefCell::new(vec![None; comm.n_ranks()]));
+    let sink = Rc::clone(&slots);
+    comm.register::<(u32, T), _>(tag, move |_, (src, v)| {
+        sink.borrow_mut()[src as usize] = Some(v);
+    });
+    for dest in 0..comm.n_ranks() {
+        comm.async_send(dest, tag, &(comm.rank() as u32, value.clone()));
+    }
+    comm.barrier();
+    let out = slots
+        .borrow_mut()
+        .iter_mut()
+        .map(|s| s.take().expect("missing all_gather contribution"))
+        .collect();
+    out
+}
+
+/// Gather one value per rank at `root`; other ranks receive `None`.
+pub fn gather<T: Wire + Clone + 'static>(
+    comm: &Comm,
+    tag: u16,
+    root: usize,
+    value: &T,
+) -> Option<Vec<T>> {
+    let slots: Rc<RefCell<Vec<Option<T>>>> = Rc::new(RefCell::new(vec![None; comm.n_ranks()]));
+    let sink = Rc::clone(&slots);
+    comm.register::<(u32, T), _>(tag, move |_, (src, v)| {
+        sink.borrow_mut()[src as usize] = Some(v);
+    });
+    comm.async_send(root, tag, &(comm.rank() as u32, value.clone()));
+    comm.barrier();
+    if comm.rank() == root {
+        Some(
+            slots
+                .borrow_mut()
+                .iter_mut()
+                .map(|s| s.take().expect("missing gather contribution"))
+                .collect(),
+        )
+    } else {
+        None
+    }
+}
+
+/// Element-wise sum of equal-length `u64` vectors across ranks; every rank
+/// receives the reduced vector. Built from repeated scalar all-reduces —
+/// fine for the short statistic vectors it is meant for.
+pub fn all_reduce_sum_vec(comm: &Comm, values: &[u64]) -> Vec<u64> {
+    // Length must agree across ranks; cheap collective check first.
+    let max_len = comm.all_reduce_max_u64(values.len() as u64) as usize;
+    assert_eq!(
+        values.len(),
+        max_len,
+        "all ranks must pass equal-length vectors"
+    );
+    values.iter().map(|&v| comm.all_reduce_sum_u64(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    const TAG: u16 = 50;
+
+    #[test]
+    fn all_gather_orders_by_rank() {
+        let report = World::new(4).run(|comm| all_gather(comm, TAG, &(comm.rank() as u64 * 100)));
+        for r in &report.results {
+            assert_eq!(r, &vec![0, 100, 200, 300]);
+        }
+    }
+
+    #[test]
+    fn all_gather_vectors() {
+        let report = World::new(3).run(|comm| {
+            let mine = vec![comm.rank() as u32; comm.rank() + 1];
+            all_gather(comm, TAG, &mine)
+        });
+        for r in &report.results {
+            assert_eq!(r[0], vec![0u32]);
+            assert_eq!(r[1], vec![1, 1]);
+            assert_eq!(r[2], vec![2, 2, 2]);
+        }
+    }
+
+    #[test]
+    fn gather_only_root_receives() {
+        let report = World::new(4).run(|comm| gather(comm, TAG, 2, &(comm.rank() as u32)));
+        for (rank, r) in report.results.iter().enumerate() {
+            if rank == 2 {
+                assert_eq!(r.as_ref().unwrap(), &vec![0, 1, 2, 3]);
+            } else {
+                assert!(r.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn vector_reduce_sums_elementwise() {
+        let report = World::new(4).run(|comm| {
+            let mine = vec![comm.rank() as u64, 1, 10];
+            all_reduce_sum_vec(comm, &mine)
+        });
+        for r in &report.results {
+            assert_eq!(r, &vec![6, 4, 40]); // 0+1+2+3, 4x1, 4x10
+        }
+    }
+
+    #[test]
+    fn all_gather_on_single_rank() {
+        let report = World::new(1).run(|comm| all_gather(comm, TAG, &7u32));
+        assert_eq!(report.results[0], vec![7]);
+    }
+}

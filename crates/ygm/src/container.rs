@@ -1,0 +1,293 @@
+//! Distributed containers in the style of `ygm::container` — the part of
+//! YGM applications use for irregular data exchange when raw RPC is too
+//! low-level.
+//!
+//! * [`DistBag`] — every rank inserts items addressed to arbitrary ranks;
+//!   after a barrier each rank holds the items addressed to it. This is
+//!   exactly the reverse-neighbor-exchange pattern of the paper's §4.2.
+//! * [`DistMap`] — a hash-partitioned key-value map with asynchronous
+//!   insert, visit-style mutation, and owner-computes semantics.
+//!
+//! Both are *per-rank handles* (not `Send`): they register a tag-scoped
+//! handler on construction and must be constructed collectively — same tag
+//! on every rank, before the first message arrives.
+
+use crate::codec::Wire;
+use crate::comm::Comm;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A distributed multiset: items are sent to explicit destination ranks
+/// and become visible there after the next barrier/poll.
+pub struct DistBag<T> {
+    comm_tag: u16,
+    items: Rc<RefCell<Vec<T>>>,
+}
+
+impl<T: Wire + 'static> DistBag<T> {
+    /// Collectively create a bag using `tag`. Every rank must call this
+    /// with the same tag before any sends.
+    pub fn new(comm: &Comm, tag: u16) -> Self {
+        let items = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&items);
+        comm.register::<T, _>(tag, move |_, item| sink.borrow_mut().push(item));
+        DistBag {
+            comm_tag: tag,
+            items,
+        }
+    }
+
+    /// Asynchronously add `item` to the bag of rank `dest`.
+    pub fn async_insert(&self, comm: &Comm, dest: usize, item: &T) {
+        comm.async_send(dest, self.comm_tag, item);
+    }
+
+    /// Items delivered to this rank so far. Call after a barrier to see
+    /// every item addressed here.
+    pub fn local_items(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.items.borrow().clone()
+    }
+
+    /// Drain the local items, leaving the bag empty.
+    pub fn take_local(&self) -> Vec<T> {
+        std::mem::take(&mut *self.items.borrow_mut())
+    }
+
+    /// Number of items currently held locally.
+    pub fn local_len(&self) -> usize {
+        self.items.borrow().len()
+    }
+
+    /// Global item count (collective: all ranks must call).
+    pub fn global_len(&self, comm: &Comm) -> u64 {
+        comm.all_reduce_sum_u64(self.local_len() as u64)
+    }
+}
+
+/// A hash-partitioned distributed map with owner-computes updates.
+///
+/// Keys are partitioned by `hash(key) % n_ranks` (the same discipline DNND
+/// uses for vertices). `async_insert` overwrites; `async_merge` applies a
+/// rank-local merge function on the owner.
+/// Merge function resolving concurrent inserts to an existing key.
+pub type MergeFn<V> = Box<dyn FnMut(&mut V, V)>;
+
+pub struct DistMap<K, V> {
+    insert_tag: u16,
+    local: Rc<RefCell<HashMap<K, V>>>,
+    merge: Rc<RefCell<Option<MergeFn<V>>>>,
+}
+
+fn key_owner<K: std::hash::Hash>(key: &K, n_ranks: usize) -> usize {
+    use std::hash::Hasher;
+    // FxHash-style multiply hash over the std SipHash would also work;
+    // DefaultHasher keeps this dependency-free and stable per process.
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % n_ranks as u64) as usize
+}
+
+impl<K, V> DistMap<K, V>
+where
+    K: Wire + std::hash::Hash + Eq + Clone + 'static,
+    V: Wire + Clone + 'static,
+{
+    /// Collectively create a map using `tag` for its insert traffic. The
+    /// optional `merge` resolves keys that already exist (`None` =
+    /// last-writer-wins).
+    pub fn new(comm: &Comm, tag: u16, merge: Option<MergeFn<V>>) -> Self {
+        let local: Rc<RefCell<HashMap<K, V>>> = Rc::new(RefCell::new(HashMap::new()));
+        let merge: Rc<RefCell<Option<MergeFn<V>>>> = Rc::new(RefCell::new(merge));
+        let sink = Rc::clone(&local);
+        let merge_in = Rc::clone(&merge);
+        comm.register::<(K, V), _>(tag, move |_, (k, v)| {
+            let mut map = sink.borrow_mut();
+            match map.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if let Some(m) = merge_in.borrow_mut().as_mut() {
+                        m(e.get_mut(), v);
+                    } else {
+                        e.insert(v);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                }
+            }
+        });
+        DistMap {
+            insert_tag: tag,
+            local,
+            merge,
+        }
+    }
+
+    /// The rank owning `key`.
+    pub fn owner(&self, comm: &Comm, key: &K) -> usize {
+        key_owner(key, comm.n_ranks())
+    }
+
+    /// Asynchronously insert/merge `(key, value)` at the owner.
+    pub fn async_insert(&self, comm: &Comm, key: &K, value: &V) {
+        let dest = self.owner(comm, key);
+        comm.async_send(dest, self.insert_tag, &(key.clone(), value.clone()));
+    }
+
+    /// Read a locally owned key (keys owned by other ranks return `None`
+    /// here even if they exist remotely — owner-computes discipline).
+    pub fn get_local(&self, key: &K) -> Option<V> {
+        self.local.borrow().get(key).cloned()
+    }
+
+    /// Apply `f` to every locally owned entry.
+    pub fn for_each_local(&self, mut f: impl FnMut(&K, &V)) {
+        for (k, v) in self.local.borrow().iter() {
+            f(k, v);
+        }
+    }
+
+    /// Number of locally owned keys.
+    pub fn local_len(&self) -> usize {
+        self.local.borrow().len()
+    }
+
+    /// Global key count (collective).
+    pub fn global_len(&self, comm: &Comm) -> u64 {
+        comm.all_reduce_sum_u64(self.local_len() as u64)
+    }
+
+    /// Drain the local entries.
+    pub fn take_local(&self) -> HashMap<K, V> {
+        let _ = &self.merge;
+        std::mem::take(&mut *self.local.borrow_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    const BAG: u16 = 40;
+    const MAP: u16 = 41;
+
+    #[test]
+    fn bag_routes_items_to_destinations() {
+        let report = World::new(3).run(|comm| {
+            let bag: DistBag<u64> = DistBag::new(comm, BAG);
+            // Everyone sends (rank * 10 + dest) to every rank.
+            for dest in 0..comm.n_ranks() {
+                bag.async_insert(comm, dest, &((comm.rank() * 10 + dest) as u64));
+            }
+            comm.barrier();
+            let mut got = bag.take_local();
+            got.sort_unstable();
+            got
+        });
+        assert_eq!(report.results[0], vec![0, 10, 20]);
+        assert_eq!(report.results[1], vec![1, 11, 21]);
+        assert_eq!(report.results[2], vec![2, 12, 22]);
+    }
+
+    #[test]
+    fn bag_global_len_counts_everything() {
+        let report = World::new(4).run(|comm| {
+            let bag: DistBag<u32> = DistBag::new(comm, BAG);
+            for i in 0..5u32 {
+                bag.async_insert(comm, (i as usize) % comm.n_ranks(), &i);
+            }
+            comm.barrier();
+            bag.global_len(comm)
+        });
+        assert!(report.results.iter().all(|&n| n == 20));
+    }
+
+    #[test]
+    fn map_owner_is_consistent_across_ranks() {
+        let report = World::new(4).run(|comm| {
+            let map: DistMap<u32, u64> = DistMap::new(comm, MAP, None);
+            (0..16u32).map(|k| map.owner(comm, &k)).collect::<Vec<_>>()
+        });
+        for r in &report.results[1..] {
+            assert_eq!(r, &report.results[0]);
+        }
+    }
+
+    #[test]
+    fn map_insert_lands_at_owner_only() {
+        let report = World::new(3).run(|comm| {
+            let map: DistMap<u32, u64> = DistMap::new(comm, MAP, None);
+            if comm.rank() == 0 {
+                for k in 0..30u32 {
+                    map.async_insert(comm, &k, &u64::from(k * 2));
+                }
+            }
+            comm.barrier();
+            let local = map.take_local();
+            // Every local key must be owned here and carry the right value.
+            for (k, v) in &local {
+                assert_eq!(key_owner(k, comm.n_ranks()), comm.rank());
+                assert_eq!(*v, u64::from(k * 2));
+            }
+            local.len()
+        });
+        let total: usize = report.results.iter().sum();
+        assert_eq!(total, 30, "all keys must land exactly once");
+    }
+
+    #[test]
+    fn map_merge_resolves_conflicts() {
+        let report = World::new(4).run(|comm| {
+            // Sum-merge: concurrent inserts to the same key accumulate.
+            let map: DistMap<u32, u64> =
+                DistMap::new(comm, MAP, Some(Box::new(|acc, v| *acc += v)));
+            map.async_insert(comm, &7, &1);
+            map.async_insert(comm, &7, &1);
+            comm.barrier();
+            map.get_local(&7).unwrap_or(0)
+        });
+        let total: u64 = report.results.iter().sum();
+        assert_eq!(total, 8, "4 ranks x 2 increments must accumulate");
+    }
+
+    #[test]
+    fn map_last_writer_wins_without_merge() {
+        let report = World::new(2).run(|comm| {
+            let map: DistMap<u32, u64> = DistMap::new(comm, MAP, None);
+            if comm.rank() == 0 {
+                map.async_insert(comm, &1, &10);
+                comm.barrier();
+                map.async_insert(comm, &1, &20);
+                comm.barrier();
+            } else {
+                comm.barrier();
+                comm.barrier();
+            }
+            map.get_local(&1)
+        });
+        let vals: Vec<u64> = report.results.iter().flatten().copied().collect();
+        assert_eq!(vals, vec![20]);
+    }
+
+    #[test]
+    fn for_each_local_visits_all() {
+        let report = World::new(2).run(|comm| {
+            let map: DistMap<u32, u64> = DistMap::new(comm, MAP, None);
+            for k in 0..10u32 {
+                map.async_insert(comm, &k, &1);
+            }
+            comm.barrier();
+            let mut sum = 0;
+            map.for_each_local(|_, v| sum += *v);
+            sum
+        });
+        // Each rank inserted 10 keys; duplicates overwrite, so the global
+        // distinct count is 10 and every rank contributed the same keys.
+        let total: u64 = report.results.iter().sum();
+        assert_eq!(total, 10);
+    }
+}

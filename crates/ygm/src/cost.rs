@@ -1,0 +1,356 @@
+//! Virtual time model.
+//!
+//! The paper measures wall-clock hours on the Mammoth cluster (dual 64-core
+//! EPYC nodes, Omni-Path interconnect, up to 32 nodes x 128 ranks). This
+//! reproduction runs all ranks inside one process on one machine, so
+//! wall-clock time cannot exhibit distributed strong scaling. Instead the
+//! runtime maintains a deterministic *virtual clock*:
+//!
+//! * Each rank accrues **compute cost** — the application charges a cost per
+//!   distance evaluation (proportional to vector dimension), mirroring where
+//!   nearly all of NN-Descent's CPU time goes.
+//! * Each rank accrues **communication cost** for remote traffic: a
+//!   per-message overhead `alpha` plus `bytes / bandwidth` (the classic
+//!   alpha-beta model), on both the send and the receive side.
+//! * At every barrier the global clock advances by the **phase makespan**:
+//!   the maximum over ranks of (compute + send cost) plus the maximum of
+//!   receive-side cost, plus a `log2(P)` barrier latency.
+//!
+//! Strong scaling then emerges for the same reason it does on real hardware:
+//! per-rank compute shrinks roughly as `1/P` while per-message overheads,
+//! barrier latencies, and load imbalance (captured exactly by the `max` over
+//! real per-rank counters) do not.
+
+use crate::stats::Stats;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Alpha-beta cost model constants. All times in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Per-message overhead charged to both sender and receiver (ns). This
+    /// models YGM's per-RPC handling cost, not an MPI message: YGM aggregates
+    /// many RPCs per MPI send, so this is small.
+    pub alpha_ns: f64,
+    /// Link bandwidth in bytes per nanosecond (1.0 == 1 GB/s is 1e0? No:
+    /// bytes/ns; 12.5 bytes/ns == 100 Gb/s, the Omni-Path class).
+    pub bytes_per_ns: f64,
+    /// Latency of one barrier/allreduce hop (ns); total barrier cost is
+    /// `barrier_hop_ns * ceil(log2(P))`.
+    pub barrier_hop_ns: f64,
+    /// Cost of evaluating one distance element (one dimension of a vector
+    /// pair), in ns. Multiplied by vector dimension per distance call.
+    pub dist_elem_ns: f64,
+}
+
+impl CostModel {
+    /// Constants loosely calibrated to the paper's Mammoth cluster: 100 Gb/s
+    /// class interconnect, microsecond-scale collectives, and a few tenths of
+    /// a nanosecond per vector element on a 2.25 GHz EPYC core.
+    pub fn mammoth_like() -> Self {
+        CostModel {
+            alpha_ns: 120.0,
+            bytes_per_ns: 12.5,
+            barrier_hop_ns: 15_000.0,
+            dist_elem_ns: 0.6,
+        }
+    }
+
+    /// A model with zero communication cost; useful to isolate compute
+    /// scaling in ablations.
+    pub fn free_network() -> Self {
+        CostModel {
+            alpha_ns: 0.0,
+            bytes_per_ns: f64::INFINITY,
+            barrier_hop_ns: 0.0,
+            dist_elem_ns: 0.6,
+        }
+    }
+
+    /// Virtual cost of one distance evaluation over vectors of `dim`
+    /// dimensions, in nanoseconds.
+    #[inline]
+    pub fn distance_cost_ns(&self, dim: usize) -> u64 {
+        (self.dist_elem_ns * dim as f64).ceil() as u64
+    }
+
+    fn link_cost_ns(&self, msgs: u64, bytes: u64) -> f64 {
+        self.alpha_ns * msgs as f64 + bytes as f64 / self.bytes_per_ns
+    }
+
+    fn barrier_cost_ns(&self, n_ranks: usize) -> f64 {
+        let hops = (n_ranks.max(1) as f64).log2().ceil().max(0.0);
+        self.barrier_hop_ns * hops
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::mammoth_like()
+    }
+}
+
+/// Decomposition of elapsed virtual time into its cost-model components —
+/// the "how much is computation vs communication" profile the paper's
+/// Section 7 calls for.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClockBreakdown {
+    /// Makespan contribution of per-rank compute (max over ranks, summed
+    /// over phases), seconds.
+    pub compute_secs: f64,
+    /// Contribution of the alpha-beta communication terms, seconds.
+    pub comm_secs: f64,
+    /// Contribution of barrier/collective latency, seconds.
+    pub barrier_secs: f64,
+}
+
+impl ClockBreakdown {
+    /// Total seconds across components.
+    pub fn total_secs(&self) -> f64 {
+        self.compute_secs + self.comm_secs + self.barrier_secs
+    }
+
+    /// Fraction of the total spent communicating (comm + barrier), in
+    /// `[0, 1]`; 0 when nothing has elapsed.
+    pub fn comm_fraction(&self) -> f64 {
+        let t = self.total_secs();
+        if t == 0.0 {
+            0.0
+        } else {
+            (self.comm_secs + self.barrier_secs) / t
+        }
+    }
+}
+
+/// One barrier-to-barrier phase, as recorded by the virtual clock — the
+/// fine-grained profile behind the paper's Section 7 ask. A "phase" is
+/// everything between two consecutive barriers world-wide.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseRecord {
+    /// Zero-based phase index (== barrier count so far).
+    pub index: usize,
+    /// Makespan attributed to compute, seconds.
+    pub compute_secs: f64,
+    /// Makespan attributed to communication, seconds.
+    pub comm_secs: f64,
+    /// Barrier latency, seconds.
+    pub barrier_secs: f64,
+    /// Remote messages sent world-wide during the phase.
+    pub msgs: u64,
+    /// Remote bytes sent world-wide during the phase.
+    pub bytes: u64,
+}
+
+impl PhaseRecord {
+    /// Total virtual seconds this phase contributed.
+    pub fn total_secs(&self) -> f64 {
+        self.compute_secs + self.comm_secs + self.barrier_secs
+    }
+}
+
+/// The global virtual clock. Advanced only at barriers, by the phase
+/// makespan computed from the per-rank phase counters in [`Stats`].
+pub struct VirtualClock {
+    now_ns: AtomicU64,
+    compute_ns: AtomicU64,
+    comm_ns: AtomicU64,
+    barrier_ns: AtomicU64,
+    phases: Mutex<Vec<PhaseRecord>>,
+}
+
+impl VirtualClock {
+    pub(crate) fn new() -> Self {
+        VirtualClock {
+            now_ns: AtomicU64::new(0),
+            compute_ns: AtomicU64::new(0),
+            comm_ns: AtomicU64::new(0),
+            barrier_ns: AtomicU64::new(0),
+            phases: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Current virtual time in nanoseconds since world start.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns.load(Ordering::SeqCst)
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now_secs(&self) -> f64 {
+        self.now_ns() as f64 / 1e9
+    }
+
+    /// Advance the clock by one phase. Called by the barrier leader after
+    /// quiescence, before phase counters are reset.
+    pub(crate) fn advance_phase(&self, stats: &Stats, cost: &CostModel, n_ranks: usize) {
+        let mut max_compute = 0.0f64;
+        let mut max_send = 0.0f64;
+        let mut max_recv = 0.0f64;
+        let mut phase_msgs = 0u64;
+        let mut phase_bytes = 0u64;
+        for p in stats.phase.iter() {
+            let compute = p.compute_ns.load(Ordering::Relaxed) as f64;
+            let msgs_out = p.msgs_out.load(Ordering::Relaxed);
+            let bytes_out = p.bytes_out.load(Ordering::Relaxed);
+            phase_msgs += msgs_out;
+            phase_bytes += bytes_out;
+            let send = cost.link_cost_ns(msgs_out, bytes_out);
+            let recv = cost.link_cost_ns(
+                p.msgs_in.load(Ordering::Relaxed),
+                p.bytes_in.load(Ordering::Relaxed),
+            );
+            max_compute = max_compute.max(compute + send); // send charged with compute below
+            max_send = max_send.max(send);
+            max_recv = max_recv.max(recv);
+        }
+        // Attribution: the makespan adds max(compute + send) + max(recv) +
+        // barrier. Count the send share inside the comm bucket.
+        let compute_part = (max_compute - max_send).max(0.0);
+        let comm_part = max_send + max_recv;
+        let barrier_part = cost.barrier_cost_ns(n_ranks);
+        self.compute_ns
+            .fetch_add(compute_part.ceil() as u64, Ordering::SeqCst);
+        self.comm_ns
+            .fetch_add(comm_part.ceil() as u64, Ordering::SeqCst);
+        self.barrier_ns
+            .fetch_add(barrier_part.ceil() as u64, Ordering::SeqCst);
+        let phase = compute_part + comm_part + barrier_part;
+        self.now_ns.fetch_add(phase.ceil() as u64, Ordering::SeqCst);
+        let mut log = self.phases.lock();
+        let index = log.len();
+        log.push(PhaseRecord {
+            index,
+            compute_secs: compute_part / 1e9,
+            comm_secs: comm_part / 1e9,
+            barrier_secs: barrier_part / 1e9,
+            msgs: phase_msgs,
+            bytes: phase_bytes,
+        });
+    }
+
+    /// Advance by a collective's synchronization cost only (used by
+    /// allreduce helpers, which bypass the message path).
+    pub(crate) fn advance_collective(&self, cost: &CostModel, n_ranks: usize) {
+        let ns = cost.barrier_cost_ns(n_ranks).ceil() as u64;
+        self.barrier_ns.fetch_add(ns, Ordering::SeqCst);
+        self.now_ns.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Per-phase records accumulated so far (one per barrier).
+    pub fn phases(&self) -> Vec<PhaseRecord> {
+        self.phases.lock().clone()
+    }
+
+    /// Where the elapsed virtual time went (Section 7-style profile).
+    pub fn breakdown(&self) -> ClockBreakdown {
+        ClockBreakdown {
+            compute_secs: self.compute_ns.load(Ordering::SeqCst) as f64 / 1e9,
+            comm_secs: self.comm_ns.load(Ordering::SeqCst) as f64 / 1e9,
+            barrier_secs: self.barrier_ns.load(Ordering::SeqCst) as f64 / 1e9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_cost_scales_with_dim() {
+        let c = CostModel::mammoth_like();
+        assert!(c.distance_cost_ns(128) > c.distance_cost_ns(32));
+        assert_eq!(c.distance_cost_ns(0), 0);
+    }
+
+    #[test]
+    fn clock_starts_at_zero_and_advances() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now_ns(), 0);
+        let stats = Stats::new(2);
+        stats.charge_compute(0, 1_000);
+        stats.charge_compute(1, 5_000);
+        let cost = CostModel::free_network();
+        clock.advance_phase(&stats, &cost, 2);
+        // Makespan is the max over ranks, not the sum.
+        assert_eq!(clock.now_ns(), 5_000);
+    }
+
+    #[test]
+    fn phase_cost_includes_comm_terms() {
+        let clock = VirtualClock::new();
+        let stats = Stats::new(2);
+        stats.record_send(0, 1_000_000, 0, 1); // 1 MB remote
+        let cost = CostModel {
+            alpha_ns: 100.0,
+            bytes_per_ns: 1.0,
+            barrier_hop_ns: 0.0,
+            dist_elem_ns: 1.0,
+        };
+        clock.advance_phase(&stats, &cost, 2);
+        // send side: 100 + 1e6, recv side: 100 + 1e6
+        assert_eq!(clock.now_ns(), 2 * (100 + 1_000_000));
+    }
+
+    #[test]
+    fn barrier_cost_grows_with_ranks() {
+        let c = CostModel::mammoth_like();
+        assert!(c.barrier_cost_ns(32) > c.barrier_cost_ns(4));
+        assert_eq!(c.barrier_cost_ns(1), 0.0);
+    }
+
+    #[test]
+    fn phase_log_records_every_barrier() {
+        let clock = VirtualClock::new();
+        let stats = Stats::new(2);
+        let cost = CostModel::mammoth_like();
+        stats.record_send(0, 500, 0, 1);
+        clock.advance_phase(&stats, &cost, 2);
+        stats.reset_phase();
+        clock.advance_phase(&stats, &cost, 2);
+        let phases = clock.phases();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].index, 0);
+        assert_eq!(phases[0].msgs, 1);
+        assert_eq!(phases[0].bytes, 500);
+        assert_eq!(phases[1].msgs, 0);
+        let total: f64 = phases.iter().map(PhaseRecord::total_secs).sum();
+        assert!((total - clock.now_secs()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn breakdown_attributes_components() {
+        let clock = VirtualClock::new();
+        let stats = Stats::new(2);
+        stats.charge_compute(0, 10_000);
+        stats.record_send(0, 1_000, 0, 1);
+        let cost = CostModel {
+            alpha_ns: 100.0,
+            bytes_per_ns: 1.0,
+            barrier_hop_ns: 500.0,
+            dist_elem_ns: 1.0,
+        };
+        clock.advance_phase(&stats, &cost, 2);
+        let b = clock.breakdown();
+        assert!(b.compute_secs > 0.0);
+        assert!(b.comm_secs > 0.0);
+        assert!(b.barrier_secs > 0.0);
+        assert!((b.total_secs() - clock.now_secs()).abs() < 1e-8);
+        assert!(b.comm_fraction() > 0.0 && b.comm_fraction() < 1.0);
+    }
+
+    #[test]
+    fn breakdown_empty_is_zero() {
+        let clock = VirtualClock::new();
+        let b = clock.breakdown();
+        assert_eq!(b, ClockBreakdown::default());
+        assert_eq!(b.comm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn free_network_charges_nothing_for_messages() {
+        let clock = VirtualClock::new();
+        let stats = Stats::new(2);
+        stats.record_send(0, 1 << 20, 0, 1);
+        clock.advance_phase(&stats, &CostModel::free_network(), 2);
+        assert_eq!(clock.now_ns(), 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Communication statistics.
+//!
+//! Two families of counters are maintained:
+//!
+//! * **Cumulative per-tag counters** — message count and byte volume per
+//!   message tag, for the whole run. These are the quantities reported in the
+//!   paper's Figure 4 (Type 1 / Type 2 / Type 2+ / Type 3 messages during the
+//!   neighbor-check phase).
+//! * **Per-rank phase counters** — compute nanoseconds charged and
+//!   remote traffic (messages/bytes in and out) since the last barrier.
+//!   The virtual clock consumes these at every barrier to advance simulated
+//!   time by the phase makespan (see [`crate::cost`]).
+//!
+//! "Remote" traffic means `source != destination`; rank-local messages are
+//! counted in the per-tag totals (they are real work for the handler) but do
+//! not contribute network cost, mirroring shared-memory delivery inside one
+//! node.
+
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Maximum number of distinct message tags a world supports.
+pub const MAX_TAGS: usize = 64;
+
+/// A snapshot of the cumulative counters for one message tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TagStats {
+    /// Total messages sent with this tag (local + remote).
+    pub count: u64,
+    /// Total payload + frame header bytes sent with this tag.
+    pub bytes: u64,
+    /// Messages sent to a different rank.
+    pub remote_count: u64,
+    /// Bytes sent to a different rank.
+    pub remote_bytes: u64,
+}
+
+/// Per-rank counters accumulated between two barriers.
+#[derive(Debug, Default)]
+pub(crate) struct PhaseCounters {
+    pub compute_ns: AtomicU64,
+    pub msgs_out: AtomicU64,
+    pub bytes_out: AtomicU64,
+    pub msgs_in: AtomicU64,
+    pub bytes_in: AtomicU64,
+}
+
+impl PhaseCounters {
+    fn reset(&self) {
+        self.compute_ns.store(0, Ordering::Relaxed);
+        self.msgs_out.store(0, Ordering::Relaxed);
+        self.bytes_out.store(0, Ordering::Relaxed);
+        self.msgs_in.store(0, Ordering::Relaxed);
+        self.bytes_in.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Shared statistics block for a world. All methods are thread-safe; hot-path
+/// updates are relaxed atomics.
+pub struct Stats {
+    tag_count: Box<[CachePadded<AtomicU64>]>,
+    tag_bytes: Box<[CachePadded<AtomicU64>]>,
+    tag_remote_count: Box<[CachePadded<AtomicU64>]>,
+    tag_remote_bytes: Box<[CachePadded<AtomicU64>]>,
+    tag_names: Mutex<HashMap<u16, String>>,
+    pub(crate) phase: Box<[CachePadded<PhaseCounters>]>,
+}
+
+fn atomic_array(n: usize) -> Box<[CachePadded<AtomicU64>]> {
+    (0..n)
+        .map(|_| CachePadded::new(AtomicU64::new(0)))
+        .collect()
+}
+
+impl Stats {
+    pub(crate) fn new(n_ranks: usize) -> Self {
+        Stats {
+            tag_count: atomic_array(MAX_TAGS),
+            tag_bytes: atomic_array(MAX_TAGS),
+            tag_remote_count: atomic_array(MAX_TAGS),
+            tag_remote_bytes: atomic_array(MAX_TAGS),
+            tag_names: Mutex::new(HashMap::new()),
+            phase: (0..n_ranks)
+                .map(|_| CachePadded::new(PhaseCounters::default()))
+                .collect(),
+        }
+    }
+
+    /// Record one sent message. `bytes` includes the frame header.
+    #[inline]
+    pub(crate) fn record_send(&self, tag: u16, bytes: usize, src: usize, dest: usize) {
+        let t = tag as usize;
+        debug_assert!(t < MAX_TAGS);
+        self.tag_count[t].fetch_add(1, Ordering::Relaxed);
+        self.tag_bytes[t].fetch_add(bytes as u64, Ordering::Relaxed);
+        if src != dest {
+            self.tag_remote_count[t].fetch_add(1, Ordering::Relaxed);
+            self.tag_remote_bytes[t].fetch_add(bytes as u64, Ordering::Relaxed);
+            let ps = &self.phase[src];
+            ps.msgs_out.fetch_add(1, Ordering::Relaxed);
+            ps.bytes_out.fetch_add(bytes as u64, Ordering::Relaxed);
+            let pd = &self.phase[dest];
+            pd.msgs_in.fetch_add(1, Ordering::Relaxed);
+            pd.bytes_in.fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Charge `ns` nanoseconds of (virtual) compute time to `rank`.
+    #[inline]
+    pub(crate) fn charge_compute(&self, rank: usize, ns: u64) {
+        self.phase[rank].compute_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn reset_phase(&self) {
+        for p in self.phase.iter() {
+            p.reset();
+        }
+    }
+
+    /// Give a human-readable name to a tag for reports.
+    pub fn name_tag(&self, tag: u16, name: &str) {
+        self.tag_names.lock().insert(tag, name.to_owned());
+    }
+
+    /// The registered name of `tag`, or `"tag<N>"`.
+    pub fn tag_name(&self, tag: u16) -> String {
+        self.tag_names
+            .lock()
+            .get(&tag)
+            .cloned()
+            .unwrap_or_else(|| format!("tag{tag}"))
+    }
+
+    /// Cumulative counters for one tag.
+    pub fn tag(&self, tag: u16) -> TagStats {
+        let t = tag as usize;
+        TagStats {
+            count: self.tag_count[t].load(Ordering::Relaxed),
+            bytes: self.tag_bytes[t].load(Ordering::Relaxed),
+            remote_count: self.tag_remote_count[t].load(Ordering::Relaxed),
+            remote_bytes: self.tag_remote_bytes[t].load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sum of all per-tag counters.
+    pub fn total(&self) -> TagStats {
+        let mut out = TagStats::default();
+        for t in 0..MAX_TAGS as u16 {
+            let s = self.tag(t);
+            out.count += s.count;
+            out.bytes += s.bytes;
+            out.remote_count += s.remote_count;
+            out.remote_bytes += s.remote_bytes;
+        }
+        out
+    }
+
+    /// All tags that have recorded at least one message, with names.
+    pub fn nonzero_tags(&self) -> Vec<(u16, String, TagStats)> {
+        (0..MAX_TAGS as u16)
+            .filter_map(|t| {
+                let s = self.tag(t);
+                (s.count > 0).then(|| (t, self.tag_name(t), s))
+            })
+            .collect()
+    }
+
+    /// Reset the cumulative per-tag counters (phase counters are reset at
+    /// every barrier automatically). Useful for scoping measurements to one
+    /// algorithm phase, as the paper does for the neighbor-check step.
+    pub fn reset_tags(&self) {
+        for t in 0..MAX_TAGS {
+            self.tag_count[t].store(0, Ordering::Relaxed);
+            self.tag_bytes[t].store(0, Ordering::Relaxed);
+            self.tag_remote_count[t].store(0, Ordering::Relaxed);
+            self.tag_remote_bytes[t].store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_send_accumulates_per_tag() {
+        let s = Stats::new(4);
+        s.record_send(3, 100, 0, 1);
+        s.record_send(3, 50, 1, 1); // local: no remote accounting
+        s.record_send(5, 10, 2, 3);
+        let t3 = s.tag(3);
+        assert_eq!(t3.count, 2);
+        assert_eq!(t3.bytes, 150);
+        assert_eq!(t3.remote_count, 1);
+        assert_eq!(t3.remote_bytes, 100);
+        let total = s.total();
+        assert_eq!(total.count, 3);
+        assert_eq!(total.bytes, 160);
+    }
+
+    #[test]
+    fn phase_counters_track_in_and_out() {
+        let s = Stats::new(2);
+        s.record_send(0, 64, 0, 1);
+        assert_eq!(s.phase[0].msgs_out.load(Ordering::Relaxed), 1);
+        assert_eq!(s.phase[0].bytes_out.load(Ordering::Relaxed), 64);
+        assert_eq!(s.phase[1].msgs_in.load(Ordering::Relaxed), 1);
+        assert_eq!(s.phase[1].bytes_in.load(Ordering::Relaxed), 64);
+        s.reset_phase();
+        assert_eq!(s.phase[0].msgs_out.load(Ordering::Relaxed), 0);
+        assert_eq!(s.phase[1].bytes_in.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn tag_names_default_and_custom() {
+        let s = Stats::new(1);
+        assert_eq!(s.tag_name(7), "tag7");
+        s.name_tag(7, "type1_check");
+        assert_eq!(s.tag_name(7), "type1_check");
+    }
+
+    #[test]
+    fn nonzero_tags_lists_only_used() {
+        let s = Stats::new(2);
+        s.record_send(1, 8, 0, 1);
+        s.record_send(4, 8, 0, 1);
+        let tags: Vec<u16> = s.nonzero_tags().into_iter().map(|(t, _, _)| t).collect();
+        assert_eq!(tags, vec![1, 4]);
+    }
+
+    #[test]
+    fn reset_tags_clears_cumulative() {
+        let s = Stats::new(2);
+        s.record_send(1, 8, 0, 1);
+        s.reset_tags();
+        assert_eq!(s.total().count, 0);
+    }
+
+    #[test]
+    fn compute_charge_accumulates() {
+        let s = Stats::new(2);
+        s.charge_compute(1, 500);
+        s.charge_compute(1, 250);
+        assert_eq!(s.phase[1].compute_ns.load(Ordering::Relaxed), 750);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests of the simulated runtime: codec round-trips under
+//! arbitrary values, message conservation under random traffic patterns,
+//! and partition-independent collective results.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+use ygm::codec::{decode_from_bytes, encode_to_bytes};
+use ygm::World;
+
+type Composite = (u32, f32, Vec<u64>, Vec<(u32, bool)>, Option<i64>);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn codec_round_trips_arbitrary_composites(
+        a in any::<u32>(),
+        b in any::<f32>().prop_filter("NaN breaks Eq only", |x| !x.is_nan()),
+        v in prop::collection::vec(any::<u64>(), 0..20),
+        s in prop::collection::vec((any::<u32>(), any::<bool>()), 0..10),
+        o in prop::option::of(any::<i64>()),
+    ) {
+        let value = (a, b, v, s, o);
+        let enc = encode_to_bytes(&value);
+        prop_assert_eq!(enc.len(), ygm::Wire::wire_size(&value));
+        let back: Composite = decode_from_bytes(enc);
+        prop_assert_eq!(back, value);
+    }
+}
+
+proptest! {
+    // World spins up threads; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every message sent is processed exactly once, no matter the traffic
+    /// pattern, rank count, or flush threshold.
+    #[test]
+    fn message_conservation(
+        ranks in 1usize..6,
+        sends in prop::collection::vec((0usize..6, any::<u32>()), 0..60),
+        flush in prop::sample::select(vec![32usize, 1024, 64 * 1024]),
+    ) {
+        const TAG: u16 = 0;
+        let sends = Arc::new(sends);
+        let report = World::new(ranks).flush_threshold(flush).run(|comm| {
+            let got = Rc::new(RefCell::new(0u64));
+            let g = Rc::clone(&got);
+            comm.register::<u32, _>(TAG, move |_, _| *g.borrow_mut() += 1);
+            // Rank 0 issues the scripted sends (destinations mod ranks).
+            if comm.rank() == 0 {
+                for &(dest, payload) in sends.iter() {
+                    comm.async_send(dest % comm.n_ranks(), TAG, &payload);
+                }
+            }
+            comm.barrier();
+            let n = *got.borrow();
+            n
+        });
+        let delivered: u64 = report.results.iter().sum();
+        prop_assert_eq!(delivered, sends.len() as u64);
+        prop_assert_eq!(report.total.count, sends.len() as u64);
+    }
+
+    /// All-reduce results are identical on every rank and independent of
+    /// the rank count.
+    #[test]
+    fn all_reduce_is_rank_count_invariant(
+        values in prop::collection::vec(1u64..1000, 1..5),
+    ) {
+        let total: u64 = values.iter().sum();
+        for ranks in [1usize, 2, 4] {
+            let values = values.clone();
+            let report = World::new(ranks).run(move |comm| {
+                // Spread the addends over ranks round-robin.
+                let mine: u64 = values
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % comm.n_ranks() == comm.rank())
+                    .map(|(_, v)| *v)
+                    .sum();
+                comm.all_reduce_sum_u64(mine)
+            });
+            for r in &report.results {
+                prop_assert_eq!(*r, total);
+            }
+        }
+    }
+
+    /// The virtual clock is monotone in added work.
+    #[test]
+    fn clock_monotone_in_compute(work in 0u64..10_000_000) {
+        let base = World::new(2)
+            .run(|comm| comm.barrier())
+            .sim_secs;
+        let loaded = World::new(2)
+            .run(move |comm| {
+                comm.charge_compute(work);
+                comm.barrier();
+            })
+            .sim_secs;
+        prop_assert!(loaded >= base);
+    }
+}
+
+#[test]
+fn rank_panic_propagates_to_caller() {
+    // A panic on any rank must surface from World::run, not hang the
+    // barrier. Catch it at the test boundary.
+    let result = std::panic::catch_unwind(|| {
+        World::new(2).run(|comm| {
+            if comm.rank() == 1 {
+                panic!("rank 1 exploded");
+            }
+            // Rank 0 must not deadlock waiting for rank 1's barrier; it
+            // ends its SPMD body immediately and the implicit final
+            // barrier would wait forever if the panic were swallowed.
+        })
+    });
+    assert!(result.is_err(), "panic must propagate");
+}
+
+#[test]
+fn empty_world_rejected() {
+    let result = std::panic::catch_unwind(|| World::new(0));
+    assert!(result.is_err());
+}
+
+#[test]
+fn sequential_worlds_are_independent() {
+    // Worlds must not leak state (tags, counters) into each other.
+    for seed in 0..3u64 {
+        let report = World::new(2).run(move |comm| {
+            let tag = 5u16;
+            comm.register::<u64, _>(tag, |_, _| {});
+            comm.async_send(0, tag, &seed);
+            comm.barrier();
+        });
+        assert_eq!(
+            report.total.count, 2,
+            "world for seed {seed} saw foreign traffic"
+        );
+    }
+}

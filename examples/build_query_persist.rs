@@ -1,0 +1,89 @@
+//! The paper's two-executable workflow (Section 5.1.3), in one program with
+//! three separated stages that communicate **only** through the persistent
+//! store — exactly how DNND uses Metall:
+//!
+//! 1. *Construction executable*: build the k-NNG distributed, persist the
+//!    graph and the dataset into a store.
+//! 2. *Optimization executable*: reopen the store, load the graph, apply
+//!    the Section 4.5 optimizations (reverse-edge merge + prune), persist
+//!    the optimized graph.
+//! 3. *Query program*: reopen again, load the optimized graph and dataset,
+//!    and serve ANN queries.
+//!
+//! ```text
+//! cargo run --release --example build_query_persist
+//! ```
+
+use dataset::synth::{gaussian_mixture, split_queries, MixtureParams};
+use dataset::{brute_force_queries, mean_recall, PointSet, L2};
+use dnnd::{build, DnndConfig};
+use metall::Store;
+use nnd::{search_batch, KnnGraph, SearchParams};
+use std::sync::Arc;
+use ygm::World;
+
+const K: usize = 10;
+
+fn main() {
+    let store_dir = std::env::temp_dir().join("dnnd-example-store");
+    let _ = Store::destroy(&store_dir);
+
+    let full = gaussian_mixture(MixtureParams::embedding_like(1_500, 24), 11);
+    let (base, queries) = split_queries(full, 80);
+
+    // ---- Stage 1: construction executable ----------------------------------
+    {
+        let base = Arc::new(base);
+        let out = build(&World::new(4), &base, &L2, DnndConfig::new(K).seed(3));
+        let mut store = Store::create(&store_dir).expect("create store");
+        base.save(&mut store, "dataset").expect("persist dataset");
+        out.graph.save(&mut store, "knng").expect("persist graph");
+        println!(
+            "stage 1 (construct): {} iterations, graph persisted to {} ({} objects, {} bytes)",
+            out.report.iterations,
+            store_dir.display(),
+            store.len(),
+            store.total_bytes(),
+        );
+    } // store and all in-memory state dropped: stage boundary
+
+    // ---- Stage 2: optimization executable -----------------------------------
+    {
+        let mut store = Store::open(&store_dir).expect("reopen store");
+        let graph = KnnGraph::load(&store, "knng").expect("load graph");
+        let optimized = graph.optimize(K, 1.5);
+        optimized
+            .save(&mut store, "knng-optimized")
+            .expect("persist optimized");
+        println!(
+            "stage 2 (optimize): merged reverse edges, pruned to {} max degree, {} edges",
+            optimized.max_degree(),
+            optimized.edge_count(),
+        );
+    }
+
+    // ---- Stage 3: query program ---------------------------------------------
+    {
+        let store = Store::open(&store_dir).expect("reopen store");
+        let base = PointSet::<Vec<f32>>::load(&store, "dataset").expect("load dataset");
+        let graph = KnnGraph::load(&store, "knng-optimized").expect("load optimized graph");
+        let batch = search_batch(
+            &graph,
+            &base,
+            &L2,
+            &queries,
+            SearchParams::new(10).epsilon(0.2).entry_candidates(64),
+        );
+        let truth = brute_force_queries(&base, &queries, &L2, 10);
+        let recall = mean_recall(&batch.ids, &truth);
+        println!(
+            "stage 3 (query): recall@10 = {recall:.4} at {:.0} qps over {} queries",
+            batch.qps,
+            queries.len()
+        );
+        assert!(recall > 0.9, "expected high recall, got {recall}");
+    }
+
+    Store::destroy(&store_dir).expect("cleanup");
+    println!("pipeline OK");
+}

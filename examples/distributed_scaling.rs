@@ -1,0 +1,64 @@
+//! Strong-scaling demo: the same k-NNG construction on 1..=16 simulated
+//! ranks, reporting the virtual-clock construction time (the Figure 3
+//! mechanism) and the message traffic, plus the optimized-vs-unoptimized
+//! protocol comparison (the Figure 4 mechanism).
+//!
+//! ```text
+//! cargo run --release --example distributed_scaling
+//! ```
+
+use dataset::presets::deep1b_like;
+use dataset::L2;
+use dnnd::{build, CommOpts, DnndConfig};
+use std::sync::Arc;
+use ygm::World;
+
+fn main() {
+    let set = Arc::new(deep1b_like(1_200, 5));
+    println!(
+        "dataset: DEEP-like, {} points x {} dims (f32)\n",
+        set.len(),
+        set.dim()
+    );
+
+    println!("strong scaling (k = 10, optimized protocol):");
+    println!(
+        "{:>6}  {:>12}  {:>10}  {:>12}  {:>10}",
+        "ranks", "virtual s", "speedup", "messages", "MB sent"
+    );
+    let mut t1 = None;
+    for ranks in [1usize, 2, 4, 8, 16] {
+        let out = build(&World::new(ranks), &set, &L2, DnndConfig::new(10).seed(2));
+        let t = out.report.sim_secs;
+        let base = *t1.get_or_insert(t);
+        println!(
+            "{:>6}  {:>12.4}  {:>9.2}x  {:>12}  {:>10.1}",
+            ranks,
+            t,
+            base / t,
+            out.report.total.count,
+            out.report.total.bytes as f64 / 1e6,
+        );
+    }
+
+    println!("\nprotocol comparison on 8 ranks (k = 10):");
+    for (label, opts) in [
+        ("unoptimized (Fig 1a)", CommOpts::unoptimized()),
+        ("optimized   (Fig 1b)", CommOpts::optimized()),
+    ] {
+        let out = build(
+            &World::new(8),
+            &set,
+            &L2,
+            DnndConfig::new(10).seed(2).comm_opts(opts),
+        );
+        let t = out.report.check_traffic();
+        println!(
+            "  {label}: {:>9} check messages, {:>6.1} MB, virtual {:.4}s",
+            t.count,
+            t.bytes as f64 / 1e6,
+            out.report.sim_secs,
+        );
+    }
+    println!("\nscaling demo OK");
+}

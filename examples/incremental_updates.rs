@@ -1,0 +1,72 @@
+//! The paper's Section 7 future work, working: "new data points may be
+//! added/deleted, followed by a short graph refinement phase, which will
+//! fit NN-Descent's iterative nature well."
+//!
+//! This example builds a graph, then (a) streams in new points with short
+//! refinement passes instead of rebuilding, and (b) deletes points with
+//! local repair — comparing cost and quality against a from-scratch build
+//! at every step.
+//!
+//! ```text
+//! cargo run --release --example incremental_updates
+//! ```
+
+use dataset::synth::{gaussian_mixture, MixtureParams};
+use dataset::{brute_force_knng, mean_recall, PointSet, L2};
+use nnd::{build, insert_points, remove_points, NnDescentParams};
+
+const K: usize = 10;
+
+fn main() {
+    let full = gaussian_mixture(MixtureParams::embedding_like(2_000, 16), 77);
+    let params = NnDescentParams::new(K).seed(5);
+
+    // Start with 1,400 points.
+    let mut base = PointSet::new(full.points()[..1_400].to_vec());
+    let (mut graph, initial_stats) = build(&base, &L2, params);
+    println!(
+        "initial build: {} points, {} iterations, {} distance evals",
+        base.len(),
+        initial_stats.iterations,
+        initial_stats.distance_evals
+    );
+
+    // Stream in 3 batches of 200 points each, refining instead of rebuilding.
+    for step in 0..3 {
+        let new_len = 1_400 + (step + 1) * 200;
+        let grown = PointSet::new(full.points()[..new_len].to_vec());
+        let (g2, refine_stats) = insert_points(&graph, &base, &grown, &L2, params, 3);
+        let (_, rebuild_stats) = build(&grown, &L2, params);
+        let truth = brute_force_knng(&grown, &L2, K);
+        let recall = mean_recall(&g2.neighbor_ids(), &truth);
+        println!(
+            "insert batch {}: {} -> {} points | refine {} evals vs rebuild {} evals ({:.1}x cheaper) | recall {:.4}",
+            step + 1,
+            base.len(),
+            grown.len(),
+            refine_stats.distance_evals,
+            rebuild_stats.distance_evals,
+            rebuild_stats.distance_evals as f64 / refine_stats.distance_evals.max(1) as f64,
+            recall,
+        );
+        assert!(recall > 0.9, "refined recall dropped to {recall}");
+        base = grown;
+        graph = g2;
+    }
+
+    // Delete 150 points, repair locally, then one short refinement pass.
+    let gone: Vec<u32> = (0..150).map(|i| i * 13).collect();
+    let (repaired, smaller_base, _back) = remove_points(&graph, &base, &L2, &gone, K);
+    let truth = brute_force_knng(&smaller_base, &L2, K);
+    let repaired_recall = mean_recall(&repaired.neighbor_ids(), &truth);
+    let (refined, _) = insert_points(&repaired, &smaller_base, &smaller_base, &L2, params, 2);
+    let refined_recall = mean_recall(&refined.neighbor_ids(), &truth);
+    println!(
+        "delete {} points: repair-only recall {:.4} -> after 2 refinement iters {:.4}",
+        gone.len(),
+        repaired_recall,
+        refined_recall
+    );
+    assert!(refined_recall > 0.9);
+    println!("incremental updates OK");
+}

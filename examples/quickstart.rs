@@ -1,0 +1,64 @@
+//! Quickstart: build a k-NN graph with distributed NN-Descent, optimize it,
+//! and answer a few queries.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dataset::synth::{gaussian_mixture, split_queries, MixtureParams};
+use dataset::{brute_force_queries, mean_recall, L2};
+use dnnd::{build, DnndConfig};
+use nnd::{search_batch, SearchParams};
+use std::sync::Arc;
+use ygm::World;
+
+fn main() {
+    // 1. A dataset: 2,000 points in 32 dimensions, with cluster structure.
+    let full = gaussian_mixture(MixtureParams::embedding_like(2_000, 32), 42);
+    let (base, queries) = split_queries(full, 100);
+    let base = Arc::new(base);
+    println!(
+        "dataset: {} points, {} dims; {} held-out queries",
+        base.len(),
+        base.dim(),
+        queries.len()
+    );
+
+    // 2. Build a k = 10 graph on 4 simulated ranks with the paper's
+    //    optimized communication protocol, then run the Section 4.5 graph
+    //    optimization (reverse-edge merge + prune to 1.5 * k).
+    let world = World::new(4);
+    let out = build(
+        &world,
+        &base,
+        &L2,
+        DnndConfig::new(10).seed(7).graph_opt(1.5),
+    );
+    println!(
+        "built k-NNG in {} iterations; {} distance evals; {:.1} MB of messages; \
+         virtual time {:.3}s (wall {:.2}s)",
+        out.report.iterations,
+        out.report.distance_evals,
+        out.report.total.bytes as f64 / 1e6,
+        out.report.sim_secs,
+        out.report.wall_secs,
+    );
+
+    // 3. Query the graph with the greedy epsilon search.
+    let batch = search_batch(
+        &out.graph,
+        &base,
+        &L2,
+        &queries,
+        SearchParams::new(10).epsilon(0.2).entry_candidates(64),
+    );
+    let truth = brute_force_queries(&base, &queries, &L2, 10);
+    let recall = mean_recall(&batch.ids, &truth);
+    println!("queries: recall@10 = {recall:.4} at {:.0} qps", batch.qps);
+
+    // 4. Peek at one answer.
+    let q0_neighbors = &batch.ids[0];
+    println!("query 0 nearest neighbors: {q0_neighbors:?}");
+    assert!(recall > 0.9, "expected high recall, got {recall}");
+    println!("quickstart OK");
+}

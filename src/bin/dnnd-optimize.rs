@@ -1,0 +1,72 @@
+//! `dnnd-optimize` — the paper's graph-optimization executable (Sections
+//! 4.5 / 5.1.3): reopens the store written by `dnnd-construct`, merges
+//! reverse edges, prunes neighborhoods to `ceil(k * m)`, optionally
+//! diversifies, and writes the search graph back.
+//!
+//! ```text
+//! dnnd-optimize --store /tmp/deep-store --m 1.5
+//! dnnd-optimize --store ./store --m 1.5 --diversify 0.3
+//! ```
+
+use bench::Args;
+use dnnd_repro::cli::{die, read_meta, Elem};
+use metall::Store;
+use nnd::{diversify, KnnGraph};
+
+fn main() {
+    let args = Args::parse();
+    let store_dir: String = args.get("store", String::new());
+    if store_dir.is_empty() {
+        die("--store <dir> is required");
+    }
+    let m: f64 = args.get("m", 1.5);
+    let keep: f64 = args.get("diversify", 1.0);
+
+    let mut store =
+        Store::open(&store_dir).unwrap_or_else(|e| die(&format!("cannot open store: {e}")));
+    let (k, elem, metric_name) = read_meta(&store);
+    let graph = KnnGraph::load(&store, "knng").unwrap_or_else(|e| die(&e.to_string()));
+    println!(
+        "loaded k-NNG: {} vertices, {} edges (k={k}, {}, {metric_name})",
+        graph.len(),
+        graph.edge_count(),
+        elem.name()
+    );
+
+    let start = std::time::Instant::now();
+    let merged = graph.merge_reverse();
+    let diversified = if keep < 1.0 {
+        match elem {
+            Elem::F32 => {
+                let base = dataset::PointSet::<Vec<f32>>::load(&store, "dataset")
+                    .unwrap_or_else(|e| die(&e.to_string()));
+                match metric_name.as_str() {
+                    "l2" => diversify(&merged, &base, &dataset::L2, keep),
+                    "sql2" => diversify(&merged, &base, &dataset::SquaredL2, keep),
+                    "cosine" => diversify(&merged, &base, &dataset::Cosine, keep),
+                    "l1" => diversify(&merged, &base, &dataset::L1, keep),
+                    other => die(&format!("unknown metric {other:?}")),
+                }
+            }
+            Elem::U8 => {
+                let base = dataset::PointSet::<Vec<u8>>::load(&store, "dataset")
+                    .unwrap_or_else(|e| die(&e.to_string()));
+                diversify(&merged, &base, &dataset::L2, keep)
+            }
+        }
+    } else {
+        merged
+    };
+    let optimized = diversified.prune((k as f64 * m).ceil() as usize);
+    let secs = start.elapsed().as_secs_f64();
+
+    optimized
+        .save(&mut store, "opt")
+        .unwrap_or_else(|e| die(&e.to_string()));
+    println!(
+        "optimized in {secs:.2}s: {} edges (max degree {}), m={m}, diversify keep={keep}",
+        optimized.edge_count(),
+        optimized.max_degree()
+    );
+    println!("search graph written to {store_dir}/opt");
+}

@@ -1,0 +1,182 @@
+//! `dnnd-query` — the query program (paper Section 5.3.1): loads the
+//! dataset and the optimized graph from a store, answers queries in
+//! parallel, and reports recall@l versus exact ground truth plus the qps
+//! throughput the paper's Figure 2 plots.
+//!
+//! Queries come from a file (`--queries q.fvecs`, with optional
+//! `--gt truth.ivecs`) or by self-evaluation (`--self-queries 100` holds
+//! out dataset members re-queried as unseen points; exact ground truth is
+//! computed by brute force).
+//!
+//! ```text
+//! dnnd-query --store /tmp/deep-store --self-queries 100 --l 10 --epsilon 0.2
+//! dnnd-query --store ./store --queries q.fvecs --gt gt.ivecs --l 10
+//! ```
+
+use bench::Args;
+use dataset::io;
+use dataset::metric::Metric;
+use dataset::point::Point;
+use dataset::{brute_force_queries, mean_recall, PointSet};
+use dnnd_repro::cli::{die, read_meta, Elem};
+use metall::Store;
+use nnd::{search_batch, KnnGraph, SearchParams};
+
+#[allow(clippy::too_many_arguments)]
+fn run<P: Point, M: Metric<P>>(
+    base: PointSet<P>,
+    graph: &KnnGraph,
+    metric: M,
+    queries: PointSet<P>,
+    gt_ids: Option<Vec<Vec<u32>>>,
+    l: usize,
+    epsilon: f32,
+    entries: usize,
+) {
+    let params = SearchParams::new(l)
+        .epsilon(epsilon)
+        .entry_candidates(entries);
+    let batch = search_batch(graph, &base, &metric, &queries, params);
+    println!(
+        "answered {} queries at {:.0} qps ({} distance evals total)",
+        queries.len(),
+        batch.qps,
+        batch.distance_evals
+    );
+    let truth_ids: Vec<Vec<u32>> = match gt_ids {
+        Some(ids) => ids,
+        None => {
+            println!("computing exact ground truth by brute force...");
+            brute_force_queries(&base, &queries, &metric, l).ids
+        }
+    };
+    let truth = dataset::GroundTruth {
+        dists: truth_ids.iter().map(|r| vec![0.0; r.len()]).collect(),
+        ids: truth_ids,
+    };
+    let recall = mean_recall(&batch.ids, &truth);
+    println!("recall@{l} = {recall:.4} (epsilon {epsilon})");
+}
+
+fn main() {
+    let args = Args::parse();
+    let store_dir: String = args.get("store", String::new());
+    if store_dir.is_empty() {
+        die("--store <dir> is required");
+    }
+    let l: usize = args.get("l", 10);
+    let epsilon: f32 = args.get("epsilon", 0.2);
+    let entries: usize = args.get("entries", 32);
+    let self_queries: usize = args.get("self-queries", 0);
+    let query_file: String = args.get("queries", String::new());
+
+    let store = Store::open(&store_dir).unwrap_or_else(|e| die(&format!("cannot open store: {e}")));
+    let (_, elem, metric_name) = read_meta(&store);
+    let graph_key = if store.contains("opt/offsets") {
+        "opt"
+    } else {
+        "knng"
+    };
+    let graph = KnnGraph::load(&store, graph_key).unwrap_or_else(|e| die(&e.to_string()));
+    println!(
+        "serving {} graph: {} vertices, {} edges ({}, {metric_name})",
+        graph_key,
+        graph.len(),
+        graph.edge_count(),
+        elem.name()
+    );
+
+    let gt_ids = {
+        let gt_file: String = args.get("gt", String::new());
+        if gt_file.is_empty() {
+            None
+        } else {
+            Some(io::read_ivecs(&gt_file).unwrap_or_else(|e| die(&format!("bad --gt file: {e}"))))
+        }
+    };
+
+    match elem {
+        Elem::F32 => {
+            let base = PointSet::<Vec<f32>>::load(&store, "dataset")
+                .unwrap_or_else(|e| die(&e.to_string()));
+            let (base, queries, graph) = if self_queries > 0 {
+                // Hold out the tail of the dataset as queries; trim the
+                // graph rows accordingly is NOT valid (ids shift), so for
+                // self-evaluation we re-query *member* points instead.
+                let queries = PointSet::new(base.points()[base.len() - self_queries..].to_vec());
+                (base, queries, graph)
+            } else if query_file.is_empty() {
+                die("provide --queries <file> or --self-queries <n>")
+            } else {
+                let queries = io::read_fvecs(&query_file)
+                    .unwrap_or_else(|e| die(&format!("bad --queries file: {e}")));
+                (base, queries, graph)
+            };
+            match metric_name.as_str() {
+                "l2" => run(
+                    base,
+                    &graph,
+                    dataset::L2,
+                    queries,
+                    gt_ids,
+                    l,
+                    epsilon,
+                    entries,
+                ),
+                "sql2" => run(
+                    base,
+                    &graph,
+                    dataset::SquaredL2,
+                    queries,
+                    gt_ids,
+                    l,
+                    epsilon,
+                    entries,
+                ),
+                "cosine" => run(
+                    base,
+                    &graph,
+                    dataset::Cosine,
+                    queries,
+                    gt_ids,
+                    l,
+                    epsilon,
+                    entries,
+                ),
+                "l1" => run(
+                    base,
+                    &graph,
+                    dataset::L1,
+                    queries,
+                    gt_ids,
+                    l,
+                    epsilon,
+                    entries,
+                ),
+                other => die(&format!("unknown metric {other:?}")),
+            }
+        }
+        Elem::U8 => {
+            let base = PointSet::<Vec<u8>>::load(&store, "dataset")
+                .unwrap_or_else(|e| die(&e.to_string()));
+            let queries = if self_queries > 0 {
+                PointSet::new(base.points()[base.len() - self_queries..].to_vec())
+            } else if query_file.is_empty() {
+                die("provide --queries <file> or --self-queries <n>")
+            } else {
+                io::read_bvecs(&query_file)
+                    .unwrap_or_else(|e| die(&format!("bad --queries file: {e}")))
+            };
+            run(
+                base,
+                &graph,
+                dataset::L2,
+                queries,
+                gt_ids,
+                l,
+                epsilon,
+                entries,
+            );
+        }
+    }
+}

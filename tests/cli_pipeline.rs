@@ -1,0 +1,199 @@
+//! Integration test of the command-line artifact: run the real
+//! `dnnd-construct` → `dnnd-optimize` → `dnnd-query` binaries end to end,
+//! including file-based dataset input, exactly as a user would.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dnnd-cli-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn run_ok(bin: &str, args: &[&str]) -> String {
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn preset_pipeline_runs_and_reports_recall() {
+    let dir = tmpdir("preset");
+    let store = dir.join("store");
+    let store = store.to_str().unwrap();
+
+    let out = run_ok(
+        env!("CARGO_BIN_EXE_dnnd-construct"),
+        &[
+            "--input",
+            "preset:deep1b",
+            "--n",
+            "500",
+            "--k",
+            "8",
+            "--ranks",
+            "4",
+            "--store",
+            store,
+            "--seed",
+            "3",
+        ],
+    );
+    assert!(out.contains("constructed k=8"), "construct output: {out}");
+    assert!(out.contains("virtual time"), "missing profile line: {out}");
+
+    let out = run_ok(
+        env!("CARGO_BIN_EXE_dnnd-optimize"),
+        &["--store", store, "--m", "1.5"],
+    );
+    assert!(
+        out.contains("search graph written"),
+        "optimize output: {out}"
+    );
+
+    let out = run_ok(
+        env!("CARGO_BIN_EXE_dnnd-query"),
+        &[
+            "--store",
+            store,
+            "--self-queries",
+            "40",
+            "--l",
+            "8",
+            "--epsilon",
+            "0.2",
+        ],
+    );
+    assert!(out.contains("recall@8"), "query output: {out}");
+    // Member self-queries on an optimized graph must be near-perfect; the
+    // printed value is "recall@8 = 0.9xxx" — parse and assert a floor.
+    let recall: f64 = out
+        .lines()
+        .find(|l| l.contains("recall@8"))
+        .and_then(|l| l.split('=').nth(1))
+        .and_then(|v| v.trim().split(' ').next())
+        .and_then(|v| v.parse().ok())
+        .expect("recall value parse");
+    assert!(recall > 0.9, "CLI pipeline recall {recall}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn file_based_pipeline_with_u8_data() {
+    let dir = tmpdir("file-u8");
+    let store = dir.join("store");
+    let input = dir.join("base.u8bin");
+    let set = dataset::presets::bigann_like(400, 7);
+    dataset::io::write_u8bin(&input, &set).unwrap();
+
+    run_ok(
+        env!("CARGO_BIN_EXE_dnnd-construct"),
+        &[
+            "--input",
+            input.to_str().unwrap(),
+            "--elem",
+            "u8",
+            "--k",
+            "6",
+            "--ranks",
+            "3",
+            "--store",
+            store.to_str().unwrap(),
+        ],
+    );
+    run_ok(
+        env!("CARGO_BIN_EXE_dnnd-optimize"),
+        &[
+            "--store",
+            store.to_str().unwrap(),
+            "--m",
+            "1.5",
+            "--diversify",
+            "0.5",
+        ],
+    );
+    let out = run_ok(
+        env!("CARGO_BIN_EXE_dnnd-query"),
+        &[
+            "--store",
+            store.to_str().unwrap(),
+            "--self-queries",
+            "30",
+            "--l",
+            "6",
+        ],
+    );
+    assert!(out.contains("recall@6"), "query output: {out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn query_with_explicit_query_and_gt_files() {
+    let dir = tmpdir("gtfile");
+    let store = dir.join("store");
+    let full = dataset::presets::deep1b_like(450, 9);
+    let (base, queries) = dataset::synth::split_queries(full, 50);
+    let base_file = dir.join("base.fvecs");
+    let query_file = dir.join("queries.fvecs");
+    let gt_file = dir.join("gt.ivecs");
+    dataset::io::write_fvecs(&base_file, &base).unwrap();
+    dataset::io::write_fvecs(&query_file, &queries).unwrap();
+    let truth = dataset::brute_force_queries(&base, &queries, &dataset::L2, 5);
+    dataset::io::write_ivecs(&gt_file, &truth.ids).unwrap();
+
+    run_ok(
+        env!("CARGO_BIN_EXE_dnnd-construct"),
+        &[
+            "--input",
+            base_file.to_str().unwrap(),
+            "--k",
+            "8",
+            "--ranks",
+            "2",
+            "--store",
+            store.to_str().unwrap(),
+        ],
+    );
+    run_ok(
+        env!("CARGO_BIN_EXE_dnnd-optimize"),
+        &["--store", store.to_str().unwrap()],
+    );
+    let out = run_ok(
+        env!("CARGO_BIN_EXE_dnnd-query"),
+        &[
+            "--store",
+            store.to_str().unwrap(),
+            "--queries",
+            query_file.to_str().unwrap(),
+            "--gt",
+            gt_file.to_str().unwrap(),
+            "--l",
+            "5",
+            "--epsilon",
+            "0.3",
+            "--entries",
+            "48",
+        ],
+    );
+    assert!(out.contains("recall@5"), "query output: {out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn construct_rejects_missing_args() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dnnd-construct"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
+}

@@ -1,0 +1,107 @@
+//! Integration: the "massive-scale framework" path — build distributed,
+//! persist the graph *sharded per rank* (never gathered), reload the
+//! shards, and serve queries with the fully distributed search engine.
+
+use dataset::synth::{gaussian_mixture, split_queries, MixtureParams};
+use dataset::{brute_force_queries, mean_recall, L2};
+use dnnd::{
+    build, destroy_sharded, distributed_search_batch, load_sharded, save_sharded, DistSearchParams,
+    DnndConfig, Partitioner,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+use ygm::World;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "dnnd-serving-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn build_shard_reload_serve() {
+    let dir = tmpdir("e2e");
+    let ranks = 4;
+    let full = gaussian_mixture(MixtureParams::embedding_like(800, 12), 3);
+    let (base, queries) = split_queries(full, 60);
+    let base = Arc::new(base);
+    let queries = Arc::new(queries);
+
+    // Build + optimize distributed, then persist sharded by the same
+    // partitioner the ranks used.
+    let out = build(
+        &World::new(ranks),
+        &base,
+        &L2,
+        DnndConfig::new(10).seed(7).graph_opt(1.5),
+    );
+    save_sharded(&out.graph, &dir, ranks).unwrap();
+
+    // Reload from the shards alone and serve distributed queries.
+    let graph = Arc::new(load_sharded(&dir).unwrap());
+    assert_eq!(&graph.as_ref().clone(), &out.graph);
+    let truth = brute_force_queries(&base, &queries, &L2, 10);
+    let (ids, report) = distributed_search_batch(
+        &World::new(ranks),
+        &base,
+        &graph,
+        &queries,
+        &L2,
+        DistSearchParams::new(10).epsilon(0.2).entry_candidates(48),
+    );
+    let recall = mean_recall(&ids, &truth);
+    assert!(recall > 0.85, "served recall {recall}");
+    assert!(report.sim_secs > 0.0);
+    destroy_sharded(&dir, ranks).unwrap();
+}
+
+#[test]
+fn shard_count_is_independent_of_build_ranks() {
+    // The graph built on 4 ranks can be re-sharded for a 2-rank serving
+    // fleet; the partitioner is a pure function of (id, n_ranks).
+    let dir = tmpdir("reshard");
+    let base = Arc::new(gaussian_mixture(MixtureParams::embedding_like(300, 8), 5));
+    let out = build(&World::new(4), &base, &L2, DnndConfig::new(6).seed(9));
+    save_sharded(&out.graph, &dir, 2).unwrap();
+    let part = Partitioner::new(2);
+    for rank in 0..2 {
+        for v in dnnd::persist::shard_vertices(&dir, rank).unwrap() {
+            assert_eq!(part.owner(v), rank);
+        }
+    }
+    let back = load_sharded(&dir).unwrap();
+    assert_eq!(back, out.graph);
+    destroy_sharded(&dir, 2).unwrap();
+}
+
+#[test]
+fn distributed_queries_amortize_rounds() {
+    // The engine advances all live queries one expansion per global round,
+    // so rounds (and their barrier cost) are *shared* across the batch:
+    // 4x the queries must cost far less than 4x the virtual time.
+    let full = gaussian_mixture(MixtureParams::embedding_like(700, 12), 11);
+    let (base, queries) = split_queries(full, 120);
+    let base = Arc::new(base);
+    let out = build(
+        &World::new(4),
+        &base,
+        &L2,
+        DnndConfig::new(8).seed(3).graph_opt(1.5),
+    );
+    let graph = Arc::new(out.graph);
+    let small = Arc::new(dataset::PointSet::new(queries.points()[..30].to_vec()));
+    let large = Arc::new(queries);
+    let params = DistSearchParams::new(8).epsilon(0.2).entry_candidates(32);
+    let (_, r_small) = distributed_search_batch(&World::new(4), &base, &graph, &small, &L2, params);
+    let (_, r_large) = distributed_search_batch(&World::new(4), &base, &graph, &large, &L2, params);
+    assert!(
+        r_large.sim_secs < r_small.sim_secs * 3.0,
+        "4x queries should cost << 4x time: {} -> {}",
+        r_small.sim_secs,
+        r_large.sim_secs
+    );
+}

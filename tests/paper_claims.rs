@@ -1,0 +1,193 @@
+//! Integration tests pinned to the paper's quantitative claims, at reduced
+//! scale: Section 5.2 recall floors, Figure 4's ~50% traffic reduction,
+//! Figure 3's strong-scaling mechanism, and the Figure 2 quality ordering
+//! between DNND and the HNSW baseline.
+
+use dataset::metric::{Cosine, Jaccard, L2};
+use dataset::synth::split_queries;
+use dataset::{brute_force_knng, brute_force_queries, mean_recall, presets};
+use dnnd::{build, CommOpts, DnndConfig};
+use hnsw::{HnswIndex, HnswParams};
+use nnd::{search_batch, SearchParams};
+use std::sync::Arc;
+use ygm::World;
+
+/// Section 5.2: DNND builds high-recall graphs on all small-dataset
+/// metrics. The paper reports 0.93-0.99+ at k=100 on the full datasets;
+/// at toy scale with k=10 we pin a floor per metric family.
+#[test]
+fn section_5_2_recall_floors() {
+    let n = 600;
+    let k = 10;
+    let seed = 3;
+
+    let deep = Arc::new(presets::glove25_like(n, seed));
+    let out = build(
+        &World::new(4),
+        &deep,
+        &Cosine,
+        DnndConfig::new(k).seed(seed),
+    );
+    let truth = brute_force_knng(&deep, &Cosine, k);
+    let r = mean_recall(&out.graph.neighbor_ids(), &truth);
+    assert!(r > 0.9, "glove-like cosine recall {r}");
+
+    let ny = Arc::new(presets::nytimes_like(n, seed));
+    let out = build(&World::new(4), &ny, &Cosine, DnndConfig::new(k).seed(seed));
+    let truth = brute_force_knng(&ny, &Cosine, k);
+    let r = mean_recall(&out.graph.neighbor_ids(), &truth);
+    assert!(r > 0.85, "nytimes-like cosine recall {r}");
+
+    let kos = Arc::new(presets::kosarak_like(400, seed));
+    let out = build(
+        &World::new(4),
+        &kos,
+        &Jaccard,
+        DnndConfig::new(k).seed(seed),
+    );
+    let truth = brute_force_knng(&kos, &Jaccard, k);
+    let r = mean_recall(&out.graph.neighbor_ids(), &truth);
+    assert!(r > 0.55, "kosarak-like jaccard recall {r}");
+}
+
+/// Figure 4: the optimized protocol cuts neighbor-check messages and bytes
+/// by roughly half on both the f32 and the u8 billion-scale stand-ins, and
+/// the u8 dataset moves fewer bytes than the f32 one.
+#[test]
+fn figure_4_traffic_reduction_and_u8_asymmetry() {
+    let k = 10;
+    let seed = 17;
+    let ranks = 8;
+    let deep = Arc::new(presets::deep1b_like(700, seed));
+    let big = Arc::new(presets::bigann_like(700, seed));
+
+    let mut volumes = Vec::new();
+    for (label, opts) in [
+        ("unopt", CommOpts::unoptimized()),
+        ("opt", CommOpts::optimized()),
+    ] {
+        let d = build(
+            &World::new(ranks),
+            &deep,
+            &L2,
+            DnndConfig::new(k).seed(seed).comm_opts(opts),
+        );
+        let b = build(
+            &World::new(ranks),
+            &big,
+            &L2,
+            DnndConfig::new(k).seed(seed).comm_opts(opts),
+        );
+        let dt = d.report.check_traffic();
+        let bt = b.report.check_traffic();
+        // Figure 4b asymmetry: u8 vectors (128d) are lighter on the wire
+        // than f32 vectors (96d): 128 B vs 384 B per vector.
+        assert!(
+            bt.bytes < dt.bytes,
+            "{label}: BigANN bytes {} !< DEEP bytes {}",
+            bt.bytes,
+            dt.bytes
+        );
+        volumes.push((dt, bt));
+    }
+    let (deep_unopt, big_unopt) = volumes[0];
+    let (deep_opt, big_opt) = volumes[1];
+    for (label, unopt, opt) in [
+        ("deep", deep_unopt, deep_opt),
+        ("bigann", big_unopt, big_opt),
+    ] {
+        let count_ratio = opt.count as f64 / unopt.count as f64;
+        let byte_ratio = opt.bytes as f64 / unopt.bytes as f64;
+        assert!(
+            (0.3..=0.7).contains(&count_ratio),
+            "{label}: message reduction {count_ratio} outside ~50% band"
+        );
+        assert!(
+            (0.3..=0.7).contains(&byte_ratio),
+            "{label}: volume reduction {byte_ratio} outside ~50% band"
+        );
+    }
+}
+
+/// Figure 3 mechanism: virtual construction time falls monotonically with
+/// rank count over the paper's 4 -> 32 range, with diminishing returns.
+#[test]
+fn figure_3_strong_scaling_shape() {
+    let set = Arc::new(presets::deep1b_like(700, 23));
+    let mut times = Vec::new();
+    for ranks in [4usize, 8, 16, 32] {
+        let out = build(&World::new(ranks), &set, &L2, DnndConfig::new(10).seed(23));
+        times.push(out.report.sim_secs);
+    }
+    for w in times.windows(2) {
+        assert!(w[1] < w[0], "virtual time must fall with ranks: {times:?}");
+    }
+    let first_speedup = times[0] / times[1]; // 4 -> 8 ranks
+    let last_speedup = times[2] / times[3]; // 16 -> 32 ranks
+    assert!(
+        last_speedup < first_speedup,
+        "scaling should flatten: {times:?}"
+    );
+}
+
+/// Figure 2 ordering: on the same dataset, a DNND k30 graph answers
+/// queries at least as accurately as a DNND k10 graph, and reaches the
+/// recall band of a strong HNSW index.
+#[test]
+fn figure_2_quality_ordering() {
+    let (base, queries) = split_queries(presets::deep1b_like(900, 31), 80);
+    let base = Arc::new(base);
+    let truth = brute_force_queries(&base, &queries, &L2, 10);
+
+    let mut recalls = Vec::new();
+    for k in [10usize, 30] {
+        let out = build(
+            &World::new(4),
+            &base,
+            &L2,
+            DnndConfig::new(k).seed(31).graph_opt(1.5),
+        );
+        let batch = search_batch(
+            &out.graph,
+            &base,
+            &L2,
+            &queries,
+            SearchParams::new(10)
+                .epsilon(0.2)
+                .entry_candidates(32)
+                .seed(1),
+        );
+        recalls.push(mean_recall(&batch.ids, &truth));
+    }
+    let (r10, r30) = (recalls[0], recalls[1]);
+    assert!(r30 >= r10 - 0.01, "k30 ({r30}) must not trail k10 ({r10})");
+
+    let idx = HnswIndex::build(&base, L2, HnswParams::new(16, 100).seed(31));
+    let (ids, _) = idx.search_batch(&queries, 10, 100);
+    let r_hnsw = mean_recall(&ids, &truth);
+    assert!(
+        r30 >= r_hnsw - 0.05,
+        "DNND k30 ({r30}) should reach the HNSW band ({r_hnsw})"
+    );
+}
+
+/// The paper's Section 4.4 rationale: batched barriers do not change the
+/// result, only the communication schedule.
+#[test]
+fn batching_is_schedule_only() {
+    let set = Arc::new(presets::deep1b_like(400, 37));
+    let truth = brute_force_knng(&set, &L2, 6);
+    let mut recalls = Vec::new();
+    for batch in [1u64 << 8, 1 << 14, 1 << 20] {
+        let out = build(
+            &World::new(4),
+            &set,
+            &L2,
+            DnndConfig::new(6).seed(37).batch_size(batch),
+        );
+        recalls.push(mean_recall(&out.graph.neighbor_ids(), &truth));
+    }
+    let spread = recalls.iter().cloned().fold(f64::MIN, f64::max)
+        - recalls.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 0.08, "batch size changed quality: {recalls:?}");
+}

@@ -1,0 +1,165 @@
+//! Cross-crate integration: the full paper workflow — distributed
+//! construction (dnnd + ygm) → persistence (metall) → reopen → graph
+//! optimization → ANN search (nnd) — plus store durability properties.
+
+use dataset::synth::{gaussian_mixture, split_queries, MixtureParams};
+use dataset::{brute_force_queries, mean_recall, PointSet, L2};
+use dnnd::{build, DnndConfig};
+use metall::Store;
+use nnd::{search_batch, KnnGraph, SearchParams};
+use std::path::PathBuf;
+use std::sync::Arc;
+use ygm::World;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "dnnd-repro-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn construct_persist_reopen_optimize_query() {
+    let dir = tmpdir("full");
+    let full = gaussian_mixture(MixtureParams::embedding_like(900, 16), 2);
+    let (base, queries) = split_queries(full, 60);
+
+    // Stage 1: distributed construction + persist.
+    let graph_edges;
+    {
+        let base = Arc::new(base.clone());
+        let out = build(&World::new(4), &base, &L2, DnndConfig::new(8).seed(1));
+        let mut store = Store::create(&dir).unwrap();
+        base.save(&mut store, "dataset").unwrap();
+        out.graph.save(&mut store, "knng").unwrap();
+        graph_edges = out.graph.edge_count();
+    }
+
+    // Stage 2: separate "executable" — reopen, optimize, persist.
+    {
+        let mut store = Store::open(&dir).unwrap();
+        let graph = KnnGraph::load(&store, "knng").unwrap();
+        assert_eq!(
+            graph.edge_count(),
+            graph_edges,
+            "graph round-trip changed edges"
+        );
+        let optimized = graph.optimize(8, 1.5);
+        assert!(optimized.max_degree() <= 12);
+        optimized.save(&mut store, "opt").unwrap();
+    }
+
+    // Stage 3: query program.
+    {
+        let store = Store::open(&dir).unwrap();
+        let base2 = PointSet::<Vec<f32>>::load(&store, "dataset").unwrap();
+        assert_eq!(base2, base, "dataset round-trip must be exact");
+        let graph = KnnGraph::load(&store, "opt").unwrap();
+        let truth = brute_force_queries(&base2, &queries, &L2, 8);
+        let batch = search_batch(
+            &graph,
+            &base2,
+            &L2,
+            &queries,
+            SearchParams::new(8).epsilon(0.2).entry_candidates(48),
+        );
+        let recall = mean_recall(&batch.ids, &truth);
+        assert!(recall > 0.85, "end-to-end recall {recall}");
+    }
+    Store::destroy(&dir).unwrap();
+}
+
+#[test]
+fn snapshot_preserves_a_queryable_index() {
+    let dir = tmpdir("snap");
+    let snap_dir = tmpdir("snap-dst");
+    let base = Arc::new(gaussian_mixture(MixtureParams::embedding_like(400, 8), 3));
+    let out = build(&World::new(2), &base, &L2, DnndConfig::new(5).seed(9));
+
+    let mut store = Store::create(&dir).unwrap();
+    base.save(&mut store, "ds").unwrap();
+    out.graph.save(&mut store, "g").unwrap();
+    let snap = store.snapshot(&snap_dir).unwrap();
+    drop(store);
+    Store::destroy(&dir).unwrap(); // original gone; snapshot must suffice
+
+    let base2 = PointSet::<Vec<f32>>::load(&snap, "ds").unwrap();
+    let graph = KnnGraph::load(&snap, "g").unwrap();
+    let r = nnd::search(
+        &graph,
+        &base2,
+        &L2,
+        base2.point(7),
+        SearchParams::new(3).entry_candidates(64),
+    );
+    assert_eq!(r.neighbors[0].0, 7);
+    Store::destroy(&snap_dir).unwrap();
+}
+
+#[test]
+fn u8_dataset_full_pipeline() {
+    let dir = tmpdir("u8");
+    let base = Arc::new(dataset::presets::bigann_like(500, 7));
+    let out = build(
+        &World::new(3),
+        &base,
+        &L2,
+        DnndConfig::new(6).seed(5).graph_opt(1.5),
+    );
+
+    let mut store = Store::create(&dir).unwrap();
+    base.save(&mut store, "ds").unwrap();
+    out.graph.save(&mut store, "g").unwrap();
+    drop(store);
+
+    let store = Store::open(&dir).unwrap();
+    let base2 = PointSet::<Vec<u8>>::load(&store, "ds").unwrap();
+    let graph = KnnGraph::load(&store, "g").unwrap();
+    let r = nnd::search(
+        &graph,
+        &base2,
+        &L2,
+        base2.point(123),
+        SearchParams::new(5).entry_candidates(32),
+    );
+    assert_eq!(r.neighbors[0].0, 123, "member query must find itself");
+    Store::destroy(&dir).unwrap();
+}
+
+#[test]
+fn sparse_jaccard_full_pipeline() {
+    let dir = tmpdir("sparse");
+    let base = Arc::new(dataset::presets::kosarak_like(300, 11));
+    let out = build(
+        &World::new(2),
+        &base,
+        &dataset::Jaccard,
+        DnndConfig::new(5).seed(13),
+    );
+    let mut store = Store::create(&dir).unwrap();
+    base.save(&mut store, "ds").unwrap();
+    out.graph.save(&mut store, "g").unwrap();
+    drop(store);
+
+    let store = Store::open(&dir).unwrap();
+    let base2 = PointSet::<dataset::SparseVec>::load(&store, "ds").unwrap();
+    assert_eq!(&base2, base.as_ref());
+    let graph = KnnGraph::load(&store, "g").unwrap();
+    assert_eq!(graph.len(), 300);
+    Store::destroy(&dir).unwrap();
+}
+
+#[test]
+fn presets_are_reproducible_across_processes() {
+    // Seeds fully determine every preset, so a persisted dataset can be
+    // regenerated instead of shipped.
+    let a = dataset::presets::deep1b_like(256, 99);
+    let b = dataset::presets::deep1b_like(256, 99);
+    assert_eq!(a, b);
+    let ka = dataset::presets::kosarak_like(128, 7);
+    let kb = dataset::presets::kosarak_like(128, 7);
+    assert_eq!(ka, kb);
+}
