@@ -5,6 +5,9 @@
 //! 5.3.1); its conclusion motivates frameworks where the graph never fits
 //! one node. This harness quantifies what that costs: recall parity and
 //! the virtual-time/traffic profile of fully distributed serving.
+//!
+//! `--trace-out trace.json` / `--report-out report.json` capture the
+//! 8-rank distributed run's span timeline and unified run report.
 
 use bench::{Args, Table};
 use dataset::ground_truth::brute_force_queries;
@@ -73,9 +76,22 @@ fn main() {
         &0.0,
     ]);
 
+    let trace_out: String = args.get("trace-out", String::new());
+    let report_out: String = args.get("report-out", String::new());
+
     for ranks in [2usize, 4, 8, 16] {
+        // Observe the 8-rank run: one track per rank in the trace.
+        let tracer = if ranks == 8 && !(trace_out.is_empty() && report_out.is_empty()) {
+            Some(Arc::new(obs::Tracer::new(ranks)))
+        } else {
+            None
+        };
+        let mut world = World::new(ranks);
+        if let Some(t) = &tracer {
+            world = world.tracer(Arc::clone(t));
+        }
         let (ids, report) = distributed_search_batch(
-            &World::new(ranks),
+            &world,
             &base,
             &graph,
             &queries,
@@ -95,6 +111,21 @@ fn main() {
             &report.total.count,
             &format!("{:.1}", report.total.bytes as f64 / 1e6),
         ]);
+        if let Some(t) = &tracer {
+            if !trace_out.is_empty() {
+                dnnd::obs_report::write_trace(&trace_out, t).expect("trace-out");
+                println!("trace ({ranks} ranks): {trace_out}");
+            }
+            if !report_out.is_empty() {
+                let mut rr =
+                    dnnd::obs_report::report_from_world("bench-dist-query", ranks, &report);
+                rr.recall = Some(recall);
+                rr.param("n", n).param("queries", n_queries).param("k", k);
+                dnnd::obs_report::attach_histograms(&mut rr, Some(t));
+                dnnd::obs_report::write_report(&report_out, &rr).expect("report-out");
+                println!("report ({ranks} ranks): {report_out}");
+            }
+        }
     }
     t.print();
     t.write_csv(&args.out_dir(), "dist_query").expect("csv");

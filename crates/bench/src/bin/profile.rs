@@ -6,6 +6,10 @@
 //! virtual-clock decomposition (compute vs. communication vs. barrier) per
 //! configuration — showing where DNND's time goes as the job scales out,
 //! i.e. why the Figure 3 curves flatten.
+//!
+//! `--trace-out trace.json` attaches a tracer to the representative
+//! 8-rank build and writes its Chrome-trace span timeline; `--report-out
+//! report.json` writes the unified run report for the same build.
 
 use bench::{pct, Args, Table};
 use dataset::metric::L2;
@@ -86,7 +90,18 @@ fn main() {
 
     // Per-phase trace for one representative build: shows the heavy
     // neighbor-check phases against the light sampling/collective ones.
-    let out = build(&World::new(8), &set, &L2, DnndConfig::new(k).seed(seed));
+    let trace_out: String = args.get("trace-out", String::new());
+    let report_out: String = args.get("report-out", String::new());
+    let tracer = if trace_out.is_empty() && report_out.is_empty() {
+        None
+    } else {
+        Some(Arc::new(obs::Tracer::new(8)))
+    };
+    let mut world = World::new(8);
+    if let Some(t) = &tracer {
+        world = world.tracer(Arc::clone(t));
+    }
+    let out = build(&world, &set, &L2, DnndConfig::new(k).seed(seed));
     let mut t3 = Table::new(
         "Per-phase trace (8 ranks, optimized; heaviest 12 phases by time)",
         &["Phase", "Total ms", "Compute ms", "Comm ms", "Msgs", "MB"],
@@ -111,4 +126,18 @@ fn main() {
         out.report.phases.len(),
         args.out_dir().display()
     );
+
+    if let Some(t) = &tracer {
+        if !trace_out.is_empty() {
+            dnnd::obs_report::write_trace(&trace_out, t).expect("trace-out");
+            println!("trace: {trace_out}");
+        }
+        if !report_out.is_empty() {
+            let mut rr = dnnd::obs_report::report_from_build("bench-profile", &out.report);
+            rr.param("n", n).param("k", k).param("seed", seed);
+            dnnd::obs_report::attach_histograms(&mut rr, Some(t));
+            dnnd::obs_report::write_report(&report_out, &rr).expect("report-out");
+            println!("report: {report_out}");
+        }
+    }
 }

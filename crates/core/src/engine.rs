@@ -104,8 +104,14 @@ struct State {
     opt_extra: HashMap<PointId, Vec<Edge>>,
     /// Successful heap updates this iteration (summand of the global `c`).
     c: u64,
+    /// Heap-insert attempts this iteration (denominator of the accept
+    /// rate histogram).
+    attempts: u64,
     /// Distance evaluations performed on this rank.
     dist_evals: u64,
+    /// Distance evaluations attributed per owned vertex; populated only
+    /// when the world has a tracer attached.
+    dist_by_vertex: HashMap<PointId, u64>,
 }
 
 impl State {
@@ -116,7 +122,16 @@ impl State {
             rev_old: HashMap::new(),
             opt_extra: HashMap::new(),
             c: 0,
+            attempts: 0,
             dist_evals: 0,
+            dist_by_vertex: HashMap::new(),
+        }
+    }
+
+    /// Count one distance evaluation for `v`'s benefit (tracing only).
+    fn trace_dist(&mut self, traced: bool, v: PointId) {
+        if traced {
+            *self.dist_by_vertex.entry(v).or_default() += 1;
         }
     }
 }
@@ -191,10 +206,11 @@ where
     let dim = set.dim().max(1);
     let owned = part.owned_ids(n, comm.rank());
     let st = Rc::new(RefCell::new(State::new(&owned, cfg.k)));
-    name_tags(comm);
     register_handlers(comm, &st, &set, &metric, part, cfg, dim);
+    let traced = comm.tracer().is_some();
 
     // ---- Phase 1: random initialization ------------------------------------
+    comm.trace_begin("init");
     let quota = (cfg.batch_size / comm.n_ranks() as u64).max(1) as usize;
     batched(comm, owned.len(), quota.max(1), |i| {
         let v = owned[i];
@@ -215,6 +231,8 @@ where
                 comm.charge_distance(dim);
                 let mut s = st.borrow_mut();
                 s.dist_evals += 1;
+                s.trace_dist(traced, v);
+                s.attempts += 1;
                 if let Some(h) = s.heaps.get_mut(&v) {
                     h.checked_insert(u, d, true);
                 }
@@ -231,6 +249,7 @@ where
             }
         }
     });
+    comm.trace_end("init");
 
     // ---- Phase 2: descent iterations ----------------------------------------
     let max_sample = ((cfg.rho * cfg.k as f64).round() as usize).max(1);
@@ -239,15 +258,18 @@ where
     let mut updates_per_iter = Vec::new();
 
     for iter in 0..cfg.max_iters {
+        comm.trace_begin_arg("iteration", iter as u64);
         {
             let mut s = st.borrow_mut();
             s.c = 0;
+            s.attempts = 0;
             s.rev_new.clear();
             s.rev_old.clear();
         }
 
         // 2a. Local sampling: split each owned vertex's heap into old ids
         // and a rho*K sample of new ids (flipped to old).
+        comm.trace_begin("sample");
         let mut fwd_old: HashMap<PointId, Vec<PointId>> = HashMap::with_capacity(owned.len());
         let mut fwd_new: HashMap<PointId, Vec<PointId>> = HashMap::with_capacity(owned.len());
         {
@@ -257,8 +279,13 @@ where
                     cfg.seed ^ 0xA11CE ^ (u64::from(v) << 18) ^ (iter as u64),
                 );
                 let heap = s.heaps.get_mut(&v).expect("owned vertex heap");
-                let old = heap.flagged_ids(false);
+                // The heap's array layout depends on the order updates
+                // arrived, which is scheduling-dependent; sort both id
+                // lists so the sample below is deterministic in seed.
+                let mut old = heap.flagged_ids(false);
+                old.sort_unstable();
                 let mut candidates = heap.flagged_ids(true);
+                candidates.sort_unstable();
                 candidates.shuffle(&mut rng);
                 candidates.truncate(max_sample);
                 for &u in &candidates {
@@ -269,8 +296,11 @@ where
             }
         }
 
+        comm.trace_end("sample");
+
         // 2b. Reverse-neighbor exchange (Section 4.2): ship (u, v) to
         // owner(u). Destination order is shuffled to spread load.
+        comm.trace_begin("reverse_exchange");
         let mut order = owned.clone();
         if cfg.shuffle_reverse {
             let mut rng = ChaCha8Rng::seed_from_u64(
@@ -288,8 +318,11 @@ where
             }
         });
 
+        comm.trace_end("reverse_exchange");
+
         // 2c. Sample rho*K of each received reverse list and union into the
         // forward lists (Algorithm 1 lines 15-16).
+        comm.trace_begin("union_sample");
         {
             let mut s = st.borrow_mut();
             for &v in &owned {
@@ -297,6 +330,9 @@ where
                     cfg.seed ^ 0xBEE ^ (u64::from(v) << 18) ^ (iter as u64),
                 );
                 let mut union_sample = |fwd: &mut Vec<PointId>, mut rev: Vec<PointId>| {
+                    // The reverse lists arrive in scheduling-dependent order;
+                    // canonicalize so the sample is deterministic in seed.
+                    rev.sort_unstable();
                     rev.shuffle(&mut rng);
                     rev.truncate(max_sample);
                     for u in rev {
@@ -316,7 +352,10 @@ where
             }
         }
 
+        comm.trace_end("union_sample");
+
         // 2d. Generate the neighbor-check pairs for this rank's vertices.
+        comm.trace_begin("gen_pairs");
         let mut pairs: Vec<(PointId, PointId)> = Vec::new();
         for &v in &owned {
             let news = &fwd_new[&v];
@@ -335,7 +374,11 @@ where
             }
         }
 
+        comm.trace_end("gen_pairs");
+        comm.trace_hist("check_pairs_per_iter", pairs.len() as u64);
+
         // 2e. Issue checks in globally coordinated batches (Section 4.4).
+        comm.trace_begin("neighbor_check");
         batched(comm, pairs.len(), quota, |i| {
             let (u1, u2) = pairs[i];
             if cfg.opts.one_sided {
@@ -348,11 +391,21 @@ where
             }
         });
 
+        comm.trace_end("neighbor_check");
+
         // 2f. Convergence test on the all-reduced update count.
-        let c_local = st.borrow().c;
+        let (c_local, attempts) = {
+            let s = st.borrow();
+            (s.c, s.attempts)
+        };
+        if let Some(pct) = (c_local * 100).checked_div(attempts) {
+            comm.trace_hist("heap_accept_pct", pct);
+        }
         let c_global = comm.all_reduce_sum_u64(c_local);
         iterations = iter + 1;
         updates_per_iter.push(c_global);
+        comm.trace_instant("iter_updates", c_global);
+        comm.trace_end("iteration");
         if c_global < threshold {
             break;
         }
@@ -360,7 +413,10 @@ where
 
     // ---- Phase 3: optional distributed graph optimization -------------------
     let rows: RankRows = if let Some(m) = cfg.graph_opt_m {
-        optimize_distributed(comm, &st, &owned, part, cfg, m, quota)
+        comm.trace_begin("graph_optimize");
+        let rows = optimize_distributed(comm, &st, &owned, part, cfg, m, quota);
+        comm.trace_end("graph_optimize");
+        rows
     } else {
         let s = st.borrow();
         owned
@@ -377,6 +433,14 @@ where
     };
 
     let s = st.borrow();
+    if traced {
+        for &v in &owned {
+            comm.trace_hist(
+                "dist_evals_per_item",
+                s.dist_by_vertex.get(&v).copied().unwrap_or(0),
+            );
+        }
+    }
     (
         rows,
         RankMetrics {
@@ -438,6 +502,9 @@ fn batched<F: FnMut(usize)>(comm: &Comm, total: usize, quota: usize, mut f: F) {
     let mut idx = 0;
     loop {
         let end = (idx + quota).min(total);
+        if end > idx {
+            comm.trace_hist("batch_size", (end - idx) as u64);
+        }
         for i in idx..end {
             f(i);
         }
@@ -462,46 +529,69 @@ fn register_handlers<P, M>(
     P: Point,
     M: Metric<P>,
 {
+    let traced = comm.tracer().is_some();
+
     // Init: compute theta(v, u) here (we own u), reply to owner(v).
     {
         let st = Rc::clone(st);
         let set = Arc::clone(set);
         let metric = metric.clone();
-        comm.register::<InitReq<P>, _>(TAG_INIT_REQ, move |c, msg| {
-            let d = metric.distance(&msg.vec, set.point(msg.u));
-            c.charge_distance(dim);
-            st.borrow_mut().dist_evals += 1;
-            c.async_send(part.owner(msg.v), TAG_INIT_RESP, &(msg.v, msg.u, d));
-        });
+        comm.register_named::<InitReq<P>, _>(
+            TAG_INIT_REQ,
+            tag_display(TAG_INIT_REQ),
+            move |c, msg| {
+                let d = metric.distance(&msg.vec, set.point(msg.u));
+                c.charge_distance(dim);
+                let mut s = st.borrow_mut();
+                s.dist_evals += 1;
+                s.trace_dist(traced, msg.u);
+                drop(s);
+                c.async_send(part.owner(msg.v), TAG_INIT_RESP, &(msg.v, msg.u, d));
+            },
+        );
     }
     {
         let st = Rc::clone(st);
-        comm.register::<InitResp, _>(TAG_INIT_RESP, move |_, (v, u, d)| {
-            if let Some(h) = st.borrow_mut().heaps.get_mut(&v) {
-                h.checked_insert(u, d, true);
-            }
-        });
+        comm.register_named::<InitResp, _>(
+            TAG_INIT_RESP,
+            tag_display(TAG_INIT_RESP),
+            move |_, (v, u, d)| {
+                let mut s = st.borrow_mut();
+                s.attempts += 1;
+                if let Some(h) = s.heaps.get_mut(&v) {
+                    h.checked_insert(u, d, true);
+                }
+            },
+        );
     }
 
     // Reverse-neighbor exchange accumulators.
     {
         let st = Rc::clone(st);
-        comm.register::<RevEntry, _>(TAG_REV_NEW, move |_, (u, v)| {
-            st.borrow_mut().rev_new.entry(u).or_default().push(v);
-        });
+        comm.register_named::<RevEntry, _>(
+            TAG_REV_NEW,
+            tag_display(TAG_REV_NEW),
+            move |_, (u, v)| {
+                st.borrow_mut().rev_new.entry(u).or_default().push(v);
+            },
+        );
     }
     {
         let st = Rc::clone(st);
-        comm.register::<RevEntry, _>(TAG_REV_OLD, move |_, (u, v)| {
-            st.borrow_mut().rev_old.entry(u).or_default().push(v);
-        });
+        comm.register_named::<RevEntry, _>(
+            TAG_REV_OLD,
+            tag_display(TAG_REV_OLD),
+            move |_, (u, v)| {
+                st.borrow_mut().rev_old.entry(u).or_default().push(v);
+            },
+        );
     }
 
     // Type 1: this rank owns u1.
     {
         let st = Rc::clone(st);
         let set = Arc::clone(set);
-        comm.register::<Type1, _>(TAG_TYPE1, move |c, (u1, u2)| {
+        comm.register_named::<Type1, _>(TAG_TYPE1, tag_display(TAG_TYPE1), move |c, (u1, u2)| {
             let (skip, bound) = {
                 let s = st.borrow();
                 let heap = &s.heaps[&u1];
@@ -546,11 +636,13 @@ fn register_handlers<P, M>(
         let st = Rc::clone(st);
         let set = Arc::clone(set);
         let metric = metric.clone();
-        comm.register::<Type2<P>, _>(TAG_TYPE2, move |c, msg| {
+        comm.register_named::<Type2<P>, _>(TAG_TYPE2, tag_display(TAG_TYPE2), move |c, msg| {
             let d = metric.distance(&msg.vec, set.point(msg.u2));
             c.charge_distance(dim);
             let mut s = st.borrow_mut();
             s.dist_evals += 1;
+            s.trace_dist(traced, msg.u2);
+            s.attempts += 1;
             if let Some(h) = s.heaps.get_mut(&msg.u2) {
                 if h.checked_insert(msg.u1, d, true) {
                     s.c += 1;
@@ -564,52 +656,67 @@ fn register_handlers<P, M>(
         let st = Rc::clone(st);
         let set = Arc::clone(set);
         let metric = metric.clone();
-        comm.register::<Type2Plus<P>, _>(TAG_TYPE2_PLUS, move |c, msg| {
-            {
-                // Redundant-check reduction on the return path (4.3.2): if
-                // u1 is already our neighbor this pair was checked before.
-                let s = st.borrow();
-                if cfg.opts.skip_redundant && s.heaps[&msg.u2].contains(msg.u1) {
-                    return;
-                }
-            }
-            let d = metric.distance(&msg.vec, set.point(msg.u2));
-            c.charge_distance(dim);
-            {
-                let mut s = st.borrow_mut();
-                s.dist_evals += 1;
-                if let Some(h) = s.heaps.get_mut(&msg.u2) {
-                    if h.checked_insert(msg.u1, d, true) {
-                        s.c += 1;
+        comm.register_named::<Type2Plus<P>, _>(
+            TAG_TYPE2_PLUS,
+            tag_display(TAG_TYPE2_PLUS),
+            move |c, msg| {
+                {
+                    // Redundant-check reduction on the return path (4.3.2): if
+                    // u1 is already our neighbor this pair was checked before.
+                    let s = st.borrow();
+                    if cfg.opts.skip_redundant && s.heaps[&msg.u2].contains(msg.u1) {
+                        return;
                     }
                 }
-            }
-            // Long-distance pruning (4.3.3): only answer if the distance
-            // can possibly improve u1's heap.
-            if d < msg.bound {
-                c.async_send(part.owner(msg.u1), TAG_TYPE3, &(msg.u1, msg.u2, d));
-            }
-        });
+                let d = metric.distance(&msg.vec, set.point(msg.u2));
+                c.charge_distance(dim);
+                {
+                    let mut s = st.borrow_mut();
+                    s.dist_evals += 1;
+                    s.trace_dist(traced, msg.u2);
+                    s.attempts += 1;
+                    if let Some(h) = s.heaps.get_mut(&msg.u2) {
+                        if h.checked_insert(msg.u1, d, true) {
+                            s.c += 1;
+                        }
+                    }
+                }
+                // Long-distance pruning (4.3.3): only answer if the distance
+                // can possibly improve u1's heap.
+                if d < msg.bound {
+                    c.async_send(part.owner(msg.u1), TAG_TYPE3, &(msg.u1, msg.u2, d));
+                }
+            },
+        );
     }
 
     // Type 3: the returned distance updates u1's heap.
     {
         let st = Rc::clone(st);
-        comm.register::<Type3, _>(TAG_TYPE3, move |_, (u1, u2, d)| {
-            let mut s = st.borrow_mut();
-            if let Some(h) = s.heaps.get_mut(&u1) {
-                if h.checked_insert(u2, d, true) {
-                    s.c += 1;
+        comm.register_named::<Type3, _>(
+            TAG_TYPE3,
+            tag_display(TAG_TYPE3),
+            move |_, (u1, u2, d)| {
+                let mut s = st.borrow_mut();
+                s.attempts += 1;
+                if let Some(h) = s.heaps.get_mut(&u1) {
+                    if h.checked_insert(u2, d, true) {
+                        s.c += 1;
+                    }
                 }
-            }
-        });
+            },
+        );
     }
 
     // Graph-optimization reverse edges.
     {
         let st = Rc::clone(st);
-        comm.register::<OptEdge, _>(TAG_OPT_EDGE, move |_, (u, v, d)| {
-            st.borrow_mut().opt_extra.entry(u).or_default().push((v, d));
-        });
+        comm.register_named::<OptEdge, _>(
+            TAG_OPT_EDGE,
+            tag_display(TAG_OPT_EDGE),
+            move |_, (u, v, d)| {
+                st.borrow_mut().opt_extra.entry(u).or_default().push((v, d));
+            },
+        );
     }
 }

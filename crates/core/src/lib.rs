@@ -39,6 +39,7 @@ pub mod config;
 pub mod dist_index;
 pub mod engine;
 pub mod msgs;
+pub mod obs_report;
 pub mod partition;
 pub mod persist;
 pub mod query;

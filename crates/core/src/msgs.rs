@@ -37,17 +37,34 @@ pub const TAG_TYPE3: u16 = 17;
 /// Graph-optimization reverse-edge shipment (Section 4.5).
 pub const TAG_OPT_EDGE: u16 = 18;
 
+/// All protocol tags with their display names. The four neighbor-check
+/// messages carry the paper's exact Figure 4 labels.
+pub const TAG_NAMES: [(u16, &str); 9] = [
+    (TAG_INIT_REQ, "init_req"),
+    (TAG_INIT_RESP, "init_resp"),
+    (TAG_REV_NEW, "rev_new"),
+    (TAG_REV_OLD, "rev_old"),
+    (TAG_TYPE1, "Type 1"),
+    (TAG_TYPE2, "Type 2"),
+    (TAG_TYPE2_PLUS, "Type 2+"),
+    (TAG_TYPE3, "Type 3"),
+    (TAG_OPT_EDGE, "opt_edge"),
+];
+
+/// Display name for one DNND tag.
+pub fn tag_display(tag: u16) -> &'static str {
+    TAG_NAMES
+        .iter()
+        .find(|(t, _)| *t == tag)
+        .map(|(_, n)| *n)
+        .unwrap_or("unknown")
+}
+
 /// Attach human-readable names to all DNND tags on a comm's stats.
 pub fn name_tags(comm: &ygm::Comm) {
-    comm.name_tag(TAG_INIT_REQ, "init_req");
-    comm.name_tag(TAG_INIT_RESP, "init_resp");
-    comm.name_tag(TAG_REV_NEW, "rev_new");
-    comm.name_tag(TAG_REV_OLD, "rev_old");
-    comm.name_tag(TAG_TYPE1, "type1");
-    comm.name_tag(TAG_TYPE2, "type2");
-    comm.name_tag(TAG_TYPE2_PLUS, "type2plus");
-    comm.name_tag(TAG_TYPE3, "type3");
-    comm.name_tag(TAG_OPT_EDGE, "opt_edge");
+    for (tag, name) in TAG_NAMES {
+        comm.name_tag(tag, name);
+    }
 }
 
 /// Init request: compute `theta(v, u)` at `owner(u)` using the attached

@@ -1,0 +1,169 @@
+//! Bridges from runtime/engine result types to [`obs::RunReport`], plus
+//! file emission for the `--trace-out` / `--report-out` CLI flags.
+//!
+//! `obs` itself is dependency-free, so the translation from `ygm`'s
+//! `TagStats` / `PhaseRecord` / `ClockBreakdown` (and the engine's
+//! `BuildReport`) into the report schema lives here, where both sides are
+//! in scope. Every binary and bench driver funnels through these helpers
+//! so reports stay structurally identical across producers.
+
+use crate::engine::BuildReport;
+use obs::{ConvergencePoint, PhaseReport, RunReport, TagReport, Tracer};
+use std::fs;
+use std::io;
+use std::path::Path;
+use ygm::{ClockBreakdown, PhaseRecord, TagStats, WorldReport};
+
+fn fill_tags(report: &mut RunReport, tags: &[(u16, String, TagStats)], total: &TagStats) {
+    report.tags = tags
+        .iter()
+        .map(|(tag, name, s)| TagReport {
+            tag: *tag as u64,
+            name: name.clone(),
+            count: s.count,
+            bytes: s.bytes,
+            remote_count: s.remote_count,
+            remote_bytes: s.remote_bytes,
+        })
+        .collect();
+    report.total_count = total.count;
+    report.total_bytes = total.bytes;
+    report.total_remote_count = total.remote_count;
+    report.total_remote_bytes = total.remote_bytes;
+}
+
+fn fill_phases(report: &mut RunReport, phases: &[PhaseRecord]) {
+    report.phases = phases
+        .iter()
+        .map(|p| PhaseReport {
+            index: p.index as u64,
+            compute_secs: p.compute_secs,
+            comm_secs: p.comm_secs,
+            barrier_secs: p.barrier_secs,
+            msgs: p.msgs,
+            bytes: p.bytes,
+        })
+        .collect();
+}
+
+fn fill_breakdown(report: &mut RunReport, b: &ClockBreakdown) {
+    report.compute_secs = b.compute_secs;
+    report.comm_secs = b.comm_secs;
+    report.barrier_secs = b.barrier_secs;
+}
+
+/// Start a [`RunReport`] from a construction run's [`BuildReport`],
+/// including the convergence trajectory.
+pub fn report_from_build(binary: &str, r: &BuildReport) -> RunReport {
+    let mut report = RunReport::new(binary);
+    report.n_ranks = r.n_ranks as u64;
+    report.iterations = r.iterations as u64;
+    report.distance_evals = r.distance_evals;
+    report.sim_secs = r.sim_secs;
+    report.wall_secs = r.wall_secs;
+    fill_breakdown(&mut report, &r.breakdown);
+    fill_tags(&mut report, &r.tags, &r.total);
+    fill_phases(&mut report, &r.phases);
+    report.convergence = r
+        .updates_per_iter
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| ConvergencePoint {
+            iteration: i as u64,
+            updates: u,
+        })
+        .collect();
+    report
+}
+
+/// Start a [`RunReport`] from any [`WorldReport`] (e.g. a query run).
+pub fn report_from_world<T>(binary: &str, n_ranks: usize, r: &WorldReport<T>) -> RunReport {
+    let mut report = RunReport::new(binary);
+    report.n_ranks = n_ranks as u64;
+    report.sim_secs = r.sim_secs;
+    report.wall_secs = r.wall_secs;
+    fill_breakdown(&mut report, &r.breakdown);
+    fill_tags(&mut report, &r.tags, &r.total);
+    fill_phases(&mut report, &r.phases);
+    report
+}
+
+/// Fold the tracer's histogram summaries into `report` (no-op for `None`).
+pub fn attach_histograms(report: &mut RunReport, tracer: Option<&Tracer>) {
+    if let Some(t) = tracer {
+        report.add_histograms(&t.hist_snapshots());
+    }
+}
+
+/// Write the Chrome-trace JSON for `tracer` to `path`.
+pub fn write_trace(path: impl AsRef<Path>, tracer: &Tracer) -> io::Result<()> {
+    fs::write(path, obs::chrome::chrome_trace_json(tracer))
+}
+
+/// Write `report` as pretty-printed JSON to `path`.
+pub fn write_report(path: impl AsRef<Path>, report: &RunReport) -> io::Result<()> {
+    fs::write(path, report.to_json_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ygm::TagStats;
+
+    fn tag(t: u16, count: u64, bytes: u64) -> (u16, String, TagStats) {
+        (
+            t,
+            format!("tag{t}"),
+            TagStats {
+                count,
+                bytes,
+                remote_count: count / 2,
+                remote_bytes: bytes / 2,
+            },
+        )
+    }
+
+    #[test]
+    fn build_report_totals_carry_over_exactly() {
+        let tags = vec![tag(14, 10, 640), tag(16, 4, 4_000)];
+        let total = TagStats {
+            count: 14,
+            bytes: 4_640,
+            remote_count: 7,
+            remote_bytes: 2_320,
+        };
+        let br = BuildReport {
+            n_ranks: 4,
+            iterations: 3,
+            updates_per_iter: vec![100, 40, 2],
+            distance_evals: 777,
+            sim_secs: 1.25,
+            breakdown: ClockBreakdown {
+                compute_secs: 1.0,
+                comm_secs: 0.2,
+                barrier_secs: 0.05,
+            },
+            phases: vec![PhaseRecord {
+                index: 0,
+                compute_secs: 0.5,
+                comm_secs: 0.1,
+                barrier_secs: 0.01,
+                msgs: 7,
+                bytes: 2_320,
+            }],
+            wall_secs: 0.5,
+            tags,
+            total,
+        };
+        let r = report_from_build("dnnd-construct", &br);
+        assert_eq!(r.total_bytes, 4_640);
+        assert_eq!(r.tags.len(), 2);
+        assert_eq!(r.tags[1].bytes, 4_000);
+        assert_eq!(r.convergence.len(), 3);
+        assert_eq!(r.convergence[2].updates, 2);
+        assert_eq!(r.phases[0].msgs, 7);
+        // Round-trips through JSON untouched.
+        let back = RunReport::parse(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+    }
+}

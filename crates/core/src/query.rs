@@ -203,11 +203,6 @@ where
     let dim = base.dim().max(1);
     let relax = 1.0 + params.epsilon;
 
-    comm.name_tag(TAG_EXPAND, "q_expand");
-    comm.name_tag(TAG_NEIGHBORS, "q_neighbors");
-    comm.name_tag(TAG_SCORE, "q_score");
-    comm.name_tag(TAG_SCORED, "q_scored");
-
     // Home queries round-robin.
     let my_queries: Vec<usize> = (0..queries.len())
         .filter(|q| q % comm.n_ranks() == me)
@@ -231,7 +226,7 @@ where
     {
         // Expand: we own vertex v; reply with its neighbor ids.
         let graph = Arc::clone(&graph);
-        comm.register::<Expand, _>(TAG_EXPAND, move |c, (qid, home, v)| {
+        comm.register_named::<Expand, _>(TAG_EXPAND, "q_expand", move |c, (qid, home, v)| {
             let ids: Vec<PointId> = graph.neighbors(v).iter().map(|&(id, _)| id).collect();
             c.async_send(home as usize, TAG_NEIGHBORS, &(qid, v, ids));
         });
@@ -240,7 +235,7 @@ where
         // Score: we own candidate w; compute theta(query, w), reply.
         let base = Arc::clone(&base);
         let metric = metric.clone();
-        comm.register::<Score<P>, _>(TAG_SCORE, move |c, msg| {
+        comm.register_named::<Score<P>, _>(TAG_SCORE, "q_score", move |c, msg| {
             let d = metric.distance(&msg.query, base.point(msg.w));
             c.charge_distance(dim);
             c.async_send(msg.home as usize, TAG_SCORED, &(msg.qid, msg.w, d));
@@ -250,33 +245,37 @@ where
         // Neighbors arrived at the home rank: request scores for unvisited.
         let st = Rc::clone(&st);
         let queries = Arc::clone(&queries);
-        comm.register::<NeighborsMsg, _>(TAG_NEIGHBORS, move |c, (qid, _v, ids)| {
-            let mut s = st.borrow_mut();
-            let q = &mut s.queries[qid as usize];
-            q.pending_expands -= 1;
-            let query_vec = queries.point(q.global_idx as PointId).clone();
-            let home = c.rank() as u32;
-            for w in ids {
-                if q.visited.insert(w) {
-                    q.pending_scores += 1;
-                    c.async_send(
-                        Partitioner::new(c.n_ranks()).owner(w),
-                        TAG_SCORE,
-                        &Score {
-                            qid,
-                            home,
-                            w,
-                            query: query_vec.clone(),
-                        },
-                    );
+        comm.register_named::<NeighborsMsg, _>(
+            TAG_NEIGHBORS,
+            "q_neighbors",
+            move |c, (qid, _v, ids)| {
+                let mut s = st.borrow_mut();
+                let q = &mut s.queries[qid as usize];
+                q.pending_expands -= 1;
+                let query_vec = queries.point(q.global_idx as PointId).clone();
+                let home = c.rank() as u32;
+                for w in ids {
+                    if q.visited.insert(w) {
+                        q.pending_scores += 1;
+                        c.async_send(
+                            Partitioner::new(c.n_ranks()).owner(w),
+                            TAG_SCORE,
+                            &Score {
+                                qid,
+                                home,
+                                w,
+                                query: query_vec.clone(),
+                            },
+                        );
+                    }
                 }
-            }
-        });
+            },
+        );
     }
     {
         // Scored distance arrived: update heaps.
         let st = Rc::clone(&st);
-        comm.register::<Scored, _>(TAG_SCORED, move |_, (qid, w, d)| {
+        comm.register_named::<Scored, _>(TAG_SCORED, "q_scored", move |_, (qid, w, d)| {
             let mut s = st.borrow_mut();
             let q = &mut s.queries[qid as usize];
             q.pending_scores -= 1;
@@ -294,6 +293,7 @@ where
     }
 
     // --- seed entry points ----------------------------------------------------
+    comm.trace_begin("query_seed");
     {
         let mut s = st.borrow_mut();
         let home = me as u32;
@@ -320,12 +320,16 @@ where
         }
     }
     comm.barrier();
+    comm.trace_end("query_seed");
 
     // --- round loop -------------------------------------------------------------
     // Each round: every live query expands its best frontier vertex (the
     // Section 3.3 pop), the barrier retires the Expand/Score cascades, and
     // an all-reduce decides global convergence.
+    let mut round = 0u64;
     loop {
+        comm.trace_begin_arg("query_round", round);
+        round += 1;
         {
             let mut s = st.borrow_mut();
             let home = me as u32;
@@ -353,7 +357,10 @@ where
             let s = st.borrow();
             s.queries.iter().filter(|q| !q.done).count() as u64
         };
-        if comm.all_reduce_sum_u64(live) == 0 {
+        let live_global = comm.all_reduce_sum_u64(live);
+        comm.trace_instant("live_queries", live_global);
+        comm.trace_end("query_round");
+        if live_global == 0 {
             break;
         }
     }

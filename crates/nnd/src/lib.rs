@@ -47,8 +47,10 @@ pub use diversify::diversify;
 pub use graph::{Edge, KnnGraph};
 pub use heap::{Neighbor, NeighborHeap};
 pub use index::{IndexParams, InitStrategy, NnIndex};
-pub use nndescent::{build, build_with_init, BuildStats, NnDescentParams};
+pub use nndescent::{build, build_traced, build_with_init, BuildStats, NnDescentParams};
 pub use refine::{insert_points, remove_points};
 pub use rptree::{rp_forest_candidates, RpForestParams};
-pub use search::{search, search_batch, BatchResult, SearchParams, SearchResult};
+pub use search::{
+    search, search_batch, search_batch_traced, BatchResult, SearchParams, SearchResult,
+};
 pub use searcher::Searcher;

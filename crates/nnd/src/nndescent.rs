@@ -115,6 +115,30 @@ pub fn build_with_init<P: Point, M: Metric<P>>(
     params: NnDescentParams,
     init: Option<&[Vec<PointId>]>,
 ) -> (KnnGraph, BuildStats) {
+    build_traced(set, metric, params, init, None)
+}
+
+/// [`build_with_init`] with an optional [`obs::Tracer`]: phase spans land
+/// on track 0 (shared-memory NN-Descent is one "rank"), timestamped with
+/// the tracer's wall clock on both axes, and per-iteration update counts
+/// feed the `nnd_updates_per_iter` histogram.
+pub fn build_traced<P: Point, M: Metric<P>>(
+    set: &PointSet<P>,
+    metric: &M,
+    params: NnDescentParams,
+    init: Option<&[Vec<PointId>]>,
+    tracer: Option<&obs::Tracer>,
+) -> (KnnGraph, BuildStats) {
+    let span_begin = |name: &'static str, arg: u64| {
+        if let Some(t) = tracer {
+            t.begin_arg(0, name, t.wall_ns(), arg);
+        }
+    };
+    let span_end = |name: &'static str| {
+        if let Some(t) = tracer {
+            t.end(0, name, t.wall_ns());
+        }
+    };
     let n = set.len();
     assert!(n >= 2, "need at least two points");
     assert!(params.k >= 1 && params.k < n, "require 1 <= k < N");
@@ -126,6 +150,7 @@ pub fn build_with_init<P: Point, M: Metric<P>>(
     };
 
     // ---- Initialization (Algorithm 1 lines 2-5) ----------------------------
+    span_begin("nnd_init", 0);
     let heaps: Vec<Mutex<NeighborHeap>> =
         (0..n).map(|_| Mutex::new(NeighborHeap::new(k))).collect();
     (0..n as PointId).into_par_iter().for_each(|v| {
@@ -148,12 +173,15 @@ pub fn build_with_init<P: Point, M: Metric<P>>(
         }
     });
 
+    span_end("nnd_init");
+
     // ---- Descent loop -------------------------------------------------------
     let max_sample = ((params.rho * k as f64).round() as usize).max(1);
     let threshold = (params.delta * k as f64 * n as f64) as u64;
     let mut stats = BuildStats::default();
 
     for iter in 0..params.max_iters {
+        span_begin("nnd_iteration", iter as u64);
         // Lines 7-10: forward old/new lists; sampled news flip to old.
         let mut fwd_old: Vec<Vec<PointId>> = Vec::with_capacity(n);
         let mut fwd_new: Vec<Vec<PointId>> = Vec::with_capacity(n);
@@ -212,6 +240,7 @@ pub fn build_with_init<P: Point, M: Metric<P>>(
         }
 
         // Lines 17-22: neighbor checks.
+        span_begin("nnd_check", 0);
         let counter = AtomicU64::new(0);
         (0..n).into_par_iter().for_each(|v| {
             let news = &fwd_new[v];
@@ -242,9 +271,15 @@ pub fn build_with_init<P: Point, M: Metric<P>>(
             }
         });
 
+        span_end("nnd_check");
+
         let c = counter.load(Ordering::Relaxed);
         stats.iterations = iter + 1;
         stats.updates_per_iter.push(c);
+        if let Some(t) = tracer {
+            t.hist("nnd_updates_per_iter").record(c);
+        }
+        span_end("nnd_iteration");
         if c < threshold.max(1) {
             break;
         }

@@ -182,6 +182,23 @@ pub fn search_batch<P: Point, M: Metric<P>>(
     queries: &PointSet<P>,
     params: SearchParams,
 ) -> BatchResult {
+    search_batch_traced(graph, base, metric, queries, params, None)
+}
+
+/// [`search_batch`] with an optional tracer: wraps the batch in a
+/// `search_batch` span (track 0) and records a `query_dist_evals`
+/// histogram sample per query.
+pub fn search_batch_traced<P: Point, M: Metric<P>>(
+    graph: &KnnGraph,
+    base: &PointSet<P>,
+    metric: &M,
+    queries: &PointSet<P>,
+    params: SearchParams,
+    tracer: Option<&obs::Tracer>,
+) -> BatchResult {
+    if let Some(t) = tracer {
+        t.begin_arg(0, "search_batch", t.wall_ns(), queries.len() as u64);
+    }
     let evals = AtomicU64::new(0);
     let start = std::time::Instant::now();
     let ids: Vec<Vec<PointId>> = queries
@@ -200,10 +217,16 @@ pub fn search_batch<P: Point, M: Metric<P>>(
                 },
             );
             evals.fetch_add(r.distance_evals, Ordering::Relaxed);
+            if let Some(t) = tracer {
+                t.hist("query_dist_evals").record(r.distance_evals);
+            }
             r.ids()
         })
         .collect();
     let secs = start.elapsed().as_secs_f64();
+    if let Some(t) = tracer {
+        t.end(0, "search_batch", t.wall_ns());
+    }
     BatchResult {
         ids,
         qps: queries.len() as f64 / secs.max(1e-12),

@@ -1,0 +1,250 @@
+//! Chrome-trace (Trace Event Format) export, loadable in Perfetto /
+//! `chrome://tracing`.
+//!
+//! One track per simulated rank (`pid` 0, `tid` = rank). Matched
+//! begin/end pairs become complete (`"ph":"X"`) events on the wall-clock
+//! timeline — per-rank wall time is what shows real thread behavior —
+//! with the virtual simulation timestamps carried in `args` (`virt_us`,
+//! `virt_dur_us`). Instants become `"ph":"i"` events. Unterminated spans
+//! are closed at the rank's last observed wall time and flagged
+//! `"unterminated": true`.
+
+use crate::json::JsonValue as J;
+use crate::ring::EventKind;
+use crate::tracer::Tracer;
+
+fn us(ns: u64) -> J {
+    J::Num(ns as f64 / 1_000.0)
+}
+
+/// Build the trace document for `tracer` as a [`JsonValue`](crate::json::JsonValue).
+pub fn chrome_trace(tracer: &Tracer) -> J {
+    let mut events: Vec<J> = Vec::new();
+
+    for rank in 0..tracer.n_ranks() {
+        // Track metadata: readable names and stable top-to-bottom order.
+        events.push(J::Obj(vec![
+            ("ph".into(), J::str("M")),
+            ("name".into(), J::str("thread_name")),
+            ("pid".into(), J::Int(0)),
+            ("tid".into(), J::uint(rank as u64)),
+            (
+                "args".into(),
+                J::Obj(vec![("name".into(), J::str(format!("rank {rank}")))]),
+            ),
+        ]));
+        events.push(J::Obj(vec![
+            ("ph".into(), J::str("M")),
+            ("name".into(), J::str("thread_sort_index")),
+            ("pid".into(), J::Int(0)),
+            ("tid".into(), J::uint(rank as u64)),
+            (
+                "args".into(),
+                J::Obj(vec![("sort_index".into(), J::uint(rank as u64))]),
+            ),
+        ]));
+
+        let rank_events = tracer.events(rank);
+        let last_wall = rank_events.last().map(|e| e.wall_ns).unwrap_or(0);
+        // Stack of open spans: (name, wall_ns, virt_ns, arg).
+        let mut open: Vec<(&'static str, u64, u64, u64)> = Vec::new();
+
+        let complete = |name: &str,
+                        b_wall: u64,
+                        b_virt: u64,
+                        arg: u64,
+                        e_wall: u64,
+                        e_virt: u64,
+                        term: bool| {
+            let mut args = vec![
+                ("virt_us".into(), us(b_virt)),
+                ("virt_dur_us".into(), us(e_virt.saturating_sub(b_virt))),
+            ];
+            if arg != 0 {
+                args.push(("arg".into(), J::uint(arg)));
+            }
+            if !term {
+                args.push(("unterminated".into(), J::Bool(true)));
+            }
+            J::Obj(vec![
+                ("ph".into(), J::str("X")),
+                ("name".into(), J::str(name)),
+                ("pid".into(), J::Int(0)),
+                ("tid".into(), J::uint(rank as u64)),
+                ("ts".into(), us(b_wall)),
+                ("dur".into(), us(e_wall.saturating_sub(b_wall))),
+                ("args".into(), J::Obj(args)),
+            ])
+        };
+
+        for ev in &rank_events {
+            match ev.kind {
+                EventKind::Begin => open.push((ev.name, ev.wall_ns, ev.virt_ns, ev.arg)),
+                EventKind::End => {
+                    // Well-nested instrumentation means the matching span is
+                    // on top; if ring wrap-around ate the Begin, pop nothing
+                    // and emit a zero-length marker instead.
+                    if let Some(pos) = open.iter().rposition(|(n, ..)| *n == ev.name) {
+                        // Anything opened after the match lost its End to
+                        // wrap-around; close it at this point.
+                        while open.len() > pos + 1 {
+                            let (n, bw, bv, a) = open.pop().unwrap();
+                            events.push(complete(n, bw, bv, a, ev.wall_ns, ev.virt_ns, false));
+                        }
+                        let (n, bw, bv, a) = open.pop().unwrap();
+                        events.push(complete(n, bw, bv, a, ev.wall_ns, ev.virt_ns, true));
+                    } else {
+                        events.push(complete(
+                            ev.name, ev.wall_ns, ev.virt_ns, ev.arg, ev.wall_ns, ev.virt_ns, false,
+                        ));
+                    }
+                }
+                EventKind::Instant => {
+                    let mut args = vec![("virt_us".into(), us(ev.virt_ns))];
+                    if ev.arg != 0 {
+                        args.push(("arg".into(), J::uint(ev.arg)));
+                    }
+                    events.push(J::Obj(vec![
+                        ("ph".into(), J::str("i")),
+                        ("s".into(), J::str("t")),
+                        ("name".into(), J::str(ev.name)),
+                        ("pid".into(), J::Int(0)),
+                        ("tid".into(), J::uint(rank as u64)),
+                        ("ts".into(), us(ev.wall_ns)),
+                        ("args".into(), J::Obj(args)),
+                    ]));
+                }
+            }
+        }
+        // Spans still open at the end of the run.
+        while let Some((n, bw, bv, a)) = open.pop() {
+            events.push(complete(n, bw, bv, a, last_wall, 0, false));
+        }
+    }
+
+    J::Obj(vec![
+        ("traceEvents".into(), J::Arr(events)),
+        ("displayTimeUnit".into(), J::str("ms")),
+        (
+            "otherData".into(),
+            J::Obj(vec![
+                ("producer".into(), J::str("dnnd-repro obs")),
+                (
+                    "dropped_events".into(),
+                    J::uint(tracer.dropped_events() as u64),
+                ),
+                ("n_ranks".into(), J::uint(tracer.n_ranks() as u64)),
+            ]),
+        ),
+    ])
+}
+
+/// Serialize the trace for `tracer` to a JSON string.
+pub fn chrome_trace_json(tracer: &Tracer) -> String {
+    chrome_trace(tracer).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue as J;
+
+    fn spans_named<'a>(doc: &'a J, name: &str) -> Vec<&'a J> {
+        doc.get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter(|e| {
+                e.get("name").and_then(J::as_str) == Some(name)
+                    && e.get("ph").and_then(J::as_str) == Some("X")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matched_spans_become_complete_events() {
+        let t = Tracer::new(2);
+        t.begin(0, "outer", 0);
+        t.begin_arg(0, "inner", 100, 5);
+        t.end(0, "inner", 400);
+        t.end(0, "outer", 500);
+        t.instant(1, "flush", 200, 64);
+
+        let doc = chrome_trace(&t);
+        let inner = spans_named(&doc, "inner");
+        assert_eq!(inner.len(), 1);
+        let args = inner[0].get("args").unwrap();
+        assert_eq!(args.get("virt_us").unwrap().as_f64().unwrap(), 0.1);
+        assert_eq!(args.get("virt_dur_us").unwrap().as_f64().unwrap(), 0.3);
+        assert_eq!(args.get("arg").unwrap().as_u64(), Some(5));
+        assert!(args.get("unterminated").is_none());
+        assert_eq!(spans_named(&doc, "outer").len(), 1);
+
+        // The instant landed on rank 1's track.
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let inst: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(J::as_str) == Some("i"))
+            .collect();
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst[0].get("tid").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn one_thread_name_track_per_rank() {
+        let t = Tracer::new(3);
+        let doc = chrome_trace(&t);
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let names: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("name").and_then(J::as_str) == Some("thread_name"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(names, vec!["rank 0", "rank 1", "rank 2"]);
+    }
+
+    #[test]
+    fn unterminated_span_is_flagged() {
+        let t = Tracer::new(1);
+        t.begin(0, "leaky", 0);
+        t.instant(0, "tick", 10, 0);
+        let doc = chrome_trace(&t);
+        let leaky = spans_named(&doc, "leaky");
+        assert_eq!(leaky.len(), 1);
+        assert_eq!(
+            leaky[0]
+                .get("args")
+                .unwrap()
+                .get("unterminated")
+                .and_then(J::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn export_parses_as_json() {
+        let t = Tracer::new(2);
+        t.begin(0, "a \"quoted\" name", 0);
+        t.end(0, "a \"quoted\" name", 10);
+        let text = chrome_trace_json(&t);
+        let doc = J::parse(&text).unwrap();
+        assert!(doc.get("traceEvents").is_some());
+        assert_eq!(
+            doc.get("otherData")
+                .unwrap()
+                .get("dropped_events")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! Lock-free log-linear histograms with percentile queries.
+//!
+//! Values 0..15 are counted exactly; larger values land in log-linear
+//! buckets (16 linear sub-buckets per power of two), bounding the relative
+//! quantization error of percentile queries at 1/16 ≈ 6.3%. Recording is a
+//! single relaxed fetch-add, safe from any thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const LINEAR_CUTOFF: u64 = 16;
+const SUB_BUCKETS: usize = 16;
+/// Majors cover bit positions 4..=63.
+const N_BUCKETS: usize = LINEAR_CUTOFF as usize + (64 - 4) * SUB_BUCKETS;
+
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_CUTOFF {
+        v as usize
+    } else {
+        let major = 63 - v.leading_zeros() as usize; // >= 4
+        let minor = ((v >> (major - 4)) & 0xF) as usize;
+        LINEAR_CUTOFF as usize + (major - 4) * SUB_BUCKETS + minor
+    }
+}
+
+/// Lower bound of the value range covered by `index`.
+fn bucket_value(index: usize) -> u64 {
+    if index < LINEAR_CUTOFF as usize {
+        index as u64
+    } else {
+        let rest = index - LINEAR_CUTOFF as usize;
+        let major = rest / SUB_BUCKETS + 4;
+        let minor = (rest % SUB_BUCKETS) as u64;
+        (16 + minor) << (major - 4)
+    }
+}
+
+/// Concurrent histogram of `u64` samples.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        let buckets = (0..N_BUCKETS)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// Record `n` occurrences of the same value.
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent point-in-time copy for queries and export.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+        }
+    }
+}
+
+/// Immutable histogram state with summary-statistic queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub min: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (e.g. `0.5` = median), resolved to
+    /// the lower bound of the containing bucket (≤ 6.3% relative error).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based.
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_value(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_round_trip_is_monotone() {
+        let mut last = 0;
+        for v in [0u64, 1, 5, 15, 16, 17, 100, 1000, 1 << 20, u64::MAX / 2] {
+            let idx = bucket_index(v);
+            let lo = bucket_value(idx);
+            assert!(lo <= v, "lower bound {lo} must not exceed {v}");
+            assert!(idx >= last, "indices must be monotone in value");
+            last = idx;
+        }
+        // Lower bound quantization error is below 1/16.
+        for v in [100u64, 999, 12345, 1 << 30] {
+            let lo = bucket_value(bucket_index(v));
+            assert!((v - lo) as f64 / v as f64 <= 1.0 / 16.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 16);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 15);
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(1.0), 15);
+        assert_eq!(s.p50(), 7); // 8th of 16 samples, 1-based rank ceil(0.5*16)=8 -> value 7
+    }
+
+    #[test]
+    fn uniform_distribution_percentiles() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10_000);
+        let tol = |exact: f64, got: u64| {
+            let rel = (exact - got as f64).abs() / exact;
+            assert!(rel <= 0.07, "exact {exact} got {got} (rel {rel})");
+        };
+        tol(5_000.0, s.p50());
+        tol(9_500.0, s.p95());
+        tol(9_900.0, s.p99());
+        assert!((s.mean() - 5_000.5).abs() < 1e-6);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 10_000);
+    }
+
+    #[test]
+    fn point_mass_distribution() {
+        let h = Histogram::new();
+        h.record_n(42, 1_000);
+        let s = h.snapshot();
+        // 42 = (16+5)<<1 is itself a bucket lower bound, so p50 is exact.
+        assert_eq!(s.p50(), 42);
+        assert_eq!(s.max, 42);
+        assert_eq!(s.min, 42);
+        assert_eq!(s.quantile(1.0), 42); // clamped to observed max
+        assert_eq!(s.mean(), 42.0);
+    }
+
+    #[test]
+    fn two_mass_distribution_hits_both_modes() {
+        let h = Histogram::new();
+        h.record_n(10, 90); // 90% of mass at 10
+        h.record_n(1_000, 10); // 10% at 1000
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 10);
+        assert!(s.p95() >= 960 && s.p95() <= 1_000);
+        assert!(s.p99() >= 960 && s.p99() <= 1_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for hh in handles {
+            hh.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 40_000);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 39_999);
+    }
+}

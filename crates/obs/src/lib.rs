@@ -1,0 +1,30 @@
+//! Observability for the DNND simulation: span tracing, histogram metrics,
+//! Chrome-trace export, and unified JSON run reports.
+//!
+//! The crate is dependency-free and knows nothing about `ygm` or the engine;
+//! callers push events keyed to *both* clocks (wall time measured here,
+//! virtual simulation time passed in) and feed already-aggregated runtime
+//! statistics into [`report::RunReport`].
+//!
+//! Hot-path design: each simulated rank runs on its own OS thread and owns a
+//! single-producer lock-free ring buffer ([`ring::RankBuffer`]); recording a
+//! span boundary is one slot write plus one atomic store. Histograms are
+//! arrays of relaxed atomic counters. Everything is aggregated only at
+//! export time, after `World::run` has joined the rank threads.
+//!
+//! Zero-cost when disabled: instrumented code holds an
+//! `Option<Arc<Tracer>>` (or `Option<&Tracer>`) and skips all of this with
+//! one branch when tracing is off.
+
+pub mod chrome;
+pub mod hist;
+pub mod json;
+pub mod report;
+pub mod ring;
+pub mod tracer;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use json::JsonValue;
+pub use report::{ConvergencePoint, PhaseReport, RunReport, TagReport};
+pub use ring::{EventKind, TraceEvent};
+pub use tracer::Tracer;

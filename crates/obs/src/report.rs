@@ -1,0 +1,470 @@
+//! The unified run report: one JSON document per run consolidating message
+//! statistics, phase records, convergence trajectory, histograms, and
+//! (for query runs) recall.
+//!
+//! All field types are local to `obs` so the crate stays dependency-free;
+//! the binaries translate from `ygm`/engine types when filling one in.
+
+use crate::hist::HistogramSnapshot;
+use crate::json::JsonValue as J;
+
+/// Report schema version; bump on breaking layout changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Per-message-tag traffic totals (mirrors `ygm`'s `TagStats` plus identity).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TagReport {
+    pub tag: u64,
+    pub name: String,
+    pub count: u64,
+    pub bytes: u64,
+    pub remote_count: u64,
+    pub remote_bytes: u64,
+}
+
+/// One barrier-to-barrier phase of virtual time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PhaseReport {
+    pub index: u64,
+    pub compute_secs: f64,
+    pub comm_secs: f64,
+    pub barrier_secs: f64,
+    pub msgs: u64,
+    pub bytes: u64,
+}
+
+/// One NN-Descent iteration's convergence sample.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConvergencePoint {
+    pub iteration: u64,
+    /// Successful heap updates (the paper's `c` termination counter).
+    pub updates: u64,
+}
+
+/// Summary statistics of one named histogram.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistReport {
+    pub name: String,
+    pub count: u64,
+    pub mean: f64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+}
+
+impl HistReport {
+    pub fn from_snapshot(name: &str, s: &HistogramSnapshot) -> Self {
+        HistReport {
+            name: name.to_string(),
+            count: s.count,
+            mean: s.mean(),
+            min: s.min,
+            max: s.max,
+            p50: s.p50(),
+            p95: s.p95(),
+            p99: s.p99(),
+        }
+    }
+}
+
+/// The consolidated per-run report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Producing binary or driver (e.g. `dnnd-construct`).
+    pub binary: String,
+    /// Free-form string parameters (dataset path, metric, seed, ...).
+    pub params: Vec<(String, String)>,
+    pub n_ranks: u64,
+    /// Descent iterations executed (0 for pure query runs).
+    pub iterations: u64,
+    pub distance_evals: u64,
+    /// Virtual (simulated cluster) time, seconds.
+    pub sim_secs: f64,
+    /// Real wall-clock time, seconds.
+    pub wall_secs: f64,
+    pub compute_secs: f64,
+    pub comm_secs: f64,
+    pub barrier_secs: f64,
+    /// Per-tag traffic, sorted by tag.
+    pub tags: Vec<TagReport>,
+    /// Traffic totals over all tags.
+    pub total_count: u64,
+    pub total_bytes: u64,
+    pub total_remote_count: u64,
+    pub total_remote_bytes: u64,
+    pub phases: Vec<PhaseReport>,
+    pub convergence: Vec<ConvergencePoint>,
+    /// Recall@k against ground truth, when measured.
+    pub recall: Option<f64>,
+    pub histograms: Vec<HistReport>,
+    /// Free-form numeric metrics (e.g. `queries_per_sec`).
+    pub extra: Vec<(String, f64)>,
+}
+
+impl RunReport {
+    pub fn new(binary: impl Into<String>) -> Self {
+        RunReport {
+            binary: binary.into(),
+            ..Default::default()
+        }
+    }
+
+    pub fn param(&mut self, key: impl Into<String>, value: impl ToString) -> &mut Self {
+        self.params.push((key.into(), value.to_string()));
+        self
+    }
+
+    pub fn metric(&mut self, key: impl Into<String>, value: f64) -> &mut Self {
+        self.extra.push((key.into(), value));
+        self
+    }
+
+    /// Append histogram summaries from tracer snapshots.
+    pub fn add_histograms(&mut self, snaps: &[(String, HistogramSnapshot)]) -> &mut Self {
+        for (name, s) in snaps {
+            self.histograms.push(HistReport::from_snapshot(name, s));
+        }
+        self
+    }
+
+    pub fn to_json(&self) -> J {
+        J::Obj(vec![
+            ("schema_version".into(), J::uint(SCHEMA_VERSION)),
+            ("binary".into(), J::str(&self.binary)),
+            (
+                "params".into(),
+                J::Obj(
+                    self.params
+                        .iter()
+                        .map(|(k, v)| (k.clone(), J::str(v)))
+                        .collect(),
+                ),
+            ),
+            ("n_ranks".into(), J::uint(self.n_ranks)),
+            ("iterations".into(), J::uint(self.iterations)),
+            ("distance_evals".into(), J::uint(self.distance_evals)),
+            ("sim_secs".into(), J::Num(self.sim_secs)),
+            ("wall_secs".into(), J::Num(self.wall_secs)),
+            (
+                "breakdown".into(),
+                J::Obj(vec![
+                    ("compute_secs".into(), J::Num(self.compute_secs)),
+                    ("comm_secs".into(), J::Num(self.comm_secs)),
+                    ("barrier_secs".into(), J::Num(self.barrier_secs)),
+                ]),
+            ),
+            (
+                "tags".into(),
+                J::Arr(
+                    self.tags
+                        .iter()
+                        .map(|t| {
+                            J::Obj(vec![
+                                ("tag".into(), J::uint(t.tag)),
+                                ("name".into(), J::str(&t.name)),
+                                ("count".into(), J::uint(t.count)),
+                                ("bytes".into(), J::uint(t.bytes)),
+                                ("remote_count".into(), J::uint(t.remote_count)),
+                                ("remote_bytes".into(), J::uint(t.remote_bytes)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "total".into(),
+                J::Obj(vec![
+                    ("count".into(), J::uint(self.total_count)),
+                    ("bytes".into(), J::uint(self.total_bytes)),
+                    ("remote_count".into(), J::uint(self.total_remote_count)),
+                    ("remote_bytes".into(), J::uint(self.total_remote_bytes)),
+                ]),
+            ),
+            (
+                "phases".into(),
+                J::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            J::Obj(vec![
+                                ("index".into(), J::uint(p.index)),
+                                ("compute_secs".into(), J::Num(p.compute_secs)),
+                                ("comm_secs".into(), J::Num(p.comm_secs)),
+                                ("barrier_secs".into(), J::Num(p.barrier_secs)),
+                                ("msgs".into(), J::uint(p.msgs)),
+                                ("bytes".into(), J::uint(p.bytes)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "convergence".into(),
+                J::Arr(
+                    self.convergence
+                        .iter()
+                        .map(|c| {
+                            J::Obj(vec![
+                                ("iteration".into(), J::uint(c.iteration)),
+                                ("updates".into(), J::uint(c.updates)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("recall".into(), self.recall.map(J::Num).unwrap_or(J::Null)),
+            (
+                "histograms".into(),
+                J::Arr(
+                    self.histograms
+                        .iter()
+                        .map(|h| {
+                            J::Obj(vec![
+                                ("name".into(), J::str(&h.name)),
+                                ("count".into(), J::uint(h.count)),
+                                ("mean".into(), J::Num(h.mean)),
+                                ("min".into(), J::uint(h.min)),
+                                ("max".into(), J::uint(h.max)),
+                                ("p50".into(), J::uint(h.p50)),
+                                ("p95".into(), J::uint(h.p95)),
+                                ("p99".into(), J::uint(h.p99)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "extra".into(),
+                J::Obj(
+                    self.extra
+                        .iter()
+                        .map(|(k, v)| (k.clone(), J::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Pretty-printed JSON document.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Rebuild a report from its JSON form (inverse of [`Self::to_json`]).
+    pub fn from_json(v: &J) -> Result<RunReport, String> {
+        fn f64_field(v: &J, key: &str) -> Result<f64, String> {
+            v.get(key)
+                .and_then(J::as_f64)
+                .ok_or_else(|| format!("missing number field '{key}'"))
+        }
+        fn u64_field(v: &J, key: &str) -> Result<u64, String> {
+            v.get(key)
+                .and_then(J::as_u64)
+                .ok_or_else(|| format!("missing integer field '{key}'"))
+        }
+        fn str_field(v: &J, key: &str) -> Result<String, String> {
+            v.get(key)
+                .and_then(J::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field '{key}'"))
+        }
+        fn arr_field<'a>(v: &'a J, key: &str) -> Result<&'a [J], String> {
+            v.get(key)
+                .and_then(J::as_arr)
+                .ok_or_else(|| format!("missing array field '{key}'"))
+        }
+
+        let version = u64_field(v, "schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+            ));
+        }
+
+        let mut report = RunReport::new(str_field(v, "binary")?);
+
+        if let Some(J::Obj(fields)) = v.get("params") {
+            for (k, val) in fields {
+                report
+                    .params
+                    .push((k.clone(), val.as_str().unwrap_or_default().to_string()));
+            }
+        }
+
+        report.n_ranks = u64_field(v, "n_ranks")?;
+        report.iterations = u64_field(v, "iterations")?;
+        report.distance_evals = u64_field(v, "distance_evals")?;
+        report.sim_secs = f64_field(v, "sim_secs")?;
+        report.wall_secs = f64_field(v, "wall_secs")?;
+
+        let breakdown = v.get("breakdown").ok_or("missing 'breakdown'")?;
+        report.compute_secs = f64_field(breakdown, "compute_secs")?;
+        report.comm_secs = f64_field(breakdown, "comm_secs")?;
+        report.barrier_secs = f64_field(breakdown, "barrier_secs")?;
+
+        for t in arr_field(v, "tags")? {
+            report.tags.push(TagReport {
+                tag: u64_field(t, "tag")?,
+                name: str_field(t, "name")?,
+                count: u64_field(t, "count")?,
+                bytes: u64_field(t, "bytes")?,
+                remote_count: u64_field(t, "remote_count")?,
+                remote_bytes: u64_field(t, "remote_bytes")?,
+            });
+        }
+
+        let total = v.get("total").ok_or("missing 'total'")?;
+        report.total_count = u64_field(total, "count")?;
+        report.total_bytes = u64_field(total, "bytes")?;
+        report.total_remote_count = u64_field(total, "remote_count")?;
+        report.total_remote_bytes = u64_field(total, "remote_bytes")?;
+
+        for p in arr_field(v, "phases")? {
+            report.phases.push(PhaseReport {
+                index: u64_field(p, "index")?,
+                compute_secs: f64_field(p, "compute_secs")?,
+                comm_secs: f64_field(p, "comm_secs")?,
+                barrier_secs: f64_field(p, "barrier_secs")?,
+                msgs: u64_field(p, "msgs")?,
+                bytes: u64_field(p, "bytes")?,
+            });
+        }
+
+        for c in arr_field(v, "convergence")? {
+            report.convergence.push(ConvergencePoint {
+                iteration: u64_field(c, "iteration")?,
+                updates: u64_field(c, "updates")?,
+            });
+        }
+
+        report.recall = v.get("recall").and_then(J::as_f64);
+
+        for h in arr_field(v, "histograms")? {
+            report.histograms.push(HistReport {
+                name: str_field(h, "name")?,
+                count: u64_field(h, "count")?,
+                mean: f64_field(h, "mean")?,
+                min: u64_field(h, "min")?,
+                max: u64_field(h, "max")?,
+                p50: u64_field(h, "p50")?,
+                p95: u64_field(h, "p95")?,
+                p99: u64_field(h, "p99")?,
+            });
+        }
+
+        if let Some(J::Obj(fields)) = v.get("extra") {
+            for (k, val) in fields {
+                report.extra.push((k.clone(), val.as_f64().unwrap_or(0.0)));
+            }
+        }
+
+        Ok(report)
+    }
+
+    /// Parse a report from JSON text.
+    pub fn parse(text: &str) -> Result<RunReport, String> {
+        RunReport::from_json(&J::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    fn sample_report() -> RunReport {
+        let mut r = RunReport::new("dnnd-construct");
+        r.param("input", "preset:blobs,n=1000")
+            .param("seed", 42)
+            .param("metric", "l2");
+        r.n_ranks = 4;
+        r.iterations = 6;
+        r.distance_evals = 123_456;
+        r.sim_secs = 1.5;
+        r.wall_secs = 0.25;
+        r.compute_secs = 0.9;
+        r.comm_secs = 0.4;
+        r.barrier_secs = 0.2;
+        r.tags = vec![TagReport {
+            tag: 14,
+            name: "Type 1".into(),
+            count: 100,
+            bytes: 6_400,
+            remote_count: 75,
+            remote_bytes: 4_800,
+        }];
+        r.total_count = 100;
+        r.total_bytes = 6_400;
+        r.total_remote_count = 75;
+        r.total_remote_bytes = 4_800;
+        r.phases = vec![PhaseReport {
+            index: 0,
+            compute_secs: 0.1,
+            comm_secs: 0.05,
+            barrier_secs: 0.01,
+            msgs: 10,
+            bytes: 640,
+        }];
+        r.convergence = vec![
+            ConvergencePoint {
+                iteration: 0,
+                updates: 500,
+            },
+            ConvergencePoint {
+                iteration: 1,
+                updates: 17,
+            },
+        ];
+        r.recall = Some(0.97);
+        let h = Histogram::new();
+        for i in 1..=100 {
+            h.record(i);
+        }
+        r.add_histograms(&[("flush_bytes".into(), h.snapshot())]);
+        r.metric("queries_per_sec", 1234.5);
+        r
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let r = sample_report();
+        let text = r.to_json_string();
+        let back = RunReport::parse(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn compact_round_trip_too() {
+        let r = sample_report();
+        let back = RunReport::parse(&r.to_json().to_string()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn none_recall_round_trips() {
+        let mut r = sample_report();
+        r.recall = None;
+        let back = RunReport::parse(&r.to_json_string()).unwrap();
+        assert_eq!(back.recall, None);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_version() {
+        let text = sample_report()
+            .to_json_string()
+            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+        assert!(RunReport::parse(&text).is_err());
+    }
+
+    #[test]
+    fn histogram_summary_fields() {
+        let r = sample_report();
+        let h = &r.histograms[0];
+        assert_eq!(h.count, 100);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 100);
+        assert!(h.p50 >= 45 && h.p50 <= 50);
+    }
+}

@@ -1,0 +1,173 @@
+//! Single-producer lock-free ring buffers, one per simulated rank.
+//!
+//! Each rank thread is the *only* writer into its buffer; readers
+//! (trace export) run strictly after the rank threads have been joined,
+//! so a write is ordered before every read by the join. The atomic head
+//! uses `Release`/`Acquire` anyway, which additionally makes concurrent
+//! best-effort peeking (e.g. a progress printer) safe for the head count
+//! itself.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// Opening edge of a span.
+    Begin,
+    /// Closing edge of a span (matches the most recent unmatched `Begin`
+    /// with the same name on the same rank).
+    End,
+    /// Zero-duration point event.
+    Instant,
+}
+
+/// One recorded event. `Copy` and fixed-size so the hot path is a plain
+/// slot write.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    pub kind: EventKind,
+    /// Span / event name. `&'static str` keeps recording allocation-free;
+    /// dynamic detail (iteration numbers, byte counts) goes in `arg`.
+    pub name: &'static str,
+    /// Wall-clock nanoseconds since the tracer epoch.
+    pub wall_ns: u64,
+    /// Virtual simulation-clock nanoseconds (advances at barriers).
+    pub virt_ns: u64,
+    /// Free-form numeric payload (e.g. iteration index, bytes flushed).
+    pub arg: u64,
+}
+
+/// Fixed-capacity single-producer ring buffer of [`TraceEvent`]s.
+pub struct RankBuffer {
+    slots: Box<[UnsafeCell<MaybeUninit<TraceEvent>>]>,
+    /// Total events ever pushed (monotonic; slot index = head % capacity).
+    head: AtomicUsize,
+}
+
+// SAFETY: exactly one thread (the owning rank) writes via `push`, and
+// `drain_ordered` is only called after that thread has been joined; the
+// join (or the Release/Acquire pair on `head`) orders slot writes before
+// reads. No two threads ever access a slot concurrently.
+unsafe impl Sync for RankBuffer {}
+unsafe impl Send for RankBuffer {}
+
+impl RankBuffer {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be nonzero");
+        let slots = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        RankBuffer {
+            slots,
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events pushed over the buffer's lifetime (may exceed
+    /// capacity; the oldest are overwritten).
+    pub fn pushed(&self) -> usize {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events lost to ring wrap-around.
+    pub fn dropped(&self) -> usize {
+        self.pushed().saturating_sub(self.capacity())
+    }
+
+    /// Record one event. Must only be called from the owning rank thread.
+    #[inline]
+    pub fn push(&self, ev: TraceEvent) {
+        let head = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[head % self.slots.len()];
+        // SAFETY: single producer (see `Sync` justification above); no
+        // reader touches this slot until after the producer thread joins.
+        unsafe { (*slot.get()).write(ev) };
+        self.head.store(head + 1, Ordering::Release);
+    }
+
+    /// Copy out the surviving events, oldest first. Call only after the
+    /// producer thread has finished.
+    pub fn drain_ordered(&self) -> Vec<TraceEvent> {
+        let pushed = self.pushed();
+        let cap = self.slots.len();
+        let kept = pushed.min(cap);
+        let start = pushed - kept;
+        (start..pushed)
+            .map(|i| {
+                // SAFETY: indices in [start, pushed) were initialized by
+                // `push` and are not being written concurrently.
+                unsafe { (*self.slots[i % cap].get()).assume_init() }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, arg: u64) -> TraceEvent {
+        TraceEvent {
+            kind: EventKind::Instant,
+            name,
+            wall_ns: arg,
+            virt_ns: arg,
+            arg,
+        }
+    }
+
+    #[test]
+    fn push_and_drain_in_order() {
+        let rb = RankBuffer::new(8);
+        for i in 0..5 {
+            rb.push(ev("x", i));
+        }
+        let out = rb.drain_ordered();
+        assert_eq!(out.len(), 5);
+        assert_eq!(
+            out.iter().map(|e| e.arg).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert_eq!(rb.dropped(), 0);
+    }
+
+    #[test]
+    fn wraparound_keeps_newest() {
+        let rb = RankBuffer::new(4);
+        for i in 0..10 {
+            rb.push(ev("x", i));
+        }
+        let out = rb.drain_ordered();
+        assert_eq!(
+            out.iter().map(|e| e.arg).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        assert_eq!(rb.dropped(), 6);
+        assert_eq!(rb.pushed(), 10);
+    }
+
+    #[test]
+    fn concurrent_producer_then_join_then_drain() {
+        use std::sync::Arc;
+        let rb = Arc::new(RankBuffer::new(1024));
+        let rb2 = Arc::clone(&rb);
+        std::thread::spawn(move || {
+            for i in 0..1000 {
+                rb2.push(ev("t", i));
+            }
+        })
+        .join()
+        .unwrap();
+        let out = rb.drain_ordered();
+        assert_eq!(out.len(), 1000);
+        assert!(out.windows(2).all(|w| w[0].arg + 1 == w[1].arg));
+    }
+}

@@ -1,0 +1,193 @@
+//! The [`Tracer`]: per-rank span/event recording plus named histograms.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::ring::{EventKind, RankBuffer, TraceEvent};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default per-rank event capacity (events beyond this overwrite the
+/// oldest; the drop count is reported in exports).
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// Collects spans, instants, and histograms for one simulated run.
+///
+/// Shared across rank threads behind an `Arc`; recording into a rank's ring
+/// must happen only from that rank's thread (the `ygm::World` wiring
+/// guarantees this), while histograms may be recorded from anywhere.
+pub struct Tracer {
+    rings: Box<[RankBuffer]>,
+    epoch: Instant,
+    /// Name → histogram registry. Locked only on first lookup per name per
+    /// call site; `Histogram::record` itself is lock-free.
+    hists: Mutex<Vec<(String, Arc<Histogram>)>>,
+}
+
+impl Tracer {
+    pub fn new(n_ranks: usize) -> Self {
+        Self::with_capacity(n_ranks, DEFAULT_RING_CAPACITY)
+    }
+
+    pub fn with_capacity(n_ranks: usize, capacity_per_rank: usize) -> Self {
+        let rings = (0..n_ranks)
+            .map(|_| RankBuffer::new(capacity_per_rank))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Tracer {
+            rings,
+            epoch: Instant::now(),
+            hists: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Wall nanoseconds since this tracer was created.
+    #[inline]
+    pub fn wall_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Record a raw event on `rank`'s track. `virt_ns` is the simulation
+    /// clock sampled by the caller.
+    #[inline]
+    pub fn event(&self, rank: usize, kind: EventKind, name: &'static str, virt_ns: u64, arg: u64) {
+        self.rings[rank].push(TraceEvent {
+            kind,
+            name,
+            wall_ns: self.wall_ns(),
+            virt_ns,
+            arg,
+        });
+    }
+
+    /// Open a span on `rank`'s track.
+    #[inline]
+    pub fn begin(&self, rank: usize, name: &'static str, virt_ns: u64) {
+        self.event(rank, EventKind::Begin, name, virt_ns, 0);
+    }
+
+    /// Open a span carrying a numeric payload (e.g. an iteration index).
+    #[inline]
+    pub fn begin_arg(&self, rank: usize, name: &'static str, virt_ns: u64, arg: u64) {
+        self.event(rank, EventKind::Begin, name, virt_ns, arg);
+    }
+
+    /// Close the most recent unmatched span with `name` on `rank`'s track.
+    #[inline]
+    pub fn end(&self, rank: usize, name: &'static str, virt_ns: u64) {
+        self.event(rank, EventKind::End, name, virt_ns, 0);
+    }
+
+    /// Record a zero-duration point event.
+    #[inline]
+    pub fn instant(&self, rank: usize, name: &'static str, virt_ns: u64, arg: u64) {
+        self.event(rank, EventKind::Instant, name, virt_ns, arg);
+    }
+
+    /// Look up (or create) the histogram named `name`.
+    pub fn hist(&self, name: &str) -> Arc<Histogram> {
+        let mut hists = self.hists.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, h)) = hists.iter().find(|(n, _)| n == name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        hists.push((name.to_string(), Arc::clone(&h)));
+        h
+    }
+
+    /// Convenience: one sample into a named histogram.
+    pub fn record_hist(&self, name: &str, value: u64) {
+        self.hist(name).record(value);
+    }
+
+    /// Snapshots of every registered histogram, in registration order.
+    pub fn hist_snapshots(&self) -> Vec<(String, HistogramSnapshot)> {
+        let hists = self.hists.lock().unwrap_or_else(|e| e.into_inner());
+        hists
+            .iter()
+            .map(|(n, h)| (n.clone(), h.snapshot()))
+            .collect()
+    }
+
+    /// Surviving events for one rank, oldest first. Call after rank
+    /// threads have finished.
+    pub fn events(&self, rank: usize) -> Vec<TraceEvent> {
+        self.rings[rank].drain_ordered()
+    }
+
+    /// Total events lost to ring wrap-around, across ranks.
+    pub fn dropped_events(&self) -> usize {
+        self.rings.iter().map(|r| r.dropped()).sum()
+    }
+
+    /// Total events recorded (including any later overwritten).
+    pub fn total_events(&self) -> usize {
+        self.rings.iter().map(|r| r.pushed()).sum()
+    }
+
+    /// Deterministic digest of the span structure: for each rank, the
+    /// sequence of `(kind, name, virt_ns, arg)` with wall time omitted.
+    /// Two runs with the same seed must produce identical span logs.
+    pub fn span_log(&self) -> Vec<Vec<(EventKind, &'static str, u64, u64)>> {
+        (0..self.n_ranks())
+            .map(|r| {
+                self.events(r)
+                    .into_iter()
+                    .map(|e| (e.kind, e.name, e.virt_ns, e.arg))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_per_rank() {
+        let t = Tracer::new(2);
+        t.begin(0, "phase", 100);
+        t.instant(1, "tick", 100, 7);
+        t.end(0, "phase", 250);
+        let r0 = t.events(0);
+        assert_eq!(r0.len(), 2);
+        assert_eq!(r0[0].kind, EventKind::Begin);
+        assert_eq!(r0[1].kind, EventKind::End);
+        assert_eq!(r0[1].virt_ns, 250);
+        assert!(r0[1].wall_ns >= r0[0].wall_ns);
+        let r1 = t.events(1);
+        assert_eq!(r1.len(), 1);
+        assert_eq!((r1[0].name, r1[0].arg), ("tick", 7));
+    }
+
+    #[test]
+    fn hist_registry_is_stable() {
+        let t = Tracer::new(1);
+        t.hist("flush_bytes").record(10);
+        t.hist("batch").record(5);
+        t.hist("flush_bytes").record(30);
+        let snaps = t.hist_snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].0, "flush_bytes");
+        assert_eq!(snaps[0].1.count, 2);
+        assert_eq!(snaps[1].1.count, 1);
+    }
+
+    #[test]
+    fn span_log_omits_wall_time() {
+        let t = Tracer::new(1);
+        t.begin_arg(0, "iter", 0, 3);
+        t.end(0, "iter", 1_000);
+        let log = t.span_log();
+        assert_eq!(
+            log[0],
+            vec![
+                (EventKind::Begin, "iter", 0, 3),
+                (EventKind::End, "iter", 1_000, 0)
+            ]
+        );
+    }
+}

@@ -1,0 +1,317 @@
+//! Offline stand-in for the `criterion` crate (see `crates/shims/`).
+//!
+//! A minimal benchmark harness exposing the subset this workspace's
+//! `benches/` use: [`Criterion`] with `measurement_time` / `warm_up_time` /
+//! `sample_size` builders, [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`black_box`], and both forms of [`criterion_group!`]
+//! plus [`criterion_main!`].
+//!
+//! Instead of criterion's statistical analysis it runs a short warm-up,
+//! then a fixed number of timed samples, and prints mean / min per-sample
+//! timing per benchmark. Good enough to exercise every bench path in CI
+//! and eyeball relative regressions; not a precision instrument.
+
+use std::time::{Duration, Instant};
+
+/// Re-exported opaque-value hint (prevents the optimizer from deleting
+/// benchmarked work).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark (`group/name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}/{}", self.name, self.param)
+    }
+}
+
+/// Something usable as a benchmark label: a `&str`/`String` or a
+/// [`BenchmarkId`].
+pub trait IntoBenchmarkLabel {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label()
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: u64,
+    /// (total elapsed, iterations timed) accumulated by `iter`.
+    measured: (Duration, u64),
+}
+
+impl Bencher {
+    /// Time `f` over `samples` iterations (after one untimed warm-up call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.measured = (start.elapsed(), self.samples);
+    }
+}
+
+/// Top-level harness configuration.
+pub struct Criterion {
+    sample_size: u64,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Far below criterion's defaults: the shim is a smoke-timer, so
+            // keep full `cargo bench` runs fast.
+            sample_size: 10,
+            measurement_time: Duration::from_millis(100),
+            warm_up_time: Duration::from_millis(10),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, label: impl IntoBenchmarkLabel, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = label.into_label();
+        run_one(self, &label, f);
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups; criterion prints a
+    /// summary here, the shim has nothing buffered.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1) as u64;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, label: impl IntoBenchmarkLabel, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, label.into_label());
+        run_one(self.criterion, &label, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        label: impl IntoBenchmarkLabel,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(label, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(criterion: &Criterion, label: &str, mut f: F) {
+    // Warm-up: run the closure with a single sample until the warm-up
+    // budget is spent (at least once).
+    let warm_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            samples: 1,
+            measured: (Duration::ZERO, 1),
+        };
+        f(&mut b);
+        if warm_start.elapsed() >= criterion.warm_up_time {
+            break;
+        }
+    }
+
+    let mut per_iter: Vec<f64> = Vec::new();
+    let measure_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            samples: criterion.sample_size,
+            measured: (Duration::ZERO, criterion.sample_size),
+        };
+        f(&mut b);
+        let (elapsed, iters) = b.measured;
+        per_iter.push(elapsed.as_secs_f64() / iters.max(1) as f64);
+        if measure_start.elapsed() >= criterion.measurement_time || per_iter.len() >= 100 {
+            break;
+        }
+    }
+
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "bench {:<40} mean {:>12}  min {:>12}  ({} samples of {} iters)",
+        label,
+        fmt_time(mean),
+        fmt_time(min),
+        per_iter.len(),
+        criterion.sample_size,
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.3} s", secs)
+    }
+}
+
+/// Declare a benchmark group. Supports both the positional form
+/// `criterion_group!(benches, bench_a, bench_b)` and the braced
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("direct", |b| b.iter(|| black_box(3u64).pow(7)));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(5);
+        group.bench_function("in_group", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("with_input", 42), &42u64, |b, &n| {
+            b.iter(|| black_box(n) * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(positional, sample_bench);
+    criterion_group!(
+        name = braced;
+        config = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(5));
+        targets = sample_bench
+    );
+
+    #[test]
+    fn groups_run() {
+        positional();
+        braced();
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            samples: 4,
+            measured: (Duration::ZERO, 0),
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 5); // 1 warm-up + 4 timed
+        assert_eq!(b.measured.1, 4);
+    }
+
+    #[test]
+    fn benchmark_id_label() {
+        assert_eq!(BenchmarkId::new("scan", 128).label(), "scan/128");
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline stand-in for the `rand_chacha` crate (see `crates/shims/`).
+//!
+//! Exposes [`ChaCha8Rng`] and [`ChaCha20Rng`] type names backed by the shim
+//! `rand`'s xoshiro-based generator. The workspace uses these purely as
+//! deterministic seeded PRNGs (every construction site is
+//! `seed_from_u64`), so statistical quality and determinism are what
+//! matter, not the ChaCha stream-cipher output itself.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+macro_rules! chacha_like {
+    ($name:ident) => {
+        /// Deterministic seeded PRNG (xoshiro-backed shim).
+        #[derive(Debug, Clone)]
+        pub struct $name(StdRng);
+
+        impl RngCore for $name {
+            #[inline]
+            fn next_u32(&mut self) -> u32 {
+                self.0.next_u32()
+            }
+
+            #[inline]
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+
+            #[inline]
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                self.0.fill_bytes(dest)
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                $name(StdRng::from_seed(seed))
+            }
+        }
+    };
+}
+
+chacha_like!(ChaCha8Rng);
+chacha_like!(ChaCha12Rng);
+chacha_like!(ChaCha20Rng);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(0xD00D);
+        let mut b = ChaCha8Rng::seed_from_u64(0xD00D);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn works_through_rng_trait() {
+        let mut rng = ChaCha20Rng::seed_from_u64(5);
+        let x: f32 = rng.gen();
+        assert!((0.0..1.0).contains(&x));
+    }
+}

@@ -79,7 +79,10 @@ impl Comm {
         M: Wire,
         F: FnMut(&Comm, M) + 'static,
     {
-        assert!((tag as usize) < crate::stats::MAX_TAGS, "tag out of range");
+        // Registration is where an out-of-range tag first becomes an
+        // error; `mark_tag_used` rejects it with a real panic (not just a
+        // debug assertion) before any message can be sent.
+        self.shared.stats.mark_tag_used(tag);
         let shim: Handler = Box::new(move |comm, bytes| {
             let mut b = bytes;
             let msg = M::decode(&mut b);
@@ -89,10 +92,81 @@ impl Comm {
         self.handlers.borrow_mut()[tag as usize] = Some(shim);
     }
 
+    /// [`Self::register`] plus a human-readable tag name in one step, so
+    /// every handler registration site self-documents in reports and
+    /// traces.
+    pub fn register_named<M, F>(&self, tag: u16, name: &str, f: F)
+    where
+        M: Wire,
+        F: FnMut(&Comm, M) + 'static,
+    {
+        self.name_tag(tag, name);
+        self.register(tag, f);
+    }
+
     /// Attach a display name to `tag` in the world statistics (any rank may
     /// call; last write wins).
     pub fn name_tag(&self, tag: u16, name: &str) {
         self.shared.stats.name_tag(tag, name);
+    }
+
+    // ---- Tracing ---------------------------------------------------------
+    //
+    // All helpers are single-branch no-ops when the world has no tracer.
+    // Span timestamps pair the wall clock (measured by the tracer) with the
+    // virtual simulation clock sampled here.
+
+    /// The world's tracer, if one was attached.
+    #[inline]
+    pub fn tracer(&self) -> Option<&obs::Tracer> {
+        self.shared.tracer.as_deref()
+    }
+
+    /// Open a span named `name` on this rank's track.
+    #[inline]
+    pub fn trace_begin(&self, name: &'static str) {
+        if let Some(t) = self.tracer() {
+            t.begin(self.rank, name, self.now_ns());
+        }
+    }
+
+    /// Open a span carrying a numeric payload (iteration index, batch id).
+    #[inline]
+    pub fn trace_begin_arg(&self, name: &'static str, arg: u64) {
+        if let Some(t) = self.tracer() {
+            t.begin_arg(self.rank, name, self.now_ns(), arg);
+        }
+    }
+
+    /// Close the most recent unmatched span named `name` on this rank.
+    #[inline]
+    pub fn trace_end(&self, name: &'static str) {
+        if let Some(t) = self.tracer() {
+            t.end(self.rank, name, self.now_ns());
+        }
+    }
+
+    /// Record a zero-duration point event on this rank's track.
+    #[inline]
+    pub fn trace_instant(&self, name: &'static str, arg: u64) {
+        if let Some(t) = self.tracer() {
+            t.instant(self.rank, name, self.now_ns(), arg);
+        }
+    }
+
+    /// RAII span: opens now, closes when the guard drops.
+    #[inline]
+    pub fn trace_span(&self, name: &'static str) -> TraceSpan<'_> {
+        self.trace_begin(name);
+        TraceSpan { comm: self, name }
+    }
+
+    /// Record one sample into the named histogram (no-op untraced).
+    #[inline]
+    pub fn trace_hist(&self, name: &str, value: u64) {
+        if let Some(t) = self.tracer() {
+            t.hist(name).record(value);
+        }
     }
 
     /// Fire-and-forget: enqueue `msg` for `dest`'s handler registered under
@@ -130,6 +204,10 @@ impl Comm {
             }
             out[dest].split().freeze()
         };
+        if let Some(t) = self.tracer() {
+            t.instant(self.rank, "flush", self.now_ns(), frame.len() as u64);
+            t.hist("flush_bytes").record(frame.len() as u64);
+        }
         // Channel is unbounded; send only fails if the world is shutting
         // down, which cannot happen while any Comm is alive.
         self.shared.senders[dest]
@@ -146,6 +224,10 @@ impl Comm {
 
     /// Decode and dispatch every frame in `block`, returning frames handled.
     fn dispatch_block(&self, mut block: Bytes) -> usize {
+        let traced = self.tracer().is_some();
+        if traced {
+            self.trace_begin_arg("dispatch", block.remaining() as u64);
+        }
         let mut n = 0;
         while block.has_remaining() {
             let tag = block.get_u16_le();
@@ -164,6 +246,9 @@ impl Comm {
             }
             self.shared.processed.fetch_add(1, Ordering::SeqCst);
             n += 1;
+        }
+        if traced {
+            self.trace_end("dispatch");
         }
         n
     }
@@ -191,6 +276,7 @@ impl Comm {
     /// being handled anywhere in the world. Advances the virtual clock by
     /// the completed phase's makespan.
     pub fn barrier(&self) {
+        self.trace_begin("barrier");
         loop {
             self.poll();
             self.shared.barrier.wait();
@@ -209,6 +295,9 @@ impl Comm {
                     self.shared.stats.reset_phase();
                 }
                 self.shared.barrier.wait();
+                // The leader advanced the clock, so this span's virtual
+                // duration is exactly the completed phase's makespan.
+                self.trace_end("barrier");
                 return;
             }
         }
@@ -249,11 +338,17 @@ impl Comm {
     // than the message path (a real MPI implementation would use optimized
     // collectives too). They charge the virtual clock a log2(P) latency.
     // SPMD: all ranks must call the same collective at the same point.
+    //
+    // The leader's scratch reset and clock advance happen *between* the
+    // last two waits, so by the time any rank returns the clock is stable:
+    // virtual timestamps sampled anywhere outside a collective are
+    // identical run to run (required for deterministic trace export).
 
     /// Sum `v` across all ranks; every rank receives the total.
     pub fn all_reduce_sum_u64(&self, v: u64) -> u64 {
         let s = &self.shared;
-        s.barrier.wait(); // entry: previous collective fully retired
+        self.trace_begin("all_reduce");
+        s.barrier.wait(); // entry
         s.reduce_u64.fetch_add(v, Ordering::SeqCst);
         s.barrier.wait(); // all contributions in
         let r = s.reduce_u64.load(Ordering::SeqCst);
@@ -262,12 +357,15 @@ impl Comm {
             s.reduce_u64.store(0, Ordering::SeqCst);
             s.clock.advance_collective(&s.cost, s.n_ranks);
         }
+        s.barrier.wait(); // retire: reset + clock advance visible everywhere
+        self.trace_end("all_reduce");
         r
     }
 
     /// Max of `v` across all ranks.
     pub fn all_reduce_max_u64(&self, v: u64) -> u64 {
         let s = &self.shared;
+        self.trace_begin("all_reduce");
         s.barrier.wait();
         s.reduce_u64.fetch_max(v, Ordering::SeqCst);
         s.barrier.wait();
@@ -277,12 +375,15 @@ impl Comm {
             s.reduce_u64.store(0, Ordering::SeqCst);
             s.clock.advance_collective(&s.cost, s.n_ranks);
         }
+        s.barrier.wait();
+        self.trace_end("all_reduce");
         r
     }
 
     /// Sum `v` (f64) across all ranks.
     pub fn all_reduce_sum_f64(&self, v: f64) -> f64 {
         let s = &self.shared;
+        self.trace_begin("all_reduce");
         s.barrier.wait();
         *s.reduce_f64.lock() += v;
         s.barrier.wait();
@@ -292,12 +393,15 @@ impl Comm {
             *s.reduce_f64.lock() = 0.0;
             s.clock.advance_collective(&s.cost, s.n_ranks);
         }
+        s.barrier.wait();
+        self.trace_end("all_reduce");
         r
     }
 
     /// Broadcast `data` from `root` to all ranks.
     pub fn broadcast_bytes(&self, root: usize, data: Option<Bytes>) -> Bytes {
         let s = &self.shared;
+        self.trace_begin("broadcast");
         s.barrier.wait();
         if self.rank == root {
             *s.bcast.lock() = Some(data.expect("root must supply broadcast payload"));
@@ -309,6 +413,8 @@ impl Comm {
             *s.bcast.lock() = None;
             s.clock.advance_collective(&s.cost, s.n_ranks);
         }
+        s.barrier.wait();
+        self.trace_end("broadcast");
         r
     }
 
@@ -317,5 +423,18 @@ impl Comm {
         let payload = value.map(crate::codec::encode_to_bytes);
         let bytes = self.broadcast_bytes(root, payload);
         crate::codec::decode_from_bytes(bytes)
+    }
+}
+
+/// RAII guard returned by [`Comm::trace_span`]; closes the span (with the
+/// virtual clock sampled at drop time) when it goes out of scope.
+pub struct TraceSpan<'a> {
+    comm: &'a Comm,
+    name: &'static str,
+}
+
+impl Drop for TraceSpan<'_> {
+    fn drop(&mut self) {
+        self.comm.trace_end(self.name);
     }
 }

@@ -65,6 +65,10 @@ pub struct Stats {
     tag_remote_count: Box<[CachePadded<AtomicU64>]>,
     tag_remote_bytes: Box<[CachePadded<AtomicU64>]>,
     tag_names: Mutex<HashMap<u16, String>>,
+    /// One past the highest tag index ever used (sent, registered, or
+    /// named). Lets full-table scans stop at the tags actually in play
+    /// instead of walking all `MAX_TAGS` slots.
+    tag_high_water: CachePadded<AtomicU64>,
     pub(crate) phase: Box<[CachePadded<PhaseCounters>]>,
 }
 
@@ -82,17 +86,35 @@ impl Stats {
             tag_remote_count: atomic_array(MAX_TAGS),
             tag_remote_bytes: atomic_array(MAX_TAGS),
             tag_names: Mutex::new(HashMap::new()),
+            tag_high_water: CachePadded::new(AtomicU64::new(0)),
             phase: (0..n_ranks)
                 .map(|_| CachePadded::new(PhaseCounters::default()))
                 .collect(),
         }
     }
 
+    /// Record that `tag` is in play, bumping the high-water mark. Called at
+    /// handler registration, tag naming, and on every send.
+    #[inline]
+    pub(crate) fn mark_tag_used(&self, tag: u16) {
+        assert!(
+            (tag as usize) < MAX_TAGS,
+            "message tag {tag} out of range (MAX_TAGS = {MAX_TAGS})"
+        );
+        self.tag_high_water
+            .fetch_max(tag as u64 + 1, Ordering::Relaxed);
+    }
+
+    /// One past the highest tag index in use.
+    fn high_water(&self) -> usize {
+        self.tag_high_water.load(Ordering::Relaxed) as usize
+    }
+
     /// Record one sent message. `bytes` includes the frame header.
     #[inline]
     pub(crate) fn record_send(&self, tag: u16, bytes: usize, src: usize, dest: usize) {
+        self.mark_tag_used(tag);
         let t = tag as usize;
-        debug_assert!(t < MAX_TAGS);
         self.tag_count[t].fetch_add(1, Ordering::Relaxed);
         self.tag_bytes[t].fetch_add(bytes as u64, Ordering::Relaxed);
         if src != dest {
@@ -121,6 +143,7 @@ impl Stats {
 
     /// Give a human-readable name to a tag for reports.
     pub fn name_tag(&self, tag: u16, name: &str) {
+        self.mark_tag_used(tag);
         self.tag_names.lock().insert(tag, name.to_owned());
     }
 
@@ -147,7 +170,7 @@ impl Stats {
     /// Sum of all per-tag counters.
     pub fn total(&self) -> TagStats {
         let mut out = TagStats::default();
-        for t in 0..MAX_TAGS as u16 {
+        for t in 0..self.high_water() as u16 {
             let s = self.tag(t);
             out.count += s.count;
             out.bytes += s.bytes;
@@ -159,7 +182,7 @@ impl Stats {
 
     /// All tags that have recorded at least one message, with names.
     pub fn nonzero_tags(&self) -> Vec<(u16, String, TagStats)> {
-        (0..MAX_TAGS as u16)
+        (0..self.high_water() as u16)
             .filter_map(|t| {
                 let s = self.tag(t);
                 (s.count > 0).then(|| (t, self.tag_name(t), s))
@@ -171,7 +194,7 @@ impl Stats {
     /// every barrier automatically). Useful for scoping measurements to one
     /// algorithm phase, as the paper does for the neighbor-check step.
     pub fn reset_tags(&self) {
-        for t in 0..MAX_TAGS {
+        for t in 0..self.high_water() {
             self.tag_count[t].store(0, Ordering::Relaxed);
             self.tag_bytes[t].store(0, Ordering::Relaxed);
             self.tag_remote_count[t].store(0, Ordering::Relaxed);
@@ -236,6 +259,28 @@ mod tests {
         s.record_send(1, 8, 0, 1);
         s.reset_tags();
         assert_eq!(s.total().count, 0);
+    }
+
+    #[test]
+    fn high_water_bounds_scans() {
+        let s = Stats::new(2);
+        assert_eq!(s.high_water(), 0);
+        s.record_send(5, 8, 0, 1);
+        assert_eq!(s.high_water(), 6);
+        s.name_tag(9, "late"); // naming alone also raises the mark
+        assert_eq!(s.high_water(), 10);
+        s.record_send(2, 8, 0, 1);
+        assert_eq!(s.high_water(), 10); // monotone
+        assert_eq!(s.total().count, 2);
+        s.reset_tags();
+        assert_eq!(s.total().count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_tag_is_a_hard_error() {
+        let s = Stats::new(1);
+        s.record_send(MAX_TAGS as u16, 8, 0, 0);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::cost::{ClockBreakdown, CostModel, PhaseRecord, VirtualClock};
 use crate::stats::{Stats, TagStats};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use obs::Tracer;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
@@ -93,14 +94,18 @@ pub(crate) struct Shared {
     pub reduce_u64: AtomicU64,
     pub reduce_f64: Mutex<f64>,
     pub bcast: Mutex<Option<Bytes>>,
+    /// Optional span/metric collector; `None` keeps the hot path at a
+    /// single branch per instrumentation site.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 /// Configuration for a simulated multi-rank run.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct World {
     n_ranks: usize,
     flush_threshold: usize,
     cost: CostModel,
+    tracer: Option<Arc<Tracer>>,
 }
 
 /// The outcome of a [`World::run`].
@@ -131,6 +136,7 @@ impl World {
             n_ranks,
             flush_threshold: DEFAULT_FLUSH_THRESHOLD,
             cost: CostModel::default(),
+            tracer: None,
         }
     }
 
@@ -144,6 +150,20 @@ impl World {
     /// Override the virtual cost model.
     pub fn cost_model(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Attach a tracer; runtime spans (barriers, dispatch, collectives),
+    /// flush metrics, and any application spans recorded through
+    /// [`Comm`]'s `trace_*` helpers land in it. The tracer must have been
+    /// created for the same rank count.
+    pub fn tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        assert_eq!(
+            tracer.n_ranks(),
+            self.n_ranks,
+            "tracer rank count must match the world"
+        );
+        self.tracer = Some(tracer);
         self
     }
 
@@ -179,6 +199,7 @@ impl World {
             reduce_u64: AtomicU64::new(0),
             reduce_f64: Mutex::new(0.0),
             bcast: Mutex::new(None),
+            tracer: self.tracer.clone(),
         });
 
         let start = Instant::now();

@@ -11,7 +11,10 @@
 //! ```
 //!
 //! Flags: `--rho --delta --seed --batch-size --unoptimized` (protocol),
-//! `--no-shuffle` (reverse exchange), `--elem f32|u8`.
+//! `--no-shuffle` (reverse exchange), `--elem f32|u8`, and the
+//! observability outputs `--trace-out trace.json` (Chrome-trace /
+//! Perfetto span timeline, one track per rank) and `--report-out
+//! report.json` (unified machine-readable run report).
 
 use bench::Args;
 use dnnd::{build, CommOpts, DnndConfig};
@@ -53,9 +56,20 @@ fn main() {
         cfg = cfg.shuffle_reverse(false);
     }
 
+    let trace_out: String = args.get("trace-out", String::new());
+    let report_out: String = args.get("report-out", String::new());
+    let tracer = if trace_out.is_empty() && report_out.is_empty() {
+        None
+    } else {
+        Some(Arc::new(obs::Tracer::new(ranks)))
+    };
+
     let mut store = Store::open_or_create(&store_dir)
         .unwrap_or_else(|e| die(&format!("cannot open store {store_dir}: {e}")));
-    let world = World::new(ranks);
+    let mut world = World::new(ranks);
+    if let Some(t) = &tracer {
+        world = world.tracer(Arc::clone(t));
+    }
 
     let report = match elem {
         Elem::F32 => {
@@ -130,4 +144,27 @@ fn main() {
         store.len(),
         store.total_bytes()
     );
+
+    if let Some(t) = &tracer {
+        if !trace_out.is_empty() {
+            dnnd::obs_report::write_trace(&trace_out, t)
+                .unwrap_or_else(|e| die(&format!("cannot write {trace_out}: {e}")));
+            println!(
+                "trace written to {trace_out} ({} spans dropped)",
+                t.dropped_events()
+            );
+        }
+        if !report_out.is_empty() {
+            let mut rr = dnnd::obs_report::report_from_build("dnnd-construct", &report);
+            rr.param("input", &input)
+                .param("k", k)
+                .param("metric", &metric_name)
+                .param("seed", seed)
+                .param("elem", elem.name());
+            dnnd::obs_report::attach_histograms(&mut rr, Some(t));
+            dnnd::obs_report::write_report(&report_out, &rr)
+                .unwrap_or_else(|e| die(&format!("cannot write {report_out}: {e}")));
+            println!("run report written to {report_out}");
+        }
+    }
 }

@@ -7,6 +7,9 @@
 //! dnnd-optimize --store /tmp/deep-store --m 1.5
 //! dnnd-optimize --store ./store --m 1.5 --diversify 0.3
 //! ```
+//!
+//! `--trace-out trace.json` emits a Chrome-trace span timeline of the
+//! optimization passes; `--report-out report.json` a unified run report.
 
 use bench::Args;
 use dnnd_repro::cli::{die, read_meta, Elem};
@@ -21,6 +24,25 @@ fn main() {
     }
     let m: f64 = args.get("m", 1.5);
     let keep: f64 = args.get("diversify", 1.0);
+    let trace_out: String = args.get("trace-out", String::new());
+    let report_out: String = args.get("report-out", String::new());
+    // Graph optimization is a driver-side (single-process) pass, so the
+    // trace has one track.
+    let tracer = if trace_out.is_empty() && report_out.is_empty() {
+        None
+    } else {
+        Some(obs::Tracer::new(1))
+    };
+    let span = |name: &'static str, f: &mut dyn FnMut() -> KnnGraph| {
+        if let Some(t) = &tracer {
+            t.begin(0, name, t.wall_ns());
+            let g = f();
+            t.end(0, name, t.wall_ns());
+            g
+        } else {
+            f()
+        }
+    };
 
     let mut store =
         Store::open(&store_dir).unwrap_or_else(|e| die(&format!("cannot open store: {e}")));
@@ -34,30 +56,42 @@ fn main() {
     );
 
     let start = std::time::Instant::now();
-    let merged = graph.merge_reverse();
+    let merged = span("merge_reverse", &mut || graph.merge_reverse());
     let diversified = if keep < 1.0 {
         match elem {
             Elem::F32 => {
                 let base = dataset::PointSet::<Vec<f32>>::load(&store, "dataset")
                     .unwrap_or_else(|e| die(&e.to_string()));
                 match metric_name.as_str() {
-                    "l2" => diversify(&merged, &base, &dataset::L2, keep),
-                    "sql2" => diversify(&merged, &base, &dataset::SquaredL2, keep),
-                    "cosine" => diversify(&merged, &base, &dataset::Cosine, keep),
-                    "l1" => diversify(&merged, &base, &dataset::L1, keep),
+                    "l2" => span("diversify", &mut || {
+                        diversify(&merged, &base, &dataset::L2, keep)
+                    }),
+                    "sql2" => span("diversify", &mut || {
+                        diversify(&merged, &base, &dataset::SquaredL2, keep)
+                    }),
+                    "cosine" => span("diversify", &mut || {
+                        diversify(&merged, &base, &dataset::Cosine, keep)
+                    }),
+                    "l1" => span("diversify", &mut || {
+                        diversify(&merged, &base, &dataset::L1, keep)
+                    }),
                     other => die(&format!("unknown metric {other:?}")),
                 }
             }
             Elem::U8 => {
                 let base = dataset::PointSet::<Vec<u8>>::load(&store, "dataset")
                     .unwrap_or_else(|e| die(&e.to_string()));
-                diversify(&merged, &base, &dataset::L2, keep)
+                span("diversify", &mut || {
+                    diversify(&merged, &base, &dataset::L2, keep)
+                })
             }
         }
     } else {
         merged
     };
-    let optimized = diversified.prune((k as f64 * m).ceil() as usize);
+    let optimized = span("prune", &mut || {
+        diversified.prune((k as f64 * m).ceil() as usize)
+    });
     let secs = start.elapsed().as_secs_f64();
 
     optimized
@@ -69,4 +103,29 @@ fn main() {
         optimized.max_degree()
     );
     println!("search graph written to {store_dir}/opt");
+
+    if let Some(t) = &tracer {
+        if !trace_out.is_empty() {
+            std::fs::write(&trace_out, obs::chrome::chrome_trace_json(t))
+                .unwrap_or_else(|e| die(&format!("cannot write {trace_out}: {e}")));
+            println!("trace written to {trace_out}");
+        }
+        if !report_out.is_empty() {
+            let mut rr = obs::RunReport::new("dnnd-optimize");
+            rr.n_ranks = 1;
+            rr.wall_secs = secs;
+            rr.param("store", &store_dir)
+                .param("m", m)
+                .param("diversify", keep)
+                .param("metric", &metric_name);
+            rr.extra
+                .push(("edges".into(), optimized.edge_count() as f64));
+            rr.extra
+                .push(("max_degree".into(), optimized.max_degree() as f64));
+            rr.add_histograms(&t.hist_snapshots());
+            std::fs::write(&report_out, rr.to_json_string())
+                .unwrap_or_else(|e| die(&format!("cannot write {report_out}: {e}")));
+            println!("run report written to {report_out}");
+        }
+    }
 }

@@ -20,7 +20,16 @@ use dataset::point::Point;
 use dataset::{brute_force_queries, mean_recall, PointSet};
 use dnnd_repro::cli::{die, read_meta, Elem};
 use metall::Store;
-use nnd::{search_batch, KnnGraph, SearchParams};
+use nnd::{search_batch_traced, KnnGraph, SearchParams};
+
+/// Numbers main needs back from the generic query run for the run report.
+struct QuerySummary {
+    n_queries: usize,
+    qps: f64,
+    secs: f64,
+    distance_evals: u64,
+    recall: f64,
+}
 
 #[allow(clippy::too_many_arguments)]
 fn run<P: Point, M: Metric<P>>(
@@ -32,11 +41,12 @@ fn run<P: Point, M: Metric<P>>(
     l: usize,
     epsilon: f32,
     entries: usize,
-) {
+    tracer: Option<&obs::Tracer>,
+) -> QuerySummary {
     let params = SearchParams::new(l)
         .epsilon(epsilon)
         .entry_candidates(entries);
-    let batch = search_batch(graph, &base, &metric, &queries, params);
+    let batch = search_batch_traced(graph, &base, &metric, &queries, params, tracer);
     println!(
         "answered {} queries at {:.0} qps ({} distance evals total)",
         queries.len(),
@@ -47,7 +57,14 @@ fn run<P: Point, M: Metric<P>>(
         Some(ids) => ids,
         None => {
             println!("computing exact ground truth by brute force...");
-            brute_force_queries(&base, &queries, &metric, l).ids
+            if let Some(t) = tracer {
+                t.begin(0, "ground_truth", t.wall_ns());
+            }
+            let ids = brute_force_queries(&base, &queries, &metric, l).ids;
+            if let Some(t) = tracer {
+                t.end(0, "ground_truth", t.wall_ns());
+            }
+            ids
         }
     };
     let truth = dataset::GroundTruth {
@@ -56,6 +73,13 @@ fn run<P: Point, M: Metric<P>>(
     };
     let recall = mean_recall(&batch.ids, &truth);
     println!("recall@{l} = {recall:.4} (epsilon {epsilon})");
+    QuerySummary {
+        n_queries: queries.len(),
+        qps: batch.qps,
+        secs: batch.secs,
+        distance_evals: batch.distance_evals,
+        recall,
+    }
 }
 
 fn main() {
@@ -69,6 +93,15 @@ fn main() {
     let entries: usize = args.get("entries", 32);
     let self_queries: usize = args.get("self-queries", 0);
     let query_file: String = args.get("queries", String::new());
+    let trace_out: String = args.get("trace-out", String::new());
+    let report_out: String = args.get("report-out", String::new());
+    // The query program is shared-memory (the paper runs it on one fat
+    // node), so the trace has a single track.
+    let tracer = if trace_out.is_empty() && report_out.is_empty() {
+        None
+    } else {
+        Some(obs::Tracer::new(1))
+    };
 
     let store = Store::open(&store_dir).unwrap_or_else(|e| die(&format!("cannot open store: {e}")));
     let (_, elem, metric_name) = read_meta(&store);
@@ -95,7 +128,7 @@ fn main() {
         }
     };
 
-    match elem {
+    let summary = match elem {
         Elem::F32 => {
             let base = PointSet::<Vec<f32>>::load(&store, "dataset")
                 .unwrap_or_else(|e| die(&e.to_string()));
@@ -122,6 +155,7 @@ fn main() {
                     l,
                     epsilon,
                     entries,
+                    tracer.as_ref(),
                 ),
                 "sql2" => run(
                     base,
@@ -132,6 +166,7 @@ fn main() {
                     l,
                     epsilon,
                     entries,
+                    tracer.as_ref(),
                 ),
                 "cosine" => run(
                     base,
@@ -142,6 +177,7 @@ fn main() {
                     l,
                     epsilon,
                     entries,
+                    tracer.as_ref(),
                 ),
                 "l1" => run(
                     base,
@@ -152,6 +188,7 @@ fn main() {
                     l,
                     epsilon,
                     entries,
+                    tracer.as_ref(),
                 ),
                 other => die(&format!("unknown metric {other:?}")),
             }
@@ -176,7 +213,36 @@ fn main() {
                 l,
                 epsilon,
                 entries,
-            );
+                tracer.as_ref(),
+            )
+        }
+    };
+
+    if let Some(t) = &tracer {
+        if !trace_out.is_empty() {
+            std::fs::write(&trace_out, obs::chrome::chrome_trace_json(t))
+                .unwrap_or_else(|e| die(&format!("cannot write {trace_out}: {e}")));
+            println!("trace written to {trace_out}");
+        }
+        if !report_out.is_empty() {
+            let mut rr = obs::RunReport::new("dnnd-query");
+            rr.n_ranks = 1;
+            rr.wall_secs = summary.secs;
+            rr.distance_evals = summary.distance_evals;
+            rr.recall = Some(summary.recall);
+            rr.param("store", &store_dir)
+                .param("l", l)
+                .param("epsilon", epsilon)
+                .param("entries", entries)
+                .param("metric", &metric_name)
+                .param("graph", graph_key);
+            rr.extra.push(("qps".into(), summary.qps));
+            rr.extra
+                .push(("n_queries".into(), summary.n_queries as f64));
+            rr.add_histograms(&t.hist_snapshots());
+            std::fs::write(&report_out, rr.to_json_string())
+                .unwrap_or_else(|e| die(&format!("cannot write {report_out}: {e}")));
+            println!("run report written to {report_out}");
         }
     }
 }

@@ -1,0 +1,244 @@
+//! Integration tests for the tracing/metrics subsystem: deterministic span
+//! timelines across same-seed runs, RunReport counters matching the runtime
+//! `Stats` exactly, Chrome-trace structural validity, and the
+//! `--trace-out` / `--report-out` CLI flags end to end.
+
+use dataset::{synth, L2};
+use dnnd::{build, BuildReport, CommOpts, DnndConfig};
+use obs::{EventKind, JsonValue, RunReport, Tracer};
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::Arc;
+use ygm::World;
+
+fn traced_build(seed: u64) -> (Arc<Tracer>, BuildReport) {
+    let set = Arc::new(synth::uniform(400, 8, 7));
+    let tracer = Arc::new(Tracer::new(4));
+    let world = World::new(4).tracer(Arc::clone(&tracer));
+    let out = build(
+        &world,
+        &set,
+        &L2,
+        DnndConfig::new(6).seed(seed).graph_opt(1.5),
+    );
+    (tracer, out.report)
+}
+
+/// The span log minus the events that legitimately vary between same-seed
+/// runs:
+///
+/// * "dispatch" / "flush" — when a rank drains its inbox (and when inbox
+///   pressure forces a flush) depends on OS message-arrival order;
+/// * "iter_updates" — the accepted-update counter `c` counts transient
+///   heap insertions, so its value depends on the order candidates arrive
+///   even though the final heap contents do not.
+///
+/// Everything else is engine control flow keyed to the virtual clock,
+/// which only advances while every rank sits inside a collective — so the
+/// filtered log must be identical run to run, timestamps included.
+fn deterministic_log(t: &Tracer) -> Vec<Vec<(EventKind, &'static str, u64, u64)>> {
+    t.span_log()
+        .into_iter()
+        .map(|rank| {
+            rank.into_iter()
+                .filter(|(_, name, _, _)| {
+                    *name != "dispatch" && *name != "flush" && *name != "iter_updates"
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn same_seed_runs_emit_identical_span_sequences() {
+    // Determinism is asserted on the unoptimized (Type 1 + Type 2)
+    // protocol with a pinned iteration count. The optimized protocol's
+    // pruning reads the live heap mid-phase (paper Section 4.3: the
+    // distance bound and redundancy skip are racy by design), so its
+    // message counts — and with them the virtual clock — vary with
+    // arrival order. The unoptimized protocol sends exactly one Type 2
+    // per Type 1, making every span and virtual timestamp reproducible.
+    let run = || {
+        let set = Arc::new(synth::uniform(400, 8, 7));
+        let tracer = Arc::new(Tracer::new(4));
+        let world = World::new(4).tracer(Arc::clone(&tracer));
+        build(
+            &world,
+            &set,
+            &L2,
+            DnndConfig::new(6)
+                .seed(11)
+                .comm_opts(CommOpts::unoptimized())
+                .max_iters(4)
+                .graph_opt(1.5),
+        );
+        tracer
+    };
+    let (t1, t2) = (run(), run());
+    let (a, b) = (deterministic_log(&t1), deterministic_log(&t2));
+    assert_eq!(a.len(), 4);
+    for (rank, (ra, rb)) in a.iter().zip(&b).enumerate() {
+        assert!(
+            ra.len() > 20,
+            "rank {rank} recorded only {} events",
+            ra.len()
+        );
+        assert_eq!(ra, rb, "rank {rank} span log diverged between runs");
+    }
+}
+
+#[test]
+fn run_report_counters_match_runtime_stats_exactly() {
+    let (t, report) = traced_build(5);
+    let mut rr = dnnd::obs_report::report_from_build("it", &report);
+    dnnd::obs_report::attach_histograms(&mut rr, Some(&t));
+
+    // Per-tag counts and bytes carry over from the Stats aggregation
+    // untouched, under the registration-time names.
+    assert_eq!(rr.tags.len(), report.tags.len());
+    for (tag, name, s) in &report.tags {
+        let tr = rr
+            .tags
+            .iter()
+            .find(|x| x.tag == *tag as u64)
+            .unwrap_or_else(|| panic!("tag {tag} missing from report"));
+        assert_eq!(&tr.name, name);
+        assert_eq!(tr.count, s.count);
+        assert_eq!(tr.bytes, s.bytes);
+        assert_eq!(tr.remote_count, s.remote_count);
+        assert_eq!(tr.remote_bytes, s.remote_bytes);
+    }
+    assert_eq!(rr.total_count, report.total.count);
+    assert_eq!(rr.total_bytes, report.total.bytes);
+    assert_eq!(rr.total_remote_bytes, report.total.remote_bytes);
+
+    // The optimized protocol's Figure 4 names are the paper's.
+    for name in ["Type 1", "Type 2+", "Type 3"] {
+        assert!(
+            rr.tags.iter().any(|t| t.name == name),
+            "missing paper tag name {name:?}"
+        );
+    }
+
+    // Convergence trajectory and phase records came along.
+    assert_eq!(rr.convergence.len(), report.updates_per_iter.len());
+    assert_eq!(rr.phases.len(), report.phases.len());
+    assert!(rr
+        .histograms
+        .iter()
+        .any(|h| h.name == "dist_evals_per_item" && h.count > 0));
+
+    // And the whole thing survives a JSON round trip bit for bit.
+    let back = RunReport::parse(&rr.to_json_string()).expect("report JSON parses");
+    assert_eq!(back, rr);
+}
+
+#[test]
+fn chrome_trace_has_per_rank_tracks_and_all_engine_phases() {
+    let (t, report) = traced_build(3);
+    let doc = JsonValue::parse(&obs::chrome::chrome_trace_json(&t)).expect("trace parses");
+    let events = doc
+        .get("traceEvents")
+        .expect("traceEvents key")
+        .as_arr()
+        .expect("traceEvents array");
+
+    // One named, sort-indexed track per rank.
+    let track_names: Vec<String> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(JsonValue::as_str) == Some("thread_name"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str().map(String::from))
+        .collect();
+    assert_eq!(track_names, vec!["rank 0", "rank 1", "rank 2", "rank 3"]);
+
+    // Every barrier-to-barrier engine phase shows up as a complete span,
+    // and none of them were left unterminated.
+    let span_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+        .filter_map(|e| e.get("name").and_then(JsonValue::as_str))
+        .collect();
+    for phase in [
+        "init",
+        "iteration",
+        "sample",
+        "reverse_exchange",
+        "union_sample",
+        "gen_pairs",
+        "neighbor_check",
+        "graph_optimize",
+        "barrier",
+        "all_reduce",
+        "dispatch",
+    ] {
+        assert!(span_names.contains(&phase), "missing engine span {phase:?}");
+    }
+    let unterminated = events
+        .iter()
+        .filter(|e| e.get("args").and_then(|a| a.get("unterminated")).is_some())
+        .count();
+    assert_eq!(unterminated, 0, "all instrumented spans must close");
+
+    // One "iteration" span per rank per descent iteration.
+    let iter_spans = span_names.iter().filter(|n| **n == "iteration").count();
+    assert_eq!(iter_spans, report.iterations * report.n_ranks);
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dnnd-obs-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn cli_trace_and_report_flags_emit_valid_json() {
+    let dir = tmpdir("cli");
+    let store = dir.join("store");
+    let trace = dir.join("trace.json");
+    let report = dir.join("report.json");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_dnnd-construct"))
+        .args([
+            "--input",
+            "preset:deep1b",
+            "--n",
+            "400",
+            "--k",
+            "6",
+            "--ranks",
+            "4",
+            "--seed",
+            "9",
+            "--store",
+            store.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--report-out",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn dnnd-construct");
+    assert!(
+        out.status.success(),
+        "construct failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let doc = JsonValue::parse(&std::fs::read_to_string(&trace).unwrap()).expect("trace JSON");
+    let n_ranks = doc
+        .get("otherData")
+        .and_then(|o| o.get("n_ranks"))
+        .and_then(|v| v.as_u64());
+    assert_eq!(n_ranks, Some(4));
+
+    let rr = RunReport::parse(&std::fs::read_to_string(&report).unwrap()).expect("report JSON");
+    assert_eq!(rr.binary, "dnnd-construct");
+    assert_eq!(rr.n_ranks, 4);
+    assert!(rr.total_bytes > 0);
+    assert!(rr.tags.iter().any(|t| t.name == "Type 2+"));
+    assert!(rr.iterations >= 1);
+    assert!(!rr.histograms.is_empty());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
