@@ -1,0 +1,402 @@
+//! `simtest` — deterministic fault-injection seed sweep for the YGM runtime.
+//!
+//! For every (preset, protocol, fault profile, sim seed) tuple this driver
+//! builds a k-NNG with the distributed engine under injected transport
+//! faults and checks the simulation-harness invariants:
+//!
+//! 1. **Termination** — construction completes (the runtime's storm guard
+//!    converts genuine hangs into panics naming the seed, which the sweep
+//!    records as failures instead of wedging).
+//! 2. **Quality** — mean recall vs brute-force ground truth stays within
+//!    `--tolerance` (default 0.05) of the fault-free run with the same
+//!    data seed.
+//! 3. **Exactly-once delivery** — under the *unoptimized* protocol the
+//!    engine is a pure function of the delivered message multiset, so every
+//!    fault profile (and the fault-free run) must produce a bit-identical
+//!    graph; any divergence means the reliable-delivery layer dropped or
+//!    double-applied a message. The optimized protocol consults heap state
+//!    at message-arrival time (Section 4.3 skips), so only the recall band
+//!    applies there.
+//!
+//! Every failing seed gets a `RunReport` JSON (fault counters included)
+//! under `--out`, and the sweep ends by printing the *minimal* failing seed
+//! plus the exact replay command. Replay a single seed with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin simtest -- \
+//!     --preset clustered --protocol optimized --profile stormy --sim-seed 17
+//! ```
+//!
+//! The same sim seed always replays the same faults: fault decisions are
+//! pure functions of `(sim_seed, frame coordinates)`, independent of thread
+//! scheduling.
+
+use bench::{Args, Table};
+use dataset::ground_truth::{brute_force_knng, GroundTruth};
+use dataset::metric::L2;
+use dataset::recall::mean_recall;
+use dataset::set::{PointId, PointSet};
+use dataset::synth::{gaussian_mixture, MixtureParams};
+use dnnd::obs_report::{report_from_build, write_report};
+use dnnd::{build, CommOpts, DnndConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use ygm::{FaultPlan, FaultProfile, World};
+
+/// One synthetic workload the sweep runs against.
+struct Preset {
+    name: &'static str,
+    set: Arc<PointSet<Vec<f32>>>,
+    /// Brute-force ground truth for recall scoring.
+    truth: GroundTruth,
+}
+
+/// Fault-free reference for one (preset, protocol) pair.
+struct Baseline {
+    ids: Vec<Vec<PointId>>,
+    recall: f64,
+}
+
+/// Outcome of a single faulted build.
+struct Trial {
+    preset: &'static str,
+    protocol: &'static str,
+    profile: &'static str,
+    sim_seed: u64,
+    recall: f64,
+    injected: u64,
+    failure: Option<String>,
+}
+
+fn protocol_opts(name: &str) -> CommOpts {
+    match name {
+        "optimized" => CommOpts::optimized(),
+        "unoptimized" => CommOpts::unoptimized(),
+        other => panic!("unknown protocol {other:?} (optimized|unoptimized|both)"),
+    }
+}
+
+fn make_presets(n: usize, k: usize) -> Vec<Preset> {
+    // Two shapes the paper's datasets span: tightly clustered (easy local
+    // neighborhoods) and spread-out (more cross-rank traffic per update).
+    let shapes: [(&'static str, MixtureParams); 2] = [
+        ("clustered", MixtureParams::embedding_like(n, 8)),
+        (
+            "spread",
+            MixtureParams {
+                n,
+                dim: 12,
+                n_clusters: 3,
+                center_spread: 2.0,
+                cluster_std: 4.0,
+            },
+        ),
+    ];
+    shapes
+        .into_iter()
+        .map(|(name, params)| {
+            // The data seed is fixed: the sweep varies *sim* seeds, and the
+            // baseline must be the same-workload fault-free run.
+            let set = Arc::new(gaussian_mixture(params, 5));
+            let truth = brute_force_knng(&set, &L2, k);
+            Preset { name, set, truth }
+        })
+        .collect()
+}
+
+struct Sweep {
+    k: usize,
+    ranks: usize,
+    data_seed: u64,
+    tolerance: f64,
+    out_dir: std::path::PathBuf,
+    keep_all_reports: bool,
+}
+
+impl Sweep {
+    fn config(&self, protocol: &str) -> DnndConfig {
+        DnndConfig::new(self.k)
+            .seed(self.data_seed)
+            .comm_opts(protocol_opts(protocol))
+    }
+
+    fn baseline(&self, preset: &Preset, protocol: &str) -> Baseline {
+        let out = build(
+            &World::new(self.ranks),
+            &preset.set,
+            &L2,
+            self.config(protocol),
+        );
+        let ids = out.graph.neighbor_ids();
+        let recall = mean_recall(&ids, &preset.truth);
+        println!(
+            "baseline {}/{protocol}: fault-free recall {recall:.4}",
+            preset.name
+        );
+        Baseline { ids, recall }
+    }
+
+    fn run_trial(
+        &self,
+        preset: &Preset,
+        baseline: &Baseline,
+        protocol: &'static str,
+        profile: FaultProfile,
+        sim_seed: u64,
+    ) -> Trial {
+        let plan = FaultPlan::new(profile, sim_seed);
+        let set = Arc::clone(&preset.set);
+        let cfg = self.config(protocol);
+        let ranks = self.ranks;
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            build(&World::new(ranks).fault_plan(plan), &set, &L2, cfg)
+        }));
+
+        let mut trial = Trial {
+            preset: preset.name,
+            protocol,
+            profile: profile.name(),
+            sim_seed,
+            recall: 0.0,
+            injected: 0,
+            failure: None,
+        };
+        match built {
+            Err(payload) => {
+                // Storm guard (or any other runtime panic): a termination
+                // failure.
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                trial.failure = Some(format!("did not terminate: {msg}"));
+            }
+            Ok(out) => {
+                let ids = out.graph.neighbor_ids();
+                trial.recall = mean_recall(&ids, &preset.truth);
+                trial.injected = out
+                    .report
+                    .faults
+                    .as_ref()
+                    .map(|f| f.injected())
+                    .unwrap_or(0);
+                let drift = (trial.recall - baseline.recall).abs();
+                if drift > self.tolerance {
+                    trial.failure = Some(format!(
+                        "recall {:.4} drifted {drift:.4} from fault-free {:.4} (tolerance {})",
+                        trial.recall, baseline.recall, self.tolerance
+                    ));
+                } else if protocol == "unoptimized" && ids != baseline.ids {
+                    let v = first_divergent(&ids, &baseline.ids);
+                    trial.failure = Some(format!(
+                        "graph differs from fault-free run (first divergent node {v}): \
+                         exactly-once delivery violated"
+                    ));
+                }
+                if trial.failure.is_some() || self.keep_all_reports {
+                    self.write_trial_report(&trial, baseline, &out.report);
+                }
+            }
+        }
+        trial
+    }
+
+    fn write_trial_report(&self, trial: &Trial, baseline: &Baseline, report: &dnnd::BuildReport) {
+        let mut run = report_from_build("simtest", report);
+        run.params = vec![
+            ("preset".into(), trial.preset.into()),
+            ("protocol".into(), trial.protocol.into()),
+            ("profile".into(), trial.profile.into()),
+            ("sim_seed".into(), trial.sim_seed.to_string()),
+            ("recall".into(), format!("{:.4}", trial.recall)),
+            ("baseline_recall".into(), format!("{:.4}", baseline.recall)),
+            (
+                "verdict".into(),
+                trial
+                    .failure
+                    .clone()
+                    .map(|f| format!("FAIL: {f}"))
+                    .unwrap_or_else(|| "PASS".into()),
+            ),
+        ];
+        let path = self.out_dir.join(format!(
+            "simtest-{}-{}-{}-seed{}.json",
+            trial.preset, trial.protocol, trial.profile, trial.sim_seed
+        ));
+        if let Err(e) = write_report(&path, &run) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+fn first_divergent(a: &[Vec<PointId>], b: &[Vec<PointId>]) -> usize {
+    a.iter()
+        .zip(b.iter())
+        .position(|(x, y)| x != y)
+        .unwrap_or(a.len().min(b.len()))
+}
+
+fn replay_command(t: &Trial) -> String {
+    format!(
+        "cargo run --release -p bench --bin simtest -- --preset {} --protocol {} --profile {} --sim-seed {}",
+        t.preset, t.protocol, t.profile, t.sim_seed
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("n", 400);
+    let k: usize = args.get("k", 8);
+    let replay_seed: Option<u64> = args.opt("sim-seed");
+    let sweep = Sweep {
+        k,
+        ranks: args.get("ranks", 4),
+        data_seed: args.get("seed", 5),
+        tolerance: args.get("tolerance", 0.05),
+        out_dir: args.out_dir(),
+        keep_all_reports: args.flag("reports") || replay_seed.is_some(),
+    };
+    std::fs::create_dir_all(&sweep.out_dir).expect("create --out dir");
+
+    // Replay mode: `--sim-seed S` runs exactly one seed (deterministically
+    // reproducing a sweep failure); otherwise sweep seeds 0..--seeds.
+    let seeds: Vec<u64> = match replay_seed {
+        Some(s) => vec![s],
+        None => (0..args.get("seeds", 25u64)).collect(),
+    };
+
+    let profile_arg: String = args.get("profile", "all".to_string());
+    let profiles: Vec<FaultProfile> = if profile_arg == "all" {
+        FaultProfile::NAMES
+            .iter()
+            .map(|n| FaultProfile::by_name(n).unwrap())
+            .collect()
+    } else {
+        vec![FaultProfile::by_name(&profile_arg).unwrap_or_else(|| {
+            panic!("unknown --profile {profile_arg:?} (clean|lossy|stormy|all)")
+        })]
+    };
+
+    let protocol_arg: String = args.get("protocol", "both".to_string());
+    let protocols: Vec<&'static str> = match protocol_arg.as_str() {
+        "both" => vec!["optimized", "unoptimized"],
+        "optimized" => vec!["optimized"],
+        "unoptimized" => vec!["unoptimized"],
+        other => panic!("unknown --protocol {other:?} (optimized|unoptimized|both)"),
+    };
+
+    let preset_arg: String = args.get("preset", "all".to_string());
+    let mut presets = make_presets(n, k);
+    if preset_arg != "all" {
+        presets.retain(|p| p.name == preset_arg);
+        assert!(!presets.is_empty(), "unknown --preset {preset_arg:?}");
+    }
+
+    println!(
+        "simtest sweep: {} preset(s) x {} protocol(s) x {} profile(s) x {} seed(s), ranks={}, tolerance={}",
+        presets.len(),
+        protocols.len(),
+        profiles.len(),
+        seeds.len(),
+        sweep.ranks,
+        sweep.tolerance
+    );
+
+    let mut trials: Vec<Trial> = Vec::new();
+    for preset in &presets {
+        for &protocol in &protocols {
+            let baseline = sweep.baseline(preset, protocol);
+            for &profile in &profiles {
+                for &sim_seed in &seeds {
+                    trials.push(sweep.run_trial(preset, &baseline, protocol, profile, sim_seed));
+                }
+            }
+        }
+    }
+
+    let mut table = Table::new(
+        "simtest: per-(preset, protocol, profile) summary",
+        &[
+            "Preset",
+            "Protocol",
+            "Profile",
+            "Seeds",
+            "Min recall",
+            "Mean recall",
+            "Faults injected",
+            "Failures",
+        ],
+    );
+    for preset in &presets {
+        for &protocol in &protocols {
+            for &profile in &profiles {
+                let group: Vec<&Trial> = trials
+                    .iter()
+                    .filter(|t| {
+                        t.preset == preset.name
+                            && t.protocol == protocol
+                            && t.profile == profile.name()
+                    })
+                    .collect();
+                let done: Vec<&&Trial> = group
+                    .iter()
+                    .filter(|t| !t.failure.as_deref().unwrap_or("").starts_with("did not"))
+                    .collect();
+                let min_recall = done.iter().map(|t| t.recall).fold(f64::INFINITY, f64::min);
+                let mean = if done.is_empty() {
+                    0.0
+                } else {
+                    done.iter().map(|t| t.recall).sum::<f64>() / done.len() as f64
+                };
+                let injected: u64 = group.iter().map(|t| t.injected).sum();
+                let failures = group.iter().filter(|t| t.failure.is_some()).count();
+                table.row(&[
+                    &preset.name,
+                    &protocol,
+                    &profile.name(),
+                    &group.len(),
+                    &format!("{min_recall:.4}"),
+                    &format!("{mean:.4}"),
+                    &injected,
+                    &failures,
+                ]);
+            }
+        }
+    }
+    table.print();
+    let _ = table.write_csv(&sweep.out_dir, "simtest");
+
+    let mut failures: Vec<&Trial> = trials.iter().filter(|t| t.failure.is_some()).collect();
+    if failures.is_empty() {
+        println!(
+            "\nsimtest PASS: all {} trial(s) terminated with recall within {} of fault-free",
+            trials.len(),
+            sweep.tolerance
+        );
+        return;
+    }
+    failures.sort_by_key(|t| t.sim_seed);
+    let minimal = failures[0];
+    println!("\nsimtest FAIL: {} failing trial(s)", failures.len());
+    for t in &failures {
+        println!(
+            "  preset={} protocol={} profile={} --sim-seed {} : {}",
+            t.preset,
+            t.protocol,
+            t.profile,
+            t.sim_seed,
+            t.failure.as_deref().unwrap()
+        );
+    }
+    println!(
+        "\nminimal failing seed: {} (preset={} protocol={} profile={})",
+        minimal.sim_seed, minimal.preset, minimal.protocol, minimal.profile
+    );
+    println!("replay with:\n  {}", replay_command(minimal));
+    println!(
+        "failing-seed RunReports (fault counters included) are under {}",
+        sweep.out_dir.display()
+    );
+    std::process::exit(1);
+}

@@ -59,6 +59,11 @@ impl Args {
             .unwrap_or(default)
     }
 
+    /// Typed lookup without a default: `None` when the key was not given.
+    pub fn opt<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.values.get(key).and_then(|v| v.parse().ok())
+    }
+
     /// Boolean flag presence.
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)

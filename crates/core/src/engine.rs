@@ -41,7 +41,12 @@ pub struct BuildReport {
     pub n_ranks: usize,
     /// Descent iterations executed.
     pub iterations: usize,
-    /// Global successful updates (`c`) per iteration.
+    /// Global update count (`c`) per iteration: the number of neighbor-heap
+    /// members added during the iteration that survived to its end. Counting
+    /// survivors (end-of-iteration set difference) instead of transient
+    /// insert successes makes the value — and therefore the `delta * K * N`
+    /// termination decision — independent of message-arrival order, so runs
+    /// under the unoptimized protocol replay bit-identically.
     pub updates_per_iter: Vec<u64>,
     /// Total distance evaluations across all ranks.
     pub distance_evals: u64,
@@ -58,6 +63,9 @@ pub struct BuildReport {
     pub tags: Vec<(u16, String, TagStats)>,
     /// Totals over all tags.
     pub total: TagStats,
+    /// Injected-fault / reliable-delivery counters when the world ran under
+    /// a [`ygm::FaultPlan`]; `None` on fault-free runs.
+    pub faults: Option<ygm::FaultReport>,
 }
 
 impl BuildReport {
@@ -102,8 +110,6 @@ struct State {
     rev_old: HashMap<PointId, Vec<PointId>>,
     /// Reverse edges received during the graph-optimization phase.
     opt_extra: HashMap<PointId, Vec<Edge>>,
-    /// Successful heap updates this iteration (summand of the global `c`).
-    c: u64,
     /// Heap-insert attempts this iteration (denominator of the accept
     /// rate histogram).
     attempts: u64,
@@ -121,7 +127,6 @@ impl State {
             rev_new: HashMap::new(),
             rev_old: HashMap::new(),
             opt_extra: HashMap::new(),
-            c: 0,
             attempts: 0,
             dist_evals: 0,
             dist_by_vertex: HashMap::new(),
@@ -177,6 +182,7 @@ where
             wall_secs: report.wall_secs,
             tags: report.tags,
             total: report.total,
+            faults: report.faults,
         },
     }
 }
@@ -259,13 +265,27 @@ where
 
     for iter in 0..cfg.max_iters {
         comm.trace_begin_arg("iteration", iter as u64);
-        {
+        // Snapshot each owned heap's membership: the iteration's update
+        // count `c` is the number of ids present at iteration end but not
+        // here. Unlike counting `checked_insert` successes (which tallies
+        // transient entrants that a later, closer candidate evicts), the
+        // set difference is a pure function of the delivered message
+        // multiset — message-arrival order cannot flip the termination
+        // decision.
+        let start_ids: HashMap<PointId, Vec<PointId>> = {
             let mut s = st.borrow_mut();
-            s.c = 0;
             s.attempts = 0;
             s.rev_new.clear();
             s.rev_old.clear();
-        }
+            owned
+                .iter()
+                .map(|&v| {
+                    let mut ids: Vec<PointId> = s.heaps[&v].iter().map(|n| n.id).collect();
+                    ids.sort_unstable();
+                    (v, ids)
+                })
+                .collect()
+        };
 
         // 2a. Local sampling: split each owned vertex's heap into old ids
         // and a rho*K sample of new ids (flipped to old).
@@ -396,7 +416,17 @@ where
         // 2f. Convergence test on the all-reduced update count.
         let (c_local, attempts) = {
             let s = st.borrow();
-            (s.c, s.attempts)
+            let c: u64 = owned
+                .iter()
+                .map(|&v| {
+                    let start = &start_ids[&v];
+                    s.heaps[&v]
+                        .iter()
+                        .filter(|n| start.binary_search(&n.id).is_err())
+                        .count() as u64
+                })
+                .sum();
+            (c, s.attempts)
         };
         if let Some(pct) = (c_local * 100).checked_div(attempts) {
             comm.trace_hist("heap_accept_pct", pct);
@@ -644,9 +674,7 @@ fn register_handlers<P, M>(
             s.trace_dist(traced, msg.u2);
             s.attempts += 1;
             if let Some(h) = s.heaps.get_mut(&msg.u2) {
-                if h.checked_insert(msg.u1, d, true) {
-                    s.c += 1;
-                }
+                h.checked_insert(msg.u1, d, true);
             }
         });
     }
@@ -676,9 +704,7 @@ fn register_handlers<P, M>(
                     s.trace_dist(traced, msg.u2);
                     s.attempts += 1;
                     if let Some(h) = s.heaps.get_mut(&msg.u2) {
-                        if h.checked_insert(msg.u1, d, true) {
-                            s.c += 1;
-                        }
+                        h.checked_insert(msg.u1, d, true);
                     }
                 }
                 // Long-distance pruning (4.3.3): only answer if the distance
@@ -700,9 +726,7 @@ fn register_handlers<P, M>(
                 let mut s = st.borrow_mut();
                 s.attempts += 1;
                 if let Some(h) = s.heaps.get_mut(&u1) {
-                    if h.checked_insert(u2, d, true) {
-                        s.c += 1;
-                    }
+                    h.checked_insert(u2, d, true);
                 }
             },
         );

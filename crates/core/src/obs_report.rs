@@ -8,11 +8,11 @@
 //! so reports stay structurally identical across producers.
 
 use crate::engine::BuildReport;
-use obs::{ConvergencePoint, PhaseReport, RunReport, TagReport, Tracer};
+use obs::{ConvergencePoint, FaultSection, PhaseReport, RunReport, TagReport, Tracer};
 use std::fs;
 use std::io;
 use std::path::Path;
-use ygm::{ClockBreakdown, PhaseRecord, TagStats, WorldReport};
+use ygm::{ClockBreakdown, FaultReport, PhaseRecord, TagStats, WorldReport};
 
 fn fill_tags(report: &mut RunReport, tags: &[(u16, String, TagStats)], total: &TagStats) {
     report.tags = tags
@@ -52,6 +52,21 @@ fn fill_breakdown(report: &mut RunReport, b: &ClockBreakdown) {
     report.barrier_secs = b.barrier_secs;
 }
 
+fn fill_faults(report: &mut RunReport, faults: Option<&FaultReport>) {
+    report.faults = faults.map(|f| FaultSection {
+        sim_seed: f.sim_seed,
+        profile: f.profile.clone(),
+        dropped: f.dropped,
+        duplicated: f.duplicated,
+        delayed: f.delayed,
+        stalls: f.stalls,
+        jittered_flushes: f.jittered_flushes,
+        retransmits: f.retransmits,
+        dedup_discards: f.dedup_discards,
+        forced_deliveries: f.forced_deliveries,
+    });
+}
+
 /// Start a [`RunReport`] from a construction run's [`BuildReport`],
 /// including the convergence trajectory.
 pub fn report_from_build(binary: &str, r: &BuildReport) -> RunReport {
@@ -64,6 +79,7 @@ pub fn report_from_build(binary: &str, r: &BuildReport) -> RunReport {
     fill_breakdown(&mut report, &r.breakdown);
     fill_tags(&mut report, &r.tags, &r.total);
     fill_phases(&mut report, &r.phases);
+    fill_faults(&mut report, r.faults.as_ref());
     report.convergence = r
         .updates_per_iter
         .iter()
@@ -85,6 +101,7 @@ pub fn report_from_world<T>(binary: &str, n_ranks: usize, r: &WorldReport<T>) ->
     fill_breakdown(&mut report, &r.breakdown);
     fill_tags(&mut report, &r.tags, &r.total);
     fill_phases(&mut report, &r.phases);
+    fill_faults(&mut report, r.faults.as_ref());
     report
 }
 
@@ -154,9 +171,21 @@ mod tests {
             wall_secs: 0.5,
             tags,
             total,
+            faults: Some(FaultReport {
+                sim_seed: 99,
+                profile: "lossy".into(),
+                dropped: 2,
+                retransmits: 3,
+                ..FaultReport::default()
+            }),
         };
         let r = report_from_build("dnnd-construct", &br);
         assert_eq!(r.total_bytes, 4_640);
+        let fs = r.faults.as_ref().unwrap();
+        assert_eq!(fs.sim_seed, 99);
+        assert_eq!(fs.profile, "lossy");
+        assert_eq!(fs.dropped, 2);
+        assert_eq!(fs.retransmits, 3);
         assert_eq!(r.tags.len(), 2);
         assert_eq!(r.tags[1].bytes, 4_000);
         assert_eq!(r.convergence.len(), 3);

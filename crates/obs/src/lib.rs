@@ -25,6 +25,6 @@ pub mod tracer;
 
 pub use hist::{Histogram, HistogramSnapshot};
 pub use json::JsonValue;
-pub use report::{ConvergencePoint, PhaseReport, RunReport, TagReport};
+pub use report::{ConvergencePoint, FaultSection, PhaseReport, RunReport, TagReport};
 pub use ring::{EventKind, TraceEvent};
 pub use tracer::Tracer;

@@ -69,6 +69,26 @@ impl HistReport {
     }
 }
 
+/// Injected-fault and reliable-delivery counters from a simulation-tested
+/// run (mirrors `ygm`'s `FaultReport`). Present only when the producing
+/// world ran under a fault plan; the JSON key is omitted otherwise, which
+/// keeps fault-free reports byte-identical to schema v1 documents.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSection {
+    /// Seed that replays this run's fault schedule (`--sim-seed`).
+    pub sim_seed: u64,
+    /// Fault profile name (`clean` / `lossy` / `stormy` / `custom`).
+    pub profile: String,
+    pub dropped: u64,
+    pub duplicated: u64,
+    pub delayed: u64,
+    pub stalls: u64,
+    pub jittered_flushes: u64,
+    pub retransmits: u64,
+    pub dedup_discards: u64,
+    pub forced_deliveries: u64,
+}
+
 /// The consolidated per-run report.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunReport {
@@ -101,6 +121,8 @@ pub struct RunReport {
     pub histograms: Vec<HistReport>,
     /// Free-form numeric metrics (e.g. `queries_per_sec`).
     pub extra: Vec<(String, f64)>,
+    /// Fault-injection counters; `None` for fault-free runs.
+    pub faults: Option<FaultSection>,
 }
 
 impl RunReport {
@@ -130,7 +152,7 @@ impl RunReport {
     }
 
     pub fn to_json(&self) -> J {
-        J::Obj(vec![
+        let mut fields = vec![
             ("schema_version".into(), J::uint(SCHEMA_VERSION)),
             ("binary".into(), J::str(&self.binary)),
             (
@@ -244,7 +266,25 @@ impl RunReport {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(f) = &self.faults {
+            fields.push((
+                "faults".into(),
+                J::Obj(vec![
+                    ("sim_seed".into(), J::uint(f.sim_seed)),
+                    ("profile".into(), J::str(&f.profile)),
+                    ("dropped".into(), J::uint(f.dropped)),
+                    ("duplicated".into(), J::uint(f.duplicated)),
+                    ("delayed".into(), J::uint(f.delayed)),
+                    ("stalls".into(), J::uint(f.stalls)),
+                    ("jittered_flushes".into(), J::uint(f.jittered_flushes)),
+                    ("retransmits".into(), J::uint(f.retransmits)),
+                    ("dedup_discards".into(), J::uint(f.dedup_discards)),
+                    ("forced_deliveries".into(), J::uint(f.forced_deliveries)),
+                ]),
+            ));
+        }
+        J::Obj(fields)
     }
 
     /// Pretty-printed JSON document.
@@ -360,6 +400,22 @@ impl RunReport {
             }
         }
 
+        // Optional: absent in fault-free reports (pre-fault documents too).
+        if let Some(f) = v.get("faults") {
+            report.faults = Some(FaultSection {
+                sim_seed: u64_field(f, "sim_seed")?,
+                profile: str_field(f, "profile")?,
+                dropped: u64_field(f, "dropped")?,
+                duplicated: u64_field(f, "duplicated")?,
+                delayed: u64_field(f, "delayed")?,
+                stalls: u64_field(f, "stalls")?,
+                jittered_flushes: u64_field(f, "jittered_flushes")?,
+                retransmits: u64_field(f, "retransmits")?,
+                dedup_discards: u64_field(f, "dedup_discards")?,
+                forced_deliveries: u64_field(f, "forced_deliveries")?,
+            });
+        }
+
         Ok(report)
     }
 
@@ -448,6 +504,37 @@ mod tests {
         r.recall = None;
         let back = RunReport::parse(&r.to_json_string()).unwrap();
         assert_eq!(back.recall, None);
+    }
+
+    #[test]
+    fn fault_section_round_trips() {
+        let mut r = sample_report();
+        r.faults = Some(FaultSection {
+            sim_seed: 424242,
+            profile: "stormy".into(),
+            dropped: 12,
+            duplicated: 3,
+            delayed: 9,
+            stalls: 2,
+            jittered_flushes: 40,
+            retransmits: 15,
+            dedup_discards: 5,
+            forced_deliveries: 1,
+        });
+        let back = RunReport::parse(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.faults.as_ref().unwrap().sim_seed, 424242);
+    }
+
+    #[test]
+    fn missing_fault_section_parses_as_none() {
+        // Fault-free documents (including pre-fault schema v1 reports)
+        // simply lack the key.
+        let r = sample_report();
+        let text = r.to_json_string();
+        assert!(!text.contains("\"faults\""));
+        let back = RunReport::parse(&text).unwrap();
+        assert_eq!(back.faults, None);
     }
 
     #[test]

@@ -23,16 +23,80 @@
 
 use crate::codec::Wire;
 use crate::cost::CostModel;
+use crate::fault::FaultCounters;
 use crate::stats::Stats;
 use crate::world::Shared;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crossbeam::channel::Receiver;
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-/// Frame header: `u16` tag + `u32` payload length.
-pub(crate) const FRAME_HEADER_BYTES: usize = 6;
+/// Frame header: `u16` tag + `u32` payload length. Every message on the
+/// wire is accounted as header + payload bytes.
+pub const FRAME_HEADER_BYTES: usize = 6;
+
+/// Non-quiescent barrier rounds tolerated under fault injection before the
+/// world aborts with the offending sim seed. Converts a termination-
+/// detection hang (the worst possible test outcome) into a diagnosable,
+/// replayable failure.
+const STORM_ROUNDS: u64 = 10_000;
+
+/// One flushed aggregation buffer in flight. `seq` numbers frames per
+/// directed edge `(src -> dest)`; under fault injection the reliable-
+/// delivery layer uses it for acks and receive-side dedup. The fault-free
+/// transport sends `seq = 0` and ignores it.
+#[derive(Debug, Clone)]
+pub(crate) struct Packet {
+    pub(crate) src: usize,
+    pub(crate) seq: u64,
+    pub(crate) attempt: u32,
+    pub(crate) bytes: Bytes,
+}
+
+/// A sent-but-unacknowledged frame retained for retransmission.
+struct UnackedFrame {
+    bytes: Bytes,
+    attempt: u32,
+    /// Epoch at which the frame is retransmitted if still unacked.
+    next_retry: u64,
+    /// Whether the attempt cap was reached (frame now delivered fault-free).
+    forced: bool,
+}
+
+/// Per-rank reliable-delivery state. Only exists under a fault plan; all
+/// fields are indexed by destination rank where applicable.
+struct FaultLocal {
+    /// Next frame sequence number per destination edge.
+    next_seq: Vec<u64>,
+    /// Unacked frames per destination, by sequence number.
+    unacked: Vec<BTreeMap<u64, UnackedFrame>>,
+    /// Received frames held back by delay injection: `(release_epoch,
+    /// packet)`.
+    inbox: Vec<(u64, Packet)>,
+    /// Sends per destination edge (drives flush-jitter decisions).
+    send_count: Vec<u64>,
+    /// Current sync epoch. Advanced once per non-quiescent barrier round;
+    /// lock-step across ranks because rounds are collectively synchronized.
+    epoch: u64,
+    /// Epoch whose stall has already been counted (counters + virtual
+    /// time), so repeated polls in one epoch charge once.
+    stall_counted: Option<u64>,
+}
+
+impl FaultLocal {
+    fn new(n: usize) -> Self {
+        FaultLocal {
+            next_seq: vec![0; n],
+            unacked: (0..n).map(|_| BTreeMap::new()).collect(),
+            inbox: Vec::new(),
+            send_count: vec![0; n],
+            epoch: 0,
+            stall_counted: None,
+        }
+    }
+}
 
 type Handler = Box<dyn FnMut(&Comm, Bytes)>;
 
@@ -41,20 +105,26 @@ type Handler = Box<dyn FnMut(&Comm, Bytes)>;
 pub struct Comm {
     rank: usize,
     shared: Arc<Shared>,
-    rx: Receiver<Bytes>,
+    rx: Receiver<Packet>,
     out: RefCell<Vec<BytesMut>>,
     handlers: RefCell<Vec<Option<Handler>>>,
+    fault: Option<RefCell<FaultLocal>>,
 }
 
 impl Comm {
-    pub(crate) fn new(rank: usize, shared: Arc<Shared>, rx: Receiver<Bytes>) -> Self {
+    pub(crate) fn new(rank: usize, shared: Arc<Shared>, rx: Receiver<Packet>) -> Self {
         let n = shared.n_ranks;
+        let fault = shared
+            .fault
+            .as_ref()
+            .map(|_| RefCell::new(FaultLocal::new(n)));
         Comm {
             rank,
             shared,
             rx,
             out: RefCell::new((0..n).map(|_| BytesMut::new()).collect()),
             handlers: RefCell::new((0..crate::stats::MAX_TAGS).map(|_| None).collect()),
+            fault,
         }
     }
 
@@ -175,7 +245,7 @@ impl Comm {
     pub fn async_send<M: Wire>(&self, dest: usize, tag: u16, msg: &M) {
         debug_assert!(dest < self.n_ranks(), "destination rank out of range");
         let sz = msg.wire_size();
-        let flush_now = {
+        let mut flush_now = {
             let mut out = self.out.borrow_mut();
             let buf = &mut out[dest];
             buf.reserve(FRAME_HEADER_BYTES + sz);
@@ -190,6 +260,20 @@ impl Comm {
             .stats
             .record_send(tag, FRAME_HEADER_BYTES + sz, self.rank, dest);
         self.shared.sent.fetch_add(1, Ordering::SeqCst);
+        if let (Some(fs), Some(fl)) = (&self.shared.fault, &self.fault) {
+            // Flush jitter: randomly force an early flush, perturbing frame
+            // boundaries and therefore handler-batch interleavings.
+            let nth = {
+                let mut fl = fl.borrow_mut();
+                let nth = fl.send_count[dest];
+                fl.send_count[dest] += 1;
+                nth
+            };
+            if !flush_now && fs.plan.jitter_flush(self.rank, dest, nth) {
+                FaultCounters::bump(&fs.counters.jittered_flushes);
+                flush_now = true;
+            }
+        }
         if flush_now {
             self.flush(dest);
         }
@@ -208,11 +292,214 @@ impl Comm {
             t.instant(self.rank, "flush", self.now_ns(), frame.len() as u64);
             t.hist("flush_bytes").record(frame.len() as u64);
         }
-        // Channel is unbounded; send only fails if the world is shutting
-        // down, which cannot happen while any Comm is alive.
+        match &self.fault {
+            None => {
+                // Channel is unbounded; send only fails if the world is
+                // shutting down, which cannot happen while any Comm is alive.
+                self.shared.senders[dest]
+                    .send(Packet {
+                        src: self.rank,
+                        seq: 0,
+                        attempt: 0,
+                        bytes: frame,
+                    })
+                    .expect("world channel closed while rank alive");
+            }
+            Some(fl) => {
+                // Reliable delivery: number the frame on this edge and
+                // retain it until the destination's delivered-state (the
+                // shared-memory ack) covers it.
+                let seq = {
+                    let mut fl = fl.borrow_mut();
+                    let seq = fl.next_seq[dest];
+                    fl.next_seq[dest] += 1;
+                    // Grace of two epochs: a fault-free frame flushed at
+                    // epoch e is dispatched by the receiver in round e+1
+                    // and its ack is visible to the pump at e+2, so a
+                    // clean run never retransmits spuriously.
+                    let next_retry = fl.epoch + 2;
+                    fl.unacked[dest].insert(
+                        seq,
+                        UnackedFrame {
+                            bytes: frame.clone(),
+                            attempt: 0,
+                            next_retry,
+                            forced: false,
+                        },
+                    );
+                    seq
+                };
+                self.transmit(dest, seq, frame, 0);
+            }
+        }
+    }
+
+    /// Put one delivery attempt of frame `(self.rank -> dest, seq)` on the
+    /// wire, applying drop and duplication faults. Fault mode only.
+    fn transmit(&self, dest: usize, seq: u64, bytes: Bytes, attempt: u32) {
+        let fs = self.shared.fault.as_ref().expect("transmit without faults");
+        if fs.plan.drop_frame(self.rank, dest, seq, attempt) {
+            FaultCounters::bump(&fs.counters.dropped);
+            return; // the retransmit pump will try again next epoch
+        }
+        let pkt = Packet {
+            src: self.rank,
+            seq,
+            attempt,
+            bytes,
+        };
+        if fs.plan.duplicate_frame(self.rank, dest, seq, attempt) {
+            FaultCounters::bump(&fs.counters.duplicated);
+            // The duplicate consumes real link capacity: charge transport-
+            // level (phase) counters without touching application per-tag
+            // stats.
+            self.shared
+                .stats
+                .record_transport(self.rank, dest, pkt.bytes.len());
+            self.shared.senders[dest]
+                .send(pkt.clone())
+                .expect("world channel closed while rank alive");
+        }
         self.shared.senders[dest]
-            .send(frame)
+            .send(pkt)
             .expect("world channel closed while rank alive");
+    }
+
+    /// Handle one received packet. Fault mode: dedup against the edge's
+    /// delivered-state, possibly park it in the delay inbox; otherwise
+    /// dispatch. Returns messages handled.
+    fn receive_packet(&self, pkt: Packet) -> usize {
+        let Some(fs) = &self.shared.fault else {
+            return self.dispatch_block(pkt.bytes);
+        };
+        let edge = fs.edge(pkt.src, self.rank, self.n_ranks());
+        if edge.is_delivered(pkt.seq) {
+            // Injected duplicate or a retransmit that raced its ack. Without
+            // this check the frame's messages would be handled twice AND
+            // `processed` would overrun `sent`, wedging termination
+            // detection (see the regression test in tests/fault_injection.rs).
+            FaultCounters::bump(&fs.counters.dedup_discards);
+            return 0;
+        }
+        let delay = fs
+            .plan
+            .delay_epochs(pkt.src, self.rank, pkt.seq, pkt.attempt);
+        if delay > 0 {
+            FaultCounters::bump(&fs.counters.delayed);
+            // The frame sits on the (virtual) wire for `delay` epochs;
+            // charge the receiving rank so sim-time reflects the fault.
+            self.shared
+                .stats
+                .charge_fault(self.rank, self.shared.cost.delay_cost_ns(delay));
+            let fl = self.fault.as_ref().unwrap();
+            let mut fl = fl.borrow_mut();
+            let release = fl.epoch + delay as u64;
+            fl.inbox.push((release, pkt));
+            return 0;
+        }
+        self.deliver_packet(pkt)
+    }
+
+    /// Mark a packet delivered on its edge and dispatch its messages.
+    fn deliver_packet(&self, pkt: Packet) -> usize {
+        let fs = self.shared.fault.as_ref().expect("deliver without faults");
+        fs.edge(pkt.src, self.rank, self.n_ranks())
+            .mark_delivered(pkt.seq);
+        self.dispatch_block(pkt.bytes)
+    }
+
+    /// Drive the reliable-delivery layer one step: release matured delayed
+    /// frames, drop acked frames from the retransmit window, and retransmit
+    /// overdue ones with capped exponential backoff (in epochs). Returns
+    /// messages handled. Fault mode only; no-op otherwise.
+    fn pump_transport(&self) -> usize {
+        let (Some(fs), Some(fl_cell)) = (&self.shared.fault, &self.fault) else {
+            return 0;
+        };
+        let n = self.n_ranks();
+        let epoch = fl_cell.borrow().epoch;
+        let mut handled = 0;
+
+        // Release delayed frames whose epoch has come (re-checking dedup:
+        // a retransmit may have been delivered while this copy was parked).
+        loop {
+            let pkt = {
+                let mut fl = fl_cell.borrow_mut();
+                match fl.inbox.iter().position(|(release, _)| *release <= epoch) {
+                    Some(i) => fl.inbox.swap_remove(i).1,
+                    None => break,
+                }
+            };
+            if fs.edge(pkt.src, self.rank, n).is_delivered(pkt.seq) {
+                FaultCounters::bump(&fs.counters.dedup_discards);
+            } else {
+                handled += self.deliver_packet(pkt);
+            }
+        }
+
+        // Ack scan + retransmission.
+        let mut resend: Vec<(usize, u64, Bytes, u32)> = Vec::new();
+        {
+            let mut fl = fl_cell.borrow_mut();
+            for dest in 0..n {
+                let edge = fs.edge(self.rank, dest, n);
+                fl.unacked[dest].retain(|seq, _| !edge.is_delivered(*seq));
+                for (seq, frame) in fl.unacked[dest].iter_mut() {
+                    if frame.next_retry > epoch {
+                        continue;
+                    }
+                    frame.attempt += 1;
+                    if frame.attempt >= fs.plan.profile.max_faulty_attempts && !frame.forced {
+                        frame.forced = true;
+                        FaultCounters::bump(&fs.counters.forced_deliveries);
+                    }
+                    // Backoff 2, 4, 8, 8, ... epochs (same two-epoch floor
+                    // as the initial send, so in-flight attempts are not
+                    // re-sent before their ack can possibly arrive).
+                    frame.next_retry = epoch + (1u64 << frame.attempt.min(3)).max(2);
+                    resend.push((dest, *seq, frame.bytes.clone(), frame.attempt));
+                }
+            }
+        }
+        for (dest, seq, bytes, attempt) in resend {
+            FaultCounters::bump(&fs.counters.retransmits);
+            self.shared
+                .stats
+                .record_transport(self.rank, dest, bytes.len());
+            self.transmit(dest, seq, bytes, attempt);
+        }
+        handled
+    }
+
+    /// Whether stall injection sidelines this rank for the current epoch
+    /// (it flushes its own sends but dispatches nothing). Charged once per
+    /// stalled epoch.
+    fn stalled_this_epoch(&self) -> bool {
+        let (Some(fs), Some(fl_cell)) = (&self.shared.fault, &self.fault) else {
+            return false;
+        };
+        let mut fl = fl_cell.borrow_mut();
+        let epoch = fl.epoch;
+        if !fs.plan.stall(self.rank, epoch) {
+            return false;
+        }
+        if fl.stall_counted != Some(epoch) {
+            fl.stall_counted = Some(epoch);
+            FaultCounters::bump(&fs.counters.stalls);
+            self.shared
+                .stats
+                .charge_fault(self.rank, self.shared.cost.delay_cost_ns(1));
+        }
+        true
+    }
+
+    /// Advance this rank's sync epoch by one. Called once per non-quiescent
+    /// barrier round; rounds are collectively synchronized, so every rank's
+    /// epoch agrees without shared state.
+    fn bump_epoch(&self) {
+        if let Some(fl) = &self.fault {
+            fl.borrow_mut().epoch += 1;
+        }
     }
 
     /// Flush all destination buffers.
@@ -257,12 +544,18 @@ impl Comm {
     /// messages generated by handlers during this call). Returns the number
     /// of messages handled. Never blocks.
     pub fn poll(&self) -> usize {
+        if self.stalled_this_epoch() {
+            // A stalled rank still flushes its own buffered sends (so peers
+            // are not starved) but dispatches nothing this epoch.
+            self.flush_all();
+            return 0;
+        }
         let mut total = 0;
         loop {
             self.flush_all();
-            let mut got = 0;
-            while let Ok(block) = self.rx.try_recv() {
-                got += self.dispatch_block(block);
+            let mut got = self.pump_transport();
+            while let Ok(pkt) = self.rx.try_recv() {
+                got += self.receive_packet(pkt);
             }
             total += got;
             if got == 0 {
@@ -277,6 +570,7 @@ impl Comm {
     /// the completed phase's makespan.
     pub fn barrier(&self) {
         self.trace_begin("barrier");
+        let mut rounds: u64 = 0;
         loop {
             self.poll();
             self.shared.barrier.wait();
@@ -299,6 +593,21 @@ impl Comm {
                 // duration is exactly the completed phase's makespan.
                 self.trace_end("barrier");
                 return;
+            }
+            // Non-quiescent round: messages are still parked in delay
+            // inboxes or retransmit windows. Advance the sync epoch (lock-
+            // step on every rank — all ranks observed the same counters)
+            // so delays mature and backoffs fire, then go around again.
+            rounds += 1;
+            self.bump_epoch();
+            if let Some(fs) = &self.shared.fault {
+                if rounds >= STORM_ROUNDS {
+                    panic!(
+                        "fault-sim storm: barrier failed to quiesce after {rounds} rounds; \
+                         replay with --sim-seed {}",
+                        fs.plan.sim_seed
+                    );
+                }
             }
         }
     }

@@ -74,6 +74,15 @@ impl CostModel {
         (self.dist_elem_ns * dim as f64).ceil() as u64
     }
 
+    /// Virtual cost of holding a frame on the wire (or stalling a rank)
+    /// for `epochs` synchronization epochs under fault injection. An epoch
+    /// corresponds to one barrier round, so the hop latency is the natural
+    /// unit; `free_network` keeps fault runs free, preserving ablations.
+    #[inline]
+    pub fn delay_cost_ns(&self, epochs: u32) -> u64 {
+        (self.barrier_hop_ns * epochs as f64).ceil() as u64
+    }
+
     fn link_cost_ns(&self, msgs: u64, bytes: u64) -> f64 {
         self.alpha_ns * msgs as f64 + bytes as f64 / self.bytes_per_ns
     }
@@ -185,6 +194,7 @@ impl VirtualClock {
         let mut max_compute = 0.0f64;
         let mut max_send = 0.0f64;
         let mut max_recv = 0.0f64;
+        let mut max_fault = 0.0f64;
         let mut phase_msgs = 0u64;
         let mut phase_bytes = 0u64;
         for p in stats.phase.iter() {
@@ -201,11 +211,15 @@ impl VirtualClock {
             max_compute = max_compute.max(compute + send); // send charged with compute below
             max_send = max_send.max(send);
             max_recv = max_recv.max(recv);
+            max_fault = max_fault.max(p.fault_ns.load(Ordering::Relaxed) as f64);
         }
         // Attribution: the makespan adds max(compute + send) + max(recv) +
-        // barrier. Count the send share inside the comm bucket.
+        // barrier. Count the send share inside the comm bucket, along with
+        // any injected-fault time (frame delays, stalls) — the slowest
+        // straggler's lost time extends the phase, as it would on a real
+        // network.
         let compute_part = (max_compute - max_send).max(0.0);
-        let comm_part = max_send + max_recv;
+        let comm_part = max_send + max_recv + max_fault;
         let barrier_part = cost.barrier_cost_ns(n_ranks);
         self.compute_ns
             .fetch_add(compute_part.ceil() as u64, Ordering::SeqCst);

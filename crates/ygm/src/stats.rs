@@ -45,6 +45,10 @@ pub(crate) struct PhaseCounters {
     pub bytes_out: AtomicU64,
     pub msgs_in: AtomicU64,
     pub bytes_in: AtomicU64,
+    /// Virtual nanoseconds this rank lost to injected faults (frame delays,
+    /// stalls) since the last barrier. Folded into the phase makespan's
+    /// communication share so sim-time stays meaningful under fault runs.
+    pub fault_ns: AtomicU64,
 }
 
 impl PhaseCounters {
@@ -54,6 +58,7 @@ impl PhaseCounters {
         self.bytes_out.store(0, Ordering::Relaxed);
         self.msgs_in.store(0, Ordering::Relaxed);
         self.bytes_in.store(0, Ordering::Relaxed);
+        self.fault_ns.store(0, Ordering::Relaxed);
     }
 }
 
@@ -133,6 +138,30 @@ impl Stats {
     #[inline]
     pub(crate) fn charge_compute(&self, rank: usize, ns: u64) {
         self.phase[rank].compute_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record transport-level traffic (a retransmitted or duplicated frame)
+    /// in the phase counters only: it consumes link capacity and so must
+    /// charge virtual time, but it is not application traffic and must not
+    /// distort the per-tag message statistics.
+    #[inline]
+    pub(crate) fn record_transport(&self, src: usize, dest: usize, bytes: usize) {
+        if src == dest {
+            return;
+        }
+        let ps = &self.phase[src];
+        ps.msgs_out.fetch_add(1, Ordering::Relaxed);
+        ps.bytes_out.fetch_add(bytes as u64, Ordering::Relaxed);
+        let pd = &self.phase[dest];
+        pd.msgs_in.fetch_add(1, Ordering::Relaxed);
+        pd.bytes_in.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Charge `ns` nanoseconds of injected-fault time (delay, stall) to
+    /// `rank`'s current phase.
+    #[inline]
+    pub(crate) fn charge_fault(&self, rank: usize, ns: u64) {
+        self.phase[rank].fault_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
     pub(crate) fn reset_phase(&self) {

@@ -6,14 +6,16 @@
 //! final implicit barrier (so no message is ever dropped), and returns the
 //! per-rank results together with timing and traffic summaries.
 
-use crate::comm::Comm;
+use crate::comm::{Comm, Packet};
 use crate::cost::{ClockBreakdown, CostModel, PhaseRecord, VirtualClock};
+use crate::fault::{FaultCounters, FaultPlan, FaultReport};
 use crate::stats::{Stats, TagStats};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use obs::Tracer;
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::AtomicU64;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -36,6 +38,12 @@ struct BarrierState {
     poisoned: bool,
 }
 
+/// Panic payload used when a rank aborts *because a peer panicked* (the
+/// poisoned-barrier path). Distinguishable from application panics so
+/// [`World::run`] can re-raise the peer's original payload instead of this
+/// secondary one.
+pub(crate) struct WorldAborted;
+
 impl PoisonBarrier {
     fn new(n: usize) -> Self {
         PoisonBarrier {
@@ -55,7 +63,7 @@ impl PoisonBarrier {
     pub(crate) fn wait(&self) -> bool {
         let mut st = self.state.lock();
         if st.poisoned {
-            panic!("ygm world aborted: another rank panicked");
+            std::panic::panic_any(WorldAborted);
         }
         st.count += 1;
         if st.count == self.n {
@@ -69,7 +77,7 @@ impl PoisonBarrier {
             self.cvar.wait(&mut st);
         }
         if st.poisoned {
-            panic!("ygm world aborted: another rank panicked");
+            std::panic::panic_any(WorldAborted);
         }
         false
     }
@@ -81,10 +89,77 @@ impl PoisonBarrier {
     }
 }
 
+/// Receive-side reliable-delivery state for one directed edge
+/// `(src -> dest)`. Mutated only by the destination rank; senders read the
+/// watermark and set to learn which frames are acknowledged (shared-memory
+/// acks — the simulation's stand-in for ack messages on the wire).
+pub(crate) struct EdgeRecvState {
+    /// All frame sequence numbers `< watermark` have been delivered.
+    pub(crate) watermark: AtomicU64,
+    /// Delivered frames at or above the watermark (out-of-order arrivals).
+    pub(crate) out_of_order: Mutex<BTreeSet<u64>>,
+}
+
+impl EdgeRecvState {
+    fn new() -> Self {
+        EdgeRecvState {
+            watermark: AtomicU64::new(0),
+            out_of_order: Mutex::new(BTreeSet::new()),
+        }
+    }
+
+    /// Has frame `seq` on this edge been delivered to a handler?
+    pub(crate) fn is_delivered(&self, seq: u64) -> bool {
+        seq < self.watermark.load(Ordering::Acquire) || self.out_of_order.lock().contains(&seq)
+    }
+
+    /// Record frame `seq` as delivered, advancing the contiguous watermark
+    /// past any out-of-order frames it now absorbs.
+    pub(crate) fn mark_delivered(&self, seq: u64) {
+        let mut ooo = self.out_of_order.lock();
+        let mut mark = self.watermark.load(Ordering::Acquire);
+        if seq != mark {
+            ooo.insert(seq);
+            return;
+        }
+        mark += 1;
+        while ooo.remove(&mark) {
+            mark += 1;
+        }
+        self.watermark.store(mark, Ordering::Release);
+    }
+}
+
+/// World-wide fault-injection state: the plan, the counters, and the
+/// shared-memory ack table (one [`EdgeRecvState`] per directed edge,
+/// indexed `dest * n_ranks + src`).
+pub(crate) struct FaultShared {
+    pub(crate) plan: FaultPlan,
+    pub(crate) counters: FaultCounters,
+    recv: Box<[EdgeRecvState]>,
+}
+
+impl FaultShared {
+    fn new(plan: FaultPlan, n_ranks: usize) -> Self {
+        FaultShared {
+            plan,
+            counters: FaultCounters::default(),
+            recv: (0..n_ranks * n_ranks)
+                .map(|_| EdgeRecvState::new())
+                .collect(),
+        }
+    }
+
+    /// Receive state for frames flowing `src -> dest`.
+    pub(crate) fn edge(&self, src: usize, dest: usize, n_ranks: usize) -> &EdgeRecvState {
+        &self.recv[dest * n_ranks + src]
+    }
+}
+
 pub(crate) struct Shared {
     pub n_ranks: usize,
     pub barrier: PoisonBarrier,
-    pub senders: Vec<Sender<Bytes>>,
+    pub senders: Vec<Sender<Packet>>,
     pub sent: AtomicU64,
     pub processed: AtomicU64,
     pub stats: Stats,
@@ -97,6 +172,9 @@ pub(crate) struct Shared {
     /// Optional span/metric collector; `None` keeps the hot path at a
     /// single branch per instrumentation site.
     pub tracer: Option<Arc<Tracer>>,
+    /// Fault-injection plan + reliable-delivery state; `None` runs the
+    /// original direct transport unchanged.
+    pub fault: Option<FaultShared>,
 }
 
 /// Configuration for a simulated multi-rank run.
@@ -106,6 +184,7 @@ pub struct World {
     flush_threshold: usize,
     cost: CostModel,
     tracer: Option<Arc<Tracer>>,
+    fault: Option<FaultPlan>,
 }
 
 /// The outcome of a [`World::run`].
@@ -126,6 +205,9 @@ pub struct WorldReport<T> {
     pub tags: Vec<(u16, String, TagStats)>,
     /// Sum over all tags.
     pub total: TagStats,
+    /// Injected-fault and reliable-delivery counters; `None` when the world
+    /// ran without a [`FaultPlan`].
+    pub faults: Option<FaultReport>,
 }
 
 impl World {
@@ -137,7 +219,17 @@ impl World {
             flush_threshold: DEFAULT_FLUSH_THRESHOLD,
             cost: CostModel::default(),
             tracer: None,
+            fault: None,
         }
+    }
+
+    /// Run this world under seeded fault injection (see [`crate::fault`]):
+    /// frames are dropped / duplicated / delayed per `plan`, and the
+    /// reliable-delivery layer (sequence numbers, acks, retransmission,
+    /// dedup) keeps every message exactly-once so barriers still terminate.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
     }
 
     /// Override the per-destination buffer flush threshold (bytes).
@@ -184,7 +276,7 @@ impl World {
         T: Send,
     {
         let n = self.n_ranks;
-        let (senders, receivers): (Vec<Sender<Bytes>>, Vec<Receiver<Bytes>>) =
+        let (senders, receivers): (Vec<Sender<Packet>>, Vec<Receiver<Packet>>) =
             (0..n).map(|_| unbounded()).unzip();
         let shared = Arc::new(Shared {
             n_ranks: n,
@@ -200,6 +292,7 @@ impl World {
             reduce_f64: Mutex::new(0.0),
             bcast: Mutex::new(None),
             tracer: self.tracer.clone(),
+            fault: self.fault.map(|plan| FaultShared::new(plan, n)),
         });
 
         let start = Instant::now();
@@ -231,11 +324,26 @@ impl World {
                     }
                 }));
             }
+            // Join *all* ranks before re-raising: the first rank in join
+            // order is often one that aborted secondarily via the poisoned
+            // barrier ([`WorldAborted`]); re-raise the peer's original
+            // panic payload so the caller sees the real failure, not
+            // "another rank panicked".
+            let mut original: Option<Box<dyn std::any::Any + Send>> = None;
+            let mut secondary: Option<Box<dyn std::any::Any + Send>> = None;
             for (rank, h) in handles.into_iter().enumerate() {
                 match h.join() {
                     Ok(v) => results[rank] = Some(v),
-                    Err(e) => std::panic::resume_unwind(e),
+                    Err(e) if e.downcast_ref::<WorldAborted>().is_some() => {
+                        secondary.get_or_insert(e);
+                    }
+                    Err(e) => {
+                        original.get_or_insert(e);
+                    }
                 }
+            }
+            if let Some(payload) = original.or(secondary) {
+                std::panic::resume_unwind(payload);
             }
         });
         let wall_secs = start.elapsed().as_secs_f64();
@@ -248,6 +356,7 @@ impl World {
             wall_secs,
             tags: shared.stats.nonzero_tags(),
             total: shared.stats.total(),
+            faults: shared.fault.as_ref().map(|f| f.counters.report(&f.plan)),
         }
     }
 }

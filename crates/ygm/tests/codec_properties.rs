@@ -1,0 +1,158 @@
+//! Property tests for `ygm::codec::Wire`: round-trips and exact
+//! `wire_size` accounting for every implementation, plus frame-level
+//! length accounting with the `FRAME_HEADER_BYTES` header the runtime
+//! prepends — including zero-length payloads (`()` messages) and the
+//! largest routable tag (`MAX_TAGS - 1`).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use proptest::prelude::*;
+use ygm::codec::{decode_from_bytes, encode_to_bytes};
+use ygm::{Wire, FRAME_HEADER_BYTES, MAX_TAGS};
+
+/// Encode, assert the byte count matches `wire_size` exactly, decode back.
+fn round_trip<T: Wire + PartialEq + std::fmt::Debug + Clone>(value: &T) {
+    let enc = encode_to_bytes(value);
+    assert_eq!(
+        enc.len(),
+        value.wire_size(),
+        "wire_size disagrees with encoded length for {value:?}"
+    );
+    let back: T = decode_from_bytes(enc);
+    assert_eq!(&back, value);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn primitives_round_trip(
+        a in any::<u8>(), b in any::<u16>(), c in any::<u32>(), d in any::<u64>(),
+        e in any::<i32>(), f in any::<i64>(), g in any::<bool>(), h in any::<u64>(),
+    ) {
+        round_trip(&a);
+        round_trip(&b);
+        round_trip(&c);
+        round_trip(&d);
+        round_trip(&e);
+        round_trip(&f);
+        round_trip(&g);
+        round_trip(&(h as usize));
+    }
+
+    /// Floats round-trip bit-exactly — including NaN payloads and signed
+    /// zeros, which `PartialEq` would conflate.
+    #[test]
+    fn floats_round_trip_bit_exactly(bits32 in any::<u32>(), bits64 in any::<u64>()) {
+        let x = f32::from_bits(bits32);
+        let enc = encode_to_bytes(&x);
+        prop_assert_eq!(enc.len(), x.wire_size());
+        let back: f32 = decode_from_bytes(enc);
+        prop_assert_eq!(back.to_bits(), bits32);
+
+        let y = f64::from_bits(bits64);
+        let enc = encode_to_bytes(&y);
+        prop_assert_eq!(enc.len(), y.wire_size());
+        let back: f64 = decode_from_bytes(enc);
+        prop_assert_eq!(back.to_bits(), bits64);
+    }
+
+    #[test]
+    fn collections_and_options_round_trip(
+        v in prop::collection::vec(any::<u32>(), 0..40),
+        nested in prop::collection::vec(prop::collection::vec(any::<u16>(), 0..8), 0..8),
+        o in prop::option::of(any::<u64>()),
+        oo in prop::option::of(prop::option::of(any::<u8>())),
+        t in (any::<u32>(), any::<bool>(), prop::collection::vec(any::<i64>(), 0..6)),
+    ) {
+        round_trip(&v);
+        round_trip(&nested);
+        round_trip(&o);
+        round_trip(&oo);
+        round_trip(&t);
+    }
+
+    /// Decoding consumes *exactly* the bytes encoding produced: two values
+    /// concatenated into one buffer decode back-to-back with nothing left.
+    #[test]
+    fn decode_consumes_exactly(
+        first in prop::collection::vec((any::<u32>(), any::<u64>()), 0..12),
+        second in prop::option::of(any::<i64>()),
+    ) {
+        let mut buf = BytesMut::new();
+        first.encode(&mut buf);
+        second.encode(&mut buf);
+        prop_assert_eq!(buf.len(), first.wire_size() + second.wire_size());
+        let mut bytes: Bytes = buf.freeze();
+        let a = <Vec<(u32, u64)> as Wire>::decode(&mut bytes);
+        prop_assert_eq!(bytes.len(), second.wire_size());
+        let b = <Option<i64> as Wire>::decode(&mut bytes);
+        prop_assert_eq!(a, first);
+        prop_assert_eq!(b, second);
+        prop_assert!(bytes.is_empty(), "decode left {} stray bytes", bytes.len());
+    }
+
+    /// Frame accounting mirrors `Comm::async_send`: each frame is a `u16`
+    /// tag + `u32` payload-length header followed by the payload, and a
+    /// whole stream of frames parses back losslessly. Covers zero-length
+    /// payloads (tag-only `()` messages) and the largest routable tag.
+    #[test]
+    fn frame_stream_accounting(
+        msgs in prop::collection::vec(
+            ((0u16..MAX_TAGS as u16), prop::collection::vec(any::<u32>(), 0..10)),
+            0..20,
+        ),
+    ) {
+        let mut buf = BytesMut::new();
+        let mut expect_len = 0usize;
+        for (tag, payload) in &msgs {
+            let sz = payload.wire_size();
+            buf.put_u16_le(*tag);
+            buf.put_u32_le(sz as u32);
+            payload.encode(&mut buf);
+            expect_len += FRAME_HEADER_BYTES + sz;
+        }
+        prop_assert_eq!(buf.len(), expect_len);
+
+        let mut bytes: Bytes = buf.freeze();
+        for (tag, payload) in &msgs {
+            let got_tag = bytes.get_u16_le();
+            let got_len = bytes.get_u32_le() as usize;
+            prop_assert_eq!(got_tag, *tag);
+            prop_assert_eq!(got_len, payload.wire_size());
+            let before = bytes.len();
+            let got = <Vec<u32> as Wire>::decode(&mut bytes);
+            prop_assert_eq!(before - bytes.len(), got_len);
+            prop_assert_eq!(&got, payload);
+        }
+        prop_assert!(bytes.is_empty());
+    }
+}
+
+#[test]
+fn unit_payload_is_zero_length_and_frames_to_header_only() {
+    round_trip(&());
+    assert_eq!(().wire_size(), 0);
+    let mut buf = BytesMut::new();
+    buf.put_u16_le((MAX_TAGS - 1) as u16);
+    buf.put_u32_le(0);
+    ().encode(&mut buf);
+    assert_eq!(buf.len(), FRAME_HEADER_BYTES);
+    let mut bytes = buf.freeze();
+    assert_eq!(bytes.get_u16_le(), (MAX_TAGS - 1) as u16);
+    assert_eq!(bytes.get_u32_le(), 0);
+    assert!(bytes.is_empty());
+}
+
+#[test]
+fn max_tag_value_survives_the_header() {
+    // The header stores the tag as a little-endian u16; MAX_TAGS - 1 is the
+    // largest tag the runtime will route. Also exercise u16::MAX to prove
+    // the header field itself cannot truncate.
+    for tag in [(MAX_TAGS - 1) as u16, u16::MAX] {
+        let mut buf = BytesMut::new();
+        buf.put_u16_le(tag);
+        buf.put_u32_le(0);
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.get_u16_le(), tag);
+    }
+}

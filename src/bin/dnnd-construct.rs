@@ -15,10 +15,15 @@
 //! observability outputs `--trace-out trace.json` (Chrome-trace /
 //! Perfetto span timeline, one track per rank) and `--report-out
 //! report.json` (unified machine-readable run report).
+//!
+//! Fault injection: `--fault-profile clean|lossy|stormy` runs the build
+//! under the simulated-transport fault layer, and `--sim-seed <u64>`
+//! (default 0) pins the deterministic fault schedule — pass the seed a
+//! failing `simtest` sweep printed to replay that exact failure here.
 
 use bench::Args;
 use dnnd::{build, CommOpts, DnndConfig};
-use dnnd_repro::cli::{die, load_f32, load_u8, read_meta, Elem};
+use dnnd_repro::cli::{die, load_f32, load_u8, parse_fault_plan, read_meta, Elem};
 use metall::Store;
 use std::sync::Arc;
 use ygm::World;
@@ -66,9 +71,20 @@ fn main() {
 
     let mut store = Store::open_or_create(&store_dir)
         .unwrap_or_else(|e| die(&format!("cannot open store {store_dir}: {e}")));
+    let fault_profile: String = args.get("fault-profile", String::new());
+    let sim_seed: u64 = args.get("sim-seed", 0);
+    let plan = parse_fault_plan(&fault_profile, sim_seed);
+
     let mut world = World::new(ranks);
     if let Some(t) = &tracer {
         world = world.tracer(Arc::clone(t));
+    }
+    if let Some(p) = plan {
+        println!(
+            "fault injection: profile {} with --sim-seed {sim_seed}",
+            p.profile.name()
+        );
+        world = world.fault_plan(p);
     }
 
     let report = match elem {
@@ -144,6 +160,22 @@ fn main() {
         store.len(),
         store.total_bytes()
     );
+    if let Some(f) = &report.faults {
+        println!(
+            "faults ({} / sim-seed {}): {} dropped, {} duplicated, {} delayed, {} stalls, \
+             {} retransmits, {} dedup discards (replay: --fault-profile {} --sim-seed {})",
+            f.profile,
+            f.sim_seed,
+            f.dropped,
+            f.duplicated,
+            f.delayed,
+            f.stalls,
+            f.retransmits,
+            f.dedup_discards,
+            f.profile,
+            f.sim_seed
+        );
+    }
 
     if let Some(t) = &tracer {
         if !trace_out.is_empty() {
@@ -161,6 +193,10 @@ fn main() {
                 .param("metric", &metric_name)
                 .param("seed", seed)
                 .param("elem", elem.name());
+            if !fault_profile.is_empty() && fault_profile != "none" {
+                rr.param("fault_profile", &fault_profile)
+                    .param("sim_seed", sim_seed);
+            }
             dnnd::obs_report::attach_histograms(&mut rr, Some(t));
             dnnd::obs_report::write_report(&report_out, &rr)
                 .unwrap_or_else(|e| die(&format!("cannot write {report_out}: {e}")));

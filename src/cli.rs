@@ -140,6 +140,23 @@ pub fn read_meta(store: &Store) -> (usize, Elem, String) {
     (k as usize, elem, metric)
 }
 
+/// Resolve the `--fault-profile` / `--sim-seed` pair into a fault plan.
+/// An empty or `"none"` profile means fault-free; unknown names abort with
+/// the list of valid profiles. Used by `dnnd-construct` both to test runs
+/// under adversarial transport and to replay a failing `simtest` seed.
+pub fn parse_fault_plan(profile: &str, sim_seed: u64) -> Option<ygm::FaultPlan> {
+    if profile.is_empty() || profile == "none" {
+        return None;
+    }
+    let p = ygm::FaultProfile::by_name(profile).unwrap_or_else(|| {
+        die(&format!(
+            "unknown fault profile {profile:?} (expected one of {:?} or \"none\")",
+            ygm::FaultProfile::NAMES
+        ))
+    });
+    Some(ygm::FaultPlan::new(p, sim_seed))
+}
+
 /// Hold out `n_queries` random-suffix points when the user asks the CLI to
 /// self-evaluate (no query file).
 pub fn self_split<P: dataset::Point>(
@@ -171,6 +188,15 @@ mod tests {
             // Display names differ in case/abbreviation but must resolve.
             assert!(!resolved.is_empty(), "{name} resolved to nothing");
         }
+    }
+
+    #[test]
+    fn fault_plan_parsing() {
+        assert!(parse_fault_plan("", 7).is_none());
+        assert!(parse_fault_plan("none", 7).is_none());
+        let plan = parse_fault_plan("stormy", 7).expect("stormy is a profile");
+        assert_eq!(plan.sim_seed, 7);
+        assert_eq!(plan.profile.name(), "stormy");
     }
 
     #[test]
