@@ -1,0 +1,443 @@
+//! `dnnd-report-diff` — the RunReport regression gate.
+//!
+//! Compares a candidate report against a baseline metric-by-metric with
+//! per-metric relative thresholds, prints an aligned delta table, and
+//! exits nonzero when any gated metric regressed:
+//!
+//! ```text
+//! dnnd-report-diff baseline.json candidate.json [--threshold 0.05] [--out results/]
+//! ```
+//!
+//! Exit codes: `0` within thresholds, `1` regression detected, `2` usage
+//! or I/O error. Virtual-clock metrics are gated (they are deterministic
+//! under `--sim-seed`); `wall_secs` is reported but never gated because
+//! real time depends on the host. `--threshold` overrides every gated
+//! metric's threshold at once (tightening or loosening the whole gate).
+
+use bench::{Args, Table};
+use obs::RunReport;
+use std::process::ExitCode;
+
+/// How a metric's movement maps to "regressed".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Growth beyond the threshold regresses (times, message counts).
+    HigherIsWorse,
+    /// Shrinkage beyond the threshold regresses (recall).
+    LowerIsWorse,
+    /// Reported for context, never gated (wall clock, throughput).
+    Info,
+}
+
+#[derive(Debug, Clone)]
+struct MetricRow {
+    name: String,
+    base: f64,
+    cand: f64,
+    /// Relative threshold (0.05 = 5% movement allowed).
+    threshold: f64,
+    direction: Direction,
+}
+
+impl MetricRow {
+    /// Signed relative delta `(cand - base) / base`; `None` when the
+    /// baseline is zero and the candidate moved (infinite relative change).
+    fn rel_delta(&self) -> Option<f64> {
+        if self.base == 0.0 {
+            if self.cand == 0.0 {
+                Some(0.0)
+            } else {
+                None
+            }
+        } else {
+            Some((self.cand - self.base) / self.base)
+        }
+    }
+
+    fn regressed(&self) -> bool {
+        let bad = match self.rel_delta() {
+            // 0 -> nonzero: infinite relative growth.
+            None => self.cand > self.base,
+            Some(d) => match self.direction {
+                Direction::HigherIsWorse => d > self.threshold,
+                Direction::LowerIsWorse => -d > self.threshold,
+                Direction::Info => false,
+            },
+        };
+        bad && self.direction != Direction::Info
+    }
+}
+
+/// Default per-metric relative thresholds. Counters of a deterministic
+/// simulation get tight gates; virtual times a little slack (cost-model
+/// tweaks shift them slightly); recall its own quality gate.
+fn threshold_for(name: &str) -> (f64, Direction) {
+    use Direction::*;
+    match name {
+        "wall_secs" => (0.0, Info),
+        "recall" => (0.02, LowerIsWorse),
+        "sim_secs" | "compute_secs" | "comm_secs" | "barrier_secs" => (0.10, HigherIsWorse),
+        "iterations" => (0.0, HigherIsWorse),
+        n if n.starts_with("faults.") => (0.0, HigherIsWorse),
+        n if n.starts_with("extra.") => (0.0, Info),
+        _ => (0.05, HigherIsWorse),
+    }
+}
+
+fn push(rows: &mut Vec<MetricRow>, name: &str, base: f64, cand: f64, thr: Option<f64>) {
+    let (default_thr, direction) = threshold_for(name);
+    rows.push(MetricRow {
+        name: name.to_string(),
+        base,
+        cand,
+        threshold: match direction {
+            Direction::Info => default_thr,
+            _ => thr.unwrap_or(default_thr),
+        },
+        direction,
+    });
+}
+
+/// Flatten the comparable metrics of two reports into rows. `thr`
+/// overrides every gated metric's threshold.
+fn collect(base: &RunReport, cand: &RunReport, thr: Option<f64>) -> Vec<MetricRow> {
+    let mut rows = Vec::new();
+    push(
+        &mut rows,
+        "iterations",
+        base.iterations as f64,
+        cand.iterations as f64,
+        thr,
+    );
+    push(
+        &mut rows,
+        "distance_evals",
+        base.distance_evals as f64,
+        cand.distance_evals as f64,
+        thr,
+    );
+    push(&mut rows, "sim_secs", base.sim_secs, cand.sim_secs, thr);
+    push(
+        &mut rows,
+        "compute_secs",
+        base.compute_secs,
+        cand.compute_secs,
+        thr,
+    );
+    push(&mut rows, "comm_secs", base.comm_secs, cand.comm_secs, thr);
+    push(
+        &mut rows,
+        "barrier_secs",
+        base.barrier_secs,
+        cand.barrier_secs,
+        thr,
+    );
+    push(
+        &mut rows,
+        "total_count",
+        base.total_count as f64,
+        cand.total_count as f64,
+        thr,
+    );
+    push(
+        &mut rows,
+        "total_bytes",
+        base.total_bytes as f64,
+        cand.total_bytes as f64,
+        thr,
+    );
+    push(
+        &mut rows,
+        "total_remote_count",
+        base.total_remote_count as f64,
+        cand.total_remote_count as f64,
+        thr,
+    );
+    push(
+        &mut rows,
+        "total_remote_bytes",
+        base.total_remote_bytes as f64,
+        cand.total_remote_bytes as f64,
+        thr,
+    );
+    if base.recall.is_some() || cand.recall.is_some() {
+        push(
+            &mut rows,
+            "recall",
+            base.recall.unwrap_or(0.0),
+            cand.recall.unwrap_or(0.0),
+            thr,
+        );
+    }
+    push(&mut rows, "wall_secs", base.wall_secs, cand.wall_secs, thr);
+
+    // Fault/reliable-delivery counters: present when either run carried a
+    // fault plan; a fault-free side contributes zeros, so new fault
+    // activity in the candidate gates as growth from zero.
+    if base.faults.is_some() || cand.faults.is_some() {
+        let d = obs::FaultSection::default();
+        let b = base.faults.as_ref().unwrap_or(&d);
+        let c = cand.faults.as_ref().unwrap_or(&d);
+        for (key, bv, cv) in [
+            ("dropped", b.dropped, c.dropped),
+            ("duplicated", b.duplicated, c.duplicated),
+            ("delayed", b.delayed, c.delayed),
+            ("stalls", b.stalls, c.stalls),
+            ("jittered_flushes", b.jittered_flushes, c.jittered_flushes),
+            ("retransmits", b.retransmits, c.retransmits),
+            ("dedup_discards", b.dedup_discards, c.dedup_discards),
+            (
+                "forced_deliveries",
+                b.forced_deliveries,
+                c.forced_deliveries,
+            ),
+        ] {
+            push(
+                &mut rows,
+                &format!("faults.{key}"),
+                bv as f64,
+                cv as f64,
+                thr,
+            );
+        }
+    }
+
+    // Free-form metrics appearing in both reports (informational: the
+    // schema cannot know which way each one points).
+    for (k, bv) in &base.extra {
+        if let Some((_, cv)) = cand.extra.iter().find(|(ck, _)| ck == k) {
+            push(&mut rows, &format!("extra.{k}"), *bv, *cv, thr);
+        }
+    }
+    rows
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn fmt_delta(r: &MetricRow) -> String {
+    match r.rel_delta() {
+        None => "+inf%".into(),
+        Some(d) => format!("{:+.2}%", d * 100.0),
+    }
+}
+
+fn status(r: &MetricRow) -> &'static str {
+    if r.direction == Direction::Info {
+        "info"
+    } else if r.regressed() {
+        "REGRESSION"
+    } else {
+        "ok"
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let positional: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .take(2)
+        .collect();
+    let args = Args::parse();
+    let [base_path, cand_path] = match positional.as_slice() {
+        [b, c] => [b.clone(), c.clone()],
+        _ => {
+            return Err("usage: dnnd-report-diff <baseline.json> <candidate.json> \
+                 [--threshold <rel>] [--out <dir>]"
+                .into())
+        }
+    };
+    let thr: Option<f64> = args.opt("threshold");
+    if let Some(t) = thr {
+        if !(t.is_finite() && t >= 0.0) {
+            return Err(format!("--threshold must be a nonnegative number, got {t}"));
+        }
+    }
+
+    let load = |path: &str| -> Result<RunReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        RunReport::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+    };
+    let base = load(&base_path)?;
+    let cand = load(&cand_path)?;
+
+    if base.n_ranks != cand.n_ranks {
+        eprintln!(
+            "note: rank counts differ (baseline {} vs candidate {}); \
+             traffic metrics are not directly comparable",
+            base.n_ranks, cand.n_ranks
+        );
+    }
+
+    let rows = collect(&base, &cand, thr);
+    let mut table = Table::new(
+        &format!("report diff: {base_path} -> {cand_path}"),
+        &[
+            "metric",
+            "baseline",
+            "candidate",
+            "delta",
+            "threshold",
+            "status",
+        ],
+    );
+    for r in &rows {
+        let (b, c, d) = (fmt_value(r.base), fmt_value(r.cand), fmt_delta(r));
+        let t = if r.direction == Direction::Info {
+            "-".to_string()
+        } else {
+            format!("{:.0}%", r.threshold * 100.0)
+        };
+        table.row(&[&r.name, &b, &c, &d, &t, &status(r)]);
+    }
+    table.print();
+    if args.opt::<String>("out").is_some() {
+        let path = table
+            .write_csv(&args.out_dir(), "report_diff")
+            .map_err(|e| e.to_string())?;
+        println!("wrote {}", path.display());
+    }
+
+    let regressed: Vec<&MetricRow> = rows.iter().filter(|r| r.regressed()).collect();
+    if regressed.is_empty() {
+        println!("\nPASS: all gated metrics within thresholds");
+        Ok(true)
+    } else {
+        println!("\nFAIL: {} metric(s) regressed:", regressed.len());
+        for r in &regressed {
+            println!(
+                "  {}: {} -> {} ({}, threshold {:.0}%)",
+                r.name,
+                fmt_value(r.base),
+                fmt_value(r.cand),
+                fmt_delta(r),
+                r.threshold * 100.0
+            );
+        }
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(sim_secs: f64, evals: u64) -> RunReport {
+        let mut r = RunReport::new("test");
+        r.n_ranks = 2;
+        r.iterations = 5;
+        r.distance_evals = evals;
+        r.sim_secs = sim_secs;
+        r.compute_secs = sim_secs * 0.7;
+        r.comm_secs = sim_secs * 0.2;
+        r.barrier_secs = sim_secs * 0.1;
+        r.total_count = 1_000;
+        r.total_bytes = 64_000;
+        r.total_remote_count = 750;
+        r.total_remote_bytes = 48_000;
+        r
+    }
+
+    fn row_named<'a>(rows: &'a [MetricRow], name: &str) -> &'a MetricRow {
+        rows.iter().find(|r| r.name == name).unwrap()
+    }
+
+    #[test]
+    fn identical_reports_pass_every_gate() {
+        let r = report(1.5, 100_000);
+        let rows = collect(&r, &r, None);
+        assert!(rows.iter().all(|m| !m.regressed()));
+        assert!(rows.iter().any(|m| m.name == "wall_secs"));
+    }
+
+    #[test]
+    fn slowdown_beyond_threshold_regresses() {
+        let base = report(1.0, 100_000);
+        let cand = report(1.5, 100_000); // +50% sim time vs 10% gate
+        let rows = collect(&base, &cand, None);
+        assert!(row_named(&rows, "sim_secs").regressed());
+        assert!(!row_named(&rows, "distance_evals").regressed());
+    }
+
+    #[test]
+    fn improvement_never_regresses_higher_is_worse() {
+        let base = report(2.0, 100_000);
+        let cand = report(1.0, 50_000);
+        let rows = collect(&base, &cand, None);
+        assert!(rows.iter().all(|m| !m.regressed()));
+    }
+
+    #[test]
+    fn recall_gates_downward_only() {
+        let mut base = report(1.0, 1);
+        let mut cand = report(1.0, 1);
+        base.recall = Some(0.95);
+        cand.recall = Some(0.90); // -5.3% vs 2% gate
+        let rows = collect(&base, &cand, None);
+        assert!(row_named(&rows, "recall").regressed());
+        // Upward recall is fine.
+        let rows = collect(&cand, &base, None);
+        assert!(!row_named(&rows, "recall").regressed());
+    }
+
+    #[test]
+    fn growth_from_zero_is_a_regression() {
+        let mut base = report(1.0, 1);
+        let mut cand = report(1.0, 1);
+        base.faults = Some(obs::FaultSection::default());
+        cand.faults = Some(obs::FaultSection {
+            retransmits: 7,
+            ..Default::default()
+        });
+        let rows = collect(&base, &cand, None);
+        let r = row_named(&rows, "faults.retransmits");
+        assert_eq!(r.rel_delta(), None);
+        assert!(r.regressed());
+    }
+
+    #[test]
+    fn fault_free_pair_has_no_fault_rows() {
+        let r = report(1.0, 1);
+        let rows = collect(&r, &r, None);
+        assert!(!rows.iter().any(|m| m.name.starts_with("faults.")));
+    }
+
+    #[test]
+    fn threshold_override_loosens_the_gate() {
+        let base = report(1.0, 100_000);
+        let cand = report(1.5, 100_000);
+        let rows = collect(&base, &cand, Some(0.6));
+        assert!(rows.iter().all(|m| !m.regressed()));
+        // ... and tightens it.
+        let cand = report(1.01, 100_000);
+        let rows = collect(&base, &cand, Some(0.001));
+        assert!(row_named(&rows, "sim_secs").regressed());
+    }
+
+    #[test]
+    fn wall_clock_is_informational_even_when_wild() {
+        let mut base = report(1.0, 1);
+        let mut cand = report(1.0, 1);
+        base.wall_secs = 0.1;
+        cand.wall_secs = 99.0;
+        let rows = collect(&base, &cand, None);
+        assert!(!row_named(&rows, "wall_secs").regressed());
+        assert_eq!(status(row_named(&rows, "wall_secs")), "info");
+    }
+}

@@ -37,7 +37,7 @@ use dataset::metric::L2;
 use dataset::recall::mean_recall;
 use dataset::set::{PointId, PointSet};
 use dataset::synth::{gaussian_mixture, MixtureParams};
-use dnnd::obs_report::{report_from_build, write_report};
+use dnnd::obs_report::{report_from_build, write_dashboard, write_report};
 use dnnd::{build, CommOpts, DnndConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -220,12 +220,20 @@ impl Sweep {
                     .unwrap_or_else(|| "PASS".into()),
             ),
         ];
-        let path = self.out_dir.join(format!(
-            "simtest-{}-{}-{}-seed{}.json",
+        let stem = format!(
+            "simtest-{}-{}-{}-seed{}",
             trial.preset, trial.protocol, trial.profile, trial.sim_seed
-        ));
+        );
+        let path = self.out_dir.join(format!("{stem}.json"));
         if let Err(e) = write_report(&path, &run) {
             eprintln!("warning: could not write {}: {e}", path.display());
+        }
+        // A dashboard next to each report: failing seeds get a one-file
+        // visual of the run (timeline, traffic, fault counters) in CI
+        // artifacts, no replay needed for a first look.
+        let dash = self.out_dir.join(format!("{stem}.html"));
+        if let Err(e) = write_dashboard(&dash, &run) {
+            eprintln!("warning: could not write {}: {e}", dash.display());
         }
     }
 }

@@ -112,6 +112,7 @@ impl<P: Point, M: Metric<P>> DistIndex<P, M> {
                 wall_secs: 0.0,
                 tags: Vec::new(),
                 total: ygm::TagStats::default(),
+                matrix: ygm::TrafficMatrix::default(),
                 faults: None,
             },
             k,

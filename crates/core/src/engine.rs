@@ -32,7 +32,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
-use ygm::{ClockBreakdown, Comm, PhaseRecord, TagStats, World};
+use ygm::{ClockBreakdown, Comm, PhaseRecord, TagStats, TrafficMatrix, World};
 
 /// Everything `build` reports besides the graph itself.
 #[derive(Debug, Clone)]
@@ -63,6 +63,8 @@ pub struct BuildReport {
     pub tags: Vec<(u16, String, TagStats)>,
     /// Totals over all tags.
     pub total: TagStats,
+    /// Rank×rank×tag traffic matrix (diagonal = rank-local sends).
+    pub matrix: TrafficMatrix,
     /// Injected-fault / reliable-delivery counters when the world ran under
     /// a [`ygm::FaultPlan`]; `None` on fault-free runs.
     pub faults: Option<ygm::FaultReport>,
@@ -182,6 +184,7 @@ where
             wall_secs: report.wall_secs,
             tags: report.tags,
             total: report.total,
+            matrix: report.matrix,
             faults: report.faults,
         },
     }
@@ -435,6 +438,15 @@ where
         iterations = iter + 1;
         updates_per_iter.push(c_global);
         comm.trace_instant("iter_updates", c_global);
+        // Per-iteration telemetry gauges: the surviving-update rate and the
+        // cumulative distance-eval count per rank, plus the global
+        // termination counter on rank 0 (it is identical on every rank, so
+        // one track suffices).
+        comm.gauge("heap_updates", c_local as f64);
+        comm.gauge("dist_evals", st.borrow().dist_evals as f64);
+        if comm.rank() == 0 {
+            comm.gauge("termination_c", c_global as f64);
+        }
         comm.trace_end("iteration");
         if c_global < threshold {
             break;

@@ -8,11 +8,14 @@
 //! so reports stay structurally identical across producers.
 
 use crate::engine::BuildReport;
-use obs::{ConvergencePoint, FaultSection, PhaseReport, RunReport, TagReport, Tracer};
+use obs::{
+    ConvergencePoint, FaultSection, MatrixSection, MatrixTagReport, PhaseReport, RunReport,
+    TagReport, Tracer,
+};
 use std::fs;
 use std::io;
 use std::path::Path;
-use ygm::{ClockBreakdown, FaultReport, PhaseRecord, TagStats, WorldReport};
+use ygm::{ClockBreakdown, FaultReport, PhaseRecord, TagStats, TrafficMatrix, WorldReport};
 
 fn fill_tags(report: &mut RunReport, tags: &[(u16, String, TagStats)], total: &TagStats) {
     report.tags = tags
@@ -30,6 +33,22 @@ fn fill_tags(report: &mut RunReport, tags: &[(u16, String, TagStats)], total: &T
     report.total_bytes = total.bytes;
     report.total_remote_count = total.remote_count;
     report.total_remote_bytes = total.remote_bytes;
+}
+
+fn fill_matrix(report: &mut RunReport, m: &TrafficMatrix) {
+    report.matrix = Some(MatrixSection {
+        n_ranks: m.n_ranks as u64,
+        tags: m
+            .tags
+            .iter()
+            .map(|t| MatrixTagReport {
+                tag: t.tag as u64,
+                name: t.name.clone(),
+                counts: t.counts.clone(),
+                bytes: t.bytes.clone(),
+            })
+            .collect(),
+    });
 }
 
 fn fill_phases(report: &mut RunReport, phases: &[PhaseRecord]) {
@@ -78,6 +97,7 @@ pub fn report_from_build(binary: &str, r: &BuildReport) -> RunReport {
     report.wall_secs = r.wall_secs;
     fill_breakdown(&mut report, &r.breakdown);
     fill_tags(&mut report, &r.tags, &r.total);
+    fill_matrix(&mut report, &r.matrix);
     fill_phases(&mut report, &r.phases);
     fill_faults(&mut report, r.faults.as_ref());
     report.convergence = r
@@ -100,6 +120,7 @@ pub fn report_from_world<T>(binary: &str, n_ranks: usize, r: &WorldReport<T>) ->
     report.wall_secs = r.wall_secs;
     fill_breakdown(&mut report, &r.breakdown);
     fill_tags(&mut report, &r.tags, &r.total);
+    fill_matrix(&mut report, &r.matrix);
     fill_phases(&mut report, &r.phases);
     fill_faults(&mut report, r.faults.as_ref());
     report
@@ -110,6 +131,19 @@ pub fn attach_histograms(report: &mut RunReport, tracer: Option<&Tracer>) {
     if let Some(t) = tracer {
         report.add_histograms(&t.hist_snapshots());
     }
+}
+
+/// Fold the tracer's virtual-clock time series into `report` (no-op for
+/// `None`).
+pub fn attach_series(report: &mut RunReport, tracer: Option<&Tracer>) {
+    if let Some(t) = tracer {
+        report.series = t.series().snapshot();
+    }
+}
+
+/// Write the self-contained HTML dashboard for `report` to `path`.
+pub fn write_dashboard(path: impl AsRef<Path>, report: &RunReport) -> io::Result<()> {
+    fs::write(path, obs::dashboard::dashboard_html(report))
 }
 
 /// Write the Chrome-trace JSON for `tracer` to `path`.
@@ -171,6 +205,15 @@ mod tests {
             wall_secs: 0.5,
             tags,
             total,
+            matrix: TrafficMatrix {
+                n_ranks: 2,
+                tags: vec![ygm::TagMatrix {
+                    tag: 14,
+                    name: "tag14".into(),
+                    counts: vec![3, 2, 1, 4],
+                    bytes: vec![192, 128, 64, 256],
+                }],
+            },
             faults: Some(FaultReport {
                 sim_seed: 99,
                 profile: "lossy".into(),
@@ -191,6 +234,10 @@ mod tests {
         assert_eq!(r.convergence.len(), 3);
         assert_eq!(r.convergence[2].updates, 2);
         assert_eq!(r.phases[0].msgs, 7);
+        let mx = r.matrix.as_ref().unwrap();
+        assert_eq!(mx.n_ranks, 2);
+        assert_eq!(mx.tags[0].counts, vec![3, 2, 1, 4]);
+        assert_eq!(mx.total_bytes(), vec![192, 128, 64, 256]);
         // Round-trips through JSON untouched.
         let back = RunReport::parse(&r.to_json_string()).unwrap();
         assert_eq!(back, r);

@@ -39,6 +39,9 @@ struct Entry {
 pub struct Store {
     root: PathBuf,
     index: BTreeMap<String, Entry>,
+    /// Largest total committed payload observed over this handle's
+    /// lifetime — the allocation high-water mark telemetry reports.
+    high_water: u64,
 }
 
 fn valid_name(name: &str) -> bool {
@@ -67,6 +70,7 @@ impl Store {
         let store = Store {
             root,
             index: BTreeMap::new(),
+            high_water: 0,
         };
         store.commit_manifest()?;
         Ok(store)
@@ -107,7 +111,12 @@ impl Store {
             let name = parts.next().ok_or_else(parse)?.to_owned();
             index.insert(name, Entry { gen, len, checksum });
         }
-        let store = Store { root, index };
+        let mut store = Store {
+            root,
+            index,
+            high_water: 0,
+        };
+        store.high_water = store.total_bytes();
         for (name, entry) in &store.index {
             if !store.blob_path(name, entry.gen).exists() {
                 return Err(StoreError::Corrupt(format!("missing blob for {name}")));
@@ -181,6 +190,7 @@ impl Store {
             },
         );
         self.commit_manifest()?;
+        self.high_water = self.high_water.max(self.total_bytes());
         if let Some(old) = prev {
             // Best-effort cleanup after the commit point; a leftover blob of
             // a dead generation is harmless.
@@ -247,6 +257,13 @@ impl Store {
     /// Total committed payload bytes.
     pub fn total_bytes(&self) -> u64 {
         self.index.values().map(|e| e.len).sum()
+    }
+
+    /// Largest [`total_bytes`](Store::total_bytes) observed over this
+    /// handle's lifetime (seeded with the committed size on `open`).
+    /// Removals lower `total_bytes` but never this.
+    pub fn high_water_bytes(&self) -> u64 {
+        self.high_water
     }
 
     /// Copy the committed state of this store to a new directory — the
@@ -419,6 +436,29 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s.total_bytes(), 42);
         assert_eq!(s.names(), vec!["one".to_string(), "two".to_string()]);
+        Store::destroy(&dir).unwrap();
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current() {
+        let dir = tmpdir("highwater");
+        let mut s = Store::create(&dir).unwrap();
+        assert_eq!(s.high_water_bytes(), 0);
+        s.put_bytes("a", &[0; 100]).unwrap();
+        s.put_bytes("b", &[0; 50]).unwrap();
+        assert_eq!(s.high_water_bytes(), 150);
+        // Shrinking the store does not lower the mark.
+        s.remove("a").unwrap();
+        assert_eq!(s.total_bytes(), 50);
+        assert_eq!(s.high_water_bytes(), 150);
+        // Overwriting with a smaller payload keeps the peak too.
+        s.put_bytes("b", &[0; 10]).unwrap();
+        assert_eq!(s.high_water_bytes(), 150);
+        drop(s);
+        // A fresh handle is seeded with the committed size, not the dead
+        // handle's peak (the mark is per-handle, like an allocator's).
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.high_water_bytes(), 10);
         Store::destroy(&dir).unwrap();
     }
 

@@ -122,6 +122,39 @@ pub fn chrome_trace(tracer: &Tracer) -> J {
         }
     }
 
+    // Continuous-telemetry gauges become counter ("C") tracks. Series
+    // points carry only virtual timestamps, so they live under their own
+    // process (pid 1, labeled) instead of the wall-clock span timeline.
+    let series = tracer.series().snapshot();
+    if !series.is_empty() {
+        events.push(J::Obj(vec![
+            ("ph".into(), J::str("M")),
+            ("name".into(), J::str("process_name")),
+            ("pid".into(), J::Int(1)),
+            ("tid".into(), J::Int(0)),
+            (
+                "args".into(),
+                J::Obj(vec![("name".into(), J::str("telemetry (virtual time)"))]),
+            ),
+        ]));
+    }
+    for s in &series {
+        let track = format!("{} r{}", s.name, s.rank);
+        for p in &s.points {
+            events.push(J::Obj(vec![
+                ("ph".into(), J::str("C")),
+                ("name".into(), J::str(&track)),
+                ("pid".into(), J::Int(1)),
+                ("tid".into(), J::uint(s.rank)),
+                ("ts".into(), us(p.t_ns)),
+                (
+                    "args".into(),
+                    J::Obj(vec![("value".into(), J::Num(p.value))]),
+                ),
+            ]));
+        }
+    }
+
     J::Obj(vec![
         ("traceEvents".into(), J::Arr(events)),
         ("displayTimeUnit".into(), J::str("ms")),
@@ -227,6 +260,35 @@ mod tests {
                 .get("unterminated")
                 .and_then(J::as_bool),
             Some(true)
+        );
+    }
+
+    #[test]
+    fn series_become_counter_events_on_virtual_timeline() {
+        let t = Tracer::new(2);
+        t.series().record(1, "send_buf_bytes", 10_000, 128.0);
+        t.series().record(1, "send_buf_bytes", 20_000, 64.0);
+        let doc = chrome_trace(&t);
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let counters: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(J::as_str) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        assert_eq!(
+            counters[0].get("name").and_then(J::as_str),
+            Some("send_buf_bytes r1")
+        );
+        assert_eq!(counters[0].get("pid").unwrap().as_u64(), Some(1));
+        assert_eq!(counters[0].get("ts").unwrap().as_f64(), Some(10.0));
+        assert_eq!(
+            counters[1]
+                .get("args")
+                .unwrap()
+                .get("value")
+                .unwrap()
+                .as_f64(),
+            Some(64.0)
         );
     }
 

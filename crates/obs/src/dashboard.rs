@@ -1,0 +1,672 @@
+//! Self-contained single-file HTML dashboard for a [`RunReport`].
+//!
+//! [`dashboard_html`] renders one report into a standalone page: summary
+//! stat tiles, the virtual-time phase timeline, the rank×rank traffic
+//! heatmap, the NN-Descent convergence curve, continuous-telemetry series
+//! charts, fault counters, and histogram summaries. Everything is inline
+//! (CSS + SVG, no scripts, no external assets), so the file can be opened
+//! from a CI artifact or attached to an issue without a web server.
+
+use crate::report::{FaultSection, MatrixSection, RunReport};
+use std::fmt::Write as _;
+
+/// Chart palette: one color per rank track, cycled.
+const RANK_COLORS: &[&str] = &[
+    "#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2", "#b279a2", "#eeca3b", "#9d755d",
+];
+
+const COMPUTE_COLOR: &str = "#4c78a8";
+const COMM_COLOR: &str = "#f58518";
+const BARRIER_COLOR: &str = "#e45756";
+
+/// Render `report` as a complete standalone HTML document.
+pub fn dashboard_html(report: &RunReport) -> String {
+    let mut body = String::new();
+    body.push_str(&header_html(report));
+    body.push_str(&stat_tiles(report));
+    body.push_str(&section(
+        "timeline",
+        "Phase timeline (virtual time)",
+        &timeline_svg(report),
+    ));
+    if let Some(m) = &report.matrix {
+        body.push_str(&section(
+            "traffic-heatmap",
+            "Rank × rank traffic heatmap",
+            &heatmap_svg(m),
+        ));
+    }
+    if !report.convergence.is_empty() {
+        body.push_str(&section(
+            "convergence",
+            "Convergence (heap updates per iteration)",
+            &convergence_svg(report),
+        ));
+    }
+    if !report.series.is_empty() {
+        body.push_str(&section(
+            "telemetry",
+            "Continuous telemetry (virtual-clock series)",
+            &series_charts(report),
+        ));
+    }
+    if let Some(f) = &report.faults {
+        body.push_str(&section(
+            "faults",
+            "Fault injection & reliable delivery",
+            &fault_table(f),
+        ));
+    }
+    if !report.histograms.is_empty() {
+        body.push_str(&section("histograms", "Histograms", &hist_table(report)));
+    }
+    body.push_str(&section("parameters", "Parameters", &param_table(report)));
+
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>{} run report</title>\n<style>{}</style>\n</head>\n<body>\n\
+         <main>{}</main>\n</body>\n</html>\n",
+        esc(&report.binary),
+        STYLE,
+        body
+    )
+}
+
+const STYLE: &str = "\
+body{font:14px/1.45 system-ui,sans-serif;margin:0;background:#f6f7f9;color:#1c2733}\
+main{max-width:980px;margin:0 auto;padding:24px}\
+h1{font-size:22px;margin:0 0 4px}h2{font-size:16px;margin:0 0 10px}\
+.sub{color:#5b6b7b;margin:0 0 18px}\
+section{background:#fff;border:1px solid #e3e8ee;border-radius:8px;padding:16px;margin:0 0 16px}\
+.tiles{display:flex;flex-wrap:wrap;gap:10px;margin:0 0 16px}\
+.tile{background:#fff;border:1px solid #e3e8ee;border-radius:8px;padding:10px 14px;min-width:110px}\
+.tile b{display:block;font-size:18px}.tile span{color:#5b6b7b;font-size:12px}\
+table{border-collapse:collapse;width:100%}\
+th,td{text-align:right;padding:4px 10px;border-bottom:1px solid #eef1f4;font-variant-numeric:tabular-nums}\
+th{color:#5b6b7b;font-weight:600}td:first-child,th:first-child{text-align:left}\
+svg text{font:11px system-ui,sans-serif;fill:#3c4a59}\
+.legend{color:#5b6b7b;font-size:12px;margin:8px 0 0}\
+.swatch{display:inline-block;width:10px;height:10px;border-radius:2px;margin:0 4px 0 10px}";
+
+fn section(id: &str, title: &str, inner: &str) -> String {
+    format!(
+        "<section id=\"{id}\">\n<h2>{}</h2>\n{inner}\n</section>\n",
+        esc(title)
+    )
+}
+
+fn header_html(r: &RunReport) -> String {
+    let faulty = r
+        .faults
+        .as_ref()
+        .map(|f| format!(" · fault profile {} (seed {})", esc(&f.profile), f.sim_seed))
+        .unwrap_or_default();
+    format!(
+        "<h1>{} run report</h1>\n<p class=\"sub\">{} ranks{}</p>\n",
+        esc(&r.binary),
+        r.n_ranks,
+        faulty
+    )
+}
+
+fn stat_tiles(r: &RunReport) -> String {
+    let mut tiles: Vec<(String, String)> = vec![
+        ("virtual time".into(), format!("{:.4} s", r.sim_secs)),
+        ("wall time".into(), format!("{:.3} s", r.wall_secs)),
+        ("iterations".into(), r.iterations.to_string()),
+        ("distance evals".into(), group_u64(r.distance_evals)),
+        ("messages".into(), group_u64(r.total_count)),
+        ("traffic".into(), human_bytes(r.total_bytes)),
+    ];
+    if let Some(recall) = r.recall {
+        tiles.push(("recall".into(), format!("{:.4}", recall)));
+    }
+    for (k, v) in &r.extra {
+        tiles.push((k.replace('_', " "), trim_float(*v)));
+    }
+    let mut out = String::from("<div class=\"tiles\">\n");
+    for (label, value) in tiles {
+        let _ = writeln!(
+            out,
+            "<div class=\"tile\"><b>{}</b><span>{}</span></div>",
+            esc(&value),
+            esc(&label)
+        );
+    }
+    out.push_str("</div>\n");
+    out
+}
+
+/// Stacked compute/comm/barrier bar per phase along the virtual timeline.
+fn timeline_svg(r: &RunReport) -> String {
+    let (w, h, pad_l, pad_b) = (920.0_f64, 120.0_f64, 10.0_f64, 24.0_f64);
+    let total: f64 = r
+        .phases
+        .iter()
+        .map(|p| p.compute_secs + p.comm_secs + p.barrier_secs)
+        .sum();
+    if r.phases.is_empty() || total <= 0.0 {
+        return "<p class=\"legend\">no phase records</p>".into();
+    }
+    let band_h = h - pad_b - 20.0;
+    let scale = (w - 2.0 * pad_l) / total;
+    let mut out = format!("<svg viewBox=\"0 0 {w} {h}\" width=\"100%\" role=\"img\">\n");
+    let mut x = pad_l;
+    for p in &r.phases {
+        for (dur, color, kind) in [
+            (p.compute_secs, COMPUTE_COLOR, "compute"),
+            (p.comm_secs, COMM_COLOR, "comm"),
+            (p.barrier_secs, BARRIER_COLOR, "barrier"),
+        ] {
+            if dur <= 0.0 {
+                continue;
+            }
+            let seg = dur * scale;
+            let _ = writeln!(
+                out,
+                "<rect x=\"{:.2}\" y=\"20\" width=\"{:.2}\" height=\"{:.0}\" fill=\"{}\">\
+                 <title>phase {}: {} {:.6} s · {} msgs · {}</title></rect>",
+                x,
+                seg.max(0.2),
+                band_h,
+                color,
+                p.index,
+                kind,
+                dur,
+                p.msgs,
+                human_bytes(p.bytes)
+            );
+            x += seg;
+        }
+    }
+    let _ = write!(
+        out,
+        "<text x=\"{pad_l}\" y=\"12\">0 s</text>\
+         <text x=\"{:.1}\" y=\"12\" text-anchor=\"end\">{:.4} s of modeled virtual time, {} phases</text>\n</svg>\n",
+        w - pad_l,
+        total,
+        r.phases.len()
+    );
+    out.push_str(&format!(
+        "<p class=\"legend\"><span class=\"swatch\" style=\"background:{COMPUTE_COLOR}\"></span>compute\
+         <span class=\"swatch\" style=\"background:{COMM_COLOR}\"></span>communication\
+         <span class=\"swatch\" style=\"background:{BARRIER_COLOR}\"></span>barrier wait</p>"
+    ));
+    out
+}
+
+/// Rank×rank heatmap of bytes (summed over tags), diagonal included.
+fn heatmap_svg(m: &MatrixSection) -> String {
+    let n = m.n_ranks as usize;
+    if n == 0 {
+        return "<p class=\"legend\">empty matrix</p>".into();
+    }
+    let counts = m.total_counts();
+    let bytes = m.total_bytes();
+    let max = bytes.iter().copied().max().unwrap_or(0).max(1);
+    let cell = (420.0 / n as f64).min(64.0);
+    let (pad_l, pad_t) = (58.0, 30.0);
+    let w = pad_l + cell * n as f64 + 10.0;
+    let h = pad_t + cell * n as f64 + 10.0;
+    let mut out = format!("<svg viewBox=\"0 0 {w:.0} {h:.0}\" role=\"img\">\n");
+    let _ = writeln!(
+        out,
+        "<text x=\"{:.1}\" y=\"12\" text-anchor=\"middle\">destination rank →</text>\
+         <text x=\"12\" y=\"{:.1}\" transform=\"rotate(-90 12 {:.1})\" text-anchor=\"middle\">source rank →</text>",
+        pad_l + cell * n as f64 / 2.0,
+        pad_t + cell * n as f64 / 2.0,
+        pad_t + cell * n as f64 / 2.0,
+    );
+    for src in 0..n {
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{src}</text>",
+            pad_l - 6.0,
+            pad_t + cell * (src as f64 + 0.5) + 4.0
+        );
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{src}</text>",
+            pad_l + cell * (src as f64 + 0.5),
+            pad_t - 6.0
+        );
+        for dest in 0..n {
+            let b = bytes[src * n + dest];
+            let c = counts[src * n + dest];
+            let _ = writeln!(
+                out,
+                "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+                 fill=\"{}\" stroke=\"#fff\">\
+                 <title>rank {src} → rank {dest}: {} msgs, {}</title></rect>",
+                pad_l + cell * dest as f64,
+                pad_t + cell * src as f64,
+                cell,
+                cell,
+                heat_color(b as f64 / max as f64),
+                group_u64(c),
+                human_bytes(b)
+            );
+        }
+    }
+    out.push_str("</svg>\n");
+    let _ = write!(
+        out,
+        "<p class=\"legend\">cell shade ∝ bytes sent (max {} on one edge); diagonal = rank-local delivery</p>",
+        human_bytes(max)
+    );
+    out
+}
+
+fn convergence_svg(r: &RunReport) -> String {
+    let pts: Vec<(f64, f64)> = r
+        .convergence
+        .iter()
+        .map(|c| (c.iteration as f64, (1.0 + c.updates as f64).log10()))
+        .collect();
+    let max_updates = r.convergence.iter().map(|c| c.updates).max().unwrap_or(0);
+    line_chart(
+        &pts,
+        "iteration",
+        &format!(
+            "log10(1 + updates), peak {} updates",
+            group_u64(max_updates)
+        ),
+        RANK_COLORS[0],
+    )
+}
+
+/// One small line chart per series name, rank tracks overlaid.
+fn series_charts(r: &RunReport) -> String {
+    let mut names: Vec<&str> = r.series.iter().map(|s| s.name.as_str()).collect();
+    names.dedup(); // series are sorted by (name, rank)
+    let mut out = String::new();
+    for name in names {
+        let tracks: Vec<_> = r.series.iter().filter(|s| s.name == name).collect();
+        let mut polys = String::new();
+        let mut legend = String::new();
+        // Shared scales across the ranks of one series.
+        let all: Vec<(f64, f64)> = tracks
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| (p.t_ns as f64 / 1e3, p.value)))
+            .collect();
+        let (sx, sy) = match scales(&all) {
+            Some(s) => s,
+            None => continue,
+        };
+        for s in &tracks {
+            let color = RANK_COLORS[s.rank as usize % RANK_COLORS.len()];
+            let pts: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .map(|p| (p.t_ns as f64 / 1e3, p.value))
+                .collect();
+            polys.push_str(&polyline(&pts, sx, sy, color));
+            let _ = write!(
+                legend,
+                "<span class=\"swatch\" style=\"background:{color}\"></span>rank {}",
+                s.rank
+            );
+        }
+        let _ = write!(
+            out,
+            "<h2 style=\"margin-top:14px\">{}</h2>\n{}\n<p class=\"legend\">x: virtual time (µs){legend}</p>\n",
+            esc(name),
+            chart_frame(&polys, sx, sy)
+        );
+    }
+    out
+}
+
+fn fault_table(f: &FaultSection) -> String {
+    let rows: &[(&str, u64)] = &[
+        ("messages dropped", f.dropped),
+        ("messages duplicated", f.duplicated),
+        ("messages delayed", f.delayed),
+        ("rank stalls", f.stalls),
+        ("jittered flushes", f.jittered_flushes),
+        ("retransmits", f.retransmits),
+        ("dedup discards", f.dedup_discards),
+        ("forced deliveries", f.forced_deliveries),
+    ];
+    let mut out = format!(
+        "<table><tr><th>counter</th><th>value</th></tr>\
+         <tr><td>profile</td><td>{} (sim seed {})</td></tr>",
+        esc(&f.profile),
+        f.sim_seed
+    );
+    for (name, v) in rows {
+        let _ = write!(out, "<tr><td>{name}</td><td>{}</td></tr>", group_u64(*v));
+    }
+    out.push_str("</table>");
+    out
+}
+
+fn hist_table(r: &RunReport) -> String {
+    let mut out = String::from(
+        "<table><tr><th>histogram</th><th>count</th><th>mean</th><th>min</th>\
+         <th>p50</th><th>p95</th><th>p99</th><th>max</th></tr>",
+    );
+    for h in &r.histograms {
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            esc(&h.name),
+            group_u64(h.count),
+            trim_float(h.mean),
+            h.min,
+            h.p50,
+            h.p95,
+            h.p99,
+            h.max
+        );
+    }
+    out.push_str("</table>");
+    out
+}
+
+fn param_table(r: &RunReport) -> String {
+    let mut out = String::from("<table><tr><th>parameter</th><th>value</th></tr>");
+    for (k, v) in &r.params {
+        let _ = write!(out, "<tr><td>{}</td><td>{}</td></tr>", esc(k), esc(v));
+    }
+    out.push_str("</table>");
+    out
+}
+
+// ---- chart plumbing ------------------------------------------------------
+
+const CHART_W: f64 = 920.0;
+const CHART_H: f64 = 160.0;
+const CHART_PAD: f64 = 40.0;
+
+/// Linear data→pixel scale for one axis.
+#[derive(Clone, Copy)]
+struct Scale {
+    lo: f64,
+    hi: f64,
+    px_lo: f64,
+    px_hi: f64,
+}
+
+impl Scale {
+    fn apply(&self, v: f64) -> f64 {
+        let span = (self.hi - self.lo).max(1e-12);
+        self.px_lo + (v - self.lo) / span * (self.px_hi - self.px_lo)
+    }
+}
+
+fn scales(points: &[(f64, f64)]) -> Option<(Scale, Scale)> {
+    let (mut x_lo, mut x_hi, mut y_lo, mut y_hi) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y) in points {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    if points.is_empty() {
+        return None;
+    }
+    y_lo = y_lo.min(0.0); // gauges read best anchored at zero
+    Some((
+        Scale {
+            lo: x_lo,
+            hi: x_hi,
+            px_lo: CHART_PAD,
+            px_hi: CHART_W - 10.0,
+        },
+        Scale {
+            lo: y_lo,
+            hi: y_hi,
+            px_lo: CHART_H - 22.0,
+            px_hi: 10.0,
+        },
+    ))
+}
+
+fn polyline(points: &[(f64, f64)], sx: Scale, sy: Scale, color: &str) -> String {
+    if points.len() == 1 {
+        let (x, y) = points[0];
+        return format!(
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2.5\" fill=\"{color}\"/>\n",
+            sx.apply(x),
+            sy.apply(y)
+        );
+    }
+    let coords: Vec<String> = points
+        .iter()
+        .map(|&(x, y)| format!("{:.1},{:.1}", sx.apply(x), sy.apply(y)))
+        .collect();
+    format!(
+        "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>\n",
+        coords.join(" ")
+    )
+}
+
+fn chart_frame(inner: &str, sx: Scale, sy: Scale) -> String {
+    format!(
+        "<svg viewBox=\"0 0 {CHART_W} {CHART_H}\" width=\"100%\" role=\"img\">\n\
+         <line x1=\"{p}\" y1=\"{y0:.1}\" x2=\"{xe}\" y2=\"{y0:.1}\" stroke=\"#c8d0d9\"/>\n\
+         <line x1=\"{p}\" y1=\"10\" x2=\"{p}\" y2=\"{y0:.1}\" stroke=\"#c8d0d9\"/>\n\
+         <text x=\"{p}\" y=\"{yl}\">{x_lo}</text>\n\
+         <text x=\"{xe}\" y=\"{yl}\" text-anchor=\"end\">{x_hi}</text>\n\
+         <text x=\"{p2}\" y=\"{y0m:.1}\">{y_lo}</text>\n\
+         <text x=\"{p2}\" y=\"18\">{y_hi}</text>\n\
+         {inner}</svg>\n",
+        p = CHART_PAD,
+        p2 = 2,
+        xe = CHART_W - 10.0,
+        y0 = CHART_H - 22.0,
+        y0m = CHART_H - 26.0,
+        yl = CHART_H - 8.0,
+        x_lo = trim_float(sx.lo),
+        x_hi = trim_float(sx.hi),
+        y_lo = trim_float(sy.lo),
+        y_hi = trim_float(sy.hi),
+    )
+}
+
+fn line_chart(points: &[(f64, f64)], x_label: &str, y_label: &str, color: &str) -> String {
+    let (sx, sy) = match scales(points) {
+        Some(s) => s,
+        None => return "<p class=\"legend\">no data</p>".into(),
+    };
+    format!(
+        "{}\n<p class=\"legend\">x: {} · y: {}</p>",
+        chart_frame(&polyline(points, sx, sy, color), sx, sy),
+        esc(x_label),
+        esc(y_label)
+    )
+}
+
+/// White→deep-blue ramp for heatmap intensity in `[0, 1]`.
+fn heat_color(t: f64) -> String {
+    let t = t.clamp(0.0, 1.0).sqrt(); // sqrt lifts small cells into view
+    let lerp = |a: f64, b: f64| (a + (b - a) * t) as u32;
+    format!(
+        "#{:02x}{:02x}{:02x}",
+        lerp(247.0, 8.0),
+        lerp(251.0, 48.0),
+        lerp(255.0, 107.0)
+    )
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn group_u64(v: u64) -> String {
+    let digits = v.to_string();
+    let mut out = String::new();
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+fn human_bytes(b: u64) -> String {
+    const UNITS: &[&str] = &["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit + 1 < UNITS.len() {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{b} B")
+    } else {
+        format!("{v:.2} {}", UNITS[unit])
+    }
+}
+
+fn trim_float(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        let s = group_u64(v.abs() as u64);
+        if v < 0.0 {
+            format!("-{s}")
+        } else {
+            s
+        }
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{ConvergencePoint, MatrixTagReport, PhaseReport};
+    use crate::timeseries::{SeriesPoint, SeriesSnapshot};
+
+    fn sample() -> RunReport {
+        let mut r = RunReport::new("dnnd-construct");
+        r.param("input", "preset:deep1b <n=600>");
+        r.n_ranks = 2;
+        r.iterations = 3;
+        r.sim_secs = 0.5;
+        r.phases = vec![
+            PhaseReport {
+                index: 0,
+                compute_secs: 0.1,
+                comm_secs: 0.05,
+                barrier_secs: 0.01,
+                msgs: 10,
+                bytes: 640,
+            },
+            PhaseReport {
+                index: 1,
+                compute_secs: 0.2,
+                comm_secs: 0.1,
+                barrier_secs: 0.04,
+                msgs: 20,
+                bytes: 1_280,
+            },
+        ];
+        r.convergence = vec![
+            ConvergencePoint {
+                iteration: 0,
+                updates: 500,
+            },
+            ConvergencePoint {
+                iteration: 1,
+                updates: 20,
+            },
+        ];
+        r.series = vec![SeriesSnapshot {
+            name: "send_buf_bytes".into(),
+            rank: 0,
+            points: vec![
+                SeriesPoint {
+                    t_ns: 10_000,
+                    value: 64.0,
+                },
+                SeriesPoint {
+                    t_ns: 20_000,
+                    value: 32.0,
+                },
+            ],
+        }];
+        r.matrix = Some(MatrixSection {
+            n_ranks: 2,
+            tags: vec![MatrixTagReport {
+                tag: 1,
+                name: "Type 1".into(),
+                counts: vec![1, 2, 3, 4],
+                bytes: vec![10, 20, 30, 40],
+            }],
+        });
+        r
+    }
+
+    #[test]
+    fn dashboard_is_self_contained() {
+        let html = dashboard_html(&sample());
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        // No external fetches of any kind.
+        for needle in ["http://", "https://", "<script", "src=", "@import", "url("] {
+            assert!(
+                !html.contains(needle),
+                "found external reference {needle:?}"
+            );
+        }
+        // The three required views are present.
+        for id in [
+            "id=\"timeline\"",
+            "id=\"traffic-heatmap\"",
+            "id=\"convergence\"",
+        ] {
+            assert!(html.contains(id), "missing section {id}");
+        }
+        assert!(html.contains("id=\"telemetry\""));
+        assert!(html.contains("send_buf_bytes"));
+    }
+
+    #[test]
+    fn html_escapes_report_strings() {
+        let html = dashboard_html(&sample());
+        assert!(html.contains("preset:deep1b &lt;n=600&gt;"));
+        assert!(!html.contains("<n=600>"));
+    }
+
+    #[test]
+    fn heatmap_has_a_cell_per_rank_pair() {
+        let html = dashboard_html(&sample());
+        assert_eq!(html.matches("rank 1 → rank 0").count(), 1);
+        assert_eq!(html.matches("→ rank").count(), 4);
+    }
+
+    #[test]
+    fn missing_sections_are_omitted() {
+        let mut r = sample();
+        r.matrix = None;
+        r.series.clear();
+        r.convergence.clear();
+        let html = dashboard_html(&r);
+        assert!(!html.contains("id=\"traffic-heatmap\""));
+        assert!(!html.contains("id=\"telemetry\""));
+        assert!(!html.contains("id=\"convergence\""));
+        assert!(html.contains("id=\"timeline\""));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(group_u64(1_234_567), "1,234,567");
+        assert_eq!(group_u64(17), "17");
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2_048), "2.00 KiB");
+        assert_eq!(heat_color(0.0), "#f7fbff");
+        assert_eq!(heat_color(1.0), "#08306b");
+    }
+}

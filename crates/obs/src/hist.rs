@@ -131,11 +131,23 @@ impl HistogramSnapshot {
         }
     }
 
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
     /// Value at quantile `q` in `[0, 1]` (e.g. `0.5` = median), resolved to
     /// the lower bound of the containing bucket (≤ 6.3% relative error).
+    /// Reports 0 on an empty histogram; use [`Self::quantile_opt`] to
+    /// distinguish "no samples" from a genuine zero-valued percentile.
     pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_opt(q).unwrap_or(0)
+    }
+
+    /// Value at quantile `q`, or `None` when the histogram holds no
+    /// samples (rather than the lowest bucket's bound).
+    pub fn quantile_opt(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let q = q.clamp(0.0, 1.0);
         // Rank of the target sample, 1-based.
@@ -144,10 +156,10 @@ impl HistogramSnapshot {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return bucket_value(i).min(self.max).max(self.min);
+                return Some(bucket_value(i).min(self.max).max(self.min));
             }
         }
-        self.max
+        Some(self.max)
     }
 
     pub fn p50(&self) -> u64 {
@@ -249,6 +261,48 @@ mod tests {
         assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
         assert_eq!(s.p50(), 0);
         assert_eq!(s.mean(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_absent() {
+        // `quantile_opt` distinguishes "no samples" from a real 0: the
+        // plain accessors report 0, never the lowest bucket's bound.
+        let s = Histogram::new().snapshot();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(s.quantile_opt(q), None);
+            assert_eq!(s.quantile(q), 0);
+        }
+        // A genuine zero-valued sample is distinguishable.
+        let h = Histogram::new();
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.quantile_opt(0.5), Some(0));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn bucket_boundary_values_are_pinned() {
+        // Exact bucket lower bounds must be reported exactly: the first
+        // sub-bucket boundaries after the linear range...
+        for v in [16u64, 17, 31, 42, 64, 96, 1 << 20, (16 + 5) << 10] {
+            assert_eq!(bucket_value(bucket_index(v)), v, "bound {v} not exact");
+            let h = Histogram::new();
+            h.record_n(v, 100);
+            let s = h.snapshot();
+            assert_eq!(s.p50(), v);
+            assert_eq!(s.p99(), v);
+        }
+        // ...while interior values resolve to the bound below, clamped to
+        // the observed min so point masses stay exact.
+        assert_eq!(bucket_value(bucket_index(43)), 42);
+        let h = Histogram::new();
+        h.record_n(43, 10);
+        assert_eq!(h.snapshot().p50(), 43); // min-clamped, not 42
+        let h = Histogram::new();
+        h.record_n(43, 10);
+        h.record(16); // min no longer clamps 43's bucket bound
+        assert_eq!(h.snapshot().p50(), 42);
     }
 
     #[test]

@@ -17,14 +17,20 @@
 //! one branch when tracing is off.
 
 pub mod chrome;
+pub mod dashboard;
 pub mod hist;
 pub mod json;
 pub mod report;
 pub mod ring;
+pub mod timeseries;
 pub mod tracer;
 
 pub use hist::{Histogram, HistogramSnapshot};
 pub use json::JsonValue;
-pub use report::{ConvergencePoint, FaultSection, PhaseReport, RunReport, TagReport};
+pub use report::{
+    ConvergencePoint, FaultSection, MatrixSection, MatrixTagReport, PhaseReport, RunReport,
+    TagReport,
+};
 pub use ring::{EventKind, TraceEvent};
+pub use timeseries::{SeriesPoint, SeriesSnapshot, TimeSeriesSet};
 pub use tracer::Tracer;

@@ -7,9 +7,18 @@
 
 use crate::hist::HistogramSnapshot;
 use crate::json::JsonValue as J;
+use crate::timeseries::{SeriesPoint, SeriesSnapshot};
 
 /// Report schema version; bump on breaking layout changes.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v1: aggregates only (tags, totals, phases, convergence, histograms).
+/// v2: adds continuous telemetry — per-rank `series` sampled on the
+///     virtual clock and the rank×rank×tag traffic `matrix`.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema this parser still accepts. v1 documents parse with empty
+/// `series` and no `matrix`.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// Per-message-tag traffic totals (mirrors `ygm`'s `TagStats` plus identity).
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -89,6 +98,53 @@ pub struct FaultSection {
     pub forced_deliveries: u64,
 }
 
+/// One tag's rank×rank traffic counts (mirrors `ygm`'s traffic matrix).
+///
+/// `counts[src * n_ranks + dest]` / `bytes[...]` hold message and byte
+/// totals for this tag on the (src → dest) edge, *including* the diagonal
+/// (rank-local sends), so each tag's matrix sums to the corresponding
+/// [`TagReport::count`] / [`TagReport::bytes`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MatrixTagReport {
+    pub tag: u64,
+    pub name: String,
+    /// Row-major `n_ranks × n_ranks` message counts.
+    pub counts: Vec<u64>,
+    /// Row-major `n_ranks × n_ranks` byte totals.
+    pub bytes: Vec<u64>,
+}
+
+/// The full rank×rank×tag traffic matrix of a run (schema v2).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MatrixSection {
+    pub n_ranks: u64,
+    /// Per-tag matrices, sorted by tag; tags with no traffic are omitted.
+    pub tags: Vec<MatrixTagReport>,
+}
+
+impl MatrixSection {
+    /// Message counts summed over tags, row-major `n_ranks × n_ranks`.
+    pub fn total_counts(&self) -> Vec<u64> {
+        self.sum_over_tags(|t| &t.counts)
+    }
+
+    /// Byte totals summed over tags, row-major `n_ranks × n_ranks`.
+    pub fn total_bytes(&self) -> Vec<u64> {
+        self.sum_over_tags(|t| &t.bytes)
+    }
+
+    fn sum_over_tags(&self, f: impl Fn(&MatrixTagReport) -> &Vec<u64>) -> Vec<u64> {
+        let n = (self.n_ranks * self.n_ranks) as usize;
+        let mut out = vec![0u64; n];
+        for t in &self.tags {
+            for (acc, v) in out.iter_mut().zip(f(t)) {
+                *acc += v;
+            }
+        }
+        out
+    }
+}
+
 /// The consolidated per-run report.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunReport {
@@ -123,6 +179,12 @@ pub struct RunReport {
     pub extra: Vec<(String, f64)>,
     /// Fault-injection counters; `None` for fault-free runs.
     pub faults: Option<FaultSection>,
+    /// Per-rank gauge series sampled on the virtual clock (schema v2);
+    /// empty when the run was not traced or predates v2.
+    pub series: Vec<SeriesSnapshot>,
+    /// Rank×rank×tag traffic matrix (schema v2); `None` when the producer
+    /// did not record one (v1 documents, single-report tools).
+    pub matrix: Option<MatrixSection>,
 }
 
 impl RunReport {
@@ -267,6 +329,64 @@ impl RunReport {
                 ),
             ),
         ];
+        fields.push((
+            "series".into(),
+            J::Arr(
+                self.series
+                    .iter()
+                    .map(|s| {
+                        J::Obj(vec![
+                            ("name".into(), J::str(&s.name)),
+                            ("rank".into(), J::uint(s.rank)),
+                            (
+                                "points".into(),
+                                J::Arr(
+                                    s.points
+                                        .iter()
+                                        .map(|p| {
+                                            J::Obj(vec![
+                                                ("t_ns".into(), J::uint(p.t_ns)),
+                                                ("value".into(), J::Num(p.value)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        if let Some(m) = &self.matrix {
+            fields.push((
+                "matrix".into(),
+                J::Obj(vec![
+                    ("n_ranks".into(), J::uint(m.n_ranks)),
+                    (
+                        "tags".into(),
+                        J::Arr(
+                            m.tags
+                                .iter()
+                                .map(|t| {
+                                    J::Obj(vec![
+                                        ("tag".into(), J::uint(t.tag)),
+                                        ("name".into(), J::str(&t.name)),
+                                        (
+                                            "counts".into(),
+                                            J::Arr(t.counts.iter().map(|&c| J::uint(c)).collect()),
+                                        ),
+                                        (
+                                            "bytes".into(),
+                                            J::Arr(t.bytes.iter().map(|&b| J::uint(b)).collect()),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
         if let Some(f) = &self.faults {
             fields.push((
                 "faults".into(),
@@ -317,9 +437,10 @@ impl RunReport {
         }
 
         let version = u64_field(v, "schema_version")?;
-        if version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
             return Err(format!(
-                "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+                "unsupported schema_version {version} \
+                 (this build reads v{MIN_SCHEMA_VERSION} through v{SCHEMA_VERSION})"
             ));
         }
 
@@ -398,6 +519,51 @@ impl RunReport {
             for (k, val) in fields {
                 report.extra.push((k.clone(), val.as_f64().unwrap_or(0.0)));
             }
+        }
+
+        // Schema v2 sections; v1 documents simply lack the keys.
+        if let Some(series) = v.get("series").and_then(J::as_arr) {
+            for s in series {
+                let mut snap = SeriesSnapshot {
+                    name: str_field(s, "name")?,
+                    rank: u64_field(s, "rank")?,
+                    points: Vec::new(),
+                };
+                for p in arr_field(s, "points")? {
+                    snap.points.push(SeriesPoint {
+                        t_ns: u64_field(p, "t_ns")?,
+                        value: f64_field(p, "value")?,
+                    });
+                }
+                report.series.push(snap);
+            }
+        }
+
+        if let Some(m) = v.get("matrix") {
+            let n_ranks = u64_field(m, "n_ranks")?;
+            let cells = (n_ranks * n_ranks) as usize;
+            let mut tags = Vec::new();
+            for t in arr_field(m, "tags")? {
+                let uints = |key: &str| -> Result<Vec<u64>, String> {
+                    let arr = arr_field(t, key)?;
+                    if arr.len() != cells {
+                        return Err(format!(
+                            "matrix '{key}' has {} cells (expected {cells})",
+                            arr.len()
+                        ));
+                    }
+                    arr.iter()
+                        .map(|x| x.as_u64().ok_or_else(|| format!("bad cell in '{key}'")))
+                        .collect()
+                };
+                tags.push(MatrixTagReport {
+                    tag: u64_field(t, "tag")?,
+                    name: str_field(t, "name")?,
+                    counts: uints("counts")?,
+                    bytes: uints("bytes")?,
+                });
+            }
+            report.matrix = Some(MatrixSection { n_ranks, tags });
         }
 
         // Optional: absent in fault-free reports (pre-fault documents too).
@@ -480,6 +646,39 @@ mod tests {
         }
         r.add_histograms(&[("flush_bytes".into(), h.snapshot())]);
         r.metric("queries_per_sec", 1234.5);
+        r.series = vec![
+            SeriesSnapshot {
+                name: "send_buf_bytes".into(),
+                rank: 0,
+                points: vec![
+                    SeriesPoint {
+                        t_ns: 10_000,
+                        value: 128.0,
+                    },
+                    SeriesPoint {
+                        t_ns: 20_000,
+                        value: 96.5,
+                    },
+                ],
+            },
+            SeriesSnapshot {
+                name: "send_buf_bytes".into(),
+                rank: 3,
+                points: vec![SeriesPoint {
+                    t_ns: 10_000,
+                    value: 64.0,
+                }],
+            },
+        ];
+        r.matrix = Some(MatrixSection {
+            n_ranks: 2,
+            tags: vec![MatrixTagReport {
+                tag: 14,
+                name: "Type 1".into(),
+                counts: vec![10, 20, 30, 40],
+                bytes: vec![100, 200, 300, 6_400 - 600],
+            }],
+        });
         r
     }
 
@@ -538,11 +737,112 @@ mod tests {
     }
 
     #[test]
-    fn rejects_wrong_schema_version() {
+    fn rejects_future_schema_version_naming_both() {
         let text = sample_report()
             .to_json_string()
-            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+            .replace("\"schema_version\": 2", "\"schema_version\": 999");
+        let err = RunReport::parse(&text).unwrap_err();
+        assert!(
+            err.contains("999"),
+            "error must name the found version: {err}"
+        );
+        assert!(
+            err.contains("v1") && err.contains("v2"),
+            "error must name the supported range: {err}"
+        );
+        // v0 is below the supported range too.
+        let text = sample_report()
+            .to_json_string()
+            .replace("\"schema_version\": 2", "\"schema_version\": 0");
         assert!(RunReport::parse(&text).is_err());
+    }
+
+    #[test]
+    fn accepts_schema_v1_documents() {
+        // A v1 document is a v2 document minus the series/matrix keys with
+        // the old version stamp — it must parse with empty telemetry.
+        let mut r = sample_report();
+        r.series.clear();
+        r.matrix = None;
+        let mut v = r.to_json();
+        if let J::Obj(fields) = &mut v {
+            fields.retain(|(k, _)| k != "series");
+            for (k, val) in fields.iter_mut() {
+                if k == "schema_version" {
+                    *val = J::uint(1);
+                }
+            }
+        }
+        let text = v.pretty();
+        assert!(text.contains("\"schema_version\": 1"));
+        assert!(!text.contains("\"series\""));
+        let back = RunReport::parse(&text).unwrap();
+        assert!(back.series.is_empty());
+        assert_eq!(back.matrix, None);
+        assert_eq!(back.tags, r.tags); // aggregates still read
+    }
+
+    #[test]
+    fn series_and_matrix_round_trip() {
+        let r = sample_report();
+        let back = RunReport::parse(&r.to_json_string()).unwrap();
+        assert_eq!(back.series, r.series);
+        assert_eq!(back.matrix, r.matrix);
+        let m = back.matrix.unwrap();
+        assert_eq!(m.total_counts(), vec![10, 20, 30, 40]);
+        assert_eq!(m.total_counts().iter().sum::<u64>(), 100); // == tag count
+        assert_eq!(m.total_bytes().iter().sum::<u64>(), 6_400); // == tag bytes
+    }
+
+    #[test]
+    fn rejects_malformed_matrix_cells() {
+        // Cell-count mismatch with n_ranks² must be a parse error, not a
+        // silently truncated matrix.
+        let mut r = sample_report();
+        r.matrix.as_mut().unwrap().tags[0].counts.pop();
+        let err = RunReport::parse(&r.to_json_string()).unwrap_err();
+        assert!(err.contains("cells"), "{err}");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// Schema v2 serialize→parse is the identity on arbitrary series
+        /// and matrix payloads (satellite: round-trip property test).
+        #[test]
+        fn v2_round_trip_property(
+            n_ranks in 1u64..5,
+            point_vals in proptest::collection::vec(0u64..1_000_000, 0..20),
+            cell_seed in 0u64..1_000,
+        ) {
+            use proptest::prelude::*;
+            let mut r = RunReport::new("prop");
+            r.n_ranks = n_ranks;
+            r.series = vec![SeriesSnapshot {
+                name: "g".into(),
+                rank: n_ranks - 1,
+                points: point_vals
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| SeriesPoint {
+                        t_ns: i as u64 * 10_000,
+                        value: v as f64 / 16.0,
+                    })
+                    .collect(),
+            }];
+            let cells = (n_ranks * n_ranks) as usize;
+            r.matrix = Some(MatrixSection {
+                n_ranks,
+                tags: vec![MatrixTagReport {
+                    tag: 3,
+                    name: "t".into(),
+                    counts: (0..cells as u64).map(|i| i * cell_seed).collect(),
+                    bytes: (0..cells as u64).map(|i| i + cell_seed).collect(),
+                }],
+            });
+            let back = RunReport::parse(&r.to_json_string()).unwrap();
+            prop_assert_eq!(back, r);
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::hist::{Histogram, HistogramSnapshot};
 use crate::ring::{EventKind, RankBuffer, TraceEvent};
+use crate::timeseries::{TimeSeriesSet, DEFAULT_SAMPLE_INTERVAL_NS};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -20,6 +21,8 @@ pub struct Tracer {
     /// Name → histogram registry. Locked only on first lookup per name per
     /// call site; `Histogram::record` itself is lock-free.
     hists: Mutex<Vec<(String, Arc<Histogram>)>>,
+    /// Per-rank gauge series sampled on the virtual clock.
+    series: TimeSeriesSet,
 }
 
 impl Tracer {
@@ -28,6 +31,12 @@ impl Tracer {
     }
 
     pub fn with_capacity(n_ranks: usize, capacity_per_rank: usize) -> Self {
+        Self::with_config(n_ranks, capacity_per_rank, DEFAULT_SAMPLE_INTERVAL_NS)
+    }
+
+    /// Full-control constructor: ring capacity and the virtual-time gauge
+    /// sampling interval.
+    pub fn with_config(n_ranks: usize, capacity_per_rank: usize, sample_interval_ns: u64) -> Self {
         let rings = (0..n_ranks)
             .map(|_| RankBuffer::new(capacity_per_rank))
             .collect::<Vec<_>>()
@@ -36,7 +45,14 @@ impl Tracer {
             rings,
             epoch: Instant::now(),
             hists: Mutex::new(Vec::new()),
+            series: TimeSeriesSet::new(n_ranks, sample_interval_ns),
         }
+    }
+
+    /// The continuous-telemetry series set (gauges sampled on the virtual
+    /// clock by the runtime and engine).
+    pub fn series(&self) -> &TimeSeriesSet {
+        &self.series
     }
 
     pub fn n_ranks(&self) -> usize {

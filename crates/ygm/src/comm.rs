@@ -239,6 +239,53 @@ impl Comm {
         }
     }
 
+    /// Record one point of the named continuous-telemetry gauge on this
+    /// rank's track, stamped with the current virtual time (no-op
+    /// untraced). Event-driven probes (per-iteration heap updates, the
+    /// termination counter) call this directly; runtime gauges are
+    /// sampled automatically at barrier entry, paced by the tracer's
+    /// virtual-time interval.
+    #[inline]
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(t) = self.tracer() {
+            t.series().record(self.rank, name, self.now_ns(), value);
+        }
+    }
+
+    /// Paced runtime-gauge sampling: send-buffer occupancy (total and per
+    /// destination) and, under a fault plan, the reliable-delivery
+    /// windows. Runs at barrier entry — the one point where this rank's
+    /// buffers still hold the phase's residual messages and the virtual
+    /// timestamp is stable (identical run-to-run), so the sampled series
+    /// are deterministic under a fixed seed.
+    fn sample_gauges(&self) {
+        let Some(t) = self.tracer() else { return };
+        let now = self.now_ns();
+        if !t.series().should_sample(self.rank, now) {
+            return;
+        }
+        let series = t.series();
+        let total: u64 = {
+            let out = self.out.borrow();
+            for (dest, buf) in out.iter().enumerate() {
+                series.record(
+                    self.rank,
+                    &format!("send_buf_bytes.d{dest}"),
+                    now,
+                    buf.len() as f64,
+                );
+            }
+            out.iter().map(|b| b.len() as u64).sum()
+        };
+        series.record(self.rank, "send_buf_bytes", now, total as f64);
+        if let Some(fl) = &self.fault {
+            let fl = fl.borrow();
+            let unacked: usize = fl.unacked.iter().map(BTreeMap::len).sum();
+            series.record(self.rank, "unacked_frames", now, unacked as f64);
+            series.record(self.rank, "delay_inbox_frames", now, fl.inbox.len() as f64);
+        }
+    }
+
     /// Fire-and-forget: enqueue `msg` for `dest`'s handler registered under
     /// `tag`. Returns immediately. Self-sends are legal and are delivered
     /// through the same queue (handled at the next poll/barrier).
@@ -569,6 +616,7 @@ impl Comm {
     /// being handled anywhere in the world. Advances the virtual clock by
     /// the completed phase's makespan.
     pub fn barrier(&self) {
+        self.sample_gauges();
         self.trace_begin("barrier");
         let mut rounds: u64 = 0;
         loop {

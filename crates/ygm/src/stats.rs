@@ -24,6 +24,29 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Maximum number of distinct message tags a world supports.
 pub const MAX_TAGS: usize = 64;
 
+/// One tag's rank×rank traffic counts, row-major (`[src * n_ranks + dest]`).
+///
+/// The diagonal (rank-local sends) is included, so each tag's cells sum to
+/// that tag's cumulative [`TagStats::count`] / [`TagStats::bytes`] — the
+/// invariant the report layer asserts. Transport-level retransmits and
+/// duplicates are *not* in the matrix, matching their exclusion from the
+/// per-tag totals.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TagMatrix {
+    pub tag: u16,
+    pub name: String,
+    pub counts: Vec<u64>,
+    pub bytes: Vec<u64>,
+}
+
+/// The full rank×rank×tag traffic matrix of a run; tags with no traffic
+/// are omitted.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TrafficMatrix {
+    pub n_ranks: usize,
+    pub tags: Vec<TagMatrix>,
+}
+
 /// A snapshot of the cumulative counters for one message tag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TagStats {
@@ -65,10 +88,17 @@ impl PhaseCounters {
 /// Shared statistics block for a world. All methods are thread-safe; hot-path
 /// updates are relaxed atomics.
 pub struct Stats {
+    n_ranks: usize,
     tag_count: Box<[CachePadded<AtomicU64>]>,
     tag_bytes: Box<[CachePadded<AtomicU64>]>,
     tag_remote_count: Box<[CachePadded<AtomicU64>]>,
     tag_remote_bytes: Box<[CachePadded<AtomicU64>]>,
+    /// Rank×rank×tag traffic cells, `(tag * n + src) * n + dest`. Flat
+    /// unpadded atomics: each (tag, src) row is written by one rank only,
+    /// so false sharing is bounded and the `MAX_TAGS · n²` footprint stays
+    /// small.
+    matrix_count: Box<[AtomicU64]>,
+    matrix_bytes: Box<[AtomicU64]>,
     tag_names: Mutex<HashMap<u16, String>>,
     /// One past the highest tag index ever used (sent, registered, or
     /// named). Lets full-table scans stop at the tags actually in play
@@ -85,11 +115,15 @@ fn atomic_array(n: usize) -> Box<[CachePadded<AtomicU64>]> {
 
 impl Stats {
     pub(crate) fn new(n_ranks: usize) -> Self {
+        let cells = MAX_TAGS * n_ranks * n_ranks;
         Stats {
+            n_ranks,
             tag_count: atomic_array(MAX_TAGS),
             tag_bytes: atomic_array(MAX_TAGS),
             tag_remote_count: atomic_array(MAX_TAGS),
             tag_remote_bytes: atomic_array(MAX_TAGS),
+            matrix_count: (0..cells).map(|_| AtomicU64::new(0)).collect(),
+            matrix_bytes: (0..cells).map(|_| AtomicU64::new(0)).collect(),
             tag_names: Mutex::new(HashMap::new()),
             tag_high_water: CachePadded::new(AtomicU64::new(0)),
             phase: (0..n_ranks)
@@ -122,6 +156,9 @@ impl Stats {
         let t = tag as usize;
         self.tag_count[t].fetch_add(1, Ordering::Relaxed);
         self.tag_bytes[t].fetch_add(bytes as u64, Ordering::Relaxed);
+        let cell = (t * self.n_ranks + src) * self.n_ranks + dest;
+        self.matrix_count[cell].fetch_add(1, Ordering::Relaxed);
+        self.matrix_bytes[cell].fetch_add(bytes as u64, Ordering::Relaxed);
         if src != dest {
             self.tag_remote_count[t].fetch_add(1, Ordering::Relaxed);
             self.tag_remote_bytes[t].fetch_add(bytes as u64, Ordering::Relaxed);
@@ -219,15 +256,48 @@ impl Stats {
             .collect()
     }
 
+    /// Snapshot the rank×rank traffic matrix for every tag that has sent
+    /// at least one message.
+    pub fn matrix(&self) -> TrafficMatrix {
+        let n = self.n_ranks;
+        let mut tags = Vec::new();
+        for t in 0..self.high_water() {
+            if self.tag_count[t].load(Ordering::Relaxed) == 0 {
+                continue;
+            }
+            let base = t * n * n;
+            let load = |cells: &[AtomicU64]| -> Vec<u64> {
+                cells[base..base + n * n]
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .collect()
+            };
+            tags.push(TagMatrix {
+                tag: t as u16,
+                name: self.tag_name(t as u16),
+                counts: load(&self.matrix_count),
+                bytes: load(&self.matrix_bytes),
+            });
+        }
+        TrafficMatrix { n_ranks: n, tags }
+    }
+
     /// Reset the cumulative per-tag counters (phase counters are reset at
     /// every barrier automatically). Useful for scoping measurements to one
     /// algorithm phase, as the paper does for the neighbor-check step.
     pub fn reset_tags(&self) {
+        let n = self.n_ranks;
         for t in 0..self.high_water() {
             self.tag_count[t].store(0, Ordering::Relaxed);
             self.tag_bytes[t].store(0, Ordering::Relaxed);
             self.tag_remote_count[t].store(0, Ordering::Relaxed);
             self.tag_remote_bytes[t].store(0, Ordering::Relaxed);
+            for cell in &self.matrix_count[t * n * n..(t + 1) * n * n] {
+                cell.store(0, Ordering::Relaxed);
+            }
+            for cell in &self.matrix_bytes[t * n * n..(t + 1) * n * n] {
+                cell.store(0, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -310,6 +380,56 @@ mod tests {
     fn out_of_range_tag_is_a_hard_error() {
         let s = Stats::new(1);
         s.record_send(MAX_TAGS as u16, 8, 0, 0);
+    }
+
+    #[test]
+    fn matrix_cells_track_edges_including_diagonal() {
+        let s = Stats::new(3);
+        s.record_send(2, 100, 0, 1);
+        s.record_send(2, 40, 0, 1);
+        s.record_send(2, 7, 1, 1); // local send lands on the diagonal
+        s.record_send(4, 9, 2, 0);
+        let m = s.matrix();
+        assert_eq!(m.n_ranks, 3);
+        assert_eq!(m.tags.len(), 2);
+        let t2 = &m.tags[0];
+        assert_eq!(t2.tag, 2);
+        assert_eq!(t2.counts, vec![0, 2, 0, 0, 1, 0, 0, 0, 0]);
+        assert_eq!(t2.bytes, vec![0, 140, 0, 0, 7, 0, 0, 0, 0]);
+        assert_eq!(m.tags[1].counts[2 * 3], 1); // tag 4: (src 2, dest 0)
+    }
+
+    #[test]
+    fn matrix_sums_equal_tag_totals() {
+        // The invariant the report layer relies on: per-tag cell sums equal
+        // the cumulative tag counters, and transport traffic stays out.
+        let s = Stats::new(2);
+        s.record_send(1, 100, 0, 1);
+        s.record_send(1, 50, 1, 0);
+        s.record_send(1, 25, 0, 0);
+        s.record_transport(0, 1, 999); // retransmit: phase counters only
+        let m = s.matrix();
+        let t1 = &m.tags[0];
+        assert_eq!(t1.counts.iter().sum::<u64>(), s.tag(1).count);
+        assert_eq!(t1.bytes.iter().sum::<u64>(), s.tag(1).bytes);
+        assert_eq!(t1.bytes.iter().sum::<u64>(), 175);
+        // Off-diagonal cells sum to the remote counters.
+        let remote_bytes: u64 = (0..2)
+            .flat_map(|s_| (0..2).map(move |d| (s_, d)))
+            .filter(|(s_, d)| s_ != d)
+            .map(|(s_, d)| t1.bytes[s_ * 2 + d])
+            .sum();
+        assert_eq!(remote_bytes, s.tag(1).remote_bytes);
+    }
+
+    #[test]
+    fn reset_tags_clears_matrix() {
+        let s = Stats::new(2);
+        s.record_send(1, 8, 0, 1);
+        s.reset_tags();
+        assert!(s.matrix().tags.is_empty());
+        s.record_send(1, 8, 1, 0);
+        assert_eq!(s.matrix().tags[0].counts, vec![0, 0, 1, 0]);
     }
 
     #[test]

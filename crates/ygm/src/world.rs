@@ -9,7 +9,7 @@
 use crate::comm::{Comm, Packet};
 use crate::cost::{ClockBreakdown, CostModel, PhaseRecord, VirtualClock};
 use crate::fault::{FaultCounters, FaultPlan, FaultReport};
-use crate::stats::{Stats, TagStats};
+use crate::stats::{Stats, TagStats, TrafficMatrix};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use obs::Tracer;
@@ -205,6 +205,9 @@ pub struct WorldReport<T> {
     pub tags: Vec<(u16, String, TagStats)>,
     /// Sum over all tags.
     pub total: TagStats,
+    /// Rank×rank×tag traffic matrix (diagonal = rank-local sends); each
+    /// tag's cells sum to its entry in `tags`.
+    pub matrix: TrafficMatrix,
     /// Injected-fault and reliable-delivery counters; `None` when the world
     /// ran without a [`FaultPlan`].
     pub faults: Option<FaultReport>,
@@ -356,6 +359,7 @@ impl World {
             wall_secs,
             tags: shared.stats.nonzero_tags(),
             total: shared.stats.total(),
+            matrix: shared.stats.matrix(),
             faults: shared.fault.as_ref().map(|f| f.counters.report(&f.plan)),
         }
     }

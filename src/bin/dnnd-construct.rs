@@ -13,8 +13,11 @@
 //! Flags: `--rho --delta --seed --batch-size --unoptimized` (protocol),
 //! `--no-shuffle` (reverse exchange), `--elem f32|u8`, and the
 //! observability outputs `--trace-out trace.json` (Chrome-trace /
-//! Perfetto span timeline, one track per rank) and `--report-out
-//! report.json` (unified machine-readable run report).
+//! Perfetto span timeline, one track per rank), `--report-out
+//! report.json` (unified machine-readable run report), and
+//! `--dashboard-out dash.html` (self-contained HTML dashboard: phase
+//! timeline, rank×rank traffic heatmap, convergence curve, telemetry
+//! series — no external assets).
 //!
 //! Fault injection: `--fault-profile clean|lossy|stormy` runs the build
 //! under the simulated-transport fault layer, and `--sim-seed <u64>`
@@ -23,7 +26,7 @@
 
 use bench::Args;
 use dnnd::{build, CommOpts, DnndConfig};
-use dnnd_repro::cli::{die, load_f32, load_u8, parse_fault_plan, read_meta, Elem};
+use dnnd_repro::cli::{die, load_f32, load_u8, parse_fault_plan, read_meta, Elem, ObsOuts};
 use metall::Store;
 use std::sync::Arc;
 use ygm::World;
@@ -61,12 +64,11 @@ fn main() {
         cfg = cfg.shuffle_reverse(false);
     }
 
-    let trace_out: String = args.get("trace-out", String::new());
-    let report_out: String = args.get("report-out", String::new());
-    let tracer = if trace_out.is_empty() && report_out.is_empty() {
-        None
-    } else {
+    let outs = ObsOuts::parse(&args);
+    let tracer = if outs.any() {
         Some(Arc::new(obs::Tracer::new(ranks)))
+    } else {
+        None
     };
 
     let mut store = Store::open_or_create(&store_dir)
@@ -178,15 +180,16 @@ fn main() {
     }
 
     if let Some(t) = &tracer {
-        if !trace_out.is_empty() {
-            dnnd::obs_report::write_trace(&trace_out, t)
-                .unwrap_or_else(|e| die(&format!("cannot write {trace_out}: {e}")));
+        if !outs.trace.is_empty() {
+            dnnd::obs_report::write_trace(&outs.trace, t)
+                .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", outs.trace)));
             println!(
-                "trace written to {trace_out} ({} spans dropped)",
+                "trace written to {} ({} spans dropped)",
+                outs.trace,
                 t.dropped_events()
             );
         }
-        if !report_out.is_empty() {
+        if outs.wants_report() {
             let mut rr = dnnd::obs_report::report_from_build("dnnd-construct", &report);
             rr.param("input", &input)
                 .param("k", k)
@@ -197,10 +200,19 @@ fn main() {
                 rr.param("fault_profile", &fault_profile)
                     .param("sim_seed", sim_seed);
             }
+            rr.metric("store_high_water_bytes", store.high_water_bytes() as f64);
             dnnd::obs_report::attach_histograms(&mut rr, Some(t));
-            dnnd::obs_report::write_report(&report_out, &rr)
-                .unwrap_or_else(|e| die(&format!("cannot write {report_out}: {e}")));
-            println!("run report written to {report_out}");
+            dnnd::obs_report::attach_series(&mut rr, Some(t));
+            if !outs.report.is_empty() {
+                dnnd::obs_report::write_report(&outs.report, &rr)
+                    .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", outs.report)));
+                println!("run report written to {}", outs.report);
+            }
+            if !outs.dashboard.is_empty() {
+                dnnd::obs_report::write_dashboard(&outs.dashboard, &rr)
+                    .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", outs.dashboard)));
+                println!("dashboard written to {}", outs.dashboard);
+            }
         }
     }
 }

@@ -9,10 +9,11 @@
 //! ```
 //!
 //! `--trace-out trace.json` emits a Chrome-trace span timeline of the
-//! optimization passes; `--report-out report.json` a unified run report.
+//! optimization passes; `--report-out report.json` a unified run report;
+//! `--dashboard-out dash.html` a self-contained HTML dashboard.
 
 use bench::Args;
-use dnnd_repro::cli::{die, read_meta, Elem};
+use dnnd_repro::cli::{die, read_meta, Elem, ObsOuts};
 use metall::Store;
 use nnd::{diversify, KnnGraph};
 
@@ -24,14 +25,13 @@ fn main() {
     }
     let m: f64 = args.get("m", 1.5);
     let keep: f64 = args.get("diversify", 1.0);
-    let trace_out: String = args.get("trace-out", String::new());
-    let report_out: String = args.get("report-out", String::new());
+    let outs = ObsOuts::parse(&args);
     // Graph optimization is a driver-side (single-process) pass, so the
     // trace has one track.
-    let tracer = if trace_out.is_empty() && report_out.is_empty() {
-        None
-    } else {
+    let tracer = if outs.any() {
         Some(obs::Tracer::new(1))
+    } else {
+        None
     };
     let span = |name: &'static str, f: &mut dyn FnMut() -> KnnGraph| {
         if let Some(t) = &tracer {
@@ -105,12 +105,12 @@ fn main() {
     println!("search graph written to {store_dir}/opt");
 
     if let Some(t) = &tracer {
-        if !trace_out.is_empty() {
-            std::fs::write(&trace_out, obs::chrome::chrome_trace_json(t))
-                .unwrap_or_else(|e| die(&format!("cannot write {trace_out}: {e}")));
-            println!("trace written to {trace_out}");
+        if !outs.trace.is_empty() {
+            std::fs::write(&outs.trace, obs::chrome::chrome_trace_json(t))
+                .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", outs.trace)));
+            println!("trace written to {}", outs.trace);
         }
-        if !report_out.is_empty() {
+        if outs.wants_report() {
             let mut rr = obs::RunReport::new("dnnd-optimize");
             rr.n_ranks = 1;
             rr.wall_secs = secs;
@@ -122,10 +122,18 @@ fn main() {
                 .push(("edges".into(), optimized.edge_count() as f64));
             rr.extra
                 .push(("max_degree".into(), optimized.max_degree() as f64));
+            rr.metric("store_high_water_bytes", store.high_water_bytes() as f64);
             rr.add_histograms(&t.hist_snapshots());
-            std::fs::write(&report_out, rr.to_json_string())
-                .unwrap_or_else(|e| die(&format!("cannot write {report_out}: {e}")));
-            println!("run report written to {report_out}");
+            if !outs.report.is_empty() {
+                std::fs::write(&outs.report, rr.to_json_string())
+                    .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", outs.report)));
+                println!("run report written to {}", outs.report);
+            }
+            if !outs.dashboard.is_empty() {
+                std::fs::write(&outs.dashboard, obs::dashboard::dashboard_html(&rr))
+                    .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", outs.dashboard)));
+                println!("dashboard written to {}", outs.dashboard);
+            }
         }
     }
 }

@@ -12,13 +12,16 @@
 //! dnnd-query --store /tmp/deep-store --self-queries 100 --l 10 --epsilon 0.2
 //! dnnd-query --store ./store --queries q.fvecs --gt gt.ivecs --l 10
 //! ```
+//!
+//! `--trace-out`, `--report-out`, and `--dashboard-out` emit the Chrome
+//! trace, unified run report, and self-contained HTML dashboard.
 
 use bench::Args;
 use dataset::io;
 use dataset::metric::Metric;
 use dataset::point::Point;
 use dataset::{brute_force_queries, mean_recall, PointSet};
-use dnnd_repro::cli::{die, read_meta, Elem};
+use dnnd_repro::cli::{die, read_meta, Elem, ObsOuts};
 use metall::Store;
 use nnd::{search_batch_traced, KnnGraph, SearchParams};
 
@@ -93,14 +96,13 @@ fn main() {
     let entries: usize = args.get("entries", 32);
     let self_queries: usize = args.get("self-queries", 0);
     let query_file: String = args.get("queries", String::new());
-    let trace_out: String = args.get("trace-out", String::new());
-    let report_out: String = args.get("report-out", String::new());
+    let outs = ObsOuts::parse(&args);
     // The query program is shared-memory (the paper runs it on one fat
     // node), so the trace has a single track.
-    let tracer = if trace_out.is_empty() && report_out.is_empty() {
-        None
-    } else {
+    let tracer = if outs.any() {
         Some(obs::Tracer::new(1))
+    } else {
+        None
     };
 
     let store = Store::open(&store_dir).unwrap_or_else(|e| die(&format!("cannot open store: {e}")));
@@ -219,12 +221,12 @@ fn main() {
     };
 
     if let Some(t) = &tracer {
-        if !trace_out.is_empty() {
-            std::fs::write(&trace_out, obs::chrome::chrome_trace_json(t))
-                .unwrap_or_else(|e| die(&format!("cannot write {trace_out}: {e}")));
-            println!("trace written to {trace_out}");
+        if !outs.trace.is_empty() {
+            std::fs::write(&outs.trace, obs::chrome::chrome_trace_json(t))
+                .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", outs.trace)));
+            println!("trace written to {}", outs.trace);
         }
-        if !report_out.is_empty() {
+        if outs.wants_report() {
             let mut rr = obs::RunReport::new("dnnd-query");
             rr.n_ranks = 1;
             rr.wall_secs = summary.secs;
@@ -240,9 +242,16 @@ fn main() {
             rr.extra
                 .push(("n_queries".into(), summary.n_queries as f64));
             rr.add_histograms(&t.hist_snapshots());
-            std::fs::write(&report_out, rr.to_json_string())
-                .unwrap_or_else(|e| die(&format!("cannot write {report_out}: {e}")));
-            println!("run report written to {report_out}");
+            if !outs.report.is_empty() {
+                std::fs::write(&outs.report, rr.to_json_string())
+                    .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", outs.report)));
+                println!("run report written to {}", outs.report);
+            }
+            if !outs.dashboard.is_empty() {
+                std::fs::write(&outs.dashboard, obs::dashboard::dashboard_html(&rr))
+                    .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", outs.dashboard)));
+                println!("dashboard written to {}", outs.dashboard);
+            }
         }
     }
 }

@@ -53,6 +53,40 @@ impl Elem {
 /// Supported metric names for dense data on the CLI.
 pub const METRIC_NAMES: &[&str] = &["l2", "sql2", "cosine", "l1"];
 
+/// The observability output paths every executable accepts
+/// (`--trace-out`, `--report-out`, `--dashboard-out`); empty = not asked
+/// for. Any one of them requires a tracer on the run.
+#[derive(Debug, Clone, Default)]
+pub struct ObsOuts {
+    /// Chrome-trace / Perfetto span timeline destination.
+    pub trace: String,
+    /// Unified JSON run-report destination.
+    pub report: String,
+    /// Self-contained HTML dashboard destination.
+    pub dashboard: String,
+}
+
+impl ObsOuts {
+    /// Read the three flags from parsed CLI arguments.
+    pub fn parse(args: &bench::Args) -> ObsOuts {
+        ObsOuts {
+            trace: args.get("trace-out", String::new()),
+            report: args.get("report-out", String::new()),
+            dashboard: args.get("dashboard-out", String::new()),
+        }
+    }
+
+    /// Whether any output was requested (i.e. the run needs a tracer).
+    pub fn any(&self) -> bool {
+        !self.trace.is_empty() || !self.report.is_empty() || !self.dashboard.is_empty()
+    }
+
+    /// Whether a `RunReport` must be assembled (report or dashboard).
+    pub fn wants_report(&self) -> bool {
+        !self.report.is_empty() || !self.dashboard.is_empty()
+    }
+}
+
 /// Abort with a message (CLI-style).
 pub fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");

@@ -185,6 +185,111 @@ fn chrome_trace_has_per_rank_tracks_and_all_engine_phases() {
     assert_eq!(iter_spans, report.iterations * report.n_ranks);
 }
 
+/// One traced, fault-free, *unoptimized* build — the protocol whose
+/// delivered-message multiset (and thus telemetry) is a pure function of
+/// the seed.
+fn unopt_traced_run(n_ranks: usize) -> (Arc<Tracer>, BuildReport) {
+    let set = Arc::new(synth::uniform(300, 8, 7));
+    let tracer = Arc::new(Tracer::new(n_ranks));
+    let world = World::new(n_ranks).tracer(Arc::clone(&tracer));
+    let out = build(
+        &world,
+        &set,
+        &L2,
+        DnndConfig::new(6)
+            .seed(11)
+            .comm_opts(CommOpts::unoptimized())
+            .max_iters(4),
+    );
+    (tracer, out.report)
+}
+
+#[test]
+fn telemetry_series_and_matrix_replay_bit_identically() {
+    // Gauges are sampled at barrier entry on the virtual clock, and
+    // message dispatch only happens inside barriers — so under the
+    // unoptimized protocol both the sample timestamps and the sampled
+    // values must be bit-identical across same-seed runs, at every rank
+    // count.
+    for ranks in [1usize, 2, 4] {
+        let (t1, r1) = unopt_traced_run(ranks);
+        let (t2, r2) = unopt_traced_run(ranks);
+        let (s1, s2) = (t1.series().snapshot(), t2.series().snapshot());
+        assert!(!s1.is_empty(), "no series recorded at n_ranks={ranks}");
+        assert_eq!(s1, s2, "series diverged between runs at n_ranks={ranks}");
+        assert_eq!(
+            r1.matrix, r2.matrix,
+            "traffic matrix diverged between runs at n_ranks={ranks}"
+        );
+        for name in [
+            "send_buf_bytes",
+            "heap_updates",
+            "dist_evals",
+            "termination_c",
+        ] {
+            assert!(
+                s1.iter().any(|s| s.name == name),
+                "gauge {name:?} missing at n_ranks={ranks}"
+            );
+        }
+        // Every rank contributes a send-buffer track; the termination
+        // counter is global, so rank 0 alone carries it.
+        let buf_ranks: Vec<u64> = s1
+            .iter()
+            .filter(|s| s.name == "send_buf_bytes")
+            .map(|s| s.rank)
+            .collect();
+        assert_eq!(buf_ranks, (0..ranks as u64).collect::<Vec<_>>());
+        let term_ranks: Vec<u64> = s1
+            .iter()
+            .filter(|s| s.name == "termination_c")
+            .map(|s| s.rank)
+            .collect();
+        assert_eq!(term_ranks, vec![0]);
+    }
+}
+
+#[test]
+fn matrix_sums_equal_reported_tag_totals() {
+    // The rank×rank matrix includes the diagonal (rank-local sends), so
+    // each tag's cells must sum to the per-tag totals exactly, and the
+    // off-diagonal part to the remote totals — for the optimized protocol
+    // too, whose per-edge traffic is arrival-order dependent.
+    let (_, report) = traced_build(5);
+    let n = report.matrix.n_ranks;
+    assert_eq!(n, report.n_ranks);
+    assert_eq!(report.matrix.tags.len(), report.tags.len());
+    for (tag, _, s) in &report.tags {
+        let m = report
+            .matrix
+            .tags
+            .iter()
+            .find(|mt| mt.tag == *tag)
+            .unwrap_or_else(|| panic!("tag {tag} missing from matrix"));
+        assert_eq!(m.counts.iter().sum::<u64>(), s.count, "tag {tag} counts");
+        assert_eq!(m.bytes.iter().sum::<u64>(), s.bytes, "tag {tag} bytes");
+        let off_diag = |cells: &[u64]| -> u64 {
+            cells
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i / n != i % n)
+                .map(|(_, v)| v)
+                .sum()
+        };
+        assert_eq!(off_diag(&m.counts), s.remote_count, "tag {tag} remote");
+        assert_eq!(off_diag(&m.bytes), s.remote_bytes, "tag {tag} remote bytes");
+    }
+
+    // The invariant carries through the RunReport translation.
+    let rr = dnnd::obs_report::report_from_build("it", &report);
+    let ms = rr
+        .matrix
+        .as_ref()
+        .expect("construct reports carry a matrix");
+    assert_eq!(ms.total_counts().iter().sum::<u64>(), rr.total_count);
+    assert_eq!(ms.total_bytes().iter().sum::<u64>(), rr.total_bytes);
+}
+
 fn tmpdir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("dnnd-obs-it-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&d);
@@ -240,6 +345,74 @@ fn cli_trace_and_report_flags_emit_valid_json() {
     assert!(rr.tags.iter().any(|t| t.name == "Type 2+"));
     assert!(rr.iterations >= 1);
     assert!(!rr.histograms.is_empty());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_dashboard_is_self_contained_with_all_sections() {
+    let dir = tmpdir("dash");
+    let store = dir.join("store");
+    let dash = dir.join("dash.html");
+    let report = dir.join("report.json");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_dnnd-construct"))
+        .args([
+            "--input",
+            "preset:deep1b",
+            "--n",
+            "400",
+            "--k",
+            "6",
+            "--ranks",
+            "4",
+            "--seed",
+            "9",
+            "--store",
+            store.to_str().unwrap(),
+            "--dashboard-out",
+            dash.to_str().unwrap(),
+            "--report-out",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn dnnd-construct");
+    assert!(
+        out.status.success(),
+        "construct failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let html = std::fs::read_to_string(&dash).expect("dashboard written");
+    // Self-contained: renders offline with no network fetches or scripts.
+    for forbidden in ["http://", "https://", "<script", "src=", "@import", "url("] {
+        assert!(
+            !html.contains(forbidden),
+            "dashboard must not contain {forbidden:?}"
+        );
+    }
+    // The three headline views plus the telemetry series.
+    for section in [
+        "id=\"timeline\"",
+        "id=\"traffic-heatmap\"",
+        "id=\"convergence\"",
+        "id=\"telemetry\"",
+    ] {
+        assert!(html.contains(section), "dashboard missing {section}");
+    }
+    assert!(html.contains("send_buf_bytes"), "telemetry series missing");
+
+    // The JSON report next to it is schema v2 and carries the telemetry
+    // the dashboard rendered, plus the store's allocation high-water.
+    let rr = RunReport::parse(&std::fs::read_to_string(&report).unwrap()).expect("report JSON");
+    assert!(!rr.series.is_empty(), "report missing series");
+    assert!(rr.matrix.is_some(), "report missing traffic matrix");
+    assert!(
+        rr.extra
+            .iter()
+            .any(|(k, v)| k == "store_high_water_bytes" && *v > 0.0),
+        "report missing store_high_water_bytes"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }
