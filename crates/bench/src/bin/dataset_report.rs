@@ -6,7 +6,7 @@
 
 use bench::{Args, Table};
 use dataset::ground_truth::brute_force_knng;
-use dataset::metric::{Cosine, Jaccard, Metric, L2};
+use dataset::metric::{Cosine, Jaccard, L2};
 use dataset::point::Point;
 use dataset::presets;
 use dataset::recall::mean_recall;
@@ -14,7 +14,7 @@ use dataset::set::PointSet;
 use dataset::{analysis, GroundTruth};
 use nnd::{build, NnDescentParams};
 
-fn report_one<P: Point, M: Metric<P>>(
+fn report_one<P: Point, M: dataset::batch::BatchMetric<P>>(
     name: &str,
     set: PointSet<P>,
     metric: M,

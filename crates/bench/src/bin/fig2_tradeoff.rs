@@ -12,7 +12,7 @@
 
 use bench::{Args, Table};
 use dataset::ground_truth::brute_force_queries;
-use dataset::metric::{Metric, L2};
+use dataset::metric::L2;
 use dataset::point::Point;
 use dataset::presets;
 use dataset::recall::mean_recall;
@@ -36,7 +36,7 @@ fn epsilon_sweep() -> Vec<f32> {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn dataset_section<P: Point, M: Metric<P>>(
+fn dataset_section<P: Point, M: dataset::batch::BatchMetric<P>>(
     name: &str,
     full: PointSet<P>,
     metric: M,

@@ -16,7 +16,7 @@
 //! is the reproduction target. Wall-clock times are also printed.
 
 use bench::{Args, Table};
-use dataset::metric::{Metric, L2};
+use dataset::metric::L2;
 use dataset::point::Point;
 use dataset::presets;
 use dataset::set::PointSet;
@@ -66,7 +66,7 @@ fn fmt_opt(h: Option<f64>) -> String {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn dataset_section<P: Point, M: Metric<P>>(
+fn dataset_section<P: Point, M: dataset::batch::BatchMetric<P>>(
     name: &str,
     set: PointSet<P>,
     metric: M,

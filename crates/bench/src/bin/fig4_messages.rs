@@ -12,7 +12,7 @@
 //! simulated ranks, printing per-tag breakdowns and the reduction ratios.
 
 use bench::{pct, Args, Table};
-use dataset::metric::{Metric, L2};
+use dataset::metric::L2;
 use dataset::point::Point;
 use dataset::presets;
 use dataset::set::PointSet;
@@ -21,7 +21,7 @@ use dnnd::{build, BuildReport, CommOpts, DnndConfig};
 use std::sync::Arc;
 use ygm::World;
 
-fn run<P: Point, M: Metric<P>>(
+fn run<P: Point, M: dataset::batch::BatchMetric<P>>(
     set: &Arc<PointSet<P>>,
     metric: &M,
     k: usize,
@@ -40,7 +40,7 @@ fn run<P: Point, M: Metric<P>>(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn report_dataset<P: Point, M: Metric<P>>(
+fn report_dataset<P: Point, M: dataset::batch::BatchMetric<P>>(
     name: &str,
     set: PointSet<P>,
     metric: M,

@@ -10,7 +10,7 @@
 
 use bench::{Args, Table};
 use dataset::ground_truth::brute_force_queries;
-use dataset::metric::{Metric, L2};
+use dataset::metric::L2;
 use dataset::point::Point;
 use dataset::presets;
 use dataset::recall::mean_recall;
@@ -18,7 +18,7 @@ use dataset::set::PointSet;
 use dataset::synth::split_queries;
 use hnsw::{HnswIndex, HnswParams};
 
-fn survey<P: Point, M: Metric<P>>(
+fn survey<P: Point, M: dataset::batch::BatchMetric<P>>(
     name: &str,
     full: PointSet<P>,
     metric: M,

@@ -11,7 +11,7 @@
 
 use bench::{Args, Table};
 use dataset::ground_truth::brute_force_knng;
-use dataset::metric::{Cosine, Jaccard, Metric, L2};
+use dataset::metric::{Cosine, Jaccard, L2};
 use dataset::point::Point;
 use dataset::presets;
 use dataset::recall::mean_recall;
@@ -29,7 +29,7 @@ fn paper_recall(name: &str) -> &'static str {
     }
 }
 
-fn run_one<P: Point, M: Metric<P>>(
+fn run_one<P: Point, M: dataset::batch::BatchMetric<P>>(
     name: &'static str,
     set: PointSet<P>,
     metric: M,

@@ -3,17 +3,19 @@
 //!
 //! The paper validates DNND's graphs against brute force on the small
 //! datasets; at larger scale even the *checker* needs distribution. The
-//! standard scheme: each query vertex `v` ships its vector to every rank;
-//! each rank answers with its **partition-local top-k** among the vertices
-//! it owns; `owner(v)` merges the per-partition lists into the exact
-//! global top-k. Exactness holds because the global k nearest are a subset
-//! of the union of per-partition k nearest.
+//! standard scheme: query vertices ship their vectors to every rank in
+//! **scan blocks** of [`BF_BLOCK`] queries; each rank answers a block with
+//! the **partition-local top-k** of every member (one batched MxN
+//! distance evaluation per block against its owned vertices, using the
+//! rank's cached norms); `owner(v)` merges the per-partition lists into
+//! the exact global top-k. Exactness holds because the global k nearest
+//! are a subset of the union of per-partition k nearest.
 
 use crate::msgs::name_tags;
 use crate::partition::Partitioner;
 use bytes::{Bytes, BytesMut};
+use dataset::batch::{BatchMetric, NormCache};
 use dataset::ground_truth::GroundTruth;
-use dataset::metric::Metric;
 use dataset::order::OrdF32;
 use dataset::point::Point;
 use dataset::set::{PointId, PointSet};
@@ -24,36 +26,39 @@ use std::rc::Rc;
 use std::sync::Arc;
 use ygm::{Comm, Wire, World};
 
-/// Scan request: query vertex + vector, answered with the local top-k.
+/// Scan request: a block of query vertices + vectors, answered with the
+/// local top-k of every member.
 pub const TAG_BF_SCAN: u16 = 44;
-/// Partial top-k reply.
+/// Partial top-k reply (one per scan block).
 pub const TAG_BF_PARTIAL: u16 = 45;
 
-struct Scan<P> {
-    v: PointId,
+/// Queries per scan block: the `M` of the receiver's MxN batched
+/// evaluation. Big enough to amortize per-message overhead, small enough
+/// that the MxN distance buffer stays cache-resident.
+pub const BF_BLOCK: usize = 32;
+
+struct ScanBlock<P> {
     home: u32,
-    vec: P,
+    qs: Vec<(PointId, P)>,
 }
 
-impl<P: Wire> Wire for Scan<P> {
+impl<P: Wire> Wire for ScanBlock<P> {
     fn encode(&self, buf: &mut BytesMut) {
-        self.v.encode(buf);
         self.home.encode(buf);
-        self.vec.encode(buf);
+        self.qs.encode(buf);
     }
     fn decode(buf: &mut Bytes) -> Self {
-        Scan {
-            v: PointId::decode(buf),
+        ScanBlock {
             home: u32::decode(buf),
-            vec: P::decode(buf),
+            qs: Vec::<(PointId, P)>::decode(buf),
         }
     }
     fn wire_size(&self) -> usize {
-        self.v.wire_size() + self.home.wire_size() + self.vec.wire_size()
+        self.home.wire_size() + self.qs.wire_size()
     }
 }
 
-type Partial = (PointId, Vec<(PointId, f32)>);
+type Partial = Vec<(PointId, Vec<(PointId, f32)>)>;
 
 /// Exact k-NNG over `set` (no self edges), computed on `world.n_ranks()`
 /// simulated ranks. Results are identical to
@@ -66,7 +71,7 @@ pub fn distributed_ground_truth<P, M>(
 ) -> GroundTruth
 where
     P: Point,
-    M: Metric<P>,
+    M: BatchMetric<P>,
 {
     assert!(k < set.len(), "k must be smaller than the dataset");
     let report = world.run(|comm| rank_bf(comm, Arc::clone(set), metric.clone(), k));
@@ -81,32 +86,53 @@ where
     GroundTruth { ids, dists }
 }
 
-fn local_topk<P: Point, M: Metric<P>>(
+/// Per-partition top-k for every query of a scan block, evaluated as
+/// MxN batched distance calls over `owned` in cache-sized column chunks.
+/// A query that appears among `owned` (the k-NNG case, where every query
+/// is a base vertex) is excluded from its own candidate scan.
+fn local_topk_block<P: Point, M: BatchMetric<P>>(
     set: &PointSet<P>,
     metric: &M,
+    cache: &NormCache,
     owned: &[PointId],
-    q: &P,
-    exclude: PointId,
+    qs: &[(PointId, P)],
     k: usize,
-) -> Vec<(PointId, f32)> {
-    let mut heap: BinaryHeap<(OrdF32, PointId)> = BinaryHeap::with_capacity(k + 1);
-    for &u in owned {
-        if u == exclude {
-            continue;
-        }
-        let d = metric.distance(q, set.point(u));
-        if heap.len() < k {
-            heap.push((OrdF32(d), u));
-        } else if let Some(&(worst, worst_id)) = heap.peek() {
-            if (OrdF32(d), u) < (worst, worst_id) {
-                heap.pop();
-                heap.push((OrdF32(d), u));
+) -> Partial {
+    const COLS: usize = 256;
+    let qvecs: Vec<P> = qs.iter().map(|(_, q)| q.clone()).collect();
+    let mut heaps: Vec<BinaryHeap<(OrdF32, PointId)>> = qs
+        .iter()
+        .map(|_| BinaryHeap::with_capacity(k + 1))
+        .collect();
+    let mut dbuf: Vec<f32> = Vec::new();
+    for chunk in owned.chunks(COLS) {
+        metric.distance_many_to_many(&qvecs, set, cache, chunk, &mut dbuf);
+        for (qi, ((qv, _), heap)) in qs.iter().zip(heaps.iter_mut()).enumerate() {
+            let row = &dbuf[qi * chunk.len()..(qi + 1) * chunk.len()];
+            for (&u, &d) in chunk.iter().zip(row) {
+                if u == *qv {
+                    continue;
+                }
+                if heap.len() < k {
+                    heap.push((OrdF32(d), u));
+                } else if let Some(&(worst, worst_id)) = heap.peek() {
+                    if (OrdF32(d), u) < (worst, worst_id) {
+                        heap.pop();
+                        heap.push((OrdF32(d), u));
+                    }
+                }
             }
         }
     }
-    let mut pairs: Vec<(PointId, f32)> = heap.into_iter().map(|(OrdF32(d), id)| (id, d)).collect();
-    pairs.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
-    pairs
+    qs.iter()
+        .zip(heaps)
+        .map(|(&(qv, _), heap)| {
+            let mut pairs: Vec<(PointId, f32)> =
+                heap.into_iter().map(|(OrdF32(d), id)| (id, d)).collect();
+            pairs.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+            (qv, pairs)
+        })
+        .collect()
 }
 
 fn rank_bf<P, M>(
@@ -117,11 +143,14 @@ fn rank_bf<P, M>(
 ) -> Vec<(PointId, Vec<(PointId, f32)>)>
 where
     P: Point,
-    M: Metric<P>,
+    M: BatchMetric<P>,
 {
     let part = Partitioner::new(comm.n_ranks());
     let owned = part.owned_ids(set.len(), comm.rank());
     let dim = set.dim().max(1);
+    // Norms once per rank, amortized across every scan block it answers.
+    let cache = Arc::new(metric.preprocess(&set));
+    comm.charge_compute(comm.cost().distance_cost_ns(dim) * owned.len() as u64);
     name_tags(comm);
     comm.name_tag(TAG_BF_SCAN, "bf_scan");
     comm.name_tag(TAG_BF_PARTIAL, "bf_partial");
@@ -133,45 +162,51 @@ where
     {
         let set = Arc::clone(&set);
         let metric = metric.clone();
+        let cache = Arc::clone(&cache);
         let owned = owned.clone();
-        comm.register::<Scan<P>, _>(TAG_BF_SCAN, move |c, msg| {
-            let local = local_topk(&set, &metric, &owned, &msg.vec, msg.v, k);
-            // The scan over |owned| points is the dominant compute.
-            c.charge_compute(c.cost().distance_cost_ns(dim) * owned.len() as u64);
-            c.async_send(msg.home as usize, TAG_BF_PARTIAL, &(msg.v, local));
+        comm.register::<ScanBlock<P>, _>(TAG_BF_SCAN, move |c, msg| {
+            let local = local_topk_block(&set, &metric, &cache, &owned, &msg.qs, k);
+            // The MxN scan over the block is the dominant compute.
+            c.charge_compute(c.cost().distance_cost_ns(dim) * (owned.len() * msg.qs.len()) as u64);
+            c.trace_hist("kernel_batch_len", (owned.len() * msg.qs.len()) as u64);
+            c.async_send(msg.home as usize, TAG_BF_PARTIAL, &local);
         });
     }
     {
         let merged = Rc::clone(&merged);
-        comm.register::<Partial, _>(TAG_BF_PARTIAL, move |_, (v, mut pairs)| {
-            merged.borrow_mut().entry(v).or_default().append(&mut pairs);
+        comm.register::<Partial, _>(TAG_BF_PARTIAL, move |_, partial| {
+            let mut m = merged.borrow_mut();
+            for (v, mut pairs) in partial {
+                m.entry(v).or_default().append(&mut pairs);
+            }
         });
     }
 
-    // Ship each owned query vector to every rank, in batches so buffers
-    // stay bounded (same Section 4.4 discipline as construction).
+    // Ship owned query vectors to every rank in BF_BLOCK-query scan
+    // blocks, quota-limited so buffers stay bounded (same Section 4.4
+    // discipline as construction).
     let quota = 1usize << 12;
+    let per_window = (quota / comm.n_ranks().max(1) / BF_BLOCK).max(1);
+    let blocks: Vec<&[PointId]> = owned.chunks(BF_BLOCK).collect();
     let mut idx = 0;
     loop {
-        let end = (idx + quota / comm.n_ranks().max(1))
-            .min(owned.len())
-            .max(idx);
-        for &v in &owned[idx..end] {
+        let end = (idx + per_window).min(blocks.len());
+        for block in &blocks[idx..end] {
+            let qs: Vec<(PointId, P)> = block.iter().map(|&v| (v, set.point(v).clone())).collect();
             for dest in 0..comm.n_ranks() {
                 comm.async_send(
                     dest,
                     TAG_BF_SCAN,
-                    &Scan {
-                        v,
+                    &ScanBlock {
                         home: comm.rank() as u32,
-                        vec: set.point(v).clone(),
+                        qs: qs.clone(),
                     },
                 );
             }
         }
         idx = end;
         comm.barrier();
-        if comm.all_reduce_sum_u64((owned.len() - idx) as u64) == 0 {
+        if comm.all_reduce_sum_u64((blocks.len() - idx) as u64) == 0 {
             break;
         }
     }

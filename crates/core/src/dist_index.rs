@@ -8,7 +8,7 @@ use crate::config::DnndConfig;
 use crate::engine::{build, BuildReport};
 use crate::persist::{load_sharded, save_sharded};
 use crate::query::{distributed_search_batch, DistSearchParams};
-use dataset::metric::Metric;
+use dataset::batch::BatchMetric;
 use dataset::point::Point;
 use dataset::set::{PointId, PointSet};
 use metall::Result as StoreResult;
@@ -28,7 +28,7 @@ pub struct DistIndex<P, M> {
     k: usize,
 }
 
-impl<P: Point, M: Metric<P>> DistIndex<P, M> {
+impl<P: Point, M: BatchMetric<P>> DistIndex<P, M> {
     /// Build on `world`, always applying the Section 4.5 optimization
     /// (`m = 1.5` unless the config overrides it) so the graph is
     /// traversal-ready: the raw directed k-NNG can leave vertices with

@@ -13,6 +13,15 @@
 //!    Type 1 / Type 2+ / Type 3) protocol (4.3), issued in globally
 //!    coordinated batches separated by barriers (4.4). Termination when the
 //!    all-reduced update count drops below `delta * K * N`.
+//!
+//! Since the batched distance-kernel rework, checks travel as **join rows**
+//! — `(head, [partners...])` — instead of single pairs: each rank groups a
+//! head's partners by destination rank, ships the head's vector once per
+//! destination, and the receiver evaluates the whole row with one batched
+//! [`BatchMetric::distance_one_to_many`] call against its cached norms.
+//! Because the batched kernels are bit-identical to the scalar reference
+//! per element, the delivered pair multiset (and therefore the final graph
+//! under the unoptimized protocol) is unchanged by the batching.
 //! 3. **Graph optimization** (optional, 4.5) — reverse edges are shipped to
 //!    their endpoint's owner, merged, deduplicated, and pruned to
 //!    `ceil(K * m)` neighbors.
@@ -20,7 +29,7 @@
 use crate::config::DnndConfig;
 use crate::msgs::*;
 use crate::partition::Partitioner;
-use dataset::metric::Metric;
+use dataset::batch::{BatchMetric, NormCache};
 use dataset::point::Point;
 use dataset::set::{PointId, PointSet};
 use nnd::graph::{Edge, KnnGraph};
@@ -117,6 +126,10 @@ struct State {
     attempts: u64,
     /// Distance evaluations performed on this rank.
     dist_evals: u64,
+    /// Batched kernel invocations on this rank (each covering one or more
+    /// distance evaluations); `dist_evals / kernel_batches` is the mean
+    /// batch width the telemetry gauge reports.
+    kernel_batches: u64,
     /// Distance evaluations attributed per owned vertex; populated only
     /// when the world has a tracer attached.
     dist_by_vertex: HashMap<PointId, u64>,
@@ -131,6 +144,7 @@ impl State {
             opt_extra: HashMap::new(),
             attempts: 0,
             dist_evals: 0,
+            kernel_batches: 0,
             dist_by_vertex: HashMap::new(),
         }
     }
@@ -141,6 +155,40 @@ impl State {
             *self.dist_by_vertex.entry(v).or_default() += 1;
         }
     }
+
+    /// Account one batched kernel call covering `n` evaluations.
+    fn record_batch(&mut self, n: usize) {
+        self.dist_evals += n as u64;
+        self.kernel_batches += 1;
+    }
+}
+
+/// Charge the virtual compute cost of `n` distance evaluations at once.
+fn charge_batch(comm: &Comm, dim: usize, n: usize) {
+    comm.charge_compute(comm.cost().distance_cost_ns(dim) * n as u64);
+}
+
+/// Split candidate ids into (locally owned, per-remote-rank groups in
+/// first-seen destination order) — one message per remote group.
+fn group_by_owner(
+    part: Partitioner,
+    my_rank: usize,
+    ids: &[PointId],
+) -> (Vec<PointId>, Vec<(usize, Vec<PointId>)>) {
+    let mut local = Vec::new();
+    let mut remote: Vec<(usize, Vec<PointId>)> = Vec::new();
+    for &u in ids {
+        let dest = part.owner(u);
+        if dest == my_rank {
+            local.push(u);
+        } else {
+            match remote.iter_mut().find(|(r, _)| *r == dest) {
+                Some((_, g)) => g.push(u),
+                None => remote.push((dest, vec![u])),
+            }
+        }
+    }
+    (local, remote)
 }
 
 /// Build a k-NNG over `set` using `world.n_ranks()` simulated ranks.
@@ -151,7 +199,7 @@ impl State {
 pub fn build<P, M>(world: &World, set: &Arc<PointSet<P>>, metric: &M, cfg: DnndConfig) -> DnndOutput
 where
     P: Point,
-    M: Metric<P>,
+    M: BatchMetric<P>,
 {
     assert!(set.len() >= 2, "need at least two points");
     assert!(cfg.k >= 1 && cfg.k < set.len(), "require 1 <= k < N");
@@ -208,14 +256,20 @@ fn rank_main<P, M>(
 ) -> (RankRows, RankMetrics)
 where
     P: Point,
-    M: Metric<P>,
+    M: BatchMetric<P>,
 {
     let part = Partitioner::new(comm.n_ranks());
     let n = set.len();
     let dim = set.dim().max(1);
     let owned = part.owned_ids(n, comm.rank());
     let st = Rc::new(RefCell::new(State::new(&owned, cfg.k)));
-    register_handlers(comm, &st, &set, &metric, part, cfg, dim);
+    // Per-set norm cache (Section "cached-norm preprocessing"): each rank
+    // computes the squared norms once up front so every dot-form distance
+    // afterwards skips both norm recomputations. A real deployment would
+    // compute only its partition; the virtual clock charges accordingly.
+    let cache = Arc::new(metric.preprocess(&set));
+    charge_batch(comm, dim, owned.len());
+    register_handlers(comm, &st, &set, &metric, &cache, part, cfg, dim);
     let traced = comm.tracer().is_some();
 
     // ---- Phase 1: random initialization ------------------------------------
@@ -233,29 +287,33 @@ where
             }
             guard += 1;
         }
-        for u in chosen {
-            if part.owner(u) == comm.rank() {
-                // Both endpoints local: compute in place.
-                let d = metric.distance(set.point(v), set.point(u));
-                comm.charge_distance(dim);
-                let mut s = st.borrow_mut();
-                s.dist_evals += 1;
+        let (local, remote) = group_by_owner(part, comm.rank(), &chosen);
+        if !local.is_empty() {
+            // Local candidates: one batched 1xN evaluation.
+            let mut dbuf = Vec::with_capacity(local.len());
+            metric.distance_one_to_many(set.point(v), &set, &cache, &local, &mut dbuf);
+            charge_batch(comm, dim, local.len());
+            comm.trace_hist("kernel_batch_len", local.len() as u64);
+            let mut s = st.borrow_mut();
+            s.record_batch(local.len());
+            for (&u, &d) in local.iter().zip(&dbuf) {
                 s.trace_dist(traced, v);
                 s.attempts += 1;
                 if let Some(h) = s.heaps.get_mut(&v) {
                     h.checked_insert(u, d, true);
                 }
-            } else {
-                comm.async_send(
-                    part.owner(u),
-                    TAG_INIT_REQ,
-                    &InitReq {
-                        v,
-                        u,
-                        vec: set.point(v).clone(),
-                    },
-                );
             }
+        }
+        for (dest, us) in remote {
+            comm.async_send(
+                dest,
+                TAG_INIT_REQ,
+                &InitReq {
+                    v,
+                    us,
+                    vec: set.point(v).clone(),
+                },
+            );
         }
     });
     comm.trace_end("init");
@@ -377,41 +435,55 @@ where
 
         comm.trace_end("union_sample");
 
-        // 2d. Generate the neighbor-check pairs for this rank's vertices.
+        // 2d. Generate the neighbor-check join rows for this rank's
+        // vertices: one forward row `(u1, [u2...])` per sampled-new head,
+        // plus (two-sided protocol only) the mirror rows `(u2, [u1...])`
+        // grouped per mirror head in first-seen order. A row is the unit
+        // of batched evaluation at the receiver.
         comm.trace_begin("gen_pairs");
-        let mut pairs: Vec<(PointId, PointId)> = Vec::new();
+        let mut joins: Vec<Type1> = Vec::new();
+        let mut n_pairs: u64 = 0;
         for &v in &owned {
             let news = &fwd_new[&v];
             let olds = &fwd_old[&v];
+            let fwd_start = joins.len();
             for (i, &u1) in news.iter().enumerate() {
-                for &u2 in &news[i + 1..] {
-                    if u1 != u2 {
-                        pairs.push((u1, u2));
+                let tails: Vec<PointId> = news[i + 1..]
+                    .iter()
+                    .chain(olds.iter())
+                    .copied()
+                    .filter(|&u2| u2 != u1)
+                    .collect();
+                if !tails.is_empty() {
+                    n_pairs += tails.len() as u64;
+                    joins.push((u1, tails));
+                }
+            }
+            if !cfg.opts.one_sided {
+                let mut mirrors: Vec<Type1> = Vec::new();
+                for (u1, tails) in &joins[fwd_start..] {
+                    for &u2 in tails {
+                        match mirrors.iter_mut().find(|(h, _)| *h == u2) {
+                            Some((_, g)) => g.push(*u1),
+                            None => mirrors.push((u2, vec![*u1])),
+                        }
                     }
                 }
-                for &u2 in olds {
-                    if u1 != u2 {
-                        pairs.push((u1, u2));
-                    }
-                }
+                joins.extend(mirrors);
             }
         }
 
         comm.trace_end("gen_pairs");
-        comm.trace_hist("check_pairs_per_iter", pairs.len() as u64);
+        comm.trace_hist("check_pairs_per_iter", n_pairs);
 
         // 2e. Issue checks in globally coordinated batches (Section 4.4).
+        // Batching is weighted by row width so every rank advances through
+        // roughly `quota` *pairs* (not rows) per barrier window, matching
+        // the per-pair batching the protocol used before rows existed.
         comm.trace_begin("neighbor_check");
-        batched(comm, pairs.len(), quota, |i| {
-            let (u1, u2) = pairs[i];
-            if cfg.opts.one_sided {
-                // Figure 1b: one Type 1 to owner(u1); the rest cascades.
-                comm.async_send(part.owner(u1), TAG_TYPE1, &(u1, u2));
-            } else {
-                // Figure 1a: Type 1 to both endpoints.
-                comm.async_send(part.owner(u1), TAG_TYPE1, &(u1, u2));
-                comm.async_send(part.owner(u2), TAG_TYPE1, &(u2, u1));
-            }
+        let weights: Vec<usize> = joins.iter().map(|(_, tails)| tails.len()).collect();
+        batched_weighted(comm, &weights, quota, |i| {
+            comm.async_send(part.owner(joins[i].0), TAG_TYPE1, &joins[i]);
         });
 
         comm.trace_end("neighbor_check");
@@ -443,7 +515,14 @@ where
         // termination counter on rank 0 (it is identical on every rank, so
         // one track suffices).
         comm.gauge("heap_updates", c_local as f64);
-        comm.gauge("dist_evals", st.borrow().dist_evals as f64);
+        {
+            let s = st.borrow();
+            comm.gauge("dist_evals", s.dist_evals as f64);
+            comm.gauge(
+                "dist_evals_per_batch",
+                s.dist_evals as f64 / s.kernel_batches.max(1) as f64,
+            );
+        }
         if comm.rank() == 0 {
             comm.gauge("termination_c", c_global as f64);
         }
@@ -559,36 +638,69 @@ fn batched<F: FnMut(usize)>(comm: &Comm, total: usize, quota: usize, mut f: F) {
     }
 }
 
+/// Like [`batched`], but each item `i` costs `weights[i]` units against the
+/// per-window quota (a window always admits at least one item). Used for
+/// join rows, whose cost is their pair count.
+fn batched_weighted<F: FnMut(usize)>(comm: &Comm, weights: &[usize], quota: usize, mut f: F) {
+    let mut idx = 0;
+    loop {
+        let mut used = 0usize;
+        while idx < weights.len() && (used == 0 || used + weights[idx] <= quota) {
+            used += weights[idx];
+            f(idx);
+            idx += 1;
+        }
+        if used > 0 {
+            comm.trace_hist("batch_size", used as u64);
+        }
+        comm.barrier();
+        let left: u64 = weights[idx..].iter().map(|&w| w as u64).sum();
+        if comm.all_reduce_sum_u64(left) == 0 {
+            return;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn register_handlers<P, M>(
     comm: &Comm,
     st: &Rc<RefCell<State>>,
     set: &Arc<PointSet<P>>,
     metric: &M,
+    cache: &Arc<NormCache>,
     part: Partitioner,
     cfg: DnndConfig,
     dim: usize,
 ) where
     P: Point,
-    M: Metric<P>,
+    M: BatchMetric<P>,
 {
     let traced = comm.tracer().is_some();
 
-    // Init: compute theta(v, u) here (we own u), reply to owner(v).
+    // Init: compute theta(v, u) for every u we own (one batched call),
+    // reply once to owner(v).
     {
         let st = Rc::clone(st);
         let set = Arc::clone(set);
         let metric = metric.clone();
+        let cache = Arc::clone(cache);
         comm.register_named::<InitReq<P>, _>(
             TAG_INIT_REQ,
             tag_display(TAG_INIT_REQ),
             move |c, msg| {
-                let d = metric.distance(&msg.vec, set.point(msg.u));
-                c.charge_distance(dim);
+                let mut dbuf = Vec::with_capacity(msg.us.len());
+                metric.distance_one_to_many(&msg.vec, &set, &cache, &msg.us, &mut dbuf);
+                charge_batch(c, dim, msg.us.len());
+                c.trace_hist("kernel_batch_len", msg.us.len() as u64);
                 let mut s = st.borrow_mut();
-                s.dist_evals += 1;
-                s.trace_dist(traced, msg.u);
+                s.record_batch(msg.us.len());
+                for &u in &msg.us {
+                    s.trace_dist(traced, u);
+                }
                 drop(s);
-                c.async_send(part.owner(msg.v), TAG_INIT_RESP, &(msg.v, msg.u, d));
+                let reply: Vec<(PointId, f32)> =
+                    msg.us.iter().copied().zip(dbuf.iter().copied()).collect();
+                c.async_send(part.owner(msg.v), TAG_INIT_RESP, &(msg.v, reply));
             },
         );
     }
@@ -597,11 +709,13 @@ fn register_handlers<P, M>(
         comm.register_named::<InitResp, _>(
             TAG_INIT_RESP,
             tag_display(TAG_INIT_RESP),
-            move |_, (v, u, d)| {
+            move |_, (v, pairs)| {
                 let mut s = st.borrow_mut();
-                s.attempts += 1;
-                if let Some(h) = s.heaps.get_mut(&v) {
-                    h.checked_insert(u, d, true);
+                for (u, d) in pairs {
+                    s.attempts += 1;
+                    if let Some(h) = s.heaps.get_mut(&v) {
+                        h.checked_insert(u, d, true);
+                    }
                 }
             },
         );
@@ -629,64 +743,83 @@ fn register_handlers<P, M>(
         );
     }
 
-    // Type 1: this rank owns u1.
+    // Type 1: this rank owns u1. Filter the row against u1's current heap,
+    // read the pruning bound once, then forward one Type 2 / Type 2+ per
+    // destination rank — shipping u1's vector once per destination instead
+    // of once per pair.
     {
         let st = Rc::clone(st);
         let set = Arc::clone(set);
-        comm.register_named::<Type1, _>(TAG_TYPE1, tag_display(TAG_TYPE1), move |c, (u1, u2)| {
-            let (skip, bound) = {
+        comm.register_named::<Type1, _>(TAG_TYPE1, tag_display(TAG_TYPE1), move |c, (u1, u2s)| {
+            let (tails, bound) = {
                 let s = st.borrow();
                 let heap = &s.heaps[&u1];
-                let skip = cfg.opts.skip_redundant && heap.contains(u2);
+                let tails: Vec<PointId> = if cfg.opts.skip_redundant {
+                    // Redundant-check reduction (4.3.2) on the forward path.
+                    u2s.into_iter().filter(|&u2| !heap.contains(u2)).collect()
+                } else {
+                    u2s
+                };
                 let bound = if cfg.opts.prune_distance {
                     heap.max_dist()
                 } else {
                     f32::INFINITY
                 };
-                (skip, bound)
+                (tails, bound)
             };
-            if skip {
+            if tails.is_empty() {
                 return;
             }
-            if cfg.opts.one_sided {
-                c.async_send(
-                    part.owner(u2),
-                    TAG_TYPE2_PLUS,
-                    &Type2Plus {
-                        u1,
-                        u2,
-                        bound,
-                        vec: set.point(u1).clone(),
-                    },
-                );
-            } else {
-                c.async_send(
-                    part.owner(u2),
-                    TAG_TYPE2,
-                    &Type2 {
-                        u1,
-                        u2,
-                        vec: set.point(u1).clone(),
-                    },
-                );
+            // Group by destination (usize::MAX: nothing matches "local", so
+            // rank-local endpoints still travel as ordinary self-sends and
+            // keep showing up on the traffic matrix diagonal, as before).
+            let (_, groups) = group_by_owner(part, usize::MAX, &tails);
+            for (dest, u2s) in groups {
+                if cfg.opts.one_sided {
+                    c.async_send(
+                        dest,
+                        TAG_TYPE2_PLUS,
+                        &Type2Plus {
+                            u1,
+                            u2s,
+                            bound,
+                            vec: set.point(u1).clone(),
+                        },
+                    );
+                } else {
+                    c.async_send(
+                        dest,
+                        TAG_TYPE2,
+                        &Type2 {
+                            u1,
+                            u2s,
+                            vec: set.point(u1).clone(),
+                        },
+                    );
+                }
             }
         });
     }
 
-    // Type 2 (unoptimized): compute the distance, update only our side.
+    // Type 2 (unoptimized): one batched evaluation, update only our side.
     {
         let st = Rc::clone(st);
         let set = Arc::clone(set);
         let metric = metric.clone();
+        let cache = Arc::clone(cache);
         comm.register_named::<Type2<P>, _>(TAG_TYPE2, tag_display(TAG_TYPE2), move |c, msg| {
-            let d = metric.distance(&msg.vec, set.point(msg.u2));
-            c.charge_distance(dim);
+            let mut dbuf = Vec::with_capacity(msg.u2s.len());
+            metric.distance_one_to_many(&msg.vec, &set, &cache, &msg.u2s, &mut dbuf);
+            charge_batch(c, dim, msg.u2s.len());
+            c.trace_hist("kernel_batch_len", msg.u2s.len() as u64);
             let mut s = st.borrow_mut();
-            s.dist_evals += 1;
-            s.trace_dist(traced, msg.u2);
-            s.attempts += 1;
-            if let Some(h) = s.heaps.get_mut(&msg.u2) {
-                h.checked_insert(msg.u1, d, true);
+            s.record_batch(msg.u2s.len());
+            for (&u2, &d) in msg.u2s.iter().zip(&dbuf) {
+                s.trace_dist(traced, u2);
+                s.attempts += 1;
+                if let Some(h) = s.heaps.get_mut(&u2) {
+                    h.checked_insert(msg.u1, d, true);
+                }
             }
         });
     }
@@ -696,49 +829,68 @@ fn register_handlers<P, M>(
         let st = Rc::clone(st);
         let set = Arc::clone(set);
         let metric = metric.clone();
+        let cache = Arc::clone(cache);
         comm.register_named::<Type2Plus<P>, _>(
             TAG_TYPE2_PLUS,
             tag_display(TAG_TYPE2_PLUS),
             move |c, msg| {
-                {
-                    // Redundant-check reduction on the return path (4.3.2): if
-                    // u1 is already our neighbor this pair was checked before.
+                // Redundant-check reduction on the return path (4.3.2): if
+                // u1 is already a neighbor of u2 this pair was checked
+                // before — drop it from the row before evaluating.
+                let u2s: Vec<PointId> = if cfg.opts.skip_redundant {
                     let s = st.borrow();
-                    if cfg.opts.skip_redundant && s.heaps[&msg.u2].contains(msg.u1) {
-                        return;
-                    }
+                    msg.u2s
+                        .iter()
+                        .copied()
+                        .filter(|&u2| !s.heaps[&u2].contains(msg.u1))
+                        .collect()
+                } else {
+                    msg.u2s.clone()
+                };
+                if u2s.is_empty() {
+                    return;
                 }
-                let d = metric.distance(&msg.vec, set.point(msg.u2));
-                c.charge_distance(dim);
+                let mut dbuf = Vec::with_capacity(u2s.len());
+                metric.distance_one_to_many(&msg.vec, &set, &cache, &u2s, &mut dbuf);
+                charge_batch(c, dim, u2s.len());
+                c.trace_hist("kernel_batch_len", u2s.len() as u64);
+                let mut replies: Vec<(PointId, f32)> = Vec::new();
                 {
                     let mut s = st.borrow_mut();
-                    s.dist_evals += 1;
-                    s.trace_dist(traced, msg.u2);
-                    s.attempts += 1;
-                    if let Some(h) = s.heaps.get_mut(&msg.u2) {
-                        h.checked_insert(msg.u1, d, true);
+                    s.record_batch(u2s.len());
+                    for (&u2, &d) in u2s.iter().zip(&dbuf) {
+                        s.trace_dist(traced, u2);
+                        s.attempts += 1;
+                        if let Some(h) = s.heaps.get_mut(&u2) {
+                            h.checked_insert(msg.u1, d, true);
+                        }
+                        // Long-distance pruning (4.3.3): only answer if the
+                        // distance can possibly improve u1's heap.
+                        if d < msg.bound {
+                            replies.push((u2, d));
+                        }
                     }
                 }
-                // Long-distance pruning (4.3.3): only answer if the distance
-                // can possibly improve u1's heap.
-                if d < msg.bound {
-                    c.async_send(part.owner(msg.u1), TAG_TYPE3, &(msg.u1, msg.u2, d));
+                if !replies.is_empty() {
+                    c.async_send(part.owner(msg.u1), TAG_TYPE3, &(msg.u1, replies));
                 }
             },
         );
     }
 
-    // Type 3: the returned distance updates u1's heap.
+    // Type 3: the returned distances update u1's heap.
     {
         let st = Rc::clone(st);
         comm.register_named::<Type3, _>(
             TAG_TYPE3,
             tag_display(TAG_TYPE3),
-            move |_, (u1, u2, d)| {
+            move |_, (u1, pairs)| {
                 let mut s = st.borrow_mut();
-                s.attempts += 1;
-                if let Some(h) = s.heaps.get_mut(&u1) {
-                    h.checked_insert(u2, d, true);
+                for (u2, d) in pairs {
+                    s.attempts += 1;
+                    if let Some(h) = s.heaps.get_mut(&u1) {
+                        h.checked_insert(u2, d, true);
+                    }
                 }
             },
         );

@@ -3,13 +3,20 @@
 //! Tag names follow the paper's Figure 1 terminology:
 //!
 //! * **Type 1** — neighbor-check request from the center vertex `v` to (the
-//!   owner of) `u1`, naming the pair `(u1, u2)`. Small: two ids.
+//!   owner of) `u1`, naming the join row `(u1, [u2...])`. Small: ids only.
 //! * **Type 2** — unoptimized full feature-vector exchange (Figure 1a):
 //!   both endpoints ship their vectors to each other.
 //! * **Type 2+** — optimized vector message (Figure 1b): `u1`'s vector plus
 //!   the distance to `u1`'s current farthest neighbor (the pruning bound of
 //!   Section 4.3.3). The bound is "negligible in size" next to the vector.
-//! * **Type 3** — distance-return message from `u2` back to `u1`.
+//! * **Type 3** — distance-return message from `u2`'s owner back to `u1`.
+//!
+//! Since the batched-kernel rework every check message carries a *row* of
+//! partner ids rather than a single pair: one Type 1 per join head, one
+//! Type 2/2+ per `(head, destination-rank)` group — shipping the head's
+//! vector once per destination instead of once per pair — and one Type 3
+//! per answered Type 2+. Receivers evaluate each row as a single 1xN
+//! batched distance call.
 //!
 //! Init and reverse-exchange messages round out the protocol; the tag
 //! constants index the [`ygm::Stats`] counters behind Figure 4.
@@ -67,14 +74,15 @@ pub fn name_tags(comm: &ygm::Comm) {
     }
 }
 
-/// Init request: compute `theta(v, u)` at `owner(u)` using the attached
-/// vector of `v`.
+/// Init request: compute `theta(v, u)` for every `u` in `us` at their
+/// owner (all `us` share one destination rank) using the attached vector
+/// of `v`, as one batched distance call.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InitReq<P> {
     /// The vertex being initialized (reply goes to its owner).
     pub v: PointId,
-    /// The randomly drawn candidate neighbor, owned by the destination.
-    pub u: PointId,
+    /// The randomly drawn candidate neighbors owned by the destination.
+    pub us: Vec<PointId>,
     /// Feature vector of `v`.
     pub vec: P,
 }
@@ -82,39 +90,40 @@ pub struct InitReq<P> {
 impl<P: Wire> Wire for InitReq<P> {
     fn encode(&self, buf: &mut BytesMut) {
         self.v.encode(buf);
-        self.u.encode(buf);
+        self.us.encode(buf);
         self.vec.encode(buf);
     }
     fn decode(buf: &mut Bytes) -> Self {
         InitReq {
             v: PointId::decode(buf),
-            u: PointId::decode(buf),
+            us: Vec::<PointId>::decode(buf),
             vec: P::decode(buf),
         }
     }
     fn wire_size(&self) -> usize {
-        self.v.wire_size() + self.u.wire_size() + self.vec.wire_size()
+        self.v.wire_size() + self.us.wire_size() + self.vec.wire_size()
     }
 }
 
-/// Init reply: `(v, u, theta(v, u))` back to `owner(v)`.
-pub type InitResp = (PointId, PointId, f32);
+/// Init reply: `(v, [(u, theta(v, u))...])` back to `owner(v)`.
+pub type InitResp = (PointId, Vec<(PointId, f32)>);
 
 /// Reverse-exchange entry `(u, v)`: "v listed u in its new/old list", sent
 /// to `owner(u)`.
 pub type RevEntry = (PointId, PointId);
 
-/// Type 1: check the pair `(u1, u2)`, delivered to `owner(u1)`.
-pub type Type1 = (PointId, PointId);
+/// Type 1: check the join row `(u1, [u2...])`, delivered to `owner(u1)`.
+pub type Type1 = (PointId, Vec<PointId>);
 
-/// Type 2 (unoptimized): `u1`'s vector shipped to `owner(u2)`; `u2`
-/// computes the distance and updates only its own neighbor list.
+/// Type 2 (unoptimized): `u1`'s vector shipped once to the rank owning
+/// every endpoint in `u2s`; each `u2` computes its distance (one batched
+/// 1xN call) and updates only its own neighbor list.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Type2<P> {
     /// Source endpoint (vector attached).
     pub u1: PointId,
-    /// Destination endpoint (owned by receiving rank).
-    pub u2: PointId,
+    /// Destination endpoints (all owned by the receiving rank).
+    pub u2s: Vec<PointId>,
     /// Feature vector of `u1`.
     pub vec: P,
 }
@@ -122,18 +131,18 @@ pub struct Type2<P> {
 impl<P: Wire> Wire for Type2<P> {
     fn encode(&self, buf: &mut BytesMut) {
         self.u1.encode(buf);
-        self.u2.encode(buf);
+        self.u2s.encode(buf);
         self.vec.encode(buf);
     }
     fn decode(buf: &mut Bytes) -> Self {
         Type2 {
             u1: PointId::decode(buf),
-            u2: PointId::decode(buf),
+            u2s: Vec::<PointId>::decode(buf),
             vec: P::decode(buf),
         }
     }
     fn wire_size(&self) -> usize {
-        self.u1.wire_size() + self.u2.wire_size() + self.vec.wire_size()
+        self.u1.wire_size() + self.u2s.wire_size() + self.vec.wire_size()
     }
 }
 
@@ -143,8 +152,8 @@ impl<P: Wire> Wire for Type2<P> {
 pub struct Type2Plus<P> {
     /// Endpoint that forwarded its vector.
     pub u1: PointId,
-    /// Endpoint owned by the receiving rank.
-    pub u2: PointId,
+    /// Endpoints owned by the receiving rank.
+    pub u2s: Vec<PointId>,
     /// `u1`'s current farthest-neighbor distance (`f32::INFINITY` while
     /// `u1`'s heap is not full, or when pruning is disabled).
     pub bound: f32,
@@ -155,25 +164,26 @@ pub struct Type2Plus<P> {
 impl<P: Wire> Wire for Type2Plus<P> {
     fn encode(&self, buf: &mut BytesMut) {
         self.u1.encode(buf);
-        self.u2.encode(buf);
+        self.u2s.encode(buf);
         self.bound.encode(buf);
         self.vec.encode(buf);
     }
     fn decode(buf: &mut Bytes) -> Self {
         Type2Plus {
             u1: PointId::decode(buf),
-            u2: PointId::decode(buf),
+            u2s: Vec::<PointId>::decode(buf),
             bound: f32::decode(buf),
             vec: P::decode(buf),
         }
     }
     fn wire_size(&self) -> usize {
-        self.u1.wire_size() + self.u2.wire_size() + self.bound.wire_size() + self.vec.wire_size()
+        self.u1.wire_size() + self.u2s.wire_size() + self.bound.wire_size() + self.vec.wire_size()
     }
 }
 
-/// Type 3: `(u1, u2, theta(u1, u2))` returned to `owner(u1)`.
-pub type Type3 = (PointId, PointId, f32);
+/// Type 3: `(u1, [(u2, theta(u1, u2))...])` returned to `owner(u1)` — one
+/// message per answered Type 2+, carrying every non-pruned distance.
+pub type Type3 = (PointId, Vec<(PointId, f32)>);
 
 /// Graph-optimization reverse edge `(u, v, d)`: v holds edge `v -> u` at
 /// distance `d`; ship `u <- v` to `owner(u)` (Section 4.5).
@@ -188,7 +198,7 @@ mod tests {
     fn init_req_round_trip() {
         let m = InitReq {
             v: 3,
-            u: 9,
+            us: vec![9, 12, 40],
             vec: vec![1.0f32, -2.0],
         };
         let enc = encode_to_bytes(&m);
@@ -201,7 +211,7 @@ mod tests {
     fn type2_round_trip_u8() {
         let m = Type2 {
             u1: 1,
-            u2: 2,
+            u2s: vec![2, 6],
             vec: vec![9u8, 8, 7],
         };
         let back: Type2<Vec<u8>> = decode_from_bytes(encode_to_bytes(&m));
@@ -212,7 +222,7 @@ mod tests {
     fn type2plus_round_trip_and_bound() {
         let m = Type2Plus {
             u1: 4,
-            u2: 5,
+            u2s: vec![5, 11, 19],
             bound: 2.5,
             vec: vec![0.5f32; 8],
         };
@@ -222,7 +232,7 @@ mod tests {
         // the vector, as the paper argues.
         let t2 = Type2 {
             u1: 4,
-            u2: 5,
+            u2s: vec![5, 11, 19],
             vec: vec![0.5f32; 8],
         };
         assert_eq!(m.wire_size(), t2.wire_size() + 4);
@@ -232,7 +242,7 @@ mod tests {
     fn sparse_vectors_travel_in_checks() {
         let m = Type2Plus {
             u1: 0,
-            u2: 1,
+            u2s: vec![1],
             bound: f32::INFINITY,
             vec: dataset::SparseVec::new(vec![5, 1, 12]),
         };

@@ -10,9 +10,11 @@
 //!   result heap, frontier, and visited set;
 //! * expanding a frontier vertex `v` sends an `Expand` to `owner(v)`,
 //!   which replies with `G[v]`'s ids;
-//! * scoring a candidate `w` sends the query vector to `owner(w)`, which
-//!   computes the distance locally (owner-computes, exactly like the
-//!   Type 2+ messages of construction) and replies;
+//! * scoring candidates sends the query vector **once per destination
+//!   rank** with the whole list of that rank's candidates; the owner
+//!   computes the distances locally as one batched 1xN kernel call
+//!   against its cached norms (owner-computes, exactly like the Type 2+
+//!   rows of construction) and replies with the scored list;
 //! * the home rank advances the standard Section 3.3 greedy loop with the
 //!   `epsilon` relaxation; a global all-reduce detects when every query
 //!   has converged.
@@ -23,7 +25,7 @@
 
 use crate::partition::Partitioner;
 use bytes::{Bytes, BytesMut};
-use dataset::metric::Metric;
+use dataset::batch::BatchMetric;
 use dataset::order::OrdF32;
 use dataset::point::Point;
 use dataset::set::{PointId, PointSet};
@@ -95,14 +97,15 @@ impl DistSearchParams {
 type Expand = (u32, u32, PointId);
 /// Neighbor reply: `(query id, vertex, neighbor ids)`.
 type NeighborsMsg = (u32, PointId, Vec<PointId>);
-/// Scored reply: `(query id, candidate, distance)`.
-type Scored = (u32, PointId, f32);
+/// Scored reply: `(query id, [(candidate, distance)...])`.
+type Scored = (u32, Vec<(PointId, f32)>);
 
-/// Score request: query vector travels to the candidate's owner.
+/// Score request: the query vector travels once to the owner of every
+/// candidate in `ws`, which answers with one batched evaluation.
 struct Score<P> {
     qid: u32,
     home: u32,
-    w: PointId,
+    ws: Vec<PointId>,
     query: P,
 }
 
@@ -110,20 +113,37 @@ impl<P: Wire> Wire for Score<P> {
     fn encode(&self, buf: &mut BytesMut) {
         self.qid.encode(buf);
         self.home.encode(buf);
-        self.w.encode(buf);
+        self.ws.encode(buf);
         self.query.encode(buf);
     }
     fn decode(buf: &mut Bytes) -> Self {
         Score {
             qid: u32::decode(buf),
             home: u32::decode(buf),
-            w: PointId::decode(buf),
+            ws: Vec::<PointId>::decode(buf),
             query: P::decode(buf),
         }
     }
     fn wire_size(&self) -> usize {
-        self.qid.wire_size() + self.home.wire_size() + self.w.wire_size() + self.query.wire_size()
+        self.qid.wire_size() + self.home.wire_size() + self.ws.wire_size() + self.query.wire_size()
     }
+}
+
+/// Group candidate ids by owning rank, preserving first-seen destination
+/// order (same shape as the construction engine's row grouping).
+fn group_by_owner(
+    part: Partitioner,
+    ws: impl IntoIterator<Item = PointId>,
+) -> Vec<(usize, Vec<PointId>)> {
+    let mut groups: Vec<(usize, Vec<PointId>)> = Vec::new();
+    for w in ws {
+        let dest = part.owner(w);
+        match groups.iter_mut().find(|(r, _)| *r == dest) {
+            Some((_, g)) => g.push(w),
+            None => groups.push((dest, vec![w])),
+        }
+    }
+    groups
 }
 
 /// Per-query state at its home rank.
@@ -162,7 +182,7 @@ pub fn distributed_search_batch<P, M>(
 ) -> (Vec<Vec<PointId>>, ygm::WorldReport<RankQueryRows>)
 where
     P: Point,
-    M: Metric<P>,
+    M: BatchMetric<P>,
 {
     assert_eq!(graph.len(), base.len(), "graph and base disagree on N");
     assert!(params.l >= 1 && params.l <= base.len());
@@ -195,13 +215,16 @@ fn rank_query_main<P, M>(
 ) -> RankQueryRows
 where
     P: Point,
-    M: Metric<P>,
+    M: BatchMetric<P>,
 {
     let part = Partitioner::new(comm.n_ranks());
     let me = comm.rank();
     let n = base.len();
     let dim = base.dim().max(1);
     let relax = 1.0 + params.epsilon;
+    // Norms once per rank; every Score batch it answers reuses them.
+    let cache = Arc::new(metric.preprocess(&base));
+    comm.charge_compute(comm.cost().distance_cost_ns(dim) * (n / comm.n_ranks().max(1)) as u64);
 
     // Home queries round-robin.
     let my_queries: Vec<usize> = (0..queries.len())
@@ -232,13 +255,19 @@ where
         });
     }
     {
-        // Score: we own candidate w; compute theta(query, w), reply.
+        // Score: we own every candidate in ws; one batched evaluation,
+        // one scored-list reply.
         let base = Arc::clone(&base);
         let metric = metric.clone();
+        let cache = Arc::clone(&cache);
         comm.register_named::<Score<P>, _>(TAG_SCORE, "q_score", move |c, msg| {
-            let d = metric.distance(&msg.query, base.point(msg.w));
-            c.charge_distance(dim);
-            c.async_send(msg.home as usize, TAG_SCORED, &(msg.qid, msg.w, d));
+            let mut dbuf = Vec::with_capacity(msg.ws.len());
+            metric.distance_one_to_many(&msg.query, &base, &cache, &msg.ws, &mut dbuf);
+            c.charge_compute(c.cost().distance_cost_ns(dim) * msg.ws.len() as u64);
+            c.trace_hist("kernel_batch_len", msg.ws.len() as u64);
+            let scored: Vec<(PointId, f32)> =
+                msg.ws.iter().copied().zip(dbuf.iter().copied()).collect();
+            c.async_send(msg.home as usize, TAG_SCORED, &(msg.qid, scored));
         });
     }
     {
@@ -254,20 +283,20 @@ where
                 q.pending_expands -= 1;
                 let query_vec = queries.point(q.global_idx as PointId).clone();
                 let home = c.rank() as u32;
-                for w in ids {
-                    if q.visited.insert(w) {
-                        q.pending_scores += 1;
-                        c.async_send(
-                            Partitioner::new(c.n_ranks()).owner(w),
-                            TAG_SCORE,
-                            &Score {
-                                qid,
-                                home,
-                                w,
-                                query: query_vec.clone(),
-                            },
-                        );
-                    }
+                let part = Partitioner::new(c.n_ranks());
+                let unvisited = ids.into_iter().filter(|&w| q.visited.insert(w));
+                for (dest, ws) in group_by_owner(part, unvisited) {
+                    q.pending_scores += ws.len();
+                    c.async_send(
+                        dest,
+                        TAG_SCORE,
+                        &Score {
+                            qid,
+                            home,
+                            ws,
+                            query: query_vec.clone(),
+                        },
+                    );
                 }
             },
         );
@@ -275,19 +304,21 @@ where
     {
         // Scored distance arrived: update heaps.
         let st = Rc::clone(&st);
-        comm.register_named::<Scored, _>(TAG_SCORED, "q_scored", move |_, (qid, w, d)| {
+        comm.register_named::<Scored, _>(TAG_SCORED, "q_scored", move |_, (qid, scored)| {
             let mut s = st.borrow_mut();
             let q = &mut s.queries[qid as usize];
-            q.pending_scores -= 1;
-            let d_max = q.best.peek().map_or(f32::INFINITY, |&(OrdF32(m), _)| m);
-            if q.best.len() < params.l || d < d_max {
-                q.best.push((OrdF32(d), w));
-                if q.best.len() > params.l {
-                    q.best.pop();
+            for (w, d) in scored {
+                q.pending_scores -= 1;
+                let d_max = q.best.peek().map_or(f32::INFINITY, |&(OrdF32(m), _)| m);
+                if q.best.len() < params.l || d < d_max {
+                    q.best.push((OrdF32(d), w));
+                    if q.best.len() > params.l {
+                        q.best.pop();
+                    }
                 }
-            }
-            if d < relax * d_max {
-                q.frontier.push(Reverse((OrdF32(d), w)));
+                if d < relax * d_max {
+                    q.frontier.push(Reverse((OrdF32(d), w)));
+                }
             }
         });
     }
@@ -301,21 +332,22 @@ where
             let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ ((q.global_idx as u64) << 16));
             let starts = params.l.max(params.entry_candidates).min(n);
             let query_vec = queries.point(q.global_idx as PointId).clone();
-            for idx in index_sample(&mut rng, n, starts) {
-                let w = idx as PointId;
-                if q.visited.insert(w) {
-                    q.pending_scores += 1;
-                    comm.async_send(
-                        part.owner(w),
-                        TAG_SCORE,
-                        &Score {
-                            qid: qid as u32,
-                            home,
-                            w,
-                            query: query_vec.clone(),
-                        },
-                    );
-                }
+            let fresh = index_sample(&mut rng, n, starts)
+                .into_iter()
+                .map(|idx| idx as PointId)
+                .filter(|&w| q.visited.insert(w));
+            for (dest, ws) in group_by_owner(part, fresh) {
+                q.pending_scores += ws.len();
+                comm.async_send(
+                    dest,
+                    TAG_SCORE,
+                    &Score {
+                        qid: qid as u32,
+                        home,
+                        ws,
+                        query: query_vec.clone(),
+                    },
+                );
             }
         }
     }

@@ -10,12 +10,17 @@
 //! Parallelized over queries with rayon — the same shared-memory
 //! parallelism the paper's brute-force checker would use.
 
-use crate::metric::Metric;
+use crate::batch::{BatchMetric, NormCache};
 use crate::order::OrdF32;
 use crate::point::Point;
 use crate::set::{PointId, PointSet};
 use rayon::prelude::*;
 use std::collections::BinaryHeap;
+
+/// Candidate-block width for batched distance evaluation: big enough to
+/// amortize the per-batch query-norm computation, small enough that the
+/// distance buffer stays in cache.
+const BLOCK: usize = 256;
 
 /// Exact nearest neighbors: for query `q`, `ids[q]` are the `k` closest
 /// base ids ascending by `(distance, id)`, and `dists[q]` the distances.
@@ -46,26 +51,33 @@ impl GroundTruth {
 
 /// Exact k nearest base points for one explicit query point. `exclude` is
 /// the query's own id when the query is a member of `base` (k-NNG case).
-fn knn_of<P: Point, M: Metric<P>>(
+fn knn_of<P: Point, M: BatchMetric<P>>(
     base: &PointSet<P>,
     metric: &M,
+    cache: &NormCache,
+    all_ids: &[PointId],
     q: &P,
     exclude: Option<PointId>,
     k: usize,
 ) -> (Vec<PointId>, Vec<f32>) {
-    // Max-heap of the current k best so the worst is peekable.
+    // Max-heap of the current k best so the worst is peekable. Distances
+    // arrive a block at a time (1×BLOCK batched evaluation); selection
+    // scans each block in id order, so results match a scalar sweep.
     let mut heap: BinaryHeap<(OrdF32, PointId)> = BinaryHeap::with_capacity(k + 1);
-    for (id, p) in base.iter() {
-        if exclude == Some(id) {
-            continue;
-        }
-        let d = metric.distance(q, p);
-        if heap.len() < k {
-            heap.push((OrdF32(d), id));
-        } else if let Some(&(worst, worst_id)) = heap.peek() {
-            if (OrdF32(d), id) < (worst, worst_id) {
-                heap.pop();
+    let mut dbuf: Vec<f32> = Vec::with_capacity(BLOCK);
+    for block in all_ids.chunks(BLOCK) {
+        metric.distance_one_to_many(q, base, cache, block, &mut dbuf);
+        for (&id, &d) in block.iter().zip(&dbuf) {
+            if exclude == Some(id) {
+                continue;
+            }
+            if heap.len() < k {
                 heap.push((OrdF32(d), id));
+            } else if let Some(&(worst, worst_id)) = heap.peek() {
+                if (OrdF32(d), id) < (worst, worst_id) {
+                    heap.pop();
+                    heap.push((OrdF32(d), id));
+                }
             }
         }
     }
@@ -78,32 +90,36 @@ fn knn_of<P: Point, M: Metric<P>>(
 
 /// Exact k-NNG over `base` (no self edges). `O(N^2)` distances — the
 /// baseline NN-Descent's `O(n^1.14)` empirical cost is measured against.
-pub fn brute_force_knng<P: Point, M: Metric<P>>(
+pub fn brute_force_knng<P: Point, M: BatchMetric<P>>(
     base: &PointSet<P>,
     metric: &M,
     k: usize,
 ) -> GroundTruth {
     assert!(k < base.len(), "k must be smaller than the dataset");
+    let cache = metric.preprocess(base);
+    let all_ids: Vec<PointId> = (0..base.len() as PointId).collect();
     let results: Vec<(Vec<PointId>, Vec<f32>)> = (0..base.len() as PointId)
         .into_par_iter()
-        .map(|id| knn_of(base, metric, base.point(id), Some(id), k))
+        .map(|id| knn_of(base, metric, &cache, &all_ids, base.point(id), Some(id), k))
         .collect();
     let (ids, dists) = results.into_iter().unzip();
     GroundTruth { ids, dists }
 }
 
 /// Exact k nearest base neighbors for each held-out query.
-pub fn brute_force_queries<P: Point, M: Metric<P>>(
+pub fn brute_force_queries<P: Point, M: BatchMetric<P>>(
     base: &PointSet<P>,
     queries: &PointSet<P>,
     metric: &M,
     k: usize,
 ) -> GroundTruth {
     assert!(k <= base.len(), "k must not exceed the dataset size");
+    let cache = metric.preprocess(base);
+    let all_ids: Vec<PointId> = (0..base.len() as PointId).collect();
     let results: Vec<(Vec<PointId>, Vec<f32>)> = queries
         .points()
         .par_iter()
-        .map(|q| knn_of(base, metric, q, None, k))
+        .map(|q| knn_of(base, metric, &cache, &all_ids, q, None, k))
         .collect();
     let (ids, dists) = results.into_iter().unzip();
     GroundTruth { ids, dists }

@@ -1,0 +1,366 @@
+//! Fixed-width batched distance kernels with a documented scalar reference.
+//!
+//! Every floating-point reduction in this module accumulates into **eight
+//! independent lanes** (`LANES = 8`) and then folds the lanes together in
+//! lane order `0, 1, .., 7`, followed by the tail elements in index order.
+//! That accumulation order is the *determinism contract*: the runtime-
+//! dispatched SIMD paths reproduce it exactly (vertical `mul` + `add` per
+//! 8-wide chunk, then a sequential horizontal fold), so every dispatch path
+//! is **bit-identical** to [`dot_scalar`] / [`l1_scalar`]. FMA is never
+//! used — a fused multiply-add rounds once where `mul`+`add` rounds twice,
+//! which would break the bit-identity guarantee between paths.
+//!
+//! Derived quantities (`||a-b||² = ||a||² + ||b||² − 2a·b`, cosine) are
+//! built from these primitives via the shared combiners below so that a
+//! cached-norm evaluation and a from-scratch evaluation follow the exact
+//! same arithmetic and produce the same bits.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Accumulation width of the scalar reference (and SIMD chunk width).
+pub const LANES: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+/// Which kernel implementation services f32 reductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Portable 8-lane scalar reference (always available).
+    Scalar,
+    /// AVX2 256-bit path (x86-64 only, bit-identical to `Scalar`).
+    Avx2,
+}
+
+impl Dispatch {
+    /// Stable lowercase name, used in bench reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dispatch::Scalar => "scalar",
+            Dispatch::Avx2 => "avx2",
+        }
+    }
+}
+
+const DISPATCH_UNSET: u8 = 0;
+const DISPATCH_SCALAR: u8 = 1;
+const DISPATCH_AVX2: u8 = 2;
+
+static DISPATCH: AtomicU8 = AtomicU8::new(DISPATCH_UNSET);
+
+fn detect() -> u8 {
+    if std::env::var("DNND_KERNEL").as_deref() == Ok("scalar") {
+        return DISPATCH_SCALAR;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return DISPATCH_AVX2;
+        }
+    }
+    DISPATCH_SCALAR
+}
+
+/// The dispatch path currently in effect (detected once, then cached).
+pub fn dispatch() -> Dispatch {
+    let mut d = DISPATCH.load(Ordering::Relaxed);
+    if d == DISPATCH_UNSET {
+        d = detect();
+        DISPATCH.store(d, Ordering::Relaxed);
+    }
+    match d {
+        DISPATCH_AVX2 => Dispatch::Avx2,
+        _ => Dispatch::Scalar,
+    }
+}
+
+/// Force a dispatch path (tests/benches), or `None` to re-detect.
+/// Process-global; callers that race only ever observe one of the two
+/// bit-identical paths, so results are unaffected.
+pub fn force_dispatch(d: Option<Dispatch>) {
+    let v = match d {
+        None => DISPATCH_UNSET,
+        Some(Dispatch::Scalar) => DISPATCH_SCALAR,
+        Some(Dispatch::Avx2) => DISPATCH_AVX2,
+    };
+    DISPATCH.store(v, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels (the definition of "correct bits")
+// ---------------------------------------------------------------------------
+
+/// Scalar reference dot product: 8 independent lane accumulators over
+/// full chunks (`acc[j] += a[j] * b[j]`), folded `acc[0] + acc[1] + ..
+/// + acc[7]`, then tail elements added in index order.
+pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let chunks = n / LANES;
+    let mut acc = [0.0f32; LANES];
+    for c in 0..chunks {
+        let base = c * LANES;
+        for j in 0..LANES {
+            acc[j] += a[base + j] * b[base + j];
+        }
+    }
+    let mut s = acc[0];
+    for lane in acc.iter().take(LANES).skip(1) {
+        s += *lane;
+    }
+    for i in chunks * LANES..n {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// Scalar reference L1 (Manhattan) distance with the same 8-lane
+/// accumulation order as [`dot_scalar`].
+pub fn l1_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let chunks = n / LANES;
+    let mut acc = [0.0f32; LANES];
+    for c in 0..chunks {
+        let base = c * LANES;
+        for j in 0..LANES {
+            acc[j] += (a[base + j] - b[base + j]).abs();
+        }
+    }
+    let mut s = acc[0];
+    for lane in acc.iter().take(LANES).skip(1) {
+        s += *lane;
+    }
+    for i in chunks * LANES..n {
+        s += (a[i] - b[i]).abs();
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels — bit-identical twins of the scalar reference
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::LANES;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// Fold a 256-bit accumulator in lane order 0..7, matching the scalar
+    /// reference fold exactly.
+    #[target_feature(enable = "avx2")]
+    unsafe fn fold_lanes(acc: __m256) -> f32 {
+        let mut lanes = [0.0f32; LANES];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        let mut s = lanes[0];
+        for lane in lanes.iter().take(LANES).skip(1) {
+            s += *lane;
+        }
+        s
+    }
+
+    /// AVX2 dot product. Uses `mul` then `add` (never FMA) so each lane
+    /// performs the same two roundings as the scalar reference.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let chunks = n / LANES;
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let base = c * LANES;
+            let va = _mm256_loadu_ps(a.as_ptr().add(base));
+            let vb = _mm256_loadu_ps(b.as_ptr().add(base));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+        }
+        let mut s = fold_lanes(acc);
+        for i in chunks * LANES..n {
+            s += a.get_unchecked(i) * b.get_unchecked(i);
+        }
+        s
+    }
+
+    /// AVX2 L1 distance; |x| via sign-bit mask, same rounding as scalar.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn l1(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let chunks = n / LANES;
+        let sign_mask = _mm256_set1_ps(-0.0);
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let base = c * LANES;
+            let va = _mm256_loadu_ps(a.as_ptr().add(base));
+            let vb = _mm256_loadu_ps(b.as_ptr().add(base));
+            let diff = _mm256_sub_ps(va, vb);
+            acc = _mm256_add_ps(acc, _mm256_andnot_ps(sign_mask, diff));
+        }
+        let mut s = fold_lanes(acc);
+        for i in chunks * LANES..n {
+            s += (a.get_unchecked(i) - b.get_unchecked(i)).abs();
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points
+// ---------------------------------------------------------------------------
+
+/// Dot product via the active dispatch path (bit-identical either way).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if dispatch() == Dispatch::Avx2 {
+            // Safety: dispatch() only returns Avx2 when the CPU has it.
+            return unsafe { avx2::dot(a, b) };
+        }
+    }
+    dot_scalar(a, b)
+}
+
+/// L1 distance via the active dispatch path (bit-identical either way).
+#[inline]
+pub fn l1(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if dispatch() == Dispatch::Avx2 {
+            // Safety: dispatch() only returns Avx2 when the CPU has it.
+            return unsafe { avx2::l1(a, b) };
+        }
+    }
+    l1_scalar(a, b)
+}
+
+/// Squared Euclidean norm `||v||² = v·v` (the cached-norm primitive).
+#[inline]
+pub fn norm_sq(v: &[f32]) -> f32 {
+    dot(v, v)
+}
+
+// ---------------------------------------------------------------------------
+// Shared combiners — one arithmetic for cached and uncached evaluation
+// ---------------------------------------------------------------------------
+
+/// `||a-b||²` from precomputed `||a||²`, `||b||²` and `a·b`. Clamped at
+/// zero because catastrophic cancellation can produce a tiny negative
+/// value, which would turn into NaN under a later `sqrt`.
+#[inline]
+pub fn sq_l2_from_dot(na_sq: f32, nb_sq: f32, dot_ab: f32) -> f32 {
+    (na_sq + nb_sq - 2.0 * dot_ab).max(0.0)
+}
+
+/// Cosine distance `1 − cos(a, b)` from precomputed squared norms and the
+/// dot product. Zero-vector convention matches `Metric`: two zero vectors
+/// are identical (distance 0), one zero vector is maximally far (1).
+#[inline]
+pub fn cosine_from_dot(na_sq: f32, nb_sq: f32, dot_ab: f32) -> f32 {
+    if na_sq == 0.0 || nb_sq == 0.0 {
+        return if na_sq == nb_sq { 0.0 } else { 1.0 };
+    }
+    let cos = (dot_ab / (na_sq.sqrt() * nb_sq.sqrt())).clamp(-1.0, 1.0);
+    1.0 - cos
+}
+
+/// Hamming distance over byte strings: count of positions whose bytes
+/// differ (integer arithmetic, order-independent by construction).
+#[inline]
+pub fn hamming_u8(a: &[u8], b: &[u8]) -> u64 {
+    let n = a.len().min(b.len());
+    let mut count = 0u64;
+    // Chunked to let the autovectorizer work; integer sums are exact, so
+    // any evaluation order yields the same result.
+    let chunks = n / LANES;
+    for c in 0..chunks {
+        let base = c * LANES;
+        for j in 0..LANES {
+            count += u64::from(a[base + j] != b[base + j]);
+        }
+    }
+    for i in chunks * LANES..n {
+        count += u64::from(a[i] != b[i]);
+    }
+    count + (a.len().max(b.len()) - n) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(seed: u64, n: usize) -> (Vec<f32>, Vec<f32>) {
+        // Small deterministic LCG; values in [-1, 1).
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 40) as f32 / (1 << 23) as f32) - 1.0
+        };
+        let a: Vec<f32> = (0..n).map(|_| next()).collect();
+        let b: Vec<f32> = (0..n).map(|_| next()).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn scalar_dot_matches_exact_on_integers() {
+        let a: Vec<f32> = (1..=20).map(|i| i as f32).collect();
+        let b: Vec<f32> = (1..=20).map(|i| (21 - i) as f32).collect();
+        let expect: f32 = (1..=20).map(|i| (i * (21 - i)) as f32).sum();
+        assert_eq!(dot_scalar(&a, &b), expect);
+    }
+
+    #[test]
+    fn avx2_bit_identical_to_scalar_when_available() {
+        if dispatch() != Dispatch::Avx2 {
+            return; // nothing to compare on this host
+        }
+        for n in [0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 100, 300, 960] {
+            let (a, b) = vecs(n as u64 + 1, n);
+            assert_eq!(
+                dot(&a, &b).to_bits(),
+                dot_scalar(&a, &b).to_bits(),
+                "dot n={n}"
+            );
+            assert_eq!(
+                l1(&a, &b).to_bits(),
+                l1_scalar(&a, &b).to_bits(),
+                "l1 n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn force_dispatch_round_trips() {
+        let before = dispatch();
+        force_dispatch(Some(Dispatch::Scalar));
+        assert_eq!(dispatch(), Dispatch::Scalar);
+        force_dispatch(Some(before));
+        assert_eq!(dispatch(), before);
+    }
+
+    #[test]
+    fn combiners_are_sane() {
+        let (a, b) = vecs(3, 64);
+        let d = sq_l2_from_dot(norm_sq(&a), norm_sq(&b), dot(&a, &b));
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+        assert!((d - naive).abs() <= 1e-4 * naive.max(1.0));
+        // Cancellation clamp: identical vectors never go negative.
+        let same = sq_l2_from_dot(norm_sq(&a), norm_sq(&a), dot(&a, &a));
+        assert!(same >= 0.0);
+        assert_eq!(cosine_from_dot(0.0, 0.0, 0.0), 0.0);
+        assert_eq!(cosine_from_dot(0.0, 1.0, 0.0), 1.0);
+        let self_cos = cosine_from_dot(norm_sq(&a), norm_sq(&a), dot(&a, &a));
+        assert!((0.0..=1e-6).contains(&self_cos));
+    }
+
+    #[test]
+    fn hamming_counts_and_length_mismatch() {
+        assert_eq!(hamming_u8(&[1, 2, 3], &[1, 9, 3]), 1);
+        assert_eq!(hamming_u8(&[], &[]), 0);
+        assert_eq!(hamming_u8(&[1, 2], &[1, 2, 3, 4]), 2);
+        let a: Vec<u8> = (0..100).map(|i| i as u8).collect();
+        let mut b = a.clone();
+        b[17] ^= 0xff;
+        b[63] ^= 0x01;
+        assert_eq!(hamming_u8(&a, &b), 2);
+    }
+}

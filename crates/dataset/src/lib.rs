@@ -16,8 +16,10 @@
 //!   recall scores.
 
 pub mod analysis;
+pub mod batch;
 pub mod ground_truth;
 pub mod io;
+pub mod kernel;
 pub mod metric;
 pub mod order;
 pub mod point;
@@ -27,6 +29,7 @@ pub mod set;
 pub mod synth;
 
 pub use analysis::{lid_mle, profile, DatasetProfile};
+pub use batch::{BatchMetric, NormCache};
 pub use ground_truth::{brute_force_knng, brute_force_queries, GroundTruth};
 pub use metric::{Chebyshev, Cosine, Hamming, InnerProduct, Jaccard, Metric, SquaredL2, L1, L2};
 pub use order::OrdF32;

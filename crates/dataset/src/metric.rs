@@ -7,6 +7,7 @@
 //! (smaller = closer); similarity measures are converted (`1 - cos`,
 //! `1 - jaccard`).
 
+use crate::kernel;
 use crate::point::{dense, SparseVec};
 
 /// A symmetric distance function over points of type `P`.
@@ -60,7 +61,7 @@ pub struct Chebyshev;
 impl Metric<Vec<f32>> for L2 {
     #[inline]
     fn distance(&self, a: &Vec<f32>, b: &Vec<f32>) -> f32 {
-        dense::sq_l2(a, b).sqrt()
+        SquaredL2.distance(a, b).sqrt()
     }
     fn name(&self) -> &'static str {
         "L2"
@@ -78,9 +79,12 @@ impl Metric<Vec<u8>> for L2 {
 }
 
 impl Metric<Vec<f32>> for SquaredL2 {
+    // Canonical dot form `||a||² + ||b||² − 2a·b` — the exact arithmetic
+    // the batched cached-norm kernels use, so per-pair bits never depend
+    // on whether a norm came from a cache or was just computed.
     #[inline]
     fn distance(&self, a: &Vec<f32>, b: &Vec<f32>) -> f32 {
-        dense::sq_l2(a, b)
+        kernel::sq_l2_from_dot(kernel::norm_sq(a), kernel::norm_sq(b), kernel::dot(a, b))
     }
     fn name(&self) -> &'static str {
         "SquaredL2"
@@ -90,15 +94,7 @@ impl Metric<Vec<f32>> for SquaredL2 {
 impl Metric<Vec<f32>> for Cosine {
     #[inline]
     fn distance(&self, a: &Vec<f32>, b: &Vec<f32>) -> f32 {
-        let na = dense::norm(a);
-        let nb = dense::norm(b);
-        if na == 0.0 || nb == 0.0 {
-            // Degenerate zero vectors: maximally distant from everything
-            // except another zero vector.
-            return if na == nb { 0.0 } else { 1.0 };
-        }
-        let cos = (dense::dot(a, b) / (na * nb)).clamp(-1.0, 1.0);
-        1.0 - cos
+        kernel::cosine_from_dot(kernel::norm_sq(a), kernel::norm_sq(b), kernel::dot(a, b))
     }
     fn name(&self) -> &'static str {
         "Cosine"
@@ -108,7 +104,7 @@ impl Metric<Vec<f32>> for Cosine {
 impl Metric<Vec<f32>> for InnerProduct {
     #[inline]
     fn distance(&self, a: &Vec<f32>, b: &Vec<f32>) -> f32 {
-        -dense::dot(a, b)
+        -kernel::dot(a, b)
     }
     fn name(&self) -> &'static str {
         "InnerProduct"
@@ -134,7 +130,7 @@ impl Metric<Vec<f32>> for L1 {
     #[inline]
     fn distance(&self, a: &Vec<f32>, b: &Vec<f32>) -> f32 {
         debug_assert_eq!(a.len(), b.len());
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+        kernel::l1(a, b)
     }
     fn name(&self) -> &'static str {
         "L1"
@@ -159,7 +155,7 @@ impl Metric<Vec<u8>> for Hamming {
     #[inline]
     fn distance(&self, a: &Vec<u8>, b: &Vec<u8>) -> f32 {
         debug_assert_eq!(a.len(), b.len());
-        a.iter().zip(b).filter(|(x, y)| x != y).count() as f32
+        kernel::hamming_u8(a, b) as f32
     }
     fn name(&self) -> &'static str {
         "Hamming"
@@ -260,6 +256,50 @@ mod tests {
         let l2 = Metric::<Vec<f32>>::distance(&L2, &a, &b);
         assert!(Chebyshev.distance(&a, &b) <= l2);
         assert!(l2 <= L1.distance(&a, &b));
+    }
+
+    #[test]
+    fn zero_length_vectors_are_identical_under_every_dense_metric() {
+        let e: Vec<f32> = vec![];
+        assert_eq!(Metric::<Vec<f32>>::distance(&L2, &e, &e), 0.0);
+        assert_eq!(SquaredL2.distance(&e, &e), 0.0);
+        // Zero-dimensional vectors are zero vectors: cosine's degenerate
+        // branch applies.
+        assert_eq!(Cosine.distance(&e, &e), 0.0);
+        assert_eq!(InnerProduct.distance(&e, &e), 0.0);
+        assert_eq!(L1.distance(&e, &e), 0.0);
+        assert_eq!(Chebyshev.distance(&e, &e), 0.0);
+        let eu: Vec<u8> = vec![];
+        assert_eq!(Hamming.distance(&eu, &eu), 0.0);
+        assert_eq!(Metric::<Vec<u8>>::distance(&L2, &eu, &eu), 0.0);
+    }
+
+    #[test]
+    fn jaccard_disjoint_and_identical_sparse_sets() {
+        let m = Jaccard;
+        let a = SparseVec::new(vec![1, 3, 5, 7]);
+        let disjoint = SparseVec::new(vec![2, 4, 6]);
+        assert_eq!(m.distance(&a, &disjoint), 1.0);
+        assert_eq!(m.distance(&disjoint, &a), 1.0);
+        let identical = SparseVec::new(vec![1, 3, 5, 7]);
+        assert_eq!(m.distance(&a, &identical), 0.0);
+        // Subset: |∩| = 2, |∪| = 4 → 0.5.
+        let subset = SparseVec::new(vec![3, 7]);
+        assert!((m.distance(&a, &subset) - 0.5).abs() < 1e-6);
+        assert_eq!(m.distance(&a, &subset), m.distance(&subset, &a));
+    }
+
+    #[test]
+    fn chebyshev_and_hamming_symmetry() {
+        let a = vec![0.5f32, -2.0, 3.25, 0.0, 9.5];
+        let b = vec![-1.5f32, 4.0, 3.25, 2.0, -0.5];
+        assert_eq!(Chebyshev.distance(&a, &b), Chebyshev.distance(&b, &a));
+        assert_eq!(Chebyshev.distance(&a, &b), 10.0);
+        let x = vec![0u8, 255, 17, 4];
+        let y = vec![1u8, 255, 18, 4];
+        assert_eq!(Hamming.distance(&x, &y), Hamming.distance(&y, &x));
+        assert_eq!(Hamming.distance(&x, &y), 2.0);
+        assert_eq!(L1.distance(&a, &b), L1.distance(&b, &a));
     }
 
     #[test]

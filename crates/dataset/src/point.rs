@@ -126,20 +126,27 @@ impl Point for SparseVec {
 
 /// Dense vector helpers shared by metrics and generators.
 ///
-/// The hot kernels (`sq_l2`, `dot`) use 4-lane chunked accumulation: the
-/// independent partial sums break the serial dependency chain of a naive
-/// fold, which lets the compiler keep multiple FMA pipelines busy and
-/// auto-vectorize without `-C target-cpu` tricks. Distance evaluation is
-/// >95% of NN-Descent's CPU time, so this is the kernel that matters.
+/// The floating-point reductions delegate to [`crate::kernel`], the
+/// runtime-dispatched 8-lane kernel module with a fixed accumulation
+/// order (see its module docs for the determinism contract). Distance
+/// evaluation is >95% of NN-Descent's CPU time, so that is the kernel
+/// that matters; `sq_l2` survives here as the *direct-form* squared
+/// distance (diff-then-square) used by generators and sanity tests —
+/// the metrics themselves use the dot form via `kernel`.
 pub mod dense {
-    const LANES: usize = 4;
+    use crate::kernel;
+
+    const LANES: usize = kernel::LANES;
 
     /// Euclidean norm of a dense f32 vector.
     pub fn norm(v: &[f32]) -> f32 {
-        dot(v, v).sqrt()
+        kernel::norm_sq(v).sqrt()
     }
 
-    /// Squared Euclidean distance with chunked accumulation.
+    /// Direct-form squared Euclidean distance with 8-lane chunked
+    /// accumulation. Numerically friendlier than the dot form for
+    /// far-apart points, but NOT bit-identical to it — metrics use the
+    /// dot form (`kernel::sq_l2_from_dot`) so cached norms stay exact.
     #[inline]
     pub fn sq_l2(a: &[f32], b: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), b.len());
@@ -160,23 +167,11 @@ pub mod dense {
         total
     }
 
-    /// Dot product with chunked accumulation.
+    /// Dot product (8-lane fixed-order accumulation, runtime-dispatched).
     #[inline]
     pub fn dot(a: &[f32], b: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), b.len());
-        let mut acc = [0.0f32; LANES];
-        let chunks = a.len() / LANES;
-        for i in 0..chunks {
-            for (lane, slot) in acc.iter_mut().enumerate() {
-                let j = i * LANES + lane;
-                *slot += a[j] * b[j];
-            }
-        }
-        let mut total = acc.iter().sum::<f32>();
-        for j in chunks * LANES..a.len() {
-            total += a[j] * b[j];
-        }
-        total
+        kernel::dot(a, b)
     }
 
     /// Squared L2 over u8 vectors, accumulating in i32 (exact) before one

@@ -1,0 +1,244 @@
+//! Property tests for the batched distance-kernel subsystem: every batched
+//! evaluation path (cached norms, uncached norms, whatever SIMD dispatch
+//! the host picks) must be **bit-identical** to the documented 8-lane
+//! chunked scalar reference (`kernel::dot_scalar` / `kernel::l1_scalar`
+//! plus the shared combiners), for every metric and a dimension sweep that
+//! crosses the lane boundary in every way: 1..8, 17, 64, 100, 300, 960.
+
+use dataset::batch::{BatchMetric, NormCache};
+use dataset::kernel;
+use dataset::metric::{
+    Chebyshev, Cosine, Hamming, InnerProduct, Jaccard, Metric, SquaredL2, L1, L2,
+};
+use dataset::set::{PointId, PointSet};
+use dataset::SparseVec;
+use proptest::prelude::*;
+
+const DIMS: &[usize] = &[1, 2, 3, 4, 5, 6, 7, 8, 17, 64, 100, 300, 960];
+const MAX_DIM: usize = 960;
+
+/// Pure scalar-reference distances, written against the reference kernels
+/// only (no dispatch): the oracle every batched path must match bitwise.
+fn ref_sq_l2(a: &[f32], b: &[f32]) -> f32 {
+    kernel::sq_l2_from_dot(
+        kernel::dot_scalar(a, a),
+        kernel::dot_scalar(b, b),
+        kernel::dot_scalar(a, b),
+    )
+}
+
+fn ref_cosine(a: &[f32], b: &[f32]) -> f32 {
+    kernel::cosine_from_dot(
+        kernel::dot_scalar(a, a),
+        kernel::dot_scalar(b, b),
+        kernel::dot_scalar(a, b),
+    )
+}
+
+fn data(max: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-50.0f32..50.0, 2 * max..=2 * max)
+}
+
+/// Evaluate metric `m` batched (with and without cache) against the given
+/// scalar reference, bit-for-bit, over every dim in the sweep.
+fn check_f32_metric<M, F>(m: &M, raw: &[f32], reference: F) -> Result<(), String>
+where
+    M: BatchMetric<Vec<f32>>,
+    F: Fn(&[f32], &[f32]) -> f32,
+{
+    for &dim in DIMS {
+        let q: Vec<f32> = raw[..dim].to_vec();
+        let pts: Vec<Vec<f32>> = vec![
+            raw[MAX_DIM..MAX_DIM + dim].to_vec(),
+            raw[dim..2 * dim].to_vec(),
+            q.clone(),      // aliased: candidate identical to the query
+            vec![0.0; dim], // zero vector (degenerate cosine branch)
+        ];
+        let set = PointSet::new(pts);
+        let cache = m.preprocess(&set);
+        let ids: Vec<PointId> = (0..set.len() as PointId).collect();
+        let mut cached = Vec::new();
+        let mut uncached = Vec::new();
+        m.distance_one_to_many(&q, &set, &cache, &ids, &mut cached);
+        m.distance_one_to_many(&q, &set, &NormCache::empty(), &ids, &mut uncached);
+        prop_assert_eq!(cached.len(), ids.len());
+        for (i, &u) in ids.iter().enumerate() {
+            let want = reference(&q, set.point(u));
+            prop_assert_eq!(
+                cached[i].to_bits(),
+                want.to_bits(),
+                "{} dim={} cand={}: cached batch {} != scalar reference {}",
+                Metric::<Vec<f32>>::name(m),
+                dim,
+                u,
+                cached[i],
+                want
+            );
+            prop_assert_eq!(cached[i].to_bits(), uncached[i].to_bits());
+        }
+        // M×N row-major agreement with repeated 1×N.
+        let qs = vec![q.clone(), set.point(0).clone()];
+        let mut mn = Vec::new();
+        m.distance_many_to_many(&qs, &set, &cache, &ids, &mut mn);
+        prop_assert_eq!(mn.len(), 2 * ids.len());
+        for (qi, qq) in qs.iter().enumerate() {
+            let mut row = Vec::new();
+            m.distance_one_to_many(qq, &set, &cache, &ids, &mut row);
+            for i in 0..ids.len() {
+                prop_assert_eq!(mn[qi * ids.len() + i].to_bits(), row[i].to_bits());
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dispatched_kernels_match_scalar_reference_bitwise(raw in data(MAX_DIM)) {
+        // The dispatched primitives themselves (whatever path the host
+        // selected) against the reference accumulation order.
+        for &dim in DIMS {
+            let a = &raw[..dim];
+            let b = &raw[MAX_DIM..MAX_DIM + dim];
+            prop_assert_eq!(kernel::dot(a, b).to_bits(), kernel::dot_scalar(a, b).to_bits());
+            prop_assert_eq!(kernel::l1(a, b).to_bits(), kernel::l1_scalar(a, b).to_bits());
+            prop_assert_eq!(kernel::norm_sq(a).to_bits(), kernel::dot_scalar(a, a).to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_sq_l2_bit_identical(raw in data(MAX_DIM)) {
+        check_f32_metric(&SquaredL2, &raw, ref_sq_l2)?;
+    }
+
+    #[test]
+    fn batched_l2_bit_identical(raw in data(MAX_DIM)) {
+        check_f32_metric(&L2, &raw, |a, b| ref_sq_l2(a, b).sqrt())?;
+    }
+
+    #[test]
+    fn batched_cosine_bit_identical(raw in data(MAX_DIM)) {
+        check_f32_metric(&Cosine, &raw, ref_cosine)?;
+    }
+
+    #[test]
+    fn batched_inner_product_bit_identical(raw in data(MAX_DIM)) {
+        check_f32_metric(&InnerProduct, &raw, |a, b| -kernel::dot_scalar(a, b))?;
+    }
+
+    #[test]
+    fn batched_l1_bit_identical(raw in data(MAX_DIM)) {
+        check_f32_metric(&L1, &raw, kernel::l1_scalar)?;
+    }
+
+    #[test]
+    fn batched_chebyshev_bit_identical(raw in data(MAX_DIM)) {
+        // Default (per-pair) batch impl vs Metric::distance directly.
+        check_f32_metric(&Chebyshev, &raw, |a, b| {
+            Chebyshev.distance(&a.to_vec(), &b.to_vec())
+        })?;
+    }
+
+    #[test]
+    fn batched_hamming_bit_identical(bytes in prop::collection::vec(any::<u8>(), 2 * MAX_DIM..=2 * MAX_DIM)) {
+        for &dim in DIMS {
+            let q: Vec<u8> = bytes[..dim].to_vec();
+            let set = PointSet::new(vec![
+                bytes[MAX_DIM..MAX_DIM + dim].to_vec(),
+                q.clone(),
+            ]);
+            let cache = BatchMetric::<Vec<u8>>::preprocess(&Hamming, &set);
+            let ids: Vec<PointId> = vec![0, 1];
+            let mut out = Vec::new();
+            Hamming.distance_one_to_many(&q, &set, &cache, &ids, &mut out);
+            for (i, &u) in ids.iter().enumerate() {
+                let want = kernel::hamming_u8(&q, set.point(u)) as f32;
+                prop_assert_eq!(out[i].to_bits(), want.to_bits());
+                prop_assert_eq!(out[i].to_bits(), Hamming.distance(&q, set.point(u)).to_bits());
+            }
+            prop_assert_eq!(out[1], 0.0); // aliased candidate
+        }
+    }
+
+    #[test]
+    fn batched_jaccard_bit_identical(ids_a in prop::collection::vec(0u32..500, 0..40),
+                                     ids_b in prop::collection::vec(0u32..500, 0..40)) {
+        let q = SparseVec::new(ids_a);
+        let set = PointSet::new(vec![SparseVec::new(ids_b), q.clone(), SparseVec::default()]);
+        let cache = BatchMetric::<SparseVec>::preprocess(&Jaccard, &set);
+        let ids: Vec<PointId> = vec![0, 1, 2];
+        let mut out = Vec::new();
+        Jaccard.distance_one_to_many(&q, &set, &cache, &ids, &mut out);
+        for (i, &u) in ids.iter().enumerate() {
+            prop_assert_eq!(out[i].to_bits(), Jaccard.distance(&q, set.point(u)).to_bits());
+        }
+        prop_assert_eq!(out[1], 0.0); // aliased candidate
+    }
+}
+
+#[test]
+fn empty_batches_for_every_metric() {
+    let set = PointSet::new(vec![vec![1.0f32, 2.0], vec![3.0, 4.0]]);
+    let q = vec![0.5f32, 0.5];
+    let mut out = vec![9.0f32; 3];
+    macro_rules! check_empty {
+        ($m:expr) => {
+            let cache = $m.preprocess(&set);
+            $m.distance_one_to_many(&q, &set, &cache, &[], &mut out);
+            assert!(
+                out.is_empty(),
+                "{} left stale output",
+                Metric::<Vec<f32>>::name(&$m)
+            );
+            $m.distance_many_to_many(&[], &set, &cache, &[0, 1], &mut out);
+            assert!(out.is_empty());
+        };
+    }
+    check_empty!(SquaredL2);
+    check_empty!(L2);
+    check_empty!(Cosine);
+    check_empty!(InnerProduct);
+    check_empty!(L1);
+    check_empty!(Chebyshev);
+}
+
+#[test]
+fn singleton_and_aliased_batches() {
+    let q = vec![0.25f32, -1.5, 3.0, 0.0, 7.5];
+    let set = PointSet::new(vec![q.clone(), vec![1.0; 5]]);
+    let cache = SquaredL2.preprocess(&set);
+    let mut out = Vec::new();
+    // Singleton batch.
+    SquaredL2.distance_one_to_many(&q, &set, &cache, &[1], &mut out);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].to_bits(), ref_sq_l2(&q, &[1.0; 5]).to_bits());
+    // Aliased query == candidate: dot form cancels to exactly zero
+    // (norms and dot come from the identical kernel invocation).
+    SquaredL2.distance_one_to_many(&q, &set, &cache, &[0], &mut out);
+    assert_eq!(out[0], 0.0);
+    Cosine.distance_one_to_many(&q, &set, &Cosine.preprocess(&set), &[0], &mut out);
+    assert!(out[0].abs() <= 1e-6);
+}
+
+/// Forcing the scalar dispatch path must not change any bit. Runs both
+/// paths inside one test (force_dispatch is process-global state).
+#[test]
+fn forced_scalar_dispatch_is_bit_identical_to_auto() {
+    let set = dataset::synth::uniform(64, 100, 42);
+    let q = set.point(0).clone();
+    let ids: Vec<PointId> = (0..set.len() as PointId).collect();
+    let cache = SquaredL2.preprocess(&set);
+    let mut auto_out = Vec::new();
+    SquaredL2.distance_one_to_many(&q, &set, &cache, &ids, &mut auto_out);
+    let before = kernel::dispatch();
+    kernel::force_dispatch(Some(kernel::Dispatch::Scalar));
+    let scalar_cache = SquaredL2.preprocess(&set);
+    let mut scalar_out = Vec::new();
+    SquaredL2.distance_one_to_many(&q, &set, &scalar_cache, &ids, &mut scalar_out);
+    kernel::force_dispatch(Some(before));
+    for (a, s) in auto_out.iter().zip(&scalar_out) {
+        assert_eq!(a.to_bits(), s.to_bits());
+    }
+}

@@ -15,7 +15,7 @@
 //! prune).
 
 use crate::graph::{Edge, KnnGraph};
-use dataset::metric::Metric;
+use dataset::batch::BatchMetric;
 use dataset::point::Point;
 use dataset::set::{PointId, PointSet};
 use rayon::prelude::*;
@@ -24,7 +24,7 @@ use rayon::prelude::*;
 /// corresponds to PyNNDescent's `1 / pruning_degree_multiplier` safety: a
 /// minimum fraction of each list that is always kept (closest first) no
 /// matter how aggressive the occlusion test is.
-pub fn diversify<P: Point, M: Metric<P>>(
+pub fn diversify<P: Point, M: BatchMetric<P>>(
     graph: &KnnGraph,
     base: &PointSet<P>,
     metric: &M,

@@ -22,7 +22,7 @@ use crate::nndescent::{build_with_init, BuildStats, NnDescentParams};
 use crate::refine::insert_points;
 use crate::rptree::{rp_forest_candidates, RpForestParams};
 use crate::search::{search, search_batch, BatchResult, SearchParams};
-use dataset::metric::Metric;
+use dataset::batch::BatchMetric;
 use dataset::point::Point;
 use dataset::set::{PointId, PointSet};
 use metall::{Result as StoreResult, Store};
@@ -144,7 +144,7 @@ impl RpInit for dataset::SparseVec {
     }
 }
 
-impl<P: RpInit, M: Metric<P>> NnIndex<P, M> {
+impl<P: RpInit, M: BatchMetric<P>> NnIndex<P, M> {
     /// Build the full pipeline over `base`.
     pub fn build(base: PointSet<P>, metric: M, params: IndexParams) -> Self {
         let descent = NnDescentParams {

@@ -19,7 +19,7 @@
 
 use crate::graph::KnnGraph;
 use crate::heap::NeighborHeap;
-use dataset::metric::Metric;
+use dataset::batch::BatchMetric;
 use dataset::point::Point;
 use dataset::set::{PointId, PointSet};
 use parking_lot::Mutex;
@@ -98,7 +98,7 @@ pub struct BuildStats {
 }
 
 /// Build a `k`-NNG over `set` with random initialization.
-pub fn build<P: Point, M: Metric<P>>(
+pub fn build<P: Point, M: BatchMetric<P>>(
     set: &PointSet<P>,
     metric: &M,
     params: NnDescentParams,
@@ -109,7 +109,7 @@ pub fn build<P: Point, M: Metric<P>>(
 /// Build with an optional initial neighbor candidate list per vertex
 /// (e.g. from an RP forest). Vertices with fewer than `k` initial
 /// candidates are topped up with random neighbors.
-pub fn build_with_init<P: Point, M: Metric<P>>(
+pub fn build_with_init<P: Point, M: BatchMetric<P>>(
     set: &PointSet<P>,
     metric: &M,
     params: NnDescentParams,
@@ -122,7 +122,7 @@ pub fn build_with_init<P: Point, M: Metric<P>>(
 /// on track 0 (shared-memory NN-Descent is one "rank"), timestamped with
 /// the tracer's wall clock on both axes, and per-iteration update counts
 /// feed the `nnd_updates_per_iter` histogram.
-pub fn build_traced<P: Point, M: Metric<P>>(
+pub fn build_traced<P: Point, M: BatchMetric<P>>(
     set: &PointSet<P>,
     metric: &M,
     params: NnDescentParams,
@@ -144,9 +144,15 @@ pub fn build_traced<P: Point, M: Metric<P>>(
     assert!(params.k >= 1 && params.k < n, "require 1 <= k < N");
     let k = params.k;
     let dist_evals = AtomicU64::new(0);
-    let theta = |a: PointId, b: PointId| {
-        dist_evals.fetch_add(1, Ordering::Relaxed);
-        metric.distance(set.point(a), set.point(b))
+    // One-time per-set preprocessing (cached squared norms for the dot-
+    // product metric family); handed to every batched evaluation below.
+    let cache = metric.preprocess(set);
+    // Batched theta: distances from `v` to `cands`, appended to `out` by
+    // the same 8-lane kernels a scalar `Metric::distance` call uses, so
+    // the produced bits are independent of batch composition.
+    let theta_batch = |v: PointId, cands: &[PointId], out: &mut Vec<f32>| {
+        dist_evals.fetch_add(cands.len() as u64, Ordering::Relaxed);
+        metric.distance_one_to_many(set.point(v), set, &cache, cands, out);
     };
 
     // ---- Initialization (Algorithm 1 lines 2-5) ----------------------------
@@ -155,21 +161,31 @@ pub fn build_traced<P: Point, M: Metric<P>>(
         (0..n).map(|_| Mutex::new(NeighborHeap::new(k))).collect();
     (0..n as PointId).into_par_iter().for_each(|v| {
         let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ (u64::from(v) << 20));
-        let mut heap = heaps[v as usize].lock();
+        // Gather the chosen candidates first, then evaluate them as one
+        // 1xN batch. Below capacity every insert of a distinct non-self
+        // id succeeds, so the dedup-on-gather is equivalent to the old
+        // insert-and-check-contains loop.
+        let mut chosen: Vec<PointId> = Vec::with_capacity(k);
         if let Some(init_rows) = init {
             for &u in init_rows[v as usize].iter().take(k) {
-                if u != v && !heap.contains(u) {
-                    heap.checked_insert(u, theta(v, u), true);
+                if u != v && !chosen.contains(&u) {
+                    chosen.push(u);
                 }
             }
         }
         let mut guard = 0;
-        while heap.len() < k && guard < 100 * k {
+        while chosen.len() < k && guard < 100 * k {
             let u: PointId = rng.gen_range(0..n as PointId);
-            if u != v && !heap.contains(u) {
-                heap.checked_insert(u, theta(v, u), true);
+            if u != v && !chosen.contains(&u) {
+                chosen.push(u);
             }
             guard += 1;
+        }
+        let mut dbuf = Vec::with_capacity(chosen.len());
+        theta_batch(v, &chosen, &mut dbuf);
+        let mut heap = heaps[v as usize].lock();
+        for (&u, &d) in chosen.iter().zip(&dbuf) {
+            heap.checked_insert(u, d, true);
         }
     });
 
@@ -245,28 +261,29 @@ pub fn build_traced<P: Point, M: Metric<P>>(
         (0..n).into_par_iter().for_each(|v| {
             let news = &fwd_new[v];
             let olds = &fwd_old[v];
-            let check = |u1: PointId, u2: PointId| {
-                if u1 == u2 {
-                    return;
+            let mut tails: Vec<PointId> = Vec::new();
+            let mut dbuf: Vec<f32> = Vec::new();
+            // Per join head u1, gather every partner (remaining news +
+            // olds) and evaluate the whole tail as one 1xN batch; heap
+            // updates then replay in the original pair order.
+            for (i, &u1) in news.iter().enumerate() {
+                tails.clear();
+                tails.extend(news[i + 1..].iter().chain(olds).filter(|&&u2| u2 != u1));
+                if tails.is_empty() {
+                    continue;
                 }
-                let d = theta(u1, u2);
+                theta_batch(u1, &tails, &mut dbuf);
                 let mut c = 0;
-                if heaps[u1 as usize].lock().checked_insert(u2, d, true) {
-                    c += 1;
-                }
-                if heaps[u2 as usize].lock().checked_insert(u1, d, true) {
-                    c += 1;
+                for (&u2, &d) in tails.iter().zip(&dbuf) {
+                    if heaps[u1 as usize].lock().checked_insert(u2, d, true) {
+                        c += 1;
+                    }
+                    if heaps[u2 as usize].lock().checked_insert(u1, d, true) {
+                        c += 1;
+                    }
                 }
                 if c > 0 {
                     counter.fetch_add(c, Ordering::Relaxed);
-                }
-            };
-            for (i, &u1) in news.iter().enumerate() {
-                for &u2 in &news[i + 1..] {
-                    check(u1, u2);
-                }
-                for &u2 in olds {
-                    check(u1, u2);
                 }
             }
         });

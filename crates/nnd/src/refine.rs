@@ -14,7 +14,7 @@
 use crate::graph::KnnGraph;
 use crate::nndescent::{build_with_init, BuildStats, NnDescentParams};
 use crate::search::{search, SearchParams};
-use dataset::metric::Metric;
+use dataset::batch::BatchMetric;
 use dataset::point::Point;
 use dataset::set::{PointId, PointSet};
 
@@ -27,7 +27,7 @@ use dataset::set::{PointId, PointSet};
 /// are already near-correct, the refinement converges far faster than a
 /// from-scratch build — this is the "short graph refinement phase" the
 /// paper anticipates.
-pub fn insert_points<P: Point, M: Metric<P>>(
+pub fn insert_points<P: Point, M: BatchMetric<P>>(
     graph: &KnnGraph,
     old_base: &PointSet<P>,
     new_base: &PointSet<P>,
@@ -76,7 +76,7 @@ pub fn insert_points<P: Point, M: Metric<P>>(
 /// remaining neighbors' neighborhoods (one local repair pass); quality can
 /// then be restored fully by a short [`insert_points`]-style refinement if
 /// desired.
-pub fn remove_points<P: Point, M: Metric<P>>(
+pub fn remove_points<P: Point, M: BatchMetric<P>>(
     graph: &KnnGraph,
     base: &PointSet<P>,
     metric: &M,

@@ -6,7 +6,7 @@
 //! throughput, which is what Figure 2's qps axis measures.
 
 use crate::graph::KnnGraph;
-use dataset::metric::Metric;
+use dataset::batch::{BatchMetric, NormCache};
 use dataset::order::OrdF32;
 use dataset::point::Point;
 use dataset::set::{PointId, PointSet};
@@ -89,12 +89,26 @@ impl SearchResult {
 
 /// Search the graph for the `params.l` approximate nearest neighbors of
 /// `query`. The query need not be a member of `base`.
-pub fn search<P: Point, M: Metric<P>>(
+pub fn search<P: Point, M: BatchMetric<P>>(
     graph: &KnnGraph,
     base: &PointSet<P>,
     metric: &M,
     query: &P,
     params: SearchParams,
+) -> SearchResult {
+    search_with_cache(graph, base, metric, query, params, &NormCache::empty())
+}
+
+/// [`search`] against a precomputed [`NormCache`] for `base` (built with
+/// `metric.preprocess(base)`), so batch runs amortize norm computation.
+/// Results are bit-identical with or without the cache.
+pub fn search_with_cache<P: Point, M: BatchMetric<P>>(
+    graph: &KnnGraph,
+    base: &PointSet<P>,
+    metric: &M,
+    query: &P,
+    params: SearchParams,
+    cache: &NormCache,
 ) -> SearchResult {
     let n = base.len();
     assert_eq!(graph.len(), n, "graph and base set disagree on N");
@@ -109,11 +123,16 @@ pub fn search<P: Point, M: Metric<P>>(
 
     let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
     let starts = params.l.max(params.entry_candidates).min(n);
+    let mut cands: Vec<PointId> = Vec::new();
+    let mut dbuf: Vec<f32> = Vec::new();
     for idx in index_sample(&mut rng, n, starts) {
-        let id = idx as PointId;
         visited[idx] = true;
-        let d = metric.distance(query, base.point(id));
-        evals += 1;
+        cands.push(idx as PointId);
+    }
+    // Seed probes evaluated as one 1xN batch.
+    metric.distance_one_to_many(query, base, cache, &cands, &mut dbuf);
+    evals += cands.len() as u64;
+    for (&id, &d) in cands.iter().zip(&dbuf) {
         best.push((OrdF32(d), id));
         frontier.push(Reverse((OrdF32(d), id)));
     }
@@ -129,14 +148,20 @@ pub fn search<P: Point, M: Metric<P>>(
         if d > relax * d_max {
             break;
         }
-        for &(w, _) in graph.neighbors(p) {
-            let wi = w as usize;
-            if visited[wi] {
-                continue;
-            }
-            visited[wi] = true;
-            let dw = metric.distance(query, base.point(w));
-            evals += 1;
+        // One expansion = one 1xN batch over the unvisited neighbors of
+        // `p`; admission then replays in the original neighbor order (the
+        // evolving d_max sees candidates exactly as the scalar loop did).
+        cands.clear();
+        cands.extend(
+            graph
+                .neighbors(p)
+                .iter()
+                .map(|&(w, _)| w)
+                .filter(|&w| !std::mem::replace(&mut visited[w as usize], true)),
+        );
+        metric.distance_one_to_many(query, base, cache, &cands, &mut dbuf);
+        evals += cands.len() as u64;
+        for (&w, &dw) in cands.iter().zip(&dbuf) {
             let d_max = best.peek().map_or(f32::INFINITY, |&(OrdF32(m), _)| m);
             if best.len() < params.l || dw < d_max {
                 best.push((OrdF32(dw), w));
@@ -175,7 +200,7 @@ pub struct BatchResult {
 
 /// Run every query in `queries` in parallel (the paper submits all queries
 /// at once on 256 threads).
-pub fn search_batch<P: Point, M: Metric<P>>(
+pub fn search_batch<P: Point, M: BatchMetric<P>>(
     graph: &KnnGraph,
     base: &PointSet<P>,
     metric: &M,
@@ -188,7 +213,7 @@ pub fn search_batch<P: Point, M: Metric<P>>(
 /// [`search_batch`] with an optional tracer: wraps the batch in a
 /// `search_batch` span (track 0) and records a `query_dist_evals`
 /// histogram sample per query.
-pub fn search_batch_traced<P: Point, M: Metric<P>>(
+pub fn search_batch_traced<P: Point, M: BatchMetric<P>>(
     graph: &KnnGraph,
     base: &PointSet<P>,
     metric: &M,
@@ -200,13 +225,16 @@ pub fn search_batch_traced<P: Point, M: Metric<P>>(
         t.begin_arg(0, "search_batch", t.wall_ns(), queries.len() as u64);
     }
     let evals = AtomicU64::new(0);
+    // Norms computed once for the whole batch; per-query results stay
+    // bit-identical to uncached single-query `search`.
+    let cache = metric.preprocess(base);
     let start = std::time::Instant::now();
     let ids: Vec<Vec<PointId>> = queries
         .points()
         .par_iter()
         .enumerate()
         .map(|(qi, q)| {
-            let r = search(
+            let r = search_with_cache(
                 graph,
                 base,
                 metric,
@@ -215,6 +243,7 @@ pub fn search_batch_traced<P: Point, M: Metric<P>>(
                     seed: params.seed ^ ((qi as u64) << 17),
                     ..params
                 },
+                &cache,
             );
             evals.fetch_add(r.distance_evals, Ordering::Relaxed);
             if let Some(t) = tracer {

@@ -11,7 +11,7 @@
 
 use crate::graph::KnnGraph;
 use crate::search::{SearchParams, SearchResult};
-use dataset::metric::Metric;
+use dataset::batch::BatchMetric;
 use dataset::order::OrdF32;
 use dataset::point::Point;
 use dataset::set::{PointId, PointSet};
@@ -53,7 +53,7 @@ impl Searcher {
 
     /// Run one query, reusing all internal buffers. Semantics are
     /// identical to [`crate::search::search`].
-    pub fn search<P: Point, M: Metric<P>>(
+    pub fn search<P: Point, M: BatchMetric<P>>(
         &mut self,
         graph: &KnnGraph,
         base: &PointSet<P>,

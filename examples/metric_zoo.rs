@@ -9,7 +9,7 @@
 //! cargo run --release --example metric_zoo
 //! ```
 
-use dataset::metric::{Cosine, Hamming, Jaccard, Metric, L2};
+use dataset::metric::{Cosine, Hamming, Jaccard, L2};
 use dataset::point::Point;
 use dataset::presets::{bigann_like, glove25_like, kosarak_like};
 use dataset::synth::uniform;
@@ -20,7 +20,7 @@ use ygm::World;
 
 const K: usize = 8;
 
-fn demo<P: Point, M: Metric<P>>(label: &str, set: PointSet<P>, metric: M) {
+fn demo<P: Point, M: dataset::batch::BatchMetric<P>>(label: &str, set: PointSet<P>, metric: M) {
     let set = Arc::new(set);
     let out = build(&World::new(3), &set, &metric, DnndConfig::new(K).seed(13));
     let truth = brute_force_knng(&set, &metric, K);

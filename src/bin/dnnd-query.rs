@@ -17,8 +17,8 @@
 //! trace, unified run report, and self-contained HTML dashboard.
 
 use bench::Args;
+use dataset::batch::BatchMetric;
 use dataset::io;
-use dataset::metric::Metric;
 use dataset::point::Point;
 use dataset::{brute_force_queries, mean_recall, PointSet};
 use dnnd_repro::cli::{die, read_meta, Elem, ObsOuts};
@@ -35,7 +35,7 @@ struct QuerySummary {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run<P: Point, M: Metric<P>>(
+fn run<P: Point, M: BatchMetric<P>>(
     base: PointSet<P>,
     graph: &KnnGraph,
     metric: M,

@@ -4,8 +4,9 @@
 
 use dataset::synth::{gaussian_mixture, split_queries, MixtureParams};
 use dataset::{brute_force_queries, mean_recall, PointSet, L2};
-use dnnd::{build, DnndConfig};
+use dnnd::{build, CommOpts, DnndConfig};
 use metall::Store;
+use nnd::KnnGraph as DigestGraph;
 use nnd::{search_batch, KnnGraph, SearchParams};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -150,6 +151,80 @@ fn sparse_jaccard_full_pipeline() {
     let graph = KnnGraph::load(&store, "g").unwrap();
     assert_eq!(graph.len(), 300);
     Store::destroy(&dir).unwrap();
+}
+
+/// FNV-1a over every row: id, then the raw bit pattern of each neighbor
+/// edge. Any single changed bit anywhere in the graph changes the digest.
+fn graph_digest(g: &DigestGraph) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for v in 0..g.len() as u32 {
+        mix(g.neighbors(v).len() as u64);
+        for &(u, d) in g.neighbors(v) {
+            mix(u as u64);
+            mix(d.to_bits() as u64);
+        }
+    }
+    h
+}
+
+/// Bit-identity oracle for the batched kernel rework (paper Sec. 4.2's
+/// unoptimized exchange): with the unoptimized protocol the delivered
+/// pair multiset — and therefore the final graph and the distance-eval
+/// count — is a pure function of (dataset, k, seed). Batching only
+/// regroups pairs into rows, and every batched evaluation is bit-identical
+/// to the scalar reference, so the graph must not change by a single bit
+/// across rank counts or kernel dispatch paths. The hardcoded golden
+/// digest pins the result across future refactors: any accidental change
+/// to accumulation order, message grouping, or tie-breaking fails here.
+///
+/// (The *optimized* protocol is excluded on purpose: skip_redundant and
+/// distance pruning consult heap state at message-arrival time, and ygm
+/// ranks are real OS threads, so its eval counts are schedule-dependent.)
+#[test]
+fn unoptimized_construction_bit_identical_across_ranks_and_dispatch() {
+    const GOLDEN_DIGEST: u64 = 0x8188_d886_1334_5170;
+    const GOLDEN_DIST_EVALS: u64 = 234_452;
+
+    let base = Arc::new(dataset::presets::deep1b_like(600, 7));
+    let cfg = || {
+        DnndConfig::new(8)
+            .seed(7)
+            .comm_opts(CommOpts::unoptimized())
+    };
+
+    for n_ranks in [1usize, 2, 4] {
+        let out = build(&World::new(n_ranks), &base, &L2, cfg());
+        assert_eq!(
+            graph_digest(&out.graph),
+            GOLDEN_DIGEST,
+            "graph diverged from golden at n_ranks={n_ranks}"
+        );
+        assert_eq!(
+            out.report.distance_evals, GOLDEN_DIST_EVALS,
+            "distance-eval count diverged at n_ranks={n_ranks}"
+        );
+    }
+
+    // Forcing the scalar kernel path must reproduce the same bits (the
+    // SIMD paths share the scalar accumulation order by construction).
+    let before = dataset::kernel::dispatch();
+    dataset::kernel::force_dispatch(Some(dataset::kernel::Dispatch::Scalar));
+    let out = build(&World::new(2), &base, &L2, cfg());
+    dataset::kernel::force_dispatch(Some(before));
+    assert_eq!(
+        graph_digest(&out.graph),
+        GOLDEN_DIGEST,
+        "forced-scalar dispatch changed the graph"
+    );
+    assert_eq!(out.report.distance_evals, GOLDEN_DIST_EVALS);
 }
 
 #[test]
