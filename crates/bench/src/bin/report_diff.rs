@@ -79,6 +79,12 @@ fn threshold_for(name: &str) -> (f64, Direction) {
         "sim_secs" | "compute_secs" | "comm_secs" | "barrier_secs" => (0.10, HigherIsWorse),
         "iterations" => (0.0, HigherIsWorse),
         n if n.starts_with("faults.") => (0.0, HigherIsWorse),
+        // Serving SLOs: counters of the deterministic control plane gate
+        // exactly; answered/cache-hit shrinkage is the regression side;
+        // latency percentiles get slack for search-cost tweaks.
+        "serving.answered" | "serving.cache_hits" => (0.0, LowerIsWorse),
+        "serving.p50_ns" | "serving.p95_ns" | "serving.p99_ns" => (0.10, HigherIsWorse),
+        n if n.starts_with("serving.") => (0.0, HigherIsWorse),
         n if n.starts_with("extra.") => (0.0, Info),
         _ => (0.05, HigherIsWorse),
     }
@@ -195,6 +201,37 @@ fn collect(base: &RunReport, cand: &RunReport, thr: Option<f64>) -> Vec<MetricRo
             push(
                 &mut rows,
                 &format!("faults.{key}"),
+                bv as f64,
+                cv as f64,
+                thr,
+            );
+        }
+    }
+
+    // Serving SLO section: present when either run served queries; a
+    // side without the section contributes zeros, so new shedding or
+    // degradation in the candidate gates as growth from zero.
+    if base.serving.is_some() || cand.serving.is_some() {
+        let d = obs::ServingSection::default();
+        let b = base.serving.as_ref().unwrap_or(&d);
+        let c = cand.serving.as_ref().unwrap_or(&d);
+        for (key, bv, cv) in [
+            ("offered", b.offered, c.offered),
+            ("admitted", b.admitted, c.admitted),
+            ("answered", b.answered, c.answered),
+            ("cache_hits", b.cache_hits, c.cache_hits),
+            ("cache_evictions", b.cache_evictions, c.cache_evictions),
+            ("shed_deadline", b.shed_deadline, c.shed_deadline),
+            ("shed_overload", b.shed_overload, c.shed_overload),
+            ("degraded", b.degraded, c.degraded),
+            ("max_queue_depth", b.max_queue_depth, c.max_queue_depth),
+            ("p50_ns", b.p50_ns, c.p50_ns),
+            ("p95_ns", b.p95_ns, c.p95_ns),
+            ("p99_ns", b.p99_ns, c.p99_ns),
+        ] {
+            push(
+                &mut rows,
+                &format!("serving.{key}"),
                 bv as f64,
                 cv as f64,
                 thr,
@@ -409,6 +446,43 @@ mod tests {
         let r = row_named(&rows, "faults.retransmits");
         assert_eq!(r.rel_delta(), None);
         assert!(r.regressed());
+    }
+
+    #[test]
+    fn serving_counters_gate_exactly_and_answered_gates_downward() {
+        let mut base = report(1.0, 1);
+        let mut cand = report(1.0, 1);
+        base.serving = Some(obs::ServingSection {
+            offered: 100,
+            answered: 90,
+            shed_overload: 0,
+            p99_ns: 4_000_000,
+            ..Default::default()
+        });
+        cand.serving = Some(obs::ServingSection {
+            offered: 100,
+            answered: 80, // fewer answered: regression
+            shed_overload: 5,
+            p99_ns: 4_100_000, // +2.5%, inside the 10% latency gate
+            ..Default::default()
+        });
+        let rows = collect(&base, &cand, None);
+        assert!(row_named(&rows, "serving.answered").regressed());
+        assert!(row_named(&rows, "serving.shed_overload").regressed());
+        assert!(!row_named(&rows, "serving.p99_ns").regressed());
+        // The reverse direction (more answered, less shedding) is fine.
+        let rows = collect(&cand, &base, None);
+        assert!(rows
+            .iter()
+            .filter(|r| r.name.starts_with("serving."))
+            .all(|r| !r.regressed()));
+    }
+
+    #[test]
+    fn serving_free_pair_has_no_serving_rows() {
+        let r = report(1.0, 1);
+        let rows = collect(&r, &r, None);
+        assert!(!rows.iter().any(|m| m.name.starts_with("serving.")));
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! **Extension harness** — the online serving layer under an offered-load
+//! sweep: throughput vs. tail latency, shedding, and answered-query
+//! quality as the frontend moves from idle to 2x overload.
+//!
+//! Each sweep point replays the same deterministic workload shape at a
+//! different offered load against the same graph, so the emitted run
+//! report is bit-stable and serves as the committed `BENCH_5.json`
+//! regression baseline (gated softly by `dnnd-report-diff` in CI: the
+//! `serving.*` counters must not grow, answered queries must not shrink).
+//!
+//! ```text
+//! serve --smoke --report-out BENCH_5.candidate.json   # CI shape
+//! serve --n 4000 --arrivals 1200 --dashboard-out serve.html
+//! ```
+//!
+//! `--smoke` shrinks the fixture to CI size and self-checks the schema-v3
+//! report (serving section present, round-trips, digest stable).
+
+use bench::{Args, Table};
+use dataset::ground_truth::brute_force_queries;
+use dataset::metric::L2;
+use dataset::presets;
+use dataset::set::PointId;
+use dataset::synth::split_queries;
+use dnnd::{build, CommOpts, DnndConfig};
+use serve::{attach_serving, run_serve, ServeOutcome, ServeParams};
+use std::sync::Arc;
+use ygm::World;
+
+/// Mean recall of the answered queries against brute-force truth.
+fn answered_recall(outcome: &ServeOutcome, truth: &[Vec<PointId>], k: usize) -> f64 {
+    if outcome.answers.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (_, pool_id, ids) in &outcome.answers {
+        let hits = ids.iter().filter(|id| truth[*pool_id].contains(id)).count();
+        total += hits as f64 / k as f64;
+    }
+    total / outcome.answers.len() as f64
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let n: usize = args.get("n", if smoke { 500 } else { 1_500 });
+    let pool_n: usize = args.get("pool", 32);
+    let arrivals: usize = args.get("arrivals", if smoke { 150 } else { 400 });
+    let k: usize = args.get("k", 10);
+    let seed: u64 = args.get("seed", 91);
+    let serve_seed: u64 = args.get("serve-seed", 0x5E27E);
+    let ranks: usize = args.get("ranks", 2);
+
+    let (base, pool) = split_queries(presets::deep1b_like(n + pool_n, seed), pool_n);
+    let base = Arc::new(base);
+    let pool = Arc::new(pool);
+    println!("online serving sweep: DEEP-like n={n}, pool {pool_n}, k={k}, {ranks} ranks");
+
+    // The committed BENCH_5.json baseline must be byte-reproducible, so the
+    // graph build uses the bit-deterministic path: unoptimized protocol with
+    // a pinned iteration count (the optimized protocol's racy pruning makes
+    // the graph — and thus the serving result digest — vary run to run).
+    let out = build(
+        &World::new(ranks),
+        &base,
+        &L2,
+        DnndConfig::new(k)
+            .seed(seed)
+            .comm_opts(CommOpts::unoptimized())
+            .max_iters(8)
+            .graph_opt(1.5),
+    );
+    let graph = Arc::new(out.graph);
+    let truth = brute_force_queries(&base, &pool, &L2, k);
+
+    // Nominal drain capacity: one micro-batch per slot. The sweep offers
+    // 0.25x (idle) through 2x (overload) of that.
+    let batch = 4usize;
+    let slot_ns = 1_000_000u64;
+    let capacity_qps = batch as f64 * 1e9 / slot_ns as f64;
+    // Degrade level 2 doubles drain capacity, so 2x is absorbed by
+    // degradation alone; 4x is past what the ladder can drain and forces
+    // overload shedding.
+    let factors = [0.25, 0.5, 1.0, 2.0, 4.0];
+
+    let mut t = Table::new(
+        "Online serving: offered load vs SLOs",
+        &[
+            "Offered qps",
+            "Answered",
+            "Cache hits",
+            "Shed",
+            "Degraded",
+            "p50 ms",
+            "p99 ms",
+            "Recall@k",
+        ],
+    );
+    let mut sweep: Vec<(f64, ServeOutcome, f64)> = Vec::new();
+    let mut last_wr = None;
+    for factor in factors {
+        let qps = capacity_qps * factor;
+        let params = ServeParams::new(k)
+            .serve_seed(serve_seed)
+            .slot_ns(slot_ns)
+            .offered_qps(qps)
+            .n_arrivals(arrivals)
+            .hot_set(0.3, 8)
+            .batch(batch)
+            .flush_age_slots(2)
+            .deadline_slots(6)
+            .watermarks(8, 20)
+            .cache(16, 1e-3);
+        let (outcome, wr) = run_serve(&World::new(ranks), &base, &graph, &pool, &L2, &params);
+        let recall = answered_recall(&outcome, &truth.ids, k);
+        let s = &outcome.stats;
+        t.row(&[
+            &format!("{qps:.0}"),
+            &s.total_answered(),
+            &s.cache_hits,
+            &(s.shed_deadline + s.shed_overload),
+            &s.degraded,
+            &format!("{:.2}", s.percentile_ns(0.50) as f64 / 1e6),
+            &format!("{:.2}", s.percentile_ns(0.99) as f64 / 1e6),
+            &format!("{recall:.4}"),
+        ]);
+        sweep.push((qps, outcome, recall));
+        last_wr = Some(wr);
+    }
+    t.print();
+    t.write_csv(&args.out_dir(), "serve").expect("csv");
+    println!("\ncsv: {}/serve.csv", args.out_dir().display());
+
+    // The emitted report carries the overload (2x) point's serving section
+    // — the one whose shedding/degrade counters the regression gate should
+    // watch — plus the whole sweep as extras for the dashboard's
+    // throughput-latency chart.
+    let (_, overload, overload_recall) = sweep.last().expect("sweep is non-empty");
+    let mut rr =
+        dnnd::obs_report::report_from_world("serve", ranks, last_wr.as_ref().expect("ran"));
+    attach_serving(&mut rr, &overload.stats);
+    rr.recall = Some(*overload_recall);
+    rr.param("mode", if smoke { "smoke" } else { "full" })
+        .param("n", n)
+        .param("pool", pool_n)
+        .param("arrivals", arrivals)
+        .param("k", k)
+        .param("serve_seed", serve_seed)
+        .param("batch", batch)
+        .param("ranks", ranks);
+    for (i, (qps, outcome, recall)) in sweep.iter().enumerate() {
+        rr.extra.push((format!("sweep_qps_{i}"), *qps));
+        rr.extra.push((
+            format!("sweep_p99_ms_{i}"),
+            outcome.stats.percentile_ns(0.99) as f64 / 1e6,
+        ));
+        rr.extra.push((format!("sweep_recall_{i}"), *recall));
+        rr.extra.push((
+            format!("sweep_answered_{i}"),
+            outcome.stats.total_answered() as f64,
+        ));
+    }
+
+    if smoke {
+        // Self-checks: schema v3 with a serving section that round-trips,
+        // deterministic digest across an in-process replay, and the
+        // overload point must actually exercise the admission ladder.
+        let json = rr.to_json_string();
+        assert!(
+            json.contains(&format!(
+                "\"schema_version\": {}",
+                obs::report::SCHEMA_VERSION
+            )),
+            "report is not schema v{}",
+            obs::report::SCHEMA_VERSION
+        );
+        let parsed = obs::RunReport::parse(&json).expect("report round-trip");
+        let section = parsed.serving.expect("serving section present");
+        assert_eq!(section, overload.stats.to_section());
+        assert!(
+            section.shed_deadline + section.shed_overload + section.degraded > 0,
+            "2x overload exercised no shedding/degradation"
+        );
+        println!(
+            "smoke OK: schema v3 serving report round-trips, digest {:016x}",
+            section.result_digest
+        );
+    }
+
+    let report_out: String = args.get("report-out", String::new());
+    if !report_out.is_empty() {
+        dnnd::obs_report::write_report(&report_out, &rr).expect("report-out");
+        println!("report: {report_out}");
+    }
+    let dashboard_out: String = args.get("dashboard-out", String::new());
+    if !dashboard_out.is_empty() {
+        dnnd::obs_report::write_dashboard(&dashboard_out, &rr).expect("dashboard-out");
+        println!("dashboard: {dashboard_out}");
+    }
+}

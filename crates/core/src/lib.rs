@@ -50,4 +50,4 @@ pub use dist_index::DistIndex;
 pub use engine::{build, BuildReport, DnndOutput};
 pub use partition::Partitioner;
 pub use persist::{destroy_sharded, load_sharded, save_sharded};
-pub use query::{distributed_search_batch, DistSearchParams};
+pub use query::{distributed_search_batch, DistSearchParams, SearchEngine};

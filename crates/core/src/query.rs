@@ -22,6 +22,22 @@
 //! The engine processes all queries concurrently, so per-round traffic
 //! aggregates into large buffered messages — the same batching philosophy
 //! as construction.
+//!
+//! ## Determinism contract
+//!
+//! The greedy loop is **schedule-independent**: scored replies arriving
+//! within a round are buffered and folded at the round boundary in the
+//! total `(distance, id)` order, so heap and frontier contents are a pure
+//! function of the delivered message *multiset* — never of thread timing,
+//! rank count, or batching. Combined with the bit-identical batched
+//! kernels, the result ids for a given `(graph, params, seed)` are
+//! identical across reruns and across `n_ranks`. The online serving layer
+//! (`crates/serve`) builds its replay guarantee on this.
+//!
+//! [`SearchEngine`] is the reusable comm-level entry point: register once
+//! inside a running SPMD program, then run any number of query batches
+//! (the serving frontend dispatches one micro-batch per slot).
+//! [`distributed_search_batch`] wraps it for the one-shot offline case.
 
 use crate::partition::Partitioner;
 use bytes::{Bytes, BytesMut};
@@ -50,13 +66,13 @@ pub const TAG_SCORE: u16 = 32;
 pub const TAG_SCORED: u16 = 33;
 
 /// Parameters for distributed search.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DistSearchParams {
     /// Neighbors to return per query.
     pub l: usize,
     /// Frontier relaxation (Section 3.3 / PyNNDescent `epsilon`).
     pub epsilon: f32,
-    /// Random entry points per query.
+    /// Random entry points per query (0 = default to `l`).
     pub entry_candidates: usize,
     /// RNG seed.
     pub seed: u64,
@@ -65,6 +81,10 @@ pub struct DistSearchParams {
 impl DistSearchParams {
     /// Defaults: pure greedy, `l` entries.
     pub fn new(l: usize) -> Self {
+        assert!(
+            l >= 1,
+            "DistSearchParams: l (results per query) must be >= 1"
+        );
         DistSearchParams {
             l,
             epsilon: 0.0,
@@ -73,15 +93,25 @@ impl DistSearchParams {
         }
     }
 
-    /// Set epsilon.
+    /// Set epsilon. Rejects NaN and negative values — both would silently
+    /// corrupt the frontier-relaxation comparison.
     pub fn epsilon(mut self, e: f32) -> Self {
-        assert!(e >= 0.0);
+        assert!(
+            e.is_finite() && e >= 0.0,
+            "DistSearchParams: epsilon must be finite and >= 0 (got {e})"
+        );
         self.epsilon = e;
         self
     }
 
-    /// Set the number of random entry points.
+    /// Set the number of random entry points (>= 1; the default of `l`
+    /// entries is selected by not calling this).
     pub fn entry_candidates(mut self, n: usize) -> Self {
+        assert!(
+            n >= 1,
+            "DistSearchParams: entry_candidates must be >= 1 \
+             (omit the call to default to l entries)"
+        );
         self.entry_candidates = n;
         self
     }
@@ -90,6 +120,28 @@ impl DistSearchParams {
     pub fn seed(mut self, s: u64) -> Self {
         self.seed = s;
         self
+    }
+
+    /// Check the invariants the builders enforce (useful when fields were
+    /// filled directly, e.g. from CLI flags).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.l < 1 {
+            return Err("l (results per query) must be >= 1".into());
+        }
+        if !self.epsilon.is_finite() || self.epsilon < 0.0 {
+            return Err(format!(
+                "epsilon must be finite and >= 0 (got {})",
+                self.epsilon
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DistSearchParams {
+    /// `l = 10`, pure greedy — the paper's common query shape.
+    fn default() -> Self {
+        DistSearchParams::new(10)
     }
 }
 
@@ -148,26 +200,297 @@ fn group_by_owner(
 
 /// Per-query state at its home rank.
 struct QueryState {
-    /// Global query index (for result placement).
-    global_idx: usize,
     /// Best-`l` max-heap.
     best: BinaryHeap<(OrdF32, PointId)>,
     /// Frontier min-heap of scored, unexpanded vertices.
     frontier: BinaryHeap<Reverse<(OrdF32, PointId)>>,
     visited: HashSet<PointId>,
-    /// Scores requested but not yet answered.
-    pending_scores: usize,
-    /// Expansions requested but not yet answered.
-    pending_expands: usize,
+    /// Scored replies of the current round, folded in canonical order at
+    /// the round boundary (the determinism contract).
+    round_scored: Vec<(PointId, f32)>,
     done: bool,
 }
 
-struct QueryRankState {
+impl QueryState {
+    fn new() -> Self {
+        QueryState {
+            best: BinaryHeap::new(),
+            frontier: BinaryHeap::new(),
+            visited: HashSet::new(),
+            round_scored: Vec::new(),
+            done: false,
+        }
+    }
+
+    fn d_max(&self, l: usize) -> f32 {
+        if self.best.len() < l {
+            f32::INFINITY
+        } else {
+            self.best.peek().map_or(f32::INFINITY, |&(OrdF32(m), _)| m)
+        }
+    }
+
+    /// Fold this round's scored replies in the total `(distance, id)`
+    /// order: first settle the best-`l` heap, then admit frontier entries
+    /// against the *settled* bound — a pure function of the reply multiset.
+    fn fold_round(&mut self, l: usize, relax: f32) {
+        if self.round_scored.is_empty() {
+            return;
+        }
+        let mut scored = std::mem::take(&mut self.round_scored);
+        scored.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        for &(w, d) in &scored {
+            if self.best.len() < l || d < self.d_max(l) {
+                self.best.push((OrdF32(d), w));
+                if self.best.len() > l {
+                    self.best.pop();
+                }
+            }
+        }
+        let bound = relax * self.d_max(l);
+        for &(w, d) in &scored {
+            if d < bound {
+                self.frontier.push(Reverse((OrdF32(d), w)));
+            }
+        }
+    }
+}
+
+struct EngineState<P> {
+    /// Queries of the batch currently in flight (empty between batches).
     queries: Vec<QueryState>,
+    /// The in-flight batch's query vectors, indexed like `queries` (the
+    /// Neighbors handler needs them for the Score fan-out).
+    vectors: Vec<P>,
 }
 
 /// Per-rank result rows: `(global query index, neighbor ids)`.
 pub type RankQueryRows = Vec<(usize, Vec<PointId>)>;
+
+/// Reusable comm-level distributed search: registers the query protocol
+/// handlers once, then answers any number of batches via
+/// [`SearchEngine::run_batch`] — each one a full Expand/Score cascade with
+/// its own convergence loop. This is the entry point the online serving
+/// frontend flushes its micro-batches into; [`distributed_search_batch`]
+/// uses it for the offline all-at-once case.
+///
+/// SPMD contract: construct and call on every rank at the same points.
+/// `run_batch` participates in barriers/all-reduces even with zero local
+/// queries.
+pub struct SearchEngine<P, M> {
+    base: Arc<PointSet<P>>,
+    metric: M,
+    st: Rc<RefCell<EngineState<P>>>,
+}
+
+impl<P, M> SearchEngine<P, M>
+where
+    P: Point,
+    M: BatchMetric<P>,
+{
+    /// Register the query protocol on `comm` and preprocess the metric's
+    /// norm cache (charged to the virtual clock once per rank).
+    pub fn new(
+        comm: &Comm,
+        base: Arc<PointSet<P>>,
+        graph: Arc<KnnGraph>,
+        metric: M,
+    ) -> SearchEngine<P, M> {
+        assert_eq!(graph.len(), base.len(), "graph and base disagree on N");
+        let dim = base.dim().max(1);
+        let n = base.len();
+        let cache = Arc::new(metric.preprocess(&base));
+        comm.charge_compute(comm.cost().distance_cost_ns(dim) * (n / comm.n_ranks().max(1)) as u64);
+        let st: Rc<RefCell<EngineState<P>>> = Rc::new(RefCell::new(EngineState {
+            queries: Vec::new(),
+            vectors: Vec::new(),
+        }));
+
+        {
+            // Expand: we own vertex v; reply with its neighbor ids.
+            let graph = Arc::clone(&graph);
+            comm.register_named::<Expand, _>(TAG_EXPAND, "q_expand", move |c, (qid, home, v)| {
+                let ids: Vec<PointId> = graph.neighbors(v).iter().map(|&(id, _)| id).collect();
+                c.async_send(home as usize, TAG_NEIGHBORS, &(qid, v, ids));
+            });
+        }
+        {
+            // Score: we own every candidate in ws; one batched evaluation,
+            // one scored-list reply.
+            let base = Arc::clone(&base);
+            let metric = metric.clone();
+            let cache = Arc::clone(&cache);
+            comm.register_named::<Score<P>, _>(TAG_SCORE, "q_score", move |c, msg| {
+                let mut dbuf = Vec::with_capacity(msg.ws.len());
+                metric.distance_one_to_many(&msg.query, &base, &cache, &msg.ws, &mut dbuf);
+                c.charge_compute(c.cost().distance_cost_ns(dim) * msg.ws.len() as u64);
+                c.trace_hist("kernel_batch_len", msg.ws.len() as u64);
+                let scored: Vec<(PointId, f32)> =
+                    msg.ws.iter().copied().zip(dbuf.iter().copied()).collect();
+                c.async_send(msg.home as usize, TAG_SCORED, &(msg.qid, scored));
+            });
+        }
+        {
+            // Neighbors arrived at the home rank: request scores for
+            // unvisited candidates, shipping the query vector once per
+            // destination rank.
+            let st = Rc::clone(&st);
+            comm.register_named::<NeighborsMsg, _>(
+                TAG_NEIGHBORS,
+                "q_neighbors",
+                move |c, (qid, _v, ids)| {
+                    let mut s = st.borrow_mut();
+                    let home = c.rank() as u32;
+                    let part = Partitioner::new(c.n_ranks());
+                    let query_vec = s.vectors[qid as usize].clone();
+                    let q = &mut s.queries[qid as usize];
+                    let unvisited = ids.into_iter().filter(|&w| q.visited.insert(w));
+                    for (dest, ws) in group_by_owner(part, unvisited) {
+                        c.async_send(
+                            dest,
+                            TAG_SCORE,
+                            &Score {
+                                qid,
+                                home,
+                                ws,
+                                query: query_vec.clone(),
+                            },
+                        );
+                    }
+                },
+            );
+        }
+        {
+            // Scored distances arrived: buffer for the round-boundary fold.
+            let st = Rc::clone(&st);
+            comm.register_named::<Scored, _>(TAG_SCORED, "q_scored", move |_, (qid, scored)| {
+                let mut s = st.borrow_mut();
+                s.queries[qid as usize].round_scored.extend(scored);
+            });
+        }
+
+        SearchEngine { base, metric, st }
+    }
+
+    /// Answer one batch of locally-homed queries. `requests` pairs a
+    /// per-query seed key (any stable id — the offline path uses the global
+    /// query index, serving uses the arrival index) with the query vector.
+    /// Returns the best-`params.l` ids per request, in request order.
+    ///
+    /// Collective: all ranks must call together (possibly with empty
+    /// `requests`).
+    pub fn run_batch(
+        &self,
+        comm: &Comm,
+        requests: &[(u64, P)],
+        params: DistSearchParams,
+    ) -> Vec<Vec<PointId>> {
+        params
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid DistSearchParams: {e}"));
+        let part = Partitioner::new(comm.n_ranks());
+        let me = comm.rank() as u32;
+        let n = self.base.len();
+        let relax = 1.0 + params.epsilon;
+        assert!(params.l <= n, "l exceeds dataset size");
+
+        {
+            let mut s = self.st.borrow_mut();
+            s.queries = requests.iter().map(|_| QueryState::new()).collect();
+            s.vectors = requests.iter().map(|(_, q)| q.clone()).collect();
+        }
+
+        // --- seed entry points -------------------------------------------
+        comm.trace_begin("query_seed");
+        {
+            let mut s = self.st.borrow_mut();
+            for (qid, (key, query)) in requests.iter().enumerate() {
+                let q = &mut s.queries[qid];
+                let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ (key << 16));
+                let starts = params.l.max(params.entry_candidates).min(n);
+                let fresh = index_sample(&mut rng, n, starts)
+                    .into_iter()
+                    .map(|idx| idx as PointId)
+                    .filter(|&w| q.visited.insert(w));
+                for (dest, ws) in group_by_owner(part, fresh) {
+                    comm.async_send(
+                        dest,
+                        TAG_SCORE,
+                        &Score {
+                            qid: qid as u32,
+                            home: me,
+                            ws,
+                            query: query.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        comm.barrier();
+        comm.trace_end("query_seed");
+
+        // --- round loop --------------------------------------------------
+        // Each round: fold the previous cascade's scores in canonical
+        // order, then every live query expands its best frontier vertex
+        // (the Section 3.3 pop); the barrier retires the Expand/Score
+        // cascades and an all-reduce decides global convergence.
+        let mut round = 0u64;
+        loop {
+            comm.trace_begin_arg("query_round", round);
+            round += 1;
+            {
+                let mut s = self.st.borrow_mut();
+                for qid in 0..s.queries.len() {
+                    let q = &mut s.queries[qid];
+                    if q.done {
+                        continue;
+                    }
+                    q.fold_round(params.l, relax);
+                    let d_max = q.d_max(params.l);
+                    match q.frontier.pop() {
+                        None => q.done = true,
+                        Some(Reverse((OrdF32(d), v))) => {
+                            if d > relax * d_max && q.best.len() >= params.l {
+                                q.done = true;
+                            } else {
+                                comm.async_send(part.owner(v), TAG_EXPAND, &(qid as u32, me, v));
+                            }
+                        }
+                    }
+                }
+            }
+            comm.barrier();
+            let live = {
+                let s = self.st.borrow();
+                s.queries.iter().filter(|q| !q.done).count() as u64
+            };
+            let live_global = comm.all_reduce_sum_u64(live);
+            comm.trace_instant("live_queries", live_global);
+            comm.trace_end("query_round");
+            if live_global == 0 {
+                break;
+            }
+        }
+
+        // --- extract -----------------------------------------------------
+        let mut s = self.st.borrow_mut();
+        s.vectors.clear();
+        std::mem::take(&mut s.queries)
+            .into_iter()
+            .map(|q| {
+                let mut pairs: Vec<(f32, PointId)> =
+                    q.best.iter().map(|&(OrdF32(d), id)| (d, id)).collect();
+                pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+                pairs.into_iter().map(|(_, id)| id).collect()
+            })
+            .collect()
+    }
+
+    /// The metric this engine scores with.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+}
 
 /// Run a batch of queries against the partitioned `(graph, base)` on
 /// `world.n_ranks()` ranks. Returns per-query neighbor ids (query order)
@@ -186,15 +509,21 @@ where
 {
     assert_eq!(graph.len(), base.len(), "graph and base disagree on N");
     assert!(params.l >= 1 && params.l <= base.len());
+    params
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid DistSearchParams: {e}"));
     let report = world.run(|comm| {
-        rank_query_main(
-            comm,
-            Arc::clone(base),
-            Arc::clone(graph),
-            Arc::clone(queries),
-            metric.clone(),
-            params,
-        )
+        let engine = SearchEngine::new(comm, Arc::clone(base), Arc::clone(graph), metric.clone());
+        // Home queries round-robin.
+        let mine: Vec<usize> = (0..queries.len())
+            .filter(|q| q % comm.n_ranks() == comm.rank())
+            .collect();
+        let requests: Vec<(u64, P)> = mine
+            .iter()
+            .map(|&idx| (idx as u64, queries.point(idx as PointId).clone()))
+            .collect();
+        let ids = engine.run_batch(comm, &requests, params);
+        mine.into_iter().zip(ids).collect::<RankQueryRows>()
     });
     let mut out: Vec<Vec<PointId>> = vec![Vec::new(); queries.len()];
     for rank_results in &report.results {
@@ -203,211 +532,6 @@ where
         }
     }
     (out, report)
-}
-
-fn rank_query_main<P, M>(
-    comm: &Comm,
-    base: Arc<PointSet<P>>,
-    graph: Arc<KnnGraph>,
-    queries: Arc<PointSet<P>>,
-    metric: M,
-    params: DistSearchParams,
-) -> RankQueryRows
-where
-    P: Point,
-    M: BatchMetric<P>,
-{
-    let part = Partitioner::new(comm.n_ranks());
-    let me = comm.rank();
-    let n = base.len();
-    let dim = base.dim().max(1);
-    let relax = 1.0 + params.epsilon;
-    // Norms once per rank; every Score batch it answers reuses them.
-    let cache = Arc::new(metric.preprocess(&base));
-    comm.charge_compute(comm.cost().distance_cost_ns(dim) * (n / comm.n_ranks().max(1)) as u64);
-
-    // Home queries round-robin.
-    let my_queries: Vec<usize> = (0..queries.len())
-        .filter(|q| q % comm.n_ranks() == me)
-        .collect();
-    let st = Rc::new(RefCell::new(QueryRankState {
-        queries: my_queries
-            .iter()
-            .map(|&global_idx| QueryState {
-                global_idx,
-                best: BinaryHeap::new(),
-                frontier: BinaryHeap::new(),
-                visited: HashSet::new(),
-                pending_scores: 0,
-                pending_expands: 0,
-                done: false,
-            })
-            .collect(),
-    }));
-
-    // --- handlers -----------------------------------------------------------
-    {
-        // Expand: we own vertex v; reply with its neighbor ids.
-        let graph = Arc::clone(&graph);
-        comm.register_named::<Expand, _>(TAG_EXPAND, "q_expand", move |c, (qid, home, v)| {
-            let ids: Vec<PointId> = graph.neighbors(v).iter().map(|&(id, _)| id).collect();
-            c.async_send(home as usize, TAG_NEIGHBORS, &(qid, v, ids));
-        });
-    }
-    {
-        // Score: we own every candidate in ws; one batched evaluation,
-        // one scored-list reply.
-        let base = Arc::clone(&base);
-        let metric = metric.clone();
-        let cache = Arc::clone(&cache);
-        comm.register_named::<Score<P>, _>(TAG_SCORE, "q_score", move |c, msg| {
-            let mut dbuf = Vec::with_capacity(msg.ws.len());
-            metric.distance_one_to_many(&msg.query, &base, &cache, &msg.ws, &mut dbuf);
-            c.charge_compute(c.cost().distance_cost_ns(dim) * msg.ws.len() as u64);
-            c.trace_hist("kernel_batch_len", msg.ws.len() as u64);
-            let scored: Vec<(PointId, f32)> =
-                msg.ws.iter().copied().zip(dbuf.iter().copied()).collect();
-            c.async_send(msg.home as usize, TAG_SCORED, &(msg.qid, scored));
-        });
-    }
-    {
-        // Neighbors arrived at the home rank: request scores for unvisited.
-        let st = Rc::clone(&st);
-        let queries = Arc::clone(&queries);
-        comm.register_named::<NeighborsMsg, _>(
-            TAG_NEIGHBORS,
-            "q_neighbors",
-            move |c, (qid, _v, ids)| {
-                let mut s = st.borrow_mut();
-                let q = &mut s.queries[qid as usize];
-                q.pending_expands -= 1;
-                let query_vec = queries.point(q.global_idx as PointId).clone();
-                let home = c.rank() as u32;
-                let part = Partitioner::new(c.n_ranks());
-                let unvisited = ids.into_iter().filter(|&w| q.visited.insert(w));
-                for (dest, ws) in group_by_owner(part, unvisited) {
-                    q.pending_scores += ws.len();
-                    c.async_send(
-                        dest,
-                        TAG_SCORE,
-                        &Score {
-                            qid,
-                            home,
-                            ws,
-                            query: query_vec.clone(),
-                        },
-                    );
-                }
-            },
-        );
-    }
-    {
-        // Scored distance arrived: update heaps.
-        let st = Rc::clone(&st);
-        comm.register_named::<Scored, _>(TAG_SCORED, "q_scored", move |_, (qid, scored)| {
-            let mut s = st.borrow_mut();
-            let q = &mut s.queries[qid as usize];
-            for (w, d) in scored {
-                q.pending_scores -= 1;
-                let d_max = q.best.peek().map_or(f32::INFINITY, |&(OrdF32(m), _)| m);
-                if q.best.len() < params.l || d < d_max {
-                    q.best.push((OrdF32(d), w));
-                    if q.best.len() > params.l {
-                        q.best.pop();
-                    }
-                }
-                if d < relax * d_max {
-                    q.frontier.push(Reverse((OrdF32(d), w)));
-                }
-            }
-        });
-    }
-
-    // --- seed entry points ----------------------------------------------------
-    comm.trace_begin("query_seed");
-    {
-        let mut s = st.borrow_mut();
-        let home = me as u32;
-        for (qid, q) in s.queries.iter_mut().enumerate() {
-            let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ ((q.global_idx as u64) << 16));
-            let starts = params.l.max(params.entry_candidates).min(n);
-            let query_vec = queries.point(q.global_idx as PointId).clone();
-            let fresh = index_sample(&mut rng, n, starts)
-                .into_iter()
-                .map(|idx| idx as PointId)
-                .filter(|&w| q.visited.insert(w));
-            for (dest, ws) in group_by_owner(part, fresh) {
-                q.pending_scores += ws.len();
-                comm.async_send(
-                    dest,
-                    TAG_SCORE,
-                    &Score {
-                        qid: qid as u32,
-                        home,
-                        ws,
-                        query: query_vec.clone(),
-                    },
-                );
-            }
-        }
-    }
-    comm.barrier();
-    comm.trace_end("query_seed");
-
-    // --- round loop -------------------------------------------------------------
-    // Each round: every live query expands its best frontier vertex (the
-    // Section 3.3 pop), the barrier retires the Expand/Score cascades, and
-    // an all-reduce decides global convergence.
-    let mut round = 0u64;
-    loop {
-        comm.trace_begin_arg("query_round", round);
-        round += 1;
-        {
-            let mut s = st.borrow_mut();
-            let home = me as u32;
-            for (qid, q) in s.queries.iter_mut().enumerate() {
-                if q.done {
-                    continue;
-                }
-                debug_assert_eq!(q.pending_scores, 0);
-                let d_max = q.best.peek().map_or(f32::INFINITY, |&(OrdF32(m), _)| m);
-                match q.frontier.pop() {
-                    None => q.done = true,
-                    Some(Reverse((OrdF32(d), v))) => {
-                        if d > relax * d_max && q.best.len() >= params.l {
-                            q.done = true;
-                        } else {
-                            q.pending_expands += 1;
-                            comm.async_send(part.owner(v), TAG_EXPAND, &(qid as u32, home, v));
-                        }
-                    }
-                }
-            }
-        }
-        comm.barrier();
-        let live = {
-            let s = st.borrow();
-            s.queries.iter().filter(|q| !q.done).count() as u64
-        };
-        let live_global = comm.all_reduce_sum_u64(live);
-        comm.trace_instant("live_queries", live_global);
-        comm.trace_end("query_round");
-        if live_global == 0 {
-            break;
-        }
-    }
-
-    // --- extract ----------------------------------------------------------------
-    let s = st.borrow();
-    s.queries
-        .iter()
-        .map(|q| {
-            let mut pairs: Vec<(f32, PointId)> =
-                q.best.iter().map(|&(OrdF32(d), id)| (d, id)).collect();
-            pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-            (q.global_idx, pairs.into_iter().map(|(_, id)| id).collect())
-        })
-        .collect()
 }
 
 #[cfg(test)]
@@ -537,6 +661,22 @@ mod tests {
     }
 
     #[test]
+    fn rank_count_does_not_change_results_at_all() {
+        // The determinism contract (see module doc): identical ids for
+        // every query across rank counts, not just comparable recall.
+        let (base, graph, queries) = setup(400, 8);
+        let queries = Arc::new(queries);
+        let params = DistSearchParams::new(8).epsilon(0.2).entry_candidates(32);
+        let (ref_ids, _) =
+            distributed_search_batch(&World::new(1), &base, &graph, &queries, &L2, params);
+        for ranks in [2usize, 4] {
+            let (ids, _) =
+                distributed_search_batch(&World::new(ranks), &base, &graph, &queries, &L2, params);
+            assert_eq!(ids, ref_ids, "results differ at {ranks} ranks");
+        }
+    }
+
+    #[test]
     fn query_traffic_is_accounted() {
         let (base, graph, queries) = setup(400, 6);
         let queries = Arc::new(queries);
@@ -555,5 +695,30 @@ mod tests {
         // Score messages carry the query vector; replies are small.
         assert!(score_tag.bytes > scored_tag.bytes);
         assert!(report.sim_secs > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn nan_epsilon_is_rejected() {
+        let _ = DistSearchParams::new(10).epsilon(f32::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry_candidates")]
+    fn zero_entry_candidates_is_rejected() {
+        let _ = DistSearchParams::new(10).entry_candidates(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "l (results per query)")]
+    fn zero_l_is_rejected() {
+        let _ = DistSearchParams::new(0);
+    }
+
+    #[test]
+    fn default_params_are_valid() {
+        let p = DistSearchParams::default();
+        assert_eq!(p.l, 10);
+        p.validate().unwrap();
     }
 }

@@ -7,7 +7,7 @@
 //! (CSS + SVG, no scripts, no external assets), so the file can be opened
 //! from a CI artifact or attached to an issue without a web server.
 
-use crate::report::{FaultSection, MatrixSection, RunReport};
+use crate::report::{FaultSection, MatrixSection, RunReport, ServingSection};
 use std::fmt::Write as _;
 
 /// Chart palette: one color per rank track, cycled.
@@ -48,6 +48,20 @@ pub fn dashboard_html(report: &RunReport) -> String {
             "telemetry",
             "Continuous telemetry (virtual-clock series)",
             &series_charts(report),
+        ));
+    }
+    if let Some(s) = &report.serving {
+        body.push_str(&section(
+            "serving",
+            "Online serving SLOs",
+            &serving_panel(s),
+        ));
+    }
+    if let Some(chart) = serving_sweep_chart(report) {
+        body.push_str(&section(
+            "throughput-latency",
+            "Throughput vs p99 latency (offered-load sweep)",
+            &chart,
         ));
     }
     if let Some(f) = &report.faults {
@@ -122,6 +136,10 @@ fn stat_tiles(r: &RunReport) -> String {
         tiles.push(("recall".into(), format!("{:.4}", recall)));
     }
     for (k, v) in &r.extra {
+        // Sweep points feed the throughput-latency chart, not the tiles.
+        if k.starts_with("sweep_") {
+            continue;
+        }
         tiles.push((k.replace('_', " "), trim_float(*v)));
     }
     let mut out = String::from("<div class=\"tiles\">\n");
@@ -315,6 +333,135 @@ fn series_charts(r: &RunReport) -> String {
         );
     }
     out
+}
+
+/// SLO tiles, the exact latency histogram, and the outcome breakdown of an
+/// online serving run.
+fn serving_panel(s: &ServingSection) -> String {
+    let tiles: &[(&str, String)] = &[
+        ("offered", group_u64(s.offered)),
+        ("answered", group_u64(s.answered)),
+        ("cache hits", group_u64(s.cache_hits)),
+        ("shed", group_u64(s.shed_deadline + s.shed_overload)),
+        ("p50 latency", format!("{:.2} ms", s.p50_ns as f64 / 1e6)),
+        ("p95 latency", format!("{:.2} ms", s.p95_ns as f64 / 1e6)),
+        ("p99 latency", format!("{:.2} ms", s.p99_ns as f64 / 1e6)),
+    ];
+    let mut out = String::from("<div class=\"tiles\">\n");
+    for (label, value) in tiles {
+        let _ = writeln!(
+            out,
+            "<div class=\"tile\"><b>{}</b><span>{}</span></div>",
+            esc(value),
+            esc(label)
+        );
+    }
+    out.push_str("</div>\n");
+    out.push_str(&latency_hist_svg(s));
+    let rows: &[(&str, u64)] = &[
+        ("offered (open-loop arrivals)", s.offered),
+        ("admitted to queue", s.admitted),
+        ("answered by search", s.answered),
+        ("answered from cache", s.cache_hits),
+        ("shed: deadline expired", s.shed_deadline),
+        ("shed: queue overload", s.shed_overload),
+        ("answered degraded", s.degraded),
+        ("cache evictions", s.cache_evictions),
+        ("max queue depth", s.max_queue_depth),
+        ("serving slots", s.slots),
+    ];
+    let mut table = format!(
+        "<table><tr><th>counter</th><th>value</th></tr>\
+         <tr><td>serve seed</td><td>{}</td></tr>\
+         <tr><td>slot duration</td><td>{:.3} ms</td></tr>\
+         <tr><td>mean latency</td><td>{:.3} ms</td></tr>\
+         <tr><td>result digest</td><td>{:016x}</td></tr>",
+        s.serve_seed,
+        s.slot_ns as f64 / 1e6,
+        s.mean_latency_ns / 1e6,
+        s.result_digest
+    );
+    for (name, v) in rows {
+        let _ = write!(table, "<tr><td>{name}</td><td>{}</td></tr>", group_u64(*v));
+    }
+    table.push_str("</table>");
+    out.push_str(&table);
+    out
+}
+
+/// Bar chart of the exact answered-latency histogram (latency in slots).
+fn latency_hist_svg(s: &ServingSection) -> String {
+    if s.latency_hist.is_empty() {
+        return "<p class=\"legend\">no answered queries</p>".into();
+    }
+    let max_count = s
+        .latency_hist
+        .iter()
+        .map(|&(_, c)| c)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let max_slots = s.latency_hist.iter().map(|&(b, _)| b).max().unwrap_or(1);
+    let n_bars = (max_slots + 1) as f64;
+    let bar_w = ((CHART_W - CHART_PAD - 10.0) / n_bars).min(40.0);
+    let band_h = CHART_H - 32.0;
+    let mut out =
+        format!("<svg viewBox=\"0 0 {CHART_W} {CHART_H}\" width=\"100%\" role=\"img\">\n");
+    for &(slots, count) in &s.latency_hist {
+        let h = band_h * count as f64 / max_count as f64;
+        let _ = writeln!(
+            out,
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"{}\">\
+             <title>{} slot(s): {} queries ({:.3} ms)</title></rect>",
+            CHART_PAD + slots as f64 * bar_w,
+            10.0 + band_h - h,
+            (bar_w - 1.0).max(0.5),
+            h.max(0.5),
+            RANK_COLORS[0],
+            slots,
+            group_u64(count),
+            slots as f64 * s.slot_ns as f64 / 1e6,
+        );
+    }
+    let _ = write!(
+        out,
+        "<text x=\"{CHART_PAD}\" y=\"{}\">0 slots</text>\
+         <text x=\"{:.1}\" y=\"{}\" text-anchor=\"end\">{} slots</text>\n</svg>\n\
+         <p class=\"legend\">answered-query latency histogram (exact, bucketed by serving slot; tallest bar {} queries)</p>",
+        CHART_H - 8.0,
+        CHART_W - 10.0,
+        CHART_H - 8.0,
+        max_slots,
+        group_u64(max_count)
+    );
+    out
+}
+
+/// Throughput-vs-p99 curve from an offered-load sweep. The bench serve
+/// driver records one `sweep_qps_<i>` / `sweep_p99_ms_<i>` pair per load
+/// point in `extra`; render when at least two complete pairs exist.
+fn serving_sweep_chart(r: &RunReport) -> Option<String> {
+    let lookup =
+        |key: &str| -> Option<f64> { r.extra.iter().find(|(k, _)| k == key).map(|&(_, v)| v) };
+    let mut pts = Vec::new();
+    for i in 0.. {
+        match (
+            lookup(&format!("sweep_qps_{i}")),
+            lookup(&format!("sweep_p99_ms_{i}")),
+        ) {
+            (Some(qps), Some(p99)) => pts.push((qps, p99)),
+            _ => break,
+        }
+    }
+    if pts.len() < 2 {
+        return None;
+    }
+    Some(line_chart(
+        &pts,
+        "offered load (queries/s)",
+        "p99 latency of answered queries (ms)",
+        RANK_COLORS[3],
+    ))
 }
 
 fn fault_table(f: &FaultSection) -> String {
@@ -658,6 +805,51 @@ mod tests {
         assert!(!html.contains("id=\"telemetry\""));
         assert!(!html.contains("id=\"convergence\""));
         assert!(html.contains("id=\"timeline\""));
+    }
+
+    #[test]
+    fn serving_panel_renders_and_is_omitted_without_section() {
+        let mut r = sample();
+        assert!(!dashboard_html(&r).contains("id=\"serving\""));
+        r.serving = Some(ServingSection {
+            serve_seed: 9,
+            slot_ns: 250_000,
+            slots: 16,
+            offered: 100,
+            admitted: 90,
+            answered: 80,
+            cache_hits: 10,
+            shed_deadline: 5,
+            shed_overload: 5,
+            p99_ns: 1_000_000,
+            latency_hist: vec![(1, 60), (2, 15), (4, 5)],
+            result_digest: 0xABCD,
+            ..Default::default()
+        });
+        let html = dashboard_html(&r);
+        assert!(html.contains("id=\"serving\""));
+        assert!(html.contains("shed: deadline expired"));
+        assert!(html.contains("000000000000abcd")); // digest, zero-padded hex
+        assert!(html.contains("4 slot(s): 5 queries"));
+        // Still self-contained with the new panel.
+        for needle in ["http://", "https://", "<script", "src=", "@import", "url("] {
+            assert!(!html.contains(needle), "found {needle:?}");
+        }
+    }
+
+    #[test]
+    fn sweep_chart_needs_two_complete_pairs() {
+        let mut r = sample();
+        r.metric("sweep_qps_0", 100.0);
+        r.metric("sweep_p99_ms_0", 1.5);
+        assert!(!dashboard_html(&r).contains("id=\"throughput-latency\""));
+        r.metric("sweep_qps_1", 200.0);
+        r.metric("sweep_p99_ms_1", 4.0);
+        let html = dashboard_html(&r);
+        assert!(html.contains("id=\"throughput-latency\""));
+        assert!(html.contains("p99 latency of answered queries (ms)"));
+        // Sweep keys feed the chart, not the summary tiles.
+        assert!(!html.contains("sweep qps 0"));
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub use hist::{Histogram, HistogramSnapshot};
 pub use json::JsonValue;
 pub use report::{
     ConvergencePoint, FaultSection, MatrixSection, MatrixTagReport, PhaseReport, RunReport,
-    TagReport,
+    ServingSection, TagReport,
 };
 pub use ring::{EventKind, TraceEvent};
 pub use timeseries::{SeriesPoint, SeriesSnapshot, TimeSeriesSet};

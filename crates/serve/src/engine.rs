@@ -1,0 +1,553 @@
+//! The slot-driven serving engine.
+//!
+//! ## Two clocks
+//!
+//! The `ygm` virtual clock measures *resource cost* and legitimately
+//! differs across rank counts (more ranks, more parallel compute). The
+//! *serving clock* is a slot counter layered on top of it
+//! ([`ygm::SlotTimer`] pins one loop iteration to `slot_ns` of virtual
+//! time): arrivals, batch ages, deadlines, and reported latencies are all
+//! measured in slots. Everything SLO-visible therefore depends only on the
+//! slot axis — which is identical across rank counts — never on raw
+//! virtual timestamps.
+//!
+//! ## Replicated control plane, distributed data plane
+//!
+//! Every rank runs the *same* deterministic state machine over the same
+//! global logical queue: arrivals (a pure PRF of the serve seed), cache
+//! probes, deadline/watermark shedding, degrade-level selection, and batch
+//! formation are computed identically everywhere with zero communication —
+//! the same philosophy as `ygm::fault`'s replicated fault plans. Only
+//! search execution is distributed: each dispatched query is homed on
+//! `pool_id % n_ranks` and answered by the reusable
+//! [`dnnd::query::SearchEngine`] cascade; results are then replicated to
+//! all ranks with an all-gather so every rank's cache and statistics stay
+//! bit-identical (asserted at the end of the run — the built-in
+//! determinism check).
+//!
+//! Under a hostile fault profile, transport retransmits observed during a
+//! dispatch window are charged against that batch's queries as whole-slot
+//! latency penalties (capped), so injected faults surface in the latency
+//! SLOs without ever perturbing the control-plane decision sequence.
+
+use crate::cache::{QuantizeKey, ResultCache};
+use crate::params::ServeParams;
+use crate::workload::ArrivalPlan;
+use dataset::batch::BatchMetric;
+use dataset::point::Point;
+use dataset::set::{PointId, PointSet};
+use dnnd::query::SearchEngine;
+use dnnd::DistSearchParams;
+use nnd::graph::KnnGraph;
+use obs::{RunReport, ServingSection};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use ygm::{all_gather, Comm, SlotTimer, World, WorldReport};
+
+/// Tag for replicating each dispatch's results to every rank.
+pub const TAG_RESULTS: u16 = 40;
+/// Tag for the end-of-run cross-rank statistics fingerprint check.
+pub const TAG_FINGERPRINT: u16 = 41;
+
+/// Most whole-slot latency penalty one dispatch window can absorb from
+/// transport retransmits.
+const FAULT_PENALTY_CAP_SLOTS: u64 = 4;
+
+/// Replicated statistics of one serving run. Identical on every rank and
+/// across rank counts for a given `(serve seed, parameters, graph)`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServingStats {
+    pub serve_seed: u64,
+    pub slot_ns: u64,
+    /// Serving slots executed (arrivals span plus the drain tail).
+    pub slots: u64,
+    pub offered: u64,
+    pub admitted: u64,
+    pub answered: u64,
+    pub cache_hits: u64,
+    pub cache_evictions: u64,
+    pub shed_deadline: u64,
+    pub shed_overload: u64,
+    /// Queries answered at degrade level >= 1.
+    pub degraded: u64,
+    pub max_queue_depth: u64,
+    /// Whole-slot latency penalties charged for transport retransmits.
+    pub fault_penalty_slots: u64,
+    /// Exact latency histogram `(latency_slots, count)`, sorted by
+    /// latency. Cache hits land in bucket 0.
+    pub latency_hist: Vec<(u64, u64)>,
+    /// FNV-1a digest over `(arrival idx, result ids)` in arrival order.
+    pub result_digest: u64,
+}
+
+impl ServingStats {
+    /// Total queries that received an answer (search + cache).
+    pub fn total_answered(&self) -> u64 {
+        self.answered + self.cache_hits
+    }
+
+    /// Exact latency percentile in virtual nanoseconds (`q` in `[0, 1]`);
+    /// 0 when nothing was answered.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        let total: u64 = self.latency_hist.iter().map(|&(_, c)| c).sum();
+        if total == 0 {
+            return 0;
+        }
+        let want = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0;
+        for &(slots, count) in &self.latency_hist {
+            cum += count;
+            if cum >= want {
+                return slots * self.slot_ns;
+            }
+        }
+        self.latency_hist
+            .last()
+            .map_or(0, |&(s, _)| s * self.slot_ns)
+    }
+
+    /// Mean answered latency in virtual nanoseconds.
+    pub fn mean_latency_ns(&self) -> f64 {
+        let total: u64 = self.latency_hist.iter().map(|&(_, c)| c).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .latency_hist
+            .iter()
+            .map(|&(s, c)| (s * self.slot_ns) as f64 * c as f64)
+            .sum();
+        sum / total as f64
+    }
+
+    /// Order-sensitive fingerprint of every replicated field — what the
+    /// ranks compare to prove they ran the same control plane.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv_seed();
+        for v in [
+            self.serve_seed,
+            self.slot_ns,
+            self.slots,
+            self.offered,
+            self.admitted,
+            self.answered,
+            self.cache_hits,
+            self.cache_evictions,
+            self.shed_deadline,
+            self.shed_overload,
+            self.degraded,
+            self.max_queue_depth,
+            self.fault_penalty_slots,
+            self.result_digest,
+        ] {
+            h = fnv_u64(h, v);
+        }
+        for &(s, c) in &self.latency_hist {
+            h = fnv_u64(h, s);
+            h = fnv_u64(h, c);
+        }
+        h
+    }
+
+    /// Translate into the run report's schema-v3 `serving` section.
+    pub fn to_section(&self) -> ServingSection {
+        ServingSection {
+            serve_seed: self.serve_seed,
+            slot_ns: self.slot_ns,
+            slots: self.slots,
+            offered: self.offered,
+            admitted: self.admitted,
+            answered: self.answered,
+            cache_hits: self.cache_hits,
+            cache_evictions: self.cache_evictions,
+            shed_deadline: self.shed_deadline,
+            shed_overload: self.shed_overload,
+            degraded: self.degraded,
+            max_queue_depth: self.max_queue_depth,
+            p50_ns: self.percentile_ns(0.50),
+            p95_ns: self.percentile_ns(0.95),
+            p99_ns: self.percentile_ns(0.99),
+            mean_latency_ns: self.mean_latency_ns(),
+            latency_hist: self.latency_hist.clone(),
+            result_digest: self.result_digest,
+        }
+    }
+}
+
+/// Attach a serving run's statistics to `report` as its schema-v3
+/// `serving` section.
+pub fn attach_serving(report: &mut RunReport, stats: &ServingStats) {
+    report.serving = Some(stats.to_section());
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_seed() -> u64 {
+    FNV_OFFSET
+}
+
+fn fnv_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Everything one rank returns from a serving run. All fields are
+/// replicated (identical on every rank).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServeOutcome {
+    pub stats: ServingStats,
+    /// Every answered query: `(arrival idx, pool id, result ids)` in
+    /// arrival order. Cache hits carry the cached ids.
+    pub answers: Vec<(u64, usize, Vec<PointId>)>,
+}
+
+/// A query waiting in the logical frontend queue.
+struct Pending {
+    idx: u64,
+    pool_id: usize,
+    arrived_slot: u64,
+}
+
+/// Search parameters at a degrade level: level 1 halves epsilon and trims
+/// the entry beam to 3/4; level 2 drops to pure greedy on half the beam.
+fn degraded_search(base: &DistSearchParams, level: u8) -> DistSearchParams {
+    let entries = if base.entry_candidates == 0 {
+        base.l
+    } else {
+        base.entry_candidates
+    };
+    match level {
+        0 => *base,
+        1 => DistSearchParams {
+            epsilon: base.epsilon * 0.5,
+            entry_candidates: (entries * 3 / 4).max(1),
+            ..*base
+        },
+        _ => DistSearchParams {
+            epsilon: 0.0,
+            entry_candidates: (entries / 2).max(1),
+            ..*base
+        },
+    }
+}
+
+/// Dispatch capacity at a degrade level: B, 3B/2, 2B — a loaded frontend
+/// trades per-query quality for drain rate.
+fn dispatch_capacity(batch: usize, level: u8) -> usize {
+    batch * (2 + level as usize) / 2
+}
+
+/// Run the serving loop on a live comm (SPMD: all ranks call together
+/// inside one `world.run`). Returns the replicated outcome.
+pub fn serve_on_comm<P, M>(
+    comm: &Comm,
+    base: &Arc<PointSet<P>>,
+    graph: &Arc<KnnGraph>,
+    pool: &Arc<PointSet<P>>,
+    metric: &M,
+    params: &ServeParams,
+) -> ServeOutcome
+where
+    P: Point + QuantizeKey,
+    M: BatchMetric<P>,
+{
+    params
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid ServeParams: {e}"));
+    let plan = ArrivalPlan::generate(params, pool.len());
+    let engine = SearchEngine::new(comm, Arc::clone(base), Arc::clone(graph), metric.clone());
+    comm.name_tag(TAG_RESULTS, "serve_results");
+    comm.name_tag(TAG_FINGERPRINT, "serve_fingerprint");
+
+    let mut timer = SlotTimer::new(params.slot_ns);
+    let mut queue: VecDeque<Pending> = VecDeque::new();
+    let mut cache = ResultCache::new(params.cache_capacity);
+    let mut hist: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut stats = ServingStats {
+        serve_seed: params.serve_seed,
+        slot_ns: params.slot_ns,
+        ..ServingStats::default()
+    };
+    let mut answers: Vec<(u64, usize, Vec<PointId>)> = Vec::new();
+    let mut next = 0usize;
+    let mut slot = 0u64;
+    let mut last_retransmits = comm.fault_retransmits();
+    let me = comm.rank();
+    let n_ranks = comm.n_ranks();
+
+    while next < plan.arrivals.len() || !queue.is_empty() {
+        comm.trace_begin_arg("serve_slot", slot);
+
+        // --- arrivals + cache probes + admission -------------------------
+        while next < plan.arrivals.len() && plan.arrivals[next].slot <= slot {
+            let a = plan.arrivals[next];
+            next += 1;
+            stats.offered += 1;
+            let key = pool.point(a.pool_id as PointId).quantize(params.quant_step);
+            if let Some(ids) = cache.get(&key) {
+                stats.cache_hits += 1;
+                *hist.entry(0).or_insert(0) += 1;
+                answers.push((a.idx, a.pool_id, ids));
+            } else if queue.len() >= params.shed_watermark {
+                stats.shed_overload += 1;
+            } else {
+                queue.push_back(Pending {
+                    idx: a.idx,
+                    pool_id: a.pool_id,
+                    arrived_slot: slot,
+                });
+                stats.admitted += 1;
+            }
+        }
+        stats.max_queue_depth = stats.max_queue_depth.max(queue.len() as u64);
+
+        // --- deadline shedding -------------------------------------------
+        while let Some(front) = queue.front() {
+            if slot - front.arrived_slot > params.deadline_slots {
+                queue.pop_front();
+                stats.shed_deadline += 1;
+            } else {
+                break;
+            }
+        }
+
+        // --- degrade ladder ----------------------------------------------
+        let depth = queue.len();
+        let level2_mark = params.degrade_watermark.midpoint(params.shed_watermark);
+        let level: u8 = if depth >= level2_mark && depth >= params.degrade_watermark {
+            2
+        } else if depth >= params.degrade_watermark {
+            1
+        } else {
+            0
+        };
+
+        // --- adaptive micro-batch flush ----------------------------------
+        let oldest_age = queue.front().map_or(0, |p| slot - p.arrived_slot);
+        let flush = !queue.is_empty()
+            && (queue.len() >= params.batch || oldest_age >= params.flush_age_slots);
+        let mut dispatched = 0u64;
+        if flush {
+            let take = dispatch_capacity(params.batch, level).min(queue.len());
+            let items: Vec<Pending> = queue.drain(..take).collect();
+            dispatched = items.len() as u64;
+            let sp = degraded_search(&params.search, level);
+
+            // Distributed data plane: each query executes on its home rank.
+            let mine: Vec<(u64, P)> = items
+                .iter()
+                .filter(|p| p.pool_id % n_ranks == me)
+                .map(|p| (p.idx, pool.point(p.pool_id as PointId).clone()))
+                .collect();
+            let my_ids = engine.run_batch(comm, &mine, sp);
+            let my_results: Vec<(u64, Vec<PointId>)> =
+                mine.iter().map(|(idx, _)| *idx).zip(my_ids).collect();
+
+            // Replicate results so every rank's cache and stats agree.
+            let mut all: Vec<(u64, Vec<PointId>)> = all_gather(comm, TAG_RESULTS, &my_results)
+                .into_iter()
+                .flatten()
+                .collect();
+            all.sort_unstable_by_key(|&(idx, _)| idx);
+
+            // Transport retransmits during this window surface as
+            // whole-slot latency penalties (stable after the gather's
+            // barrier, identical on every rank).
+            let rtx = comm.fault_retransmits();
+            let penalty = (rtx - last_retransmits).min(FAULT_PENALTY_CAP_SLOTS);
+            last_retransmits = rtx;
+            stats.fault_penalty_slots += penalty * all.len() as u64;
+
+            for (idx, ids) in all {
+                let p = items
+                    .iter()
+                    .find(|p| p.idx == idx)
+                    .expect("result for undispatched query");
+                let latency_slots = slot - p.arrived_slot + 1 + penalty;
+                *hist.entry(latency_slots).or_insert(0) += 1;
+                stats.answered += 1;
+                if level > 0 {
+                    stats.degraded += 1;
+                }
+                let key = pool.point(p.pool_id as PointId).quantize(params.quant_step);
+                cache.insert(key, ids.clone());
+                answers.push((idx, p.pool_id, ids));
+            }
+        }
+
+        // --- telemetry + slot alignment ----------------------------------
+        if me == 0 {
+            comm.gauge("serve_queue_depth", queue.len() as f64);
+            comm.gauge("serve_dispatched", dispatched as f64);
+        }
+        timer.align(comm);
+        comm.barrier();
+        comm.trace_end("serve_slot");
+        slot += 1;
+    }
+
+    stats.slots = slot;
+    stats.cache_evictions = cache.evictions();
+    answers.sort_unstable_by_key(|&(idx, _, _)| idx);
+    let mut digest = fnv_seed();
+    for (idx, _, ids) in &answers {
+        digest = fnv_u64(digest, *idx);
+        for &id in ids {
+            digest = fnv_u64(digest, id as u64);
+        }
+    }
+    stats.result_digest = digest;
+    stats.latency_hist = hist.into_iter().collect();
+
+    // Built-in determinism check: every rank must have produced the exact
+    // same replicated state.
+    let fps = all_gather(comm, TAG_FINGERPRINT, &stats.fingerprint());
+    assert!(
+        fps.iter().all(|&f| f == fps[0]),
+        "serving control plane diverged across ranks: {fps:?}"
+    );
+
+    ServeOutcome { stats, answers }
+}
+
+/// Run a full serving session on `world`. Returns the replicated outcome
+/// (identical on every rank, asserted) plus the world report for
+/// virtual-time and traffic accounting.
+pub fn run_serve<P, M>(
+    world: &World,
+    base: &Arc<PointSet<P>>,
+    graph: &Arc<KnnGraph>,
+    pool: &Arc<PointSet<P>>,
+    metric: &M,
+    params: &ServeParams,
+) -> (ServeOutcome, WorldReport<()>)
+where
+    P: Point + QuantizeKey,
+    M: BatchMetric<P>,
+{
+    let WorldReport {
+        results,
+        sim_secs,
+        breakdown,
+        phases,
+        wall_secs,
+        tags,
+        total,
+        matrix,
+        faults,
+    } = world.run(|comm| serve_on_comm(comm, base, graph, pool, metric, params));
+    let n = results.len();
+    let mut it = results.into_iter();
+    let first = it.next().expect("world has at least one rank");
+    for other in it {
+        assert_eq!(other, first, "serving outcome diverged across ranks");
+    }
+    let report = WorldReport {
+        results: vec![(); n],
+        sim_secs,
+        breakdown,
+        phases,
+        wall_secs,
+        tags,
+        total,
+        matrix,
+        faults,
+    };
+    (first, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrade_ladder_shapes() {
+        let base = DistSearchParams::new(10).epsilon(0.2).entry_candidates(32);
+        let l0 = degraded_search(&base, 0);
+        assert_eq!(l0, base);
+        let l1 = degraded_search(&base, 1);
+        assert!((l1.epsilon - 0.1).abs() < 1e-6);
+        assert_eq!(l1.entry_candidates, 24);
+        let l2 = degraded_search(&base, 2);
+        assert_eq!(l2.epsilon, 0.0);
+        assert_eq!(l2.entry_candidates, 16);
+        // Degradation never invalidates the parameters.
+        l1.validate().unwrap();
+        l2.validate().unwrap();
+        // Entry beam never collapses to zero.
+        let tiny = DistSearchParams::new(1).entry_candidates(1);
+        assert_eq!(degraded_search(&tiny, 2).entry_candidates, 1);
+    }
+
+    #[test]
+    fn dispatch_capacity_ladder() {
+        assert_eq!(dispatch_capacity(8, 0), 8);
+        assert_eq!(dispatch_capacity(8, 1), 12);
+        assert_eq!(dispatch_capacity(8, 2), 16);
+    }
+
+    #[test]
+    fn percentiles_on_exact_hist() {
+        let stats = ServingStats {
+            slot_ns: 1_000,
+            latency_hist: vec![(1, 90), (2, 9), (10, 1)],
+            ..ServingStats::default()
+        };
+        assert_eq!(stats.percentile_ns(0.50), 1_000);
+        assert_eq!(stats.percentile_ns(0.95), 2_000);
+        assert_eq!(stats.percentile_ns(0.99), 2_000);
+        assert_eq!(stats.percentile_ns(1.0), 10_000);
+        let mean = stats.mean_latency_ns();
+        assert!((mean - (90.0 * 1_000.0 + 9.0 * 2_000.0 + 10_000.0) / 100.0).abs() < 1e-9);
+        // Empty histogram reports zeros, not NaN.
+        let empty = ServingStats::default();
+        assert_eq!(empty.percentile_ns(0.99), 0);
+        assert_eq!(empty.mean_latency_ns(), 0.0);
+    }
+
+    #[test]
+    fn fingerprint_covers_the_histogram() {
+        let a = ServingStats {
+            latency_hist: vec![(1, 5)],
+            ..ServingStats::default()
+        };
+        let b = ServingStats {
+            latency_hist: vec![(1, 6)],
+            ..ServingStats::default()
+        };
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn section_translation_is_faithful() {
+        let stats = ServingStats {
+            serve_seed: 7,
+            slot_ns: 500,
+            slots: 12,
+            offered: 30,
+            answered: 25,
+            cache_hits: 3,
+            shed_deadline: 1,
+            shed_overload: 1,
+            latency_hist: vec![(0, 3), (1, 20), (3, 5)],
+            result_digest: 42,
+            ..ServingStats::default()
+        };
+        let s = stats.to_section();
+        assert_eq!(s.serve_seed, 7);
+        assert_eq!(s.offered, 30);
+        assert_eq!(s.p50_ns, stats.percentile_ns(0.5));
+        assert_eq!(s.latency_hist, stats.latency_hist);
+        assert_eq!(s.result_digest, 42);
+        let mut report = RunReport::new("t");
+        attach_serving(&mut report, &stats);
+        assert_eq!(report.serving.as_ref().unwrap().offered, 30);
+        // And it survives the JSON round trip.
+        let back = RunReport::parse(&report.to_json_string()).unwrap();
+        assert_eq!(back.serving.unwrap(), s);
+    }
+}

@@ -1,0 +1,272 @@
+//! Validated serving parameters.
+//!
+//! Everything that shapes a serving run — the open-loop workload, the
+//! micro-batching policy, the admission-control ladder, and the result
+//! cache — lives in one [`ServeParams`] value, so one `--serve-seed` plus
+//! one parameter set replays a run exactly (see the determinism contract
+//! in the crate docs).
+
+use dnnd::DistSearchParams;
+
+/// Parameters of one online serving run. Construct with [`ServeParams::new`]
+/// and the builder methods (each validates its argument), or start from
+/// [`Default`] and adjust.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeParams {
+    /// Search quality at degrade level 0 (`l`, `epsilon`,
+    /// `entry_candidates`, search seed).
+    pub search: DistSearchParams,
+    /// Seed of the whole serving run: arrivals, hot-set picks, and every
+    /// admission decision are a pure function of it.
+    pub serve_seed: u64,
+    /// Virtual duration of one serving slot, nanoseconds. The frontend
+    /// wakes once per slot; latencies are measured in slots.
+    pub slot_ns: u64,
+    /// Offered load of the Poisson arrival process, queries per second of
+    /// virtual time.
+    pub offered_qps: f64,
+    /// Total queries the workload generator emits.
+    pub n_arrivals: usize,
+    /// Probability that an arrival draws from the hot pool (drives cache
+    /// hits); in `[0, 1]`.
+    pub hot_fraction: f64,
+    /// Size of the hot pool (first `hot_pool` queries of the pool set).
+    pub hot_pool: usize,
+    /// Micro-batch flush size B: the queue dispatches when it holds at
+    /// least B queries...
+    pub batch: usize,
+    /// ...or when the oldest queued query is this many slots old,
+    /// whichever happens first.
+    pub flush_age_slots: u64,
+    /// Deadline budget: a query still queued after this many slots is
+    /// shed (too stale to answer within its SLO).
+    pub deadline_slots: u64,
+    /// Queue depth at which search degrades (level 1; level 2 at the
+    /// midpoint between this and `shed_watermark`).
+    pub degrade_watermark: usize,
+    /// Queue depth above which the newest queries are dropped outright.
+    pub shed_watermark: usize,
+    /// Result-cache capacity in entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Quantization step for cache keys (coordinates are bucketed by this
+    /// step; queries in the same bucket share a cache entry).
+    pub quant_step: f32,
+}
+
+impl ServeParams {
+    /// Serving defaults around a `DistSearchParams::new(l)` search.
+    pub fn new(l: usize) -> Self {
+        ServeParams {
+            search: DistSearchParams::new(l).epsilon(0.1).entry_candidates(24),
+            serve_seed: 0x5E27E,
+            slot_ns: 1_000_000, // 1 ms slots
+            offered_qps: 2_000.0,
+            n_arrivals: 200,
+            hot_fraction: 0.3,
+            hot_pool: 8,
+            batch: 8,
+            flush_age_slots: 2,
+            deadline_slots: 8,
+            degrade_watermark: 24,
+            shed_watermark: 64,
+            cache_capacity: 32,
+            quant_step: 1e-3,
+        }
+    }
+
+    /// Set the serve seed.
+    pub fn serve_seed(mut self, s: u64) -> Self {
+        self.serve_seed = s;
+        self
+    }
+
+    /// Set the slot duration (must be positive).
+    pub fn slot_ns(mut self, ns: u64) -> Self {
+        assert!(ns > 0, "ServeParams: slot_ns must be positive");
+        self.slot_ns = ns;
+        self
+    }
+
+    /// Set the offered load (must be finite and positive).
+    pub fn offered_qps(mut self, qps: f64) -> Self {
+        assert!(
+            qps.is_finite() && qps > 0.0,
+            "ServeParams: offered_qps must be finite and > 0 (got {qps})"
+        );
+        self.offered_qps = qps;
+        self
+    }
+
+    /// Set the workload length (must be >= 1).
+    pub fn n_arrivals(mut self, n: usize) -> Self {
+        assert!(n >= 1, "ServeParams: n_arrivals must be >= 1");
+        self.n_arrivals = n;
+        self
+    }
+
+    /// Set the hot-pool skew (fraction in `[0, 1]`, pool size >= 1).
+    pub fn hot_set(mut self, fraction: f64, pool: usize) -> Self {
+        assert!(
+            fraction.is_finite() && (0.0..=1.0).contains(&fraction),
+            "ServeParams: hot_fraction must be in [0, 1] (got {fraction})"
+        );
+        assert!(pool >= 1, "ServeParams: hot_pool must be >= 1");
+        self.hot_fraction = fraction;
+        self.hot_pool = pool;
+        self
+    }
+
+    /// Set the micro-batch size B (must be >= 1).
+    pub fn batch(mut self, b: usize) -> Self {
+        assert!(b >= 1, "ServeParams: batch must be >= 1");
+        self.batch = b;
+        self
+    }
+
+    /// Set the age-based flush deadline in slots (must be >= 1).
+    pub fn flush_age_slots(mut self, s: u64) -> Self {
+        assert!(s >= 1, "ServeParams: flush_age_slots must be >= 1");
+        self.flush_age_slots = s;
+        self
+    }
+
+    /// Set the per-query deadline budget in slots (must be >= 1).
+    pub fn deadline_slots(mut self, s: u64) -> Self {
+        assert!(s >= 1, "ServeParams: deadline_slots must be >= 1");
+        self.deadline_slots = s;
+        self
+    }
+
+    /// Set the degrade/shed queue-depth watermarks
+    /// (`0 < degrade <= shed`).
+    pub fn watermarks(mut self, degrade: usize, shed: usize) -> Self {
+        assert!(
+            degrade >= 1 && shed >= degrade,
+            "ServeParams: watermarks must satisfy 1 <= degrade <= shed \
+             (got degrade {degrade}, shed {shed})"
+        );
+        self.degrade_watermark = degrade;
+        self.shed_watermark = shed;
+        self
+    }
+
+    /// Set the cache capacity (0 disables) and key quantization step
+    /// (must be finite and positive).
+    pub fn cache(mut self, capacity: usize, quant_step: f32) -> Self {
+        assert!(
+            quant_step.is_finite() && quant_step > 0.0,
+            "ServeParams: quant_step must be finite and > 0 (got {quant_step})"
+        );
+        self.cache_capacity = capacity;
+        self.quant_step = quant_step;
+        self
+    }
+
+    /// Check every invariant the builders enforce (for parameter sets
+    /// filled directly, e.g. from CLI flags).
+    pub fn validate(&self) -> Result<(), String> {
+        self.search.validate()?;
+        if self.slot_ns == 0 {
+            return Err("slot_ns must be positive".into());
+        }
+        if !self.offered_qps.is_finite() || self.offered_qps <= 0.0 {
+            return Err(format!(
+                "offered_qps must be finite and > 0 (got {})",
+                self.offered_qps
+            ));
+        }
+        if self.n_arrivals < 1 {
+            return Err("n_arrivals must be >= 1".into());
+        }
+        if !self.hot_fraction.is_finite() || !(0.0..=1.0).contains(&self.hot_fraction) {
+            return Err(format!(
+                "hot_fraction must be in [0, 1] (got {})",
+                self.hot_fraction
+            ));
+        }
+        if self.hot_pool < 1 {
+            return Err("hot_pool must be >= 1".into());
+        }
+        if self.batch < 1 {
+            return Err("batch must be >= 1".into());
+        }
+        if self.flush_age_slots < 1 {
+            return Err("flush_age_slots must be >= 1".into());
+        }
+        if self.deadline_slots < 1 {
+            return Err("deadline_slots must be >= 1".into());
+        }
+        if self.degrade_watermark < 1 || self.shed_watermark < self.degrade_watermark {
+            return Err(format!(
+                "watermarks must satisfy 1 <= degrade <= shed (got degrade {}, shed {})",
+                self.degrade_watermark, self.shed_watermark
+            ));
+        }
+        if !self.quant_step.is_finite() || self.quant_step <= 0.0 {
+            return Err(format!(
+                "quant_step must be finite and > 0 (got {})",
+                self.quant_step
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ServeParams {
+    /// `l = 10` search under the standard serving shape.
+    fn default() -> Self {
+        ServeParams::new(10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_are_valid() {
+        ServeParams::default().validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "slot_ns")]
+    fn zero_slot_is_rejected() {
+        let _ = ServeParams::new(10).slot_ns(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "offered_qps")]
+    fn nan_qps_is_rejected() {
+        let _ = ServeParams::new(10).offered_qps(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot_fraction")]
+    fn out_of_range_hot_fraction_is_rejected() {
+        let _ = ServeParams::new(10).hot_set(1.5, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "watermarks")]
+    fn inverted_watermarks_are_rejected() {
+        let _ = ServeParams::new(10).watermarks(64, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "quant_step")]
+    fn negative_quant_step_is_rejected() {
+        let _ = ServeParams::new(10).cache(8, -1.0);
+    }
+
+    #[test]
+    fn validate_catches_directly_filled_fields() {
+        let p = ServeParams {
+            deadline_slots: 0,
+            ..ServeParams::default()
+        };
+        assert!(p.validate().unwrap_err().contains("deadline_slots"));
+        let mut p = ServeParams::default();
+        p.search.epsilon = f32::NAN;
+        assert!(p.validate().is_err());
+    }
+}

@@ -689,6 +689,26 @@ impl Comm {
         &self.shared.stats
     }
 
+    /// Running count of reliable-delivery retransmits world-wide; always 0
+    /// without a fault plan. Stable (and identical on every rank) when read
+    /// right after a barrier, so SPMD code may branch on it — the serving
+    /// layer uses the per-window delta to charge retransmit recovery
+    /// against query latency.
+    pub fn fault_retransmits(&self) -> u64 {
+        self.shared
+            .fault
+            .as_ref()
+            .map_or(0, |f| f.counters.retransmits.load(Ordering::SeqCst))
+    }
+
+    /// Whether this world runs under a fault plan with a hostile profile.
+    pub fn fault_active(&self) -> bool {
+        self.shared
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.plan.profile.is_hostile())
+    }
+
     // ---- Collectives -----------------------------------------------------
     //
     // Small fixed-size collectives use shared-memory scratch cells rather

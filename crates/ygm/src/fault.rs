@@ -217,7 +217,13 @@ fn edge(src: usize, dest: usize) -> u64 {
 }
 
 /// SplitMix64-style avalanche over the decision coordinates.
-fn mix(seed: u64, salt: u64, a: u64, b: u64, c: u64) -> u64 {
+///
+/// Public so other deterministic plans (e.g. the serving layer's arrival
+/// and shedding PRFs) can key independent `ChaCha8Rng` streams on their
+/// own `(seed, salt, coordinates)` tuples with the same guarantee: every
+/// decision is a pure function of its coordinates, independent of
+/// schedule, rank count, and evaluation order.
+pub fn mix(seed: u64, salt: u64, a: u64, b: u64, c: u64) -> u64 {
     let mut h = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     for v in [a, b, c] {
         h ^= v

@@ -1,0 +1,223 @@
+//! `dnnd-serve` — online query serving over a constructed store: a
+//! deterministic open-loop workload (Poisson arrivals at `--qps`, seeded
+//! by `--serve-seed`) is played against the optimized graph through the
+//! distributed serving layer (`crates/serve`): adaptive micro-batching,
+//! deadline and overload shedding, a quantized-key result cache, and SLO
+//! telemetry into the schema-v3 run report.
+//!
+//! The run is a pure function of its flags: replaying with the same
+//! `--serve-seed` (any `--ranks`) reproduces every admission decision,
+//! latency, and result bit-identically — the printed digest is the proof.
+//!
+//! ```text
+//! dnnd-serve --store ./store --pool 32 --qps 4000 --arrivals 500
+//! dnnd-serve --store ./store --serve-seed 7 --fault-profile lossy --report-out run.json
+//! ```
+//!
+//! `--trace-out`, `--report-out`, and `--dashboard-out` emit the Chrome
+//! trace, unified run report (with the `serving` section), and the HTML
+//! dashboard (with the serving SLO panel).
+
+use bench::Args;
+use dataset::batch::BatchMetric;
+use dataset::io;
+use dataset::point::Point;
+use dataset::PointSet;
+use dnnd_repro::cli::{die, parse_fault_plan, read_meta, Elem, ObsOuts};
+use metall::Store;
+use nnd::KnnGraph;
+use serve::cache::QuantizeKey;
+use serve::{attach_serving, run_serve, ServeOutcome, ServeParams};
+use std::sync::Arc;
+use ygm::{World, WorldReport};
+
+fn serve_generic<P, M>(
+    world: &World,
+    base: PointSet<P>,
+    graph: KnnGraph,
+    pool: PointSet<P>,
+    metric: M,
+    params: &ServeParams,
+) -> (ServeOutcome, WorldReport<()>)
+where
+    P: Point + QuantizeKey,
+    M: BatchMetric<P>,
+{
+    run_serve(
+        world,
+        &Arc::new(base),
+        &Arc::new(graph),
+        &Arc::new(pool),
+        &metric,
+        params,
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let store_dir: String = args.get("store", String::new());
+    if store_dir.is_empty() {
+        die("--store <dir> is required");
+    }
+    let ranks: usize = args.get("ranks", 2);
+    let pool_n: usize = args.get("pool", 32);
+    let query_file: String = args.get("queries", String::new());
+
+    // Serving parameters: filled directly from flags, then validated in
+    // one place so a bad flag dies with the invariant it broke.
+    let mut params = ServeParams::new(args.get("l", 10));
+    params.search.epsilon = args.get("epsilon", 0.1f32);
+    params.search.entry_candidates = args.get("entries", 24);
+    params.serve_seed = args.get("serve-seed", 0x5E27Eu64);
+    params.slot_ns = args.get("slot-ns", 1_000_000u64);
+    params.offered_qps = args.get("qps", 2_000.0f64);
+    params.n_arrivals = args.get("arrivals", 200);
+    params.hot_fraction = args.get("hot-fraction", 0.3f64);
+    params.hot_pool = args.get("hot-pool", 8);
+    params.batch = args.get("batch", 8);
+    params.flush_age_slots = args.get("flush-age", 2u64);
+    params.deadline_slots = args.get("deadline", 8u64);
+    params.degrade_watermark = args.get("degrade", 24);
+    params.shed_watermark = args.get("shed", 64);
+    params.cache_capacity = args.get("cache", 32);
+    params.quant_step = args.get("quant-step", 1e-3f32);
+    params
+        .validate()
+        .unwrap_or_else(|e| die(&format!("invalid serving parameters: {e}")));
+
+    let fault_profile: String = args.get("fault-profile", String::new());
+    let sim_seed: u64 = args.get("sim-seed", 0);
+    let outs = ObsOuts::parse(&args);
+    let tracer = if outs.any() {
+        Some(Arc::new(obs::Tracer::new(ranks)))
+    } else {
+        None
+    };
+    let mut world = World::new(ranks);
+    if let Some(plan) = parse_fault_plan(&fault_profile, sim_seed) {
+        world = world.fault_plan(plan);
+    }
+    if let Some(t) = &tracer {
+        world = world.tracer(Arc::clone(t));
+    }
+
+    let store = Store::open(&store_dir).unwrap_or_else(|e| die(&format!("cannot open store: {e}")));
+    let (_, elem, metric_name) = read_meta(&store);
+    let graph_key = if store.contains("opt/offsets") {
+        "opt"
+    } else {
+        "knng"
+    };
+    let graph = KnnGraph::load(&store, graph_key).unwrap_or_else(|e| die(&e.to_string()));
+    println!(
+        "serving {} graph online: {} vertices, {} edges ({}, {metric_name}, {ranks} ranks)",
+        graph_key,
+        graph.len(),
+        graph.edge_count(),
+        elem.name()
+    );
+
+    let (outcome, wr) = match elem {
+        Elem::F32 => {
+            let base = PointSet::<Vec<f32>>::load(&store, "dataset")
+                .unwrap_or_else(|e| die(&e.to_string()));
+            let pool = if query_file.is_empty() {
+                // Re-query member points from the tail of the dataset (the
+                // graph indexes all of base, so ids stay valid).
+                if pool_n == 0 || pool_n >= base.len() {
+                    die("need 0 < --pool < N");
+                }
+                PointSet::new(base.points()[base.len() - pool_n..].to_vec())
+            } else {
+                io::read_fvecs(&query_file)
+                    .unwrap_or_else(|e| die(&format!("bad --queries file: {e}")))
+            };
+            match metric_name.as_str() {
+                "l2" => serve_generic(&world, base, graph, pool, dataset::L2, &params),
+                "sql2" => serve_generic(&world, base, graph, pool, dataset::SquaredL2, &params),
+                "cosine" => serve_generic(&world, base, graph, pool, dataset::Cosine, &params),
+                "l1" => serve_generic(&world, base, graph, pool, dataset::L1, &params),
+                other => die(&format!("unknown metric {other:?}")),
+            }
+        }
+        Elem::U8 => {
+            let base = PointSet::<Vec<u8>>::load(&store, "dataset")
+                .unwrap_or_else(|e| die(&e.to_string()));
+            let pool = if query_file.is_empty() {
+                if pool_n == 0 || pool_n >= base.len() {
+                    die("need 0 < --pool < N");
+                }
+                PointSet::new(base.points()[base.len() - pool_n..].to_vec())
+            } else {
+                io::read_bvecs(&query_file)
+                    .unwrap_or_else(|e| die(&format!("bad --queries file: {e}")))
+            };
+            serve_generic(&world, base, graph, pool, dataset::L2, &params)
+        }
+    };
+
+    let s = &outcome.stats;
+    println!(
+        "offered {} queries over {} slots of {} ms: {} answered ({} cache hits), \
+         {} shed on deadline, {} shed on overload, {} degraded",
+        s.offered,
+        s.slots,
+        s.slot_ns as f64 / 1e6,
+        s.total_answered(),
+        s.cache_hits,
+        s.shed_deadline,
+        s.shed_overload,
+        s.degraded
+    );
+    println!(
+        "latency p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms (mean {:.2} ms); max queue depth {}",
+        s.percentile_ns(0.50) as f64 / 1e6,
+        s.percentile_ns(0.95) as f64 / 1e6,
+        s.percentile_ns(0.99) as f64 / 1e6,
+        s.mean_latency_ns() / 1e6,
+        s.max_queue_depth
+    );
+    println!(
+        "result digest {:016x} (serve seed {}, bit-identical on replay)",
+        s.result_digest, s.serve_seed
+    );
+
+    if outs.any() {
+        if let Some(t) = &tracer {
+            if !outs.trace.is_empty() {
+                dnnd::obs_report::write_trace(&outs.trace, t)
+                    .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", outs.trace)));
+                println!("trace written to {}", outs.trace);
+            }
+        }
+        if outs.wants_report() {
+            let mut rr = dnnd::obs_report::report_from_world("dnnd-serve", ranks, &wr);
+            attach_serving(&mut rr, s);
+            dnnd::obs_report::attach_histograms(&mut rr, tracer.as_deref());
+            dnnd::obs_report::attach_series(&mut rr, tracer.as_deref());
+            rr.param("store", &store_dir)
+                .param("l", params.search.l)
+                .param("epsilon", params.search.epsilon)
+                .param("serve_seed", params.serve_seed)
+                .param("qps", params.offered_qps)
+                .param("arrivals", params.n_arrivals)
+                .param("batch", params.batch)
+                .param("deadline_slots", params.deadline_slots)
+                .param("metric", &metric_name)
+                .param("graph", graph_key);
+            if !fault_profile.is_empty() && fault_profile != "none" {
+                rr.param("fault_profile", &fault_profile);
+            }
+            if !outs.report.is_empty() {
+                dnnd::obs_report::write_report(&outs.report, &rr)
+                    .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", outs.report)));
+                println!("run report written to {}", outs.report);
+            }
+            if !outs.dashboard.is_empty() {
+                dnnd::obs_report::write_dashboard(&outs.dashboard, &rr)
+                    .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", outs.dashboard)));
+                println!("dashboard written to {}", outs.dashboard);
+            }
+        }
+    }
+}

@@ -2,14 +2,13 @@
 //! `dnnd-construct` → `dnnd-optimize` → `dnnd-query` binaries end to end,
 //! including file-based dataset input, exactly as a user would.
 
-use std::path::PathBuf;
 use std::process::Command;
 
-fn tmpdir(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!("dnnd-cli-it-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&d);
-    std::fs::create_dir_all(&d).unwrap();
-    d
+mod common;
+use common::TmpDir;
+
+fn tmpdir(tag: &str) -> TmpDir {
+    TmpDir::new(tag)
 }
 
 fn run_ok(bin: &str, args: &[&str]) -> String {
@@ -85,7 +84,6 @@ fn preset_pipeline_runs_and_reports_recall() {
         .and_then(|v| v.parse().ok())
         .expect("recall value parse");
     assert!(recall > 0.9, "CLI pipeline recall {recall}");
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -134,7 +132,6 @@ fn file_based_pipeline_with_u8_data() {
         ],
     );
     assert!(out.contains("recall@6"), "query output: {out}");
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -186,7 +183,6 @@ fn query_with_explicit_query_and_gt_files() {
         ],
     );
     assert!(out.contains("recall@5"), "query output: {out}");
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -1,0 +1,49 @@
+//! Shared helpers for the integration tests.
+
+use std::path::{Path, PathBuf};
+
+/// RAII temp directory: created unique per test, removed on drop — also
+/// when the test panics, so failed runs don't leak shard directories into
+/// the system temp dir.
+pub struct TmpDir {
+    path: PathBuf,
+}
+
+// Each integration-test binary compiles this module separately and uses a
+// different subset of the API.
+#[allow(dead_code)]
+impl TmpDir {
+    /// Create a fresh directory namespaced by `tag`, process, and thread.
+    pub fn new(tag: &str) -> TmpDir {
+        let path = std::env::temp_dir().join(format!(
+            "dnnd-it-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        TmpDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Path of `name` inside the directory.
+    pub fn join(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl AsRef<Path> for TmpDir {
+    fn as_ref(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TmpDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

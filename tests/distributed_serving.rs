@@ -8,23 +8,17 @@ use dnnd::{
     build, destroy_sharded, distributed_search_batch, load_sharded, save_sharded, DistSearchParams,
     DnndConfig, Partitioner,
 };
-use std::path::PathBuf;
 use std::sync::Arc;
 use ygm::World;
 
-fn tmpdir(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!(
-        "dnnd-serving-{tag}-{}-{:?}",
-        std::process::id(),
-        std::thread::current().id()
-    ));
-    let _ = std::fs::remove_dir_all(&d);
-    d
-}
+mod common;
+use common::TmpDir;
 
 #[test]
 fn build_shard_reload_serve() {
-    let dir = tmpdir("e2e");
+    // The guard removes the shard directory even when an assert fails;
+    // destroy_sharded below additionally exercises the explicit teardown.
+    let dir = TmpDir::new("e2e");
     let ranks = 4;
     let full = gaussian_mixture(MixtureParams::embedding_like(800, 12), 3);
     let (base, queries) = split_queries(full, 60);
@@ -63,7 +57,7 @@ fn build_shard_reload_serve() {
 fn shard_count_is_independent_of_build_ranks() {
     // The graph built on 4 ranks can be re-sharded for a 2-rank serving
     // fleet; the partitioner is a pure function of (id, n_ranks).
-    let dir = tmpdir("reshard");
+    let dir = TmpDir::new("reshard");
     let base = Arc::new(gaussian_mixture(MixtureParams::embedding_like(300, 8), 5));
     let out = build(&World::new(4), &base, &L2, DnndConfig::new(6).seed(9));
     save_sharded(&out.graph, &dir, 2).unwrap();

@@ -6,7 +6,8 @@
 use dataset::{synth, L2};
 use dnnd::{build, BuildReport, CommOpts, DnndConfig};
 use obs::{EventKind, JsonValue, RunReport, Tracer};
-use std::path::PathBuf;
+mod common;
+use common::TmpDir;
 use std::process::Command;
 use std::sync::Arc;
 use ygm::World;
@@ -290,11 +291,8 @@ fn matrix_sums_equal_reported_tag_totals() {
     assert_eq!(ms.total_bytes().iter().sum::<u64>(), rr.total_bytes);
 }
 
-fn tmpdir(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!("dnnd-obs-it-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&d);
-    std::fs::create_dir_all(&d).unwrap();
-    d
+fn tmpdir(tag: &str) -> TmpDir {
+    TmpDir::new(tag)
 }
 
 #[test]
@@ -345,8 +343,6 @@ fn cli_trace_and_report_flags_emit_valid_json() {
     assert!(rr.tags.iter().any(|t| t.name == "Type 2+"));
     assert!(rr.iterations >= 1);
     assert!(!rr.histograms.is_empty());
-
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -413,6 +409,4 @@ fn cli_dashboard_is_self_contained_with_all_sections() {
             .any(|(k, v)| k == "store_high_water_bytes" && *v > 0.0),
         "report missing store_high_water_bytes"
     );
-
-    let _ = std::fs::remove_dir_all(&dir);
 }

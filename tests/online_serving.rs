@@ -1,0 +1,175 @@
+//! Integration tests of the online serving layer (`crates/serve`): the
+//! determinism contract (same seed => bit-identical serving runs across
+//! reruns *and* rank counts) and the overload behavior (shedding keeps
+//! tail latency bounded while answered-query quality holds).
+
+use dataset::set::{PointId, PointSet};
+use dataset::synth::{gaussian_mixture, split_queries, MixtureParams};
+use dataset::{brute_force_queries, L2};
+use dnnd::{build, DnndConfig};
+use nnd::graph::KnnGraph;
+use proptest::prelude::*;
+use serve::{run_serve, ServeOutcome, ServeParams};
+use std::sync::Arc;
+use ygm::World;
+
+type Setup = (
+    Arc<PointSet<Vec<f32>>>,
+    Arc<KnnGraph>,
+    Arc<PointSet<Vec<f32>>>,
+);
+
+/// One shared base/graph/query-pool fixture (building the graph dominates
+/// test cost; serving runs against it are cheap).
+fn setup(n: usize, pool: usize, seed: u64) -> Setup {
+    let full = gaussian_mixture(MixtureParams::embedding_like(n, 12), seed);
+    let (base, queries) = split_queries(full, pool);
+    let base = Arc::new(base);
+    let out = build(
+        &World::new(2),
+        &base,
+        &L2,
+        DnndConfig::new(10).seed(7).graph_opt(1.5),
+    );
+    (base, Arc::new(out.graph), Arc::new(queries))
+}
+
+/// Mean recall of the *answered* queries against brute-force truth.
+fn answered_recall(outcome: &ServeOutcome, truth: &[Vec<PointId>], k: usize) -> f64 {
+    let mut total = 0.0;
+    for (_, pool_id, ids) in &outcome.answers {
+        let hits = ids.iter().filter(|id| truth[*pool_id].contains(id)).count();
+        total += hits as f64 / k as f64;
+    }
+    total / outcome.answers.len() as f64
+}
+
+#[test]
+fn same_seed_is_bit_identical_across_reruns_and_rank_counts() {
+    let (base, graph, pool) = setup(600, 48, 3);
+    let params = ServeParams::new(10)
+        .serve_seed(0xC0FFEE)
+        .n_arrivals(150)
+        .offered_qps(3_000.0);
+
+    let (reference, _) = run_serve(&World::new(2), &base, &graph, &pool, &L2, &params);
+    assert!(reference.stats.total_answered() > 0, "nothing answered");
+
+    // Rerun at the same rank count: every replicated field must match.
+    let (rerun, _) = run_serve(&World::new(2), &base, &graph, &pool, &L2, &params);
+    assert_eq!(rerun, reference, "rerun diverged");
+
+    // The serving section is measured on the slot clock, so it is also
+    // identical across rank counts — admitted/shed/cache-hit sets,
+    // latencies, and the result digest included.
+    for ranks in [1usize, 4] {
+        let (other, _) = run_serve(&World::new(ranks), &base, &graph, &pool, &L2, &params);
+        assert_eq!(
+            other, reference,
+            "serving outcome changed between 2 and {ranks} ranks"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_schedules() {
+    let (base, graph, pool) = setup(400, 32, 5);
+    let params = ServeParams::new(10).n_arrivals(80).offered_qps(2_000.0);
+    let (a, _) = run_serve(&World::new(2), &base, &graph, &pool, &L2, &params);
+    let (b, _) = run_serve(
+        &World::new(2),
+        &base,
+        &graph,
+        &pool,
+        &L2,
+        &params.clone().serve_seed(0xBEEF),
+    );
+    assert_ne!(
+        a.stats.fingerprint(),
+        b.stats.fingerprint(),
+        "two seeds produced identical serving runs"
+    );
+}
+
+#[test]
+fn overload_sheds_but_keeps_tail_latency_bounded_and_quality_high() {
+    let (base, graph, pool) = setup(600, 48, 9);
+    let truth = brute_force_queries(&base, &pool, &L2, 10);
+
+    // Unloaded baseline: gentle trickle, nothing shed.
+    let unloaded = ServeParams::new(10)
+        .n_arrivals(100)
+        .offered_qps(500.0)
+        .batch(4);
+    let (calm, _) = run_serve(&World::new(2), &base, &graph, &pool, &L2, &unloaded);
+    assert_eq!(calm.stats.shed_overload, 0, "trickle load shed queries");
+    let calm_recall = answered_recall(&calm, &truth.ids, 10);
+    assert!(calm_recall > 0.8, "unloaded recall {calm_recall}");
+
+    // Overload: ~2x the arrival rate the frontend can drain. Shedding and
+    // degradation must engage, the deadline must cap answered latency,
+    // and the queries that *are* answered must stay close to baseline
+    // quality (degrade shrinks epsilon/beam, it does not break search).
+    let slam = ServeParams::new(10)
+        .n_arrivals(300)
+        .offered_qps(20_000.0)
+        .batch(4)
+        .watermarks(12, 32)
+        .deadline_slots(6);
+    let (hot, _) = run_serve(&World::new(2), &base, &graph, &pool, &L2, &slam);
+    let s = &hot.stats;
+    assert!(
+        s.shed_overload + s.shed_deadline > 0,
+        "overload engaged no shedding: {s:?}"
+    );
+    assert!(s.max_queue_depth <= 32, "queue blew past shed watermark");
+    // A query older than deadline_slots is shed, so answered latency is
+    // capped at deadline_slots + 1 slots (fault-free run: no penalties).
+    let bound_ns = (slam.deadline_slots + 1) * slam.slot_ns;
+    assert!(
+        s.percentile_ns(0.99) <= bound_ns,
+        "p99 {} ns exceeds deadline bound {} ns",
+        s.percentile_ns(0.99),
+        bound_ns
+    );
+    let hot_recall = answered_recall(&hot, &truth.ids, 10);
+    assert!(
+        hot_recall >= calm_recall - 0.05,
+        "answered-query recall collapsed under load: {hot_recall} vs {calm_recall}"
+    );
+}
+
+#[test]
+fn faults_surface_as_latency_penalties_not_different_answers() {
+    let (base, graph, pool) = setup(400, 32, 13);
+    let params = ServeParams::new(10).n_arrivals(60).offered_qps(1_500.0);
+    let (clean, _) = run_serve(&World::new(2), &base, &graph, &pool, &L2, &params);
+    let world = World::new(2).fault_plan(ygm::FaultPlan::new(ygm::FaultProfile::lossy(), 42));
+    let (faulty, _) = run_serve(&world, &base, &graph, &pool, &L2, &params);
+    // Same answers (reliable delivery + replicated control plane) ...
+    assert_eq!(faulty.answers, clean.answers);
+    assert_eq!(faulty.stats.result_digest, clean.stats.result_digest);
+    // ... but retransmits are charged against query latency.
+    assert!(
+        faulty.stats.fault_penalty_slots >= clean.stats.fault_penalty_slots,
+        "faulty run reported less penalty than clean"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Property: for any serve seed, a 1-rank and a 2-rank run agree on
+    /// every replicated serving field.
+    #[test]
+    fn any_seed_agrees_across_rank_counts(seed in 0u64..1_000_000) {
+        let (base, graph, pool) = setup(300, 24, 1);
+        let params = ServeParams::new(8)
+            .serve_seed(seed)
+            .n_arrivals(60)
+            .offered_qps(4_000.0);
+        let (one, _) = run_serve(&World::new(1), &base, &graph, &pool, &L2, &params);
+        let (two, _) = run_serve(&World::new(2), &base, &graph, &pool, &L2, &params);
+        prop_assert_eq!(one, two);
+    }
+}

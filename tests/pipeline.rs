@@ -8,18 +8,14 @@ use dnnd::{build, CommOpts, DnndConfig};
 use metall::Store;
 use nnd::KnnGraph as DigestGraph;
 use nnd::{search_batch, KnnGraph, SearchParams};
-use std::path::PathBuf;
 use std::sync::Arc;
 use ygm::World;
 
-fn tmpdir(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!(
-        "dnnd-repro-it-{tag}-{}-{:?}",
-        std::process::id(),
-        std::thread::current().id()
-    ));
-    let _ = std::fs::remove_dir_all(&d);
-    d
+mod common;
+use common::TmpDir;
+
+fn tmpdir(tag: &str) -> TmpDir {
+    TmpDir::new(tag)
 }
 
 #[test]
