@@ -1,0 +1,345 @@
+//! `dnnd-critical-path` — post-processes any `--trace-out` Chrome-trace
+//! file: validates the causal flow arrows (`ph:"s"`/`ph:"f"` halves must
+//! pair exactly on id), tallies per-tag and cross-rank arrow counts, and
+//! computes the longest causally-ordered flow chain through the trace.
+//!
+//! ```text
+//! dnnd-critical-path trace.json [--out flows.json]
+//! ```
+//!
+//! Exit codes: `0` when every recv half has a matching send half, `1`
+//! when the pairing is broken (each unmatched id is named), `2` on usage
+//! or I/O errors. The analysis is a pure function of the trace file, so
+//! its JSON output is byte-identical across invocations.
+
+use obs::JsonValue as J;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::process::ExitCode;
+
+/// One flow-arrow half pulled out of the trace.
+#[derive(Debug, Clone)]
+struct Half {
+    id: String,
+    name: String,
+    rank: u64,
+    /// Virtual timestamp in microseconds (`args.virt_us`).
+    virt_us: f64,
+}
+
+fn halves(events: &[J], ph: &str) -> Vec<Half> {
+    events
+        .iter()
+        .filter(|e| {
+            e.get("cat").and_then(J::as_str) == Some("flow")
+                && e.get("ph").and_then(J::as_str) == Some(ph)
+        })
+        .map(|e| Half {
+            id: e
+                .get("id")
+                .and_then(J::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            name: e
+                .get("name")
+                .and_then(J::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            rank: e.get("tid").and_then(J::as_u64).unwrap_or(0),
+            virt_us: e
+                .get("args")
+                .and_then(|a| a.get("virt_us"))
+                .and_then(J::as_f64)
+                .unwrap_or(0.0),
+        })
+        .collect()
+}
+
+/// A paired arrow: send half joined with its recv half on id.
+struct Arrow {
+    name: String,
+    send_rank: u64,
+    recv_rank: u64,
+    send_virt_us: f64,
+    recv_virt_us: f64,
+}
+
+/// Longest chain of causally ordered arrows: arrow `b` can follow arrow
+/// `a` when `b` originates on the rank where `a` landed, no earlier (in
+/// virtual time) than `a`'s landing. Arrows are processed in send order
+/// with landings applied from a time-ordered queue, so the whole pass is
+/// `O(n log n)` and fully deterministic (ties break on the stable sort).
+fn longest_chain(arrows: &[Arrow]) -> u64 {
+    let mut order: Vec<usize> = (0..arrows.len()).collect();
+    order.sort_by(|&a, &b| {
+        arrows[a]
+            .send_virt_us
+            .total_cmp(&arrows[b].send_virt_us)
+            .then_with(|| a.cmp(&b))
+    });
+    // Pending landings as a min-heap on recv time: (recv_virt_us, rank,
+    // chain length ending at that landing).
+    struct Landing(f64, u64, u64);
+    impl PartialEq for Landing {
+        fn eq(&self, o: &Self) -> bool {
+            self.0 == o.0 && self.1 == o.1 && self.2 == o.2
+        }
+    }
+    impl Eq for Landing {}
+    impl PartialOrd for Landing {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    impl Ord for Landing {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            // Reversed: BinaryHeap is a max-heap, we want earliest first.
+            o.0.total_cmp(&self.0)
+                .then_with(|| o.1.cmp(&self.1))
+                .then_with(|| o.2.cmp(&self.2))
+        }
+    }
+    let mut pending: BinaryHeap<Landing> = BinaryHeap::new();
+    let mut best_at: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut longest = 0u64;
+    for i in order {
+        let a = &arrows[i];
+        while let Some(l) = pending.peek() {
+            if l.0 <= a.send_virt_us {
+                let Landing(_, rank, chain) = pending.pop().unwrap();
+                let e = best_at.entry(rank).or_insert(0);
+                *e = (*e).max(chain);
+            } else {
+                break;
+            }
+        }
+        let chain = best_at.get(&a.send_rank).copied().unwrap_or(0) + 1;
+        longest = longest.max(chain);
+        pending.push(Landing(a.recv_virt_us, a.recv_rank, chain));
+    }
+    longest
+}
+
+fn run() -> Result<bool, String> {
+    let mut positional = Vec::new();
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            out_path = Some(args.next().ok_or("--out needs a path")?);
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag {a:?}"));
+        } else {
+            positional.push(a);
+        }
+    }
+    let trace_path = match positional.as_slice() {
+        [p] => p.clone(),
+        _ => return Err("usage: dnnd-critical-path <trace.json> [--out flows.json]".into()),
+    };
+
+    let text = std::fs::read_to_string(&trace_path)
+        .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    let doc = J::parse(&text).map_err(|e| format!("cannot parse {trace_path}: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(J::as_arr)
+        .ok_or("not a Chrome trace: no traceEvents array")?;
+    let n_ranks = doc
+        .get("otherData")
+        .and_then(|o| o.get("n_ranks"))
+        .and_then(J::as_u64)
+        .unwrap_or(0);
+    let dropped = doc
+        .get("otherData")
+        .and_then(|o| o.get("dropped_events"))
+        .and_then(J::as_u64)
+        .unwrap_or(0);
+
+    let sends = halves(events, "s");
+    let recvs = halves(events, "f");
+    let send_by_id: BTreeMap<&str, &Half> = sends.iter().map(|h| (h.id.as_str(), h)).collect();
+    let recv_ids: BTreeSet<&str> = recvs.iter().map(|h| h.id.as_str()).collect();
+
+    // The pairing invariant: every terminating half must have an origin.
+    // (The reverse is legal — an arrow whose payload was shed or still
+    // unflushed when the trace was cut has a send and no recv.)
+    let unmatched: Vec<&Half> = recvs
+        .iter()
+        .filter(|h| !send_by_id.contains_key(h.id.as_str()))
+        .collect();
+
+    let arrows: Vec<Arrow> = recvs
+        .iter()
+        .filter_map(|r| {
+            send_by_id.get(r.id.as_str()).map(|s| Arrow {
+                name: r.name.clone(),
+                send_rank: s.rank,
+                recv_rank: r.rank,
+                send_virt_us: s.virt_us,
+                recv_virt_us: r.virt_us,
+            })
+        })
+        .collect();
+    let cross_rank = arrows.iter().filter(|a| a.send_rank != a.recv_rank).count();
+
+    // Per-flow-name tallies, name-sorted for a stable report.
+    let mut per_name: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+    for s in &sends {
+        per_name.entry(&s.name).or_default().0 += 1;
+    }
+    for r in &recvs {
+        per_name.entry(&r.name).or_default().1 += 1;
+    }
+    for a in &arrows {
+        if a.send_rank != a.recv_rank {
+            per_name.entry(&a.name).or_default().2 += 1;
+        }
+    }
+    let chain = longest_chain(&arrows);
+
+    println!(
+        "{trace_path}: {} ranks, {} flow sends, {} flow recvs, {} arrows ({} cross-rank), \
+         longest causal chain {} arrow(s), {} trace events dropped",
+        n_ranks,
+        sends.len(),
+        recvs.len(),
+        arrows.len(),
+        cross_rank,
+        chain,
+        dropped
+    );
+    for (name, (s, r, x)) in &per_name {
+        println!("  {name}: {s} sends / {r} recvs ({x} cross-rank)");
+    }
+
+    if let Some(path) = out_path {
+        let per_flow = J::Arr(
+            per_name
+                .iter()
+                .map(|(name, (s, r, x))| {
+                    J::Obj(vec![
+                        ("name".into(), J::str(*name)),
+                        ("sends".into(), J::uint(*s)),
+                        ("recvs".into(), J::uint(*r)),
+                        ("cross_rank".into(), J::uint(*x)),
+                    ])
+                })
+                .collect(),
+        );
+        let out = J::Obj(vec![
+            ("n_ranks".into(), J::uint(n_ranks)),
+            ("flow_sends".into(), J::uint(sends.len() as u64)),
+            ("flow_recvs".into(), J::uint(recvs.len() as u64)),
+            ("arrows".into(), J::uint(arrows.len() as u64)),
+            ("cross_rank_arrows".into(), J::uint(cross_rank as u64)),
+            ("unmatched_recvs".into(), J::uint(unmatched.len() as u64)),
+            (
+                "unpaired_sends".into(),
+                J::uint(
+                    sends
+                        .iter()
+                        .filter(|s| !recv_ids.contains(s.id.as_str()))
+                        .count() as u64,
+                ),
+            ),
+            ("longest_chain".into(), J::uint(chain)),
+            ("dropped_events".into(), J::uint(dropped)),
+            ("per_flow".into(), per_flow),
+        ]);
+        std::fs::write(&path, out.pretty()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("flow analysis written to {path}");
+    }
+
+    if unmatched.is_empty() {
+        Ok(true)
+    } else {
+        println!(
+            "FAIL: {} recv half(s) without a matching send:",
+            unmatched.len()
+        );
+        for h in unmatched.iter().take(10) {
+            println!("  id {} ({}, rank {})", h.id, h.name, h.rank);
+        }
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrow(name: &str, sr: u64, rr: u64, st: f64, rt: f64) -> Arrow {
+        Arrow {
+            name: name.into(),
+            send_rank: sr,
+            recv_rank: rr,
+            send_virt_us: st,
+            recv_virt_us: rt,
+        }
+    }
+
+    #[test]
+    fn chain_follows_causal_order_across_ranks() {
+        // 0 -> 1 at t10, then 1 -> 2 at t20 (after landing), then an
+        // unrelated early arrow that cannot extend anything.
+        let arrows = vec![
+            arrow("a", 0, 1, 0.0, 10.0),
+            arrow("b", 1, 2, 20.0, 30.0),
+            arrow("c", 3, 3, 1.0, 2.0),
+        ];
+        assert_eq!(longest_chain(&arrows), 2);
+    }
+
+    #[test]
+    fn concurrent_arrows_do_not_chain() {
+        // b starts before a lands on its rank: no happens-before edge.
+        let arrows = vec![arrow("a", 0, 1, 0.0, 10.0), arrow("b", 1, 2, 5.0, 15.0)];
+        assert_eq!(longest_chain(&arrows), 1);
+        assert_eq!(longest_chain(&[]), 0);
+    }
+
+    #[test]
+    fn chain_is_order_invariant() {
+        let mut arrows = vec![
+            arrow("a", 0, 1, 0.0, 1.0),
+            arrow("b", 1, 0, 2.0, 3.0),
+            arrow("c", 0, 1, 4.0, 5.0),
+            arrow("d", 2, 3, 0.5, 0.6),
+        ];
+        assert_eq!(longest_chain(&arrows), 3);
+        arrows.reverse();
+        assert_eq!(longest_chain(&arrows), 3);
+    }
+
+    #[test]
+    fn halves_extract_flow_events_only() {
+        let doc = J::parse(
+            r#"{"traceEvents":[
+                {"ph":"s","cat":"flow","name":"Type 1","id":"000e000000000001","tid":0,"ts":1.0,"args":{"virt_us":5.0,"tag":14}},
+                {"ph":"f","bp":"e","cat":"flow","name":"Type 1","id":"000e000000000001","tid":1,"ts":2.0,"args":{"virt_us":9.0,"tag":14}},
+                {"ph":"X","name":"dispatch","tid":1,"ts":0.5,"dur":3.0}
+            ]}"#,
+        )
+        .unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let sends = halves(events, "s");
+        let recvs = halves(events, "f");
+        assert_eq!(sends.len(), 1);
+        assert_eq!(recvs.len(), 1);
+        assert_eq!(sends[0].id, recvs[0].id);
+        assert_eq!(sends[0].rank, 0);
+        assert_eq!(recvs[0].rank, 1);
+        assert_eq!(recvs[0].virt_us, 9.0);
+    }
+}

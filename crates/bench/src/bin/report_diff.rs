@@ -85,6 +85,13 @@ fn threshold_for(name: &str) -> (f64, Direction) {
         "serving.answered" | "serving.cache_hits" => (0.0, LowerIsWorse),
         "serving.p50_ns" | "serving.p95_ns" | "serving.p99_ns" => (0.10, HigherIsWorse),
         n if n.starts_with("serving.") => (0.0, HigherIsWorse),
+        // Critical-path attribution: the path length and its dominant
+        // buckets follow the virtual-time gates; the small noisy buckets
+        // (stall residue, retransmit charge) and the imbalance score get
+        // extra slack so a cost-model tweak doesn't trip them.
+        "critical_path.stall_ns" | "critical_path.retransmit_ns" => (0.25, HigherIsWorse),
+        "critical_path.straggler_score" => (0.15, HigherIsWorse),
+        n if n.starts_with("critical_path.") => (0.10, HigherIsWorse),
         n if n.starts_with("extra.") => (0.0, Info),
         _ => (0.05, HigherIsWorse),
     }
@@ -239,6 +246,41 @@ fn collect(base: &RunReport, cand: &RunReport, thr: Option<f64>) -> Vec<MetricRo
         }
     }
 
+    // Critical-path attribution. Gated only when the *baseline* carries
+    // the section: a candidate-only section is schema growth (e.g. a v3
+    // baseline diffed against a v4 candidate), not a regression, while a
+    // candidate that *dropped* the section is a hard failure via
+    // `missing_sections` — its rows here (against zeros) are informational
+    // context for that failure.
+    if base.critical_path.is_some() {
+        let d = obs::CriticalPathSection::default();
+        let b = base.critical_path.as_ref().unwrap_or(&d);
+        let c = cand.critical_path.as_ref().unwrap_or(&d);
+        for (key, bv, cv) in [
+            ("critical_path_ns", b.critical_path_ns, c.critical_path_ns),
+            ("collective_ns", b.collective_ns, c.collective_ns),
+            ("compute_ns", b.compute_ns, c.compute_ns),
+            ("comm_ns", b.comm_ns, c.comm_ns),
+            ("stall_ns", b.stall_ns, c.stall_ns),
+            ("retransmit_ns", b.retransmit_ns, c.retransmit_ns),
+        ] {
+            push(
+                &mut rows,
+                &format!("critical_path.{key}"),
+                bv as f64,
+                cv as f64,
+                thr,
+            );
+        }
+        push(
+            &mut rows,
+            "critical_path.straggler_score",
+            b.straggler_score,
+            c.straggler_score,
+            thr,
+        );
+    }
+
     // Free-form metrics appearing in both reports (informational: the
     // schema cannot know which way each one points).
     for (k, bv) in &base.extra {
@@ -247,6 +289,27 @@ fn collect(base: &RunReport, cand: &RunReport, thr: Option<f64>) -> Vec<MetricRo
         }
     }
     rows
+}
+
+/// Optional report sections present in the baseline but absent from the
+/// candidate. A producer silently dropping a section must not slip past
+/// the gate as "nothing to compare", so this is a hard failure naming
+/// each missing section.
+fn missing_sections(base: &RunReport, cand: &RunReport) -> Vec<&'static str> {
+    let mut missing = Vec::new();
+    if base.faults.is_some() && cand.faults.is_none() {
+        missing.push("faults");
+    }
+    if base.serving.is_some() && cand.serving.is_none() {
+        missing.push("serving");
+    }
+    if base.critical_path.is_some() && cand.critical_path.is_none() {
+        missing.push("critical_path");
+    }
+    if base.matrix.is_some() && cand.matrix.is_none() {
+        missing.push("matrix");
+    }
+    missing
 }
 
 fn fmt_value(v: f64) -> String {
@@ -340,11 +403,15 @@ fn run() -> Result<bool, String> {
         println!("wrote {}", path.display());
     }
 
+    let missing = missing_sections(&base, &cand);
     let regressed: Vec<&MetricRow> = rows.iter().filter(|r| r.regressed()).collect();
-    if regressed.is_empty() {
-        println!("\nPASS: all gated metrics within thresholds");
-        Ok(true)
-    } else {
+    if !missing.is_empty() {
+        println!(
+            "\nFAIL: candidate report is missing section(s) present in the baseline: {}",
+            missing.join(", ")
+        );
+    }
+    if !regressed.is_empty() {
         println!("\nFAIL: {} metric(s) regressed:", regressed.len());
         for r in &regressed {
             println!(
@@ -356,6 +423,11 @@ fn run() -> Result<bool, String> {
                 r.threshold * 100.0
             );
         }
+    }
+    if missing.is_empty() && regressed.is_empty() {
+        println!("\nPASS: all gated metrics within thresholds");
+        Ok(true)
+    } else {
         Ok(false)
     }
 }
@@ -490,6 +562,44 @@ mod tests {
         let r = report(1.0, 1);
         let rows = collect(&r, &r, None);
         assert!(!rows.iter().any(|m| m.name.starts_with("faults.")));
+    }
+
+    #[test]
+    fn missing_baseline_sections_are_named() {
+        let mut base = report(1.0, 1);
+        let cand = report(1.0, 1);
+        assert!(missing_sections(&base, &cand).is_empty());
+        base.faults = Some(obs::FaultSection::default());
+        base.critical_path = Some(obs::CriticalPathSection::default());
+        let missing = missing_sections(&base, &cand);
+        assert_eq!(missing, vec!["faults", "critical_path"]);
+        // A candidate-only section is growth, not loss: nothing missing.
+        assert!(missing_sections(&cand, &base).is_empty());
+    }
+
+    #[test]
+    fn critical_path_metrics_gate_with_their_own_thresholds() {
+        let section = |path_ns: u64, stall_ns: u64, score: f64| obs::CriticalPathSection {
+            critical_path_ns: path_ns,
+            compute_ns: path_ns - stall_ns,
+            stall_ns,
+            straggler_score: score,
+            ..Default::default()
+        };
+        let mut base = report(1.0, 1);
+        let mut cand = report(1.0, 1);
+        base.critical_path = Some(section(1_000_000_000, 100_000_000, 0.10));
+        // +15% path length trips the 10% gate; +20% stall stays inside its
+        // 25% slack; the score needs >15% growth to trip.
+        cand.critical_path = Some(section(1_150_000_000, 120_000_000, 0.11));
+        let rows = collect(&base, &cand, None);
+        assert!(row_named(&rows, "critical_path.critical_path_ns").regressed());
+        assert!(!row_named(&rows, "critical_path.stall_ns").regressed());
+        assert!(!row_named(&rows, "critical_path.straggler_score").regressed());
+        let mut worse = report(1.0, 1);
+        worse.critical_path = Some(section(1_000_000_000, 100_000_000, 0.20));
+        let rows = collect(&base, &worse, None);
+        assert!(row_named(&rows, "critical_path.straggler_score").regressed());
     }
 
     #[test]

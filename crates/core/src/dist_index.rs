@@ -107,6 +107,7 @@ impl<P: Point, M: BatchMetric<P>> DistIndex<P, M> {
                 updates_per_iter: Vec::new(),
                 distance_evals: 0,
                 sim_secs: 0.0,
+                sim_ns: 0,
                 breakdown: ygm::ClockBreakdown::default(),
                 phases: Vec::new(),
                 wall_secs: 0.0,

@@ -61,6 +61,9 @@ pub struct BuildReport {
     pub distance_evals: u64,
     /// Virtual (simulated cluster) construction time, seconds.
     pub sim_secs: f64,
+    /// Virtual construction time in exact nanoseconds (final clock reading);
+    /// the critical-path analyzer attributes collective time from this.
+    pub sim_ns: u64,
     /// Compute / communication / barrier decomposition of `sim_secs` — the
     /// profiling view the paper's Section 7 asks for.
     pub breakdown: ClockBreakdown,
@@ -227,6 +230,7 @@ where
             updates_per_iter,
             distance_evals,
             sim_secs: report.sim_secs,
+            sim_ns: report.sim_ns,
             breakdown: report.breakdown,
             phases: report.phases,
             wall_secs: report.wall_secs,

@@ -65,6 +65,27 @@ fn fill_phases(report: &mut RunReport, phases: &[PhaseRecord]) {
         .collect();
 }
 
+/// Run the happens-before critical-path analysis over the clock's phase
+/// records and attach the resulting section. `sim_ns` must be the exact
+/// final clock reading so collective time attributes with zero error.
+fn fill_critical_path(report: &mut RunReport, phases: &[PhaseRecord], sim_ns: u64, n_ranks: usize) {
+    let costs: Vec<obs::PhaseCost> = phases
+        .iter()
+        .map(|p| obs::PhaseCost {
+            index: p.index as u64,
+            total_ns: p.total_ns,
+            barrier_ns: p.barrier_secs * 1e9,
+            rank_compute_ns: p.rank_compute_ns.clone(),
+            rank_send_ns: p.rank_send_ns.clone(),
+            rank_recv_ns: p.rank_recv_ns.clone(),
+            rank_transport_send_ns: p.rank_transport_send_ns.clone(),
+            rank_transport_recv_ns: p.rank_transport_recv_ns.clone(),
+            rank_fault_ns: p.rank_fault_ns.clone(),
+        })
+        .collect();
+    report.critical_path = Some(obs::critical_path::analyze(&costs, sim_ns, n_ranks));
+}
+
 fn fill_breakdown(report: &mut RunReport, b: &ClockBreakdown) {
     report.compute_secs = b.compute_secs;
     report.comm_secs = b.comm_secs;
@@ -99,6 +120,7 @@ pub fn report_from_build(binary: &str, r: &BuildReport) -> RunReport {
     fill_tags(&mut report, &r.tags, &r.total);
     fill_matrix(&mut report, &r.matrix);
     fill_phases(&mut report, &r.phases);
+    fill_critical_path(&mut report, &r.phases, r.sim_ns, r.n_ranks);
     fill_faults(&mut report, r.faults.as_ref());
     report.convergence = r
         .updates_per_iter
@@ -122,14 +144,18 @@ pub fn report_from_world<T>(binary: &str, n_ranks: usize, r: &WorldReport<T>) ->
     fill_tags(&mut report, &r.tags, &r.total);
     fill_matrix(&mut report, &r.matrix);
     fill_phases(&mut report, &r.phases);
+    fill_critical_path(&mut report, &r.phases, r.sim_ns, n_ranks);
     fill_faults(&mut report, r.faults.as_ref());
     report
 }
 
-/// Fold the tracer's histogram summaries into `report` (no-op for `None`).
+/// Fold the tracer's histogram summaries into `report` (no-op for `None`),
+/// along with the span-ring overflow counter (satellite: a nonzero
+/// `dropped_spans` means the trace is incomplete and is warned about).
 pub fn attach_histograms(report: &mut RunReport, tracer: Option<&Tracer>) {
     if let Some(t) = tracer {
         report.add_histograms(&t.hist_snapshots());
+        report.set_dropped_spans(t.dropped_events() as u64);
     }
 }
 
@@ -189,6 +215,7 @@ mod tests {
             updates_per_iter: vec![100, 40, 2],
             distance_evals: 777,
             sim_secs: 1.25,
+            sim_ns: 1_250_000_000,
             breakdown: ClockBreakdown {
                 compute_secs: 1.0,
                 comm_secs: 0.2,
@@ -201,6 +228,13 @@ mod tests {
                 barrier_secs: 0.01,
                 msgs: 7,
                 bytes: 2_320,
+                total_ns: 610_000_000,
+                rank_compute_ns: vec![500_000_000.0, 450_000_000.0],
+                rank_send_ns: vec![90_000_000.0, 80_000_000.0],
+                rank_recv_ns: vec![10_000_000.0, 20_000_000.0],
+                rank_transport_send_ns: vec![0.0, 1_000_000.0],
+                rank_transport_recv_ns: vec![1_000_000.0, 0.0],
+                rank_fault_ns: vec![0.0, 0.0],
             }],
             wall_secs: 0.5,
             tags,
@@ -224,6 +258,13 @@ mod tests {
         };
         let r = report_from_build("dnnd-construct", &br);
         assert_eq!(r.total_bytes, 4_640);
+        // Critical-path section: exact attribution against the clock total.
+        let cp = r.critical_path.as_ref().unwrap();
+        assert_eq!(cp.critical_path_ns, 1_250_000_000);
+        assert_eq!(cp.attribution_sum_ns(), 1_250_000_000);
+        assert_eq!(cp.collective_ns, 1_250_000_000 - 610_000_000);
+        assert_eq!(cp.phase_attribution.len(), 1);
+        assert_eq!(cp.phase_attribution[0].critical_rank, 0);
         let fs = r.faults.as_ref().unwrap();
         assert_eq!(fs.sim_seed, 99);
         assert_eq!(fs.profile, "lossy");

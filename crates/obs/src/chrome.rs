@@ -114,6 +114,38 @@ pub fn chrome_trace(tracer: &Tracer) -> J {
                         ("args".into(), J::Obj(args)),
                     ]));
                 }
+                EventKind::FlowSend | EventKind::FlowRecv => {
+                    // Cross-rank arrow halves: Perfetto pairs them on
+                    // (cat, id, name), so both sides derive the display
+                    // name from the same tag table. The id is emitted as
+                    // a hex string — packed flow ids can exceed 2^53 and
+                    // must not round through a JSON double.
+                    let fname = tracer
+                        .tag_name(ev.arg2)
+                        .unwrap_or_else(|| ev.name.to_string());
+                    let send = ev.kind == EventKind::FlowSend;
+                    let mut obj = vec![("ph".into(), J::str(if send { "s" } else { "f" }))];
+                    if !send {
+                        // Bind to the enclosing slice (the dispatch span).
+                        obj.push(("bp".into(), J::str("e")));
+                    }
+                    obj.extend([
+                        ("cat".into(), J::str("flow")),
+                        ("name".into(), J::str(&fname)),
+                        ("id".into(), J::str(format!("{:016x}", ev.arg))),
+                        ("pid".into(), J::Int(0)),
+                        ("tid".into(), J::uint(rank as u64)),
+                        ("ts".into(), us(ev.wall_ns)),
+                        (
+                            "args".into(),
+                            J::Obj(vec![
+                                ("virt_us".into(), us(ev.virt_ns)),
+                                ("tag".into(), J::uint(ev.arg2)),
+                            ]),
+                        ),
+                    ]);
+                    events.push(J::Obj(obj));
+                }
             }
         }
         // Spans still open at the end of the run.
@@ -290,6 +322,50 @@ mod tests {
                 .as_f64(),
             Some(64.0)
         );
+    }
+
+    #[test]
+    fn flow_halves_pair_on_id_and_name() {
+        let t = Tracer::new(2);
+        t.name_tag(14, "Type 1");
+        let id = (14u64 << 48) | 7;
+        t.flow_send(0, "flow", 100, id, 14);
+        t.flow_recv(1, "flow", 200, id, 14);
+        t.flow_send(0, "flow", 300, 42, 99); // unnamed tag falls back
+        let doc = chrome_trace(&t);
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let flows: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("cat").and_then(J::as_str) == Some("flow"))
+            .collect();
+        assert_eq!(flows.len(), 3);
+        let s = flows
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(J::as_str) == Some("s")
+                    && e.get("tid").unwrap().as_u64() == Some(0)
+                    && e.get("name").and_then(J::as_str) == Some("Type 1")
+            })
+            .expect("send half present");
+        let f = flows
+            .iter()
+            .find(|e| e.get("ph").and_then(J::as_str) == Some("f"))
+            .expect("recv half present");
+        // Matching identity triple, and the recv half binds to its
+        // enclosing slice.
+        assert_eq!(s.get("id").unwrap().as_str(), f.get("id").unwrap().as_str());
+        assert_eq!(
+            s.get("name").unwrap().as_str(),
+            f.get("name").unwrap().as_str()
+        );
+        assert_eq!(f.get("bp").and_then(J::as_str), Some("e"));
+        assert_eq!(f.get("tid").unwrap().as_u64(), Some(1));
+        // Ids are hex strings, immune to double rounding.
+        assert_eq!(s.get("id").unwrap().as_str().unwrap().len(), 16);
+        // The unnamed tag keeps the event's own name.
+        assert!(flows
+            .iter()
+            .any(|e| e.get("name").and_then(J::as_str) == Some("flow")));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! (CSS + SVG, no scripts, no external assets), so the file can be opened
 //! from a CI artifact or attached to an issue without a web server.
 
+use crate::critical_path::CriticalPathSection;
 use crate::report::{FaultSection, MatrixSection, RunReport, ServingSection};
 use std::fmt::Write as _;
 
@@ -18,6 +19,9 @@ const RANK_COLORS: &[&str] = &[
 const COMPUTE_COLOR: &str = "#4c78a8";
 const COMM_COLOR: &str = "#f58518";
 const BARRIER_COLOR: &str = "#e45756";
+const STALL_COLOR: &str = "#b279a2";
+const RETRANS_COLOR: &str = "#e45756";
+const COLLECTIVE_COLOR: &str = "#a7b4c2";
 
 /// Render `report` as a complete standalone HTML document.
 pub fn dashboard_html(report: &RunReport) -> String {
@@ -29,6 +33,13 @@ pub fn dashboard_html(report: &RunReport) -> String {
         "Phase timeline (virtual time)",
         &timeline_svg(report),
     ));
+    if let Some(cp) = &report.critical_path {
+        body.push_str(&section(
+            "critical-path",
+            "Critical path & straggler attribution",
+            &critical_path_panel(cp),
+        ));
+    }
     if let Some(m) = &report.matrix {
         body.push_str(&section(
             "traffic-heatmap",
@@ -210,6 +221,149 @@ fn timeline_svg(r: &RunReport) -> String {
          <span class=\"swatch\" style=\"background:{COMM_COLOR}\"></span>communication\
          <span class=\"swatch\" style=\"background:{BARRIER_COLOR}\"></span>barrier wait</p>"
     ));
+    out
+}
+
+/// Summary tiles, the per-phase attribution lane, and per-rank slack bars
+/// of the happens-before critical-path analysis.
+fn critical_path_panel(cp: &CriticalPathSection) -> String {
+    let total = cp.critical_path_ns.max(1) as f64;
+    let pct = |ns: u64| format!("{:.1}%", ns as f64 / total * 100.0);
+    let tiles: &[(&str, String)] = &[
+        (
+            "critical path",
+            format!("{:.4} s", cp.critical_path_ns as f64 / 1e9),
+        ),
+        ("compute", pct(cp.compute_ns)),
+        ("communication", pct(cp.comm_ns)),
+        ("stall", pct(cp.stall_ns)),
+        ("retransmit", pct(cp.retransmit_ns)),
+        ("collectives", pct(cp.collective_ns)),
+        ("straggler score", format!("{:.3}", cp.straggler_score)),
+    ];
+    let mut out = String::from("<div class=\"tiles\">\n");
+    for (label, value) in tiles {
+        let _ = writeln!(
+            out,
+            "<div class=\"tile\"><b>{}</b><span>{}</span></div>",
+            esc(value),
+            esc(label)
+        );
+    }
+    out.push_str("</div>\n");
+    out.push_str(&critical_lane_svg(cp));
+    out.push_str(&slack_bars_svg(cp));
+    out
+}
+
+/// The critical-path lane: one stacked bar per phase, segmented by the
+/// exact attribution buckets, with the collective residue appended at the
+/// end. Segment widths are proportional to virtual nanoseconds, so the
+/// lane spans the whole critical path.
+fn critical_lane_svg(cp: &CriticalPathSection) -> String {
+    let (w, h, pad_l) = (920.0_f64, 96.0_f64, 10.0_f64);
+    if cp.critical_path_ns == 0 {
+        return "<p class=\"legend\">empty critical path</p>".into();
+    }
+    let band_h = h - 40.0;
+    let scale = (w - 2.0 * pad_l) / cp.critical_path_ns as f64;
+    let mut out = format!("<svg viewBox=\"0 0 {w} {h}\" width=\"100%\" role=\"img\">\n");
+    let mut x = pad_l;
+    for p in &cp.phase_attribution {
+        for (ns, color, kind) in [
+            (p.compute_ns, COMPUTE_COLOR, "compute"),
+            (p.comm_ns, COMM_COLOR, "communication"),
+            (p.retransmit_ns, RETRANS_COLOR, "retransmit"),
+            (p.stall_ns, STALL_COLOR, "stall"),
+        ] {
+            if ns == 0 {
+                continue;
+            }
+            let seg = ns as f64 * scale;
+            let _ = writeln!(
+                out,
+                "<rect x=\"{:.2}\" y=\"20\" width=\"{:.2}\" height=\"{:.0}\" fill=\"{}\">\
+                 <title>phase {}: {} {:.3} ms · critical rank {}</title></rect>",
+                x,
+                seg.max(0.2),
+                band_h,
+                color,
+                p.index,
+                kind,
+                ns as f64 / 1e6,
+                p.critical_rank
+            );
+            x += seg;
+        }
+    }
+    if cp.collective_ns > 0 {
+        let seg = cp.collective_ns as f64 * scale;
+        let _ = writeln!(
+            out,
+            "<rect x=\"{:.2}\" y=\"20\" width=\"{:.2}\" height=\"{:.0}\" fill=\"{COLLECTIVE_COLOR}\">\
+             <title>collectives: {:.3} ms</title></rect>",
+            x,
+            seg.max(0.2),
+            band_h,
+            cp.collective_ns as f64 / 1e6
+        );
+    }
+    let _ = write!(
+        out,
+        "<text x=\"{pad_l}\" y=\"12\">0 s</text>\
+         <text x=\"{:.1}\" y=\"12\" text-anchor=\"end\">{:.4} s critical path, {} phases</text>\n</svg>\n",
+        w - pad_l,
+        cp.critical_path_ns as f64 / 1e9,
+        cp.phases
+    );
+    out.push_str(&format!(
+        "<p class=\"legend\"><span class=\"swatch\" style=\"background:{COMPUTE_COLOR}\"></span>compute\
+         <span class=\"swatch\" style=\"background:{COMM_COLOR}\"></span>communication\
+         <span class=\"swatch\" style=\"background:{RETRANS_COLOR}\"></span>retransmit\
+         <span class=\"swatch\" style=\"background:{STALL_COLOR}\"></span>stall\
+         <span class=\"swatch\" style=\"background:{COLLECTIVE_COLOR}\"></span>collectives</p>"
+    ));
+    out
+}
+
+/// Horizontal per-rank slack bars: how long each rank sat at barriers
+/// waiting for the per-phase critical rank, plus how often the rank was
+/// itself the straggler.
+fn slack_bars_svg(cp: &CriticalPathSection) -> String {
+    let n = cp.rank_slack_ns.len();
+    if n == 0 {
+        return String::new();
+    }
+    let max_slack = cp.rank_slack_ns.iter().copied().fold(0.0_f64, f64::max);
+    let (pad_l, row_h, bar_w) = (58.0_f64, 18.0_f64, 830.0_f64);
+    let h = 16.0 + row_h * n as f64;
+    let mut out = format!(
+        "<h2 style=\"margin-top:14px\">Per-rank barrier slack</h2>\n\
+         <svg viewBox=\"0 0 920 {h:.0}\" width=\"100%\" role=\"img\">\n"
+    );
+    for (rank, &slack) in cp.rank_slack_ns.iter().enumerate() {
+        let y = 8.0 + row_h * rank as f64;
+        let len = if max_slack > 0.0 {
+            bar_w * slack / max_slack
+        } else {
+            0.0
+        };
+        let crit = cp.rank_critical_phases.get(rank).copied().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">rank {rank}</text>\
+             <rect x=\"{pad_l}\" y=\"{:.1}\" width=\"{:.2}\" height=\"{:.0}\" fill=\"{}\">\
+             <title>rank {rank}: {:.3} ms slack · critical in {crit} phase(s)</title></rect>",
+            pad_l - 6.0,
+            y + row_h - 6.0,
+            y,
+            len.max(0.5),
+            row_h - 4.0,
+            RANK_COLORS[rank % RANK_COLORS.len()],
+            slack / 1e6
+        );
+    }
+    out.push_str("</svg>\n<p class=\"legend\">bar length ∝ virtual time spent waiting at barriers for the phase's straggler</p>\n");
     out
 }
 
@@ -831,6 +985,46 @@ mod tests {
         assert!(html.contains("shed: deadline expired"));
         assert!(html.contains("000000000000abcd")); // digest, zero-padded hex
         assert!(html.contains("4 slot(s): 5 queries"));
+        // Still self-contained with the new panel.
+        for needle in ["http://", "https://", "<script", "src=", "@import", "url("] {
+            assert!(!html.contains(needle), "found {needle:?}");
+        }
+    }
+
+    #[test]
+    fn critical_path_panel_renders_and_is_omitted_without_section() {
+        use crate::critical_path::PhaseAttribution;
+        let mut r = sample();
+        assert!(!dashboard_html(&r).contains("id=\"critical-path\""));
+        r.critical_path = Some(CriticalPathSection {
+            n_ranks: 2,
+            phases: 1,
+            critical_path_ns: 1_000_000_000,
+            collective_ns: 400_000_000,
+            compute_ns: 500_000_000,
+            comm_ns: 80_000_000,
+            stall_ns: 15_000_000,
+            retransmit_ns: 5_000_000,
+            rank_slack_ns: vec![0.0, 30_000_000.0],
+            rank_critical_phases: vec![1, 0],
+            straggler_score: 0.25,
+            phase_attribution: vec![PhaseAttribution {
+                index: 0,
+                total_ns: 600_000_000,
+                compute_ns: 500_000_000,
+                comm_ns: 80_000_000,
+                stall_ns: 15_000_000,
+                retransmit_ns: 5_000_000,
+                critical_rank: 0,
+            }],
+        });
+        let html = dashboard_html(&r);
+        assert!(html.contains("id=\"critical-path\""));
+        // Lane segments carry attribution titles; slack bars are present.
+        assert!(html.contains("phase 0: retransmit 5.000 ms · critical rank 0"));
+        assert!(html.contains("collectives: 400.000 ms"));
+        assert!(html.contains("rank 1: 30.000 ms slack · critical in 0 phase(s)"));
+        assert!(html.contains("straggler score"));
         // Still self-contained with the new panel.
         for needle in ["http://", "https://", "<script", "src=", "@import", "url("] {
             assert!(!html.contains(needle), "found {needle:?}");

@@ -17,6 +17,7 @@
 //! one branch when tracing is off.
 
 pub mod chrome;
+pub mod critical_path;
 pub mod dashboard;
 pub mod hist;
 pub mod json;
@@ -25,6 +26,7 @@ pub mod ring;
 pub mod timeseries;
 pub mod tracer;
 
+pub use critical_path::{CriticalPathSection, PhaseAttribution, PhaseCost};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use json::JsonValue;
 pub use report::{

@@ -22,6 +22,12 @@ pub enum EventKind {
     End,
     /// Zero-duration point event.
     Instant,
+    /// Origin half of a causal flow arrow (Chrome-trace `ph:"s"`); `arg`
+    /// is the flow id pairing it with a [`EventKind::FlowRecv`], `arg2`
+    /// the message tag.
+    FlowSend,
+    /// Terminating half of a causal flow arrow (Chrome-trace `ph:"f"`).
+    FlowRecv,
 }
 
 /// One recorded event. `Copy` and fixed-size so the hot path is a plain
@@ -36,8 +42,11 @@ pub struct TraceEvent {
     pub wall_ns: u64,
     /// Virtual simulation-clock nanoseconds (advances at barriers).
     pub virt_ns: u64,
-    /// Free-form numeric payload (e.g. iteration index, bytes flushed).
+    /// Free-form numeric payload (e.g. iteration index, bytes flushed;
+    /// flow id for flow events).
     pub arg: u64,
+    /// Second payload slot (message tag for flow events; 0 elsewhere).
+    pub arg2: u64,
 }
 
 /// Fixed-capacity single-producer ring buffer of [`TraceEvent`]s.
@@ -121,6 +130,7 @@ mod tests {
             wall_ns: arg,
             virt_ns: arg,
             arg,
+            arg2: 0,
         }
     }
 

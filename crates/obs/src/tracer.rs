@@ -3,6 +3,7 @@
 use crate::hist::{Histogram, HistogramSnapshot};
 use crate::ring::{EventKind, RankBuffer, TraceEvent};
 use crate::timeseries::{TimeSeriesSet, DEFAULT_SAMPLE_INTERVAL_NS};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -23,6 +24,11 @@ pub struct Tracer {
     hists: Mutex<Vec<(String, Arc<Histogram>)>>,
     /// Per-rank gauge series sampled on the virtual clock.
     series: TimeSeriesSet,
+    /// Whether causal flow events are recorded (`--trace-flows=off`
+    /// clears it; spans and gauges are unaffected).
+    flows: AtomicBool,
+    /// Tag id → display name, used to label flow arrows in exports.
+    tag_names: Mutex<Vec<(u64, String)>>,
 }
 
 impl Tracer {
@@ -46,7 +52,41 @@ impl Tracer {
             epoch: Instant::now(),
             hists: Mutex::new(Vec::new()),
             series: TimeSeriesSet::new(n_ranks, sample_interval_ns),
+            flows: AtomicBool::new(true),
+            tag_names: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Enable or disable causal flow-event recording (default on). The
+    /// CLIs map `--trace-flows=off` here before the world starts.
+    pub fn set_flows_enabled(&self, on: bool) {
+        self.flows.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether flow events are currently recorded.
+    #[inline]
+    pub fn flows_enabled(&self) -> bool {
+        self.flows.load(Ordering::Relaxed)
+    }
+
+    /// Attach a display name to a message tag; flow arrows for the tag are
+    /// exported under this name. Last write wins.
+    pub fn name_tag(&self, tag: u64, name: &str) {
+        let mut names = self.tag_names.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, n)) = names.iter_mut().find(|(t, _)| *t == tag) {
+            *n = name.to_string();
+        } else {
+            names.push((tag, name.to_string()));
+        }
+    }
+
+    /// The display name registered for `tag`, if any.
+    pub fn tag_name(&self, tag: u64) -> Option<String> {
+        let names = self.tag_names.lock().unwrap_or_else(|e| e.into_inner());
+        names
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, n)| n.clone())
     }
 
     /// The continuous-telemetry series set (gauges sampled on the virtual
@@ -69,12 +109,27 @@ impl Tracer {
     /// clock sampled by the caller.
     #[inline]
     pub fn event(&self, rank: usize, kind: EventKind, name: &'static str, virt_ns: u64, arg: u64) {
+        self.event2(rank, kind, name, virt_ns, arg, 0);
+    }
+
+    /// Record a raw event carrying both numeric payload slots.
+    #[inline]
+    pub fn event2(
+        &self,
+        rank: usize,
+        kind: EventKind,
+        name: &'static str,
+        virt_ns: u64,
+        arg: u64,
+        arg2: u64,
+    ) {
         self.rings[rank].push(TraceEvent {
             kind,
             name,
             wall_ns: self.wall_ns(),
             virt_ns,
             arg,
+            arg2,
         });
     }
 
@@ -100,6 +155,20 @@ impl Tracer {
     #[inline]
     pub fn instant(&self, rank: usize, name: &'static str, virt_ns: u64, arg: u64) {
         self.event(rank, EventKind::Instant, name, virt_ns, arg);
+    }
+
+    /// Record the origin half of a causal flow arrow (`ph:"s"`). Callers
+    /// should gate on [`Self::flows_enabled`]; recording is unconditional
+    /// here so tests can drive the ring directly.
+    #[inline]
+    pub fn flow_send(&self, rank: usize, name: &'static str, virt_ns: u64, id: u64, tag: u64) {
+        self.event2(rank, EventKind::FlowSend, name, virt_ns, id, tag);
+    }
+
+    /// Record the terminating half of a causal flow arrow (`ph:"f"`).
+    #[inline]
+    pub fn flow_recv(&self, rank: usize, name: &'static str, virt_ns: u64, id: u64, tag: u64) {
+        self.event2(rank, EventKind::FlowRecv, name, virt_ns, id, tag);
     }
 
     /// Look up (or create) the histogram named `name`.
@@ -190,6 +259,33 @@ mod tests {
         assert_eq!(snaps[0].0, "flush_bytes");
         assert_eq!(snaps[0].1.count, 2);
         assert_eq!(snaps[1].1.count, 1);
+    }
+
+    #[test]
+    fn flow_events_carry_id_and_tag() {
+        let t = Tracer::new(2);
+        assert!(t.flows_enabled());
+        t.flow_send(0, "flow", 10, 0xABCD, 14);
+        t.flow_recv(1, "flow", 20, 0xABCD, 14);
+        let s = t.events(0);
+        assert_eq!(s[0].kind, EventKind::FlowSend);
+        assert_eq!((s[0].arg, s[0].arg2), (0xABCD, 14));
+        let r = t.events(1);
+        assert_eq!(r[0].kind, EventKind::FlowRecv);
+        assert_eq!((r[0].arg, r[0].arg2), (0xABCD, 14));
+        t.set_flows_enabled(false);
+        assert!(!t.flows_enabled());
+    }
+
+    #[test]
+    fn tag_names_register_and_overwrite() {
+        let t = Tracer::new(1);
+        assert_eq!(t.tag_name(14), None);
+        t.name_tag(14, "Type 1");
+        t.name_tag(15, "Type 2");
+        t.name_tag(14, "Type 1b");
+        assert_eq!(t.tag_name(14).as_deref(), Some("Type 1b"));
+        assert_eq!(t.tag_name(15).as_deref(), Some("Type 2"));
     }
 
     #[test]

@@ -53,6 +53,11 @@ pub const TAG_FINGERPRINT: u16 = 41;
 /// transport retransmits.
 const FAULT_PENALTY_CAP_SLOTS: u64 = 4;
 
+/// High-bit namespace for per-query causal flow ids, disjoint from the
+/// transport-level ids minted by `ygm::comm::flow_id` (whose top 16 bits
+/// are a message tag < 64). OR'd with the query's arrival index.
+const QUERY_FLOW_BASE: u64 = 0xFF51_0000_0000_0000;
+
 /// Replicated statistics of one serving run. Identical on every rank and
 /// across rank counts for a given `(serve seed, parameters, graph)`.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -337,12 +342,26 @@ where
             dispatched = items.len() as u64;
             let sp = degraded_search(&params.search, level);
 
+            // Causal chain per dispatched query: the replicated frontend
+            // (rank 0 stands in for it) records the origin half of a flow
+            // arrow; the executing home rank records the terminating half
+            // below. Pure trace output — stats and the result fingerprint
+            // are untouched.
+            if me == 0 {
+                for p in &items {
+                    comm.trace_flow_send("query", QUERY_FLOW_BASE | p.idx, TAG_RESULTS as u64);
+                }
+            }
+
             // Distributed data plane: each query executes on its home rank.
             let mine: Vec<(u64, P)> = items
                 .iter()
                 .filter(|p| p.pool_id % n_ranks == me)
                 .map(|p| (p.idx, pool.point(p.pool_id as PointId).clone()))
                 .collect();
+            for (idx, _) in &mine {
+                comm.trace_flow_recv("query", QUERY_FLOW_BASE | *idx, TAG_RESULTS as u64);
+            }
             let my_ids = engine.run_batch(comm, &mine, sp);
             let my_results: Vec<(u64, Vec<PointId>)> =
                 mine.iter().map(|(idx, _)| *idx).zip(my_ids).collect();
@@ -432,6 +451,7 @@ where
     let WorldReport {
         results,
         sim_secs,
+        sim_ns,
         breakdown,
         phases,
         wall_secs,
@@ -449,6 +469,7 @@ where
     let report = WorldReport {
         results: vec![(); n],
         sim_secs,
+        sim_ns,
         breakdown,
         phases,
         wall_secs,

@@ -21,14 +21,14 @@
 //! Handlers must not call `poll`, `barrier`, or `register` (enforced by a
 //! `RefCell` borrow panic in debug and release).
 
-use crate::codec::Wire;
+use crate::codec::{TraceCtx, Wire};
 use crate::cost::CostModel;
 use crate::fault::FaultCounters;
 use crate::stats::Stats;
 use crate::world::Shared;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crossbeam::channel::Receiver;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -52,17 +52,47 @@ pub(crate) struct Packet {
     pub(crate) src: usize,
     pub(crate) seq: u64,
     pub(crate) attempt: u32,
+    /// Causal context minted when the frame was flushed. Every retransmit
+    /// and injected duplicate carries the *same* context, so redelivery can
+    /// never forge a new causal edge.
+    pub(crate) ctx: TraceCtx,
     pub(crate) bytes: Bytes,
 }
 
 /// A sent-but-unacknowledged frame retained for retransmission.
 struct UnackedFrame {
     bytes: Bytes,
+    /// Original causal context, reused verbatim on every retransmission.
+    ctx: TraceCtx,
     attempt: u32,
     /// Epoch at which the frame is retransmitted if still unacked.
     next_retry: u64,
     /// Whether the attempt cap was reached (frame now delivered fault-free).
     forced: bool,
+}
+
+/// Stable identity shared by the `ph:"s"` and `ph:"f"` halves of one
+/// cross-rank flow arrow: tag, origin, destination, and the origin-edge
+/// flush sequence packed into one u64. Both sides compute it independently
+/// from the frame's [`TraceCtx`], so pairing needs no extra wire traffic.
+fn flow_id(tag: u16, ctx: TraceCtx, dest: usize) -> u64 {
+    ((tag as u64) << 48)
+        | ((ctx.origin as u64 & 0xFF) << 40)
+        | ((dest as u64 & 0xFF) << 32)
+        | (ctx.send_seq & 0xFFFF_FFFF)
+}
+
+/// Iterate the set bits of a per-destination tag bitset as tag ids.
+fn tag_bits(mut mask: u64) -> impl Iterator<Item = u16> {
+    std::iter::from_fn(move || {
+        if mask == 0 {
+            None
+        } else {
+            let t = mask.trailing_zeros() as u16;
+            mask &= mask - 1;
+            Some(t)
+        }
+    })
 }
 
 /// Per-rank reliable-delivery state. Only exists under a fault plan; all
@@ -109,6 +139,17 @@ pub struct Comm {
     out: RefCell<Vec<BytesMut>>,
     handlers: RefCell<Vec<Option<Handler>>>,
     fault: Option<RefCell<FaultLocal>>,
+    /// Completed-barrier count: the parent span id stamped into every
+    /// [`TraceCtx`] this rank mints. SPMD makes it identical across ranks
+    /// at any collective point, and deterministic run to run.
+    phase_idx: Cell<u64>,
+    /// Next logical flush sequence per destination edge (flow identity;
+    /// independent of the reliable-delivery `seq`, which restarts
+    /// numbering games under retransmission).
+    flow_seq: RefCell<Vec<u64>>,
+    /// Bitset of tags buffered per destination since its last flush, so
+    /// one flow arrow is drawn per (frame, tag) rather than per message.
+    pending_tags: RefCell<Vec<u64>>,
 }
 
 impl Comm {
@@ -125,6 +166,9 @@ impl Comm {
             out: RefCell::new((0..n).map(|_| BytesMut::new()).collect()),
             handlers: RefCell::new((0..crate::stats::MAX_TAGS).map(|_| None).collect()),
             fault,
+            phase_idx: Cell::new(0),
+            flow_seq: RefCell::new(vec![0; n]),
+            pending_tags: RefCell::new(vec![0; n]),
         }
     }
 
@@ -175,9 +219,13 @@ impl Comm {
     }
 
     /// Attach a display name to `tag` in the world statistics (any rank may
-    /// call; last write wins).
+    /// call; last write wins). Also names the tag's flow arrows in trace
+    /// exports.
     pub fn name_tag(&self, tag: u16, name: &str) {
         self.shared.stats.name_tag(tag, name);
+        if let Some(t) = self.tracer() {
+            t.name_tag(tag as u64, name);
+        }
     }
 
     // ---- Tracing ---------------------------------------------------------
@@ -229,6 +277,38 @@ impl Comm {
     pub fn trace_span(&self, name: &'static str) -> TraceSpan<'_> {
         self.trace_begin(name);
         TraceSpan { comm: self, name }
+    }
+
+    /// Record the origin half (`ph:"s"`) of a causal flow arrow on this
+    /// rank's track. `id` pairs it with a later [`Self::trace_flow_recv`]
+    /// carrying the same id; `tag` labels the arrow. No-op when untraced
+    /// or when flow recording is disabled (`--trace-flows=off`).
+    #[inline]
+    pub fn trace_flow_send(&self, name: &'static str, id: u64, tag: u64) {
+        if let Some(t) = self.tracer() {
+            if t.flows_enabled() {
+                t.flow_send(self.rank, name, self.now_ns(), id, tag);
+            }
+        }
+    }
+
+    /// Record the terminating half (`ph:"f"`) of a causal flow arrow on
+    /// this rank's track.
+    #[inline]
+    pub fn trace_flow_recv(&self, name: &'static str, id: u64, tag: u64) {
+        if let Some(t) = self.tracer() {
+            if t.flows_enabled() {
+                t.flow_recv(self.rank, name, self.now_ns(), id, tag);
+            }
+        }
+    }
+
+    /// Completed-barrier count on this rank — the parent span id stamped
+    /// into outgoing trace contexts. Identical across ranks at any
+    /// collective point (SPMD).
+    #[inline]
+    pub fn phase_index(&self) -> u64 {
+        self.phase_idx.get()
     }
 
     /// Record one sample into the named histogram (no-op untraced).
@@ -303,6 +383,7 @@ impl Comm {
             debug_assert_eq!(buf.len() - before, sz, "wire_size mismatch for tag {tag}");
             buf.len() >= self.shared.flush_threshold
         };
+        self.pending_tags.borrow_mut()[dest] |= 1u64 << (tag as u32 & 63);
         self.shared
             .stats
             .record_send(tag, FRAME_HEADER_BYTES + sz, self.rank, dest);
@@ -326,18 +407,39 @@ impl Comm {
         }
     }
 
-    /// Flush one destination buffer into its channel.
+    /// Flush one destination buffer into its channel. This is the one
+    /// place a [`TraceCtx`] is minted: retransmits and duplicates reuse
+    /// the context frozen here.
     fn flush(&self, dest: usize) {
-        let frame = {
+        let (frame, tags) = {
             let mut out = self.out.borrow_mut();
             if out[dest].is_empty() {
                 return;
             }
-            out[dest].split().freeze()
+            let tags = std::mem::take(&mut self.pending_tags.borrow_mut()[dest]);
+            (out[dest].split().freeze(), tags)
+        };
+        let ctx = {
+            let mut seqs = self.flow_seq.borrow_mut();
+            let ctx = TraceCtx {
+                origin: self.rank as u32,
+                parent_span: self.phase_idx.get(),
+                send_seq: seqs[dest],
+            };
+            seqs[dest] += 1;
+            ctx
         };
         if let Some(t) = self.tracer() {
-            t.instant(self.rank, "flush", self.now_ns(), frame.len() as u64);
+            let now = self.now_ns();
+            t.instant(self.rank, "flush", now, frame.len() as u64);
             t.hist("flush_bytes").record(frame.len() as u64);
+            if t.flows_enabled() {
+                // One origin event per distinct tag in the frame; the
+                // receiver recomputes the same ids from the carried ctx.
+                for tag in tag_bits(tags) {
+                    t.flow_send(self.rank, "flow", now, flow_id(tag, ctx, dest), tag as u64);
+                }
+            }
         }
         match &self.fault {
             None => {
@@ -348,6 +450,7 @@ impl Comm {
                         src: self.rank,
                         seq: 0,
                         attempt: 0,
+                        ctx,
                         bytes: frame,
                     })
                     .expect("world channel closed while rank alive");
@@ -369,6 +472,7 @@ impl Comm {
                         seq,
                         UnackedFrame {
                             bytes: frame.clone(),
+                            ctx,
                             attempt: 0,
                             next_retry,
                             forced: false,
@@ -376,14 +480,15 @@ impl Comm {
                     );
                     seq
                 };
-                self.transmit(dest, seq, frame, 0);
+                self.transmit(dest, seq, frame, ctx, 0);
             }
         }
     }
 
     /// Put one delivery attempt of frame `(self.rank -> dest, seq)` on the
-    /// wire, applying drop and duplication faults. Fault mode only.
-    fn transmit(&self, dest: usize, seq: u64, bytes: Bytes, attempt: u32) {
+    /// wire, applying drop and duplication faults. Fault mode only. `ctx`
+    /// is the frame's original mint-time context, whatever the attempt.
+    fn transmit(&self, dest: usize, seq: u64, bytes: Bytes, ctx: TraceCtx, attempt: u32) {
         let fs = self.shared.fault.as_ref().expect("transmit without faults");
         if fs.plan.drop_frame(self.rank, dest, seq, attempt) {
             FaultCounters::bump(&fs.counters.dropped);
@@ -393,6 +498,7 @@ impl Comm {
             src: self.rank,
             seq,
             attempt,
+            ctx,
             bytes,
         };
         if fs.plan.duplicate_frame(self.rank, dest, seq, attempt) {
@@ -417,7 +523,8 @@ impl Comm {
     /// dispatch. Returns messages handled.
     fn receive_packet(&self, pkt: Packet) -> usize {
         let Some(fs) = &self.shared.fault else {
-            return self.dispatch_block(pkt.bytes);
+            let ctx = pkt.ctx;
+            return self.dispatch_block(pkt.bytes, Some(ctx));
         };
         let edge = fs.edge(pkt.src, self.rank, self.n_ranks());
         if edge.is_delivered(pkt.seq) {
@@ -448,11 +555,15 @@ impl Comm {
     }
 
     /// Mark a packet delivered on its edge and dispatch its messages.
+    /// This is the exactly-once point under faults — dedup upstream
+    /// guarantees one delivery per `(edge, seq)`, so the flow-recv events
+    /// emitted by the dispatch pair 1:1 with mint-time flow-send events.
     fn deliver_packet(&self, pkt: Packet) -> usize {
         let fs = self.shared.fault.as_ref().expect("deliver without faults");
         fs.edge(pkt.src, self.rank, self.n_ranks())
             .mark_delivered(pkt.seq);
-        self.dispatch_block(pkt.bytes)
+        let ctx = pkt.ctx;
+        self.dispatch_block(pkt.bytes, Some(ctx))
     }
 
     /// Drive the reliable-delivery layer one step: release matured delayed
@@ -484,8 +595,9 @@ impl Comm {
             }
         }
 
-        // Ack scan + retransmission.
-        let mut resend: Vec<(usize, u64, Bytes, u32)> = Vec::new();
+        // Ack scan + retransmission. Retransmits reuse the stored
+        // mint-time TraceCtx — never a fresh one.
+        let mut resend: Vec<(usize, u64, Bytes, TraceCtx, u32)> = Vec::new();
         {
             let mut fl = fl_cell.borrow_mut();
             for dest in 0..n {
@@ -504,16 +616,16 @@ impl Comm {
                     // as the initial send, so in-flight attempts are not
                     // re-sent before their ack can possibly arrive).
                     frame.next_retry = epoch + (1u64 << frame.attempt.min(3)).max(2);
-                    resend.push((dest, *seq, frame.bytes.clone(), frame.attempt));
+                    resend.push((dest, *seq, frame.bytes.clone(), frame.ctx, frame.attempt));
                 }
             }
         }
-        for (dest, seq, bytes, attempt) in resend {
+        for (dest, seq, bytes, ctx, attempt) in resend {
             FaultCounters::bump(&fs.counters.retransmits);
             self.shared
                 .stats
                 .record_transport(self.rank, dest, bytes.len());
-            self.transmit(dest, seq, bytes, attempt);
+            self.transmit(dest, seq, bytes, ctx, attempt);
         }
         handled
     }
@@ -557,14 +669,19 @@ impl Comm {
     }
 
     /// Decode and dispatch every frame in `block`, returning frames handled.
-    fn dispatch_block(&self, mut block: Bytes) -> usize {
+    /// `ctx` is the block's carried causal context (None only for blocks
+    /// that never crossed the transport); flow-recv events are emitted per
+    /// distinct tag, inside the dispatch span, exactly once per delivery.
+    fn dispatch_block(&self, mut block: Bytes, ctx: Option<TraceCtx>) -> usize {
         let traced = self.tracer().is_some();
         if traced {
             self.trace_begin_arg("dispatch", block.remaining() as u64);
         }
         let mut n = 0;
+        let mut tags_seen: u64 = 0;
         while block.has_remaining() {
             let tag = block.get_u16_le();
+            tags_seen |= 1u64 << (tag as u32 & 63);
             let len = block.get_u32_le() as usize;
             let payload = block.split_to(len);
             {
@@ -582,6 +699,20 @@ impl Comm {
             n += 1;
         }
         if traced {
+            if let (Some(t), Some(ctx)) = (self.tracer(), ctx) {
+                if t.flows_enabled() {
+                    let now = self.now_ns();
+                    for tag in tag_bits(tags_seen) {
+                        t.flow_recv(
+                            self.rank,
+                            "flow",
+                            now,
+                            flow_id(tag, ctx, self.rank),
+                            tag as u64,
+                        );
+                    }
+                }
+            }
             self.trace_end("dispatch");
         }
         n
@@ -640,6 +771,7 @@ impl Comm {
                 // The leader advanced the clock, so this span's virtual
                 // duration is exactly the completed phase's makespan.
                 self.trace_end("barrier");
+                self.phase_idx.set(self.phase_idx.get() + 1);
                 return;
             }
             // Non-quiescent round: messages are still parked in delay

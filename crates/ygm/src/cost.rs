@@ -134,7 +134,13 @@ impl ClockBreakdown {
 /// One barrier-to-barrier phase, as recorded by the virtual clock — the
 /// fine-grained profile behind the paper's Section 7 ask. A "phase" is
 /// everything between two consecutive barriers world-wide.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Besides the makespan split, each record keeps the raw per-rank cost
+/// vectors (indexed by rank) that the makespan was computed from; the
+/// `obs::critical_path` analyzer reconstructs the happens-before DAG,
+/// per-rank slack, and straggler attribution from exactly these numbers,
+/// so the analysis is deterministic whenever the clock is.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhaseRecord {
     /// Zero-based phase index (== barrier count so far).
     pub index: usize,
@@ -148,12 +154,41 @@ pub struct PhaseRecord {
     pub msgs: u64,
     /// Remote bytes sent world-wide during the phase.
     pub bytes: u64,
+    /// Exact nanoseconds this phase added to the global clock (the value
+    /// `now_ns` was advanced by). Summing these over all phases and
+    /// subtracting from the final clock gives collective time exactly.
+    pub total_ns: u64,
+    /// Per-rank compute nanoseconds charged during the phase.
+    pub rank_compute_ns: Vec<f64>,
+    /// Per-rank send-side link cost of application traffic, ns.
+    pub rank_send_ns: Vec<f64>,
+    /// Per-rank receive-side link cost of application traffic, ns.
+    pub rank_recv_ns: Vec<f64>,
+    /// Per-rank send-side link cost of transport traffic (retransmits,
+    /// duplicates), ns.
+    pub rank_transport_send_ns: Vec<f64>,
+    /// Per-rank receive-side link cost of transport traffic, ns.
+    pub rank_transport_recv_ns: Vec<f64>,
+    /// Per-rank injected-fault time (frame delays, stalls), ns.
+    pub rank_fault_ns: Vec<f64>,
 }
 
 impl PhaseRecord {
     /// Total virtual seconds this phase contributed.
     pub fn total_secs(&self) -> f64 {
         self.compute_secs + self.comm_secs + self.barrier_secs
+    }
+
+    /// Total modelled work (compute + send + recv + transport + fault) of
+    /// `rank` during this phase, ns. The rank maximizing this is the
+    /// phase's critical rank — the straggler the barrier waited on.
+    pub fn rank_work_ns(&self, rank: usize) -> f64 {
+        self.rank_compute_ns[rank]
+            + self.rank_send_ns[rank]
+            + self.rank_recv_ns[rank]
+            + self.rank_transport_send_ns[rank]
+            + self.rank_transport_recv_ns[rank]
+            + self.rank_fault_ns[rank]
     }
 }
 
@@ -197,21 +232,43 @@ impl VirtualClock {
         let mut max_fault = 0.0f64;
         let mut phase_msgs = 0u64;
         let mut phase_bytes = 0u64;
+        let ranks = stats.phase.len();
+        let mut rank_compute_ns = Vec::with_capacity(ranks);
+        let mut rank_send_ns = Vec::with_capacity(ranks);
+        let mut rank_recv_ns = Vec::with_capacity(ranks);
+        let mut rank_transport_send_ns = Vec::with_capacity(ranks);
+        let mut rank_transport_recv_ns = Vec::with_capacity(ranks);
+        let mut rank_fault_ns = Vec::with_capacity(ranks);
         for p in stats.phase.iter() {
             let compute = p.compute_ns.load(Ordering::Relaxed) as f64;
             let msgs_out = p.msgs_out.load(Ordering::Relaxed);
             let bytes_out = p.bytes_out.load(Ordering::Relaxed);
+            let tr_msgs_out = p.tr_msgs_out.load(Ordering::Relaxed);
+            let tr_bytes_out = p.tr_bytes_out.load(Ordering::Relaxed);
             phase_msgs += msgs_out;
             phase_bytes += bytes_out;
-            let send = cost.link_cost_ns(msgs_out, bytes_out);
-            let recv = cost.link_cost_ns(
-                p.msgs_in.load(Ordering::Relaxed),
-                p.bytes_in.load(Ordering::Relaxed),
-            );
+            // Makespan terms are computed from the SUMMED counters (counter
+            // sums are exact in u64), so splitting transport traffic into
+            // its own cells never changes phase totals.
+            let send = cost.link_cost_ns(msgs_out + tr_msgs_out, bytes_out + tr_bytes_out);
+            let msgs_in = p.msgs_in.load(Ordering::Relaxed);
+            let bytes_in = p.bytes_in.load(Ordering::Relaxed);
+            let tr_msgs_in = p.tr_msgs_in.load(Ordering::Relaxed);
+            let tr_bytes_in = p.tr_bytes_in.load(Ordering::Relaxed);
+            let recv = cost.link_cost_ns(msgs_in + tr_msgs_in, bytes_in + tr_bytes_in);
+            let fault = p.fault_ns.load(Ordering::Relaxed) as f64;
             max_compute = max_compute.max(compute + send); // send charged with compute below
             max_send = max_send.max(send);
             max_recv = max_recv.max(recv);
-            max_fault = max_fault.max(p.fault_ns.load(Ordering::Relaxed) as f64);
+            max_fault = max_fault.max(fault);
+            let app_send = cost.link_cost_ns(msgs_out, bytes_out);
+            let app_recv = cost.link_cost_ns(msgs_in, bytes_in);
+            rank_compute_ns.push(compute);
+            rank_send_ns.push(app_send);
+            rank_recv_ns.push(app_recv);
+            rank_transport_send_ns.push(send - app_send);
+            rank_transport_recv_ns.push(recv - app_recv);
+            rank_fault_ns.push(fault);
         }
         // Attribution: the makespan adds max(compute + send) + max(recv) +
         // barrier. Count the send share inside the comm bucket, along with
@@ -228,7 +285,8 @@ impl VirtualClock {
         self.barrier_ns
             .fetch_add(barrier_part.ceil() as u64, Ordering::SeqCst);
         let phase = compute_part + comm_part + barrier_part;
-        self.now_ns.fetch_add(phase.ceil() as u64, Ordering::SeqCst);
+        let total_ns = phase.ceil() as u64;
+        self.now_ns.fetch_add(total_ns, Ordering::SeqCst);
         let mut log = self.phases.lock();
         let index = log.len();
         log.push(PhaseRecord {
@@ -238,6 +296,13 @@ impl VirtualClock {
             barrier_secs: barrier_part / 1e9,
             msgs: phase_msgs,
             bytes: phase_bytes,
+            total_ns,
+            rank_compute_ns,
+            rank_send_ns,
+            rank_recv_ns,
+            rank_transport_send_ns,
+            rank_transport_recv_ns,
+            rank_fault_ns,
         });
     }
 
@@ -328,6 +393,41 @@ mod tests {
         assert_eq!(phases[1].msgs, 0);
         let total: f64 = phases.iter().map(PhaseRecord::total_secs).sum();
         assert!((total - clock.now_secs()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn phase_records_carry_exact_totals_and_rank_vectors() {
+        let clock = VirtualClock::new();
+        let stats = Stats::new(2);
+        stats.charge_compute(0, 10_000);
+        stats.record_send(0, 1_000, 0, 1);
+        stats.record_transport(0, 1, 1_000); // retransmit of the same frame
+        stats.charge_fault(1, 777);
+        let cost = CostModel {
+            alpha_ns: 100.0,
+            bytes_per_ns: 1.0,
+            barrier_hop_ns: 500.0,
+            dist_elem_ns: 1.0,
+        };
+        clock.advance_phase(&stats, &cost, 2);
+        stats.reset_phase();
+        clock.advance_phase(&stats, &cost, 2);
+        let phases = clock.phases();
+        // total_ns is exactly what the clock advanced by.
+        let sum: u64 = phases.iter().map(|p| p.total_ns).sum();
+        assert_eq!(sum, clock.now_ns());
+        let p0 = &phases[0];
+        assert_eq!(p0.rank_compute_ns, vec![10_000.0, 0.0]);
+        assert_eq!(p0.rank_send_ns, vec![1_100.0, 0.0]); // alpha + bytes
+        assert_eq!(p0.rank_recv_ns, vec![0.0, 1_100.0]);
+        assert_eq!(p0.rank_transport_send_ns, vec![1_100.0, 0.0]);
+        assert_eq!(p0.rank_transport_recv_ns, vec![0.0, 1_100.0]);
+        assert_eq!(p0.rank_fault_ns, vec![0.0, 777.0]);
+        // Rank work makes rank 0 (compute-heavy) the critical rank here.
+        assert!(p0.rank_work_ns(0) > p0.rank_work_ns(1));
+        // Transport traffic charged virtual time: the phase is longer than
+        // compute + app traffic alone would make it.
+        assert!(p0.total_ns > 10_000 + 2 * 1_100);
     }
 
     #[test]

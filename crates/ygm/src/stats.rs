@@ -68,6 +68,14 @@ pub(crate) struct PhaseCounters {
     pub bytes_out: AtomicU64,
     pub msgs_in: AtomicU64,
     pub bytes_in: AtomicU64,
+    /// Transport-level traffic (retransmits, duplicates) kept separate from
+    /// the application counters so the critical-path analyzer can attribute
+    /// retransmit time distinctly. The clock sums app + transport, so the
+    /// split never changes phase totals.
+    pub tr_msgs_out: AtomicU64,
+    pub tr_bytes_out: AtomicU64,
+    pub tr_msgs_in: AtomicU64,
+    pub tr_bytes_in: AtomicU64,
     /// Virtual nanoseconds this rank lost to injected faults (frame delays,
     /// stalls) since the last barrier. Folded into the phase makespan's
     /// communication share so sim-time stays meaningful under fault runs.
@@ -81,6 +89,10 @@ impl PhaseCounters {
         self.bytes_out.store(0, Ordering::Relaxed);
         self.msgs_in.store(0, Ordering::Relaxed);
         self.bytes_in.store(0, Ordering::Relaxed);
+        self.tr_msgs_out.store(0, Ordering::Relaxed);
+        self.tr_bytes_out.store(0, Ordering::Relaxed);
+        self.tr_msgs_in.store(0, Ordering::Relaxed);
+        self.tr_bytes_in.store(0, Ordering::Relaxed);
         self.fault_ns.store(0, Ordering::Relaxed);
     }
 }
@@ -178,20 +190,22 @@ impl Stats {
     }
 
     /// Record transport-level traffic (a retransmitted or duplicated frame)
-    /// in the phase counters only: it consumes link capacity and so must
-    /// charge virtual time, but it is not application traffic and must not
-    /// distort the per-tag message statistics.
+    /// in the transport phase counters only: it consumes link capacity and so
+    /// must charge virtual time, but it is not application traffic and must
+    /// not distort the per-tag message statistics. The clock folds these into
+    /// the same makespan as application traffic; keeping them in their own
+    /// cells lets the critical-path analyzer attribute retransmit time.
     #[inline]
     pub(crate) fn record_transport(&self, src: usize, dest: usize, bytes: usize) {
         if src == dest {
             return;
         }
         let ps = &self.phase[src];
-        ps.msgs_out.fetch_add(1, Ordering::Relaxed);
-        ps.bytes_out.fetch_add(bytes as u64, Ordering::Relaxed);
+        ps.tr_msgs_out.fetch_add(1, Ordering::Relaxed);
+        ps.tr_bytes_out.fetch_add(bytes as u64, Ordering::Relaxed);
         let pd = &self.phase[dest];
-        pd.msgs_in.fetch_add(1, Ordering::Relaxed);
-        pd.bytes_in.fetch_add(bytes as u64, Ordering::Relaxed);
+        pd.tr_msgs_in.fetch_add(1, Ordering::Relaxed);
+        pd.tr_bytes_in.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Charge `ns` nanoseconds of injected-fault time (delay, stall) to
@@ -333,6 +347,23 @@ mod tests {
         s.reset_phase();
         assert_eq!(s.phase[0].msgs_out.load(Ordering::Relaxed), 0);
         assert_eq!(s.phase[1].bytes_in.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn transport_traffic_lands_in_its_own_cells() {
+        let s = Stats::new(2);
+        s.record_send(0, 64, 0, 1);
+        s.record_transport(0, 1, 100); // retransmit of the same frame
+        s.record_transport(1, 1, 999); // local: ignored entirely
+        assert_eq!(s.phase[0].msgs_out.load(Ordering::Relaxed), 1);
+        assert_eq!(s.phase[0].bytes_out.load(Ordering::Relaxed), 64);
+        assert_eq!(s.phase[0].tr_msgs_out.load(Ordering::Relaxed), 1);
+        assert_eq!(s.phase[0].tr_bytes_out.load(Ordering::Relaxed), 100);
+        assert_eq!(s.phase[1].tr_msgs_in.load(Ordering::Relaxed), 1);
+        assert_eq!(s.phase[1].tr_bytes_in.load(Ordering::Relaxed), 100);
+        s.reset_phase();
+        assert_eq!(s.phase[0].tr_msgs_out.load(Ordering::Relaxed), 0);
+        assert_eq!(s.phase[1].tr_bytes_in.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -194,6 +194,10 @@ pub struct WorldReport<T> {
     pub results: Vec<T>,
     /// Virtual (simulated) elapsed time, seconds.
     pub sim_secs: f64,
+    /// Virtual elapsed time in exact nanoseconds — the final clock reading.
+    /// The critical-path analyzer needs this exact (not `sim_secs * 1e9`)
+    /// to attribute collective time with zero rounding error.
+    pub sim_ns: u64,
     /// Decomposition of the virtual time into compute / communication /
     /// barrier components.
     pub breakdown: ClockBreakdown,
@@ -354,6 +358,7 @@ impl World {
         WorldReport {
             results: results.into_iter().map(Option::unwrap).collect(),
             sim_secs: shared.clock.now_secs(),
+            sim_ns: shared.clock.now_ns(),
             breakdown: shared.clock.breakdown(),
             phases: shared.clock.phases(),
             wall_secs,

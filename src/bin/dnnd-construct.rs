@@ -16,8 +16,10 @@
 //! Perfetto span timeline, one track per rank), `--report-out
 //! report.json` (unified machine-readable run report), and
 //! `--dashboard-out dash.html` (self-contained HTML dashboard: phase
-//! timeline, rank×rank traffic heatmap, convergence curve, telemetry
-//! series — no external assets).
+//! timeline, critical-path lane, rank×rank traffic heatmap, convergence
+//! curve, telemetry series — no external assets). `--trace-flows off`
+//! drops the cross-rank flow arrows (`ph:"s"/"f"`) from the trace when
+//! only per-rank spans are wanted.
 //!
 //! Fault injection: `--fault-profile clean|lossy|stormy` runs the build
 //! under the simulated-transport fault layer, and `--sim-seed <u64>`
@@ -66,7 +68,9 @@ fn main() {
 
     let outs = ObsOuts::parse(&args);
     let tracer = if outs.any() {
-        Some(Arc::new(obs::Tracer::new(ranks)))
+        let t = Arc::new(obs::Tracer::new(ranks));
+        t.set_flows_enabled(outs.flows);
+        Some(t)
     } else {
         None
     };

@@ -29,7 +29,9 @@ fn main() {
     // Graph optimization is a driver-side (single-process) pass, so the
     // trace has one track.
     let tracer = if outs.any() {
-        Some(obs::Tracer::new(1))
+        let t = obs::Tracer::new(1);
+        t.set_flows_enabled(outs.flows);
+        Some(t)
     } else {
         None
     };
@@ -124,6 +126,7 @@ fn main() {
                 .push(("max_degree".into(), optimized.max_degree() as f64));
             rr.metric("store_high_water_bytes", store.high_water_bytes() as f64);
             rr.add_histograms(&t.hist_snapshots());
+            rr.set_dropped_spans(t.dropped_events() as u64);
             if !outs.report.is_empty() {
                 std::fs::write(&outs.report, rr.to_json_string())
                     .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", outs.report)));

@@ -100,7 +100,9 @@ fn main() {
     // The query program is shared-memory (the paper runs it on one fat
     // node), so the trace has a single track.
     let tracer = if outs.any() {
-        Some(obs::Tracer::new(1))
+        let t = obs::Tracer::new(1);
+        t.set_flows_enabled(outs.flows);
+        Some(t)
     } else {
         None
     };
@@ -242,6 +244,7 @@ fn main() {
             rr.extra
                 .push(("n_queries".into(), summary.n_queries as f64));
             rr.add_histograms(&t.hist_snapshots());
+            rr.set_dropped_spans(t.dropped_events() as u64);
             if !outs.report.is_empty() {
                 std::fs::write(&outs.report, rr.to_json_string())
                     .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", outs.report)));

@@ -89,7 +89,9 @@ fn main() {
     let sim_seed: u64 = args.get("sim-seed", 0);
     let outs = ObsOuts::parse(&args);
     let tracer = if outs.any() {
-        Some(Arc::new(obs::Tracer::new(ranks)))
+        let t = Arc::new(obs::Tracer::new(ranks));
+        t.set_flows_enabled(outs.flows);
+        Some(t)
     } else {
         None
     };

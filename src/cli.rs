@@ -64,15 +64,27 @@ pub struct ObsOuts {
     pub report: String,
     /// Self-contained HTML dashboard destination.
     pub dashboard: String,
+    /// Whether cross-rank flow events are recorded (`--trace-flows`,
+    /// `on` by default; `off` drops the `ph:"s"/"f"` arrow pairs from the
+    /// exported trace, shrinking it when only spans are wanted).
+    pub flows: bool,
 }
 
 impl ObsOuts {
-    /// Read the three flags from parsed CLI arguments.
+    /// Read the observability flags from parsed CLI arguments.
     pub fn parse(args: &bench::Args) -> ObsOuts {
+        let flows = args.get("trace-flows", "on".to_string());
+        match flows.as_str() {
+            "on" | "off" => {}
+            other => die(&format!(
+                "invalid --trace-flows value {other:?} (expected \"on\" or \"off\")"
+            )),
+        }
         ObsOuts {
             trace: args.get("trace-out", String::new()),
             report: args.get("report-out", String::new()),
             dashboard: args.get("dashboard-out", String::new()),
+            flows: flows != "off",
         }
     }
 
