@@ -79,6 +79,11 @@ fn threshold_for(name: &str) -> (f64, Direction) {
         "sim_secs" | "compute_secs" | "comm_secs" | "barrier_secs" => (0.10, HigherIsWorse),
         "iterations" => (0.0, HigherIsWorse),
         n if n.starts_with("faults.") => (0.0, HigherIsWorse),
+        // RNN-Descent counters are bit-identical across reruns and rank
+        // counts, so every one of them gates exactly: any drift means the
+        // occlusion rule or round schedule changed.
+        "rnn.rounds" | "rnn.reverse_added_total" => (0.0, HigherIsWorse),
+        n if n.starts_with("rnn.") => (0.0, HigherIsWorse),
         // Serving SLOs: counters of the deterministic control plane gate
         // exactly; answered/cache-hit shrinkage is the regression side;
         // latency percentiles get slack for search-cost tweaks.
@@ -246,6 +251,35 @@ fn collect(base: &RunReport, cand: &RunReport, thr: Option<f64>) -> Vec<MetricRo
         }
     }
 
+    // RNN-Descent optimization counters: the pass is deterministic, so
+    // every aggregate gates exactly (threshold 0). A side without the
+    // section contributes zeros; growth from zero gates.
+    if base.rnn.is_some() || cand.rnn.is_some() {
+        let d = obs::RnnSection::default();
+        let b = base.rnn.as_ref().unwrap_or(&d);
+        let c = cand.rnn.as_ref().unwrap_or(&d);
+        let sums = |s: &obs::RnnSection| {
+            (
+                s.rounds.len() as u64,
+                s.rounds.iter().map(|r| r.pruned).sum::<u64>(),
+                s.rounds.iter().map(|r| r.added).sum::<u64>(),
+                s.reverse_added.iter().sum::<u64>(),
+            )
+        };
+        let (br, bp, ba, brv) = sums(b);
+        let (cr, cp, ca, crv) = sums(c);
+        for (key, bv, cv) in [
+            ("rounds", br, cr),
+            ("pruned_total", bp, cp),
+            ("added_total", ba, ca),
+            ("reverse_added_total", brv, crv),
+            ("dist_evals", b.dist_evals, c.dist_evals),
+            ("repaired", b.repaired, c.repaired),
+        ] {
+            push(&mut rows, &format!("rnn.{key}"), bv as f64, cv as f64, thr);
+        }
+    }
+
     // Critical-path attribution. Gated only when the *baseline* carries
     // the section: a candidate-only section is schema growth (e.g. a v3
     // baseline diffed against a v4 candidate), not a regression, while a
@@ -302,6 +336,9 @@ fn missing_sections(base: &RunReport, cand: &RunReport) -> Vec<&'static str> {
     }
     if base.serving.is_some() && cand.serving.is_none() {
         missing.push("serving");
+    }
+    if base.rnn.is_some() && cand.rnn.is_none() {
+        missing.push("rnn");
     }
     if base.critical_path.is_some() && cand.critical_path.is_none() {
         missing.push("critical_path");
@@ -548,6 +585,50 @@ mod tests {
             .iter()
             .filter(|r| r.name.starts_with("serving."))
             .all(|r| !r.regressed()));
+    }
+
+    #[test]
+    fn rnn_counters_gate_exactly() {
+        let mut base = report(1.0, 1);
+        let mut cand = report(1.0, 1);
+        let section = |pruned: u64, evals: u64| obs::RnnSection {
+            t1: 2,
+            t2: 5,
+            k0: 10,
+            r: 30,
+            rounds: vec![obs::RnnRoundReport {
+                outer: 0,
+                inner: 0,
+                pairs: evals,
+                pruned,
+                added: 12,
+            }],
+            reverse_added: vec![100],
+            dist_evals: evals,
+            repaired: 1,
+        };
+        base.rnn = Some(section(40, 5_000));
+        cand.rnn = Some(section(40, 5_000));
+        let rows = collect(&base, &cand, None);
+        assert!(rows
+            .iter()
+            .filter(|r| r.name.starts_with("rnn."))
+            .all(|r| !r.regressed()));
+        // Any drift in the deterministic counters gates (threshold 0).
+        cand.rnn = Some(section(41, 5_001));
+        let rows = collect(&base, &cand, None);
+        assert!(row_named(&rows, "rnn.pruned_total").regressed());
+        assert!(row_named(&rows, "rnn.dist_evals").regressed());
+        // A candidate that silently dropped the section hard-fails.
+        cand.rnn = None;
+        assert_eq!(missing_sections(&base, &cand), vec!["rnn"]);
+    }
+
+    #[test]
+    fn rnn_free_pair_has_no_rnn_rows() {
+        let r = report(1.0, 1);
+        let rows = collect(&r, &r, None);
+        assert!(!rows.iter().any(|m| m.name.starts_with("rnn.")));
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! `simtest` — deterministic fault-injection seed sweep for the YGM runtime.
 //!
-//! For every (preset, protocol, fault profile, sim seed) tuple this driver
-//! builds a k-NNG with the distributed engine under injected transport
-//! faults and checks the simulation-harness invariants:
+//! For every (preset, protocol, opt mode, fault profile, sim seed) tuple
+//! this driver builds a k-NNG with the distributed engine under injected
+//! transport faults and checks the simulation-harness invariants:
 //!
 //! 1. **Termination** — construction completes (the runtime's storm guard
 //!    converts genuine hangs into panics naming the seed, which the sweep
@@ -16,7 +16,15 @@
 //!    graph; any divergence means the reliable-delivery layer dropped or
 //!    double-applied a message. The optimized protocol consults heap state
 //!    at message-arrival time (Section 4.3 skips), so only the recall band
-//!    applies there.
+//!    applies there. The RNN-Descent optimization mode (`--opt-mode rnn`)
+//!    is swept on top of the unoptimized protocol: its pruning decisions
+//!    are pure functions of canonical row state, so the *optimized* graph
+//!    must also be bit-identical under every fault profile. (RNN trials
+//!    report low *absolute* k-NN recall by design — occlusion pruning
+//!    removes near-duplicate k-NN edges to sparsify the search graph —
+//!    but the drift band against the same-mode fault-free baseline still
+//!    applies, and any nonzero drift under the unoptimized protocol is an
+//!    exactly-once violation.)
 //!
 //! Every failing seed gets a `RunReport` JSON (fault counters included)
 //! under `--out`, and the sweep ends by printing the *minimal* failing seed
@@ -61,6 +69,7 @@ struct Baseline {
 struct Trial {
     preset: &'static str,
     protocol: &'static str,
+    opt_mode: &'static str,
     profile: &'static str,
     sim_seed: u64,
     recall: f64,
@@ -114,39 +123,47 @@ struct Sweep {
 }
 
 impl Sweep {
-    fn config(&self, protocol: &str) -> DnndConfig {
-        DnndConfig::new(self.k)
+    fn config(&self, protocol: &str, opt_mode: &str) -> DnndConfig {
+        let cfg = DnndConfig::new(self.k)
             .seed(self.data_seed)
-            .comm_opts(protocol_opts(protocol))
+            .comm_opts(protocol_opts(protocol));
+        match opt_mode {
+            // k0 = k + 2 mirrors the bench fixture's headroom over k.
+            "rnn" => cfg.rnn_opt(nnd::rnn::RnnParams::new(self.k + 2)),
+            "default" => cfg,
+            other => panic!("unknown opt mode {other:?} (default|rnn|both)"),
+        }
     }
 
-    fn baseline(&self, preset: &Preset, protocol: &str) -> Baseline {
+    fn baseline(&self, preset: &Preset, protocol: &str, opt_mode: &str) -> Baseline {
         let out = build(
             &World::new(self.ranks),
             &preset.set,
             &L2,
-            self.config(protocol),
+            self.config(protocol, opt_mode),
         );
         let ids = out.graph.neighbor_ids();
         let recall = mean_recall(&ids, &preset.truth);
         println!(
-            "baseline {}/{protocol}: fault-free recall {recall:.4}",
+            "baseline {}/{protocol}/{opt_mode}: fault-free recall {recall:.4}",
             preset.name
         );
         Baseline { ids, recall }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_trial(
         &self,
         preset: &Preset,
         baseline: &Baseline,
         protocol: &'static str,
+        opt_mode: &'static str,
         profile: FaultProfile,
         sim_seed: u64,
     ) -> Trial {
         let plan = FaultPlan::new(profile, sim_seed);
         let set = Arc::clone(&preset.set);
-        let cfg = self.config(protocol);
+        let cfg = self.config(protocol, opt_mode);
         let ranks = self.ranks;
         let built = catch_unwind(AssertUnwindSafe(|| {
             build(&World::new(ranks).fault_plan(plan), &set, &L2, cfg)
@@ -155,6 +172,7 @@ impl Sweep {
         let mut trial = Trial {
             preset: preset.name,
             protocol,
+            opt_mode,
             profile: profile.name(),
             sim_seed,
             recall: 0.0,
@@ -207,6 +225,7 @@ impl Sweep {
         run.params = vec![
             ("preset".into(), trial.preset.into()),
             ("protocol".into(), trial.protocol.into()),
+            ("opt_mode".into(), trial.opt_mode.into()),
             ("profile".into(), trial.profile.into()),
             ("sim_seed".into(), trial.sim_seed.to_string()),
             ("recall".into(), format!("{:.4}", trial.recall)),
@@ -221,8 +240,8 @@ impl Sweep {
             ),
         ];
         let stem = format!(
-            "simtest-{}-{}-{}-seed{}",
-            trial.preset, trial.protocol, trial.profile, trial.sim_seed
+            "simtest-{}-{}-{}-{}-seed{}",
+            trial.preset, trial.protocol, trial.opt_mode, trial.profile, trial.sim_seed
         );
         let path = self.out_dir.join(format!("{stem}.json"));
         if let Err(e) = write_report(&path, &run) {
@@ -247,8 +266,8 @@ fn first_divergent(a: &[Vec<PointId>], b: &[Vec<PointId>]) -> usize {
 
 fn replay_command(t: &Trial) -> String {
     format!(
-        "cargo run --release -p bench --bin simtest -- --preset {} --protocol {} --profile {} --sim-seed {}",
-        t.preset, t.protocol, t.profile, t.sim_seed
+        "cargo run --release -p bench --bin simtest -- --preset {} --protocol {} --opt-mode {} --profile {} --sim-seed {}",
+        t.preset, t.protocol, t.opt_mode, t.profile, t.sim_seed
     )
 }
 
@@ -294,6 +313,24 @@ fn main() {
         other => panic!("unknown --protocol {other:?} (optimized|unoptimized|both)"),
     };
 
+    // Optimization-mode dimension. RNN trials ride the unoptimized
+    // protocol only: there the raw graph is a pure function of the input,
+    // so the RNN pass on top must be bit-identical under faults too (the
+    // optimized protocol's raw graph is schedule-dependent, which would
+    // make an identity check meaningless).
+    let opt_mode_arg: String = args.get("opt-mode", "both".to_string());
+    let mut combos: Vec<(&'static str, &'static str)> = Vec::new();
+    if opt_mode_arg == "default" || opt_mode_arg == "both" {
+        combos.extend(protocols.iter().map(|&p| (p, "default")));
+    }
+    if (opt_mode_arg == "rnn" || opt_mode_arg == "both") && protocols.contains(&"unoptimized") {
+        combos.push(("unoptimized", "rnn"));
+    }
+    assert!(
+        !combos.is_empty(),
+        "no (protocol, opt-mode) combination selected (opt-mode rnn needs the unoptimized protocol)"
+    );
+
     let preset_arg: String = args.get("preset", "all".to_string());
     let mut presets = make_presets(n, k);
     if preset_arg != "all" {
@@ -302,9 +339,9 @@ fn main() {
     }
 
     println!(
-        "simtest sweep: {} preset(s) x {} protocol(s) x {} profile(s) x {} seed(s), ranks={}, tolerance={}",
+        "simtest sweep: {} preset(s) x {} (protocol, mode) combo(s) x {} profile(s) x {} seed(s), ranks={}, tolerance={}",
         presets.len(),
-        protocols.len(),
+        combos.len(),
         profiles.len(),
         seeds.len(),
         sweep.ranks,
@@ -313,11 +350,13 @@ fn main() {
 
     let mut trials: Vec<Trial> = Vec::new();
     for preset in &presets {
-        for &protocol in &protocols {
-            let baseline = sweep.baseline(preset, protocol);
+        for &(protocol, opt_mode) in &combos {
+            let baseline = sweep.baseline(preset, protocol, opt_mode);
             for &profile in &profiles {
                 for &sim_seed in &seeds {
-                    trials.push(sweep.run_trial(preset, &baseline, protocol, profile, sim_seed));
+                    trials.push(
+                        sweep.run_trial(preset, &baseline, protocol, opt_mode, profile, sim_seed),
+                    );
                 }
             }
         }
@@ -328,6 +367,7 @@ fn main() {
         &[
             "Preset",
             "Protocol",
+            "Mode",
             "Profile",
             "Seeds",
             "Min recall",
@@ -337,13 +377,14 @@ fn main() {
         ],
     );
     for preset in &presets {
-        for &protocol in &protocols {
+        for &(protocol, opt_mode) in &combos {
             for &profile in &profiles {
                 let group: Vec<&Trial> = trials
                     .iter()
                     .filter(|t| {
                         t.preset == preset.name
                             && t.protocol == protocol
+                            && t.opt_mode == opt_mode
                             && t.profile == profile.name()
                     })
                     .collect();
@@ -362,6 +403,7 @@ fn main() {
                 table.row(&[
                     &preset.name,
                     &protocol,
+                    &opt_mode,
                     &profile.name(),
                     &group.len(),
                     &format!("{min_recall:.4}"),

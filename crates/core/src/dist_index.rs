@@ -34,7 +34,7 @@ impl<P: Point, M: BatchMetric<P>> DistIndex<P, M> {
     /// traversal-ready: the raw directed k-NNG can leave vertices with
     /// in-degree zero, unreachable by greedy search.
     pub fn build(world: &World, base: Arc<PointSet<P>>, metric: M, mut cfg: DnndConfig) -> Self {
-        if cfg.graph_opt_m.is_none() {
+        if cfg.graph_opt_m.is_none() && cfg.rnn_opt.is_none() {
             cfg = cfg.graph_opt(1.5);
         }
         let k = cfg.k;
@@ -115,6 +115,7 @@ impl<P: Point, M: BatchMetric<P>> DistIndex<P, M> {
                 total: ygm::TagStats::default(),
                 matrix: ygm::TrafficMatrix::default(),
                 faults: None,
+                rnn: None,
             },
             k,
         })

@@ -29,6 +29,7 @@
 use crate::config::DnndConfig;
 use crate::msgs::*;
 use crate::partition::Partitioner;
+use crate::rnn_dist::{register_rnn_handlers, run_rnn_rounds, RnnDistState};
 use dataset::batch::{BatchMetric, NormCache};
 use dataset::point::Point;
 use dataset::set::{PointId, PointSet};
@@ -80,6 +81,10 @@ pub struct BuildReport {
     /// Injected-fault / reliable-delivery counters when the world ran under
     /// a [`ygm::FaultPlan`]; `None` on fault-free runs.
     pub faults: Option<ygm::FaultReport>,
+    /// Per-round RNN-Descent counters when the build ran with
+    /// [`crate::config::DnndConfig::rnn_opt`]; global (all-reduced) values,
+    /// bit-identical across rank counts.
+    pub rnn: Option<nnd::rnn::RnnStats>,
 }
 
 impl BuildReport {
@@ -167,13 +172,13 @@ impl State {
 }
 
 /// Charge the virtual compute cost of `n` distance evaluations at once.
-fn charge_batch(comm: &Comm, dim: usize, n: usize) {
+pub(crate) fn charge_batch(comm: &Comm, dim: usize, n: usize) {
     comm.charge_compute(comm.cost().distance_cost_ns(dim) * n as u64);
 }
 
 /// Split candidate ids into (locally owned, per-remote-rank groups in
 /// first-seen destination order) — one message per remote group.
-fn group_by_owner(
+pub(crate) fn group_by_owner(
     part: Partitioner,
     my_rank: usize,
     ids: &[PointId],
@@ -214,6 +219,7 @@ where
     let mut iterations = 0;
     let mut updates_per_iter = Vec::new();
     let mut distance_evals = 0;
+    let mut rnn = None;
     for (rank_rows, metrics) in &report.results {
         for (v, edges) in rank_rows {
             rows[*v as usize] = edges.clone();
@@ -221,6 +227,13 @@ where
         iterations = metrics.iterations;
         updates_per_iter.clone_from(&metrics.updates_per_iter);
         distance_evals += metrics.dist_evals;
+        // Global stats are identical on every rank; any copy will do.
+        rnn = metrics.rnn.clone().or(rnn);
+    }
+    // RNN mode: connectivity repair on the assembled rows (pure function
+    // of the capped graph — same step the standalone passes run).
+    if let (Some(rp), Some(stats)) = (cfg.rnn_opt, rnn.as_mut()) {
+        stats.repaired = nnd::rnn::repair_connectivity(&mut rows, rp.k0);
     }
     DnndOutput {
         graph: KnnGraph::from_rows(rows),
@@ -238,6 +251,7 @@ where
             total: report.total,
             matrix: report.matrix,
             faults: report.faults,
+            rnn,
         },
     }
 }
@@ -248,6 +262,7 @@ struct RankMetrics {
     iterations: usize,
     updates_per_iter: Vec<u64>,
     dist_evals: u64,
+    rnn: Option<nnd::rnn::RnnStats>,
 }
 
 type RankRows = Vec<(PointId, Vec<Edge>)>;
@@ -274,6 +289,12 @@ where
     let cache = Arc::new(metric.preprocess(&set));
     charge_batch(comm, dim, owned.len());
     register_handlers(comm, &st, &set, &metric, &cache, part, cfg, dim);
+    // RNN-Descent optimization state (phase 3); handlers share the world
+    // with the descent's (tags 19-23 vs 10-18).
+    let rnn_st = Rc::new(RefCell::new(RnnDistState::new()));
+    if cfg.rnn_opt.is_some() {
+        register_rnn_handlers(comm, &rnn_st, &set, &metric, &cache, part, dim);
+    }
     let traced = comm.tracer().is_some();
 
     // ---- Phase 1: random initialization ------------------------------------
@@ -537,7 +558,28 @@ where
     }
 
     // ---- Phase 3: optional distributed graph optimization -------------------
-    let rows: RankRows = if let Some(m) = cfg.graph_opt_m {
+    let mut rnn_stats = None;
+    let rows: RankRows = if let Some(rp) = cfg.rnn_opt {
+        comm.trace_begin("rnn_optimize");
+        {
+            let s = st.borrow();
+            rnn_st.borrow_mut().seed(
+                owned.iter().map(|&v| {
+                    let edges: Vec<Edge> = s.heaps[&v]
+                        .sorted()
+                        .iter()
+                        .map(|nb| (nb.id, nb.dist))
+                        .collect();
+                    (v, edges)
+                }),
+                rp.r,
+            );
+        }
+        let (rows, stats) = run_rnn_rounds(comm, &rnn_st, &owned, part, rp, quota);
+        comm.trace_end("rnn_optimize");
+        rnn_stats = Some(stats);
+        rows
+    } else if let Some(m) = cfg.graph_opt_m {
         comm.trace_begin("graph_optimize");
         let rows = optimize_distributed(comm, &st, &owned, part, cfg, m, quota);
         comm.trace_end("graph_optimize");
@@ -566,12 +608,14 @@ where
             );
         }
     }
+    let dist_evals = s.dist_evals + rnn_st.borrow().dist_evals;
     (
         rows,
         RankMetrics {
             iterations,
             updates_per_iter,
-            dist_evals: s.dist_evals,
+            dist_evals,
+            rnn: rnn_stats,
         },
     )
 }
@@ -623,7 +667,7 @@ fn optimize_distributed(
 /// Process local work items `0..total` in chunks of `quota`, with a global
 /// barrier after each chunk, looping until *every* rank is out of work —
 /// the Section 4.4 batched-communication pattern.
-fn batched<F: FnMut(usize)>(comm: &Comm, total: usize, quota: usize, mut f: F) {
+pub(crate) fn batched<F: FnMut(usize)>(comm: &Comm, total: usize, quota: usize, mut f: F) {
     let mut idx = 0;
     loop {
         let end = (idx + quota).min(total);
@@ -645,7 +689,12 @@ fn batched<F: FnMut(usize)>(comm: &Comm, total: usize, quota: usize, mut f: F) {
 /// Like [`batched`], but each item `i` costs `weights[i]` units against the
 /// per-window quota (a window always admits at least one item). Used for
 /// join rows, whose cost is their pair count.
-fn batched_weighted<F: FnMut(usize)>(comm: &Comm, weights: &[usize], quota: usize, mut f: F) {
+pub(crate) fn batched_weighted<F: FnMut(usize)>(
+    comm: &Comm,
+    weights: &[usize],
+    quota: usize,
+    mut f: F,
+) {
     let mut idx = 0;
     loop {
         let mut used = 0usize;

@@ -43,6 +43,7 @@ pub mod obs_report;
 pub mod partition;
 pub mod persist;
 pub mod query;
+pub mod rnn_dist;
 
 pub use bruteforce::distributed_ground_truth;
 pub use config::{CommOpts, DnndConfig};
@@ -51,3 +52,4 @@ pub use engine::{build, BuildReport, DnndOutput};
 pub use partition::Partitioner;
 pub use persist::{destroy_sharded, load_sharded, save_sharded};
 pub use query::{distributed_search_batch, DistSearchParams, SearchEngine};
+pub use rnn_dist::{rnn_optimize_distributed, RnnDistReport};

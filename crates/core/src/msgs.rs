@@ -43,10 +43,26 @@ pub const TAG_TYPE2_PLUS: u16 = 16;
 pub const TAG_TYPE3: u16 = 17;
 /// Graph-optimization reverse-edge shipment (Section 4.5).
 pub const TAG_OPT_EDGE: u16 = 18;
+/// RNN-Descent pair-distance request `(v, a, [b...])` to `owner(a)`: `v`'s
+/// occlusion scan needs `theta(a, b)` for every tail. Ids only.
+pub const TAG_RNN_REQ: u16 = 19;
+/// RNN-Descent vector forward: `owner(a)` ships `a`'s vector once per
+/// destination rank holding tails (the Type 2+ analogue of the 3-hop
+/// chain).
+pub const TAG_RNN_VEC: u16 = 20;
+/// RNN-Descent distance return `(v, a, [(b, theta(a, b))...])` back to
+/// `owner(v)` (the Type 3 analogue).
+pub const TAG_RNN_DIST: u16 = 21;
+/// RNN-Descent redirected-edge insert `(u, [(w, theta(u, w))...])`: `v`'s
+/// scan occluded `v -> w` behind `u`, so `w` joins `u`'s row.
+pub const TAG_RNN_INS: u16 = 22;
+/// RNN-Descent reverse edge `(w, v, d)`: `v` holds `v -> w` at `d`; ship
+/// `w -> v` to `owner(w)` at an outer-round boundary.
+pub const TAG_RNN_REV: u16 = 23;
 
 /// All protocol tags with their display names. The four neighbor-check
 /// messages carry the paper's exact Figure 4 labels.
-pub const TAG_NAMES: [(u16, &str); 9] = [
+pub const TAG_NAMES: [(u16, &str); 14] = [
     (TAG_INIT_REQ, "init_req"),
     (TAG_INIT_RESP, "init_resp"),
     (TAG_REV_NEW, "rev_new"),
@@ -56,6 +72,11 @@ pub const TAG_NAMES: [(u16, &str); 9] = [
     (TAG_TYPE2_PLUS, "Type 2+"),
     (TAG_TYPE3, "Type 3"),
     (TAG_OPT_EDGE, "opt_edge"),
+    (TAG_RNN_REQ, "rnn_req"),
+    (TAG_RNN_VEC, "rnn_vec"),
+    (TAG_RNN_DIST, "rnn_dist"),
+    (TAG_RNN_INS, "rnn_ins"),
+    (TAG_RNN_REV, "rnn_rev"),
 ];
 
 /// Display name for one DNND tag.
@@ -189,6 +210,55 @@ pub type Type3 = (PointId, Vec<(PointId, f32)>);
 /// distance `d`; ship `u <- v` to `owner(u)` (Section 4.5).
 pub type OptEdge = (PointId, PointId, f32);
 
+/// RNN-Descent pair-distance request `(v, a, [b...])`, delivered to
+/// `owner(a)`.
+pub type RnnReq = (PointId, PointId, Vec<PointId>);
+
+/// RNN-Descent vector forward: `a`'s vector shipped once to the rank
+/// owning every tail in `bs`; the receiver answers `owner(v)` with one
+/// batched distance row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RnnVec<P> {
+    /// The scanning vertex the distances are for.
+    pub v: PointId,
+    /// Head of the pair row (vector attached).
+    pub a: PointId,
+    /// Tails owned by the receiving rank.
+    pub bs: Vec<PointId>,
+    /// Feature vector of `a`.
+    pub vec: P,
+}
+
+impl<P: Wire> Wire for RnnVec<P> {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.v.encode(buf);
+        self.a.encode(buf);
+        self.bs.encode(buf);
+        self.vec.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        RnnVec {
+            v: PointId::decode(buf),
+            a: PointId::decode(buf),
+            bs: Vec::<PointId>::decode(buf),
+            vec: P::decode(buf),
+        }
+    }
+    fn wire_size(&self) -> usize {
+        self.v.wire_size() + self.a.wire_size() + self.bs.wire_size() + self.vec.wire_size()
+    }
+}
+
+/// RNN-Descent distance return `(v, a, [(b, theta(a, b))...])`.
+pub type RnnDist = (PointId, PointId, Vec<(PointId, f32)>);
+
+/// RNN-Descent redirected insert `(u, [(w, theta(u, w))...])`, delivered
+/// to `owner(u)`.
+pub type RnnIns = (PointId, Vec<(PointId, f32)>);
+
+/// RNN-Descent reverse edge `(w, v, d)`, delivered to `owner(w)`.
+pub type RnnRev = (PointId, PointId, f32);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,21 +323,25 @@ mod tests {
 
     #[test]
     fn tags_are_distinct() {
-        let tags = [
-            TAG_INIT_REQ,
-            TAG_INIT_RESP,
-            TAG_REV_NEW,
-            TAG_REV_OLD,
-            TAG_TYPE1,
-            TAG_TYPE2,
-            TAG_TYPE2_PLUS,
-            TAG_TYPE3,
-            TAG_OPT_EDGE,
-        ];
-        let mut sorted = tags.to_vec();
+        let mut sorted: Vec<u16> = TAG_NAMES.iter().map(|&(t, _)| t).collect();
+        let len = sorted.len();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), tags.len());
-        assert!(tags.iter().all(|&t| (t as usize) < ygm::MAX_TAGS));
+        assert_eq!(sorted.len(), len);
+        assert!(sorted.iter().all(|&t| (t as usize) < ygm::MAX_TAGS));
+    }
+
+    #[test]
+    fn rnn_vec_round_trip() {
+        let m = RnnVec {
+            v: 7,
+            a: 3,
+            bs: vec![1, 4, 9],
+            vec: vec![0.25f32; 6],
+        };
+        let enc = encode_to_bytes(&m);
+        assert_eq!(enc.len(), m.wire_size());
+        let back: RnnVec<Vec<f32>> = decode_from_bytes(enc);
+        assert_eq!(back, m);
     }
 }

@@ -107,6 +107,32 @@ fn fill_faults(report: &mut RunReport, faults: Option<&FaultReport>) {
     });
 }
 
+/// Fill the schema-v5 `rnn` section from the RNN pass's knobs and
+/// all-reduced stats (the binaries call this whenever `--opt-mode rnn`
+/// ran; the section is the deterministic fingerprint of the pass).
+pub fn fill_rnn(report: &mut RunReport, params: nnd::rnn::RnnParams, stats: &nnd::rnn::RnnStats) {
+    report.rnn = Some(obs::RnnSection {
+        t1: params.t1 as u64,
+        t2: params.t2 as u64,
+        k0: params.k0 as u64,
+        r: params.r as u64,
+        rounds: stats
+            .rounds
+            .iter()
+            .map(|rd| obs::RnnRoundReport {
+                outer: rd.outer,
+                inner: rd.inner,
+                pairs: rd.pairs,
+                pruned: rd.pruned,
+                added: rd.added,
+            })
+            .collect(),
+        reverse_added: stats.reverse_added.clone(),
+        dist_evals: stats.dist_evals,
+        repaired: stats.repaired,
+    });
+}
+
 /// Start a [`RunReport`] from a construction run's [`BuildReport`],
 /// including the convergence trajectory.
 pub fn report_from_build(binary: &str, r: &BuildReport) -> RunReport {
@@ -131,6 +157,29 @@ pub fn report_from_build(binary: &str, r: &BuildReport) -> RunReport {
             updates: u,
         })
         .collect();
+    report
+}
+
+/// Start a [`RunReport`] from a standalone distributed RNN-Descent pass
+/// (`dnnd-optimize --opt-mode rnn`), including the schema-v5 `rnn`
+/// section.
+pub fn report_from_rnn_dist(
+    binary: &str,
+    params: nnd::rnn::RnnParams,
+    r: &crate::rnn_dist::RnnDistReport,
+) -> RunReport {
+    let mut report = RunReport::new(binary);
+    report.n_ranks = r.n_ranks as u64;
+    report.distance_evals = r.stats.dist_evals;
+    report.sim_secs = r.sim_secs;
+    report.wall_secs = r.wall_secs;
+    fill_breakdown(&mut report, &r.breakdown);
+    fill_tags(&mut report, &r.tags, &r.total);
+    fill_matrix(&mut report, &r.matrix);
+    fill_phases(&mut report, &r.phases);
+    fill_critical_path(&mut report, &r.phases, r.sim_ns, r.n_ranks);
+    fill_faults(&mut report, r.faults.as_ref());
+    fill_rnn(&mut report, params, &r.stats);
     report
 }
 
@@ -255,6 +304,7 @@ mod tests {
                 retransmits: 3,
                 ..FaultReport::default()
             }),
+            rnn: None,
         };
         let r = report_from_build("dnnd-construct", &br);
         assert_eq!(r.total_bytes, 4_640);

@@ -14,7 +14,10 @@
 //! * [`refine`] — incremental insert/remove with short refinement passes
 //!   (the paper's Section 7 future work);
 //! * [`mod@diversify`] — PyNNDescent's occlusion pruning of search graphs
-//!   (extension).
+//!   (extension);
+//! * [`rnn`] — RNN-Descent (relative-neighborhood descent with occlusion
+//!   pruning, after GRNND / `mini_rnn`): the second graph-optimization
+//!   mode, producing sparser graphs at equal recall (extension).
 //!
 //! The distributed engine in the `dnnd` crate reuses [`heap`] and [`graph`]
 //! so the two implementations differ only in *where* vertices live and how
@@ -39,6 +42,7 @@ pub mod heap;
 pub mod index;
 pub mod nndescent;
 pub mod refine;
+pub mod rnn;
 pub mod rptree;
 pub mod search;
 pub mod searcher;
@@ -49,6 +53,7 @@ pub use heap::{Neighbor, NeighborHeap};
 pub use index::{IndexParams, InitStrategy, NnIndex};
 pub use nndescent::{build, build_traced, build_with_init, BuildStats, NnDescentParams};
 pub use refine::{insert_points, remove_points};
+pub use rnn::{rnn_optimize, RnnParams, RnnStats};
 pub use rptree::{rp_forest_candidates, RpForestParams};
 pub use search::{
     search, search_batch, search_batch_traced, BatchResult, SearchParams, SearchResult,

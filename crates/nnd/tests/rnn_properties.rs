@@ -1,0 +1,157 @@
+//! Property tests of the RNN-Descent optimization invariants: degree
+//! bounds after every individual round, row hygiene (no self loops or
+//! duplicates), the `(dist, id)` tie order of the occlusion rule, and the
+//! reachability guarantee of the post-cap connectivity repair.
+
+use dataset::batch::BatchMetric;
+use dataset::metric::L2;
+use dataset::set::PointId;
+use dataset::synth::{gaussian_mixture, MixtureParams};
+use nnd::nndescent::{build, NnDescentParams};
+use nnd::rnn::{canonical, rnn_optimize, scan_row, RnnEdge, RnnParams, RnnState};
+use proptest::prelude::*;
+
+/// A small real optimization instance: dataset seed, size, and knobs.
+fn instance() -> impl Strategy<Value = (u64, usize, usize, usize)> {
+    (0u64..50, 60usize..160, 4usize..8, 5usize..12)
+}
+
+/// Row hygiene: canonical `(dist, id)` order, no self loop, no duplicate
+/// target, length within `cap`.
+fn assert_row_ok(row: &[RnnEdge], owner: PointId, cap: usize) -> Result<(), String> {
+    prop_assert!(row.len() <= cap, "row {owner} over cap: {}", row.len());
+    for w in row.windows(2) {
+        prop_assert!(
+            canonical(&w[0], &w[1]) != std::cmp::Ordering::Greater,
+            "row {owner} out of canonical order"
+        );
+    }
+    let mut ids: Vec<PointId> = row.iter().map(|e| e.id).collect();
+    prop_assert!(!ids.contains(&owner), "self loop at {owner}");
+    ids.sort_unstable();
+    ids.dedup();
+    prop_assert_eq!(ids.len(), row.len(), "duplicate edge at {}", owner);
+    Ok(())
+}
+
+/// A synthetic row for pure `scan_row` checks: distinct ids with random
+/// distances and flags, in canonical order (owner is vertex 0).
+fn row_strategy() -> impl Strategy<Value = Vec<RnnEdge>> {
+    prop::collection::vec((0.5f32..20.0, any::<bool>()), 1..12).prop_map(|edges| {
+        let mut row: Vec<RnnEdge> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(dist, new))| RnnEdge {
+                id: i as PointId + 1,
+                dist,
+                new,
+            })
+            .collect();
+        row.sort_unstable_by(canonical);
+        row
+    })
+}
+
+/// Deterministic synthetic pair distance, symmetric in the ids.
+fn pair_d(a: PointId, b: PointId) -> f32 {
+    let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+    ((lo * 31 + hi * 17) % 97) as f32 / 7.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After every inner round and reverse exchange the working rows obey
+    /// the capacity `r`; after `finish` every row obeys `k0`, and every
+    /// vertex keeps at least one in-edge (connectivity repair).
+    #[test]
+    fn degree_bounds_hold_after_every_round(inst in instance()) {
+        let (seed, n, k, k0) = inst;
+        let base = gaussian_mixture(MixtureParams::embedding_like(n, 6), seed);
+        let (g, _) = build(&base, &L2, NnDescentParams::new(k).seed(seed));
+        let params = RnnParams::new(k0).t1(2).t2(3);
+        let cache = L2.preprocess(&base);
+        let mut st = RnnState::from_graph(&g, params);
+        st.add_reverse_edges();
+        for (v, row) in st.rows().iter().enumerate() {
+            assert_row_ok(row, v as PointId, params.r)?;
+        }
+        for outer in 0..params.t1 {
+            for inner in 0..params.t2 {
+                let round = st.inner_round(&base, &L2, &cache, outer as u64, inner as u64);
+                for (v, row) in st.rows().iter().enumerate() {
+                    assert_row_ok(row, v as PointId, params.r)?;
+                }
+                if round.pairs == 0 {
+                    break;
+                }
+            }
+            if outer + 1 < params.t1 {
+                st.add_reverse_edges();
+                for (v, row) in st.rows().iter().enumerate() {
+                    assert_row_ok(row, v as PointId, params.r)?;
+                }
+            }
+        }
+        let (opt, stats) = st.finish();
+        prop_assert!(opt.max_degree() <= k0, "k0 cap violated");
+        let mut indeg = vec![0u32; opt.len()];
+        for v in 0..opt.len() as PointId {
+            let ids: Vec<PointId> = opt.neighbors(v).iter().map(|&(id, _)| id).collect();
+            prop_assert!(!ids.contains(&v), "self loop in final graph");
+            for &(u, _) in opt.neighbors(v) {
+                indeg[u as usize] += 1;
+            }
+        }
+        prop_assert!(indeg.iter().all(|&d| d > 0), "orphan vertex after repair");
+        prop_assert_eq!(
+            stats.rounds.iter().map(|r| r.pairs).sum::<u64>(),
+            stats.dist_evals
+        );
+    }
+
+    /// `scan_row` keeps a subset in ascending index order, never invents
+    /// edges, and its keep/prune verdicts follow the `(dist, id)` rule
+    /// exactly: an edge is pruned iff some kept, flagged-relevant,
+    /// strictly-smaller `(theta, id)` neighbor precedes it.
+    #[test]
+    fn occlusion_respects_canonical_tie_order(row in row_strategy()) {
+        let out = scan_row(&row, |i, j| pair_d(row[i].id, row[j].id));
+        prop_assert!(out.kept.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(out.kept.len() + out.inserts.len(), row.len());
+        // Re-derive every verdict independently.
+        for (j, w) in row.iter().enumerate() {
+            let occluder = out
+                .kept
+                .iter()
+                .take_while(|&&i| i < j)
+                .find(|&&i| {
+                    let u = &row[i];
+                    (u.new || w.new)
+                        && (pair_d(u.id, w.id), u.id) < (w.dist, w.id)
+                })
+                .copied();
+            match occluder {
+                None => prop_assert!(out.kept.contains(&j), "edge {j} wrongly pruned"),
+                Some(i) => prop_assert!(
+                    out.inserts.contains(&(row[i].id, w.id, pair_d(row[i].id, w.id))),
+                    "edge {j} should redirect into {i}'s row"
+                ),
+            }
+        }
+    }
+
+    /// The whole optimization is a pure function of its inputs: two runs
+    /// agree bit-for-bit on the graph and on every counter.
+    #[test]
+    fn optimize_is_deterministic(inst in instance()) {
+        let (seed, n, k, k0) = inst;
+        let base = gaussian_mixture(MixtureParams::embedding_like(n, 5), seed);
+        let (g, _) = build(&base, &L2, NnDescentParams::new(k).seed(seed ^ 1));
+        let params = RnnParams::new(k0).t1(2).t2(4);
+        let (a, sa) = rnn_optimize(&g, &base, &L2, params);
+        let (b, sb) = rnn_optimize(&g, &base, &L2, params);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(sa, sb);
+    }
+}

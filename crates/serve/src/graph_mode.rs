@@ -1,0 +1,118 @@
+//! Per-deployment graph-mode selection: which optimized graph a serving
+//! deployment traverses.
+//!
+//! A store can hold up to three graphs — the raw NN-Descent output
+//! (`knng/`), the Section 4.5 reverse-prune pass (`opt/`), and the
+//! RNN-Descent pass (`rnn/`, written by `dnnd-optimize --opt-mode rnn`).
+//! [`GraphMode`] names the choice; [`GraphMode::resolve`] turns it into a
+//! concrete store prefix given what the store actually contains. `Auto`
+//! prefers the sparsest traversal-ready graph: `rnn` over `opt` over
+//! `knng`.
+
+/// Which graph a serving deployment loads from the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GraphMode {
+    /// Prefer `rnn/`, then `opt/`, then fall back to `knng/`.
+    #[default]
+    Auto,
+    /// The RNN-Descent-optimized graph (`rnn/`); error if absent.
+    Rnn,
+    /// The reverse-prune-optimized graph (`opt/`); error if absent.
+    Opt,
+    /// The raw NN-Descent output (`knng/`).
+    Knng,
+}
+
+impl GraphMode {
+    /// All accepted `--graph` flag values.
+    pub const NAMES: &'static [&'static str] = &["auto", "rnn", "opt", "knng"];
+
+    /// Parse a `--graph` flag value.
+    pub fn from_name(s: &str) -> Option<GraphMode> {
+        match s {
+            "auto" => Some(GraphMode::Auto),
+            "rnn" => Some(GraphMode::Rnn),
+            "opt" => Some(GraphMode::Opt),
+            "knng" => Some(GraphMode::Knng),
+            _ => None,
+        }
+    }
+
+    /// The flag value (inverse of [`Self::from_name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphMode::Auto => "auto",
+            GraphMode::Rnn => "rnn",
+            GraphMode::Opt => "opt",
+            GraphMode::Knng => "knng",
+        }
+    }
+
+    /// Resolve to a store prefix. `has` reports whether a prefix holds a
+    /// saved graph (e.g. `store.contains("rnn/offsets")`). Explicit modes
+    /// fail when their graph is missing instead of silently serving a
+    /// different one.
+    pub fn resolve(self, has: impl Fn(&str) -> bool) -> Result<&'static str, String> {
+        let pick = |prefix: &'static str| -> Result<&'static str, String> {
+            if has(prefix) {
+                Ok(prefix)
+            } else {
+                Err(format!(
+                    "store has no {prefix:?} graph (run dnnd-optimize{} first)",
+                    if prefix == "rnn" {
+                        " --opt-mode rnn"
+                    } else {
+                        ""
+                    }
+                ))
+            }
+        };
+        match self {
+            GraphMode::Auto => Ok(if has("rnn") {
+                "rnn"
+            } else if has("opt") {
+                "opt"
+            } else {
+                "knng"
+            }),
+            GraphMode::Rnn => pick("rnn"),
+            GraphMode::Opt => pick("opt"),
+            GraphMode::Knng => pick("knng"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_round_trip() {
+        for &n in GraphMode::NAMES {
+            assert_eq!(GraphMode::from_name(n).unwrap().name(), n);
+        }
+        assert_eq!(GraphMode::from_name("hnsw"), None);
+    }
+
+    #[test]
+    fn auto_prefers_rnn_then_opt_then_knng() {
+        let all = |_: &str| true;
+        assert_eq!(GraphMode::Auto.resolve(all).unwrap(), "rnn");
+        let no_rnn = |p: &str| p != "rnn";
+        assert_eq!(GraphMode::Auto.resolve(no_rnn).unwrap(), "opt");
+        let only_knng = |p: &str| p == "knng";
+        assert_eq!(GraphMode::Auto.resolve(only_knng).unwrap(), "knng");
+        // Even an empty store resolves auto to knng — the load itself will
+        // report the missing graph.
+        assert_eq!(GraphMode::Auto.resolve(|_| false).unwrap(), "knng");
+    }
+
+    #[test]
+    fn explicit_modes_fail_when_absent() {
+        let only_knng = |p: &str| p == "knng";
+        assert_eq!(GraphMode::Knng.resolve(only_knng).unwrap(), "knng");
+        let err = GraphMode::Rnn.resolve(only_knng).unwrap_err();
+        assert!(err.contains("--opt-mode rnn"), "{err}");
+        assert!(GraphMode::Opt.resolve(only_knng).is_err());
+    }
+}

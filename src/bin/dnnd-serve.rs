@@ -27,7 +27,7 @@ use dnnd_repro::cli::{die, parse_fault_plan, read_meta, Elem, ObsOuts};
 use metall::Store;
 use nnd::KnnGraph;
 use serve::cache::QuantizeKey;
-use serve::{attach_serving, run_serve, ServeOutcome, ServeParams};
+use serve::{attach_serving, run_serve, GraphMode, ServeOutcome, ServeParams};
 use std::sync::Arc;
 use ygm::{World, WorldReport};
 
@@ -105,11 +105,18 @@ fn main() {
 
     let store = Store::open(&store_dir).unwrap_or_else(|e| die(&format!("cannot open store: {e}")));
     let (_, elem, metric_name) = read_meta(&store);
-    let graph_key = if store.contains("opt/offsets") {
-        "opt"
-    } else {
-        "knng"
-    };
+    // Per-deployment graph-mode selection: --graph {auto,rnn,opt,knng};
+    // auto prefers the sparsest traversal-ready graph (rnn > opt > knng).
+    let mode_name: String = args.get("graph", "auto".to_string());
+    let mode = GraphMode::from_name(&mode_name).unwrap_or_else(|| {
+        die(&format!(
+            "unknown --graph {mode_name:?} (expected one of {:?})",
+            GraphMode::NAMES
+        ))
+    });
+    let graph_key = mode
+        .resolve(|prefix| store.contains(&format!("{prefix}/offsets")))
+        .unwrap_or_else(|e| die(&e));
     let graph = KnnGraph::load(&store, graph_key).unwrap_or_else(|e| die(&e.to_string()));
     println!(
         "serving {} graph online: {} vertices, {} edges ({}, {metric_name}, {ranks} ranks)",

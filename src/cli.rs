@@ -11,7 +11,8 @@
 //! meta/metric    string        "l2" | "sql2" | "cosine" | "l1"
 //! dataset/...    PointSet      (element-type specific layout)
 //! knng/...       KnnGraph      raw NN-Descent output
-//! opt/...        KnnGraph      written by dnnd-optimize
+//! opt/...        KnnGraph      written by dnnd-optimize (reverse-prune)
+//! rnn/...        KnnGraph      written by dnnd-optimize --opt-mode rnn
 //! ```
 
 use dataset::io;

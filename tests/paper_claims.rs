@@ -178,6 +178,76 @@ fn figure_2_quality_ordering() {
     );
 }
 
+/// The RNN-Descent extension's claim (after GRNND): occlusion pruning
+/// yields a graph that matches or beats the Section 4.5 reverse-prune pass
+/// on search recall *at equal beam width* while carrying strictly fewer
+/// edges. Fixture mirrors the pipeline golden preset (DEEP-like 600 base
+/// points, k=8, seed 7, unoptimized protocol) and the serving layer's
+/// default search parameters.
+#[test]
+fn rnn_mode_recall_parity_with_fewer_edges() {
+    let (n, pool_n, k, seed) = (600usize, 32usize, 8u32, 7u64);
+    let (base, queries) = split_queries(presets::deep1b_like(n + pool_n, seed), pool_n);
+    let base = Arc::new(base);
+
+    let out = build(
+        &World::new(2),
+        &base,
+        &L2,
+        DnndConfig::new(k as usize)
+            .seed(seed)
+            .comm_opts(CommOpts::unoptimized()),
+    );
+    let raw = out.graph;
+
+    // Section 4.5 pass at its dnnd-optimize default (prune to ceil(k*1.5)).
+    let rp = raw.merge_reverse().prune((k as f64 * 1.5).ceil() as usize);
+    // RNN-Descent at its default schedule, k0 = 10.
+    let (rnn, _) = dnnd::rnn_optimize_distributed(
+        &World::new(2),
+        &base,
+        &L2,
+        &raw,
+        nnd::rnn::RnnParams::new(10),
+    );
+
+    assert!(
+        rnn.edge_count() < rp.edge_count(),
+        "rnn graph not sparser: {} vs {} edges",
+        rnn.edge_count(),
+        rp.edge_count()
+    );
+
+    // Equal beam width (the serving layer's defaults): only the graph
+    // differs between the two searches.
+    let truth = brute_force_queries(&base, &queries, &L2, k as usize);
+    let search = |g: &nnd::KnnGraph| {
+        let batch = search_batch(
+            g,
+            &base,
+            &L2,
+            &queries,
+            SearchParams::new(12).epsilon(0.1).entry_candidates(24),
+        );
+        let ids: Vec<Vec<u32>> = batch
+            .ids
+            .iter()
+            .map(|row| row.iter().take(k as usize).copied().collect())
+            .collect();
+        mean_recall(&ids, &truth)
+    };
+    let rp_recall = search(&rp);
+    let rnn_recall = search(&rnn);
+    assert!(
+        rnn_recall >= rp_recall,
+        "rnn recall {rnn_recall:.4} below reverse-prune {rp_recall:.4} at equal beam width"
+    );
+    assert!(
+        rnn_recall > 0.9,
+        "rnn absolute recall floor: {rnn_recall:.4}"
+    );
+}
+
 /// The paper's Section 4.4 rationale: batched barriers do not change the
 /// result, only the communication schedule.
 #[test]
