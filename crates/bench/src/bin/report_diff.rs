@@ -90,6 +90,16 @@ fn threshold_for(name: &str) -> (f64, Direction) {
         "serving.answered" | "serving.cache_hits" => (0.0, LowerIsWorse),
         "serving.p50_ns" | "serving.p95_ns" | "serving.p99_ns" => (0.10, HigherIsWorse),
         n if n.starts_with("serving.") => (0.0, HigherIsWorse),
+        // Per-query forensics: the whole section is a pure function of
+        // the serve seed, so every sampler counter gates exactly in both
+        // directions (fewer retained records means the sampler lost
+        // coverage); bit-identity of the records themselves is enforced
+        // by the digest hard-check, not a relative threshold.
+        "query_forensics.retained"
+        | "query_forensics.retained_slow"
+        | "query_forensics.retained_exemplar"
+        | "query_forensics.considered" => (0.0, LowerIsWorse),
+        n if n.starts_with("query_forensics.") => (0.0, HigherIsWorse),
         // Critical-path attribution: the path length and its dominant
         // buckets follow the virtual-time gates; the small noisy buckets
         // (stall residue, retransmit charge) and the imbalance score get
@@ -251,6 +261,35 @@ fn collect(base: &RunReport, cand: &RunReport, thr: Option<f64>) -> Vec<MetricRo
         }
     }
 
+    // Per-query forensics: present when either run profiled queries; a
+    // side without the section contributes zeros. Sampler counters gate
+    // exactly (the section is seed-deterministic).
+    if base.query_forensics.is_some() || cand.query_forensics.is_some() {
+        let d = obs::QueryForensicsSection::default();
+        let b = base.query_forensics.as_ref().unwrap_or(&d);
+        let c = cand.query_forensics.as_ref().unwrap_or(&d);
+        for (key, bv, cv) in [
+            ("considered", b.considered, c.considered),
+            ("retained", b.retained, c.retained),
+            ("retained_slow", b.retained_slow, c.retained_slow),
+            (
+                "retained_exemplar",
+                b.retained_exemplar,
+                c.retained_exemplar,
+            ),
+            ("window_slots", b.window_slots, c.window_slots),
+            ("slow_n", b.slow_n, c.slow_n),
+        ] {
+            push(
+                &mut rows,
+                &format!("query_forensics.{key}"),
+                bv as f64,
+                cv as f64,
+                thr,
+            );
+        }
+    }
+
     // RNN-Descent optimization counters: the pass is deterministic, so
     // every aggregate gates exactly (threshold 0). A side without the
     // section contributes zeros; growth from zero gates.
@@ -340,6 +379,9 @@ fn missing_sections(base: &RunReport, cand: &RunReport) -> Vec<&'static str> {
     if base.rnn.is_some() && cand.rnn.is_none() {
         missing.push("rnn");
     }
+    if base.query_forensics.is_some() && cand.query_forensics.is_none() {
+        missing.push("query_forensics");
+    }
     if base.critical_path.is_some() && cand.critical_path.is_none() {
         missing.push("critical_path");
     }
@@ -347,6 +389,18 @@ fn missing_sections(base: &RunReport, cand: &RunReport) -> Vec<&'static str> {
         missing.push("matrix");
     }
     missing
+}
+
+/// Bit-identity hard check: the forensics digest is a pure function of
+/// the serve seed and parameters, so when both reports carry the section
+/// the digests must match verbatim. Compared as the original `u64` (a
+/// relative-delta row would round through `f64` and could miss drift in
+/// the low bits).
+fn forensics_digest_drift(base: &RunReport, cand: &RunReport) -> Option<(u64, u64)> {
+    match (&base.query_forensics, &cand.query_forensics) {
+        (Some(b), Some(c)) if b.digest != c.digest => Some((b.digest, c.digest)),
+        _ => None,
+    }
 }
 
 fn fmt_value(v: f64) -> String {
@@ -441,11 +495,19 @@ fn run() -> Result<bool, String> {
     }
 
     let missing = missing_sections(&base, &cand);
+    let digest_drift = forensics_digest_drift(&base, &cand);
     let regressed: Vec<&MetricRow> = rows.iter().filter(|r| r.regressed()).collect();
     if !missing.is_empty() {
         println!(
             "\nFAIL: candidate report is missing section(s) present in the baseline: {}",
             missing.join(", ")
+        );
+    }
+    if let Some((b, c)) = digest_drift {
+        println!(
+            "\nFAIL: query_forensics digest drifted: {b:016x} -> {c:016x} \
+             (the section is seed-deterministic; any drift means the \
+             lifecycle records changed)"
         );
     }
     if !regressed.is_empty() {
@@ -461,7 +523,7 @@ fn run() -> Result<bool, String> {
             );
         }
     }
-    if missing.is_empty() && regressed.is_empty() {
+    if missing.is_empty() && regressed.is_empty() && digest_drift.is_none() {
         println!("\nPASS: all gated metrics within thresholds");
         Ok(true)
     } else {
@@ -622,6 +684,52 @@ mod tests {
         // A candidate that silently dropped the section hard-fails.
         cand.rnn = None;
         assert_eq!(missing_sections(&base, &cand), vec!["rnn"]);
+    }
+
+    #[test]
+    fn forensics_counters_gate_exactly_and_digest_drift_hard_fails() {
+        let section = |retained: u64, digest: u64| obs::QueryForensicsSection {
+            window_slots: 8,
+            slow_n: 4,
+            considered: 150,
+            retained,
+            retained_slow: retained,
+            digest,
+            ..Default::default()
+        };
+        let mut base = report(1.0, 1);
+        let mut cand = report(1.0, 1);
+        base.query_forensics = Some(section(12, 0xAB));
+        cand.query_forensics = Some(section(12, 0xAB));
+        let rows = collect(&base, &cand, None);
+        assert!(rows
+            .iter()
+            .filter(|r| r.name.starts_with("query_forensics."))
+            .all(|r| !r.regressed()));
+        assert!(forensics_digest_drift(&base, &cand).is_none());
+        // Lost sampler coverage gates (threshold 0, downward).
+        cand.query_forensics = Some(section(11, 0xAB));
+        let rows = collect(&base, &cand, None);
+        assert!(row_named(&rows, "query_forensics.retained").regressed());
+        // Digest drift is a hard failure even when every counter agrees.
+        cand.query_forensics = Some(section(12, 0xCD));
+        let rows = collect(&base, &cand, None);
+        assert!(rows
+            .iter()
+            .filter(|r| r.name.starts_with("query_forensics."))
+            .all(|r| !r.regressed()));
+        assert_eq!(forensics_digest_drift(&base, &cand), Some((0xAB, 0xCD)));
+        // A candidate that silently dropped the section hard-fails.
+        cand.query_forensics = None;
+        assert_eq!(missing_sections(&base, &cand), vec!["query_forensics"]);
+        assert!(forensics_digest_drift(&base, &cand).is_none());
+    }
+
+    #[test]
+    fn forensics_free_pair_has_no_forensics_rows() {
+        let r = report(1.0, 1);
+        let rows = collect(&r, &r, None);
+        assert!(!rows.iter().any(|m| m.name.starts_with("query_forensics.")));
     }
 
     #[test]

@@ -199,12 +199,13 @@ pub fn report_from_world<T>(binary: &str, n_ranks: usize, r: &WorldReport<T>) ->
 }
 
 /// Fold the tracer's histogram summaries into `report` (no-op for `None`),
-/// along with the span-ring overflow counter (satellite: a nonzero
-/// `dropped_spans` means the trace is incomplete and is warned about).
+/// along with the span-ring overflow counters (satellite: a nonzero
+/// `dropped_spans` means the trace is incomplete and is warned about; the
+/// per-rank breakdown shows *which* ring overflowed).
 pub fn attach_histograms(report: &mut RunReport, tracer: Option<&Tracer>) {
     if let Some(t) = tracer {
         report.add_histograms(&t.hist_snapshots());
-        report.set_dropped_spans(t.dropped_events() as u64);
+        report.set_dropped_spans_per_rank(t.dropped_events_per_rank());
     }
 }
 

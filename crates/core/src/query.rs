@@ -198,6 +198,43 @@ fn group_by_owner(
     groups
 }
 
+/// Per-query search cost, counted home-rank-side where the greedy loop
+/// runs. All three counters are pure functions of the `(graph, params,
+/// seed key)` tuple — the visited-set admission and the round-boundary
+/// fold are schedule-independent (see the determinism contract above), and
+/// owner-grouping only changes how the candidate list is *split* across
+/// Score messages, never its total length — so profiles are bit-identical
+/// across reruns and rank counts. The serving layer's per-query forensics
+/// records build on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryProfile {
+    /// Frontier vertices expanded (Expand requests issued).
+    pub expansions: u64,
+    /// Candidate distances requested (sum of Score batch lengths,
+    /// seed entries included).
+    pub dist_evals: u64,
+    /// Greedy rounds this query stayed live.
+    pub rounds: u64,
+}
+
+impl Wire for QueryProfile {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.expansions.encode(buf);
+        self.dist_evals.encode(buf);
+        self.rounds.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        QueryProfile {
+            expansions: u64::decode(buf),
+            dist_evals: u64::decode(buf),
+            rounds: u64::decode(buf),
+        }
+    }
+    fn wire_size(&self) -> usize {
+        self.expansions.wire_size() + self.dist_evals.wire_size() + self.rounds.wire_size()
+    }
+}
+
 /// Per-query state at its home rank.
 struct QueryState {
     /// Best-`l` max-heap.
@@ -209,6 +246,7 @@ struct QueryState {
     /// the round boundary (the determinism contract).
     round_scored: Vec<(PointId, f32)>,
     done: bool,
+    profile: QueryProfile,
 }
 
 impl QueryState {
@@ -219,6 +257,7 @@ impl QueryState {
             visited: HashSet::new(),
             round_scored: Vec::new(),
             done: false,
+            profile: QueryProfile::default(),
         }
     }
 
@@ -344,7 +383,9 @@ where
                     let part = Partitioner::new(c.n_ranks());
                     let query_vec = s.vectors[qid as usize].clone();
                     let q = &mut s.queries[qid as usize];
-                    let unvisited = ids.into_iter().filter(|&w| q.visited.insert(w));
+                    let unvisited: Vec<PointId> =
+                        ids.into_iter().filter(|&w| q.visited.insert(w)).collect();
+                    q.profile.dist_evals += unvisited.len() as u64;
                     for (dest, ws) in group_by_owner(part, unvisited) {
                         c.async_send(
                             dest,
@@ -385,6 +426,19 @@ where
         requests: &[(u64, P)],
         params: DistSearchParams,
     ) -> Vec<Vec<PointId>> {
+        self.run_batch_profiled(comm, requests, params).0
+    }
+
+    /// [`Self::run_batch`] plus a per-request [`QueryProfile`] (expansions,
+    /// distance evals, rounds), in request order. The profiles inherit the
+    /// result determinism contract: bit-identical across reruns and rank
+    /// counts for a given `(graph, params, seed key)`.
+    pub fn run_batch_profiled(
+        &self,
+        comm: &Comm,
+        requests: &[(u64, P)],
+        params: DistSearchParams,
+    ) -> (Vec<Vec<PointId>>, Vec<QueryProfile>) {
         params
             .validate()
             .unwrap_or_else(|e| panic!("invalid DistSearchParams: {e}"));
@@ -408,10 +462,12 @@ where
                 let q = &mut s.queries[qid];
                 let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ (key << 16));
                 let starts = params.l.max(params.entry_candidates).min(n);
-                let fresh = index_sample(&mut rng, n, starts)
+                let fresh: Vec<PointId> = index_sample(&mut rng, n, starts)
                     .into_iter()
                     .map(|idx| idx as PointId)
-                    .filter(|&w| q.visited.insert(w));
+                    .filter(|&w| q.visited.insert(w))
+                    .collect();
+                q.profile.dist_evals += fresh.len() as u64;
                 for (dest, ws) in group_by_owner(part, fresh) {
                     comm.async_send(
                         dest,
@@ -445,6 +501,7 @@ where
                     if q.done {
                         continue;
                     }
+                    q.profile.rounds += 1;
                     q.fold_round(params.l, relax);
                     let d_max = q.d_max(params.l);
                     match q.frontier.pop() {
@@ -453,6 +510,7 @@ where
                             if d > relax * d_max && q.best.len() >= params.l {
                                 q.done = true;
                             } else {
+                                q.profile.expansions += 1;
                                 comm.async_send(part.owner(v), TAG_EXPAND, &(qid as u32, me, v));
                             }
                         }
@@ -481,9 +539,10 @@ where
                 let mut pairs: Vec<(f32, PointId)> =
                     q.best.iter().map(|&(OrdF32(d), id)| (d, id)).collect();
                 pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-                pairs.into_iter().map(|(_, id)| id).collect()
+                let ids: Vec<PointId> = pairs.into_iter().map(|(_, id)| id).collect();
+                (ids, q.profile)
             })
-            .collect()
+            .unzip()
     }
 
     /// The metric this engine scores with.
@@ -673,6 +732,47 @@ mod tests {
             let (ids, _) =
                 distributed_search_batch(&World::new(ranks), &base, &graph, &queries, &L2, params);
             assert_eq!(ids, ref_ids, "results differ at {ranks} ranks");
+        }
+    }
+
+    #[test]
+    fn profiles_are_nonzero_and_rank_count_invariant() {
+        // QueryProfile counters are pure functions of (graph, params, seed
+        // key): identical across rank counts, and every answered query
+        // scored at least its seed entries.
+        let (base, graph, queries) = setup(400, 8);
+        let queries = Arc::new(queries);
+        let params = DistSearchParams::new(8).epsilon(0.2).entry_candidates(32);
+        let profiles_at = |ranks: usize| {
+            let report = World::new(ranks).run(|comm| {
+                let engine = SearchEngine::new(comm, Arc::clone(&base), Arc::clone(&graph), L2);
+                let mine: Vec<(u64, Vec<f32>)> = (0..queries.len())
+                    .filter(|q| q % comm.n_ranks() == comm.rank())
+                    .map(|idx| (idx as u64, queries.point(idx as PointId).clone()))
+                    .collect();
+                let (_, profiles) = engine.run_batch_profiled(comm, &mine, params);
+                mine.iter()
+                    .map(|(idx, _)| *idx)
+                    .zip(profiles)
+                    .collect::<Vec<(u64, QueryProfile)>>()
+            });
+            let mut all: Vec<(u64, QueryProfile)> = report.results.into_iter().flatten().collect();
+            all.sort_unstable_by_key(|&(idx, _)| idx);
+            all
+        };
+        let reference = profiles_at(1);
+        assert_eq!(reference.len(), queries.len());
+        for (_, p) in &reference {
+            assert!(p.dist_evals >= 32, "seed entries must be counted: {p:?}");
+            assert!(p.rounds >= 1);
+            assert!(p.expansions <= p.rounds, "one expansion per live round");
+        }
+        for ranks in [2usize, 4] {
+            assert_eq!(
+                profiles_at(ranks),
+                reference,
+                "profiles differ at {ranks} ranks"
+            );
         }
     }
 

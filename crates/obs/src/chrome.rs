@@ -146,6 +146,29 @@ pub fn chrome_trace(tracer: &Tracer) -> J {
                     ]);
                     events.push(J::Obj(obj));
                 }
+                EventKind::AsyncBegin | EventKind::AsyncEnd => {
+                    // Nestable async span halves: Perfetto pairs them on
+                    // (cat, id, name). The serving layer opens one per
+                    // query at arrival and closes it at answer/shed, so a
+                    // query's lifecycle shows as one span joining the
+                    // dispatch flow arrows. Ids share the hex-string
+                    // encoding with flow events (they reuse the same
+                    // > 2^53 id namespace).
+                    let begin = ev.kind == EventKind::AsyncBegin;
+                    events.push(J::Obj(vec![
+                        ("ph".into(), J::str(if begin { "b" } else { "e" })),
+                        ("cat".into(), J::str("query_lifecycle")),
+                        ("name".into(), J::str(ev.name)),
+                        ("id".into(), J::str(format!("{:016x}", ev.arg))),
+                        ("pid".into(), J::Int(0)),
+                        ("tid".into(), J::uint(rank as u64)),
+                        ("ts".into(), us(ev.wall_ns)),
+                        (
+                            "args".into(),
+                            J::Obj(vec![("virt_us".into(), us(ev.virt_ns))]),
+                        ),
+                    ]));
+                }
             }
         }
         // Spans still open at the end of the run.
@@ -366,6 +389,32 @@ mod tests {
         assert!(flows
             .iter()
             .any(|e| e.get("name").and_then(J::as_str) == Some("flow")));
+    }
+
+    #[test]
+    fn async_span_halves_pair_on_id_and_name() {
+        let t = Tracer::new(1);
+        let id = 0xFF51_0000_0000_0000u64 | 3;
+        t.async_begin(0, "query", 100, id);
+        t.async_end(0, "query", 900, id);
+        let doc = chrome_trace(&t);
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let asyncs: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("cat").and_then(J::as_str) == Some("query_lifecycle"))
+            .collect();
+        assert_eq!(asyncs.len(), 2);
+        let b = asyncs
+            .iter()
+            .find(|e| e.get("ph").and_then(J::as_str) == Some("b"))
+            .expect("begin half present");
+        let e = asyncs
+            .iter()
+            .find(|e| e.get("ph").and_then(J::as_str) == Some("e"))
+            .expect("end half present");
+        assert_eq!(b.get("id").unwrap().as_str(), e.get("id").unwrap().as_str());
+        assert_eq!(b.get("id").unwrap().as_str().unwrap().len(), 16);
+        assert_eq!(b.get("name").and_then(J::as_str), Some("query"));
     }
 
     #[test]

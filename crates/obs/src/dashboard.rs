@@ -8,7 +8,9 @@
 //! from a CI artifact or attached to an issue without a web server.
 
 use crate::critical_path::CriticalPathSection;
-use crate::report::{FaultSection, MatrixSection, RunReport, ServingSection};
+use crate::report::{
+    FaultSection, MatrixSection, QueryForensicsSection, RunReport, ServingSection,
+};
 use std::fmt::Write as _;
 
 /// Chart palette: one color per rank track, cycled.
@@ -68,6 +70,13 @@ pub fn dashboard_html(report: &RunReport) -> String {
             &serving_panel(s),
         ));
     }
+    if let Some(q) = &report.query_forensics {
+        body.push_str(&section(
+            "query-forensics",
+            "Per-query forensics (tail-sampled)",
+            &forensics_panel(q),
+        ));
+    }
     if let Some(chart) = serving_sweep_chart(report) {
         body.push_str(&section(
             "throughput-latency",
@@ -111,7 +120,9 @@ th,td{text-align:right;padding:4px 10px;border-bottom:1px solid #eef1f4;font-var
 th{color:#5b6b7b;font-weight:600}td:first-child,th:first-child{text-align:left}\
 svg text{font:11px system-ui,sans-serif;fill:#3c4a59}\
 .legend{color:#5b6b7b;font-size:12px;margin:8px 0 0}\
-.swatch{display:inline-block;width:10px;height:10px;border-radius:2px;margin:0 4px 0 10px}";
+.swatch{display:inline-block;width:10px;height:10px;border-radius:2px;margin:0 4px 0 10px}\
+.badge{display:inline-block;background:#c0392b;color:#fff;border-radius:10px;\
+padding:2px 10px;font-size:12px;font-weight:600;margin-left:8px}";
 
 fn section(id: &str, title: &str, inner: &str) -> String {
     format!(
@@ -126,11 +137,35 @@ fn header_html(r: &RunReport) -> String {
         .as_ref()
         .map(|f| format!(" · fault profile {} (seed {})", esc(&f.profile), f.sim_seed))
         .unwrap_or_default();
+    // Satellite: a lossy trace must be impossible to miss. The badge
+    // names the overflowing rank(s), not just the total.
+    let dropped = if r.dropped_spans > 0 {
+        let per_rank: Vec<String> = r
+            .dropped_spans_per_rank
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d > 0)
+            .map(|(rank, &d)| format!("r{rank}:{}", group_u64(d)))
+            .collect();
+        let detail = if per_rank.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", per_rank.join(" "))
+        };
+        format!(
+            "<span class=\"badge\">{} dropped trace spans{}</span>",
+            group_u64(r.dropped_spans),
+            esc(&detail)
+        )
+    } else {
+        String::new()
+    };
     format!(
-        "<h1>{} run report</h1>\n<p class=\"sub\">{} ranks{}</p>\n",
+        "<h1>{} run report</h1>\n<p class=\"sub\">{} ranks{}{}</p>\n",
         esc(&r.binary),
         r.n_ranks,
-        faulty
+        faulty,
+        dropped
     )
 }
 
@@ -591,6 +626,154 @@ fn latency_hist_svg(s: &ServingSection) -> String {
     out
 }
 
+/// Palette for the five waterfall stages (admission, batch wait,
+/// dispatch, search, response), in pipeline order.
+const STAGE_COLORS: &[&str] = &["#a7b4c2", "#b279a2", "#f58518", "#4c78a8", "#54a24b"];
+
+/// Sampler tiles, the mean stage-latency waterfall, and the exemplar
+/// table of the per-query forensics section.
+fn forensics_panel(q: &QueryForensicsSection) -> String {
+    let tiles: &[(&str, String)] = &[
+        ("queries profiled", group_u64(q.considered)),
+        ("retained", group_u64(q.retained)),
+        ("slowest-per-window", group_u64(q.retained_slow)),
+        ("exemplars", group_u64(q.retained_exemplar)),
+        (
+            "sampler",
+            format!("top {} / {} slots", q.slow_n, q.window_slots),
+        ),
+        ("digest", format!("{:016x}", q.digest)),
+    ];
+    let mut out = String::from("<div class=\"tiles\">\n");
+    for (label, value) in tiles {
+        let _ = writeln!(
+            out,
+            "<div class=\"tile\"><b>{}</b><span>{}</span></div>",
+            esc(value),
+            esc(label)
+        );
+    }
+    out.push_str("</div>\n");
+    out.push_str(&waterfall_svg(q));
+    out.push_str(&exemplar_table(q));
+    out
+}
+
+/// One stacked horizontal bar: the mean per-stage latency over *all*
+/// profiled queries (the histograms are exact, not sampled), so the bar
+/// is the average query's waterfall and its total length is the mean
+/// end-to-end latency in slots.
+fn waterfall_svg(q: &QueryForensicsSection) -> String {
+    // (stage, mean slots, max slots) from the exact histograms.
+    let stats: Vec<(&str, f64, u64)> = q
+        .stage_hists
+        .iter()
+        .map(|(name, buckets)| {
+            let count: u64 = buckets.iter().map(|&(_, c)| c).sum();
+            let sum: u64 = buckets.iter().map(|&(s, c)| s * c).sum();
+            let max = buckets.iter().map(|&(s, _)| s).max().unwrap_or(0);
+            let mean = if count > 0 {
+                sum as f64 / count as f64
+            } else {
+                0.0
+            };
+            (name.as_str(), mean, max)
+        })
+        .collect();
+    let total_mean: f64 = stats.iter().map(|&(_, m, _)| m).sum();
+    if total_mean <= 0.0 {
+        return "<p class=\"legend\">all stages zero (every query answered instantly)</p>".into();
+    }
+    let (w, h, pad_l) = (920.0_f64, 72.0_f64, 10.0_f64);
+    let scale = (w - 2.0 * pad_l) / total_mean;
+    let mut out = format!("<svg viewBox=\"0 0 {w} {h}\" width=\"100%\" role=\"img\">\n");
+    let mut x = pad_l;
+    let mut legend = String::new();
+    for (i, &(name, mean, max)) in stats.iter().enumerate() {
+        let color = STAGE_COLORS[i % STAGE_COLORS.len()];
+        let _ = write!(
+            legend,
+            "<span class=\"swatch\" style=\"background:{color}\"></span>{}",
+            esc(name)
+        );
+        if mean <= 0.0 {
+            continue;
+        }
+        let seg = mean * scale;
+        let _ = writeln!(
+            out,
+            "<rect x=\"{:.2}\" y=\"20\" width=\"{:.2}\" height=\"32\" fill=\"{}\">\
+             <title>{}: mean {:.3} slots, max {} slots</title></rect>",
+            x,
+            seg.max(0.2),
+            color,
+            esc(name),
+            mean,
+            max
+        );
+        x += seg;
+    }
+    let _ = write!(
+        out,
+        "<text x=\"{pad_l}\" y=\"12\">0 slots</text>\
+         <text x=\"{:.1}\" y=\"12\" text-anchor=\"end\">mean end-to-end {:.3} slots</text>\n</svg>\n",
+        w - pad_l,
+        total_mean
+    );
+    let _ = write!(
+        out,
+        "<p class=\"legend\">mean stage-latency waterfall over all {} profiled queries{legend}</p>",
+        group_u64(q.considered)
+    );
+    out
+}
+
+/// Exemplar rows are capped so a pathological run cannot balloon the
+/// dashboard; the legend reports any truncation.
+const MAX_EXEMPLAR_ROWS: usize = 40;
+
+fn exemplar_table(q: &QueryForensicsSection) -> String {
+    if q.exemplars.is_empty() {
+        return "<p class=\"legend\">no exemplars retained</p>".into();
+    }
+    let mut out = String::from(
+        "<h2 style=\"margin-top:14px\">Sampled exemplars</h2>\n\
+         <table><tr><th>idx</th><th>pool</th><th>verdict</th><th>why</th>\
+         <th>lvl</th><th>arrived</th><th>wait</th><th>dispatch</th><th>search</th>\
+         <th>latency</th><th>expansions</th><th>dist evals</th><th>miss</th></tr>",
+    );
+    for e in q.exemplars.iter().take(MAX_EXEMPLAR_ROWS) {
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{}</td><td>{}</td></tr>",
+            e.idx,
+            e.pool_id,
+            esc(&e.verdict),
+            esc(&e.why),
+            e.degrade_level,
+            e.arrived_slot,
+            e.batch_wait_slots,
+            e.dispatch_slots,
+            e.search_slots,
+            e.latency_slots,
+            group_u64(e.expansions),
+            group_u64(e.dist_evals),
+            if e.deadline_miss { "✗" } else { "" },
+        );
+    }
+    out.push_str("</table>");
+    if q.exemplars.len() > MAX_EXEMPLAR_ROWS {
+        let _ = write!(
+            out,
+            "<p class=\"legend\">showing {MAX_EXEMPLAR_ROWS} of {} exemplars (full set in the JSON report and slow-query log)</p>",
+            q.exemplars.len()
+        );
+    }
+    out
+}
+
 /// Throughput-vs-p99 curve from an offered-load sweep. The bench serve
 /// driver records one `sweep_qps_<i>` / `sweep_p99_ms_<i>` pair per load
 /// point in `extra`; render when at least two complete pairs exist.
@@ -1029,6 +1212,77 @@ mod tests {
         for needle in ["http://", "https://", "<script", "src=", "@import", "url("] {
             assert!(!html.contains(needle), "found {needle:?}");
         }
+    }
+
+    #[test]
+    fn forensics_panel_renders_and_is_omitted_without_section() {
+        use crate::report::QueryExemplar;
+        let mut r = sample();
+        assert!(!dashboard_html(&r).contains("id=\"query-forensics\""));
+        r.query_forensics = Some(QueryForensicsSection {
+            window_slots: 8,
+            slow_n: 4,
+            considered: 100,
+            retained: 2,
+            retained_slow: 1,
+            retained_exemplar: 1,
+            stage_hists: vec![
+                ("admission".into(), vec![(0, 100)]),
+                ("batch_wait".into(), vec![(0, 60), (2, 40)]),
+                ("dispatch".into(), vec![(0, 95), (4, 5)]),
+                ("search".into(), vec![(0, 10), (1, 90)]),
+                ("response".into(), vec![(0, 100)]),
+            ],
+            exemplars: vec![QueryExemplar {
+                idx: 17,
+                pool_id: 41,
+                verdict: "answered".into(),
+                why: "slow|deadline_miss".into(),
+                degrade_level: 1,
+                cache_key_hash: 0xFEED,
+                arrived_slot: 10,
+                done_slot: 17,
+                batch_wait_slots: 2,
+                dispatch_slots: 4,
+                search_slots: 1,
+                latency_slots: 7,
+                expansions: 12,
+                dist_evals: 1_340,
+                rounds: 13,
+                deadline_miss: true,
+                ..Default::default()
+            }],
+            digest: 0xABCD,
+        });
+        let html = dashboard_html(&r);
+        assert!(html.contains("id=\"query-forensics\""));
+        // Waterfall segments carry per-stage stats from the exact hists.
+        assert!(html.contains("batch_wait: mean 0.800 slots, max 2 slots"));
+        assert!(html.contains("search: mean 0.900 slots, max 1 slots"));
+        // Exemplar row with its why-mask and counters.
+        assert!(html.contains("slow|deadline_miss"));
+        assert!(html.contains("1,340"));
+        assert!(html.contains("000000000000abcd"));
+        // Still self-contained with the new panel.
+        for needle in ["http://", "https://", "<script", "src=", "@import", "url("] {
+            assert!(!html.contains(needle), "found {needle:?}");
+        }
+    }
+
+    #[test]
+    fn dropped_spans_badge_names_the_overflowing_ranks() {
+        let mut r = sample();
+        assert!(!dashboard_html(&r).contains("class=\"badge\""));
+        r.set_dropped_spans_per_rank(vec![0, 1_200, 0, 7]);
+        let html = dashboard_html(&r);
+        assert!(html.contains("class=\"badge\""));
+        assert!(html.contains("1,207 dropped trace spans"));
+        assert!(html.contains("r1:1,200 r3:7"));
+        // Total-only reports (older schema) still badge without detail.
+        let mut r2 = sample();
+        r2.set_dropped_spans(5);
+        let html2 = dashboard_html(&r2);
+        assert!(html2.contains(">5 dropped trace spans</span>"));
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub use critical_path::{CriticalPathSection, PhaseAttribution, PhaseCost};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use json::JsonValue;
 pub use report::{
-    ConvergencePoint, FaultSection, MatrixSection, MatrixTagReport, PhaseReport, RnnRoundReport,
-    RnnSection, RunReport, ServingSection, TagReport,
+    ConvergencePoint, FaultSection, MatrixSection, MatrixTagReport, PhaseReport, QueryExemplar,
+    QueryForensicsSection, RnnRoundReport, RnnSection, RunReport, ServingSection, TagReport,
 };
 pub use ring::{EventKind, TraceEvent};
 pub use timeseries::{SeriesPoint, SeriesSnapshot, TimeSeriesSet};

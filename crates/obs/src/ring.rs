@@ -28,6 +28,13 @@ pub enum EventKind {
     FlowSend,
     /// Terminating half of a causal flow arrow (Chrome-trace `ph:"f"`).
     FlowRecv,
+    /// Opening edge of an async (nestable) span (Chrome-trace `ph:"b"`);
+    /// `arg` is the async id pairing it with an [`EventKind::AsyncEnd`].
+    /// Unlike `Begin`/`End`, async spans may overlap freely on one track —
+    /// the serving layer uses them for per-query lifecycle spans.
+    AsyncBegin,
+    /// Closing edge of an async span (Chrome-trace `ph:"e"`).
+    AsyncEnd,
 }
 
 /// One recorded event. `Copy` and fixed-size so the hot path is a plain

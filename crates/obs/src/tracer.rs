@@ -171,6 +171,20 @@ impl Tracer {
         self.event2(rank, EventKind::FlowRecv, name, virt_ns, id, tag);
     }
 
+    /// Open an async (nestable) span (`ph:"b"`). `id` pairs it with the
+    /// matching [`Self::async_end`]; overlapping spans on one track are
+    /// fine — Chrome matches on `(category, id, name)`, not nesting.
+    #[inline]
+    pub fn async_begin(&self, rank: usize, name: &'static str, virt_ns: u64, id: u64) {
+        self.event2(rank, EventKind::AsyncBegin, name, virt_ns, id, 0);
+    }
+
+    /// Close the async span opened with the same `(name, id)` (`ph:"e"`).
+    #[inline]
+    pub fn async_end(&self, rank: usize, name: &'static str, virt_ns: u64, id: u64) {
+        self.event2(rank, EventKind::AsyncEnd, name, virt_ns, id, 0);
+    }
+
     /// Look up (or create) the histogram named `name`.
     pub fn hist(&self, name: &str) -> Arc<Histogram> {
         let mut hists = self.hists.lock().unwrap_or_else(|e| e.into_inner());
@@ -205,6 +219,13 @@ impl Tracer {
     /// Total events lost to ring wrap-around, across ranks.
     pub fn dropped_events(&self) -> usize {
         self.rings.iter().map(|r| r.dropped()).sum()
+    }
+
+    /// Events lost to ring wrap-around on each rank's buffer (index =
+    /// rank). The dashboard surfaces nonzero entries as a red badge so an
+    /// overflowing rank is visible, not just a grand total.
+    pub fn dropped_events_per_rank(&self) -> Vec<u64> {
+        self.rings.iter().map(|r| r.dropped() as u64).collect()
     }
 
     /// Total events recorded (including any later overwritten).

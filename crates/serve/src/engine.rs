@@ -31,13 +31,14 @@
 //! SLOs without ever perturbing the control-plane decision sequence.
 
 use crate::cache::{QuantizeKey, ResultCache};
+use crate::forensics::{fnv_seed, fnv_u64, hash_quantized_key, ForensicsCollector, QueryForensics};
 use crate::params::ServeParams;
 use crate::workload::ArrivalPlan;
 use dataset::batch::BatchMetric;
 use dataset::point::Point;
 use dataset::set::{PointId, PointSet};
 use dnnd::query::SearchEngine;
-use dnnd::DistSearchParams;
+use dnnd::{DistSearchParams, QueryProfile};
 use nnd::graph::KnnGraph;
 use obs::{RunReport, ServingSection};
 use std::collections::{BTreeMap, VecDeque};
@@ -185,21 +186,6 @@ pub fn attach_serving(report: &mut RunReport, stats: &ServingStats) {
     report.serving = Some(stats.to_section());
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-fn fnv_seed() -> u64 {
-    FNV_OFFSET
-}
-
-fn fnv_u64(mut h: u64, v: u64) -> u64 {
-    for b in v.to_le_bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
-
 /// Everything one rank returns from a serving run. All fields are
 /// replicated (identical on every rank).
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -208,6 +194,10 @@ pub struct ServeOutcome {
     /// Every answered query: `(arrival idx, pool id, result ids)` in
     /// arrival order. Cache hits carry the cached ids.
     pub answers: Vec<(u64, usize, Vec<PointId>)>,
+    /// Per-query lifecycle forensics: the tail-sampled records, stage
+    /// waterfalls, and their digest (folded into the cross-rank
+    /// fingerprint check).
+    pub forensics: QueryForensics,
 }
 
 /// A query waiting in the logical frontend queue.
@@ -278,6 +268,12 @@ where
         ..ServingStats::default()
     };
     let mut answers: Vec<(u64, usize, Vec<PointId>)> = Vec::new();
+    let mut forensics = ForensicsCollector::new(
+        params.serve_seed,
+        params.forensics_window_slots,
+        params.forensics_slow_n,
+        params.deadline_slots,
+    );
     let mut next = 0usize;
     let mut slot = 0u64;
     let mut last_retransmits = comm.fault_retransmits();
@@ -286,6 +282,10 @@ where
 
     while next < plan.arrivals.len() || !queue.is_empty() {
         comm.trace_begin_arg("serve_slot", slot);
+        // Per-slot control-plane counters (satellite gauges, rank 0).
+        let mut slot_cache_hits = 0u64;
+        let mut slot_shed = 0u64;
+        let mut slot_degraded = 0u64;
 
         // --- arrivals + cache probes + admission -------------------------
         while next < plan.arrivals.len() && plan.arrivals[next].slot <= slot {
@@ -293,12 +293,29 @@ where
             next += 1;
             stats.offered += 1;
             let key = pool.point(a.pool_id as PointId).quantize(params.quant_step);
+            let key_hash = hash_quantized_key(&key);
+            // Rank 0 stands in for the frontend: one async lifecycle
+            // span per query, opened at arrival and closed at the
+            // verdict, joining the per-query flow arrows in the trace.
+            if me == 0 {
+                comm.trace_async_begin("query", QUERY_FLOW_BASE | a.idx);
+            }
             if let Some(ids) = cache.get(&key) {
                 stats.cache_hits += 1;
+                slot_cache_hits += 1;
                 *hist.entry(0).or_insert(0) += 1;
+                forensics.cache_hit(a.idx, a.pool_id as u64, key_hash, slot);
+                if me == 0 {
+                    comm.trace_async_end("query", QUERY_FLOW_BASE | a.idx);
+                }
                 answers.push((a.idx, a.pool_id, ids));
             } else if queue.len() >= params.shed_watermark {
                 stats.shed_overload += 1;
+                slot_shed += 1;
+                forensics.shed_overload(a.idx, a.pool_id as u64, key_hash, slot);
+                if me == 0 {
+                    comm.trace_async_end("query", QUERY_FLOW_BASE | a.idx);
+                }
             } else {
                 queue.push_back(Pending {
                     idx: a.idx,
@@ -313,8 +330,20 @@ where
         // --- deadline shedding -------------------------------------------
         while let Some(front) = queue.front() {
             if slot - front.arrived_slot > params.deadline_slots {
-                queue.pop_front();
+                let p = queue.pop_front().unwrap();
                 stats.shed_deadline += 1;
+                slot_shed += 1;
+                let key = pool.point(p.pool_id as PointId).quantize(params.quant_step);
+                forensics.shed_deadline(
+                    p.idx,
+                    p.pool_id as u64,
+                    hash_quantized_key(&key),
+                    p.arrived_slot,
+                    slot,
+                );
+                if me == 0 {
+                    comm.trace_async_end("query", QUERY_FLOW_BASE | p.idx);
+                }
             } else {
                 break;
             }
@@ -362,16 +391,21 @@ where
             for (idx, _) in &mine {
                 comm.trace_flow_recv("query", QUERY_FLOW_BASE | *idx, TAG_RESULTS as u64);
             }
-            let my_ids = engine.run_batch(comm, &mine, sp);
-            let my_results: Vec<(u64, Vec<PointId>)> =
-                mine.iter().map(|(idx, _)| *idx).zip(my_ids).collect();
+            let (my_ids, my_profiles) = engine.run_batch_profiled(comm, &mine, sp);
+            let my_results: Vec<(u64, Vec<PointId>, QueryProfile)> = mine
+                .iter()
+                .map(|(idx, _)| *idx)
+                .zip(my_ids.into_iter().zip(my_profiles))
+                .map(|(idx, (ids, prof))| (idx, ids, prof))
+                .collect();
 
             // Replicate results so every rank's cache and stats agree.
-            let mut all: Vec<(u64, Vec<PointId>)> = all_gather(comm, TAG_RESULTS, &my_results)
-                .into_iter()
-                .flatten()
-                .collect();
-            all.sort_unstable_by_key(|&(idx, _)| idx);
+            let mut all: Vec<(u64, Vec<PointId>, QueryProfile)> =
+                all_gather(comm, TAG_RESULTS, &my_results)
+                    .into_iter()
+                    .flatten()
+                    .collect();
+            all.sort_unstable_by_key(|&(idx, ..)| idx);
 
             // Transport retransmits during this window surface as
             // whole-slot latency penalties (stable after the gather's
@@ -381,7 +415,7 @@ where
             last_retransmits = rtx;
             stats.fault_penalty_slots += penalty * all.len() as u64;
 
-            for (idx, ids) in all {
+            for (idx, ids, profile) in all {
                 let p = items
                     .iter()
                     .find(|p| p.idx == idx)
@@ -391,8 +425,24 @@ where
                 stats.answered += 1;
                 if level > 0 {
                     stats.degraded += 1;
+                    slot_degraded += 1;
                 }
                 let key = pool.point(p.pool_id as PointId).quantize(params.quant_step);
+                forensics.answered(
+                    idx,
+                    p.pool_id as u64,
+                    hash_quantized_key(&key),
+                    p.arrived_slot,
+                    slot,
+                    penalty,
+                    level as u64,
+                    profile.expansions,
+                    profile.dist_evals,
+                    profile.rounds,
+                );
+                if me == 0 {
+                    comm.trace_async_end("query", QUERY_FLOW_BASE | idx);
+                }
                 cache.insert(key, ids.clone());
                 answers.push((idx, p.pool_id, ids));
             }
@@ -402,6 +452,9 @@ where
         if me == 0 {
             comm.gauge("serve_queue_depth", queue.len() as f64);
             comm.gauge("serve_dispatched", dispatched as f64);
+            comm.gauge("serve_cache_hits", slot_cache_hits as f64);
+            comm.gauge("serve_shed", slot_shed as f64);
+            comm.gauge("serve_degraded", slot_degraded as f64);
         }
         timer.align(comm);
         comm.barrier();
@@ -421,16 +474,26 @@ where
     }
     stats.result_digest = digest;
     stats.latency_hist = hist.into_iter().collect();
+    let forensics = forensics.finalize();
 
     // Built-in determinism check: every rank must have produced the exact
-    // same replicated state.
-    let fps = all_gather(comm, TAG_FINGERPRINT, &stats.fingerprint());
+    // same replicated state — the forensics digest is folded in so a
+    // divergent lifecycle record trips the assertion too.
+    let fps = all_gather(
+        comm,
+        TAG_FINGERPRINT,
+        &fnv_u64(stats.fingerprint(), forensics.digest),
+    );
     assert!(
         fps.iter().all(|&f| f == fps[0]),
         "serving control plane diverged across ranks: {fps:?}"
     );
 
-    ServeOutcome { stats, answers }
+    ServeOutcome {
+        stats,
+        answers,
+        forensics,
+    }
 }
 
 /// Run a full serving session on `world`. Returns the replicated outcome

@@ -46,12 +46,14 @@
 
 pub mod cache;
 pub mod engine;
+pub mod forensics;
 pub mod graph_mode;
 pub mod params;
 pub mod workload;
 
 pub use cache::{QuantizeKey, ResultCache};
 pub use engine::{attach_serving, run_serve, serve_on_comm, ServeOutcome, ServingStats};
+pub use forensics::{attach_forensics, ForensicsCollector, QueryForensics, QueryRecord, Verdict};
 pub use graph_mode::GraphMode;
 pub use params::ServeParams;
 pub use workload::{Arrival, ArrivalPlan};

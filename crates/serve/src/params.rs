@@ -51,6 +51,12 @@ pub struct ServeParams {
     /// Quantization step for cache keys (coordinates are bucketed by this
     /// step; queries in the same bucket share a cache entry).
     pub quant_step: f32,
+    /// Width, in slots, of each tail-sampling window of the forensics
+    /// collector (must be >= 1).
+    pub forensics_window_slots: u64,
+    /// Slowest queries retained per forensics window (0 keeps only the
+    /// unconditional shed/degraded/deadline-miss exemplars).
+    pub forensics_slow_n: u64,
 }
 
 impl ServeParams {
@@ -71,7 +77,22 @@ impl ServeParams {
             shed_watermark: 64,
             cache_capacity: 32,
             quant_step: 1e-3,
+            forensics_window_slots: 8,
+            forensics_slow_n: 4,
         }
+    }
+
+    /// Set the forensics tail sampler: window width in slots (must be at
+    /// least 1) and slowest-per-window retention count (0 disables the
+    /// slow-path samples, keeping only unconditional exemplars).
+    pub fn forensics(mut self, window_slots: u64, slow_n: u64) -> Self {
+        assert!(
+            window_slots >= 1,
+            "ServeParams: forensics_window_slots must be >= 1"
+        );
+        self.forensics_window_slots = window_slots;
+        self.forensics_slow_n = slow_n;
+        self
     }
 
     /// Set the serve seed.
@@ -208,6 +229,9 @@ impl ServeParams {
                 self.quant_step
             ));
         }
+        if self.forensics_window_slots < 1 {
+            return Err("forensics_window_slots must be >= 1".into());
+        }
         Ok(())
     }
 }
@@ -256,6 +280,28 @@ mod tests {
     #[should_panic(expected = "quant_step")]
     fn negative_quant_step_is_rejected() {
         let _ = ServeParams::new(10).cache(8, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "forensics_window_slots")]
+    fn zero_forensics_window_is_rejected() {
+        let _ = ServeParams::new(10).forensics(0, 4);
+    }
+
+    #[test]
+    fn forensics_builder_sets_both_knobs() {
+        let p = ServeParams::new(10).forensics(16, 0);
+        assert_eq!(p.forensics_window_slots, 16);
+        assert_eq!(p.forensics_slow_n, 0);
+        p.validate().unwrap();
+        let bad = ServeParams {
+            forensics_window_slots: 0,
+            ..ServeParams::default()
+        };
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .contains("forensics_window_slots"));
     }
 
     #[test]

@@ -303,6 +303,30 @@ impl Comm {
         }
     }
 
+    /// Open an async (nestable) span (`ph:"b"`) on this rank's track. `id`
+    /// pairs it with the matching [`Self::trace_async_end`]; overlapping
+    /// spans are fine. Gated with flow recording — async spans share the
+    /// per-query id namespace with flow arrows and roughly double serving
+    /// trace volume the same way.
+    #[inline]
+    pub fn trace_async_begin(&self, name: &'static str, id: u64) {
+        if let Some(t) = self.tracer() {
+            if t.flows_enabled() {
+                t.async_begin(self.rank, name, self.now_ns(), id);
+            }
+        }
+    }
+
+    /// Close the async span opened with the same `(name, id)` (`ph:"e"`).
+    #[inline]
+    pub fn trace_async_end(&self, name: &'static str, id: u64) {
+        if let Some(t) = self.tracer() {
+            if t.flows_enabled() {
+                t.async_end(self.rank, name, self.now_ns(), id);
+            }
+        }
+    }
+
     /// Completed-barrier count on this rank — the parent span id stamped
     /// into outgoing trace contexts. Identical across ranks at any
     /// collective point (SPMD).

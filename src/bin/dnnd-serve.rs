@@ -27,7 +27,7 @@ use dnnd_repro::cli::{die, parse_fault_plan, read_meta, Elem, ObsOuts};
 use metall::Store;
 use nnd::KnnGraph;
 use serve::cache::QuantizeKey;
-use serve::{attach_serving, run_serve, GraphMode, ServeOutcome, ServeParams};
+use serve::{attach_forensics, attach_serving, run_serve, GraphMode, ServeOutcome, ServeParams};
 use std::sync::Arc;
 use ygm::{World, WorldReport};
 
@@ -81,6 +81,8 @@ fn main() {
     params.shed_watermark = args.get("shed", 64);
     params.cache_capacity = args.get("cache", 32);
     params.quant_step = args.get("quant-step", 1e-3f32);
+    params.forensics_window_slots = args.get("forensics-window", 8u64);
+    params.forensics_slow_n = args.get("forensics-slow-n", 4u64);
     params
         .validate()
         .unwrap_or_else(|e| die(&format!("invalid serving parameters: {e}")));
@@ -190,6 +192,25 @@ fn main() {
         "result digest {:016x} (serve seed {}, bit-identical on replay)",
         s.result_digest, s.serve_seed
     );
+    let f = &outcome.forensics;
+    println!(
+        "forensics: {} queries profiled, {} retained ({} slowest-per-window, {} exemplars), \
+         digest {:016x}",
+        f.considered,
+        f.sampled.len(),
+        f.retained_slow,
+        f.retained_exemplar,
+        f.digest
+    );
+
+    // Tail-sampled slow-query log: one JSON object per retained record,
+    // with the home rank derived for *this* run's rank count.
+    let slow_log: String = args.get("slow-query-log", String::new());
+    if !slow_log.is_empty() {
+        std::fs::write(&slow_log, f.slow_query_log(ranks))
+            .unwrap_or_else(|e| die(&format!("cannot write {slow_log}: {e}")));
+        println!("slow-query log written to {slow_log}");
+    }
 
     if outs.any() {
         if let Some(t) = &tracer {
@@ -202,6 +223,7 @@ fn main() {
         if outs.wants_report() {
             let mut rr = dnnd::obs_report::report_from_world("dnnd-serve", ranks, &wr);
             attach_serving(&mut rr, s);
+            attach_forensics(&mut rr, f);
             dnnd::obs_report::attach_histograms(&mut rr, tracer.as_deref());
             dnnd::obs_report::attach_series(&mut rr, tracer.as_deref());
             rr.param("store", &store_dir)

@@ -8,8 +8,10 @@ use dataset::synth::{gaussian_mixture, split_queries, MixtureParams};
 use dataset::{brute_force_queries, L2};
 use dnnd::{build, DnndConfig};
 use nnd::graph::KnnGraph;
+use nnd::RnnParams;
 use proptest::prelude::*;
-use serve::{run_serve, ServeOutcome, ServeParams};
+use serve::forensics::WHY_DEADLINE_MISS;
+use serve::{run_serve, ServeOutcome, ServeParams, Verdict};
 use std::sync::Arc;
 use ygm::World;
 
@@ -153,6 +155,125 @@ fn faults_surface_as_latency_penalties_not_different_answers() {
     assert!(
         faulty.stats.fault_penalty_slots >= clean.stats.fault_penalty_slots,
         "faulty run reported less penalty than clean"
+    );
+}
+
+#[test]
+fn forensics_stage_sums_are_exact_and_deadline_misses_hit_the_slow_log() {
+    let (base, graph, pool) = setup(600, 48, 9);
+    // Overload hard enough that both shed paths and deadline misses fire.
+    let params = ServeParams::new(10)
+        .serve_seed(0xF04E_51C5)
+        .n_arrivals(300)
+        .offered_qps(20_000.0)
+        .batch(4)
+        .watermarks(12, 32)
+        .deadline_slots(6)
+        .forensics(8, 4);
+    let (out, _) = run_serve(&World::new(2), &base, &graph, &pool, &L2, &params);
+    let f = &out.forensics;
+
+    // Every arrival got a record, and the sampler kept something.
+    assert_eq!(f.considered, out.stats.offered, "considered != offered");
+    assert!(!f.sampled.is_empty(), "nothing retained under overload");
+    assert_ne!(f.digest, 0, "forensics digest is zero");
+
+    // The five-stage waterfall sums exactly to end-to-end latency and the
+    // done slot is arrival + latency, for every retained record.
+    for (r, why) in &f.sampled {
+        assert_eq!(r.stage_sum(), r.latency_slots, "stage sum drifted: {r:?}");
+        assert_eq!(r.done_slot - r.arrived_slot, r.latency_slots, "{r:?}");
+        assert_ne!(*why, 0, "retained record with empty why mask: {r:?}");
+    }
+
+    // Deadline misses are retained *unconditionally*: every deadline-shed
+    // query has a record, and each shows up in the slow-query log.
+    let deadline_shed = f
+        .sampled
+        .iter()
+        .filter(|(r, _)| r.verdict == Verdict::ShedDeadline)
+        .count() as u64;
+    assert_eq!(
+        deadline_shed, out.stats.shed_deadline,
+        "deadline-shed query missing"
+    );
+    let log = f.slow_query_log(2);
+    for (r, why) in &f.sampled {
+        if r.deadline_miss {
+            assert_ne!(why & WHY_DEADLINE_MISS, 0, "{r:?}");
+            assert!(
+                log.contains(&format!("\"idx\":{},", r.idx)),
+                "deadline miss idx {} absent from slow-query log",
+                r.idx
+            );
+        }
+    }
+    // Each log line is `pool_id % n_ranks` at the *writing* rank count.
+    for line in log.lines() {
+        assert!(line.contains("\"home_rank\":"), "log line lost home rank");
+    }
+
+    // The forensics block — sampler decisions, histograms, digest — is a
+    // pure function of the slot clock: bit-identical across reruns and
+    // rank counts.
+    let (rerun, _) = run_serve(&World::new(2), &base, &graph, &pool, &L2, &params);
+    assert_eq!(
+        rerun.forensics, out.forensics,
+        "forensics diverged on rerun"
+    );
+    for ranks in [1usize, 4] {
+        let (other, _) = run_serve(&World::new(ranks), &base, &graph, &pool, &L2, &params);
+        assert_eq!(
+            other.forensics, out.forensics,
+            "forensics changed between 2 and {ranks} ranks"
+        );
+    }
+}
+
+#[test]
+fn rnn_graph_serving_pins_fingerprint_and_forensics_digest_across_ranks() {
+    // `--graph rnn` interplay: serve the same workload over the raw
+    // NN-Descent graph and over its RNN-Descent optimization. Both must
+    // be rank-count-invariant; the two graphs must disagree (different
+    // topology => different beam behavior => different forensics).
+    let (base, graph, pool) = setup(600, 48, 3);
+    let (rnn_graph, _) =
+        dnnd::rnn_optimize_distributed(&World::new(2), &base, &L2, &graph, RnnParams::new(10));
+    let rnn_graph = Arc::new(rnn_graph);
+    let params = ServeParams::new(10)
+        .serve_seed(0xC0FFEE)
+        .n_arrivals(150)
+        .offered_qps(3_000.0)
+        .forensics(8, 4);
+
+    let (on_knng, _) = run_serve(&World::new(2), &base, &graph, &pool, &L2, &params);
+    let (on_rnn, _) = run_serve(&World::new(2), &base, &rnn_graph, &pool, &L2, &params);
+    assert!(
+        on_rnn.stats.total_answered() > 0,
+        "rnn graph answered nothing"
+    );
+
+    // Same fingerprint and digest at 1, 2, and 4 ranks over the rnn graph.
+    for ranks in [1usize, 4] {
+        let (other, _) = run_serve(&World::new(ranks), &base, &rnn_graph, &pool, &L2, &params);
+        assert_eq!(
+            other.stats.fingerprint(),
+            on_rnn.stats.fingerprint(),
+            "rnn-mode serving fingerprint changed at {ranks} ranks"
+        );
+        assert_eq!(
+            other.forensics.digest, on_rnn.forensics.digest,
+            "rnn-mode forensics digest changed at {ranks} ranks"
+        );
+    }
+
+    // The workload plan (arrivals, admission) is graph-independent, but
+    // the search telemetry inside the records is not: the sparser rnn
+    // graph must leave a different forensics digest than the raw knng.
+    assert_eq!(on_rnn.stats.offered, on_knng.stats.offered);
+    assert_ne!(
+        on_rnn.forensics.digest, on_knng.forensics.digest,
+        "forensics digest blind to the graph being served"
     );
 }
 
