@@ -89,6 +89,25 @@ fn threshold_for(name: &str) -> (f64, Direction) {
         // latency percentiles get slack for search-cost tweaks.
         "serving.answered" | "serving.cache_hits" => (0.0, LowerIsWorse),
         "serving.p50_ns" | "serving.p95_ns" | "serving.p99_ns" => (0.10, HigherIsWorse),
+        // Client-perceived percentiles carry shed-retry time, so they get
+        // the same slack as the answered-side percentiles.
+        "serving.client_p50_ns" | "serving.client_p99_ns" => (0.10, HigherIsWorse),
+        // Per-tenant SLO rows (`serving.tenant.<name>.<key>`): the
+        // admission ladder is seed-deterministic, so shed/served counters
+        // gate exactly per class; only the latency percentiles get slack.
+        n if n.starts_with("serving.tenant.") => {
+            if n.ends_with(".p50_ns") || n.ends_with(".p99_ns") {
+                (0.10, HigherIsWorse)
+            } else if n.ends_with(".answered")
+                || n.ends_with(".admitted")
+                || n.ends_with(".cache_hits")
+                || n.ends_with(".slo_attainment")
+            {
+                (0.0, LowerIsWorse)
+            } else {
+                (0.0, HigherIsWorse)
+            }
+        }
         n if n.starts_with("serving.") => (0.0, HigherIsWorse),
         // Per-query forensics: the whole section is a pure function of
         // the serve seed, so every sampler counter gates exactly in both
@@ -259,6 +278,56 @@ fn collect(base: &RunReport, cand: &RunReport, thr: Option<f64>) -> Vec<MetricRo
                 thr,
             );
         }
+        // Client-perceived percentiles (schema v7). Gated only when the
+        // baseline measured them: a v6 baseline diffed against a v7
+        // candidate is schema growth, not "growth from zero".
+        if b.client_p99_ns > 0 || !b.client_hist.is_empty() {
+            for (key, bv, cv) in [
+                ("client_p50_ns", b.client_p50_ns, c.client_p50_ns),
+                ("client_p99_ns", b.client_p99_ns, c.client_p99_ns),
+            ] {
+                push(
+                    &mut rows,
+                    &format!("serving.{key}"),
+                    bv as f64,
+                    cv as f64,
+                    thr,
+                );
+            }
+        }
+        // Per-tenant SLO rows, matched by class name, gated only when the
+        // baseline declared classes (same schema-growth rule). A class the
+        // candidate lost compares against zeros and gates hard.
+        for bt in &b.tenants {
+            let dt = obs::TenantSloSection::default();
+            let ct = c.tenants.iter().find(|t| t.name == bt.name).unwrap_or(&dt);
+            for (key, bv, cv) in [
+                ("offered", bt.offered, ct.offered),
+                ("admitted", bt.admitted, ct.admitted),
+                ("answered", bt.answered, ct.answered),
+                ("cache_hits", bt.cache_hits, ct.cache_hits),
+                ("shed_overload", bt.shed_overload, ct.shed_overload),
+                ("shed_deadline", bt.shed_deadline, ct.shed_deadline),
+                ("degraded", bt.degraded, ct.degraded),
+                ("p50_ns", bt.p50_ns, ct.p50_ns),
+                ("p99_ns", bt.p99_ns, ct.p99_ns),
+            ] {
+                push(
+                    &mut rows,
+                    &format!("serving.tenant.{}.{key}", bt.name),
+                    bv as f64,
+                    cv as f64,
+                    thr,
+                );
+            }
+            push(
+                &mut rows,
+                &format!("serving.tenant.{}.slo_attainment", bt.name),
+                bt.slo_attainment,
+                ct.slo_attainment,
+                thr,
+            );
+        }
     }
 
     // Per-query forensics: present when either run profiled queries; a
@@ -375,6 +444,13 @@ fn missing_sections(base: &RunReport, cand: &RunReport) -> Vec<&'static str> {
     }
     if base.serving.is_some() && cand.serving.is_none() {
         missing.push("serving");
+    }
+    // A candidate that kept the serving section but silently dropped the
+    // per-tenant breakdown must not slip past as "nothing to compare".
+    if base.serving.as_ref().is_some_and(|s| !s.tenants.is_empty())
+        && cand.serving.as_ref().is_some_and(|s| s.tenants.is_empty())
+    {
+        missing.push("serving.tenants");
     }
     if base.rnn.is_some() && cand.rnn.is_none() {
         missing.push("rnn");
@@ -647,6 +723,95 @@ mod tests {
             .iter()
             .filter(|r| r.name.starts_with("serving."))
             .all(|r| !r.regressed()));
+    }
+
+    fn tenant(name: &str, shed_overload: u64, answered: u64) -> obs::TenantSloSection {
+        obs::TenantSloSection {
+            name: name.into(),
+            share_pct: 50,
+            offered: 100,
+            admitted: answered,
+            answered,
+            shed_overload,
+            slo_attainment: answered as f64 / 100.0,
+            p50_ns: 500_000,
+            p99_ns: 2_000_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn tenant_counters_gate_exactly_by_class_name() {
+        let mut base = report(1.0, 1);
+        let mut cand = report(1.0, 1);
+        base.serving = Some(obs::ServingSection {
+            offered: 200,
+            tenants: vec![tenant("gold", 0, 98), tenant("free", 10, 80)],
+            ..Default::default()
+        });
+        // Identical per-tenant counters: every row inside the gate.
+        cand.serving = base.serving.clone();
+        let rows = collect(&base, &cand, None);
+        assert!(rows
+            .iter()
+            .filter(|r| r.name.starts_with("serving.tenant."))
+            .all(|r| !r.regressed()));
+        // One extra shed + one fewer answered in `free` gates both ways;
+        // `gold` stays clean.
+        cand.serving = Some(obs::ServingSection {
+            offered: 200,
+            tenants: vec![tenant("gold", 0, 98), tenant("free", 11, 79)],
+            ..Default::default()
+        });
+        let rows = collect(&base, &cand, None);
+        assert!(row_named(&rows, "serving.tenant.free.shed_overload").regressed());
+        assert!(row_named(&rows, "serving.tenant.free.answered").regressed());
+        assert!(row_named(&rows, "serving.tenant.free.slo_attainment").regressed());
+        assert!(!row_named(&rows, "serving.tenant.gold.shed_overload").regressed());
+        // A candidate that dropped the breakdown entirely hard-fails.
+        cand.serving = Some(obs::ServingSection {
+            offered: 200,
+            ..Default::default()
+        });
+        assert_eq!(missing_sections(&base, &cand), vec!["serving.tenants"]);
+        // A tenant-less baseline gates nothing tenant-shaped (schema
+        // growth when the candidate adds classes).
+        let rows = collect(&cand, &base, None);
+        assert!(!rows.iter().any(|r| r.name.starts_with("serving.tenant.")));
+        assert!(missing_sections(&cand, &base).is_empty());
+    }
+
+    #[test]
+    fn client_latency_gates_only_when_baseline_measured_it() {
+        let mut base = report(1.0, 1);
+        let mut cand = report(1.0, 1);
+        // v6-shaped baseline (no client histogram) vs v7 candidate:
+        // schema growth, not growth-from-zero.
+        base.serving = Some(obs::ServingSection::default());
+        cand.serving = Some(obs::ServingSection {
+            client_p50_ns: 500_000,
+            client_p99_ns: 4_000_000,
+            client_hist: vec![(2, 10)],
+            ..Default::default()
+        });
+        let rows = collect(&base, &cand, None);
+        assert!(!rows.iter().any(|r| r.name.starts_with("serving.client_")));
+        // Both measured: +20% client p99 trips the 10% latency gate.
+        base.serving = Some(obs::ServingSection {
+            client_p50_ns: 500_000,
+            client_p99_ns: 4_000_000,
+            client_hist: vec![(2, 10)],
+            ..Default::default()
+        });
+        cand.serving = Some(obs::ServingSection {
+            client_p50_ns: 500_000,
+            client_p99_ns: 4_800_000,
+            client_hist: vec![(2, 10)],
+            ..Default::default()
+        });
+        let rows = collect(&base, &cand, None);
+        assert!(!row_named(&rows, "serving.client_p50_ns").regressed());
+        assert!(row_named(&rows, "serving.client_p99_ns").regressed());
     }
 
     #[test]

@@ -527,7 +527,7 @@ fn series_charts(r: &RunReport) -> String {
 /// SLO tiles, the exact latency histogram, and the outcome breakdown of an
 /// online serving run.
 fn serving_panel(s: &ServingSection) -> String {
-    let tiles: &[(&str, String)] = &[
+    let mut tiles: Vec<(&str, String)> = vec![
         ("offered", group_u64(s.offered)),
         ("answered", group_u64(s.answered)),
         ("cache hits", group_u64(s.cache_hits)),
@@ -536,8 +536,20 @@ fn serving_panel(s: &ServingSection) -> String {
         ("p95 latency", format!("{:.2} ms", s.p95_ns as f64 / 1e6)),
         ("p99 latency", format!("{:.2} ms", s.p99_ns as f64 / 1e6)),
     ];
+    // Client-perceived percentiles (schema v7): absent from pre-v7
+    // documents, where the histogram is empty.
+    if !s.client_hist.is_empty() {
+        tiles.push((
+            "client p50",
+            format!("{:.2} ms", s.client_p50_ns as f64 / 1e6),
+        ));
+        tiles.push((
+            "client p99",
+            format!("{:.2} ms", s.client_p99_ns as f64 / 1e6),
+        ));
+    }
     let mut out = String::from("<div class=\"tiles\">\n");
-    for (label, value) in tiles {
+    for (label, value) in &tiles {
         let _ = writeln!(
             out,
             "<div class=\"tile\"><b>{}</b><span>{}</span></div>",
@@ -575,6 +587,43 @@ fn serving_panel(s: &ServingSection) -> String {
     }
     table.push_str("</table>");
     out.push_str(&table);
+    out.push_str(&tenant_slo_table(s));
+    out
+}
+
+/// Per-tenant SLO table (schema v7); empty string when the workload
+/// declared no tenant classes.
+fn tenant_slo_table(s: &ServingSection) -> String {
+    if s.tenants.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from(
+        "<h2 style=\"margin-top:14px\">Tenant SLOs</h2>\n\
+         <table><tr><th>class</th><th>share</th><th>offered</th>\
+         <th>answered</th><th>cache hits</th><th>shed over</th>\
+         <th>shed ddl</th><th>degraded</th><th>SLO</th>\
+         <th>p50</th><th>p99</th></tr>",
+    );
+    for t in &s.tenants {
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td>{}%</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{:.1}%</td>\
+             <td>{:.2} ms</td><td>{:.2} ms</td></tr>",
+            esc(&t.name),
+            t.share_pct,
+            group_u64(t.offered),
+            group_u64(t.answered),
+            group_u64(t.cache_hits),
+            group_u64(t.shed_overload),
+            group_u64(t.shed_deadline),
+            group_u64(t.degraded),
+            t.slo_attainment * 100.0,
+            t.p50_ns as f64 / 1e6,
+            t.p99_ns as f64 / 1e6,
+        );
+    }
+    out.push_str("</table>\n<p class=\"legend\">classes in priority (declaration) order; SLO = answered ∪ cache hits over offered</p>");
     out
 }
 
@@ -738,18 +787,19 @@ fn exemplar_table(q: &QueryForensicsSection) -> String {
     }
     let mut out = String::from(
         "<h2 style=\"margin-top:14px\">Sampled exemplars</h2>\n\
-         <table><tr><th>idx</th><th>pool</th><th>verdict</th><th>why</th>\
+         <table><tr><th>idx</th><th>pool</th><th>tenant</th><th>verdict</th><th>why</th>\
          <th>lvl</th><th>arrived</th><th>wait</th><th>dispatch</th><th>search</th>\
          <th>latency</th><th>expansions</th><th>dist evals</th><th>miss</th></tr>",
     );
     for e in q.exemplars.iter().take(MAX_EXEMPLAR_ROWS) {
         let _ = write!(
             out,
-            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
              <td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
              <td>{}</td><td>{}</td><td>{}</td></tr>",
             e.idx,
             e.pool_id,
+            e.tenant,
             esc(&e.verdict),
             esc(&e.why),
             e.degrade_level,
@@ -1168,7 +1218,62 @@ mod tests {
         assert!(html.contains("shed: deadline expired"));
         assert!(html.contains("000000000000abcd")); // digest, zero-padded hex
         assert!(html.contains("4 slot(s): 5 queries"));
+        // Tenant-less, pre-v7-shaped section: no tenant table, no
+        // client-latency tiles.
+        assert!(!html.contains("Tenant SLOs"));
+        assert!(!html.contains("client p99"));
         // Still self-contained with the new panel.
+        for needle in ["http://", "https://", "<script", "src=", "@import", "url("] {
+            assert!(!html.contains(needle), "found {needle:?}");
+        }
+    }
+
+    #[test]
+    fn tenant_slo_table_and_client_tiles_render_when_present() {
+        use crate::report::TenantSloSection;
+        let mut r = sample();
+        r.serving = Some(ServingSection {
+            serve_seed: 9,
+            slot_ns: 250_000,
+            offered: 100,
+            answered: 80,
+            latency_hist: vec![(1, 60), (2, 20)],
+            client_p50_ns: 500_000,
+            client_p99_ns: 4_000_000,
+            client_hist: vec![(1, 55), (2, 20), (16, 5)],
+            tenants: vec![
+                TenantSloSection {
+                    name: "gold".into(),
+                    share_pct: 50,
+                    offered: 50,
+                    answered: 49,
+                    slo_attainment: 0.98,
+                    p99_ns: 1_000_000,
+                    ..Default::default()
+                },
+                TenantSloSection {
+                    name: "free<x>".into(),
+                    share_pct: 50,
+                    offered: 50,
+                    answered: 31,
+                    slo_attainment: 0.62,
+                    p99_ns: 3_000_000,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        });
+        let html = dashboard_html(&r);
+        assert!(html.contains("Tenant SLOs"));
+        assert!(html.contains("client p50"));
+        assert!(html.contains("client p99"));
+        assert!(html.contains("<td>gold</td>"));
+        assert!(html.contains("98.0%"));
+        assert!(html.contains("62.0%"));
+        // Tenant names are HTML-escaped like every other report string.
+        assert!(html.contains("free&lt;x&gt;"));
+        assert!(!html.contains("free<x>"));
+        // Still self-contained.
         for needle in ["http://", "https://", "<script", "src=", "@import", "url("] {
             assert!(!html.contains(needle), "found {needle:?}");
         }

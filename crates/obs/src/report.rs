@@ -31,7 +31,13 @@ use crate::timeseries::{SeriesPoint, SeriesSnapshot};
 ///     section digest — plus `dropped_spans_per_rank` (per-rank ring
 ///     overflow, complementing the v4 total). Older documents parse with
 ///     the section absent and the per-rank vector empty.
-pub const SCHEMA_VERSION: u64 = 6;
+/// v7: the serving section grows client-perceived latency
+///     (`client_p50_ns`/`client_p99_ns`/`client_hist` — measured from each
+///     query's *first* issue, so closed-loop retry time counts) and the
+///     optional per-tenant SLO array `tenants` (omitted when the workload
+///     declares no tenant classes); query-forensics exemplars gain a
+///     `tenant` field. Older documents parse with zeros / empty vectors.
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// Oldest schema this parser still accepts. v1 documents parse with empty
 /// `series` and no `matrix`; v1/v2 documents parse with no `serving`.
@@ -157,9 +163,50 @@ pub struct ServingSection {
     /// Exact latency histogram: `(latency_slots, count)` sorted by
     /// latency. Bit-identical across reruns and rank counts.
     pub latency_hist: Vec<(u64, u64)>,
+    /// Client-perceived latency percentiles (schema v7): measured from
+    /// each query's *first* issue slot, so closed-loop shed-and-retry
+    /// time accumulates. Equal to the answered percentiles for open
+    /// loops; the divergence under saturation is coordinated omission
+    /// made visible. Zero in pre-v7 documents.
+    pub client_p50_ns: u64,
+    pub client_p99_ns: u64,
+    /// Exact client-perceived latency histogram (schema v7); empty in
+    /// pre-v7 documents.
+    pub client_hist: Vec<(u64, u64)>,
+    /// Per-tenant-class SLO attainment (schema v7), in declaration
+    /// (priority) order. Empty — and omitted from the JSON — when the
+    /// workload declares no tenant classes, which keeps single-tenant
+    /// documents shaped like v3.
+    pub tenants: Vec<TenantSloSection>,
     /// FNV-1a digest over every answered query's `(query_id, result ids)`
     /// in query-id order — the bit-identity fingerprint of the answers.
     pub result_digest: u64,
+}
+
+/// One tenant class's slice of the serving SLO accounting (schema v7).
+/// Deterministic in the serve seed and independent of the rank count,
+/// like every other serving field.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TenantSloSection {
+    /// Class name from the workload spec (e.g. `gold`).
+    pub name: String,
+    /// Declared traffic share, integer percent.
+    pub share_pct: u64,
+    pub offered: u64,
+    pub admitted: u64,
+    pub answered: u64,
+    pub cache_hits: u64,
+    pub shed_overload: u64,
+    pub shed_deadline: u64,
+    pub degraded: u64,
+    /// Fraction of offered queries answered (search + cache); 0 when the
+    /// class offered nothing.
+    pub slo_attainment: f64,
+    /// Answered-latency percentiles of this class, virtual nanoseconds.
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    /// Exact per-class latency histogram `(latency_slots, count)`.
+    pub latency_hist: Vec<(u64, u64)>,
 }
 
 /// One RNN-Descent inner round's global counters (schema v5). Every value
@@ -216,6 +263,9 @@ pub struct QueryExemplar {
     pub idx: u64,
     /// Query-pool id (the vector served).
     pub pool_id: u64,
+    /// Tenant class index (schema v7; 0 when the workload declares no
+    /// classes and in pre-v7 documents).
+    pub tenant: u64,
     /// Final verdict: `answered` / `cache_hit` / `shed_overload` /
     /// `shed_deadline`.
     pub verdict: String,
@@ -633,47 +683,76 @@ impl RunReport {
             ));
         }
         if let Some(s) = &self.serving {
-            fields.push((
-                "serving".into(),
-                J::Obj(vec![
-                    ("serve_seed".into(), J::uint(s.serve_seed)),
-                    ("slot_ns".into(), J::uint(s.slot_ns)),
-                    ("slots".into(), J::uint(s.slots)),
-                    ("offered".into(), J::uint(s.offered)),
-                    ("admitted".into(), J::uint(s.admitted)),
-                    ("answered".into(), J::uint(s.answered)),
-                    ("cache_hits".into(), J::uint(s.cache_hits)),
-                    ("cache_evictions".into(), J::uint(s.cache_evictions)),
-                    ("shed_deadline".into(), J::uint(s.shed_deadline)),
-                    ("shed_overload".into(), J::uint(s.shed_overload)),
-                    ("degraded".into(), J::uint(s.degraded)),
-                    ("max_queue_depth".into(), J::uint(s.max_queue_depth)),
-                    ("p50_ns".into(), J::uint(s.p50_ns)),
-                    ("p95_ns".into(), J::uint(s.p95_ns)),
-                    ("p99_ns".into(), J::uint(s.p99_ns)),
-                    ("mean_latency_ns".into(), J::Num(s.mean_latency_ns)),
-                    (
-                        "latency_hist".into(),
-                        J::Arr(
-                            s.latency_hist
-                                .iter()
-                                .map(|&(slots, count)| {
-                                    J::Obj(vec![
-                                        ("slots".into(), J::uint(slots)),
-                                        ("count".into(), J::uint(count)),
-                                    ])
-                                })
-                                .collect(),
-                        ),
+            let hist_json = |hist: &[(u64, u64)]| {
+                J::Arr(
+                    hist.iter()
+                        .map(|&(slots, count)| {
+                            J::Obj(vec![
+                                ("slots".into(), J::uint(slots)),
+                                ("count".into(), J::uint(count)),
+                            ])
+                        })
+                        .collect(),
+                )
+            };
+            let mut sv = vec![
+                ("serve_seed".into(), J::uint(s.serve_seed)),
+                ("slot_ns".into(), J::uint(s.slot_ns)),
+                ("slots".into(), J::uint(s.slots)),
+                ("offered".into(), J::uint(s.offered)),
+                ("admitted".into(), J::uint(s.admitted)),
+                ("answered".into(), J::uint(s.answered)),
+                ("cache_hits".into(), J::uint(s.cache_hits)),
+                ("cache_evictions".into(), J::uint(s.cache_evictions)),
+                ("shed_deadline".into(), J::uint(s.shed_deadline)),
+                ("shed_overload".into(), J::uint(s.shed_overload)),
+                ("degraded".into(), J::uint(s.degraded)),
+                ("max_queue_depth".into(), J::uint(s.max_queue_depth)),
+                ("p50_ns".into(), J::uint(s.p50_ns)),
+                ("p95_ns".into(), J::uint(s.p95_ns)),
+                ("p99_ns".into(), J::uint(s.p99_ns)),
+                ("mean_latency_ns".into(), J::Num(s.mean_latency_ns)),
+                ("latency_hist".into(), hist_json(&s.latency_hist)),
+                ("client_p50_ns".into(), J::uint(s.client_p50_ns)),
+                ("client_p99_ns".into(), J::uint(s.client_p99_ns)),
+                ("client_hist".into(), hist_json(&s.client_hist)),
+            ];
+            // Tenant-less runs keep the v3-shaped document: the key is
+            // omitted entirely, not written as an empty array.
+            if !s.tenants.is_empty() {
+                sv.push((
+                    "tenants".into(),
+                    J::Arr(
+                        s.tenants
+                            .iter()
+                            .map(|t| {
+                                J::Obj(vec![
+                                    ("name".into(), J::str(t.name.clone())),
+                                    ("share_pct".into(), J::uint(t.share_pct)),
+                                    ("offered".into(), J::uint(t.offered)),
+                                    ("admitted".into(), J::uint(t.admitted)),
+                                    ("answered".into(), J::uint(t.answered)),
+                                    ("cache_hits".into(), J::uint(t.cache_hits)),
+                                    ("shed_overload".into(), J::uint(t.shed_overload)),
+                                    ("shed_deadline".into(), J::uint(t.shed_deadline)),
+                                    ("degraded".into(), J::uint(t.degraded)),
+                                    ("slo_attainment".into(), J::Num(t.slo_attainment)),
+                                    ("p50_ns".into(), J::uint(t.p50_ns)),
+                                    ("p99_ns".into(), J::uint(t.p99_ns)),
+                                    ("latency_hist".into(), hist_json(&t.latency_hist)),
+                                ])
+                            })
+                            .collect(),
                     ),
-                    // Hex string: JSON numbers are f64 and would round a
-                    // full-range 64-bit digest.
-                    (
-                        "result_digest".into(),
-                        J::str(format!("{:016x}", s.result_digest)),
-                    ),
-                ]),
+                ));
+            }
+            // Hex string: JSON numbers are f64 and would round a
+            // full-range 64-bit digest.
+            sv.push((
+                "result_digest".into(),
+                J::str(format!("{:016x}", s.result_digest)),
             ));
+            fields.push(("serving".into(), J::Obj(sv)));
         }
         if let Some(c) = &self.critical_path {
             fields.push((
@@ -798,6 +877,7 @@ impl RunReport {
                                     J::Obj(vec![
                                         ("idx".into(), J::uint(e.idx)),
                                         ("pool_id".into(), J::uint(e.pool_id)),
+                                        ("tenant".into(), J::uint(e.tenant)),
                                         ("verdict".into(), J::str(&e.verdict)),
                                         ("why".into(), J::str(&e.why)),
                                         ("degrade_level".into(), J::uint(e.degrade_level)),
@@ -1013,6 +1093,43 @@ impl RunReport {
             for b in arr_field(s, "latency_hist")? {
                 latency_hist.push((u64_field(b, "slots")?, u64_field(b, "count")?));
             }
+            // v7 additions parse optionally so v3..v6 documents still load.
+            let opt_hist = |key: &str| -> Result<Vec<(u64, u64)>, String> {
+                let mut hist = Vec::new();
+                if let Some(J::Arr(items)) = s.get(key) {
+                    for b in items {
+                        hist.push((u64_field(b, "slots")?, u64_field(b, "count")?));
+                    }
+                }
+                Ok(hist)
+            };
+            let client_hist = opt_hist("client_hist")?;
+            let mut tenants = Vec::new();
+            if let Some(J::Arr(items)) = s.get("tenants") {
+                for t in items {
+                    tenants.push(TenantSloSection {
+                        name: str_field(t, "name")?,
+                        share_pct: u64_field(t, "share_pct")?,
+                        offered: u64_field(t, "offered")?,
+                        admitted: u64_field(t, "admitted")?,
+                        answered: u64_field(t, "answered")?,
+                        cache_hits: u64_field(t, "cache_hits")?,
+                        shed_overload: u64_field(t, "shed_overload")?,
+                        shed_deadline: u64_field(t, "shed_deadline")?,
+                        degraded: u64_field(t, "degraded")?,
+                        slo_attainment: f64_field(t, "slo_attainment")?,
+                        p50_ns: u64_field(t, "p50_ns")?,
+                        p99_ns: u64_field(t, "p99_ns")?,
+                        latency_hist: {
+                            let mut hist = Vec::new();
+                            for b in arr_field(t, "latency_hist")? {
+                                hist.push((u64_field(b, "slots")?, u64_field(b, "count")?));
+                            }
+                            hist
+                        },
+                    });
+                }
+            }
             report.serving = Some(ServingSection {
                 serve_seed: u64_field(s, "serve_seed")?,
                 slot_ns: u64_field(s, "slot_ns")?,
@@ -1031,6 +1148,10 @@ impl RunReport {
                 p99_ns: u64_field(s, "p99_ns")?,
                 mean_latency_ns: f64_field(s, "mean_latency_ns")?,
                 latency_hist,
+                client_p50_ns: s.get("client_p50_ns").and_then(J::as_u64).unwrap_or(0),
+                client_p99_ns: s.get("client_p99_ns").and_then(J::as_u64).unwrap_or(0),
+                client_hist,
+                tenants,
                 result_digest: u64::from_str_radix(&str_field(s, "result_digest")?, 16)
                     .map_err(|e| format!("bad result_digest: {e}"))?,
             });
@@ -1133,6 +1254,8 @@ impl RunReport {
                 exemplars.push(QueryExemplar {
                     idx: u64_field(e, "idx")?,
                     pool_id: u64_field(e, "pool_id")?,
+                    // v7; v6 exemplars carry no tenant.
+                    tenant: e.get("tenant").and_then(J::as_u64).unwrap_or(0),
                     verdict: str_field(e, "verdict")?,
                     why: str_field(e, "why")?,
                     degrade_level: u64_field(e, "degrade_level")?,
@@ -1343,20 +1466,20 @@ mod tests {
     fn rejects_future_schema_version_naming_both() {
         let text = sample_report()
             .to_json_string()
-            .replace("\"schema_version\": 6", "\"schema_version\": 999");
+            .replace("\"schema_version\": 7", "\"schema_version\": 999");
         let err = RunReport::parse(&text).unwrap_err();
         assert!(
             err.contains("999"),
             "error must name the found version: {err}"
         );
         assert!(
-            err.contains("v1") && err.contains("v6"),
+            err.contains("v1") && err.contains("v7"),
             "error must name the supported range: {err}"
         );
         // v0 is below the supported range too.
         let text = sample_report()
             .to_json_string()
-            .replace("\"schema_version\": 6", "\"schema_version\": 0");
+            .replace("\"schema_version\": 7", "\"schema_version\": 0");
         assert!(RunReport::parse(&text).is_err());
     }
 
@@ -1379,6 +1502,41 @@ mod tests {
             p99_ns: 2_500_000,
             mean_latency_ns: 612_500.25,
             latency_hist: vec![(1, 300), (2, 80), (7, 15), (10, 5)],
+            client_p50_ns: 750_000,
+            client_p99_ns: 3_250_000,
+            client_hist: vec![(1, 280), (3, 100), (13, 20)],
+            tenants: vec![
+                TenantSloSection {
+                    name: "gold".into(),
+                    share_pct: 50,
+                    offered: 250,
+                    admitted: 235,
+                    answered: 215,
+                    cache_hits: 30,
+                    shed_overload: 5,
+                    shed_deadline: 10,
+                    degraded: 12,
+                    slo_attainment: 0.98,
+                    p50_ns: 500_000,
+                    p99_ns: 2_000_000,
+                    latency_hist: vec![(1, 180), (2, 35)],
+                },
+                TenantSloSection {
+                    name: "free".into(),
+                    share_pct: 50,
+                    offered: 250,
+                    admitted: 195,
+                    answered: 185,
+                    cache_hits: 20,
+                    shed_overload: 15,
+                    shed_deadline: 10,
+                    degraded: 23,
+                    slo_attainment: 0.82,
+                    p50_ns: 650_000,
+                    p99_ns: 2_500_000,
+                    latency_hist: vec![(1, 120), (2, 45), (7, 15), (10, 5)],
+                },
+            ],
             result_digest: 0xDEAD_BEEF_CAFE_F00D,
         }
     }
@@ -1390,6 +1548,58 @@ mod tests {
         let back = RunReport::parse(&r.to_json_string()).unwrap();
         assert_eq!(back, r);
         let s = back.serving.unwrap();
+        assert_eq!(s.latency_hist, vec![(1, 300), (2, 80), (7, 15), (10, 5)]);
+        assert_eq!(s.result_digest, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(s.client_hist, vec![(1, 280), (3, 100), (13, 20)]);
+        assert_eq!(s.tenants.len(), 2);
+        assert_eq!(s.tenants[0].name, "gold");
+        assert_eq!(s.tenants[1].latency_hist.len(), 4);
+    }
+
+    #[test]
+    fn tenantless_serving_omits_the_tenants_key() {
+        let mut r = sample_report();
+        let mut s = sample_serving();
+        s.tenants.clear();
+        r.serving = Some(s);
+        let text = r.to_json_string();
+        assert!(!text.contains("\"tenants\""));
+        let back = RunReport::parse(&text).unwrap();
+        assert_eq!(back, r);
+        assert!(back.serving.unwrap().tenants.is_empty());
+    }
+
+    #[test]
+    fn accepts_v6_serving_without_client_or_tenant_fields() {
+        // A v6 serving section lacks the client-perceived fields and the
+        // tenants array — it must parse with zeros / empty vectors.
+        let mut r = sample_report();
+        r.serving = Some(sample_serving());
+        let mut v = r.to_json();
+        if let J::Obj(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "schema_version" {
+                    *val = J::uint(6);
+                }
+                if k == "serving" {
+                    if let J::Obj(sv) = val {
+                        sv.retain(|(sk, _)| {
+                            sk != "client_p50_ns"
+                                && sk != "client_p99_ns"
+                                && sk != "client_hist"
+                                && sk != "tenants"
+                        });
+                    }
+                }
+            }
+        }
+        let back = RunReport::parse(&v.pretty()).unwrap();
+        let s = back.serving.unwrap();
+        assert_eq!(s.client_p50_ns, 0);
+        assert_eq!(s.client_p99_ns, 0);
+        assert!(s.client_hist.is_empty());
+        assert!(s.tenants.is_empty());
+        // The pre-v7 fields still read in full.
         assert_eq!(s.latency_hist, vec![(1, 300), (2, 80), (7, 15), (10, 5)]);
         assert_eq!(s.result_digest, 0xDEAD_BEEF_CAFE_F00D);
     }
@@ -1412,7 +1622,7 @@ mod tests {
         let r = sample_report();
         let text = r
             .to_json_string()
-            .replace("\"schema_version\": 6", "\"schema_version\": 2");
+            .replace("\"schema_version\": 7", "\"schema_version\": 2");
         let back = RunReport::parse(&text).unwrap();
         assert_eq!(back.serving, None);
         assert_eq!(back.series, r.series);
@@ -1559,7 +1769,7 @@ mod tests {
         let r = sample_report();
         let text = r
             .to_json_string()
-            .replace("\"schema_version\": 6", "\"schema_version\": 4");
+            .replace("\"schema_version\": 7", "\"schema_version\": 4");
         let back = RunReport::parse(&text).unwrap();
         assert_eq!(back.rnn, None);
         assert_eq!(back.tags, r.tags);
@@ -1575,7 +1785,7 @@ mod tests {
         r.rnn = Some(sample_rnn());
         let text = r
             .to_json_string()
-            .replace("\"schema_version\": 6", "\"schema_version\": 5");
+            .replace("\"schema_version\": 7", "\"schema_version\": 5");
         assert!(!text.contains("\"query_forensics\""));
         assert!(!text.contains("\"dropped_spans_per_rank\""));
         let back = RunReport::parse(&text).unwrap();
@@ -1604,6 +1814,7 @@ mod tests {
                 QueryExemplar {
                     idx: 17,
                     pool_id: 41,
+                    tenant: 1,
                     verdict: "answered".into(),
                     why: "slow|deadline_miss".into(),
                     degrade_level: 1,
@@ -1624,6 +1835,7 @@ mod tests {
                 QueryExemplar {
                     idx: 3,
                     pool_id: 9,
+                    tenant: 0,
                     verdict: "shed_overload".into(),
                     why: "shed".into(),
                     degrade_level: 0,
@@ -1658,6 +1870,8 @@ mod tests {
         assert_eq!(q.exemplars[0].cache_key_hash, 0xABCD_EF01_2345_6789);
         assert_eq!(q.digest, 0xFEED_FACE_0123_4567);
         assert!(q.exemplars[0].deadline_miss);
+        assert_eq!(q.exemplars[0].tenant, 1);
+        assert_eq!(q.exemplars[1].tenant, 0);
         // The waterfall invariant holds for every exemplar.
         for e in &q.exemplars {
             assert_eq!(e.stage_sum(), e.latency_slots);

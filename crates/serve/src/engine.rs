@@ -33,16 +33,19 @@
 use crate::cache::{QuantizeKey, ResultCache};
 use crate::forensics::{fnv_seed, fnv_u64, hash_quantized_key, ForensicsCollector, QueryForensics};
 use crate::params::ServeParams;
-use crate::workload::ArrivalPlan;
+use crate::workload::{Arrival, ArrivalPlan, ArrivalProcess, PoolPicker, WorkloadSpec, SALT_THINK};
 use dataset::batch::BatchMetric;
 use dataset::point::Point;
 use dataset::set::{PointId, PointSet};
 use dnnd::query::SearchEngine;
 use dnnd::{DistSearchParams, QueryProfile};
 use nnd::graph::KnnGraph;
-use obs::{RunReport, ServingSection};
+use obs::{RunReport, ServingSection, TenantSloSection};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
+use ygm::fault::mix;
 use ygm::{all_gather, Comm, SlotTimer, World, WorldReport};
 
 /// Tag for replicating each dispatch's results to every rank.
@@ -82,8 +85,73 @@ pub struct ServingStats {
     /// Exact latency histogram `(latency_slots, count)`, sorted by
     /// latency. Cache hits land in bucket 0.
     pub latency_hist: Vec<(u64, u64)>,
+    /// Exact *client-perceived* latency histogram: done slot minus the
+    /// issuing client's **first** attempt at the query, so closed-loop
+    /// shed-and-retry time accumulates. Equal to `latency_hist` for an
+    /// open loop — the divergence under saturation is coordinated
+    /// omission made visible.
+    pub client_hist: Vec<(u64, u64)>,
+    /// Per-tenant-class SLO accounting, in declaration (priority) order.
+    /// Empty when the workload declares no tenant classes.
+    pub tenants: Vec<TenantStats>,
     /// FNV-1a digest over `(arrival idx, result ids)` in arrival order.
     pub result_digest: u64,
+}
+
+/// Per-tenant-class slice of a run's SLO accounting.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TenantStats {
+    pub name: String,
+    pub share_pct: u64,
+    pub offered: u64,
+    pub admitted: u64,
+    pub answered: u64,
+    pub cache_hits: u64,
+    pub shed_overload: u64,
+    pub shed_deadline: u64,
+    pub degraded: u64,
+    /// Exact latency histogram of this class's answered queries (cache
+    /// hits in bucket 0).
+    pub latency_hist: Vec<(u64, u64)>,
+}
+
+impl TenantStats {
+    /// Queries of this class that received an answer (search + cache).
+    pub fn total_answered(&self) -> u64 {
+        self.answered + self.cache_hits
+    }
+
+    /// SLO attainment: fraction of offered queries answered (0 when
+    /// nothing was offered).
+    pub fn slo_attainment(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.total_answered() as f64 / self.offered as f64
+        }
+    }
+
+    /// Exact latency percentile of this class in virtual nanoseconds.
+    pub fn percentile_ns(&self, q: f64, slot_ns: u64) -> u64 {
+        hist_percentile_slots(&self.latency_hist, q).unwrap_or(0) * slot_ns
+    }
+}
+
+/// Exact percentile over a `(slots, count)` histogram; `None` when empty.
+fn hist_percentile_slots(hist: &[(u64, u64)], q: f64) -> Option<u64> {
+    let total: u64 = hist.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return None;
+    }
+    let want = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0;
+    for &(slots, count) in hist {
+        cum += count;
+        if cum >= want {
+            return Some(slots);
+        }
+    }
+    hist.last().map(|&(s, _)| s)
 }
 
 impl ServingStats {
@@ -95,21 +163,16 @@ impl ServingStats {
     /// Exact latency percentile in virtual nanoseconds (`q` in `[0, 1]`);
     /// 0 when nothing was answered.
     pub fn percentile_ns(&self, q: f64) -> u64 {
-        let total: u64 = self.latency_hist.iter().map(|&(_, c)| c).sum();
-        if total == 0 {
-            return 0;
-        }
-        let want = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut cum = 0;
-        for &(slots, count) in &self.latency_hist {
-            cum += count;
-            if cum >= want {
-                return slots * self.slot_ns;
-            }
-        }
-        self.latency_hist
-            .last()
-            .map_or(0, |&(s, _)| s * self.slot_ns)
+        hist_percentile_slots(&self.latency_hist, q).unwrap_or(0) * self.slot_ns
+    }
+
+    /// Exact *client-perceived* latency percentile in virtual
+    /// nanoseconds: measured from each query's first issue, so
+    /// closed-loop retry time counts. Diverges upward from
+    /// [`Self::percentile_ns`] exactly when coordinated omission would
+    /// hide queueing pain.
+    pub fn client_percentile_ns(&self, q: f64) -> u64 {
+        hist_percentile_slots(&self.client_hist, q).unwrap_or(0) * self.slot_ns
     }
 
     /// Mean answered latency in virtual nanoseconds.
@@ -152,6 +215,32 @@ impl ServingStats {
             h = fnv_u64(h, s);
             h = fnv_u64(h, c);
         }
+        for &(s, c) in &self.client_hist {
+            h = fnv_u64(h, s);
+            h = fnv_u64(h, c);
+        }
+        for t in &self.tenants {
+            h = fnv_u64(h, t.name.len() as u64);
+            for b in t.name.bytes() {
+                h = fnv_u64(h, b as u64);
+            }
+            for v in [
+                t.share_pct,
+                t.offered,
+                t.admitted,
+                t.answered,
+                t.cache_hits,
+                t.shed_overload,
+                t.shed_deadline,
+                t.degraded,
+            ] {
+                h = fnv_u64(h, v);
+            }
+            for &(s, c) in &t.latency_hist {
+                h = fnv_u64(h, s);
+                h = fnv_u64(h, c);
+            }
+        }
         h
     }
 
@@ -175,6 +264,28 @@ impl ServingStats {
             p99_ns: self.percentile_ns(0.99),
             mean_latency_ns: self.mean_latency_ns(),
             latency_hist: self.latency_hist.clone(),
+            client_p50_ns: self.client_percentile_ns(0.50),
+            client_p99_ns: self.client_percentile_ns(0.99),
+            client_hist: self.client_hist.clone(),
+            tenants: self
+                .tenants
+                .iter()
+                .map(|t| TenantSloSection {
+                    name: t.name.clone(),
+                    share_pct: t.share_pct,
+                    offered: t.offered,
+                    admitted: t.admitted,
+                    answered: t.answered,
+                    cache_hits: t.cache_hits,
+                    shed_overload: t.shed_overload,
+                    shed_deadline: t.shed_deadline,
+                    degraded: t.degraded,
+                    slo_attainment: t.slo_attainment(),
+                    p50_ns: t.percentile_ns(0.50, self.slot_ns),
+                    p99_ns: t.percentile_ns(0.99, self.slot_ns),
+                    latency_hist: t.latency_hist.clone(),
+                })
+                .collect(),
             result_digest: self.result_digest,
         }
     }
@@ -194,17 +305,229 @@ pub struct ServeOutcome {
     /// Every answered query: `(arrival idx, pool id, result ids)` in
     /// arrival order. Cache hits carry the cached ids.
     pub answers: Vec<(u64, usize, Vec<PointId>)>,
+    /// Every arrival the run actually issued, in issue order: the static
+    /// plan for an open loop, the minted log for closed-loop clients
+    /// (retries included). Part of the replicated state the cross-rank
+    /// equality assertion covers.
+    pub arrivals: Vec<Arrival>,
     /// Per-query lifecycle forensics: the tail-sampled records, stage
     /// waterfalls, and their digest (folded into the cross-rank
     /// fingerprint check).
     pub forensics: QueryForensics,
 }
 
-/// A query waiting in the logical frontend queue.
+/// In-loop per-tenant counters; folded into [`TenantStats`] at the end.
+#[derive(Default)]
+struct TenantAcc {
+    offered: u64,
+    admitted: u64,
+    answered: u64,
+    cache_hits: u64,
+    shed_overload: u64,
+    shed_deadline: u64,
+    degraded: u64,
+    hist: BTreeMap<u64, u64>,
+}
+
+/// A query waiting in its tenant's frontend queue.
 struct Pending {
     idx: u64,
     pool_id: usize,
+    tenant: usize,
+    client: u64,
     arrived_slot: u64,
+    first_issue_slot: u64,
+}
+
+/// Where the engine gets its arrivals: the pregenerated open-loop plan,
+/// or closed-loop clients minting queries as their predecessors complete.
+enum ArrivalSource {
+    Open { arrivals: Vec<Arrival>, next: usize },
+    Closed(Box<ClosedLoop>),
+}
+
+impl ArrivalSource {
+    fn new(params: &ServeParams, pool_len: usize) -> ArrivalSource {
+        match params.workload.arrival {
+            ArrivalProcess::Open => ArrivalSource::Open {
+                arrivals: ArrivalPlan::try_generate(params, pool_len)
+                    .unwrap_or_else(|e| panic!("invalid workload: {e}"))
+                    .arrivals,
+                next: 0,
+            },
+            ArrivalProcess::Closed { clients, think_ns } => ArrivalSource::Closed(Box::new(
+                ClosedLoop::new(params, pool_len, clients, think_ns),
+            )),
+        }
+    }
+
+    /// Whether more queries can still arrive (the slot loop additionally
+    /// drains the queues before exiting).
+    fn has_more(&self) -> bool {
+        match self {
+            ArrivalSource::Open { arrivals, next } => *next < arrivals.len(),
+            ArrivalSource::Closed(c) => c.issued < c.budget,
+        }
+    }
+
+    /// Append the arrivals landing in `slot`, in deterministic order.
+    fn poll(&mut self, slot: u64, out: &mut Vec<Arrival>) {
+        match self {
+            ArrivalSource::Open { arrivals, next } => {
+                while *next < arrivals.len() && arrivals[*next].slot <= slot {
+                    out.push(arrivals[*next]);
+                    *next += 1;
+                }
+            }
+            ArrivalSource::Closed(c) => c.poll(slot, out),
+        }
+    }
+
+    /// A query reached its verdict (answered, cache hit, or shed) at
+    /// `done_slot`. Closed-loop clients schedule their next issue here —
+    /// retrying shed queries with the original first-issue slot, so
+    /// client-perceived latency keeps accumulating across retries.
+    fn on_complete(
+        &mut self,
+        client: u64,
+        pool_id: usize,
+        first_issue_slot: u64,
+        done_slot: u64,
+        shed: bool,
+    ) {
+        if let ArrivalSource::Closed(c) = self {
+            c.on_complete(client, pool_id, first_issue_slot, done_slot, shed);
+        }
+    }
+
+    /// Every arrival the run issued, for [`ServeOutcome::arrivals`].
+    fn into_log(self) -> Vec<Arrival> {
+        match self {
+            ArrivalSource::Open { arrivals, .. } => arrivals,
+            ArrivalSource::Closed(c) => c.log,
+        }
+    }
+}
+
+/// Closed-loop client population. Every state transition is driven by
+/// replicated slot-clock events and pure PRF draws, so the minted arrival
+/// sequence is identical across reruns and rank counts.
+struct ClosedLoop {
+    serve_seed: u64,
+    slot_ns: u64,
+    think_ns: u64,
+    /// Total issues the run may make (`ServeParams::n_arrivals`),
+    /// retries of shed queries included.
+    budget: u64,
+    issued: u64,
+    spec: WorkloadSpec,
+    picker: PoolPicker,
+    clients: Vec<ClientState>,
+    log: Vec<Arrival>,
+}
+
+struct ClientState {
+    tenant: usize,
+    /// Earliest slot this client may issue its next query.
+    next_issue: u64,
+    /// Think-time draws consumed (streams the think PRF per client).
+    seq: u64,
+    /// Shed query to reissue: `(pool_id, first_issue_slot)`.
+    retry: Option<(usize, u64)>,
+    in_flight: bool,
+}
+
+impl ClosedLoop {
+    fn new(params: &ServeParams, pool_len: usize, clients: u64, think_ns: u64) -> ClosedLoop {
+        let mut cl = ClosedLoop {
+            serve_seed: params.serve_seed,
+            slot_ns: params.slot_ns,
+            think_ns,
+            budget: params.n_arrivals as u64,
+            issued: 0,
+            spec: params.workload.clone(),
+            picker: PoolPicker::new(params, pool_len),
+            clients: Vec::new(),
+            log: Vec::new(),
+        };
+        for c in 0..clients {
+            let tenant = cl.spec.tenant_of(params.serve_seed, c);
+            // Stagger initial issues by one think draw so the population
+            // doesn't stampede slot 0 (think 0 starts everyone at 0).
+            let next_issue = cl.think_slots(c, 0, 0);
+            cl.clients.push(ClientState {
+                tenant,
+                next_issue,
+                seq: 1,
+                retry: None,
+                in_flight: false,
+            });
+        }
+        cl
+    }
+
+    /// Exponential think time in slots, scaled *down* by the rate
+    /// modulators: a flash crowd makes closed-loop clients more eager —
+    /// the analogue of thinning's rate boost for the open loop.
+    fn think_slots(&self, client: u64, seq: u64, now_slot: u64) -> u64 {
+        if self.think_ns == 0 {
+            return 0;
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(mix(self.serve_seed, SALT_THINK, client, seq, 0));
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let mult = self.spec.multiplier(now_slot * self.slot_ns).max(1e-9);
+        (-(1.0 - u).ln() * self.think_ns as f64 / mult / self.slot_ns as f64) as u64
+    }
+
+    fn poll(&mut self, slot: u64, out: &mut Vec<Arrival>) {
+        for c in 0..self.clients.len() {
+            if self.issued >= self.budget {
+                break;
+            }
+            let st = &self.clients[c];
+            if st.in_flight || st.next_issue > slot {
+                continue;
+            }
+            let idx = self.issued;
+            self.issued += 1;
+            let (pool_id, first_issue_slot) = match self.clients[c].retry.take() {
+                Some((p, f)) => (p, f),
+                None => (self.picker.pick(self.serve_seed, idx), slot),
+            };
+            self.clients[c].in_flight = true;
+            let a = Arrival {
+                idx,
+                slot,
+                pool_id,
+                tenant: self.clients[c].tenant,
+                client: c as u64,
+                first_issue_slot,
+            };
+            self.log.push(a);
+            out.push(a);
+        }
+    }
+
+    fn on_complete(
+        &mut self,
+        client: u64,
+        pool_id: usize,
+        first_issue_slot: u64,
+        done_slot: u64,
+        shed: bool,
+    ) {
+        let seq = self.clients[client as usize].seq;
+        let think = self.think_slots(client, seq, done_slot);
+        let st = &mut self.clients[client as usize];
+        st.in_flight = false;
+        st.seq += 1;
+        st.retry = if shed {
+            Some((pool_id, first_issue_slot))
+        } else {
+            None
+        };
+        st.next_issue = done_slot + 1 + think;
+    }
 }
 
 /// Search parameters at a degrade level: level 1 halves epsilon and trims
@@ -253,15 +576,32 @@ where
     params
         .validate()
         .unwrap_or_else(|e| panic!("invalid ServeParams: {e}"));
-    let plan = ArrivalPlan::generate(params, pool.len());
+    let spec = params.workload.clone();
+    let n_classes = spec.n_tenant_classes();
+    // Per-class queue quota: ceil(share% of the shed watermark), at least
+    // 1. The implicit single class gets the whole watermark, which makes
+    // the quota check coincide exactly with the legacy global one.
+    let quotas: Vec<usize> = if spec.tenants.is_empty() {
+        vec![params.shed_watermark]
+    } else {
+        spec.tenants
+            .iter()
+            .map(|t| ((params.shed_watermark as u64 * t.share_pct).div_ceil(100)).max(1) as usize)
+            .collect()
+    };
+    let mut source = ArrivalSource::new(params, pool.len());
     let engine = SearchEngine::new(comm, Arc::clone(base), Arc::clone(graph), metric.clone());
     comm.name_tag(TAG_RESULTS, "serve_results");
     comm.name_tag(TAG_FINGERPRINT, "serve_fingerprint");
 
     let mut timer = SlotTimer::new(params.slot_ns);
-    let mut queue: VecDeque<Pending> = VecDeque::new();
+    // One FIFO per tenant class; dispatch drains them in declaration
+    // (priority) order.
+    let mut queues: Vec<VecDeque<Pending>> = (0..n_classes).map(|_| VecDeque::new()).collect();
+    let mut tacc: Vec<TenantAcc> = (0..n_classes).map(|_| TenantAcc::default()).collect();
     let mut cache = ResultCache::new(params.cache_capacity);
     let mut hist: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut client_hist: BTreeMap<u64, u64> = BTreeMap::new();
     let mut stats = ServingStats {
         serve_seed: params.serve_seed,
         slot_ns: params.slot_ns,
@@ -274,13 +614,13 @@ where
         params.forensics_slow_n,
         params.deadline_slots,
     );
-    let mut next = 0usize;
+    let mut arrivals_now: Vec<Arrival> = Vec::new();
     let mut slot = 0u64;
     let mut last_retransmits = comm.fault_retransmits();
     let me = comm.rank();
     let n_ranks = comm.n_ranks();
 
-    while next < plan.arrivals.len() || !queue.is_empty() {
+    while source.has_more() || queues.iter().any(|q| !q.is_empty()) {
         comm.trace_begin_arg("serve_slot", slot);
         // Per-slot control-plane counters (satellite gauges, rank 0).
         let mut slot_cache_hits = 0u64;
@@ -288,10 +628,11 @@ where
         let mut slot_degraded = 0u64;
 
         // --- arrivals + cache probes + admission -------------------------
-        while next < plan.arrivals.len() && plan.arrivals[next].slot <= slot {
-            let a = plan.arrivals[next];
-            next += 1;
+        arrivals_now.clear();
+        source.poll(slot, &mut arrivals_now);
+        for &a in &arrivals_now {
             stats.offered += 1;
+            tacc[a.tenant].offered += 1;
             let key = pool.point(a.pool_id as PointId).quantize(params.quant_step);
             let key_hash = hash_quantized_key(&key);
             // Rank 0 stands in for the frontend: one async lifecycle
@@ -300,57 +641,74 @@ where
             if me == 0 {
                 comm.trace_async_begin("query", QUERY_FLOW_BASE | a.idx);
             }
+            let depth: usize = queues.iter().map(|q| q.len()).sum();
             if let Some(ids) = cache.get(&key) {
                 stats.cache_hits += 1;
                 slot_cache_hits += 1;
+                tacc[a.tenant].cache_hits += 1;
                 *hist.entry(0).or_insert(0) += 1;
-                forensics.cache_hit(a.idx, a.pool_id as u64, key_hash, slot);
+                *tacc[a.tenant].hist.entry(0).or_insert(0) += 1;
+                *client_hist.entry(slot - a.first_issue_slot).or_insert(0) += 1;
+                forensics.cache_hit(a.idx, a.pool_id as u64, a.tenant as u64, key_hash, slot);
                 if me == 0 {
                     comm.trace_async_end("query", QUERY_FLOW_BASE | a.idx);
                 }
                 answers.push((a.idx, a.pool_id, ids));
-            } else if queue.len() >= params.shed_watermark {
+                source.on_complete(a.client, a.pool_id, a.first_issue_slot, slot, false);
+            } else if depth >= params.shed_watermark || queues[a.tenant].len() >= quotas[a.tenant] {
                 stats.shed_overload += 1;
                 slot_shed += 1;
-                forensics.shed_overload(a.idx, a.pool_id as u64, key_hash, slot);
+                tacc[a.tenant].shed_overload += 1;
+                forensics.shed_overload(a.idx, a.pool_id as u64, a.tenant as u64, key_hash, slot);
                 if me == 0 {
                     comm.trace_async_end("query", QUERY_FLOW_BASE | a.idx);
                 }
+                source.on_complete(a.client, a.pool_id, a.first_issue_slot, slot, true);
             } else {
-                queue.push_back(Pending {
+                queues[a.tenant].push_back(Pending {
                     idx: a.idx,
                     pool_id: a.pool_id,
+                    tenant: a.tenant,
+                    client: a.client,
                     arrived_slot: slot,
+                    first_issue_slot: a.first_issue_slot,
                 });
                 stats.admitted += 1;
+                tacc[a.tenant].admitted += 1;
             }
         }
-        stats.max_queue_depth = stats.max_queue_depth.max(queue.len() as u64);
+        let depth: usize = queues.iter().map(|q| q.len()).sum();
+        stats.max_queue_depth = stats.max_queue_depth.max(depth as u64);
 
         // --- deadline shedding -------------------------------------------
-        while let Some(front) = queue.front() {
-            if slot - front.arrived_slot > params.deadline_slots {
-                let p = queue.pop_front().unwrap();
-                stats.shed_deadline += 1;
-                slot_shed += 1;
-                let key = pool.point(p.pool_id as PointId).quantize(params.quant_step);
-                forensics.shed_deadline(
-                    p.idx,
-                    p.pool_id as u64,
-                    hash_quantized_key(&key),
-                    p.arrived_slot,
-                    slot,
-                );
-                if me == 0 {
-                    comm.trace_async_end("query", QUERY_FLOW_BASE | p.idx);
+        for t in 0..n_classes {
+            while let Some(front) = queues[t].front() {
+                if slot - front.arrived_slot > params.deadline_slots {
+                    let p = queues[t].pop_front().unwrap();
+                    stats.shed_deadline += 1;
+                    slot_shed += 1;
+                    tacc[t].shed_deadline += 1;
+                    let key = pool.point(p.pool_id as PointId).quantize(params.quant_step);
+                    forensics.shed_deadline(
+                        p.idx,
+                        p.pool_id as u64,
+                        p.tenant as u64,
+                        hash_quantized_key(&key),
+                        p.arrived_slot,
+                        slot,
+                    );
+                    if me == 0 {
+                        comm.trace_async_end("query", QUERY_FLOW_BASE | p.idx);
+                    }
+                    source.on_complete(p.client, p.pool_id, p.first_issue_slot, slot, true);
+                } else {
+                    break;
                 }
-            } else {
-                break;
             }
         }
 
         // --- degrade ladder ----------------------------------------------
-        let depth = queue.len();
+        let depth: usize = queues.iter().map(|q| q.len()).sum();
         let level2_mark = params.degrade_watermark.midpoint(params.shed_watermark);
         let level: u8 = if depth >= level2_mark && depth >= params.degrade_watermark {
             2
@@ -361,13 +719,26 @@ where
         };
 
         // --- adaptive micro-batch flush ----------------------------------
-        let oldest_age = queue.front().map_or(0, |p| slot - p.arrived_slot);
-        let flush = !queue.is_empty()
-            && (queue.len() >= params.batch || oldest_age >= params.flush_age_slots);
+        let oldest_age = queues
+            .iter()
+            .filter_map(|q| q.front().map(|p| slot - p.arrived_slot))
+            .max()
+            .unwrap_or(0);
+        let flush = depth > 0 && (depth >= params.batch || oldest_age >= params.flush_age_slots);
         let mut dispatched = 0u64;
         if flush {
-            let take = dispatch_capacity(params.batch, level).min(queue.len());
-            let items: Vec<Pending> = queue.drain(..take).collect();
+            let take = dispatch_capacity(params.batch, level).min(depth);
+            // Priority drain: higher classes (declared earlier) fill the
+            // dispatch window first; within a class, FIFO.
+            let mut items: Vec<Pending> = Vec::with_capacity(take);
+            for q in queues.iter_mut() {
+                while items.len() < take {
+                    match q.pop_front() {
+                        Some(p) => items.push(p),
+                        None => break,
+                    }
+                }
+            }
             dispatched = items.len() as u64;
             let sp = degraded_search(&params.search, level);
 
@@ -422,15 +793,24 @@ where
                     .expect("result for undispatched query");
                 let latency_slots = slot - p.arrived_slot + 1 + penalty;
                 *hist.entry(latency_slots).or_insert(0) += 1;
+                *tacc[p.tenant].hist.entry(latency_slots).or_insert(0) += 1;
+                // Client-perceived latency anchors on the first issue, so
+                // closed-loop shed-and-retry time is charged in full.
+                *client_hist
+                    .entry(latency_slots + (p.arrived_slot - p.first_issue_slot))
+                    .or_insert(0) += 1;
                 stats.answered += 1;
+                tacc[p.tenant].answered += 1;
                 if level > 0 {
                     stats.degraded += 1;
+                    tacc[p.tenant].degraded += 1;
                     slot_degraded += 1;
                 }
                 let key = pool.point(p.pool_id as PointId).quantize(params.quant_step);
                 forensics.answered(
                     idx,
                     p.pool_id as u64,
+                    p.tenant as u64,
                     hash_quantized_key(&key),
                     p.arrived_slot,
                     slot,
@@ -445,12 +825,22 @@ where
                 }
                 cache.insert(key, ids.clone());
                 answers.push((idx, p.pool_id, ids));
+                source.on_complete(
+                    p.client,
+                    p.pool_id,
+                    p.first_issue_slot,
+                    p.arrived_slot + latency_slots,
+                    false,
+                );
             }
         }
 
         // --- telemetry + slot alignment ----------------------------------
         if me == 0 {
-            comm.gauge("serve_queue_depth", queue.len() as f64);
+            comm.gauge(
+                "serve_queue_depth",
+                queues.iter().map(|q| q.len()).sum::<usize>() as f64,
+            );
             comm.gauge("serve_dispatched", dispatched as f64);
             comm.gauge("serve_cache_hits", slot_cache_hits as f64);
             comm.gauge("serve_shed", slot_shed as f64);
@@ -474,6 +864,26 @@ where
     }
     stats.result_digest = digest;
     stats.latency_hist = hist.into_iter().collect();
+    stats.client_hist = client_hist.into_iter().collect();
+    if !spec.tenants.is_empty() {
+        stats.tenants = spec
+            .tenants
+            .iter()
+            .zip(tacc)
+            .map(|(tc, acc)| TenantStats {
+                name: tc.name.clone(),
+                share_pct: tc.share_pct,
+                offered: acc.offered,
+                admitted: acc.admitted,
+                answered: acc.answered,
+                cache_hits: acc.cache_hits,
+                shed_overload: acc.shed_overload,
+                shed_deadline: acc.shed_deadline,
+                degraded: acc.degraded,
+                latency_hist: acc.hist.into_iter().collect(),
+            })
+            .collect();
+    }
     let forensics = forensics.finalize();
 
     // Built-in determinism check: every rank must have produced the exact
@@ -492,6 +902,7 @@ where
     ServeOutcome {
         stats,
         answers,
+        arrivals: source.into_log(),
         forensics,
     }
 }

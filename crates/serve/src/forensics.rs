@@ -122,6 +122,8 @@ pub struct QueryRecord {
     /// Query-pool id. The home rank is `pool_id % n_ranks` *for a given
     /// run*; it is derived at log-write time, never stored.
     pub pool_id: u64,
+    /// Tenant class index (0 when the workload declares no classes).
+    pub tenant: u64,
     pub verdict: Verdict,
     /// Degrade level the answering dispatch ran at (0 when not answered
     /// by a search).
@@ -172,6 +174,7 @@ impl QueryRecord {
         for v in [
             self.idx,
             self.pool_id,
+            self.tenant,
             self.verdict as u64,
             self.degrade_level,
             self.cache_key_hash,
@@ -218,11 +221,12 @@ impl ForensicsCollector {
     }
 
     /// Answered from the cache in the arrival slot: every stage is 0.
-    pub fn cache_hit(&mut self, idx: u64, pool_id: u64, key_hash: u64, slot: u64) {
+    pub fn cache_hit(&mut self, idx: u64, pool_id: u64, tenant: u64, key_hash: u64, slot: u64) {
         self.records.push(
             QueryRecord {
                 idx,
                 pool_id,
+                tenant,
                 verdict: Verdict::CacheHit,
                 cache_key_hash: key_hash,
                 arrived_slot: slot,
@@ -234,11 +238,12 @@ impl ForensicsCollector {
     }
 
     /// Refused at admission: the verdict lands in the arrival slot.
-    pub fn shed_overload(&mut self, idx: u64, pool_id: u64, key_hash: u64, slot: u64) {
+    pub fn shed_overload(&mut self, idx: u64, pool_id: u64, tenant: u64, key_hash: u64, slot: u64) {
         self.records.push(
             QueryRecord {
                 idx,
                 pool_id,
+                tenant,
                 verdict: Verdict::ShedOverload,
                 cache_key_hash: key_hash,
                 arrived_slot: slot,
@@ -255,6 +260,7 @@ impl ForensicsCollector {
         &mut self,
         idx: u64,
         pool_id: u64,
+        tenant: u64,
         key_hash: u64,
         arrived_slot: u64,
         slot: u64,
@@ -264,6 +270,7 @@ impl ForensicsCollector {
             QueryRecord {
                 idx,
                 pool_id,
+                tenant,
                 verdict: Verdict::ShedDeadline,
                 cache_key_hash: key_hash,
                 arrived_slot,
@@ -286,6 +293,7 @@ impl ForensicsCollector {
         &mut self,
         idx: u64,
         pool_id: u64,
+        tenant: u64,
         key_hash: u64,
         arrived_slot: u64,
         slot: u64,
@@ -301,6 +309,7 @@ impl ForensicsCollector {
             QueryRecord {
                 idx,
                 pool_id,
+                tenant,
                 verdict: Verdict::Answered,
                 degrade_level,
                 cache_key_hash: key_hash,
@@ -463,6 +472,7 @@ impl QueryForensics {
                 .map(|(r, w)| QueryExemplar {
                     idx: r.idx,
                     pool_id: r.pool_id,
+                    tenant: r.tenant,
                     verdict: r.verdict.as_str().to_string(),
                     why: why_string(*w),
                     degrade_level: r.degrade_level,
@@ -494,7 +504,7 @@ impl QueryForensics {
         for (r, w) in &self.sampled {
             out.push_str(&format!(
                 concat!(
-                    "{{\"idx\":{},\"pool_id\":{},\"home_rank\":{},\"verdict\":\"{}\",",
+                    "{{\"idx\":{},\"pool_id\":{},\"tenant\":{},\"home_rank\":{},\"verdict\":\"{}\",",
                     "\"why\":\"{}\",\"degrade_level\":{},\"cache_key_hash\":\"{:016x}\",",
                     "\"arrived_slot\":{},\"done_slot\":{},\"admission_slots\":{},",
                     "\"batch_wait_slots\":{},\"dispatch_slots\":{},\"search_slots\":{},",
@@ -503,6 +513,7 @@ impl QueryForensics {
                 ),
                 r.idx,
                 r.pool_id,
+                r.tenant,
                 r.pool_id as usize % n_ranks,
                 r.verdict.as_str(),
                 why_string(*w),
@@ -537,10 +548,10 @@ mod tests {
     #[test]
     fn stage_sums_equal_latency_for_every_verdict() {
         let mut c = collector();
-        c.cache_hit(0, 5, 0xAA, 3);
-        c.shed_overload(1, 6, 0xBB, 3);
-        c.shed_deadline(2, 7, 0xCC, 3, 12);
-        c.answered(3, 8, 0xDD, 3, 7, 2, 1, 10, 200, 11);
+        c.cache_hit(0, 5, 0, 0xAA, 3);
+        c.shed_overload(1, 6, 0, 0xBB, 3);
+        c.shed_deadline(2, 7, 1, 0xCC, 3, 12);
+        c.answered(3, 8, 1, 0xDD, 3, 7, 2, 1, 10, 200, 11);
         let f = c.finalize();
         assert_eq!(f.considered, 4);
         for (r, _) in &f.sampled {
@@ -554,7 +565,7 @@ mod tests {
         let mut c = collector();
         // arrived 3, dispatched at slot 7, 2 penalty slots:
         // latency = (7-3) + 1 + 2 = 7.
-        c.answered(0, 1, 0, 3, 7, 2, 0, 5, 80, 6);
+        c.answered(0, 1, 0, 0, 3, 7, 2, 0, 5, 80, 6);
         let f = c.finalize();
         let (r, _) = &f.sampled[0];
         assert_eq!(r.batch_wait_slots, 4);
@@ -567,9 +578,9 @@ mod tests {
     #[test]
     fn deadline_miss_flags_follow_the_budget() {
         let mut c = ForensicsCollector::new(1, 8, 0, 4);
-        c.answered(0, 1, 0, 0, 2, 0, 0, 1, 1, 1); // latency 3 <= 4
-        c.answered(1, 2, 0, 0, 4, 1, 0, 1, 1, 1); // latency 6 > 4
-        c.shed_deadline(2, 3, 0, 0, 5);
+        c.answered(0, 1, 0, 0, 0, 2, 0, 0, 1, 1, 1); // latency 3 <= 4
+        c.answered(1, 2, 0, 0, 0, 4, 1, 0, 1, 1, 1); // latency 6 > 4
+        c.shed_deadline(2, 3, 0, 0, 0, 5);
         let f = c.finalize();
         // slow_n = 0: only exemplars retained, and both deadline misses
         // are among them.
@@ -587,9 +598,9 @@ mod tests {
     fn sampler_keeps_slowest_n_per_window() {
         let mut c = ForensicsCollector::new(7, 100, 1, 100);
         // Three answered queries in one window; latencies 1, 5, 3.
-        c.answered(0, 1, 0, 0, 0, 0, 0, 1, 1, 1);
-        c.answered(1, 2, 0, 0, 4, 0, 0, 1, 1, 1);
-        c.answered(2, 3, 0, 2, 4, 0, 0, 1, 1, 1);
+        c.answered(0, 1, 0, 0, 0, 0, 0, 0, 1, 1, 1);
+        c.answered(1, 2, 0, 0, 0, 4, 0, 0, 1, 1, 1);
+        c.answered(2, 3, 0, 0, 2, 4, 0, 0, 1, 1, 1);
         let f = c.finalize();
         assert_eq!(f.retained_slow, 1);
         assert_eq!(f.retained_exemplar, 0);
@@ -606,9 +617,9 @@ mod tests {
     #[test]
     fn shed_and_degraded_are_unconditional_exemplars() {
         let mut c = ForensicsCollector::new(7, 8, 0, 100);
-        c.shed_overload(0, 1, 0, 0);
-        c.answered(1, 2, 0, 0, 0, 0, 2, 1, 1, 1);
-        c.cache_hit(2, 3, 0, 1);
+        c.shed_overload(0, 1, 0, 0, 0);
+        c.answered(1, 2, 0, 0, 0, 0, 0, 2, 1, 1, 1);
+        c.cache_hit(2, 3, 0, 0, 1);
         let f = c.finalize();
         assert_eq!(f.sampled.len(), 2);
         assert_eq!(f.sampled[0].1, WHY_SHED);
@@ -619,9 +630,9 @@ mod tests {
     #[test]
     fn finalize_is_deterministic_and_digest_covers_records() {
         let fill = |c: &mut ForensicsCollector| {
-            c.cache_hit(0, 5, 0xAA, 0);
-            c.answered(1, 6, 0xBB, 0, 3, 1, 1, 4, 60, 5);
-            c.shed_deadline(2, 7, 0xCC, 1, 10);
+            c.cache_hit(0, 5, 0, 0xAA, 0);
+            c.answered(1, 6, 0, 0xBB, 0, 3, 1, 1, 4, 60, 5);
+            c.shed_deadline(2, 7, 0, 0xCC, 1, 10);
         };
         let mut a = collector();
         let mut b = collector();
@@ -640,8 +651,8 @@ mod tests {
         // only on the seed.
         let run = |seed: u64| {
             let mut c = ForensicsCollector::new(seed, 8, 1, 100);
-            c.answered(0, 1, 0, 0, 0, 0, 0, 1, 1, 1);
-            c.answered(1, 2, 0, 0, 0, 0, 0, 1, 1, 1);
+            c.answered(0, 1, 0, 0, 0, 0, 0, 0, 1, 1, 1);
+            c.answered(1, 2, 0, 0, 0, 0, 0, 0, 1, 1, 1);
             c.finalize().sampled[0].0.idx
         };
         let picks: Vec<u64> = (0..64).map(run).collect();
@@ -652,13 +663,14 @@ mod tests {
     #[test]
     fn section_translation_and_log_derive_home_rank() {
         let mut c = collector();
-        c.answered(3, 10, 0xFEED, 0, 9, 0, 1, 2, 30, 3);
+        c.answered(3, 10, 1, 0xFEED, 0, 9, 0, 1, 2, 30, 3);
         let f = c.finalize();
         let s = f.to_section();
         assert_eq!(s.considered, 1);
         assert_eq!(s.exemplars.len(), 1);
         let e = &s.exemplars[0];
         assert_eq!(e.verdict, "answered");
+        assert_eq!(e.tenant, 1);
         assert!(e.why.contains("slow") && e.why.contains("degraded"));
         assert!(e.deadline_miss); // latency 10 > deadline 8
         assert_eq!(e.stage_sum(), e.latency_slots);
@@ -667,6 +679,7 @@ mod tests {
         let log = f.slow_query_log(4);
         let line = log.lines().next().unwrap();
         assert!(line.contains("\"home_rank\":2")); // 10 % 4
+        assert!(line.contains("\"tenant\":1"));
         assert!(line.contains("\"cache_key_hash\":\"000000000000feed\""));
         assert!(line.contains("\"deadline_miss\":true"));
         // One JSON object per line, parseable.

@@ -52,8 +52,13 @@ pub mod params;
 pub mod workload;
 
 pub use cache::{QuantizeKey, ResultCache};
-pub use engine::{attach_serving, run_serve, serve_on_comm, ServeOutcome, ServingStats};
+pub use engine::{
+    attach_serving, run_serve, serve_on_comm, ServeOutcome, ServingStats, TenantStats,
+};
 pub use forensics::{attach_forensics, ForensicsCollector, QueryForensics, QueryRecord, Verdict};
 pub use graph_mode::GraphMode;
 pub use params::ServeParams;
-pub use workload::{Arrival, ArrivalPlan};
+pub use workload::{
+    zipf_cdf, Arrival, ArrivalPlan, ArrivalProcess, BurstWindow, Diurnal, PoolDist, PoolPicker,
+    TenantClass, WorkloadSpec,
+};

@@ -6,7 +6,9 @@
 //! one parameter set replays a run exactly (see the determinism contract
 //! in the crate docs).
 
+use crate::workload::{ArrivalProcess, BurstWindow, Diurnal, PoolDist, TenantClass, WorkloadSpec};
 use dnnd::DistSearchParams;
+use std::fmt;
 
 /// Parameters of one online serving run. Construct with [`ServeParams::new`]
 /// and the builder methods (each validates its argument), or start from
@@ -57,6 +59,11 @@ pub struct ServeParams {
     /// Slowest queries retained per forensics window (0 keeps only the
     /// unconditional shed/degraded/deadline-miss exemplars).
     pub forensics_slow_n: u64,
+    /// The composed workload scenario (arrival process, rate modulators,
+    /// pool distribution, tenant classes). The default spec reproduces
+    /// the pre-DSL behavior bit-for-bit; parse richer scenarios from a
+    /// `--workload` string (grammar below).
+    pub workload: WorkloadSpec,
 }
 
 impl ServeParams {
@@ -79,7 +86,26 @@ impl ServeParams {
             quant_step: 1e-3,
             forensics_window_slots: 8,
             forensics_slow_n: 4,
+            workload: WorkloadSpec::default(),
         }
+    }
+
+    /// Set the workload scenario (must validate).
+    pub fn workload(mut self, spec: WorkloadSpec) -> Self {
+        spec.validate()
+            .unwrap_or_else(|e| panic!("ServeParams: invalid workload: {e}"));
+        self.workload = spec;
+        self
+    }
+
+    /// Parse and set the workload scenario from a `--workload` spec
+    /// string (grammar in the module docs of [`crate::workload`] and the
+    /// [`std::str::FromStr`] impl below).
+    pub fn workload_str(mut self, spec: &str) -> Self {
+        self.workload = spec
+            .parse()
+            .unwrap_or_else(|e| panic!("ServeParams: invalid workload spec: {e}"));
+        self
     }
 
     /// Set the forensics tail sampler: window width in slots (must be at
@@ -232,6 +258,7 @@ impl ServeParams {
         if self.forensics_window_slots < 1 {
             return Err("forensics_window_slots must be >= 1".into());
         }
+        self.workload.validate()?;
         Ok(())
     }
 }
@@ -240,6 +267,250 @@ impl Default for ServeParams {
     /// `l = 10` search under the standard serving shape.
     fn default() -> Self {
         ServeParams::new(10)
+    }
+}
+
+// --- the `--workload` spec-string grammar ---
+//
+//   spec    := clause (';' clause)*
+//   clause  := 'open'                          open-loop Poisson (default)
+//            | 'closed' ':' kv-list            n=<int>, think=<dur>
+//            | 'pool'                          legacy hot/cold mix (default)
+//            | 'zipf'   ':' kv-list            s=<float>
+//            | 'sine'   ':' kv-list            period=<dur>, amp=<float>
+//            | 'burst'  ':' kv-list            at=<dur>, x=<float>,
+//                                              dur=<dur> (default 500ms)
+//            | 'tenants' '=' tenant (',' tenant)*
+//   tenant  := name ':' <int> '%'?             shares sum to 100
+//   dur     := <int> ('ns'|'us'|'ms'|'s')?     bare integers are ns
+//
+// e.g. `closed:n=64,think=5ms;zipf:s=1.1;burst:at=2s,x=8;tenants=gold:50%,free:50%`
+
+/// Parse a duration like `5ms`, `2s`, `250us`, `100` (bare = ns) to ns.
+fn parse_dur_ns(v: &str) -> Result<u64, String> {
+    let v = v.trim();
+    let (num, unit) = if let Some(n) = v.strip_suffix("ns") {
+        (n, 1u64)
+    } else if let Some(n) = v.strip_suffix("us") {
+        (n, 1_000)
+    } else if let Some(n) = v.strip_suffix("ms") {
+        (n, 1_000_000)
+    } else if let Some(n) = v.strip_suffix('s') {
+        (n, 1_000_000_000)
+    } else {
+        (v, 1)
+    };
+    let base: u64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid duration {v:?} (want e.g. 5ms, 2s, 250us, 100ns)"))?;
+    base.checked_mul(unit)
+        .ok_or_else(|| format!("duration {v:?} overflows u64 nanoseconds"))
+}
+
+/// Render `ns` with the largest unit that divides it exactly, so
+/// `Display` → `FromStr` round-trips bit-for-bit.
+fn fmt_dur_ns(ns: u64) -> String {
+    if ns > 0 && ns.is_multiple_of(1_000_000_000) {
+        format!("{}s", ns / 1_000_000_000)
+    } else if ns > 0 && ns.is_multiple_of(1_000_000) {
+        format!("{}ms", ns / 1_000_000)
+    } else if ns > 0 && ns.is_multiple_of(1_000) {
+        format!("{}us", ns / 1_000)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Split a `k=v,k=v` tail, rejecting malformed or unknown keys.
+fn parse_kvs<'a>(
+    clause: &str,
+    tail: &'a str,
+    keys: &[&str],
+) -> Result<Vec<(&'a str, &'a str)>, String> {
+    let mut out = Vec::new();
+    for kv in tail.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let (k, v) = kv
+            .split_once('=')
+            .ok_or_else(|| format!("{clause}: expected key=value, got {kv:?}"))?;
+        let (k, v) = (k.trim(), v.trim());
+        if !keys.contains(&k) {
+            return Err(format!("{clause}: unknown key {k:?} (valid: {keys:?})"));
+        }
+        if out.iter().any(|&(seen, _)| seen == k) {
+            return Err(format!("{clause}: duplicate key {k:?}"));
+        }
+        out.push((k, v));
+    }
+    Ok(out)
+}
+
+fn kv_get<'a>(kvs: &[(&str, &'a str)], key: &str) -> Option<&'a str> {
+    kvs.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v)
+}
+
+fn parse_f64(clause: &str, key: &str, v: &str) -> Result<f64, String> {
+    v.parse()
+        .map_err(|_| format!("{clause}: {key} must be a number (got {v:?})"))
+}
+
+impl std::str::FromStr for WorkloadSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let mut spec = WorkloadSpec::default();
+        let (mut saw_arrival, mut saw_pool, mut saw_sine, mut saw_tenants) =
+            (false, false, false, false);
+        for clause in s.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+            if let Some(rest) = clause.strip_prefix("tenants=") {
+                if saw_tenants {
+                    return Err("duplicate tenants clause".into());
+                }
+                saw_tenants = true;
+                for t in rest.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+                    let (name, share) = t
+                        .split_once(':')
+                        .ok_or_else(|| format!("tenants: expected name:share%, got {t:?}"))?;
+                    let share = share.trim().trim_end_matches('%');
+                    let share_pct: u64 = share.parse().map_err(|_| {
+                        format!("tenants: share for {name:?} must be an integer percent")
+                    })?;
+                    spec.tenants.push(TenantClass {
+                        name: name.trim().to_string(),
+                        share_pct,
+                    });
+                }
+                if spec.tenants.is_empty() {
+                    return Err("tenants clause declares no classes".into());
+                }
+                continue;
+            }
+            let (head, tail) = match clause.split_once(':') {
+                Some((h, t)) => (h.trim(), t),
+                None => (clause, ""),
+            };
+            match head {
+                "open" => {
+                    if saw_arrival {
+                        return Err("duplicate arrival clause (open/closed)".into());
+                    }
+                    saw_arrival = true;
+                    parse_kvs("open", tail, &[])?;
+                    spec.arrival = ArrivalProcess::Open;
+                }
+                "closed" => {
+                    if saw_arrival {
+                        return Err("duplicate arrival clause (open/closed)".into());
+                    }
+                    saw_arrival = true;
+                    let kvs = parse_kvs("closed", tail, &["n", "think"])?;
+                    let clients = kv_get(&kvs, "n")
+                        .ok_or("closed: missing n=<clients>")?
+                        .parse::<u64>()
+                        .map_err(|_| "closed: n must be an integer".to_string())?;
+                    let think_ns = match kv_get(&kvs, "think") {
+                        Some(v) => parse_dur_ns(v)?,
+                        None => 0,
+                    };
+                    spec.arrival = ArrivalProcess::Closed { clients, think_ns };
+                }
+                "pool" => {
+                    if saw_pool {
+                        return Err("duplicate pool clause (pool/zipf)".into());
+                    }
+                    saw_pool = true;
+                    parse_kvs("pool", tail, &[])?;
+                    spec.pool = PoolDist::HotCold;
+                }
+                "zipf" => {
+                    if saw_pool {
+                        return Err("duplicate pool clause (pool/zipf)".into());
+                    }
+                    saw_pool = true;
+                    let kvs = parse_kvs("zipf", tail, &["s"])?;
+                    let s = parse_f64(
+                        "zipf",
+                        "s",
+                        kv_get(&kvs, "s").ok_or("zipf: missing s=<exponent>")?,
+                    )?;
+                    spec.pool = PoolDist::Zipf { s };
+                }
+                "sine" => {
+                    if saw_sine {
+                        return Err("duplicate sine clause".into());
+                    }
+                    saw_sine = true;
+                    let kvs = parse_kvs("sine", tail, &["period", "amp"])?;
+                    let period_ns =
+                        parse_dur_ns(kv_get(&kvs, "period").ok_or("sine: missing period=<dur>")?)?;
+                    let amp = parse_f64(
+                        "sine",
+                        "amp",
+                        kv_get(&kvs, "amp").ok_or("sine: missing amp=<0..0.9>")?,
+                    )?;
+                    spec.diurnal = Some(Diurnal { period_ns, amp });
+                }
+                "burst" => {
+                    let kvs = parse_kvs("burst", tail, &["at", "x", "dur"])?;
+                    let at_ns = parse_dur_ns(kv_get(&kvs, "at").ok_or("burst: missing at=<dur>")?)?;
+                    let x = parse_f64(
+                        "burst",
+                        "x",
+                        kv_get(&kvs, "x").ok_or("burst: missing x=<multiplier>")?,
+                    )?;
+                    let dur_ns = match kv_get(&kvs, "dur") {
+                        Some(v) => parse_dur_ns(v)?,
+                        None => 500_000_000, // 500 ms default window
+                    };
+                    spec.bursts.push(BurstWindow { at_ns, dur_ns, x });
+                }
+                other => {
+                    return Err(format!(
+                        "unknown workload clause {other:?} (valid: open, closed, \
+                         pool, zipf, sine, burst, tenants)"
+                    ));
+                }
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    /// Canonical spec string: `parse(format!("{spec}")) == spec` exactly.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.arrival {
+            ArrivalProcess::Open => write!(f, "open")?,
+            ArrivalProcess::Closed { clients, think_ns } => {
+                write!(f, "closed:n={clients},think={}", fmt_dur_ns(think_ns))?
+            }
+        }
+        if let PoolDist::Zipf { s } = self.pool {
+            write!(f, ";zipf:s={s}")?;
+        }
+        if let Some(d) = self.diurnal {
+            write!(f, ";sine:period={},amp={}", fmt_dur_ns(d.period_ns), d.amp)?;
+        }
+        for b in &self.bursts {
+            write!(
+                f,
+                ";burst:at={},x={},dur={}",
+                fmt_dur_ns(b.at_ns),
+                b.x,
+                fmt_dur_ns(b.dur_ns)
+            )?;
+        }
+        if !self.tenants.is_empty() {
+            write!(f, ";tenants=")?;
+            for (i, t) in self.tenants.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{}:{}%", t.name, t.share_pct)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -302,6 +573,120 @@ mod tests {
             .validate()
             .unwrap_err()
             .contains("forensics_window_slots"));
+    }
+
+    #[test]
+    fn workload_spec_parses_the_issue_example() {
+        let spec: WorkloadSpec =
+            "closed:n=64,think=5ms;zipf:s=1.1;burst:at=2s,x=8;tenants=gold:50%,free:50%"
+                .parse()
+                .unwrap();
+        assert_eq!(
+            spec.arrival,
+            ArrivalProcess::Closed {
+                clients: 64,
+                think_ns: 5_000_000
+            }
+        );
+        assert_eq!(spec.pool, PoolDist::Zipf { s: 1.1 });
+        assert_eq!(
+            spec.bursts,
+            vec![BurstWindow {
+                at_ns: 2_000_000_000,
+                dur_ns: 500_000_000,
+                x: 8.0
+            }]
+        );
+        assert_eq!(spec.tenants.len(), 2);
+        assert_eq!(spec.tenants[0].name, "gold");
+        assert_eq!(spec.tenants[1].share_pct, 50);
+        // ...and round-trips through the canonical Display form.
+        let rt: WorkloadSpec = spec.to_string().parse().unwrap();
+        assert_eq!(rt, spec);
+    }
+
+    #[test]
+    fn workload_spec_defaults_and_empty_string() {
+        let spec: WorkloadSpec = "".parse().unwrap();
+        assert_eq!(spec, WorkloadSpec::default());
+        let spec: WorkloadSpec = "open".parse().unwrap();
+        assert_eq!(spec, WorkloadSpec::default());
+        assert_eq!(spec.to_string(), "open");
+    }
+
+    #[test]
+    fn workload_spec_rejects_malformed_strings() {
+        for (s, want) in [
+            ("bogus", "unknown workload clause"),
+            ("closed:think=5ms", "missing n"),
+            ("closed:n=0", "clients must be >= 1"),
+            ("zipf:s=9", "[0, 8]"),
+            ("zipf:s=nope", "must be a number"),
+            ("sine:period=1s,amp=2", "[0, 0.9]"),
+            ("sine:amp=0.5", "missing period"),
+            ("burst:at=1s,x=8,dur=0", "zero width"),
+            ("burst:at=1s,x=128", "[1, 64]"),
+            ("burst:x=8,at=1q", "invalid duration"),
+            ("tenants=gold:60%,free:50%", "sum to 100"),
+            ("tenants=gold:50%,gold:50%", "duplicate tenant"),
+            ("tenants=:100%", "tenant name"),
+            ("open;closed:n=4", "duplicate arrival"),
+            ("zipf:s=1;pool", "duplicate pool"),
+            ("burst:at=1s,x=8,x=9", "duplicate key"),
+            ("sine:period=1s,amp=0.5,phase=3", "unknown key"),
+        ] {
+            let err = s.parse::<WorkloadSpec>().unwrap_err();
+            assert!(
+                err.contains(want),
+                "spec {s:?}: error {err:?} lacks {want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn workload_durations_round_trip_at_every_unit() {
+        for (s, ns) in [
+            ("7ns", 7),
+            ("250us", 250_000),
+            ("5ms", 5_000_000),
+            ("2s", 2_000_000_000),
+            ("42", 42),
+        ] {
+            let spec: WorkloadSpec = format!("closed:n=1,think={s}").parse().unwrap();
+            assert_eq!(
+                spec.arrival,
+                ArrivalProcess::Closed {
+                    clients: 1,
+                    think_ns: ns
+                }
+            );
+            let rt: WorkloadSpec = spec.to_string().parse().unwrap();
+            assert_eq!(rt, spec);
+        }
+    }
+
+    #[test]
+    fn params_validate_covers_the_workload() {
+        let p = ServeParams {
+            workload: WorkloadSpec {
+                bursts: vec![BurstWindow {
+                    at_ns: 0,
+                    dur_ns: 0,
+                    x: 8.0,
+                }],
+                ..WorkloadSpec::default()
+            },
+            ..ServeParams::default()
+        };
+        assert!(p.validate().unwrap_err().contains("zero width"));
+        let p = ServeParams::default().workload_str("zipf:s=1.1;tenants=gold:50,free:50");
+        p.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload spec")]
+    fn workload_str_builder_rejects_bad_specs() {
+        let _ = ServeParams::default().workload_str("burst:at=1s,x=999");
     }
 
     #[test]

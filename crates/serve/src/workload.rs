@@ -1,17 +1,32 @@
-//! Deterministic open-loop workload generation.
+//! Deterministic workload generation: the composable scenario DSL.
 //!
-//! Arrivals follow a Poisson process at `offered_qps`: inter-arrival gaps
-//! are exponential draws stamped onto the virtual clock, each one produced
-//! by an independent ChaCha stream keyed with [`ygm::fault::mix`] on
-//! `(serve_seed, salt, arrival index)` — the same pure-PRF construction
-//! the fault injector uses for its schedules, so the workload is a pure
-//! function of the seed: no generator state threads through the run, and
-//! any arrival can be recomputed in isolation.
+//! A scenario ([`WorkloadSpec`]) composes four orthogonal pieces, every
+//! one a pure PRF of the serve seed:
 //!
-//! Query *content* is drawn from a pool set: with probability
-//! `hot_fraction` an arrival picks uniformly from the first `hot_pool`
-//! pool entries (the skewed hot set that makes the result cache earn its
-//! keep), otherwise it walks the cold remainder round-robin.
+//! - an **arrival process** — open-loop Poisson at `offered_qps` (arrivals
+//!   keep coming during saturation, measuring server-perceived latency),
+//!   or closed-loop (`N` clients with exponential think time, the next
+//!   query issued only when the previous completes — the shape that
+//!   exposes coordinated omission);
+//! - **rate modulators** — a diurnal sine and flash-crowd burst windows.
+//!   Open-loop arrivals realize them by thinning a homogeneous Poisson
+//!   stream at the peak rate; closed-loop clients scale their think time
+//!   down by the same multiplier;
+//! - a **query-pool distribution** — the legacy hot/cold mix
+//!   (`hot_fraction`/`hot_pool`) or a Zipfian over the whole pool
+//!   (`zipf:s=1.1` concentrates traffic on a few hot keys, which is what
+//!   makes the quantized-key LRU earn its keep);
+//! - **tenant classes** — named priority classes with integer-percent
+//!   shares; each arrival (open loop) or client (closed loop) is assigned
+//!   a class by a weighted PRF draw, and the engine enforces per-class
+//!   queue quotas at admission.
+//!
+//! Inter-arrival gaps are exponential draws stamped onto the virtual
+//! clock, each produced by an independent ChaCha stream keyed with
+//! [`ygm::fault::mix`] on `(serve_seed, salt, index)` — the same pure-PRF
+//! construction the fault injector uses for its schedules, so the
+//! workload is a pure function of the seed: no generator state threads
+//! through the run, and any arrival can be recomputed in isolation.
 
 use crate::params::ServeParams;
 use rand::Rng;
@@ -19,10 +34,304 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use ygm::fault::mix;
 
-/// Salt for the inter-arrival gap stream.
-const SALT_GAP: u64 = 0x05EB_FE01;
-/// Salt for the hot/cold pool pick stream.
-const SALT_POOL: u64 = 0x05EB_FE02;
+/// Salt for the inter-arrival gap stream (per open-loop candidate).
+pub const SALT_GAP: u64 = 0x05EB_FE01;
+/// Salt for the query-pool pick stream (hot/cold and Zipfian draws).
+pub const SALT_POOL: u64 = 0x05EB_FE02;
+// 0x05EB_FE03 is the forensics tie-break salt (serve::forensics).
+/// Salt for the thinning accept/reject stream of modulated arrivals.
+pub const SALT_THIN: u64 = 0x05EB_FE04;
+/// Salt for tenant-class assignment (keyed by arrival index for the open
+/// loop, by client id for the closed loop).
+pub const SALT_TENANT: u64 = 0x05EB_FE05;
+/// Salt for closed-loop client think-time draws.
+pub const SALT_THINK: u64 = 0x05EB_FE06;
+
+/// Thinning gives up after this many candidates per accepted arrival, so
+/// a degenerate spec (acceptance probability driven toward zero) errors
+/// cleanly instead of spinning.
+const MAX_THIN_CANDIDATES_PER_ARRIVAL: u64 = 65_536;
+
+/// How arrivals are issued.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ArrivalProcess {
+    /// Open-loop Poisson at `offered_qps`: the generator never waits for
+    /// the server, so saturation shows up as queueing and shedding.
+    #[default]
+    Open,
+    /// Closed-loop: `clients` concurrent clients, each issuing its next
+    /// query one exponential think time (mean `think_ns` of virtual time)
+    /// after its previous query completes; shed queries are retried with
+    /// their original first-issue slot preserved, so client-perceived
+    /// latency accumulates across retries.
+    Closed { clients: u64, think_ns: u64 },
+}
+
+/// Where query vectors are drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PoolDist {
+    /// The legacy hot/cold mix driven by
+    /// `ServeParams::{hot_fraction, hot_pool}`.
+    #[default]
+    HotCold,
+    /// Zipfian over the whole pool: pool id `i` has weight `1/(i+1)^s`.
+    /// `s = 0` is uniform; `s = 1.1` concentrates most traffic on a few
+    /// hot keys.
+    Zipf { s: f64 },
+}
+
+/// Diurnal sine modulator: the offered rate is scaled by
+/// `1 + amp * sin(2π t / period)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Diurnal {
+    pub period_ns: u64,
+    /// In `[0, 0.9]` so the rate never reaches zero.
+    pub amp: f64,
+}
+
+/// Flash-crowd burst window: the offered rate is multiplied by `x` for
+/// `t ∈ [at, at + dur)` of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstWindow {
+    pub at_ns: u64,
+    pub dur_ns: u64,
+    pub x: f64,
+}
+
+/// One tenant priority class. Declaration order is priority order: the
+/// first class dispatches first and classes hold
+/// `ceil(share_pct% · shed_watermark)` of the queue at most.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantClass {
+    pub name: String,
+    /// Integer percent of traffic (shares across classes sum to 100).
+    pub share_pct: u64,
+}
+
+/// One composed workload scenario — see the module docs. Parsed from a
+/// `--workload` spec string by [`std::str::FromStr`] (grammar in
+/// `serve::params`); [`Default`] is the pre-DSL behavior (open-loop,
+/// hot/cold pool, no modulators, no tenant classes), for which generation
+/// is byte-identical to the legacy generator.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkloadSpec {
+    pub arrival: ArrivalProcess,
+    pub pool: PoolDist,
+    pub diurnal: Option<Diurnal>,
+    pub bursts: Vec<BurstWindow>,
+    pub tenants: Vec<TenantClass>,
+}
+
+impl WorkloadSpec {
+    /// Check every invariant the parser enforces (for specs filled
+    /// directly). Degenerate shapes — a zero-width burst window, a sine
+    /// that can null the rate, an empty or non-100% tenant split — are
+    /// errors here so they never reach the slot loop.
+    pub fn validate(&self) -> Result<(), String> {
+        if let ArrivalProcess::Closed { clients, .. } = self.arrival {
+            if clients < 1 {
+                return Err("closed-loop clients must be >= 1".into());
+            }
+            if clients > 100_000 {
+                return Err(format!(
+                    "closed-loop clients must be <= 100000 (got {clients})"
+                ));
+            }
+        }
+        if let PoolDist::Zipf { s } = self.pool {
+            if !s.is_finite() || !(0.0..=8.0).contains(&s) {
+                return Err(format!("zipf exponent s must be in [0, 8] (got {s})"));
+            }
+        }
+        if let Some(d) = self.diurnal {
+            if d.period_ns == 0 {
+                return Err("sine period must be positive".into());
+            }
+            if !d.amp.is_finite() || !(0.0..=0.9).contains(&d.amp) {
+                return Err(format!(
+                    "sine amplitude must be in [0, 0.9] so the rate never \
+                     reaches zero (got {})",
+                    d.amp
+                ));
+            }
+        }
+        for b in &self.bursts {
+            if b.dur_ns == 0 {
+                return Err("burst window has zero width (dur must be positive): the \
+                     spec would generate no burst arrivals"
+                    .into());
+            }
+            if !b.x.is_finite() || !(1.0..=64.0).contains(&b.x) {
+                return Err(format!(
+                    "burst multiplier x must be in [1, 64] (got {})",
+                    b.x
+                ));
+            }
+        }
+        if !self.tenants.is_empty() {
+            if self.tenants.len() > 8 {
+                return Err(format!(
+                    "at most 8 tenant classes (got {})",
+                    self.tenants.len()
+                ));
+            }
+            let mut sum = 0u64;
+            for (i, t) in self.tenants.iter().enumerate() {
+                if t.name.is_empty()
+                    || !t
+                        .name
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+                {
+                    return Err(format!(
+                        "tenant name must be non-empty [A-Za-z0-9_-] (got {:?})",
+                        t.name
+                    ));
+                }
+                if self.tenants[..i].iter().any(|o| o.name == t.name) {
+                    return Err(format!("duplicate tenant class {:?}", t.name));
+                }
+                if t.share_pct < 1 {
+                    return Err(format!("tenant {:?} share must be >= 1%", t.name));
+                }
+                sum += t.share_pct;
+            }
+            if sum != 100 {
+                return Err(format!("tenant shares must sum to 100% (got {sum}%)"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Rate multiplier at virtual time `t_ns`: the diurnal sine times the
+    /// largest burst window covering `t_ns` (1 outside every window).
+    pub fn multiplier(&self, t_ns: u64) -> f64 {
+        let mut m = 1.0;
+        if let Some(d) = self.diurnal {
+            let phase = 2.0 * std::f64::consts::PI * t_ns as f64 / d.period_ns as f64;
+            m *= 1.0 + d.amp * phase.sin();
+        }
+        let burst = self
+            .bursts
+            .iter()
+            .filter(|b| t_ns >= b.at_ns && t_ns < b.at_ns.saturating_add(b.dur_ns))
+            .map(|b| b.x)
+            .fold(1.0, f64::max);
+        m * burst
+    }
+
+    /// Upper bound of [`Self::multiplier`] over all `t_ns` — the rate the
+    /// thinning generator draws candidates at.
+    pub fn peak_multiplier(&self) -> f64 {
+        let amp = self.diurnal.map_or(0.0, |d| d.amp);
+        let burst = self.bursts.iter().map(|b| b.x).fold(1.0, f64::max);
+        (1.0 + amp) * burst
+    }
+
+    /// Whether any rate modulator is active (selects the thinning path).
+    pub fn is_modulated(&self) -> bool {
+        self.diurnal.is_some() || !self.bursts.is_empty()
+    }
+
+    /// Number of tenant classes the engine tracks (1 implicit class when
+    /// none are declared).
+    pub fn n_tenant_classes(&self) -> usize {
+        self.tenants.len().max(1)
+    }
+
+    /// Tenant class of `key` (arrival index for the open loop, client id
+    /// for the closed loop): a share-weighted pure PRF draw. 0 when no
+    /// classes are declared.
+    pub fn tenant_of(&self, serve_seed: u64, key: u64) -> usize {
+        if self.tenants.is_empty() {
+            return 0;
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(mix(serve_seed, SALT_TENANT, key, 0, 0));
+        let u = rng.gen_range(0..100u64);
+        let mut cum = 0u64;
+        for (i, t) in self.tenants.iter().enumerate() {
+            cum += t.share_pct;
+            if u < cum {
+                return i;
+            }
+        }
+        self.tenants.len() - 1
+    }
+}
+
+/// Normalized cumulative Zipfian distribution over `pool_len` ranks:
+/// `cdf[i]` is the probability mass of pool ids `0..=i`, with id `i`
+/// weighted `1/(i+1)^s`. Pure function of `(pool_len, s)`.
+pub fn zipf_cdf(pool_len: usize, s: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(pool_len);
+    let mut acc = 0.0f64;
+    for i in 0..pool_len {
+        acc += 1.0 / ((i + 1) as f64).powf(s);
+        cdf.push(acc);
+    }
+    for c in &mut cdf {
+        *c /= acc;
+    }
+    cdf
+}
+
+/// Draws pool ids for arrivals. Everything is a pure PRF of
+/// `(serve_seed, arrival idx)` except the legacy cold-set round-robin
+/// cursor, which advances in arrival-index order (both the plan generator
+/// and the closed-loop minting engine consume indexes in order).
+pub struct PoolPicker {
+    dist: PoolDist,
+    pool_len: usize,
+    hot_fraction: f64,
+    hot_pool: usize,
+    cold_cursor: usize,
+    /// Precomputed CDF for [`PoolDist::Zipf`]; empty otherwise.
+    zipf: Vec<f64>,
+}
+
+impl PoolPicker {
+    pub fn new(params: &ServeParams, pool_len: usize) -> PoolPicker {
+        assert!(pool_len >= 1, "query pool must not be empty");
+        let dist = params.workload.pool;
+        PoolPicker {
+            dist,
+            pool_len,
+            hot_fraction: params.hot_fraction,
+            hot_pool: params.hot_pool,
+            cold_cursor: 0,
+            zipf: match dist {
+                PoolDist::Zipf { s } => zipf_cdf(pool_len, s),
+                PoolDist::HotCold => Vec::new(),
+            },
+        }
+    }
+
+    /// Pool id of arrival `idx`.
+    pub fn pick(&mut self, serve_seed: u64, idx: u64) -> usize {
+        let mut rng = ChaCha8Rng::seed_from_u64(mix(serve_seed, SALT_POOL, idx, 0, 0));
+        match self.dist {
+            PoolDist::HotCold => {
+                // The pre-DSL path, byte-identical: hot pick with
+                // probability hot_fraction, else cold round-robin.
+                let hot_pool = self.hot_pool.min(self.pool_len);
+                if rng.gen_bool(self.hot_fraction) {
+                    rng.gen_range(0..hot_pool)
+                } else {
+                    let id = hot_pool + self.cold_cursor;
+                    self.cold_cursor =
+                        (self.cold_cursor + 1) % self.pool_len.saturating_sub(hot_pool).max(1);
+                    id.min(self.pool_len - 1)
+                }
+            }
+            PoolDist::Zipf { .. } => {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                self.zipf
+                    .partition_point(|&c| c <= u)
+                    .min(self.pool_len - 1)
+            }
+        }
+    }
+}
 
 /// One generated query arrival.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +342,14 @@ pub struct Arrival {
     pub slot: u64,
     /// Index into the query pool set for the query vector.
     pub pool_id: usize,
+    /// Tenant class index (0 when no classes are declared).
+    pub tenant: usize,
+    /// Issuing closed-loop client (== `idx` for open-loop arrivals).
+    pub client: u64,
+    /// Slot of the issuing client's *first* attempt at this query — equal
+    /// to `slot` except for closed-loop retries of shed queries, where it
+    /// anchors client-perceived latency.
+    pub first_issue_slot: u64,
 }
 
 /// The full arrival schedule of a run, sorted by slot (then index).
@@ -42,41 +359,112 @@ pub struct ArrivalPlan {
 }
 
 impl ArrivalPlan {
-    /// Generate the schedule for `params` against a query pool of
-    /// `pool_len` vectors. Pure function of
-    /// `(params.serve_seed, params.offered_qps, params.n_arrivals,
+    /// Generate the open-loop schedule for `params` against a query pool
+    /// of `pool_len` vectors. Pure function of `(params.serve_seed,
+    /// params.workload, params.offered_qps, params.n_arrivals,
     /// params.hot_fraction, params.hot_pool, params.slot_ns, pool_len)`.
-    pub fn generate(params: &ServeParams, pool_len: usize) -> ArrivalPlan {
-        assert!(pool_len >= 1, "query pool must not be empty");
-        let mean_gap_ns = 1e9 / params.offered_qps;
-        let hot_pool = params.hot_pool.min(pool_len);
-        let mut t_ns = 0.0f64;
-        let mut cold_cursor = 0usize;
-        let arrivals = (0..params.n_arrivals as u64)
-            .map(|i| {
+    ///
+    /// Errors instead of producing an empty or unboundedly-thinned plan:
+    /// a degenerate spec (zero arrivals, non-positive rate, a thinning
+    /// acceptance rate collapsed toward zero, a closed-loop process that
+    /// has no static plan) is reported cleanly here, never as a panic in
+    /// the slot loop.
+    pub fn try_generate(params: &ServeParams, pool_len: usize) -> Result<ArrivalPlan, String> {
+        if pool_len == 0 {
+            return Err("query pool must not be empty".into());
+        }
+        params.workload.validate()?;
+        if let ArrivalProcess::Closed { .. } = params.workload.arrival {
+            return Err(
+                "closed-loop arrivals are minted by the engine when queries \
+                 complete; no static plan exists"
+                    .into(),
+            );
+        }
+        if params.n_arrivals == 0 {
+            return Err("degenerate workload: n_arrivals is 0 (empty plan)".into());
+        }
+        if !params.offered_qps.is_finite() || params.offered_qps <= 0.0 {
+            return Err(format!(
+                "degenerate workload: offered rate must be finite and > 0 \
+                 (got {} qps)",
+                params.offered_qps
+            ));
+        }
+        let spec = &params.workload;
+        let n = params.n_arrivals as u64;
+        let mut picker = PoolPicker::new(params, pool_len);
+        let mut arrivals = Vec::with_capacity(params.n_arrivals);
+        let mut push = |picker: &mut PoolPicker, i: u64, t_ns: f64| {
+            let slot = t_ns as u64 / params.slot_ns;
+            arrivals.push(Arrival {
+                idx: i,
+                slot,
+                pool_id: picker.pick(params.serve_seed, i),
+                tenant: spec.tenant_of(params.serve_seed, i),
+                client: i,
+                first_issue_slot: slot,
+            });
+        };
+        if !spec.is_modulated() {
+            // Flat-rate path — byte-identical to the pre-DSL generator.
+            let mean_gap_ns = 1e9 / params.offered_qps;
+            let mut t_ns = 0.0f64;
+            for i in 0..n {
                 let mut gap_rng =
                     ChaCha8Rng::seed_from_u64(mix(params.serve_seed, SALT_GAP, i, 0, 0));
                 // Inverse-CDF exponential draw; 1-u keeps ln's argument
                 // away from zero.
                 let u: f64 = gap_rng.gen_range(0.0..1.0);
                 t_ns += -(1.0 - u).ln() * mean_gap_ns;
-                let mut pool_rng =
-                    ChaCha8Rng::seed_from_u64(mix(params.serve_seed, SALT_POOL, i, 0, 0));
-                let pool_id = if pool_rng.gen_bool(params.hot_fraction) {
-                    pool_rng.gen_range(0..hot_pool)
-                } else {
-                    let id = hot_pool + cold_cursor;
-                    cold_cursor = (cold_cursor + 1) % pool_len.saturating_sub(hot_pool).max(1);
-                    id.min(pool_len - 1)
-                };
-                Arrival {
-                    idx: i,
-                    slot: t_ns as u64 / params.slot_ns,
-                    pool_id,
+                push(&mut picker, i, t_ns);
+            }
+        } else {
+            // Modulated path: draw a homogeneous candidate stream at the
+            // peak rate, then thin each candidate `c` with an independent
+            // accept draw at probability multiplier(t)/peak — the
+            // classic deterministic construction for inhomogeneous
+            // Poisson processes, still a pure PRF per candidate index.
+            let peak = spec.peak_multiplier();
+            let mean_gap_ns = 1e9 / (params.offered_qps * peak);
+            let budget = n.saturating_mul(MAX_THIN_CANDIDATES_PER_ARRIVAL);
+            let mut t_ns = 0.0f64;
+            let mut accepted = 0u64;
+            let mut c = 0u64;
+            while accepted < n {
+                if c >= budget {
+                    return Err(format!(
+                        "degenerate workload spec: thinning accepted only \
+                         {accepted}/{n} arrivals after {c} candidates \
+                         (acceptance rate collapsed toward zero)"
+                    ));
                 }
-            })
-            .collect();
-        ArrivalPlan { arrivals }
+                let mut gap_rng =
+                    ChaCha8Rng::seed_from_u64(mix(params.serve_seed, SALT_GAP, c, 0, 0));
+                let u: f64 = gap_rng.gen_range(0.0..1.0);
+                t_ns += -(1.0 - u).ln() * mean_gap_ns;
+                let mut thin_rng =
+                    ChaCha8Rng::seed_from_u64(mix(params.serve_seed, SALT_THIN, c, 0, 0));
+                let keep: f64 = thin_rng.gen_range(0.0..1.0);
+                c += 1;
+                if keep * peak >= spec.multiplier(t_ns as u64) {
+                    continue;
+                }
+                push(&mut picker, accepted, t_ns);
+                accepted += 1;
+            }
+        }
+        if arrivals.is_empty() {
+            return Err("degenerate workload spec produced an empty arrival plan".into());
+        }
+        Ok(ArrivalPlan { arrivals })
+    }
+
+    /// [`Self::try_generate`], panicking with the clean error message on a
+    /// degenerate spec (callers that validated `params` first never hit
+    /// this).
+    pub fn generate(params: &ServeParams, pool_len: usize) -> ArrivalPlan {
+        Self::try_generate(params, pool_len).unwrap_or_else(|e| panic!("invalid workload: {e}"))
     }
 
     /// Number of arrivals.
@@ -84,7 +472,9 @@ impl ArrivalPlan {
         self.arrivals.len()
     }
 
-    /// Whether the plan is empty.
+    /// Whether the plan is empty. [`Self::try_generate`] never returns an
+    /// empty plan; this (and [`Self::last_slot`]) stay total anyway so a
+    /// hand-built empty plan cannot panic downstream.
     pub fn is_empty(&self) -> bool {
         self.arrivals.is_empty()
     }
@@ -158,5 +548,155 @@ mod tests {
         let p = params(1_000.0, 100).hot_set(0.9, 1_000);
         let plan = ArrivalPlan::generate(&p, 3);
         assert!(plan.arrivals.iter().all(|a| a.pool_id < 3));
+    }
+
+    #[test]
+    fn empty_plan_edge_cases_are_total() {
+        // A degenerate (hand-built) empty plan must not panic anywhere.
+        let empty = ArrivalPlan { arrivals: vec![] };
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.last_slot(), 0);
+    }
+
+    #[test]
+    fn degenerate_specs_error_cleanly() {
+        // Zero arrivals (rate exists but the plan would be empty).
+        let mut p = params(1_000.0, 10);
+        p.n_arrivals = 0;
+        let err = ArrivalPlan::try_generate(&p, 8).unwrap_err();
+        assert!(err.contains("empty plan"), "{err}");
+        // Rate 0 (directly-filled params bypassing the builder assert).
+        let mut p = params(1_000.0, 10);
+        p.offered_qps = 0.0;
+        let err = ArrivalPlan::try_generate(&p, 8).unwrap_err();
+        assert!(err.contains("rate"), "{err}");
+        // Zero-width burst window.
+        let mut p = params(1_000.0, 10);
+        p.workload.bursts.push(BurstWindow {
+            at_ns: 0,
+            dur_ns: 0,
+            x: 8.0,
+        });
+        let err = ArrivalPlan::try_generate(&p, 8).unwrap_err();
+        assert!(err.contains("zero width"), "{err}");
+        // Closed-loop specs have no static plan.
+        let mut p = params(1_000.0, 10);
+        p.workload.arrival = ArrivalProcess::Closed {
+            clients: 4,
+            think_ns: 0,
+        };
+        let err = ArrivalPlan::try_generate(&p, 8).unwrap_err();
+        assert!(err.contains("closed-loop"), "{err}");
+        // Empty pool.
+        let err = ArrivalPlan::try_generate(&params(1_000.0, 10), 0).unwrap_err();
+        assert!(err.contains("pool"), "{err}");
+    }
+
+    #[test]
+    fn default_spec_matches_legacy_generator_shape() {
+        // The default WorkloadSpec must leave the legacy fields in charge.
+        let spec = WorkloadSpec::default();
+        assert_eq!(spec.arrival, ArrivalProcess::Open);
+        assert_eq!(spec.pool, PoolDist::HotCold);
+        assert!(!spec.is_modulated());
+        assert_eq!(spec.n_tenant_classes(), 1);
+        assert_eq!(spec.tenant_of(7, 123), 0);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn burst_window_concentrates_arrivals() {
+        let mut p = params(2_000.0, 2_000); // ~2 per 1ms slot baseline
+        p.workload.bursts.push(BurstWindow {
+            at_ns: 100_000_000, // 100 ms in
+            dur_ns: 50_000_000, // 50 ms wide
+            x: 8.0,
+        });
+        let plan = ArrivalPlan::generate(&p, 64);
+        // Arrival density inside the window must far exceed outside.
+        let in_window = plan
+            .arrivals
+            .iter()
+            .filter(|a| (100..150).contains(&a.slot))
+            .count() as f64
+            / 50.0;
+        let before = plan.arrivals.iter().filter(|a| a.slot < 100).count().max(1) as f64 / 100.0;
+        assert!(
+            in_window > 3.0 * before,
+            "burst density {in_window:.2}/slot vs baseline {before:.2}/slot"
+        );
+        assert!(plan.arrivals.windows(2).all(|w| w[0].slot <= w[1].slot));
+    }
+
+    #[test]
+    fn diurnal_sine_modulates_rate() {
+        let mut p = params(2_000.0, 4_000);
+        p.workload.diurnal = Some(Diurnal {
+            period_ns: 1_000_000_000, // 1 s
+            amp: 0.9,
+        });
+        let plan = ArrivalPlan::generate(&p, 64);
+        // First quarter-period (rising sine) must be denser than the
+        // third quarter (falling below baseline).
+        let count = |lo: u64, hi: u64| {
+            plan.arrivals
+                .iter()
+                .filter(|a| (lo..hi).contains(&a.slot))
+                .count()
+        };
+        let crest = count(125, 375); // around t = period/4
+        let trough = count(625, 875); // around t = 3*period/4
+        assert!(
+            crest > 2 * trough.max(1),
+            "sine crest {crest} not denser than trough {trough}"
+        );
+    }
+
+    #[test]
+    fn zipf_pool_concentrates_on_hot_keys() {
+        let mut p = params(2_000.0, 2_000);
+        p.workload.pool = PoolDist::Zipf { s: 1.1 };
+        let plan = ArrivalPlan::generate(&p, 64);
+        let head = plan.arrivals.iter().filter(|a| a.pool_id < 4).count() as f64;
+        assert!(
+            head / plan.len() as f64 > 0.4,
+            "zipf s=1.1 put only {head} of {} arrivals on the 4 hottest keys",
+            plan.len()
+        );
+        assert!(plan.arrivals.iter().all(|a| a.pool_id < 64));
+    }
+
+    #[test]
+    fn tenant_assignment_follows_shares() {
+        let mut p = params(2_000.0, 2_000);
+        p.workload.tenants = vec![
+            TenantClass {
+                name: "gold".into(),
+                share_pct: 75,
+            },
+            TenantClass {
+                name: "free".into(),
+                share_pct: 25,
+            },
+        ];
+        let plan = ArrivalPlan::generate(&p, 64);
+        let gold = plan.arrivals.iter().filter(|a| a.tenant == 0).count() as f64;
+        let frac = gold / plan.len() as f64;
+        assert!(
+            (0.70..0.80).contains(&frac),
+            "gold fraction {frac} far from configured 0.75"
+        );
+    }
+
+    #[test]
+    fn zipf_cdf_is_normalized_and_monotone() {
+        let cdf = zipf_cdf(100, 1.1);
+        assert_eq!(cdf.len(), 100);
+        assert!(cdf.windows(2).all(|w| w[0] < w[1]));
+        assert!((cdf[99] - 1.0).abs() < 1e-12);
+        // s = 0 is uniform.
+        let uni = zipf_cdf(4, 0.0);
+        assert!((uni[0] - 0.25).abs() < 1e-12);
     }
 }

@@ -83,6 +83,15 @@ fn main() {
     params.quant_step = args.get("quant-step", 1e-3f32);
     params.forensics_window_slots = args.get("forensics-window", 8u64);
     params.forensics_slow_n = args.get("forensics-slow-n", 4u64);
+    // Composable workload DSL, e.g.
+    // `closed:n=64,think=5ms;zipf:s=1.1;burst:at=2s,x=8;tenants=gold:50%,free:50%`.
+    // Empty (the default) keeps the legacy open-loop hot/cold workload.
+    let workload_spec: String = args.get("workload", String::new());
+    if !workload_spec.is_empty() {
+        params.workload = workload_spec
+            .parse()
+            .unwrap_or_else(|e| die(&format!("invalid --workload spec: {e}")));
+    }
     params
         .validate()
         .unwrap_or_else(|e| die(&format!("invalid serving parameters: {e}")));
@@ -189,6 +198,26 @@ fn main() {
         s.max_queue_depth
     );
     println!(
+        "client-perceived p50 {:.2} ms, p99 {:.2} ms (includes shed-retry time under closed loops)",
+        s.client_percentile_ns(0.50) as f64 / 1e6,
+        s.client_percentile_ns(0.99) as f64 / 1e6,
+    );
+    for t in &s.tenants {
+        println!(
+            "tenant {} ({}%): {} offered, {} answered ({} cache hits), \
+             {} shed overload, {} shed deadline, SLO {:.1}%, p99 {:.2} ms",
+            t.name,
+            t.share_pct,
+            t.offered,
+            t.total_answered(),
+            t.cache_hits,
+            t.shed_overload,
+            t.shed_deadline,
+            t.slo_attainment() * 100.0,
+            t.percentile_ns(0.99, s.slot_ns) as f64 / 1e6,
+        );
+    }
+    println!(
         "result digest {:016x} (serve seed {}, bit-identical on replay)",
         s.result_digest, s.serve_seed
     );
@@ -236,6 +265,9 @@ fn main() {
                 .param("deadline_slots", params.deadline_slots)
                 .param("metric", &metric_name)
                 .param("graph", graph_key);
+            if !workload_spec.is_empty() {
+                rr.param("workload", params.workload.to_string());
+            }
             if !fault_profile.is_empty() && fault_profile != "none" {
                 rr.param("fault_profile", &fault_profile);
             }

@@ -277,6 +277,195 @@ fn rnn_graph_serving_pins_fingerprint_and_forensics_digest_across_ranks() {
     );
 }
 
+/// The ISSUE-9 acceptance scenario, pinned: a closed-loop Zipfian
+/// flash-crowd workload with two tenant classes is bit-identical — the
+/// minted arrival log, every admission verdict, the per-tenant SLO
+/// counters, and the forensics digest — across reruns and rank counts
+/// {1, 2, 4}.
+#[test]
+fn closed_loop_flash_crowd_with_tenants_is_bit_identical_across_ranks() {
+    let (base, graph, pool) = setup(600, 48, 3);
+    let params = ServeParams::new(10)
+        .serve_seed(0xF1A5_4C20)
+        .slot_ns(1_000_000)
+        .n_arrivals(160)
+        .batch(4)
+        .flush_age_slots(2)
+        .deadline_slots(6)
+        .watermarks(8, 20)
+        .cache(8, 1e-3)
+        .forensics(8, 4)
+        .workload_str(
+            "closed:n=48,think=3ms;zipf:s=1.1;burst:at=8ms,x=16,dur=40ms;\
+             tenants=gold:50%,free:50%",
+        );
+    let (reference, _) = run_serve(&World::new(2), &base, &graph, &pool, &L2, &params);
+    let s = &reference.stats;
+
+    // The scenario genuinely exercises every DSL axis before we pin it.
+    assert_eq!(s.tenants.len(), 2, "two tenant classes expected");
+    assert_eq!(s.tenants[0].name, "gold");
+    assert_eq!(s.tenants[1].name, "free");
+    assert!(
+        s.shed_overload > 0,
+        "flash crowd engaged no overload shedding: {s:?}"
+    );
+    assert!(s.cache_hits > 0, "zipf workload produced no cache hits");
+    // Tenant counters partition the run's totals exactly.
+    assert_eq!(s.tenants.iter().map(|t| t.offered).sum::<u64>(), s.offered);
+    assert_eq!(
+        s.tenants.iter().map(|t| t.shed_overload).sum::<u64>(),
+        s.shed_overload
+    );
+    assert_eq!(
+        s.tenants.iter().map(|t| t.total_answered()).sum::<u64>(),
+        s.total_answered()
+    );
+    // Both classes carry real traffic and get real answers (the
+    // gold-vs-free SLO *ordering* under priority drain is asserted by the
+    // bench flash-crowd smoke, where the sample is large enough for the
+    // quota split to dominate draw noise).
+    for t in &s.tenants {
+        assert!(t.offered > 0, "tenant {} was offered nothing", t.name);
+        assert!(t.total_answered() > 0, "tenant {} answered nothing", t.name);
+        assert_eq!(
+            t.latency_hist.iter().map(|&(_, c)| c).sum::<u64>(),
+            t.total_answered(),
+            "tenant {} histogram mass != answered",
+            t.name
+        );
+    }
+    // Closed-loop retries exist: some minted arrival re-issues an earlier
+    // first attempt, so client-perceived latency can accumulate.
+    assert!(
+        reference
+            .arrivals
+            .iter()
+            .any(|a| a.first_issue_slot < a.slot),
+        "no shed query was ever retried"
+    );
+    assert!(reference.arrivals.len() as u64 >= s.offered);
+
+    // Pin: the full outcome — stats (tenant counters included), answers,
+    // the minted arrival log, and forensics — is replicated exactly.
+    let (rerun, _) = run_serve(&World::new(2), &base, &graph, &pool, &L2, &params);
+    assert_eq!(rerun, reference, "flash-crowd scenario diverged on rerun");
+    for ranks in [1usize, 4] {
+        let (other, _) = run_serve(&World::new(ranks), &base, &graph, &pool, &L2, &params);
+        assert_eq!(
+            other, reference,
+            "flash-crowd outcome changed between 2 and {ranks} ranks"
+        );
+    }
+}
+
+/// Coordinated omission, made visible: the same Zipfian flash-crowd shape
+/// driven open-loop vs closed-loop sheds in both modes, but only the
+/// closed loop's *client-perceived* p99 diverges upward from the answered
+/// p99 — open-loop measurement never sees shed-and-retry wait.
+#[test]
+fn coordinated_omission_closed_loop_client_p99_diverges_from_open_loop() {
+    let (base, graph, pool) = setup(600, 48, 3);
+    let shape = "zipf:s=1.1;burst:at=5ms,x=16,dur=60ms";
+    let common = |spec: String| {
+        ServeParams::new(10)
+            .serve_seed(0xC0_0111)
+            .slot_ns(1_000_000)
+            .n_arrivals(200)
+            .offered_qps(6_000.0)
+            .batch(4)
+            .flush_age_slots(2)
+            .deadline_slots(6)
+            .watermarks(6, 12)
+            .cache(8, 1e-3)
+            .workload_str(&spec)
+    };
+    let open_params = common(format!("open;{shape}"));
+    let closed_params = common(format!("closed:n=64,think=1ms;{shape}"));
+    let (open, _) = run_serve(&World::new(2), &base, &graph, &pool, &L2, &open_params);
+    let (closed, _) = run_serve(&World::new(2), &base, &graph, &pool, &L2, &closed_params);
+
+    // Both modes saturate the same admission ladder.
+    assert!(open.stats.shed_overload > 0, "open-loop burst never shed");
+    assert!(
+        closed.stats.shed_overload > 0,
+        "closed-loop burst never shed"
+    );
+
+    // Open loop: a shed query is simply lost; what remains is measured
+    // from its only issue, so the client view *is* the server view.
+    assert_eq!(
+        open.stats.client_hist, open.stats.latency_hist,
+        "open-loop client histogram must equal the answered histogram"
+    );
+
+    // Closed loop: shed queries are re-issued with their first-issue slot
+    // preserved, so retry wait accumulates into the client view and the
+    // client p99 is strictly higher than the answered p99.
+    let answered_p99 = closed.stats.percentile_ns(0.99);
+    let client_p99 = closed.stats.client_percentile_ns(0.99);
+    assert!(
+        client_p99 > answered_p99,
+        "closed-loop client p99 {client_p99} ns did not diverge above \
+         answered p99 {answered_p99} ns under saturation"
+    );
+}
+
+/// A Zipfian pool concentrates traffic on a few hot keys, so the
+/// quantized-key LRU cache hits far more often than under a uniform pool
+/// of the same size — and both hit counts are exact replicated integers.
+#[test]
+fn zipf_pool_beats_uniform_on_cache_hits_with_exact_replicated_counts() {
+    let (base, graph, pool) = setup(600, 48, 3);
+    let common = |spec: &str| {
+        ServeParams::new(10)
+            .serve_seed(0x2F01)
+            .n_arrivals(200)
+            .offered_qps(2_000.0)
+            .cache(8, 1e-3)
+            .workload_str(spec)
+    };
+    // `zipf:s=0` is the uniform distribution over the same pool.
+    let (uniform, _) = run_serve(
+        &World::new(2),
+        &base,
+        &graph,
+        &pool,
+        &L2,
+        &common("zipf:s=0"),
+    );
+    let (zipf, _) = run_serve(
+        &World::new(2),
+        &base,
+        &graph,
+        &pool,
+        &L2,
+        &common("zipf:s=1.1"),
+    );
+    assert!(
+        zipf.stats.cache_hits > uniform.stats.cache_hits,
+        "zipf hit the cache {} times, uniform {} — skew should win",
+        zipf.stats.cache_hits,
+        uniform.stats.cache_hits
+    );
+    assert!(zipf.stats.cache_hits > 0);
+
+    // "Exact" means exact: reruns and other rank counts reproduce the
+    // same integer hit counts (and the whole stats block with them).
+    for (params, first) in [
+        (common("zipf:s=0"), &uniform),
+        (common("zipf:s=1.1"), &zipf),
+    ] {
+        let (rerun, _) = run_serve(&World::new(2), &base, &graph, &pool, &L2, &params);
+        assert_eq!(rerun.stats, first.stats, "stats diverged on rerun");
+        let (one, _) = run_serve(&World::new(1), &base, &graph, &pool, &L2, &params);
+        assert_eq!(
+            one.stats.cache_hits, first.stats.cache_hits,
+            "cache hit count changed at 1 rank"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
 
