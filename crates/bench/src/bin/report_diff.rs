@@ -119,6 +119,13 @@ fn threshold_for(name: &str) -> (f64, Direction) {
         | "query_forensics.retained_exemplar"
         | "query_forensics.considered" => (0.0, LowerIsWorse),
         n if n.starts_with("query_forensics.") => (0.0, HigherIsWorse),
+        // Vector-DB product layer: collection mutations and the filter
+        // pipeline are pure PRFs of the serve seed, so every counter
+        // gates exactly. Shrinking live points / filtered coverage is the
+        // regression side; growth of tombstone debt, cache suppression,
+        // or mutation counts gates as drift from the pinned schedule.
+        "vdb.live" | "vdb.filtered_queries" => (0.0, LowerIsWorse),
+        n if n.starts_with("vdb.") => (0.0, HigherIsWorse),
         // Critical-path attribution: the path length and its dominant
         // buckets follow the virtual-time gates; the small noisy buckets
         // (stall residue, retransmit charge) and the imbalance score get
@@ -388,6 +395,52 @@ fn collect(base: &RunReport, cand: &RunReport, thr: Option<f64>) -> Vec<MetricRo
         }
     }
 
+    // Vector-DB product layer. Gated only when the *baseline* carries the
+    // section (a candidate-only section is schema growth, e.g. a v7
+    // baseline diffed against a v8 candidate); a candidate that dropped
+    // it fails hard via `missing_sections`. Counters are summed over
+    // namespaces; the epoch gates as the per-namespace maximum.
+    if base.vdb.is_some() {
+        let d = obs::VdbSection::default();
+        let b = base.vdb.as_ref().unwrap_or(&d);
+        let c = cand.vdb.as_ref().unwrap_or(&d);
+        let sums = |s: &obs::VdbSection| {
+            let f = |get: fn(&obs::VdbNamespaceSection) -> u64| {
+                s.namespaces.iter().map(get).sum::<u64>()
+            };
+            (
+                f(|n| n.points),
+                f(|n| n.live),
+                f(|n| n.tombstones),
+                f(|n| n.dead),
+                s.namespaces.iter().map(|n| n.epoch).max().unwrap_or(0),
+                f(|n| n.inserts),
+                f(|n| n.deletes),
+                f(|n| n.compactions),
+            )
+        };
+        let (bp, bl, bt, bd, be, bi, bdel, bc) = sums(b);
+        let (cp, cl, ct, cd, ce, ci, cdel, cc) = sums(c);
+        for (key, bv, cv) in [
+            ("points", bp, cp),
+            ("live", bl, cl),
+            ("tombstones", bt, ct),
+            ("dead", bd, cd),
+            ("epoch", be, ce),
+            ("inserts", bi, ci),
+            ("deletes", bdel, cdel),
+            ("compactions", bc, cc),
+            ("filtered_queries", b.filtered_queries, c.filtered_queries),
+            (
+                "cache_suppressed_ids",
+                b.cache_suppressed_ids,
+                c.cache_suppressed_ids,
+            ),
+        ] {
+            push(&mut rows, &format!("vdb.{key}"), bv as f64, cv as f64, thr);
+        }
+    }
+
     // Critical-path attribution. Gated only when the *baseline* carries
     // the section: a candidate-only section is schema growth (e.g. a v3
     // baseline diffed against a v4 candidate), not a regression, while a
@@ -457,6 +510,9 @@ fn missing_sections(base: &RunReport, cand: &RunReport) -> Vec<&'static str> {
     }
     if base.query_forensics.is_some() && cand.query_forensics.is_none() {
         missing.push("query_forensics");
+    }
+    if base.vdb.is_some() && cand.vdb.is_none() {
+        missing.push("vdb");
     }
     if base.critical_path.is_some() && cand.critical_path.is_none() {
         missing.push("critical_path");
@@ -779,6 +835,50 @@ mod tests {
         let rows = collect(&cand, &base, None);
         assert!(!rows.iter().any(|r| r.name.starts_with("serving.tenant.")));
         assert!(missing_sections(&cand, &base).is_empty());
+    }
+
+    #[test]
+    fn vdb_counters_gate_exactly_and_baseline_only() {
+        let section = |live: u64, filtered: u64, suppressed: u64| obs::VdbSection {
+            namespaces: vec![obs::VdbNamespaceSection {
+                name: "prod".into(),
+                points: 1_000,
+                live,
+                tombstones: 1_000 - live,
+                dead: 0,
+                epoch: 2,
+                inserts: 5,
+                deletes: 1_000 - live,
+                compactions: 1,
+            }],
+            filtered_queries: filtered,
+            cache_suppressed_ids: suppressed,
+            selectivity_hist: vec![(3, filtered)],
+        };
+        let mut base = report(1.0, 1);
+        let mut cand = report(1.0, 1);
+        // v7-shaped baseline vs v8 candidate: schema growth, no rows.
+        cand.vdb = Some(section(950, 40, 0));
+        let rows = collect(&base, &cand, None);
+        assert!(!rows.iter().any(|r| r.name.starts_with("vdb.")));
+        assert!(missing_sections(&base, &cand).is_empty());
+        // Candidate dropped the section: hard failure.
+        base.vdb = Some(section(950, 40, 0));
+        cand.vdb = None;
+        assert_eq!(missing_sections(&base, &cand), vec!["vdb"]);
+        // Exact gates: fewer live points / filtered queries regress, and
+        // cache-suppression growth regresses; identical sections pass.
+        cand.vdb = Some(section(940, 30, 3));
+        let rows = collect(&base, &cand, None);
+        assert!(row_named(&rows, "vdb.live").regressed());
+        assert!(row_named(&rows, "vdb.filtered_queries").regressed());
+        assert!(row_named(&rows, "vdb.cache_suppressed_ids").regressed());
+        cand.vdb = base.vdb.clone();
+        let rows = collect(&base, &cand, None);
+        assert!(rows
+            .iter()
+            .filter(|r| r.name.starts_with("vdb."))
+            .all(|r| !r.regressed()));
     }
 
     #[test]

@@ -25,6 +25,15 @@
 //! — per-tenant shed counters included — is the committed `BENCH_9.json`
 //! baseline; the report self-checks bit-identity across an in-process
 //! rerun before it is written.
+//!
+//! `--vdb` swaps the sweep for the vector-DB product-layer scenario: the
+//! same DEEP-like points become a namespaced collection (deterministic
+//! per-id `bucket` metadata), and a filtered-workload ladder runs from
+//! unfiltered through 10%-selective predicates to a mixed
+//! insert/delete/compact point. The mutating point's report — serving
+//! *and* schema-v8 `vdb` sections — is the committed `BENCH_10.json`
+//! baseline; the smoke shape also asserts the unfiltered point matches
+//! legacy (non-vdb) serving over the identical base + graph bit for bit.
 
 use bench::{Args, Table};
 use dataset::ground_truth::brute_force_queries;
@@ -33,8 +42,11 @@ use dataset::presets;
 use dataset::set::PointId;
 use dataset::synth::split_queries;
 use dnnd::{build, CommOpts, DnndConfig};
-use serve::{attach_serving, run_serve, ServeOutcome, ServeParams};
+use serve::{
+    attach_serving, attach_vdb, run_serve, run_serve_vdb, ServeOutcome, ServeParams, VdbServeConfig,
+};
 use std::sync::Arc;
+use vdb::{Collection, MetaRecord};
 use ygm::World;
 
 /// Mean recall of the answered queries against brute-force truth.
@@ -66,6 +78,12 @@ fn main() {
     let seed: u64 = args.get("seed", 91);
     let serve_seed: u64 = args.get("serve-seed", 0x5E27E);
     let ranks: usize = args.get("ranks", 2);
+
+    if args.flag("vdb") {
+        return vdb_sweep(
+            &args, smoke, n, pool_n, arrivals, k, seed, serve_seed, ranks,
+        );
+    }
 
     let (base, pool) = split_queries(presets::deep1b_like(n + pool_n, seed), pool_n);
     let base = Arc::new(base);
@@ -406,6 +424,234 @@ fn flash_crowd(
         println!(
             "smoke OK: flash scenario replays bit-identically, digest {:016x}",
             s.result_digest
+        );
+    }
+
+    let report_out: String = args.get("report-out", String::new());
+    if !report_out.is_empty() {
+        dnnd::obs_report::write_report(&report_out, &rr).expect("report-out");
+        println!("report: {report_out}");
+    }
+    let dashboard_out: String = args.get("dashboard-out", String::new());
+    if !dashboard_out.is_empty() {
+        dnnd::obs_report::write_dashboard(&dashboard_out, &rr).expect("dashboard-out");
+        println!("dashboard: {dashboard_out}");
+    }
+}
+
+/// Vector-DB scenario (`--vdb`, `BENCH_10.json`): a filtered-workload
+/// ladder over a namespaced collection, from unfiltered through sharply
+/// selective predicates to a mixed insert/delete point that crosses the
+/// compaction watermark. The mutating point's serving + `vdb` sections
+/// are the committed regression baseline.
+#[allow(clippy::too_many_arguments)]
+fn vdb_sweep(
+    args: &Args,
+    smoke: bool,
+    n: usize,
+    pool_n: usize,
+    arrivals: usize,
+    k: usize,
+    seed: u64,
+    serve_seed: u64,
+    ranks: usize,
+) {
+    let (base, pool) = split_queries(presets::deep1b_like(n + pool_n, seed), pool_n);
+    let meta: Vec<MetaRecord> = (0..base.len() as u64)
+        .map(|id| MetaRecord::bucket_record(seed, id))
+        .collect();
+    let collection = Collection::create("bench", base, meta, "l2", k, seed).expect("collection");
+    let pool = Arc::new(pool);
+    println!(
+        "vdb filtered-serving sweep: namespace \"bench\", n={n}, pool {pool_n}, k={k}, \
+         {ranks} ranks"
+    );
+
+    // Every sweep point starts from the same pristine persisted namespace
+    // (the mutating point writes its changes back, so the store is rebuilt
+    // between points).
+    let store_dir = std::env::temp_dir().join(format!("dnnd_serve_vdb_{serve_seed:x}"));
+    let reset = |c: &Collection| {
+        let _ = std::fs::remove_dir_all(&store_dir);
+        let mut store = metall::Store::open_or_create(&store_dir).expect("bench store");
+        c.save(&mut store).expect("save collection");
+    };
+
+    let batch = 4usize;
+    let slot_ns = 1_000_000u64;
+    let params_for = |spec: &str| {
+        let p = ServeParams::new(k)
+            .serve_seed(serve_seed)
+            .slot_ns(slot_ns)
+            .offered_qps(batch as f64 * 1e9 / slot_ns as f64)
+            .n_arrivals(arrivals)
+            .hot_set(0.3, 8)
+            .batch(batch)
+            .flush_age_slots(2)
+            .deadline_slots(6)
+            .watermarks(8, 20)
+            .cache(16, 1e-3);
+        if spec.is_empty() {
+            p
+        } else {
+            p.workload_str(spec)
+        }
+    };
+    // A low watermark so the smoke-sized mutating point actually crosses
+    // it and exercises the deterministic compaction schedule.
+    let cfg = VdbServeConfig {
+        compact_watermark: 0.005,
+        ..VdbServeConfig::default()
+    };
+
+    const MUTATING_SPEC: &str = "filter:pct=50,sel=0.3;mutate:ins=10,del=7";
+    let scenarios: [(&str, &str); 5] = [
+        ("plain", ""),
+        ("sel10", "filter:pct=100,sel=0.1"),
+        ("sel30", "filter:pct=100,sel=0.3"),
+        ("sel100", "filter:pct=100,sel=1"),
+        ("mutating", MUTATING_SPEC),
+    ];
+
+    let mut t = Table::new(
+        "Vector-DB serving: filter selectivity and online mutations",
+        &[
+            "Scenario", "Answered", "Cache", "Filtered", "Ins", "Del", "Compact", "p99 ms",
+        ],
+    );
+    let mut sweep: Vec<(&str, ServeOutcome)> = Vec::new();
+    let mut mutating_wr = None;
+    for (name, spec) in scenarios {
+        reset(&collection);
+        let (outcome, _, wr) = run_serve_vdb(
+            &World::new(ranks),
+            &store_dir,
+            "bench",
+            &pool,
+            &L2,
+            &params_for(spec),
+            &cfg,
+        );
+        let s = &outcome.stats;
+        let v = s.vdb.as_ref().expect("vdb serving stats present");
+        t.row(&[
+            &name,
+            &s.total_answered(),
+            &s.cache_hits,
+            &v.filtered,
+            &v.inserts,
+            &v.deletes,
+            &v.compactions,
+            &format!("{:.2}", s.percentile_ns(0.99) as f64 / 1e6),
+        ]);
+        if name == "mutating" {
+            mutating_wr = Some(wr);
+        }
+        sweep.push((name, outcome));
+    }
+    t.print();
+    t.write_csv(&args.out_dir(), "serve_vdb").expect("csv");
+    println!("\ncsv: {}/serve_vdb.csv", args.out_dir().display());
+
+    let (_, mutating) = sweep.last().expect("sweep is non-empty");
+    let mut rr =
+        dnnd::obs_report::report_from_world("serve-vdb", ranks, mutating_wr.as_ref().expect("ran"));
+    attach_serving(&mut rr, &mutating.stats);
+    attach_vdb(&mut rr, &mutating.stats);
+    rr.param("mode", if smoke { "smoke" } else { "full" })
+        .param("scenario", MUTATING_SPEC)
+        .param("namespace", "bench")
+        .param("n", n)
+        .param("pool", pool_n)
+        .param("arrivals", arrivals)
+        .param("k", k)
+        .param("serve_seed", serve_seed)
+        .param("batch", batch)
+        .param("ranks", ranks);
+    for (i, (name, outcome)) in sweep.iter().enumerate() {
+        let s = &outcome.stats;
+        let v = s.vdb.as_ref().expect("vdb stats");
+        rr.param(format!("vdb_scenario_{i}"), name);
+        rr.extra
+            .push((format!("vdb_answered_{i}"), s.total_answered() as f64));
+        rr.extra
+            .push((format!("vdb_filtered_{i}"), v.filtered as f64));
+        rr.extra.push((
+            format!("vdb_p99_ms_{i}"),
+            s.percentile_ns(0.99) as f64 / 1e6,
+        ));
+    }
+
+    if smoke {
+        // Self-check 1 — product-layer overhead is *zero* when unused: the
+        // unfiltered, mutation-free point must reproduce legacy (non-vdb)
+        // serving over the identical base + graph bit for bit.
+        let (_, plain) = &sweep[0];
+        let (legacy, _) = run_serve(
+            &World::new(ranks),
+            &Arc::new(collection.base.clone()),
+            &Arc::new(collection.graph.clone()),
+            &pool,
+            &L2,
+            &params_for(""),
+        );
+        assert_eq!(
+            plain.answers, legacy.answers,
+            "unfiltered vdb serving must answer exactly like legacy serving"
+        );
+        assert_eq!(plain.stats.result_digest, legacy.stats.result_digest);
+        assert_eq!(plain.stats.cache_hits, legacy.stats.cache_hits);
+        assert_eq!(
+            plain.stats.shed_deadline + plain.stats.shed_overload,
+            legacy.stats.shed_deadline + legacy.stats.shed_overload
+        );
+
+        // Self-check 2 — the mutating point exercised the whole mutation
+        // surface: inserts, deletes, a compaction pass, filtered queries.
+        let v = mutating.stats.vdb.as_ref().expect("vdb stats");
+        assert!(v.inserts > 0, "mutating point applied no inserts");
+        assert!(v.deletes > 0, "mutating point applied no deletes");
+        assert!(v.compactions > 0, "watermark never triggered compaction");
+        assert!(v.filtered > 0, "filtered traffic never drew a predicate");
+        assert!(
+            !v.selectivity_hist.is_empty(),
+            "filtered queries recorded no selectivity"
+        );
+
+        // Self-check 3 — the v8 report round-trips with the vdb section.
+        let json = rr.to_json_string();
+        assert!(
+            json.contains(&format!(
+                "\"schema_version\": {}",
+                obs::report::SCHEMA_VERSION
+            )),
+            "report is not schema v{}",
+            obs::report::SCHEMA_VERSION
+        );
+        let parsed = obs::RunReport::parse(&json).expect("report round-trip");
+        assert_eq!(parsed.vdb, Some(v.to_section()));
+
+        // Self-check 4 — the mutating point replays bit-identically from
+        // the same pristine store.
+        reset(&collection);
+        let (replay, _, _) = run_serve_vdb(
+            &World::new(ranks),
+            &store_dir,
+            "bench",
+            &pool,
+            &L2,
+            &params_for(MUTATING_SPEC),
+            &cfg,
+        );
+        assert_eq!(
+            replay.stats.fingerprint(),
+            mutating.stats.fingerprint(),
+            "mutating vdb scenario must replay bit-identically"
+        );
+        assert_eq!(replay.answers, mutating.answers);
+        println!(
+            "smoke OK: vdb scenario replays bit-identically, digest {:016x}",
+            mutating.stats.result_digest
         );
     }
 

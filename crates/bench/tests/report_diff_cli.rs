@@ -6,17 +6,11 @@
 use dataset::{synth, L2};
 use dnnd::obs_report::{report_from_build, write_report};
 use dnnd::{build, CommOpts, DnndConfig};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::process::Command;
 use std::sync::Arc;
+use testutil::TmpDir;
 use ygm::{FaultPlan, FaultProfile, World};
-
-fn tmpdir(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!("report-diff-e2e-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&d);
-    std::fs::create_dir_all(&d).unwrap();
-    d
-}
 
 /// Build once (optionally under a fault plan) and write its RunReport.
 fn write_run(path: &Path, plan: Option<FaultPlan>) {
@@ -51,7 +45,7 @@ fn diff(base: &Path, cand: &Path) -> (Option<i32>, String) {
 
 #[test]
 fn self_diff_passes_and_storm_diff_fails_readably() {
-    let dir = tmpdir("gate");
+    let dir = TmpDir::new("report-diff-gate");
     let clean = dir.join("clean.json");
     let stormy = dir.join("stormy.json");
     write_run(&clean, None);
@@ -88,8 +82,6 @@ fn self_diff_passes_and_storm_diff_fails_readably() {
     ] {
         assert!(stdout.contains(col), "missing column {col:?}:\n{stdout}");
     }
-
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -145,6 +145,117 @@ impl Default for DistSearchParams {
     }
 }
 
+/// Allow-list bitset over base point ids, used for *filter-pushed*
+/// distributed search (the vector-DB layer compiles metadata predicates
+/// and tombstone sets into one of these per query).
+///
+/// The mask lives entirely at the query's home rank: it gates admission
+/// into the best-`l` heap inside [`QueryState::fold_round`], while the
+/// traversal itself — seeding, scoring, frontier relaxation — still sees
+/// every vertex. Disallowed vertices therefore keep acting as navigation
+/// waypoints and keep being counted in `dist_evals`, so shed/degrade
+/// decisions and eval accounting stay exact: this is pre-filtering pushed
+/// into the beam, never post-filtering of a finished result list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdMask {
+    bits: Vec<u64>,
+    n: usize,
+    allowed: usize,
+}
+
+impl IdMask {
+    /// A mask over `n` ids with nothing allowed yet.
+    pub fn none(n: usize) -> IdMask {
+        IdMask {
+            bits: vec![0u64; n.div_ceil(64)],
+            n,
+            allowed: 0,
+        }
+    }
+
+    /// A mask over `n` ids with everything allowed.
+    pub fn all(n: usize) -> IdMask {
+        let mut m = IdMask::none(n);
+        for id in 0..n {
+            m.allow(id as PointId);
+        }
+        m
+    }
+
+    /// Build from a predicate evaluated on every id in `0..n`.
+    pub fn from_fn(n: usize, mut pred: impl FnMut(PointId) -> bool) -> IdMask {
+        let mut m = IdMask::none(n);
+        for id in 0..n {
+            if pred(id as PointId) {
+                m.allow(id as PointId);
+            }
+        }
+        m
+    }
+
+    /// Allow `id`.
+    pub fn allow(&mut self, id: PointId) {
+        let i = id as usize;
+        assert!(i < self.n, "IdMask::allow: id {id} out of range {}", self.n);
+        let (w, b) = (i / 64, i % 64);
+        if self.bits[w] & (1u64 << b) == 0 {
+            self.bits[w] |= 1u64 << b;
+            self.allowed += 1;
+        }
+    }
+
+    /// Disallow `id` (tombstones call this).
+    pub fn deny(&mut self, id: PointId) {
+        let i = id as usize;
+        assert!(i < self.n, "IdMask::deny: id {id} out of range {}", self.n);
+        let (w, b) = (i / 64, i % 64);
+        if self.bits[w] & (1u64 << b) != 0 {
+            self.bits[w] &= !(1u64 << b);
+            self.allowed -= 1;
+        }
+    }
+
+    /// Is `id` allowed? Ids beyond the mask's range are disallowed.
+    pub fn allows(&self, id: PointId) -> bool {
+        let i = id as usize;
+        i < self.n && self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of allowed ids.
+    pub fn allowed(&self) -> usize {
+        self.allowed
+    }
+
+    /// Total ids the mask ranges over.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when no id is allowed.
+    pub fn is_empty(&self) -> bool {
+        self.allowed == 0
+    }
+
+    /// Fraction of ids allowed, in `[0, 1]` (1.0 for an empty range).
+    pub fn selectivity(&self) -> f64 {
+        if self.n == 0 {
+            1.0
+        } else {
+            self.allowed as f64 / self.n as f64
+        }
+    }
+
+    /// Intersect with `other` in place (predicate mask ∧ live-set mask).
+    pub fn intersect(&mut self, other: &IdMask) {
+        assert_eq!(self.n, other.n, "IdMask::intersect: range mismatch");
+        self.allowed = 0;
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= b;
+            self.allowed += a.count_ones() as usize;
+        }
+    }
+}
+
 /// Expand request: `(query id, home rank, vertex)`.
 type Expand = (u32, u32, PointId);
 /// Neighbor reply: `(query id, vertex, neighbor ids)`.
@@ -245,17 +356,22 @@ struct QueryState {
     /// Scored replies of the current round, folded in canonical order at
     /// the round boundary (the determinism contract).
     round_scored: Vec<(PointId, f32)>,
+    /// Filter-pushed allow-list: gates best-heap admission only (see
+    /// [`IdMask`]). `None` is the unfiltered legacy path, byte-identical
+    /// to pre-filter behavior.
+    mask: Option<Arc<IdMask>>,
     done: bool,
     profile: QueryProfile,
 }
 
 impl QueryState {
-    fn new() -> Self {
+    fn new(mask: Option<Arc<IdMask>>) -> Self {
         QueryState {
             best: BinaryHeap::new(),
             frontier: BinaryHeap::new(),
             visited: HashSet::new(),
             round_scored: Vec::new(),
+            mask,
             done: false,
             profile: QueryProfile::default(),
         }
@@ -279,6 +395,11 @@ impl QueryState {
         let mut scored = std::mem::take(&mut self.round_scored);
         scored.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
         for &(w, d) in &scored {
+            if let Some(mask) = &self.mask {
+                if !mask.allows(w) {
+                    continue; // navigation-only vertex: scored, never returned
+                }
+            }
             if self.best.len() < l || d < self.d_max(l) {
                 self.best.push((OrdF32(d), w));
                 if self.best.len() > l {
@@ -439,9 +560,36 @@ where
         requests: &[(u64, P)],
         params: DistSearchParams,
     ) -> (Vec<Vec<PointId>>, Vec<QueryProfile>) {
+        self.run_batch_masked(comm, requests, &[], params)
+    }
+
+    /// Filter-pushed variant: `masks[i]`, when present, is the allow-list
+    /// for `requests[i]` — evaluated at the home rank inside the beam
+    /// expansion (best-heap admission), never as a post-filter. An empty
+    /// `masks` slice means no query is filtered; otherwise it must be
+    /// request-aligned. `None`/absent masks take the byte-identical legacy
+    /// path. A query whose mask admits fewer than `params.l` reachable ids
+    /// returns fewer than `l` results (and an all-deny mask returns none).
+    ///
+    /// Collective: all ranks must call together (possibly with empty
+    /// `requests`).
+    pub fn run_batch_masked(
+        &self,
+        comm: &Comm,
+        requests: &[(u64, P)],
+        masks: &[Option<Arc<IdMask>>],
+        params: DistSearchParams,
+    ) -> (Vec<Vec<PointId>>, Vec<QueryProfile>) {
         params
             .validate()
             .unwrap_or_else(|e| panic!("invalid DistSearchParams: {e}"));
+        assert!(
+            masks.is_empty() || masks.len() == requests.len(),
+            "run_batch_masked: masks must be empty or request-aligned \
+             ({} masks, {} requests)",
+            masks.len(),
+            requests.len()
+        );
         let part = Partitioner::new(comm.n_ranks());
         let me = comm.rank() as u32;
         let n = self.base.len();
@@ -450,7 +598,11 @@ where
 
         {
             let mut s = self.st.borrow_mut();
-            s.queries = requests.iter().map(|_| QueryState::new()).collect();
+            s.queries = requests
+                .iter()
+                .enumerate()
+                .map(|(i, _)| QueryState::new(masks.get(i).cloned().flatten()))
+                .collect();
             s.vectors = requests.iter().map(|(_, q)| q.clone()).collect();
         }
 
@@ -820,5 +972,144 @@ mod tests {
         let p = DistSearchParams::default();
         assert_eq!(p.l, 10);
         p.validate().unwrap();
+    }
+
+    #[test]
+    fn id_mask_basics() {
+        let mut m = IdMask::none(130);
+        assert!(m.is_empty());
+        m.allow(0);
+        m.allow(64);
+        m.allow(129);
+        m.allow(129); // idempotent
+        assert_eq!(m.allowed(), 3);
+        assert!(m.allows(64) && !m.allows(63));
+        assert!(!m.allows(999)); // out of range ids are disallowed
+        m.deny(64);
+        m.deny(64);
+        assert_eq!(m.allowed(), 2);
+        let all = IdMask::all(130);
+        assert_eq!(all.allowed(), 130);
+        assert!((all.selectivity() - 1.0).abs() < 1e-12);
+        let mut inter = all.clone();
+        inter.intersect(&m);
+        assert_eq!(inter, m);
+        let even = IdMask::from_fn(10, |id| id % 2 == 0);
+        assert_eq!(even.allowed(), 5);
+        assert!((even.selectivity() - 0.5).abs() < 1e-12);
+    }
+
+    /// Run a masked batch on `ranks` ranks, gathering `(idx, ids)` rows.
+    fn masked_search_at(
+        ranks: usize,
+        base: &Arc<PointSet<Vec<f32>>>,
+        graph: &Arc<KnnGraph>,
+        queries: &Arc<PointSet<Vec<f32>>>,
+        mask: &Arc<IdMask>,
+        params: DistSearchParams,
+    ) -> Vec<Vec<PointId>> {
+        let (base, graph, queries, mask) = (
+            Arc::clone(base),
+            Arc::clone(graph),
+            Arc::clone(queries),
+            Arc::clone(mask),
+        );
+        let report = World::new(ranks).run(move |comm| {
+            let engine = SearchEngine::new(comm, Arc::clone(&base), Arc::clone(&graph), L2);
+            let mine: Vec<usize> = (0..queries.len())
+                .filter(|q| q % comm.n_ranks() == comm.rank())
+                .collect();
+            let requests: Vec<(u64, Vec<f32>)> = mine
+                .iter()
+                .map(|&idx| (idx as u64, queries.point(idx as PointId).clone()))
+                .collect();
+            let masks: Vec<Option<Arc<IdMask>>> =
+                mine.iter().map(|_| Some(Arc::clone(&mask))).collect();
+            let (ids, _) = engine.run_batch_masked(comm, &requests, &masks, params);
+            mine.into_iter().zip(ids).collect::<RankQueryRows>()
+        });
+        let mut out: Vec<Vec<PointId>> = vec![Vec::new(); report.results.iter().flatten().count()];
+        for (idx, ids) in report.results.into_iter().flatten() {
+            out[idx] = ids;
+        }
+        out
+    }
+
+    #[test]
+    fn masked_search_returns_only_allowed_ids_with_good_recall() {
+        let (base, graph, queries) = setup(600, 10);
+        let queries = Arc::new(queries);
+        // Allow one id in three — a mid-selectivity predicate.
+        let mask = Arc::new(IdMask::from_fn(base.len(), |id| id % 3 == 0));
+        let params = DistSearchParams::new(10).epsilon(0.2).entry_candidates(48);
+        let ids = masked_search_at(2, &base, &graph, &queries, &mask, params);
+        for (qi, row) in ids.iter().enumerate() {
+            assert_eq!(row.len(), 10, "query {qi} under-filled");
+            for &id in row {
+                assert!(mask.allows(id), "query {qi} returned disallowed id {id}");
+            }
+        }
+        // Compare against the brute-force truth restricted to the mask.
+        let allowed: Vec<PointId> = (0..base.len() as PointId).filter(|&i| i % 3 == 0).collect();
+        let sub = PointSet::new(
+            allowed
+                .iter()
+                .map(|&i| base.point(i).clone())
+                .collect::<Vec<_>>(),
+        );
+        let mut truth = brute_force_queries(&Arc::new(sub), &queries, &L2, 10);
+        for row in &mut truth.ids {
+            for id in row.iter_mut() {
+                *id = allowed[*id as usize];
+            }
+        }
+        let recall = mean_recall(&ids, &truth);
+        assert!(recall > 0.8, "filtered recall {recall}");
+    }
+
+    #[test]
+    fn masked_search_is_bit_identical_across_reruns_and_rank_counts() {
+        let (base, graph, queries) = setup(400, 8);
+        let queries = Arc::new(queries);
+        let mask = Arc::new(IdMask::from_fn(base.len(), |id| id % 4 != 1));
+        let params = DistSearchParams::new(8).epsilon(0.2).entry_candidates(32);
+        let reference = masked_search_at(1, &base, &graph, &queries, &mask, params);
+        // Rerun at the same rank count: bit-identical.
+        assert_eq!(
+            masked_search_at(1, &base, &graph, &queries, &mask, params),
+            reference
+        );
+        for ranks in [2usize, 4] {
+            assert_eq!(
+                masked_search_at(ranks, &base, &graph, &queries, &mask, params),
+                reference,
+                "filtered results differ at {ranks} ranks"
+            );
+        }
+    }
+
+    #[test]
+    fn all_deny_mask_returns_no_results_and_no_none_mask_matches_unmasked() {
+        let (base, graph, queries) = setup(300, 6);
+        let queries = Arc::new(queries);
+        let params = DistSearchParams::new(6).entry_candidates(24);
+        let deny = Arc::new(IdMask::none(base.len()));
+        let empty = masked_search_at(2, &base, &graph, &queries, &deny, params);
+        assert!(empty.iter().all(|row| row.is_empty()));
+        // A masks slice of all-None must match the unmasked entry point.
+        let (b, g, q) = (Arc::clone(&base), Arc::clone(&graph), Arc::clone(&queries));
+        let report = World::new(2).run(move |comm| {
+            let engine = SearchEngine::new(comm, Arc::clone(&b), Arc::clone(&g), L2);
+            let mine: Vec<(u64, Vec<f32>)> = (0..q.len())
+                .filter(|i| i % comm.n_ranks() == comm.rank())
+                .map(|idx| (idx as u64, q.point(idx as PointId).clone()))
+                .collect();
+            let masks: Vec<Option<Arc<IdMask>>> = vec![None; mine.len()];
+            let (with_none, _) = engine.run_batch_masked(comm, &mine, &masks, params);
+            let bare = engine.run_batch(comm, &mine, params);
+            assert_eq!(with_none, bare, "None masks must match the legacy path");
+            with_none.len()
+        });
+        assert!(report.results.iter().sum::<usize>() == queries.len());
     }
 }

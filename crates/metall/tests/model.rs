@@ -5,7 +5,7 @@
 use metall::{Store, StoreError};
 use proptest::prelude::*;
 use std::collections::HashMap;
-use std::path::PathBuf;
+use testutil::TmpDir;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -36,14 +36,8 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
-fn fresh_dir(case: u64) -> PathBuf {
-    let d = std::env::temp_dir().join(format!(
-        "metall-model-{}-{case}-{:?}",
-        std::process::id(),
-        std::thread::current().id()
-    ));
-    let _ = std::fs::remove_dir_all(&d);
-    d
+fn fresh_dir(case: u64) -> TmpDir {
+    TmpDir::new(&format!("metall-model-{case}"))
 }
 
 proptest! {
@@ -52,7 +46,7 @@ proptest! {
     #[test]
     fn store_behaves_like_a_map(ops in prop::collection::vec(op_strategy(), 1..40), case in any::<u64>()) {
         let dir = fresh_dir(case);
-        let mut store = Store::create(&dir).unwrap();
+        let mut store = Store::create(dir.path()).unwrap();
         let mut model: HashMap<String, Vec<u8>> = HashMap::new();
 
         for op in &ops {
@@ -76,7 +70,7 @@ proptest! {
                 },
                 Op::Reopen => {
                     drop(store);
-                    store = Store::open(&dir).unwrap();
+                    store = Store::open(dir.path()).unwrap();
                 }
             }
             // Invariants that must hold after every operation.
@@ -88,11 +82,9 @@ proptest! {
 
         // Final durability check: a reopened store equals the model.
         drop(store);
-        let store = Store::open(&dir).unwrap();
+        let store = Store::open(dir.path()).unwrap();
         for (name, want) in &model {
             prop_assert_eq!(&store.get_bytes(name).unwrap(), want);
         }
-        drop(store);
-        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -104,17 +104,10 @@ proptest! {
 
     #[test]
     fn save_load_round_trips(g in graph_strategy(16), case in any::<u64>()) {
-        let dir = std::env::temp_dir().join(format!(
-            "nnd-graph-prop-{}-{case}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
-        let mut store = metall::Store::create(&dir).unwrap();
+        let dir = testutil::TmpDir::new(&format!("nnd-graph-prop-{case}"));
+        let mut store = metall::Store::create(dir.path()).unwrap();
         g.save(&mut store, "g").unwrap();
         let back = KnnGraph::load(&store, "g").unwrap();
         prop_assert_eq!(back, g);
-        drop(store);
-        let _ = std::fs::remove_dir_all(&dir);
     }
 }

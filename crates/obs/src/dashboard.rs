@@ -9,7 +9,7 @@
 
 use crate::critical_path::CriticalPathSection;
 use crate::report::{
-    FaultSection, MatrixSection, QueryForensicsSection, RunReport, ServingSection,
+    FaultSection, MatrixSection, QueryForensicsSection, RunReport, ServingSection, VdbSection,
 };
 use std::fmt::Write as _;
 
@@ -68,6 +68,13 @@ pub fn dashboard_html(report: &RunReport) -> String {
             "serving",
             "Online serving SLOs",
             &serving_panel(s),
+        ));
+    }
+    if let Some(v) = &report.vdb {
+        body.push_str(&section(
+            "vdb",
+            "Vector-DB namespaces & filtered search",
+            &vdb_panel(v),
         ));
     }
     if let Some(q) = &report.query_forensics {
@@ -675,6 +682,90 @@ fn latency_hist_svg(s: &ServingSection) -> String {
     out
 }
 
+/// Per-namespace counters, mutation totals, and the filtered-query
+/// selectivity decile chart of the vector-DB product layer (schema v8).
+fn vdb_panel(v: &VdbSection) -> String {
+    let tiles: &[(&str, String)] = &[
+        ("namespaces", group_u64(v.namespaces.len() as u64)),
+        ("filtered queries", group_u64(v.filtered_queries)),
+        ("cache-suppressed ids", group_u64(v.cache_suppressed_ids)),
+    ];
+    let mut out = String::from("<div class=\"tiles\">\n");
+    for (label, value) in tiles {
+        let _ = writeln!(
+            out,
+            "<div class=\"tile\"><b>{}</b><span>{}</span></div>",
+            esc(value),
+            esc(label)
+        );
+    }
+    out.push_str("</div>\n");
+    out.push_str(
+        "<table><tr><th>namespace</th><th>points</th><th>live</th>\
+         <th>tombstones</th><th>dead</th><th>epoch</th><th>inserts</th>\
+         <th>deletes</th><th>compactions</th></tr>",
+    );
+    for ns in &v.namespaces {
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            esc(&ns.name),
+            group_u64(ns.points),
+            group_u64(ns.live),
+            group_u64(ns.tombstones),
+            group_u64(ns.dead),
+            group_u64(ns.epoch),
+            group_u64(ns.inserts),
+            group_u64(ns.deletes),
+            group_u64(ns.compactions),
+        );
+    }
+    out.push_str("</table>\n");
+    if !v.selectivity_hist.is_empty() {
+        let max_count = v
+            .selectivity_hist
+            .iter()
+            .map(|&(_, c)| c)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let bar_w = (CHART_W - CHART_PAD - 10.0) / 10.0;
+        let band_h = CHART_H - 32.0;
+        let _ = writeln!(
+            out,
+            "<svg viewBox=\"0 0 {CHART_W} {CHART_H}\" width=\"100%\" role=\"img\">"
+        );
+        for &(decile, count) in &v.selectivity_hist {
+            let h = band_h * count as f64 / max_count as f64;
+            let _ = writeln!(
+                out,
+                "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"{}\">\
+                 <title>{}–{}% selective: {} queries</title></rect>",
+                CHART_PAD + decile as f64 * bar_w,
+                10.0 + band_h - h,
+                (bar_w - 1.0).max(0.5),
+                h.max(0.5),
+                RANK_COLORS[2],
+                decile * 10,
+                (decile + 1) * 10,
+                group_u64(count),
+            );
+        }
+        let _ = write!(
+            out,
+            "<text x=\"{CHART_PAD}\" y=\"{}\">0%</text>\
+             <text x=\"{:.1}\" y=\"{}\" text-anchor=\"end\">100%</text>\n</svg>\n\
+             <p class=\"legend\">filtered-query selectivity (fraction of the collection \
+             each query's mask admits, by decile)</p>",
+            CHART_H - 8.0,
+            CHART_W - 10.0,
+            CHART_H - 8.0,
+        );
+    }
+    out
+}
+
 /// Palette for the five waterfall stages (admission, batch wait,
 /// dispatch, search, response), in pipeline order.
 const STAGE_COLORS: &[&str] = &["#a7b4c2", "#b279a2", "#f58518", "#4c78a8", "#54a24b"];
@@ -1192,6 +1283,37 @@ mod tests {
         assert!(!html.contains("id=\"telemetry\""));
         assert!(!html.contains("id=\"convergence\""));
         assert!(html.contains("id=\"timeline\""));
+    }
+
+    #[test]
+    fn vdb_panel_renders_and_is_omitted_without_section() {
+        use crate::report::{VdbNamespaceSection, VdbSection};
+        let mut r = sample();
+        assert!(!dashboard_html(&r).contains("id=\"vdb\""));
+        r.vdb = Some(VdbSection {
+            namespaces: vec![VdbNamespaceSection {
+                name: "prod".into(),
+                points: 1_000,
+                live: 930,
+                tombstones: 20,
+                dead: 50,
+                epoch: 3,
+                inserts: 12,
+                deletes: 70,
+                compactions: 2,
+            }],
+            filtered_queries: 44,
+            cache_suppressed_ids: 5,
+            selectivity_hist: vec![(1, 10), (4, 30)],
+        });
+        let html = dashboard_html(&r);
+        assert!(html.contains("id=\"vdb\""));
+        assert!(html.contains("prod"));
+        assert!(html.contains("compactions"));
+        assert!(html.contains("40–50% selective: 30 queries"));
+        for needle in ["http://", "https://", "<script", "src=", "@import", "url("] {
+            assert!(!html.contains(needle), "found {needle:?}");
+        }
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub use json::JsonValue;
 pub use report::{
     ConvergencePoint, FaultSection, MatrixSection, MatrixTagReport, PhaseReport, QueryExemplar,
     QueryForensicsSection, RnnRoundReport, RnnSection, RunReport, ServingSection, TagReport,
-    TenantSloSection,
+    TenantSloSection, VdbNamespaceSection, VdbSection,
 };
 pub use ring::{EventKind, TraceEvent};
 pub use timeseries::{SeriesPoint, SeriesSnapshot, TimeSeriesSet};

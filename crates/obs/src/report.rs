@@ -37,7 +37,12 @@ use crate::timeseries::{SeriesPoint, SeriesSnapshot};
 ///     optional per-tenant SLO array `tenants` (omitted when the workload
 ///     declares no tenant classes); query-forensics exemplars gain a
 ///     `tenant` field. Older documents parse with zeros / empty vectors.
-pub const SCHEMA_VERSION: u64 = 7;
+/// v8: adds the optional `vdb` section — vector-DB product-layer counters
+///     from a namespaced serving run (per-namespace point/live/tombstone/
+///     dead/epoch counters, online insert/delete/compaction totals, and
+///     the filtered-query selectivity histogram). Omitted for runs without
+///     a `--namespace`; older documents parse with it absent.
+pub const SCHEMA_VERSION: u64 = 8;
 
 /// Oldest schema this parser still accepts. v1 documents parse with empty
 /// `series` and no `matrix`; v1/v2 documents parse with no `serving`.
@@ -339,6 +344,52 @@ pub struct QueryForensicsSection {
     pub digest: u64,
 }
 
+/// One namespace's vector-DB counters (schema v8): how many points the
+/// collection holds, how many are masked by tombstones, how many were
+/// folded into the dead set by compaction, and the online-mutation totals
+/// from the serving run that produced this report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VdbNamespaceSection {
+    /// Namespace (collection) name.
+    pub name: String,
+    /// Total point slots ever allocated (live + tombstoned + dead).
+    pub points: u64,
+    /// Points visible to search (`points - tombstones - dead`).
+    pub live: u64,
+    /// Deleted but not yet compacted — masked out of every result.
+    pub tombstones: u64,
+    /// Deleted and folded away by compaction.
+    pub dead: u64,
+    /// Versioned graph epoch; bumped by ingest and compaction, which
+    /// invalidates result-cache entries keyed on the previous epoch.
+    pub epoch: u64,
+    /// Online inserts applied during the serving run.
+    pub inserts: u64,
+    /// Online deletes (tombstones placed) during the serving run.
+    pub deletes: u64,
+    /// Background compaction passes executed during the serving run.
+    pub compactions: u64,
+}
+
+/// Vector-DB product-layer telemetry (schema v8): per-namespace counters
+/// plus filtered-query accounting. `None` for runs without a namespace.
+/// Bit-identical across reruns and rank counts (mutation and compaction
+/// schedules are pure PRFs of the serve seed).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VdbSection {
+    /// Per-namespace counters, sorted by name.
+    pub namespaces: Vec<VdbNamespaceSection>,
+    /// Dispatched queries that carried a metadata predicate.
+    pub filtered_queries: u64,
+    /// Result ids suppressed from cache hits because a tombstone landed
+    /// after the entry was cached (deletes do not bump the epoch).
+    pub cache_suppressed_ids: u64,
+    /// Decile histogram of filtered-query selectivity: `hist[d]` counts
+    /// dispatched filtered queries whose mask allowed `[d*10%, (d+1)*10%)`
+    /// of the collection (the last bucket is closed at 100%).
+    pub selectivity_hist: Vec<(u64, u64)>,
+}
+
 /// One tag's rank×rank traffic counts (mirrors `ygm`'s traffic matrix).
 ///
 /// `counts[src * n_ranks + dest]` / `bytes[...]` hold message and byte
@@ -438,6 +489,9 @@ pub struct RunReport {
     /// Per-query forensics from the serving layer (schema v6); `None` for
     /// non-serving runs and pre-v6 documents.
     pub query_forensics: Option<QueryForensicsSection>,
+    /// Vector-DB product-layer counters (schema v8); `None` for runs
+    /// without a namespace and pre-v8 documents.
+    pub vdb: Option<VdbSection>,
     /// Trace events lost to span-ring overflow (schema v4; 0 in older
     /// documents). Nonzero means the trace — and any flow-pairing or
     /// critical-path post-processing of it — is incomplete.
@@ -908,6 +962,53 @@ impl RunReport {
                 ]),
             ));
         }
+        if let Some(vd) = &self.vdb {
+            fields.push((
+                "vdb".into(),
+                J::Obj(vec![
+                    (
+                        "namespaces".into(),
+                        J::Arr(
+                            vd.namespaces
+                                .iter()
+                                .map(|ns| {
+                                    J::Obj(vec![
+                                        ("name".into(), J::str(&ns.name)),
+                                        ("points".into(), J::uint(ns.points)),
+                                        ("live".into(), J::uint(ns.live)),
+                                        ("tombstones".into(), J::uint(ns.tombstones)),
+                                        ("dead".into(), J::uint(ns.dead)),
+                                        ("epoch".into(), J::uint(ns.epoch)),
+                                        ("inserts".into(), J::uint(ns.inserts)),
+                                        ("deletes".into(), J::uint(ns.deletes)),
+                                        ("compactions".into(), J::uint(ns.compactions)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("filtered_queries".into(), J::uint(vd.filtered_queries)),
+                    (
+                        "cache_suppressed_ids".into(),
+                        J::uint(vd.cache_suppressed_ids),
+                    ),
+                    (
+                        "selectivity_hist".into(),
+                        J::Arr(
+                            vd.selectivity_hist
+                                .iter()
+                                .map(|&(decile, count)| {
+                                    J::Obj(vec![
+                                        ("decile".into(), J::uint(decile)),
+                                        ("count".into(), J::uint(count)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
         if let Some(f) = &self.faults {
             fields.push((
                 "faults".into(),
@@ -1292,6 +1393,35 @@ impl RunReport {
             });
         }
 
+        // Schema v8 section; absent for namespace-less runs and older
+        // documents.
+        if let Some(vd) = v.get("vdb") {
+            let mut namespaces = Vec::new();
+            for ns in arr_field(vd, "namespaces")? {
+                namespaces.push(VdbNamespaceSection {
+                    name: str_field(ns, "name")?,
+                    points: u64_field(ns, "points")?,
+                    live: u64_field(ns, "live")?,
+                    tombstones: u64_field(ns, "tombstones")?,
+                    dead: u64_field(ns, "dead")?,
+                    epoch: u64_field(ns, "epoch")?,
+                    inserts: u64_field(ns, "inserts")?,
+                    deletes: u64_field(ns, "deletes")?,
+                    compactions: u64_field(ns, "compactions")?,
+                });
+            }
+            let mut selectivity_hist = Vec::new();
+            for b in arr_field(vd, "selectivity_hist")? {
+                selectivity_hist.push((u64_field(b, "decile")?, u64_field(b, "count")?));
+            }
+            report.vdb = Some(VdbSection {
+                namespaces,
+                filtered_queries: u64_field(vd, "filtered_queries")?,
+                cache_suppressed_ids: u64_field(vd, "cache_suppressed_ids")?,
+                selectivity_hist,
+            });
+        }
+
         // Optional: absent in fault-free reports (pre-fault documents too).
         if let Some(f) = v.get("faults") {
             report.faults = Some(FaultSection {
@@ -1463,23 +1593,57 @@ mod tests {
     }
 
     #[test]
+    fn vdb_section_round_trips() {
+        let mut r = sample_report();
+        r.vdb = Some(VdbSection {
+            namespaces: vec![VdbNamespaceSection {
+                name: "prod".into(),
+                points: 1_000,
+                live: 930,
+                tombstones: 20,
+                dead: 50,
+                epoch: 3,
+                inserts: 12,
+                deletes: 70,
+                compactions: 2,
+            }],
+            filtered_queries: 44,
+            cache_suppressed_ids: 5,
+            selectivity_hist: vec![(1, 10), (4, 30), (9, 4)],
+        });
+        let back = RunReport::parse(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+        let ns = &back.vdb.as_ref().unwrap().namespaces[0];
+        assert_eq!(ns.live + ns.tombstones + ns.dead, ns.points);
+    }
+
+    #[test]
+    fn missing_vdb_section_parses_as_none() {
+        let r = sample_report();
+        let text = r.to_json_string();
+        assert!(!text.contains("\"vdb\""));
+        let back = RunReport::parse(&text).unwrap();
+        assert_eq!(back.vdb, None);
+    }
+
+    #[test]
     fn rejects_future_schema_version_naming_both() {
         let text = sample_report()
             .to_json_string()
-            .replace("\"schema_version\": 7", "\"schema_version\": 999");
+            .replace("\"schema_version\": 8", "\"schema_version\": 999");
         let err = RunReport::parse(&text).unwrap_err();
         assert!(
             err.contains("999"),
             "error must name the found version: {err}"
         );
         assert!(
-            err.contains("v1") && err.contains("v7"),
+            err.contains("v1") && err.contains("v8"),
             "error must name the supported range: {err}"
         );
         // v0 is below the supported range too.
         let text = sample_report()
             .to_json_string()
-            .replace("\"schema_version\": 7", "\"schema_version\": 0");
+            .replace("\"schema_version\": 8", "\"schema_version\": 0");
         assert!(RunReport::parse(&text).is_err());
     }
 
@@ -1622,7 +1786,7 @@ mod tests {
         let r = sample_report();
         let text = r
             .to_json_string()
-            .replace("\"schema_version\": 7", "\"schema_version\": 2");
+            .replace("\"schema_version\": 8", "\"schema_version\": 2");
         let back = RunReport::parse(&text).unwrap();
         assert_eq!(back.serving, None);
         assert_eq!(back.series, r.series);
@@ -1769,7 +1933,7 @@ mod tests {
         let r = sample_report();
         let text = r
             .to_json_string()
-            .replace("\"schema_version\": 7", "\"schema_version\": 4");
+            .replace("\"schema_version\": 8", "\"schema_version\": 4");
         let back = RunReport::parse(&text).unwrap();
         assert_eq!(back.rnn, None);
         assert_eq!(back.tags, r.tags);
@@ -1785,7 +1949,7 @@ mod tests {
         r.rnn = Some(sample_rnn());
         let text = r
             .to_json_string()
-            .replace("\"schema_version\": 7", "\"schema_version\": 5");
+            .replace("\"schema_version\": 8", "\"schema_version\": 5");
         assert!(!text.contains("\"query_forensics\""));
         assert!(!text.contains("\"dropped_spans_per_rank\""));
         let back = RunReport::parse(&text).unwrap();

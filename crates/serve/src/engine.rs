@@ -33,18 +33,23 @@
 use crate::cache::{QuantizeKey, ResultCache};
 use crate::forensics::{fnv_seed, fnv_u64, hash_quantized_key, ForensicsCollector, QueryForensics};
 use crate::params::ServeParams;
-use crate::workload::{Arrival, ArrivalPlan, ArrivalProcess, PoolPicker, WorkloadSpec, SALT_THINK};
+use crate::workload::{
+    Arrival, ArrivalPlan, ArrivalProcess, PoolPicker, WorkloadSpec, SALT_COMPACT, SALT_MUTATE,
+    SALT_THINK,
+};
 use dataset::batch::BatchMetric;
 use dataset::point::Point;
 use dataset::set::{PointId, PointSet};
-use dnnd::query::SearchEngine;
+use dnnd::query::{IdMask, SearchEngine};
 use dnnd::{DistSearchParams, QueryProfile};
 use nnd::graph::KnnGraph;
-use obs::{RunReport, ServingSection, TenantSloSection};
+use obs::{RunReport, ServingSection, TenantSloSection, VdbNamespaceSection, VdbSection};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, VecDeque};
+use std::path::Path;
 use std::sync::Arc;
+use vdb::{Collection, CollectionStat, MetaRecord, Predicate, Term};
 use ygm::fault::mix;
 use ygm::{all_gather, Comm, SlotTimer, World, WorldReport};
 
@@ -94,8 +99,62 @@ pub struct ServingStats {
     /// Per-tenant-class SLO accounting, in declaration (priority) order.
     /// Empty when the workload declares no tenant classes.
     pub tenants: Vec<TenantStats>,
+    /// Vector-DB product-layer counters; `None` for legacy (namespace-less)
+    /// runs, whose fingerprints are byte-identical to pre-vdb builds.
+    pub vdb: Option<VdbServeStats>,
     /// FNV-1a digest over `(arrival idx, result ids)` in arrival order.
     pub result_digest: u64,
+}
+
+/// Replicated vector-DB counters of one namespaced serving run: the final
+/// collection state plus mutation, filter, and cache-suppression totals.
+/// Identical on every rank (asserted via the stats fingerprint).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VdbServeStats {
+    /// Namespace served.
+    pub namespace: String,
+    /// Final collection counters (see [`vdb::CollectionStat`]).
+    pub points: u64,
+    pub live: u64,
+    pub tombstones: u64,
+    pub dead: u64,
+    pub epoch: u64,
+    /// Online inserts applied on slot boundaries.
+    pub inserts: u64,
+    /// Online deletes (tombstones placed) on slot boundaries.
+    pub deletes: u64,
+    /// Background compaction passes executed.
+    pub compactions: u64,
+    /// Offered queries that carried a metadata predicate.
+    pub filtered: u64,
+    /// Ids stripped from cache hits because a tombstone landed after the
+    /// entry was cached (deletes do not bump the epoch).
+    pub cache_suppressed: u64,
+    /// Decile histogram `(decile, count)` of dispatched filtered queries'
+    /// mask selectivity, sorted by decile.
+    pub selectivity_hist: Vec<(u64, u64)>,
+}
+
+impl VdbServeStats {
+    /// Translate into the run report's schema-v8 `vdb` section.
+    pub fn to_section(&self) -> VdbSection {
+        VdbSection {
+            namespaces: vec![VdbNamespaceSection {
+                name: self.namespace.clone(),
+                points: self.points,
+                live: self.live,
+                tombstones: self.tombstones,
+                dead: self.dead,
+                epoch: self.epoch,
+                inserts: self.inserts,
+                deletes: self.deletes,
+                compactions: self.compactions,
+            }],
+            filtered_queries: self.filtered,
+            cache_suppressed_ids: self.cache_suppressed,
+            selectivity_hist: self.selectivity_hist.clone(),
+        }
+    }
 }
 
 /// Per-tenant-class slice of a run's SLO accounting.
@@ -241,6 +300,31 @@ impl ServingStats {
                 h = fnv_u64(h, c);
             }
         }
+        // Folded only when present, so legacy fingerprints are unchanged.
+        if let Some(v) = &self.vdb {
+            h = fnv_u64(h, v.namespace.len() as u64);
+            for b in v.namespace.bytes() {
+                h = fnv_u64(h, b as u64);
+            }
+            for x in [
+                v.points,
+                v.live,
+                v.tombstones,
+                v.dead,
+                v.epoch,
+                v.inserts,
+                v.deletes,
+                v.compactions,
+                v.filtered,
+                v.cache_suppressed,
+            ] {
+                h = fnv_u64(h, x);
+            }
+            for &(d, c) in &v.selectivity_hist {
+                h = fnv_u64(h, d);
+                h = fnv_u64(h, c);
+            }
+        }
         h
     }
 
@@ -295,6 +379,15 @@ impl ServingStats {
 /// `serving` section.
 pub fn attach_serving(report: &mut RunReport, stats: &ServingStats) {
     report.serving = Some(stats.to_section());
+}
+
+/// Attach a namespaced serving run's vector-DB counters to `report` as
+/// its schema-v8 `vdb` section. No-op for legacy runs (`stats.vdb` is
+/// `None`), so the report stays byte-identical to pre-vdb builds.
+pub fn attach_vdb(report: &mut RunReport, stats: &ServingStats) {
+    if let Some(v) = &stats.vdb {
+        report.vdb = Some(v.to_section());
+    }
 }
 
 /// Everything one rank returns from a serving run. All fields are
@@ -559,6 +652,56 @@ fn dispatch_capacity(batch: usize, level: u8) -> usize {
     batch * (2 + level as usize) / 2
 }
 
+/// The vector-DB extension points of the slot loop. The legacy
+/// (namespace-less) engine runs with the no-op [`NoVdb`] impl, which keeps
+/// every control-plane decision, cache key, and search call byte-identical
+/// to the pre-vdb engine; [`VdbState`] implements the namespaced product
+/// layer. All methods are replicated: every rank calls them with the same
+/// arguments in the same order and must get the same answers.
+trait VdbHooks<P: Point> {
+    /// Called at the top of every slot, before arrivals. Applies any
+    /// scheduled mutations (online inserts/deletes, background
+    /// compaction); returns the new `(base, graph)` when the adjacency
+    /// changed and the search engine must be rebuilt.
+    fn on_slot(&mut self, slot: u64) -> Option<(Arc<PointSet<P>>, Arc<KnnGraph>)>;
+    /// Called once per offered arrival (filtered-traffic accounting).
+    fn on_arrival(&mut self, idx: u64);
+    /// Result-cache key prefix for arrival `idx` — empty in legacy mode,
+    /// `[namespace fnv, predicate fnv, graph epoch]` in vdb mode.
+    /// Recomputed at every use so an epoch bump between a query's arrival
+    /// and its answer lands in the key it is cached under.
+    fn key_prefix(&mut self, idx: u64) -> Vec<i64>;
+    /// Allow-list for a *dispatched* query, compiled at dispatch time so
+    /// tombstones placed after admission are honored. `None` = unmasked
+    /// (the byte-identical legacy search path).
+    fn mask_for(&mut self, idx: u64) -> Option<Arc<IdMask>>;
+    /// Strip ids no longer visible from a cache hit's result (deletes do
+    /// not bump the epoch, so live entries can hold tombstoned ids).
+    fn filter_cached(&mut self, ids: &mut Vec<PointId>);
+    /// Final counters for [`ServingStats::vdb`]; `None` in legacy mode.
+    fn take_stats(&mut self) -> Option<VdbServeStats>;
+}
+
+/// The legacy no-op hooks: no mutations, no prefixes, no masks.
+struct NoVdb;
+
+impl<P: Point> VdbHooks<P> for NoVdb {
+    fn on_slot(&mut self, _slot: u64) -> Option<(Arc<PointSet<P>>, Arc<KnnGraph>)> {
+        None
+    }
+    fn on_arrival(&mut self, _idx: u64) {}
+    fn key_prefix(&mut self, _idx: u64) -> Vec<i64> {
+        Vec::new()
+    }
+    fn mask_for(&mut self, _idx: u64) -> Option<Arc<IdMask>> {
+        None
+    }
+    fn filter_cached(&mut self, _ids: &mut Vec<PointId>) {}
+    fn take_stats(&mut self) -> Option<VdbServeStats> {
+        None
+    }
+}
+
 /// Run the serving loop on a live comm (SPMD: all ranks call together
 /// inside one `world.run`). Returns the replicated outcome.
 pub fn serve_on_comm<P, M>(
@@ -572,6 +715,25 @@ pub fn serve_on_comm<P, M>(
 where
     P: Point + QuantizeKey,
     M: BatchMetric<P>,
+{
+    serve_loop(comm, base, graph, pool, metric, params, &mut NoVdb)
+}
+
+/// The slot loop shared by the legacy and vdb engines; `hooks` is the only
+/// thing that differs between them.
+fn serve_loop<P, M, H>(
+    comm: &Comm,
+    base: &Arc<PointSet<P>>,
+    graph: &Arc<KnnGraph>,
+    pool: &Arc<PointSet<P>>,
+    metric: &M,
+    params: &ServeParams,
+    hooks: &mut H,
+) -> ServeOutcome
+where
+    P: Point + QuantizeKey,
+    M: BatchMetric<P>,
+    H: VdbHooks<P>,
 {
     params
         .validate()
@@ -590,7 +752,7 @@ where
             .collect()
     };
     let mut source = ArrivalSource::new(params, pool.len());
-    let engine = SearchEngine::new(comm, Arc::clone(base), Arc::clone(graph), metric.clone());
+    let mut engine = SearchEngine::new(comm, Arc::clone(base), Arc::clone(graph), metric.clone());
     comm.name_tag(TAG_RESULTS, "serve_results");
     comm.name_tag(TAG_FINGERPRINT, "serve_fingerprint");
 
@@ -622,6 +784,13 @@ where
 
     while source.has_more() || queues.iter().any(|q| !q.is_empty()) {
         comm.trace_begin_arg("serve_slot", slot);
+        // Vdb mutations land on the slot boundary, before arrivals. An
+        // adjacency change (ingest/compaction) rebuilds the search engine;
+        // `ygm` handler registration is last-write-wins, so re-registering
+        // the query protocol mid-run is safe.
+        if let Some((b, g)) = hooks.on_slot(slot) {
+            engine = SearchEngine::new(comm, b, g, metric.clone());
+        }
         // Per-slot control-plane counters (satellite gauges, rank 0).
         let mut slot_cache_hits = 0u64;
         let mut slot_shed = 0u64;
@@ -633,7 +802,12 @@ where
         for &a in &arrivals_now {
             stats.offered += 1;
             tacc[a.tenant].offered += 1;
-            let key = pool.point(a.pool_id as PointId).quantize(params.quant_step);
+            hooks.on_arrival(a.idx);
+            // The cache key is the hooks prefix (empty in legacy mode)
+            // followed by the quantized query vector, so a namespace, a
+            // predicate, or an epoch bump each isolate their own entries.
+            let mut key = hooks.key_prefix(a.idx);
+            key.extend(pool.point(a.pool_id as PointId).quantize(params.quant_step));
             let key_hash = hash_quantized_key(&key);
             // Rank 0 stands in for the frontend: one async lifecycle
             // span per query, opened at arrival and closed at the
@@ -642,7 +816,11 @@ where
                 comm.trace_async_begin("query", QUERY_FLOW_BASE | a.idx);
             }
             let depth: usize = queues.iter().map(|q| q.len()).sum();
-            if let Some(ids) = cache.get(&key) {
+            if let Some(mut ids) = cache.get(&key) {
+                // Same-epoch entries can still hold ids tombstoned after
+                // they were cached (deletes don't bump the epoch); strip
+                // them at hit time so a delete is honored immediately.
+                hooks.filter_cached(&mut ids);
                 stats.cache_hits += 1;
                 slot_cache_hits += 1;
                 tacc[a.tenant].cache_hits += 1;
@@ -688,7 +866,8 @@ where
                     stats.shed_deadline += 1;
                     slot_shed += 1;
                     tacc[t].shed_deadline += 1;
-                    let key = pool.point(p.pool_id as PointId).quantize(params.quant_step);
+                    let mut key = hooks.key_prefix(p.idx);
+                    key.extend(pool.point(p.pool_id as PointId).quantize(params.quant_step));
                     forensics.shed_deadline(
                         p.idx,
                         p.pool_id as u64,
@@ -753,16 +932,32 @@ where
                 }
             }
 
+            // Masks are compiled at dispatch time (not admission), on
+            // every rank for every item — so tombstones placed while a
+            // query sat in the queue are honored, and the hooks' filter
+            // accounting stays replicated across ranks.
+            let masks_all: Vec<Option<Arc<IdMask>>> =
+                items.iter().map(|p| hooks.mask_for(p.idx)).collect();
+
             // Distributed data plane: each query executes on its home rank.
-            let mine: Vec<(u64, P)> = items
-                .iter()
-                .filter(|p| p.pool_id % n_ranks == me)
-                .map(|p| (p.idx, pool.point(p.pool_id as PointId).clone()))
+            let mine_at: Vec<usize> = (0..items.len())
+                .filter(|&i| items[i].pool_id % n_ranks == me)
                 .collect();
+            let mine: Vec<(u64, P)> = mine_at
+                .iter()
+                .map(|&i| {
+                    (
+                        items[i].idx,
+                        pool.point(items[i].pool_id as PointId).clone(),
+                    )
+                })
+                .collect();
+            let mine_masks: Vec<Option<Arc<IdMask>>> =
+                mine_at.iter().map(|&i| masks_all[i].clone()).collect();
             for (idx, _) in &mine {
                 comm.trace_flow_recv("query", QUERY_FLOW_BASE | *idx, TAG_RESULTS as u64);
             }
-            let (my_ids, my_profiles) = engine.run_batch_profiled(comm, &mine, sp);
+            let (my_ids, my_profiles) = engine.run_batch_masked(comm, &mine, &mine_masks, sp);
             let my_results: Vec<(u64, Vec<PointId>, QueryProfile)> = mine
                 .iter()
                 .map(|(idx, _)| *idx)
@@ -806,7 +1001,11 @@ where
                     tacc[p.tenant].degraded += 1;
                     slot_degraded += 1;
                 }
-                let key = pool.point(p.pool_id as PointId).quantize(params.quant_step);
+                // Fresh prefix: an epoch bump since arrival means the
+                // result (computed against the current graph) is cached
+                // under the current epoch's key.
+                let mut key = hooks.key_prefix(idx);
+                key.extend(pool.point(p.pool_id as PointId).quantize(params.quant_step));
                 forensics.answered(
                     idx,
                     p.pool_id as u64,
@@ -884,6 +1083,7 @@ where
             })
             .collect();
     }
+    stats.vdb = hooks.take_stats();
     let forensics = forensics.finalize();
 
     // Built-in determinism check: every rank must have produced the exact
@@ -953,6 +1153,330 @@ where
         faults,
     };
     (first, report)
+}
+
+/// Configuration of a namespaced (vector-DB) serving run, on top of the
+/// usual [`ServeParams`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VdbServeConfig {
+    /// Static predicate AND-ed into every query's filter (the
+    /// `dnnd-serve --filter` flag). `None` = only workload-synthesized
+    /// filters (the `filter:` clause), if any.
+    pub filter: Option<Predicate>,
+    /// Tombstone ratio at which a background compaction is armed; it then
+    /// fires on a PRF-drawn slot boundary within the next 8 slots.
+    pub compact_watermark: f64,
+    /// NN-Descent refinement iterations per online ingest.
+    pub refine_iters: usize,
+}
+
+impl Default for VdbServeConfig {
+    fn default() -> VdbServeConfig {
+        VdbServeConfig {
+            filter: None,
+            compact_watermark: 0.25,
+            refine_iters: 1,
+        }
+    }
+}
+
+/// The namespaced product layer behind [`VdbHooks`]: one replicated
+/// [`vdb::Collection`] per rank, mutated on slot boundaries by pure PRFs
+/// of the serve seed, with a mask cache keyed on the canonical predicate
+/// string (cleared on any state change).
+struct VdbState {
+    collection: Collection,
+    filter: Option<Predicate>,
+    compact_watermark: f64,
+    refine_iters: usize,
+    serve_seed: u64,
+    spec: WorkloadSpec,
+    ns_fnv: u64,
+    pool: Arc<PointSet<Vec<f32>>>,
+    mask_cache: BTreeMap<String, Arc<IdMask>>,
+    /// Slot a pending compaction fires at, once armed.
+    compact_at: Option<u64>,
+    /// Compactions armed so far (streams the compaction-jitter PRF).
+    arm_seq: u64,
+    inserts: u64,
+    deletes: u64,
+    compactions: u64,
+    filtered: u64,
+    cache_suppressed: u64,
+    sel_hist: BTreeMap<u64, u64>,
+}
+
+impl VdbState {
+    /// The full predicate query `idx` carries: the static `--filter`
+    /// terms AND-ed with the workload-synthesized `bucket` range, when the
+    /// filter-traffic PRF selects this query. `None` = unfiltered.
+    fn predicate_for(&self, idx: u64) -> Option<Predicate> {
+        let lo = self.spec.filter_bucket_of(self.serve_seed, idx);
+        if lo.is_none() && self.filter.is_none() {
+            return None;
+        }
+        let mut terms: Vec<Term> = self
+            .filter
+            .iter()
+            .flat_map(|p| p.terms().iter().cloned())
+            .collect();
+        if let Some(lo) = lo {
+            let w = self
+                .spec
+                .filter
+                .expect("bucket draw implies a filter clause")
+                .width();
+            terms.push(
+                Term::range("bucket", lo as i64, (lo + w - 1) as i64)
+                    .expect("'bucket' is a valid field"),
+            );
+        }
+        Some(Predicate::new(terms).expect("at least one term"))
+    }
+}
+
+impl VdbHooks<Vec<f32>> for VdbState {
+    fn on_slot(&mut self, slot: u64) -> Option<(Arc<PointSet<Vec<f32>>>, Arc<KnnGraph>)> {
+        let mut rewired = false;
+        let m = self.spec.mutate.unwrap_or_default();
+        if m.ins_every > 0 && slot > 0 && slot.is_multiple_of(m.ins_every) {
+            // One online insert: the vector is drawn from the query pool
+            // by a pure PRF, the metadata is the synthetic bucket record.
+            let pick =
+                (mix(self.serve_seed, SALT_MUTATE, slot, 0, 0) % self.pool.len() as u64) as PointId;
+            let new_id = self.collection.stat().points;
+            let rec = MetaRecord::bucket_record(self.serve_seed, new_id);
+            self.collection
+                .ingest(
+                    vec![self.pool.point(pick).clone()],
+                    vec![rec],
+                    self.refine_iters,
+                )
+                .unwrap_or_else(|e| panic!("online ingest: {e}"));
+            self.inserts += 1;
+            rewired = true;
+        }
+        if m.del_every > 0 && slot > 0 && slot.is_multiple_of(m.del_every) {
+            let n_live = self.collection.n_live() as u64;
+            // Keep at least one live point: an empty collection serves
+            // nothing and `k` would be out of range forever after.
+            if n_live > 1 {
+                let j = mix(self.serve_seed, SALT_MUTATE, slot, 1, 0) % n_live;
+                let id = (0..self.collection.stat().points as PointId)
+                    .filter(|&i| self.collection.is_live(i))
+                    .nth(j as usize)
+                    .expect("j-th live id exists");
+                self.collection
+                    .delete(&[id])
+                    .unwrap_or_else(|e| panic!("online delete: {e}"));
+                self.deletes += 1;
+                self.mask_cache.clear();
+            }
+        }
+        // Compaction: armed at the tombstone-ratio watermark, scheduled
+        // onto a nearby slot boundary by a pure PRF of the serve seed.
+        if self.compact_at.is_none() && self.collection.tombstone_ratio() >= self.compact_watermark
+        {
+            self.compact_at =
+                Some(slot + 1 + mix(self.serve_seed, SALT_COMPACT, self.arm_seq, 0, 0) % 8);
+            self.arm_seq += 1;
+        }
+        if self.compact_at == Some(slot) {
+            self.compact_at = None;
+            self.collection
+                .compact()
+                .unwrap_or_else(|e| panic!("compaction: {e}"));
+            self.compactions += 1;
+            rewired = true;
+        }
+        if rewired {
+            self.mask_cache.clear();
+            Some((
+                Arc::new(self.collection.base.clone()),
+                Arc::new(self.collection.graph.clone()),
+            ))
+        } else {
+            None
+        }
+    }
+
+    fn on_arrival(&mut self, idx: u64) {
+        if self.predicate_for(idx).is_some() {
+            self.filtered += 1;
+        }
+    }
+
+    fn key_prefix(&mut self, idx: u64) -> Vec<i64> {
+        let pred_fnv = self.predicate_for(idx).map(|p| p.fnv()).unwrap_or(0);
+        vec![
+            self.ns_fnv as i64,
+            pred_fnv as i64,
+            self.collection.epoch() as i64,
+        ]
+    }
+
+    fn mask_for(&mut self, idx: u64) -> Option<Arc<IdMask>> {
+        let pred = self.predicate_for(idx);
+        if pred.is_none() && self.collection.n_live() as u64 == self.collection.stat().points {
+            // Unfiltered query, nothing tombstoned: the legacy search
+            // path is already exact.
+            return None;
+        }
+        let cache_key = pred.as_ref().map(|p| p.to_string()).unwrap_or_default();
+        let collection = &self.collection;
+        let mask = self
+            .mask_cache
+            .entry(cache_key)
+            .or_insert_with(|| Arc::new(collection.compile_mask(pred.as_ref())))
+            .clone();
+        if pred.is_some() {
+            // Selectivity decile of the mask (predicate ∧ live), exact.
+            let decile = if mask.is_empty() {
+                0
+            } else {
+                (mask.allowed() as u64 * 10 / mask.len() as u64).min(9)
+            };
+            *self.sel_hist.entry(decile).or_insert(0) += 1;
+        }
+        Some(mask)
+    }
+
+    fn filter_cached(&mut self, ids: &mut Vec<PointId>) {
+        let before = ids.len();
+        ids.retain(|&id| self.collection.is_live(id));
+        self.cache_suppressed += (before - ids.len()) as u64;
+    }
+
+    fn take_stats(&mut self) -> Option<VdbServeStats> {
+        let s = self.collection.stat();
+        Some(VdbServeStats {
+            namespace: s.name,
+            points: s.points,
+            live: s.live,
+            tombstones: s.tombstones,
+            dead: s.dead,
+            epoch: s.epoch,
+            inserts: self.inserts,
+            deletes: self.deletes,
+            compactions: self.compactions,
+            filtered: self.filtered,
+            cache_suppressed: self.cache_suppressed,
+            selectivity_hist: std::mem::take(&mut self.sel_hist).into_iter().collect(),
+        })
+    }
+}
+
+/// Run the namespaced serving loop on a live comm: [`serve_on_comm`]'s
+/// semantics plus metadata-filtered search, online inserts/deletes, and
+/// deterministic background compaction over `collection`. Every rank
+/// passes its own (identical) replica of the collection and gets the
+/// mutated replica back with the outcome.
+///
+/// `metric` must match `collection.metric()` — dispatch with
+/// `vdb`'s metric-name convention before calling.
+pub fn serve_vdb_on_comm<M>(
+    comm: &Comm,
+    collection: Collection,
+    pool: &Arc<PointSet<Vec<f32>>>,
+    metric: &M,
+    params: &ServeParams,
+    cfg: &VdbServeConfig,
+) -> (ServeOutcome, Collection)
+where
+    M: BatchMetric<Vec<f32>>,
+{
+    assert!(
+        cfg.compact_watermark > 0.0 && cfg.compact_watermark <= 1.0,
+        "compact_watermark must be in (0, 1], got {}",
+        cfg.compact_watermark
+    );
+    let base = Arc::new(collection.base.clone());
+    let graph = Arc::new(collection.graph.clone());
+    let ns_fnv = metall::checksum::fnv1a(collection.name().as_bytes());
+    let mut hooks = VdbState {
+        collection,
+        filter: cfg.filter.clone(),
+        compact_watermark: cfg.compact_watermark,
+        refine_iters: cfg.refine_iters.max(1),
+        serve_seed: params.serve_seed,
+        spec: params.workload.clone(),
+        ns_fnv,
+        pool: Arc::clone(pool),
+        mask_cache: BTreeMap::new(),
+        compact_at: None,
+        arm_seq: 0,
+        inserts: 0,
+        deletes: 0,
+        compactions: 0,
+        filtered: 0,
+        cache_suppressed: 0,
+        sel_hist: BTreeMap::new(),
+    };
+    let outcome = serve_loop(comm, &base, &graph, pool, metric, params, &mut hooks);
+    (outcome, hooks.collection)
+}
+
+/// Run a full namespaced serving session on `world`: each rank opens its
+/// own replica of namespace `namespace` from the store at `dir`, serves,
+/// and rank 0 saves the mutated collection back. Returns the replicated
+/// outcome (identical on every rank, asserted), the final collection
+/// counters, and the world report.
+pub fn run_serve_vdb<M>(
+    world: &World,
+    dir: &Path,
+    namespace: &str,
+    pool: &Arc<PointSet<Vec<f32>>>,
+    metric: &M,
+    params: &ServeParams,
+    cfg: &VdbServeConfig,
+) -> (ServeOutcome, CollectionStat, WorldReport<()>)
+where
+    M: BatchMetric<Vec<f32>>,
+{
+    let WorldReport {
+        results,
+        sim_secs,
+        sim_ns,
+        breakdown,
+        phases,
+        wall_secs,
+        tags,
+        total,
+        matrix,
+        faults,
+    } = world.run(|comm| {
+        let mut store = metall::Store::open(dir)
+            .unwrap_or_else(|e| panic!("open store {}: {e}", dir.display()));
+        let collection =
+            Collection::open(&store, namespace).unwrap_or_else(|e| panic!("open namespace: {e}"));
+        let (outcome, collection) = serve_vdb_on_comm(comm, collection, pool, metric, params, cfg);
+        if comm.rank() == 0 {
+            collection
+                .save(&mut store)
+                .unwrap_or_else(|e| panic!("save namespace: {e}"));
+        }
+        comm.barrier();
+        (outcome, collection.stat())
+    });
+    let n = results.len();
+    let mut it = results.into_iter();
+    let first = it.next().expect("world has at least one rank");
+    for other in it {
+        assert_eq!(other, first, "vdb serving outcome diverged across ranks");
+    }
+    let report = WorldReport {
+        results: vec![(); n],
+        sim_secs,
+        sim_ns,
+        breakdown,
+        phases,
+        wall_secs,
+        tags,
+        total,
+        matrix,
+        faults,
+    };
+    (first.0, first.1, report)
 }
 
 #[cfg(test)]

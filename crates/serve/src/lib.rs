@@ -53,12 +53,13 @@ pub mod workload;
 
 pub use cache::{QuantizeKey, ResultCache};
 pub use engine::{
-    attach_serving, run_serve, serve_on_comm, ServeOutcome, ServingStats, TenantStats,
+    attach_serving, attach_vdb, run_serve, run_serve_vdb, serve_on_comm, serve_vdb_on_comm,
+    ServeOutcome, ServingStats, TenantStats, VdbServeConfig, VdbServeStats,
 };
 pub use forensics::{attach_forensics, ForensicsCollector, QueryForensics, QueryRecord, Verdict};
 pub use graph_mode::GraphMode;
 pub use params::ServeParams;
 pub use workload::{
-    zipf_cdf, Arrival, ArrivalPlan, ArrivalProcess, BurstWindow, Diurnal, PoolDist, PoolPicker,
-    TenantClass, WorkloadSpec,
+    zipf_cdf, Arrival, ArrivalPlan, ArrivalProcess, BurstWindow, Diurnal, FilterTraffic,
+    MutateTraffic, PoolDist, PoolPicker, TenantClass, WorkloadSpec, FILTER_BUCKETS,
 };

@@ -6,7 +6,10 @@
 //! one parameter set replays a run exactly (see the determinism contract
 //! in the crate docs).
 
-use crate::workload::{ArrivalProcess, BurstWindow, Diurnal, PoolDist, TenantClass, WorkloadSpec};
+use crate::workload::{
+    ArrivalProcess, BurstWindow, Diurnal, FilterTraffic, MutateTraffic, PoolDist, TenantClass,
+    WorkloadSpec,
+};
 use dnnd::DistSearchParams;
 use std::fmt;
 
@@ -280,11 +283,20 @@ impl Default for ServeParams {
 //            | 'sine'   ':' kv-list            period=<dur>, amp=<float>
 //            | 'burst'  ':' kv-list            at=<dur>, x=<float>,
 //                                              dur=<dur> (default 500ms)
+//            | 'filter' ':' kv-list            pct=<1..100>, sel=<(0,1]>
+//                                              (vdb mode: pct% of queries
+//                                              carry a predicate of the
+//                                              given selectivity)
+//            | 'mutate' ':' kv-list            ins=<int>, del=<int>
+//                                              (vdb mode: one insert /
+//                                              delete every N slots;
+//                                              0 or absent disables)
 //            | 'tenants' '=' tenant (',' tenant)*
 //   tenant  := name ':' <int> '%'?             shares sum to 100
 //   dur     := <int> ('ns'|'us'|'ms'|'s')?     bare integers are ns
 //
 // e.g. `closed:n=64,think=5ms;zipf:s=1.1;burst:at=2s,x=8;tenants=gold:50%,free:50%`
+// or   `filter:pct=30,sel=0.2;mutate:ins=40,del=25` for a vdb run
 
 /// Parse a duration like `5ms`, `2s`, `250us`, `100` (bare = ns) to ns.
 fn parse_dur_ns(v: &str) -> Result<u64, String> {
@@ -361,6 +373,7 @@ impl std::str::FromStr for WorkloadSpec {
         let mut spec = WorkloadSpec::default();
         let (mut saw_arrival, mut saw_pool, mut saw_sine, mut saw_tenants) =
             (false, false, false, false);
+        let (mut saw_filter, mut saw_mutate) = (false, false);
         for clause in s.split(';').map(str::trim).filter(|c| !c.is_empty()) {
             if let Some(rest) = clause.strip_prefix("tenants=") {
                 if saw_tenants {
@@ -464,10 +477,46 @@ impl std::str::FromStr for WorkloadSpec {
                     };
                     spec.bursts.push(BurstWindow { at_ns, dur_ns, x });
                 }
+                "filter" => {
+                    if saw_filter {
+                        return Err("duplicate filter clause".into());
+                    }
+                    saw_filter = true;
+                    let kvs = parse_kvs("filter", tail, &["pct", "sel"])?;
+                    let pct = kv_get(&kvs, "pct")
+                        .ok_or("filter: missing pct=<1..100>")?
+                        .parse::<u64>()
+                        .map_err(|_| "filter: pct must be an integer".to_string())?;
+                    let sel = parse_f64(
+                        "filter",
+                        "sel",
+                        kv_get(&kvs, "sel").ok_or("filter: missing sel=<(0,1]>")?,
+                    )?;
+                    spec.filter = Some(FilterTraffic { pct, sel });
+                }
+                "mutate" => {
+                    if saw_mutate {
+                        return Err("duplicate mutate clause".into());
+                    }
+                    saw_mutate = true;
+                    let kvs = parse_kvs("mutate", tail, &["ins", "del"])?;
+                    let parse_every = |key: &str| -> Result<u64, String> {
+                        match kv_get(&kvs, key) {
+                            Some(v) => v
+                                .parse::<u64>()
+                                .map_err(|_| format!("mutate: {key} must be an integer")),
+                            None => Ok(0),
+                        }
+                    };
+                    spec.mutate = Some(MutateTraffic {
+                        ins_every: parse_every("ins")?,
+                        del_every: parse_every("del")?,
+                    });
+                }
                 other => {
                     return Err(format!(
                         "unknown workload clause {other:?} (valid: open, closed, \
-                         pool, zipf, sine, burst, tenants)"
+                         pool, zipf, sine, burst, filter, mutate, tenants)"
                     ));
                 }
             }
@@ -500,6 +549,17 @@ impl fmt::Display for WorkloadSpec {
                 b.x,
                 fmt_dur_ns(b.dur_ns)
             )?;
+        }
+        if let Some(ft) = self.filter {
+            write!(f, ";filter:pct={},sel={}", ft.pct, ft.sel)?;
+        }
+        if let Some(m) = self.mutate {
+            write!(f, ";mutate:")?;
+            match (m.ins_every, m.del_every) {
+                (i, 0) => write!(f, "ins={i}")?,
+                (0, d) => write!(f, "del={d}")?,
+                (i, d) => write!(f, "ins={i},del={d}")?,
+            }
         }
         if !self.tenants.is_empty() {
             write!(f, ";tenants=")?;
@@ -634,12 +694,48 @@ mod tests {
             ("zipf:s=1;pool", "duplicate pool"),
             ("burst:at=1s,x=8,x=9", "duplicate key"),
             ("sine:period=1s,amp=0.5,phase=3", "unknown key"),
+            ("filter:sel=0.2", "missing pct"),
+            ("filter:pct=30", "missing sel"),
+            ("filter:pct=0,sel=0.5", "[1, 100]"),
+            ("filter:pct=30,sel=1.5", "(0, 1]"),
+            (
+                "filter:pct=30,sel=0.2;filter:pct=10,sel=0.5",
+                "duplicate filter",
+            ),
+            ("mutate:", "no mutations"),
+            ("mutate:ins=nope", "must be an integer"),
+            ("mutate:ins=4;mutate:del=2", "duplicate mutate"),
+            ("mutate:ins=4,freq=2", "unknown key"),
         ] {
             let err = s.parse::<WorkloadSpec>().unwrap_err();
             assert!(
                 err.contains(want),
                 "spec {s:?}: error {err:?} lacks {want:?}"
             );
+        }
+    }
+
+    #[test]
+    fn filter_and_mutate_clauses_round_trip() {
+        let spec: WorkloadSpec = "filter:pct=30,sel=0.2;mutate:ins=40,del=25"
+            .parse()
+            .unwrap();
+        assert_eq!(spec.filter, Some(FilterTraffic { pct: 30, sel: 0.2 }));
+        assert_eq!(
+            spec.mutate,
+            Some(MutateTraffic {
+                ins_every: 40,
+                del_every: 25
+            })
+        );
+        let rt: WorkloadSpec = spec.to_string().parse().unwrap();
+        assert_eq!(rt, spec);
+        // Single-sided mutate clauses round-trip without the zero key.
+        for s in ["mutate:ins=8", "mutate:del=5"] {
+            let spec: WorkloadSpec = s.parse().unwrap();
+            assert_eq!(spec.to_string(), format!("open;{s}"));
+            let rt: WorkloadSpec = spec.to_string().parse().unwrap();
+            assert_eq!(rt, spec);
         }
     }
 

@@ -46,6 +46,15 @@ pub const SALT_THIN: u64 = 0x05EB_FE04;
 pub const SALT_TENANT: u64 = 0x05EB_FE05;
 /// Salt for closed-loop client think-time draws.
 pub const SALT_THINK: u64 = 0x05EB_FE06;
+/// Salt for filtered-traffic draws: whether an arrival carries a
+/// predicate, and the rotation offset of its synthetic bucket range.
+pub const SALT_FILTER: u64 = 0x05EB_FE07;
+/// Salt for the mutation schedule (insert vector picks and delete
+/// target draws, keyed by slot).
+pub const SALT_MUTATE: u64 = 0x05EB_FE08;
+/// Salt for the compaction-phase scheduling draw of the vdb serving loop
+/// (the slot-boundary delay after the tombstone watermark trips).
+pub const SALT_COMPACT: u64 = 0x05EB_FE09;
 
 /// Thinning gives up after this many candidates per accepted arrival, so
 /// a degenerate spec (acceptance probability driven toward zero) errors
@@ -98,6 +107,43 @@ pub struct BurstWindow {
     pub x: f64,
 }
 
+/// Bucket count of the synthetic filtered-traffic predicate space: each
+/// point of a vdb collection carries a `bucket` metadata field in
+/// `[0, FILTER_BUCKETS)`, and a filtered query's predicate is a rotated
+/// contiguous range over it.
+pub const FILTER_BUCKETS: u64 = 100;
+
+/// Synthetic filtered traffic: `pct`% of arrivals carry a metadata
+/// predicate of selectivity ≈ `sel`, realized in vdb mode as a rotated
+/// `bucket in [lo .. hi]` range term (the rotation spreads distinct
+/// predicates — and therefore distinct cache keys — across queries).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterTraffic {
+    /// Percent of arrivals carrying a predicate, in `[1, 100]`.
+    pub pct: u64,
+    /// Target selectivity of each predicate, in `(0, 1]`.
+    pub sel: f64,
+}
+
+impl FilterTraffic {
+    /// Width of the rotated bucket range: `round(sel · FILTER_BUCKETS)`,
+    /// clamped to `[1, FILTER_BUCKETS]`.
+    pub fn width(&self) -> u64 {
+        ((self.sel * FILTER_BUCKETS as f64).round() as u64).clamp(1, FILTER_BUCKETS)
+    }
+}
+
+/// Online mutation traffic on the slot clock: one insert every
+/// `ins_every` slots and one delete every `del_every` slots (0 disables
+/// either kind). The vdb serving loop realizes the schedule with pure
+/// PRF draws keyed by [`SALT_MUTATE`] and the slot number, so a mixed
+/// insert/query/delete trace replays exactly from the serve seed.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MutateTraffic {
+    pub ins_every: u64,
+    pub del_every: u64,
+}
+
 /// One tenant priority class. Declaration order is priority order: the
 /// first class dispatches first and classes hold
 /// `ceil(share_pct% · shed_watermark)` of the queue at most.
@@ -119,6 +165,10 @@ pub struct WorkloadSpec {
     pub pool: PoolDist,
     pub diurnal: Option<Diurnal>,
     pub bursts: Vec<BurstWindow>,
+    /// Synthetic filtered traffic (vdb mode only; inert otherwise).
+    pub filter: Option<FilterTraffic>,
+    /// Online insert/delete schedule (vdb mode only; inert otherwise).
+    pub mutate: Option<MutateTraffic>,
     pub tenants: Vec<TenantClass>,
 }
 
@@ -166,6 +216,19 @@ impl WorkloadSpec {
                     "burst multiplier x must be in [1, 64] (got {})",
                     b.x
                 ));
+            }
+        }
+        if let Some(f) = self.filter {
+            if !(1..=100).contains(&f.pct) {
+                return Err(format!("filter pct must be in [1, 100] (got {})", f.pct));
+            }
+            if !f.sel.is_finite() || f.sel <= 0.0 || f.sel > 1.0 {
+                return Err(format!("filter sel must be in (0, 1] (got {})", f.sel));
+            }
+        }
+        if let Some(m) = self.mutate {
+            if m.ins_every == 0 && m.del_every == 0 {
+                return Err("mutate clause declares no mutations (ins and del both 0)".into());
             }
         }
         if !self.tenants.is_empty() {
@@ -256,6 +319,20 @@ impl WorkloadSpec {
             }
         }
         self.tenants.len() - 1
+    }
+
+    /// Filtered-traffic draw for arrival `idx`: `Some(lo)` — the low
+    /// bucket of the rotated `[lo .. lo + width - 1]` range — when the
+    /// arrival carries a predicate, `None` otherwise. A pure PRF of
+    /// `(serve_seed, idx)`, so every rank (and every rerun) agrees on
+    /// which queries are filtered and by what.
+    pub fn filter_bucket_of(&self, serve_seed: u64, idx: u64) -> Option<u64> {
+        let f = self.filter?;
+        let mut rng = ChaCha8Rng::seed_from_u64(mix(serve_seed, SALT_FILTER, idx, 0, 0));
+        if rng.gen_range(0..100u64) >= f.pct {
+            return None;
+        }
+        Some(rng.gen_range(0..(FILTER_BUCKETS - f.width() + 1)))
     }
 }
 
@@ -687,6 +764,61 @@ mod tests {
             (0.70..0.80).contains(&frac),
             "gold fraction {frac} far from configured 0.75"
         );
+    }
+
+    #[test]
+    fn filter_draws_follow_pct_and_stay_in_range() {
+        let mut spec = WorkloadSpec::default();
+        assert_eq!(spec.filter_bucket_of(7, 0), None, "no clause, no filters");
+        spec.filter = Some(FilterTraffic { pct: 30, sel: 0.2 });
+        spec.validate().unwrap();
+        let width = spec.filter.unwrap().width();
+        assert_eq!(width, 20);
+        let n = 4_000u64;
+        let mut filtered = 0u64;
+        for idx in 0..n {
+            if let Some(lo) = spec.filter_bucket_of(42, idx) {
+                filtered += 1;
+                assert!(lo + width <= FILTER_BUCKETS, "range overflows: lo {lo}");
+                // Pure PRF: the draw replays exactly.
+                assert_eq!(spec.filter_bucket_of(42, idx), Some(lo));
+            }
+        }
+        let frac = filtered as f64 / n as f64;
+        assert!(
+            (0.25..0.35).contains(&frac),
+            "filtered fraction {frac} far from configured 0.30"
+        );
+        // A different seed draws a different filtered set.
+        let other: Vec<_> = (0..64).map(|i| spec.filter_bucket_of(43, i)).collect();
+        let this: Vec<_> = (0..64).map(|i| spec.filter_bucket_of(42, i)).collect();
+        assert_ne!(this, other);
+    }
+
+    #[test]
+    fn filter_and_mutate_validation() {
+        let mut spec = WorkloadSpec {
+            filter: Some(FilterTraffic { pct: 0, sel: 0.5 }),
+            ..WorkloadSpec::default()
+        };
+        assert!(spec.validate().unwrap_err().contains("[1, 100]"));
+        spec.filter = Some(FilterTraffic { pct: 50, sel: 0.0 });
+        assert!(spec.validate().unwrap_err().contains("(0, 1]"));
+        spec.filter = Some(FilterTraffic { pct: 100, sel: 1.0 });
+        spec.validate().unwrap();
+        // Full-selectivity predicates cover every bucket from offset 0.
+        assert_eq!(spec.filter_bucket_of(1, 0), Some(0));
+        spec.filter = None;
+        spec.mutate = Some(MutateTraffic {
+            ins_every: 0,
+            del_every: 0,
+        });
+        assert!(spec.validate().unwrap_err().contains("no mutations"));
+        spec.mutate = Some(MutateTraffic {
+            ins_every: 40,
+            del_every: 0,
+        });
+        spec.validate().unwrap();
     }
 
     #[test]

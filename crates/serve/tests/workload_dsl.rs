@@ -16,8 +16,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serve::workload::{SALT_POOL, SALT_TENANT};
 use serve::{
-    zipf_cdf, ArrivalPlan, ArrivalProcess, BurstWindow, Diurnal, PoolDist, ServeParams,
-    TenantClass, WorkloadSpec,
+    zipf_cdf, ArrivalPlan, ArrivalProcess, BurstWindow, Diurnal, FilterTraffic, MutateTraffic,
+    PoolDist, ServeParams, TenantClass, WorkloadSpec,
 };
 use ygm::fault::mix;
 
@@ -82,21 +82,48 @@ fn arb_tenants() -> impl Strategy<Value = Vec<TenantClass>> {
     ]
 }
 
+fn arb_filter() -> impl Strategy<Value = Option<FilterTraffic>> {
+    option::of(
+        (1u64..=100, 1u32..=1_000).prop_map(|(pct, sel_thousandths)| FilterTraffic {
+            pct,
+            sel: sel_thousandths as f64 / 1_000.0,
+        }),
+    )
+}
+
+fn arb_mutate() -> impl Strategy<Value = Option<MutateTraffic>> {
+    option::of(
+        (0u64..=500, 0u64..=500)
+            .prop_filter("mutate needs at least one schedule", |&(i, d)| {
+                i > 0 || d > 0
+            })
+            .prop_map(|(ins_every, del_every)| MutateTraffic {
+                ins_every,
+                del_every,
+            }),
+    )
+}
+
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
     (
         arb_arrival(),
         arb_pool(),
         arb_diurnal(),
         arb_bursts(),
+        (arb_filter(), arb_mutate()),
         arb_tenants(),
     )
-        .prop_map(|(arrival, pool, diurnal, bursts, tenants)| WorkloadSpec {
-            arrival,
-            pool,
-            diurnal,
-            bursts,
-            tenants,
-        })
+        .prop_map(
+            |(arrival, pool, diurnal, bursts, (filter, mutate), tenants)| WorkloadSpec {
+                arrival,
+                pool,
+                diurnal,
+                bursts,
+                filter,
+                mutate,
+                tenants,
+            },
+        )
 }
 
 proptest! {

@@ -1,4 +1,7 @@
-//! Shared helpers for the integration tests.
+//! Shared test-only helpers. This crate is a dev-dependency of every
+//! suite that touches the filesystem, so the RAII temp-directory guard
+//! lives in exactly one place instead of being copy-pasted per test
+//! binary.
 
 use std::path::{Path, PathBuf};
 
@@ -9,9 +12,6 @@ pub struct TmpDir {
     path: PathBuf,
 }
 
-// Each integration-test binary compiles this module separately and uses a
-// different subset of the API.
-#[allow(dead_code)]
 impl TmpDir {
     /// Create a fresh directory namespaced by `tag`, process, and thread.
     pub fn new(tag: &str) -> TmpDir {
@@ -45,5 +45,22 @@ impl AsRef<Path> for TmpDir {
 impl Drop for TmpDir {
     fn drop(&mut self) {
         let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_fresh_and_removes_on_drop() {
+        let kept;
+        {
+            let d = TmpDir::new("testutil-self");
+            kept = d.path().to_path_buf();
+            assert!(kept.is_dir());
+            std::fs::write(d.join("x"), b"y").unwrap();
+        }
+        assert!(!kept.exists(), "drop must remove the directory");
     }
 }

@@ -1,0 +1,701 @@
+//! Namespaced collections persisted through [`metall::Store`].
+//!
+//! Store layout for a namespace `NS` (all names under the `ns/` prefix so
+//! collections co-exist with the pipeline's `meta/`, `dataset/`, `knng/`
+//! keys in one store):
+//!
+//! ```text
+//! ns/NS/info/k            u64     graph degree target
+//! ns/NS/info/metric       String  metric name ("l2", "sql2", "cosine", "l1")
+//! ns/NS/info/epoch        u64     graph epoch (bumped by ingest/compact)
+//! ns/NS/points/{meta,data}        the point vectors (PointSet::save)
+//! ns/NS/graph/{offsets,ids,dists} the adjacency (KnnGraph::save)
+//! ns/NS/meta/{id}         MetaRecord  typed key→value fields per point
+//! ns/NS/tombstones        Vec<u32>    deleted, not yet compacted
+//! ns/NS/dead              Vec<u32>    deleted and compacted out
+//! ```
+//!
+//! ## Id stability and the delete path
+//!
+//! Point ids are **stable for the life of the namespace**: a delete marks
+//! the id as a tombstone (masked out of every search immediately) and a
+//! later [`Collection::compact`] rewires the adjacency *around* the dead
+//! vertex without renumbering the survivors — unlike `nnd::remove_points`,
+//! which compacts ids and would invalidate every cached result, metadata
+//! record, and in-flight query. Compacted-dead ids keep their vectors as
+//! inert rows (never returned, never navigated through) and the namespace
+//! only ever grows at the tail, which is exactly the contract
+//! `nnd::insert_points` needs for the online ingest path.
+//!
+//! ## Determinism
+//!
+//! Every mutating operation is a pure function of `(collection state,
+//! arguments)` — graph build and refinement use the seeded NN-Descent
+//! passes, compaction repairs rows in `(distance, id)` order — so a replay
+//! of the same mutation sequence reproduces the same store bytes and the
+//! same search results, which is what lets the serving layer schedule
+//! compaction as a PRF of the serve seed and still assert cross-rank
+//! fingerprints.
+
+use crate::meta::MetaRecord;
+use crate::predicate::Predicate;
+use dataset::set::{PointId, PointSet};
+use dnnd::IdMask;
+use metall::Store;
+use nnd::{insert_points, KnnGraph, NnDescentParams};
+
+/// True iff `s` is a valid namespace name: `[A-Za-z0-9_-]{1,32}`.
+pub fn valid_namespace(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 32
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+fn key(ns: &str, tail: &str) -> String {
+    format!("ns/{ns}/{tail}")
+}
+
+/// Dispatch a stored metric name to a monomorphized call.
+macro_rules! with_metric {
+    ($name:expr, $m:ident => $body:expr) => {
+        match $name {
+            "l2" => {
+                let $m = dataset::L2;
+                $body
+            }
+            "sql2" => {
+                let $m = dataset::SquaredL2;
+                $body
+            }
+            "cosine" => {
+                let $m = dataset::Cosine;
+                $body
+            }
+            "l1" => {
+                let $m = dataset::L1;
+                $body
+            }
+            other => return Err(format!("unknown metric {other:?}")),
+        }
+    };
+}
+
+/// Degree cap applied by the reverse-prune pass (`optimize`'s `m = 1.5`).
+const PRUNE_MULT: f64 = 1.5;
+
+/// Counters describing one namespace (the `stat` CLI verb and the
+/// RunReport `vdb` section both read these).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectionStat {
+    /// Namespace name.
+    pub name: String,
+    /// Total ids (live + tombstoned + compacted-dead).
+    pub points: u64,
+    /// Live (searchable) ids.
+    pub live: u64,
+    /// Deleted, awaiting compaction.
+    pub tombstones: u64,
+    /// Deleted and compacted out of the adjacency.
+    pub dead: u64,
+    /// Graph epoch (bumped by every ingest and compaction).
+    pub epoch: u64,
+    /// Vector dimension.
+    pub dim: u64,
+    /// Degree target.
+    pub k: u64,
+    /// Metric name.
+    pub metric: String,
+}
+
+/// What one compaction pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Tombstones folded into the dead set.
+    pub tombstones_cleared: u64,
+    /// Live rows that lost at least one edge and were repaired.
+    pub rows_repaired: u64,
+    /// The epoch after the pass.
+    pub epoch: u64,
+}
+
+/// An open namespaced collection: vectors + adjacency + per-point
+/// metadata + the tombstone/dead sets, all round-tripping through one
+/// [`metall::Store`].
+#[derive(Debug, Clone)]
+pub struct Collection {
+    name: String,
+    /// The point vectors (tail-append only; dead ids keep their rows).
+    pub base: PointSet<Vec<f32>>,
+    /// The adjacency over `base` (dead ids have empty rows post-compaction).
+    pub graph: KnnGraph,
+    /// Per-point metadata, indexed by id.
+    pub meta: Vec<MetaRecord>,
+    tombstones: Vec<PointId>,
+    dead: Vec<PointId>,
+    epoch: u64,
+    k: usize,
+    metric: String,
+}
+
+impl Collection {
+    /// Build a new collection from `points` (+ one [`MetaRecord`] per
+    /// point) and persist nothing yet — call [`Collection::save`]. The
+    /// graph is a seeded NN-Descent build followed by the reverse-prune
+    /// optimization, so creation is deterministic in `(points, k, seed)`.
+    pub fn create(
+        name: &str,
+        points: PointSet<Vec<f32>>,
+        meta: Vec<MetaRecord>,
+        metric: &str,
+        k: usize,
+        seed: u64,
+    ) -> Result<Collection, String> {
+        if !valid_namespace(name) {
+            return Err(format!(
+                "invalid namespace {name:?}: want [A-Za-z0-9_-]{{1,32}}"
+            ));
+        }
+        if meta.len() != points.len() {
+            return Err(format!(
+                "{} points but {} metadata records",
+                points.len(),
+                meta.len()
+            ));
+        }
+        if points.is_empty() {
+            return Err("cannot create an empty collection".into());
+        }
+        if k < 1 || k >= points.len() {
+            return Err(format!("k = {k} out of range for {} points", points.len()));
+        }
+        let graph = with_metric!(metric, m => {
+            let (g, _) = nnd::build(&points, &m, NnDescentParams::new(k).seed(seed));
+            g.optimize(k, PRUNE_MULT)
+        });
+        Ok(Collection {
+            name: name.to_string(),
+            base: points,
+            graph,
+            meta,
+            tombstones: Vec::new(),
+            dead: Vec::new(),
+            epoch: 0,
+            k,
+            metric: metric.to_string(),
+        })
+    }
+
+    /// Open a collection previously [`Collection::save`]d into `store`.
+    pub fn open(store: &Store, name: &str) -> Result<Collection, String> {
+        if !Collection::exists(store, name) {
+            return Err(format!("no namespace {name:?} in store"));
+        }
+        let err = |e: metall::StoreError| format!("namespace {name:?}: {e}");
+        let k: u64 = store.get(&key(name, "info/k")).map_err(err)?;
+        let metric: String = store.get(&key(name, "info/metric")).map_err(err)?;
+        let epoch: u64 = store.get(&key(name, "info/epoch")).map_err(err)?;
+        let base = PointSet::<Vec<f32>>::load(store, &key(name, "points")).map_err(err)?;
+        let graph = KnnGraph::load(store, &key(name, "graph")).map_err(err)?;
+        let tombstones: Vec<u32> = store.get(&key(name, "tombstones")).map_err(err)?;
+        let dead: Vec<u32> = store.get(&key(name, "dead")).map_err(err)?;
+        let mut meta = Vec::with_capacity(base.len());
+        for id in 0..base.len() {
+            meta.push(store.get(&key(name, &format!("meta/{id}"))).map_err(err)?);
+        }
+        if graph.len() != base.len() {
+            return Err(format!(
+                "namespace {name:?}: graph covers {} ids, base has {}",
+                graph.len(),
+                base.len()
+            ));
+        }
+        Ok(Collection {
+            name: name.to_string(),
+            base,
+            graph,
+            meta,
+            tombstones,
+            dead,
+            epoch,
+            k: k as usize,
+            metric,
+        })
+    }
+
+    /// Persist the full collection state into `store` (overwrites the
+    /// namespace's previous generation).
+    pub fn save(&self, store: &mut Store) -> Result<(), String> {
+        let err = |e: metall::StoreError| format!("namespace {:?}: {e}", self.name);
+        store
+            .put(&key(&self.name, "info/k"), &(self.k as u64))
+            .map_err(err)?;
+        store
+            .put(&key(&self.name, "info/metric"), &self.metric)
+            .map_err(err)?;
+        store
+            .put(&key(&self.name, "info/epoch"), &self.epoch)
+            .map_err(err)?;
+        self.base
+            .save(store, &key(&self.name, "points"))
+            .map_err(err)?;
+        self.graph
+            .save(store, &key(&self.name, "graph"))
+            .map_err(err)?;
+        store
+            .put(&key(&self.name, "tombstones"), &self.tombstones)
+            .map_err(err)?;
+        store
+            .put(&key(&self.name, "dead"), &self.dead)
+            .map_err(err)?;
+        for (id, rec) in self.meta.iter().enumerate() {
+            store
+                .put(&key(&self.name, &format!("meta/{id}")), rec)
+                .map_err(err)?;
+        }
+        Ok(())
+    }
+
+    /// Does `store` hold a namespace called `name`?
+    pub fn exists(store: &Store, name: &str) -> bool {
+        valid_namespace(name) && store.contains(&key(name, "info/k"))
+    }
+
+    /// All namespace names in `store`, sorted.
+    pub fn list(store: &Store) -> Vec<String> {
+        let mut out: Vec<String> = store
+            .names()
+            .into_iter()
+            .filter_map(|n| {
+                let rest = n.strip_prefix("ns/")?;
+                let (ns, tail) = rest.split_once('/')?;
+                (tail == "info/k").then(|| ns.to_string())
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Namespace name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Degree target.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Metric name.
+    pub fn metric(&self) -> &str {
+        &self.metric
+    }
+
+    /// Graph epoch: bumped by every adjacency rewrite (ingest, compact).
+    /// The serving layer folds this into its result-cache key, so a bump
+    /// invalidates every cached result for the namespace at once.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Pending (uncompacted) tombstones, sorted.
+    pub fn tombstones(&self) -> &[PointId] {
+        &self.tombstones
+    }
+
+    /// Compacted-dead ids, sorted.
+    pub fn dead(&self) -> &[PointId] {
+        &self.dead
+    }
+
+    /// Live (searchable) id count.
+    pub fn n_live(&self) -> usize {
+        self.base.len() - self.tombstones.len() - self.dead.len()
+    }
+
+    /// Pending-tombstone fraction of the id space — the quantity the
+    /// serving loop compares against its compaction watermark.
+    pub fn tombstone_ratio(&self) -> f64 {
+        if self.base.is_empty() {
+            0.0
+        } else {
+            self.tombstones.len() as f64 / self.base.len() as f64
+        }
+    }
+
+    /// Is `id` live (present, not tombstoned, not dead)?
+    pub fn is_live(&self, id: PointId) -> bool {
+        (id as usize) < self.base.len()
+            && self.tombstones.binary_search(&id).is_err()
+            && self.dead.binary_search(&id).is_err()
+    }
+
+    /// Allow-list of live ids (tombstones and dead masked out).
+    pub fn live_mask(&self) -> IdMask {
+        let mut m = IdMask::all(self.base.len());
+        for &t in &self.tombstones {
+            m.deny(t);
+        }
+        for &d in &self.dead {
+            m.deny(d);
+        }
+        m
+    }
+
+    /// Compile `pred` into the allow-list the filter-pushed search
+    /// consumes: predicate over the metadata, intersected with the live
+    /// set. `None` means unfiltered (live set only).
+    pub fn compile_mask(&self, pred: Option<&Predicate>) -> IdMask {
+        let live = self.live_mask();
+        match pred {
+            None => live,
+            Some(p) => {
+                let mut m = IdMask::from_fn(self.base.len(), |id| p.eval(&self.meta[id as usize]));
+                m.intersect(&live);
+                m
+            }
+        }
+    }
+
+    /// Append `points` (+ metadata) at the tail and refine the adjacency
+    /// with the short NN-Descent pass from `nnd::insert_points` — the
+    /// `examples/incremental_updates.rs` path. Returns the id range the
+    /// new points received. Bumps the epoch.
+    pub fn ingest(
+        &mut self,
+        points: Vec<Vec<f32>>,
+        meta: Vec<MetaRecord>,
+        refine_iters: usize,
+    ) -> Result<std::ops::Range<PointId>, String> {
+        if points.is_empty() {
+            return Err("ingest of zero points".into());
+        }
+        if meta.len() != points.len() {
+            return Err(format!(
+                "{} points but {} metadata records",
+                points.len(),
+                meta.len()
+            ));
+        }
+        let n_old = self.base.len();
+        let mut all = self.base.points().to_vec();
+        for p in &points {
+            if p.len() != self.base.dim() {
+                return Err(format!(
+                    "dimension mismatch: collection is {}-d, point is {}-d",
+                    self.base.dim(),
+                    p.len()
+                ));
+            }
+        }
+        all.extend(points);
+        let new_base = PointSet::new(all);
+        let params = NnDescentParams::new(self.k).seed(self.epoch.wrapping_mul(0x9E37_79B9) | 1);
+        let graph = with_metric!(self.metric.as_str(), m => {
+            let (g, _) = insert_points(&self.graph, &self.base, &new_base, &m, params, refine_iters);
+            g.optimize(self.k, PRUNE_MULT)
+        });
+        self.base = new_base;
+        self.graph = graph;
+        self.meta.extend(meta);
+        self.epoch += 1;
+        Ok(n_old as PointId..self.base.len() as PointId)
+    }
+
+    /// Tombstone `ids`: they disappear from every mask (and therefore
+    /// every result) immediately; the adjacency is untouched until the
+    /// next [`Collection::compact`]. Already-deleted ids are rejected.
+    /// Does not bump the epoch — masking, not rewiring.
+    pub fn delete(&mut self, ids: &[PointId]) -> Result<usize, String> {
+        for &id in ids {
+            if (id as usize) >= self.base.len() {
+                return Err(format!("delete of unknown id {id}"));
+            }
+            if !self.is_live(id) {
+                return Err(format!("delete of already-deleted id {id}"));
+            }
+        }
+        let mut added = self.tombstones.clone();
+        added.extend_from_slice(ids);
+        added.sort_unstable();
+        added.dedup();
+        let n = added.len() - self.tombstones.len();
+        self.tombstones = added;
+        Ok(n)
+    }
+
+    /// Deterministic compaction: rewire the adjacency around every
+    /// tombstoned vertex without renumbering ids, then fold the tombstones
+    /// into the dead set and bump the epoch.
+    ///
+    /// 1. every dead/tombstoned row is emptied and its id dropped from
+    ///    every live row;
+    /// 2. live rows that shrank are repaired from their surviving
+    ///    neighbors' neighborhoods, scored and admitted in `(distance,
+    ///    id)` order (the same local-repair rule as `nnd::remove_points`,
+    ///    minus the renumbering);
+    /// 3. the existing reverse-merge + degree-prune optimization pass
+    ///    (`KnnGraph::optimize`) restores reachability and the degree cap.
+    pub fn compact(&mut self) -> Result<CompactReport, String> {
+        let n = self.base.len();
+        let mut gone = vec![false; n];
+        for &t in self.tombstones.iter().chain(&self.dead) {
+            gone[t as usize] = true;
+        }
+        let cleared = self.tombstones.len() as u64;
+        let mut rows_repaired = 0u64;
+        let rows: Vec<Vec<(PointId, f32)>> = with_metric!(self.metric.as_str(), m => {
+            let metric = m;
+            (0..n as PointId)
+                .map(|v| {
+                    if gone[v as usize] {
+                        return Vec::new();
+                    }
+                    let mut row: Vec<(PointId, f32)> = self
+                        .graph
+                        .neighbors(v)
+                        .iter()
+                        .filter(|&&(u, _)| !gone[u as usize])
+                        .copied()
+                        .collect();
+                    if row.len() < self.graph.neighbors(v).len() && row.len() < self.k {
+                        rows_repaired += 1;
+                        // Candidates: survivors two hops out, via either a
+                        // surviving or a tombstoned intermediate (dead
+                        // vertices still have rows until step 1 lands).
+                        let mut cand: Vec<PointId> = Vec::new();
+                        for &(u, _) in self.graph.neighbors(v) {
+                            for &(w, _) in self.graph.neighbors(u) {
+                                if w != v
+                                    && !gone[w as usize]
+                                    && !row.iter().any(|&(x, _)| x == w)
+                                    && !cand.contains(&w)
+                                {
+                                    cand.push(w);
+                                }
+                            }
+                        }
+                        let me = self.base.point(v);
+                        let mut scored: Vec<(PointId, f32)> = cand
+                            .into_iter()
+                            .map(|w| (w, dataset::Metric::distance(&metric, me, self.base.point(w))))
+                            .collect();
+                        scored
+                            .sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+                        for (w, d) in scored {
+                            if row.len() >= self.k {
+                                break;
+                            }
+                            row.push((w, d));
+                        }
+                        row.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+                    } else if row.len() < self.graph.neighbors(v).len() {
+                        rows_repaired += 1;
+                    }
+                    row
+                })
+                .collect()
+        });
+        self.graph = KnnGraph::from_rows(rows).optimize(self.k, PRUNE_MULT);
+        let mut dead = std::mem::take(&mut self.dead);
+        dead.extend(std::mem::take(&mut self.tombstones));
+        dead.sort_unstable();
+        self.dead = dead;
+        self.epoch += 1;
+        Ok(CompactReport {
+            tombstones_cleared: cleared,
+            rows_repaired,
+            epoch: self.epoch,
+        })
+    }
+
+    /// Snapshot the counters for `stat`/reporting.
+    pub fn stat(&self) -> CollectionStat {
+        CollectionStat {
+            name: self.name.clone(),
+            points: self.base.len() as u64,
+            live: self.n_live() as u64,
+            tombstones: self.tombstones.len() as u64,
+            dead: self.dead.len() as u64,
+            epoch: self.epoch,
+            dim: self.base.dim() as u64,
+            k: self.k as u64,
+            metric: self.metric.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Value;
+    use dataset::synth::{gaussian_mixture, MixtureParams};
+    use dataset::{brute_force_queries, mean_recall, L2};
+    use nnd::{search_batch, SearchParams};
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let pid = std::process::id();
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        let dir = std::env::temp_dir().join(format!("vdb-{tag}-{pid}-{t}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_meta(n: usize) -> Vec<MetaRecord> {
+        (0..n)
+            .map(|i| {
+                let mut r = MetaRecord::new();
+                r.set(
+                    "tier",
+                    Value::Str(if i % 3 == 0 { "gold" } else { "base" }.into()),
+                )
+                .unwrap();
+                r.set("year", Value::Int(2000 + (i % 25) as i64)).unwrap();
+                r
+            })
+            .collect()
+    }
+
+    fn sample_collection(n: usize) -> Collection {
+        let pts = gaussian_mixture(MixtureParams::embedding_like(n, 8), 33);
+        Collection::create("test", pts, sample_meta(n), "l2", 8, 7).unwrap()
+    }
+
+    #[test]
+    fn create_validates() {
+        let pts = gaussian_mixture(MixtureParams::embedding_like(50, 4), 1);
+        assert!(Collection::create("bad name", pts.clone(), sample_meta(50), "l2", 4, 1).is_err());
+        assert!(Collection::create("ok", pts.clone(), sample_meta(49), "l2", 4, 1).is_err());
+        assert!(Collection::create("ok", pts.clone(), sample_meta(50), "what", 4, 1).is_err());
+        assert!(Collection::create("ok", pts, sample_meta(50), "l2", 99, 1).is_err());
+    }
+
+    #[test]
+    fn save_open_round_trip() {
+        let col = sample_collection(120);
+        let dir = tmpdir("roundtrip");
+        let mut store = Store::create(&dir).unwrap();
+        col.save(&mut store).unwrap();
+        assert!(Collection::exists(&store, "test"));
+        assert_eq!(Collection::list(&store), vec!["test".to_string()]);
+        let back = Collection::open(&store, "test").unwrap();
+        assert_eq!(back.base.points(), col.base.points());
+        assert_eq!(back.graph.neighbor_ids(), col.graph.neighbor_ids());
+        assert_eq!(back.meta, col.meta);
+        assert_eq!(back.epoch(), col.epoch());
+        assert_eq!(back.k(), col.k());
+        assert_eq!(back.metric(), col.metric());
+        assert!(Collection::open(&store, "nope").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn masks_respect_predicate_and_tombstones() {
+        let mut col = sample_collection(90);
+        let pred = Predicate::parse("tier == gold").unwrap();
+        let mask = col.compile_mask(Some(&pred));
+        assert_eq!(mask.allowed(), 30);
+        col.delete(&[0, 3]).unwrap(); // both gold (multiples of 3)
+        let mask = col.compile_mask(Some(&pred));
+        assert_eq!(mask.allowed(), 28);
+        assert!(!mask.allows(0) && !mask.allows(3) && mask.allows(6));
+        let live = col.compile_mask(None);
+        assert_eq!(live.allowed(), 88);
+        assert!(col.delete(&[0]).is_err(), "double delete rejected");
+        assert!(col.delete(&[9999]).is_err(), "unknown id rejected");
+    }
+
+    #[test]
+    fn ingest_appends_at_tail_and_bumps_epoch() {
+        let mut col = sample_collection(150);
+        let extra = gaussian_mixture(MixtureParams::embedding_like(30, 8), 99);
+        let range = col
+            .ingest(extra.points().to_vec(), sample_meta(30), 2)
+            .unwrap();
+        assert_eq!(range, 150..180);
+        assert_eq!(col.base.len(), 180);
+        assert_eq!(col.graph.len(), 180);
+        assert_eq!(col.meta.len(), 180);
+        assert_eq!(col.epoch(), 1);
+        // Quality: the refined graph still answers well.
+        let queries = std::sync::Arc::new(PointSet::new(col.base.points()[..20].to_vec()));
+        let base = std::sync::Arc::new(col.base.clone());
+        let truth = brute_force_queries(&base, &queries, &L2, 8);
+        let out = search_batch(
+            &col.graph,
+            &col.base,
+            &L2,
+            &queries,
+            SearchParams::new(8).epsilon(0.2).entry_candidates(32),
+        );
+        let recall = mean_recall(&out.ids, &truth);
+        assert!(recall > 0.85, "post-ingest recall {recall}");
+        // Dimension mismatch is rejected.
+        assert!(col.ingest(vec![vec![0.0; 3]], sample_meta(1), 1).is_err());
+    }
+
+    #[test]
+    fn compact_is_id_stable_and_never_resurrects() {
+        let mut col = sample_collection(160);
+        let doomed: Vec<PointId> = (0..160).step_by(9).collect();
+        col.delete(&doomed).unwrap();
+        assert!(col.tombstone_ratio() > 0.1);
+        let before_len = col.base.len();
+        let rep = col.compact().unwrap();
+        assert_eq!(rep.tombstones_cleared, doomed.len() as u64);
+        assert_eq!(rep.epoch, 1);
+        assert_eq!(col.base.len(), before_len, "ids are stable");
+        assert_eq!(col.tombstones().len(), 0);
+        assert_eq!(col.dead(), &doomed[..]);
+        assert!((col.tombstone_ratio() - 0.0).abs() < 1e-12);
+        // No live row references a dead vertex; dead rows are empty.
+        for v in 0..col.graph.len() as PointId {
+            if col.is_live(v) {
+                for &(u, _) in col.graph.neighbors(v) {
+                    assert!(col.is_live(u), "live row {v} references dead {u}");
+                }
+            } else {
+                assert!(col.graph.neighbors(v).is_empty(), "dead row {v} not empty");
+            }
+        }
+        // Quality after compaction: live queries still find live truth.
+        let live_ids: Vec<PointId> = (0..160).filter(|&i| col.is_live(i)).collect();
+        let sub = PointSet::new(
+            live_ids
+                .iter()
+                .map(|&i| col.base.point(i).clone())
+                .collect::<Vec<_>>(),
+        );
+        let queries = std::sync::Arc::new(PointSet::new(sub.points()[..20].to_vec()));
+        let mut truth = brute_force_queries(&std::sync::Arc::new(sub), &queries, &L2, 6);
+        for row in &mut truth.ids {
+            for id in row.iter_mut() {
+                *id = live_ids[*id as usize];
+            }
+        }
+        let out = search_batch(
+            &col.graph,
+            &col.base,
+            &L2,
+            &queries,
+            SearchParams::new(6).epsilon(0.2).entry_candidates(32),
+        );
+        let recall = mean_recall(&out.ids, &truth);
+        assert!(recall > 0.8, "post-compaction recall {recall}");
+    }
+
+    #[test]
+    fn compaction_is_deterministic() {
+        let run = || {
+            let mut col = sample_collection(140);
+            col.delete(&(0..140).step_by(7).collect::<Vec<_>>())
+                .unwrap();
+            col.compact().unwrap();
+            col.graph.neighbor_ids()
+        };
+        assert_eq!(run(), run());
+    }
+}

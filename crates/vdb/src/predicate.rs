@@ -1,0 +1,356 @@
+//! The metadata predicate language: AND-of-terms over typed fields.
+//!
+//! Grammar (canonical form — `Display` emits exactly this, `parse`
+//! accepts it plus arbitrary extra whitespace between tokens):
+//!
+//! ```text
+//! predicate := term (' && ' term)*
+//! term      := field ' == ' value               equality
+//!            | field ' in ' '{' values '}'      set membership
+//!            | field ' in ' '[' int ' .. ' int ']'   inclusive int range
+//! values    := value (', ' value)*
+//! value     := int | atom
+//! field     := [A-Za-z_][A-Za-z0-9_]*
+//! atom      := [A-Za-z_][A-Za-z0-9_-]*
+//! int       := '-'? [0-9]+                      (i64)
+//! ```
+//!
+//! Atoms must start with a letter or underscore, so the printed form of a
+//! value is unambiguous (an integer never reparses as an atom and vice
+//! versa) and `parse(display(p)) == p` holds for every valid predicate —
+//! the property the vdb proptests pin down. Set values are stored sorted
+//! and deduplicated (integers before atoms), making the canonical string —
+//! and therefore the predicate's FNV-1a hash, which the serving layer
+//! folds into its result-cache key — a pure function of the predicate's
+//! meaning.
+
+use crate::meta::MetaRecord;
+use metall::checksum::fnv1a;
+use std::fmt;
+
+/// A typed field value: an integer or a short string atom.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// Signed integer.
+    Int(i64),
+    /// String atom (`[A-Za-z_][A-Za-z0-9_-]*`).
+    Str(String),
+}
+
+/// True iff `s` is a valid atom: starts with a letter or `_`, continues
+/// with letters, digits, `_`, `-`.
+pub fn valid_atom(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// True iff `s` is a valid field name: starts with a letter or `_`,
+/// continues with letters, digits, `_`.
+pub fn valid_field(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+impl Value {
+    /// Build a string atom, validating the charset.
+    pub fn atom(s: impl Into<String>) -> Result<Value, String> {
+        let s = s.into();
+        if valid_atom(&s) {
+            Ok(Value::Str(s))
+        } else {
+            Err(format!("invalid atom {s:?}: want [A-Za-z_][A-Za-z0-9_-]*"))
+        }
+    }
+
+    fn parse(tok: &str) -> Result<Value, String> {
+        if tok.starts_with('-') || tok.starts_with(|c: char| c.is_ascii_digit()) {
+            tok.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| format!("invalid integer value {tok:?}"))
+        } else {
+            Value::atom(tok)
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+/// One conjunct of a predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// `field == value`
+    Eq { field: String, value: Value },
+    /// `field in {v1, v2, ...}` — values sorted and deduplicated.
+    In { field: String, values: Vec<Value> },
+    /// `field in [lo .. hi]` — inclusive integer range, `lo <= hi`.
+    Range { field: String, lo: i64, hi: i64 },
+}
+
+impl Term {
+    /// Build an equality term.
+    pub fn eq(field: impl Into<String>, value: Value) -> Result<Term, String> {
+        let field = field.into();
+        if !valid_field(&field) {
+            return Err(format!("invalid field name {field:?}"));
+        }
+        Ok(Term::Eq { field, value })
+    }
+
+    /// Build a set-membership term. Values are sorted and deduplicated
+    /// into the canonical order (integers before atoms).
+    pub fn is_in(field: impl Into<String>, mut values: Vec<Value>) -> Result<Term, String> {
+        let field = field.into();
+        if !valid_field(&field) {
+            return Err(format!("invalid field name {field:?}"));
+        }
+        if values.is_empty() {
+            return Err("empty value set in 'in' term".into());
+        }
+        values.sort_unstable();
+        values.dedup();
+        Ok(Term::In { field, values })
+    }
+
+    /// Build an inclusive integer-range term.
+    pub fn range(field: impl Into<String>, lo: i64, hi: i64) -> Result<Term, String> {
+        let field = field.into();
+        if !valid_field(&field) {
+            return Err(format!("invalid field name {field:?}"));
+        }
+        if lo > hi {
+            return Err(format!("empty range [{lo} .. {hi}]"));
+        }
+        Ok(Term::Range { field, lo, hi })
+    }
+
+    /// Does `rec` satisfy this term? A missing field never matches.
+    pub fn eval(&self, rec: &MetaRecord) -> bool {
+        match self {
+            Term::Eq { field, value } => rec.get(field) == Some(value),
+            Term::In { field, values } => rec
+                .get(field)
+                .is_some_and(|v| values.binary_search(v).is_ok()),
+            Term::Range { field, lo, hi } => match rec.get(field) {
+                Some(&Value::Int(i)) => (*lo..=*hi).contains(&i),
+                _ => false,
+            },
+        }
+    }
+
+    fn parse(text: &str) -> Result<Term, String> {
+        let text = text.trim();
+        if let Some((field, value)) = text.split_once("==") {
+            return Term::eq(field.trim(), Value::parse(value.trim())?);
+        }
+        let (field, rhs) = text
+            .split_once(" in ")
+            .ok_or_else(|| format!("term {text:?}: want '==' or 'in'"))?;
+        let (field, rhs) = (field.trim(), rhs.trim());
+        if let Some(inner) = rhs.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+            let values = inner
+                .split(',')
+                .map(|tok| Value::parse(tok.trim()))
+                .collect::<Result<Vec<Value>, String>>()?;
+            return Term::is_in(field, values);
+        }
+        if let Some(inner) = rhs.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            let (lo, hi) = inner
+                .split_once("..")
+                .ok_or_else(|| format!("range {inner:?}: want 'lo .. hi'"))?;
+            let lo = lo
+                .trim()
+                .parse::<i64>()
+                .map_err(|_| format!("invalid range bound {:?}", lo.trim()))?;
+            let hi = hi
+                .trim()
+                .parse::<i64>()
+                .map_err(|_| format!("invalid range bound {:?}", hi.trim()))?;
+            return Term::range(field, lo, hi);
+        }
+        Err(format!(
+            "term {text:?}: want '{{...}}' or '[lo .. hi]' after 'in'"
+        ))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Eq { field, value } => write!(f, "{field} == {value}"),
+            Term::In { field, values } => {
+                write!(f, "{field} in {{")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+            Term::Range { field, lo, hi } => write!(f, "{field} in [{lo} .. {hi}]"),
+        }
+    }
+}
+
+/// An AND-of-terms metadata predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Predicate {
+    terms: Vec<Term>,
+}
+
+impl Predicate {
+    /// Build from at least one term.
+    pub fn new(terms: Vec<Term>) -> Result<Predicate, String> {
+        if terms.is_empty() {
+            return Err("predicate needs at least one term".into());
+        }
+        Ok(Predicate { terms })
+    }
+
+    /// The conjuncts, in author order.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Does `rec` satisfy every term?
+    pub fn eval(&self, rec: &MetaRecord) -> bool {
+        self.terms.iter().all(|t| t.eval(rec))
+    }
+
+    /// FNV-1a of the canonical string — the serving layer folds this into
+    /// its result-cache key so differently-filtered hits never collide.
+    pub fn fnv(&self) -> u64 {
+        fnv1a(self.to_string().as_bytes())
+    }
+
+    /// Parse the canonical form (whitespace-lenient between tokens).
+    pub fn parse(text: &str) -> Result<Predicate, String> {
+        let text = text.trim();
+        if text.is_empty() {
+            return Err("empty predicate".into());
+        }
+        let terms = text
+            .split("&&")
+            .map(Term::parse)
+            .collect::<Result<Vec<Term>, String>>()?;
+        Predicate::new(terms)
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" && ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Predicate {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Predicate::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pairs: &[(&str, Value)]) -> MetaRecord {
+        let mut r = MetaRecord::new();
+        for (k, v) in pairs {
+            r.set(*k, v.clone()).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn display_parse_round_trip_canonical_examples() {
+        for s in [
+            "tier == gold",
+            "tier in {bronze, gold, silver}",
+            "year in [2019 .. 2026]",
+            "tier == gold && year in [2019 .. 2026] && lang in {-3, 7, de, en}",
+            "n == -42",
+        ] {
+            let p = Predicate::parse(s).unwrap();
+            assert_eq!(p.to_string(), s, "canonical form must round-trip");
+            assert_eq!(Predicate::parse(&p.to_string()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn parse_is_whitespace_lenient_and_normalizes_sets() {
+        let p = Predicate::parse("tier  ==  gold &&  lang in { en,de , en }").unwrap();
+        assert_eq!(p.to_string(), "tier == gold && lang in {de, en}");
+        let q = Predicate::parse("year in [ 3..9 ]").unwrap();
+        assert_eq!(q.to_string(), "year in [3 .. 9]");
+    }
+
+    #[test]
+    fn invalid_predicates_are_rejected() {
+        for s in [
+            "",
+            "tier",
+            "tier == ",
+            "tier == 9a",
+            "9tier == gold",
+            "tier in {}",
+            "year in [9 .. 3]",
+            "year in [a .. b]",
+            "tier == gold &&",
+            "tier = gold",
+            "tier in (a, b)",
+        ] {
+            assert!(Predicate::parse(s).is_err(), "{s:?} should fail");
+        }
+    }
+
+    #[test]
+    fn eval_semantics() {
+        let r = rec(&[
+            ("tier", Value::Str("gold".into())),
+            ("year", Value::Int(2023)),
+        ]);
+        let t = |s: &str| Predicate::parse(s).unwrap().eval(&r);
+        assert!(t("tier == gold"));
+        assert!(!t("tier == silver"));
+        assert!(t("tier in {silver, gold}"));
+        assert!(t("year in [2020 .. 2023]"));
+        assert!(!t("year in [2024 .. 2030]"));
+        assert!(t("tier == gold && year == 2023"));
+        assert!(!t("tier == gold && year == 1999"));
+        // Missing field never matches; type mismatch never matches.
+        assert!(!t("missing == gold"));
+        assert!(!t("tier in [1 .. 9]"));
+        assert!(!t("year == gold"));
+    }
+
+    #[test]
+    fn fnv_is_canonical() {
+        let a = Predicate::parse("lang in {en, de}").unwrap();
+        let b = Predicate::parse("lang  in  { de , en }").unwrap();
+        assert_eq!(a.fnv(), b.fnv());
+        let c = Predicate::parse("lang in {de, fr}").unwrap();
+        assert_ne!(a.fnv(), c.fnv());
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests of the predicate language's canonical form:
+//! `parse(display(p)) == p` for every valid predicate, and the FNV cache
+//! hash is a pure function of the canonical string.
+
+use proptest::prelude::*;
+use vdb::{Predicate, Term, Value};
+
+const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_";
+const FIELD_REST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+const ATOM_REST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-";
+
+fn ident(alphabet: &'static [u8]) -> impl Strategy<Value = String> {
+    (
+        0..FIRST.len(),
+        prop::collection::vec(0..alphabet.len(), 0..6),
+    )
+        .prop_map(move |(first, rest)| {
+            let mut s = String::new();
+            s.push(FIRST[first] as char);
+            for i in rest {
+                s.push(alphabet[i] as char);
+            }
+            s
+        })
+}
+
+fn value_strategy() -> BoxedStrategy<Value> {
+    prop_oneof![
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        ident(ATOM_REST).prop_map(|a| Value::atom(a).unwrap()),
+    ]
+    .boxed()
+}
+
+fn term_strategy() -> BoxedStrategy<Term> {
+    prop_oneof![
+        (ident(FIELD_REST), value_strategy()).prop_map(|(f, v)| Term::eq(f, v).unwrap()),
+        (
+            ident(FIELD_REST),
+            prop::collection::vec(value_strategy(), 1..5)
+        )
+            .prop_map(|(f, vs)| Term::is_in(f, vs).unwrap()),
+        (ident(FIELD_REST), -5_000i64..5_000, 0i64..5_000).prop_map(|(f, lo, span)| Term::range(
+            f,
+            lo,
+            lo + span
+        )
+        .unwrap()),
+    ]
+    .boxed()
+}
+
+fn predicate_strategy() -> impl Strategy<Value = Predicate> {
+    prop::collection::vec(term_strategy(), 1..5).prop_map(|ts| Predicate::new(ts).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_parse_round_trip(p in predicate_strategy()) {
+        let text = p.to_string();
+        let back = Predicate::parse(&text)
+            .unwrap_or_else(|e| panic!("canonical form {text:?} failed to parse: {e}"));
+        prop_assert_eq!(&back, &p, "parse(display(p)) != p for {}", text);
+        // Display is a fixed point: re-displaying the reparse is identical.
+        prop_assert_eq!(back.to_string(), text);
+        // The cache hash is a pure function of the canonical string.
+        prop_assert_eq!(back.fnv(), p.fnv());
+    }
+}

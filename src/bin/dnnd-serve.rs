@@ -12,7 +12,15 @@
 //! ```text
 //! dnnd-serve --store ./store --pool 32 --qps 4000 --arrivals 500
 //! dnnd-serve --store ./store --serve-seed 7 --fault-profile lossy --report-out run.json
+//! dnnd-serve --store ./db --namespace prod --filter "bucket in {1, 2}" \
+//!            --workload "filter:pct=50,sel=0.3;mutate:ins=10,del=15"
 //! ```
+//!
+//! `--namespace` serves a `dnnd-vdb` collection instead of the bare
+//! `dataset`/graph pair: `--filter` pushes a metadata predicate into the
+//! distributed beam search, `mutate:` workload clauses apply online
+//! inserts/deletes (with watermark-triggered deterministic compaction),
+//! and the run report grows the schema-v8 `vdb` section.
 //!
 //! `--trace-out`, `--report-out`, and `--dashboard-out` emit the Chrome
 //! trace, unified run report (with the `serving` section), and the HTML
@@ -27,7 +35,11 @@ use dnnd_repro::cli::{die, parse_fault_plan, read_meta, Elem, ObsOuts};
 use metall::Store;
 use nnd::KnnGraph;
 use serve::cache::QuantizeKey;
-use serve::{attach_forensics, attach_serving, run_serve, GraphMode, ServeOutcome, ServeParams};
+use serve::{
+    attach_forensics, attach_serving, attach_vdb, run_serve, run_serve_vdb, GraphMode,
+    ServeOutcome, ServeParams, VdbServeConfig,
+};
+use std::path::Path;
 use std::sync::Arc;
 use ygm::{World, WorldReport};
 
@@ -114,66 +126,149 @@ fn main() {
         world = world.tracer(Arc::clone(t));
     }
 
-    let store = Store::open(&store_dir).unwrap_or_else(|e| die(&format!("cannot open store: {e}")));
-    let (_, elem, metric_name) = read_meta(&store);
-    // Per-deployment graph-mode selection: --graph {auto,rnn,opt,knng};
-    // auto prefers the sparsest traversal-ready graph (rnn > opt > knng).
-    let mode_name: String = args.get("graph", "auto".to_string());
-    let mode = GraphMode::from_name(&mode_name).unwrap_or_else(|| {
-        die(&format!(
-            "unknown --graph {mode_name:?} (expected one of {:?})",
-            GraphMode::NAMES
-        ))
-    });
-    let graph_key = mode
-        .resolve(|prefix| store.contains(&format!("{prefix}/offsets")))
-        .unwrap_or_else(|e| die(&e));
-    let graph = KnnGraph::load(&store, graph_key).unwrap_or_else(|e| die(&e.to_string()));
-    println!(
-        "serving {} graph online: {} vertices, {} edges ({}, {metric_name}, {ranks} ranks)",
-        graph_key,
-        graph.len(),
-        graph.edge_count(),
-        elem.name()
-    );
+    // --namespace routes serving through the vector-DB product layer: the
+    // store holds a named `vdb::Collection` (own graph, vectors, metadata,
+    // tombstones) instead of the bare `dataset`/graph pair, and --filter /
+    // `filter:`+`mutate:` workload clauses become meaningful.
+    let namespace: String = args.get("namespace", String::new());
+    let filter_text: String = args.get("filter", String::new());
+    if namespace.is_empty() && !filter_text.is_empty() {
+        die("--filter requires --namespace (predicates apply to collection metadata)");
+    }
 
-    let (outcome, wr) = match elem {
-        Elem::F32 => {
-            let base = PointSet::<Vec<f32>>::load(&store, "dataset")
-                .unwrap_or_else(|e| die(&e.to_string()));
-            let pool = if query_file.is_empty() {
-                // Re-query member points from the tail of the dataset (the
-                // graph indexes all of base, so ids stay valid).
-                if pool_n == 0 || pool_n >= base.len() {
-                    die("need 0 < --pool < N");
-                }
-                PointSet::new(base.points()[base.len() - pool_n..].to_vec())
-            } else {
-                io::read_fvecs(&query_file)
-                    .unwrap_or_else(|e| die(&format!("bad --queries file: {e}")))
-            };
-            match metric_name.as_str() {
-                "l2" => serve_generic(&world, base, graph, pool, dataset::L2, &params),
-                "sql2" => serve_generic(&world, base, graph, pool, dataset::SquaredL2, &params),
-                "cosine" => serve_generic(&world, base, graph, pool, dataset::Cosine, &params),
-                "l1" => serve_generic(&world, base, graph, pool, dataset::L1, &params),
-                other => die(&format!("unknown metric {other:?}")),
+    let (outcome, wr, metric_name, graph_key) = if !namespace.is_empty() {
+        let mut cfg = VdbServeConfig::default();
+        if !filter_text.is_empty() {
+            cfg.filter = Some(
+                filter_text
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("invalid --filter predicate: {e}"))),
+            );
+        }
+        cfg.compact_watermark = args.get("compact-watermark", cfg.compact_watermark);
+        cfg.refine_iters = args.get("refine-iters", cfg.refine_iters);
+
+        // One metadata-only open on the driver: metric dispatch and the
+        // query pool come from here; `run_serve_vdb` re-opens per rank.
+        let store =
+            Store::open(&store_dir).unwrap_or_else(|e| die(&format!("cannot open store: {e}")));
+        let collection = vdb::Collection::open(&store, &namespace)
+            .unwrap_or_else(|e| die(&format!("cannot open namespace {namespace:?}: {e}")));
+        let metric_name = collection.metric().to_string();
+        let pool = if query_file.is_empty() {
+            if pool_n == 0 || pool_n >= collection.base.len() {
+                die("need 0 < --pool < N");
             }
-        }
-        Elem::U8 => {
-            let base = PointSet::<Vec<u8>>::load(&store, "dataset")
-                .unwrap_or_else(|e| die(&e.to_string()));
-            let pool = if query_file.is_empty() {
-                if pool_n == 0 || pool_n >= base.len() {
-                    die("need 0 < --pool < N");
+            let tail = collection.base.len() - pool_n;
+            PointSet::new(collection.base.points()[tail..].to_vec())
+        } else {
+            io::read_fvecs(&query_file).unwrap_or_else(|e| die(&format!("bad --queries file: {e}")))
+        };
+        println!(
+            "serving namespace {:?} online: {} points ({} live), epoch {}, k={} ({metric_name}, {ranks} ranks)",
+            namespace,
+            collection.stat().points,
+            collection.stat().live,
+            collection.epoch(),
+            collection.k(),
+        );
+        drop(collection);
+        drop(store);
+
+        let pool = Arc::new(pool);
+        let dir = Path::new(&store_dir);
+        let (outcome, cstat, wr) = match metric_name.as_str() {
+            "l2" => run_serve_vdb(&world, dir, &namespace, &pool, &dataset::L2, &params, &cfg),
+            "sql2" => run_serve_vdb(
+                &world,
+                dir,
+                &namespace,
+                &pool,
+                &dataset::SquaredL2,
+                &params,
+                &cfg,
+            ),
+            "cosine" => run_serve_vdb(
+                &world,
+                dir,
+                &namespace,
+                &pool,
+                &dataset::Cosine,
+                &params,
+                &cfg,
+            ),
+            "l1" => run_serve_vdb(&world, dir, &namespace, &pool, &dataset::L1, &params, &cfg),
+            other => die(&format!("unknown metric {other:?}")),
+        };
+        println!(
+            "namespace after run: {} points ({} live, {} tombstones, {} dead), epoch {}",
+            cstat.points, cstat.live, cstat.tombstones, cstat.dead, cstat.epoch
+        );
+        (outcome, wr, metric_name, "vdb")
+    } else {
+        let store =
+            Store::open(&store_dir).unwrap_or_else(|e| die(&format!("cannot open store: {e}")));
+        let (_, elem, metric_name) = read_meta(&store);
+        // Per-deployment graph-mode selection: --graph {auto,rnn,opt,knng};
+        // auto prefers the sparsest traversal-ready graph (rnn > opt > knng).
+        let mode_name: String = args.get("graph", "auto".to_string());
+        let mode = GraphMode::from_name(&mode_name).unwrap_or_else(|| {
+            die(&format!(
+                "unknown --graph {mode_name:?} (expected one of {:?})",
+                GraphMode::NAMES
+            ))
+        });
+        let graph_key = mode
+            .resolve(|prefix| store.contains(&format!("{prefix}/offsets")))
+            .unwrap_or_else(|e| die(&e));
+        let graph = KnnGraph::load(&store, graph_key).unwrap_or_else(|e| die(&e.to_string()));
+        println!(
+            "serving {} graph online: {} vertices, {} edges ({}, {metric_name}, {ranks} ranks)",
+            graph_key,
+            graph.len(),
+            graph.edge_count(),
+            elem.name()
+        );
+
+        let (outcome, wr) = match elem {
+            Elem::F32 => {
+                let base = PointSet::<Vec<f32>>::load(&store, "dataset")
+                    .unwrap_or_else(|e| die(&e.to_string()));
+                let pool = if query_file.is_empty() {
+                    // Re-query member points from the tail of the dataset (the
+                    // graph indexes all of base, so ids stay valid).
+                    if pool_n == 0 || pool_n >= base.len() {
+                        die("need 0 < --pool < N");
+                    }
+                    PointSet::new(base.points()[base.len() - pool_n..].to_vec())
+                } else {
+                    io::read_fvecs(&query_file)
+                        .unwrap_or_else(|e| die(&format!("bad --queries file: {e}")))
+                };
+                match metric_name.as_str() {
+                    "l2" => serve_generic(&world, base, graph, pool, dataset::L2, &params),
+                    "sql2" => serve_generic(&world, base, graph, pool, dataset::SquaredL2, &params),
+                    "cosine" => serve_generic(&world, base, graph, pool, dataset::Cosine, &params),
+                    "l1" => serve_generic(&world, base, graph, pool, dataset::L1, &params),
+                    other => die(&format!("unknown metric {other:?}")),
                 }
-                PointSet::new(base.points()[base.len() - pool_n..].to_vec())
-            } else {
-                io::read_bvecs(&query_file)
-                    .unwrap_or_else(|e| die(&format!("bad --queries file: {e}")))
-            };
-            serve_generic(&world, base, graph, pool, dataset::L2, &params)
-        }
+            }
+            Elem::U8 => {
+                let base = PointSet::<Vec<u8>>::load(&store, "dataset")
+                    .unwrap_or_else(|e| die(&e.to_string()));
+                let pool = if query_file.is_empty() {
+                    if pool_n == 0 || pool_n >= base.len() {
+                        die("need 0 < --pool < N");
+                    }
+                    PointSet::new(base.points()[base.len() - pool_n..].to_vec())
+                } else {
+                    io::read_bvecs(&query_file)
+                        .unwrap_or_else(|e| die(&format!("bad --queries file: {e}")))
+                };
+                serve_generic(&world, base, graph, pool, dataset::L2, &params)
+            }
+        };
+        (outcome, wr, metric_name, graph_key)
     };
 
     let s = &outcome.stats;
@@ -217,6 +312,13 @@ fn main() {
             t.percentile_ns(0.99, s.slot_ns) as f64 / 1e6,
         );
     }
+    if let Some(v) = &s.vdb {
+        println!(
+            "vdb {:?}: {} inserts, {} deletes, {} compactions; {} filtered queries, \
+             {} cache ids suppressed by tombstones",
+            v.namespace, v.inserts, v.deletes, v.compactions, v.filtered, v.cache_suppressed
+        );
+    }
     println!(
         "result digest {:016x} (serve seed {}, bit-identical on replay)",
         s.result_digest, s.serve_seed
@@ -253,6 +355,7 @@ fn main() {
             let mut rr = dnnd::obs_report::report_from_world("dnnd-serve", ranks, &wr);
             attach_serving(&mut rr, s);
             attach_forensics(&mut rr, f);
+            attach_vdb(&mut rr, s);
             dnnd::obs_report::attach_histograms(&mut rr, tracer.as_deref());
             dnnd::obs_report::attach_series(&mut rr, tracer.as_deref());
             rr.param("store", &store_dir)
@@ -267,6 +370,12 @@ fn main() {
                 .param("graph", graph_key);
             if !workload_spec.is_empty() {
                 rr.param("workload", params.workload.to_string());
+            }
+            if !namespace.is_empty() {
+                rr.param("namespace", &namespace);
+            }
+            if !filter_text.is_empty() {
+                rr.param("filter", &filter_text);
             }
             if !fault_profile.is_empty() && fault_profile != "none" {
                 rr.param("fault_profile", &fault_profile);

@@ -1,0 +1,189 @@
+//! `dnnd-vdb` — admin CLI for the vector-DB product layer: namespaced
+//! collections (vectors + graph + typed metadata + tombstones) persisted
+//! in one `metall::Store` and served by `dnnd-serve --namespace`.
+//!
+//! ```text
+//! dnnd-vdb create  --store ./db --namespace prod --synthetic 256 --dim 32 --k 8
+//! dnnd-vdb ingest  --store ./db --namespace prod --vectors more.fvecs
+//! dnnd-vdb delete  --store ./db --namespace prod --ids 3,17,42
+//! dnnd-vdb compact --store ./db --namespace prod
+//! dnnd-vdb stat    --store ./db [--namespace prod] [--filter "bucket in {1, 2}"]
+//! ```
+//!
+//! Vectors come from an fvecs file (`--vectors`) or a seeded synthetic
+//! mixture (`--synthetic N --dim D`). Metadata is either one `--meta
+//! "field=value,..."` record replicated across the batch, or (default)
+//! the deterministic per-id `bucket` record the serving layer's online
+//! mutation path uses — so CLI-built collections and serve-time inserts
+//! draw from the same metadata distribution.
+
+use bench::Args;
+use dataset::synth::MixtureParams;
+use dataset::{io, PointId, PointSet};
+use dnnd_repro::cli::die;
+use metall::Store;
+use vdb::{Collection, MetaRecord, Predicate};
+
+const USAGE: &str = "usage: dnnd-vdb <create|ingest|delete|compact|stat> --store <dir> ...";
+
+/// The vector batch for `create`/`ingest`: an fvecs file or a seeded
+/// synthetic mixture, never both.
+fn load_vectors(args: &Args, seed: u64) -> PointSet<Vec<f32>> {
+    let file: String = args.get("vectors", String::new());
+    let synth_n: usize = args.get("synthetic", 0);
+    match (file.is_empty(), synth_n) {
+        (false, 0) => {
+            io::read_fvecs(&file).unwrap_or_else(|e| die(&format!("bad --vectors file: {e}")))
+        }
+        (true, n) if n > 0 => {
+            let dim: usize = args.get("dim", 32);
+            dataset::synth::gaussian_mixture(MixtureParams::embedding_like(n, dim), seed)
+        }
+        _ => die("need exactly one of --vectors <fvecs> or --synthetic <n> [--dim <d>]"),
+    }
+}
+
+/// One metadata record per id in `ids`: the shared `--meta` record when
+/// given, else the per-id deterministic bucket record.
+fn meta_for(args: &Args, seed: u64, ids: std::ops::Range<u64>) -> Vec<MetaRecord> {
+    let kv: String = args.get("meta", String::new());
+    if kv.is_empty() {
+        ids.map(|id| MetaRecord::bucket_record(seed, id)).collect()
+    } else {
+        let rec =
+            MetaRecord::parse_kv(&kv).unwrap_or_else(|e| die(&format!("invalid --meta: {e}")));
+        ids.map(|_| rec.clone()).collect()
+    }
+}
+
+fn print_stat(c: &Collection, filter: &str) {
+    let s = c.stat();
+    println!(
+        "namespace {:?}: {} points ({} live, {} tombstones, {} dead), \
+         epoch {}, dim {}, k {}, metric {}",
+        s.name, s.points, s.live, s.tombstones, s.dead, s.epoch, s.dim, s.k, s.metric
+    );
+    if !filter.is_empty() {
+        let pred: Predicate = filter
+            .parse()
+            .unwrap_or_else(|e| die(&format!("invalid --filter predicate: {e}")));
+        let mask = c.compile_mask(Some(&pred));
+        println!(
+            "  filter {} matches {} of {} live ids ({:.1}% selective)",
+            pred,
+            mask.allowed(),
+            s.live,
+            mask.selectivity() * 100.0
+        );
+    }
+}
+
+fn main() {
+    let cmd = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| die(USAGE));
+    let args = Args::parse();
+    let store_dir: String = args.get("store", String::new());
+    if store_dir.is_empty() {
+        die("--store <dir> is required");
+    }
+    let ns: String = args.get("namespace", String::new());
+    let need_ns = || {
+        if ns.is_empty() {
+            die(&format!("--namespace is required for {cmd}"));
+        }
+        ns.as_str()
+    };
+    let seed: u64 = args.get("seed", 42);
+
+    match cmd.as_str() {
+        "create" => {
+            let ns = need_ns();
+            let mut store = Store::open_or_create(&store_dir)
+                .unwrap_or_else(|e| die(&format!("cannot open store: {e}")));
+            if Collection::exists(&store, ns) {
+                die(&format!("namespace {ns:?} already exists"));
+            }
+            let points = load_vectors(&args, seed);
+            let meta = meta_for(&args, seed, 0..points.len() as u64);
+            let metric: String = args.get("metric", "l2".to_string());
+            let k: usize = args.get("k", 10);
+            let c =
+                Collection::create(ns, points, meta, &metric, k, seed).unwrap_or_else(|e| die(&e));
+            c.save(&mut store).unwrap_or_else(|e| die(&e));
+            print_stat(&c, "");
+        }
+        "ingest" => {
+            let ns = need_ns();
+            let mut store =
+                Store::open(&store_dir).unwrap_or_else(|e| die(&format!("cannot open store: {e}")));
+            let mut c = Collection::open(&store, ns).unwrap_or_else(|e| die(&e));
+            let points = load_vectors(&args, seed);
+            let start = c.stat().points;
+            let meta = meta_for(&args, seed, start..start + points.len() as u64);
+            let refine: usize = args.get("refine-iters", 1);
+            let range = c
+                .ingest(points.points().to_vec(), meta, refine)
+                .unwrap_or_else(|e| die(&e));
+            c.save(&mut store).unwrap_or_else(|e| die(&e));
+            println!("ingested ids {}..{}", range.start, range.end);
+            print_stat(&c, "");
+        }
+        "delete" => {
+            let ns = need_ns();
+            let mut store =
+                Store::open(&store_dir).unwrap_or_else(|e| die(&format!("cannot open store: {e}")));
+            let mut c = Collection::open(&store, ns).unwrap_or_else(|e| die(&e));
+            let ids_text: String = args.get("ids", String::new());
+            let ids: Vec<PointId> = ids_text
+                .split(',')
+                .filter(|t| !t.trim().is_empty())
+                .map(|t| {
+                    t.trim()
+                        .parse()
+                        .unwrap_or_else(|_| die(&format!("bad id in --ids: {t:?}")))
+                })
+                .collect();
+            if ids.is_empty() {
+                die("--ids <id,id,...> is required for delete");
+            }
+            let n = c.delete(&ids).unwrap_or_else(|e| die(&e));
+            c.save(&mut store).unwrap_or_else(|e| die(&e));
+            println!("tombstoned {n} ids");
+            print_stat(&c, "");
+        }
+        "compact" => {
+            let ns = need_ns();
+            let mut store =
+                Store::open(&store_dir).unwrap_or_else(|e| die(&format!("cannot open store: {e}")));
+            let mut c = Collection::open(&store, ns).unwrap_or_else(|e| die(&e));
+            let rep = c.compact().unwrap_or_else(|e| die(&e));
+            c.save(&mut store).unwrap_or_else(|e| die(&e));
+            println!(
+                "compacted: {} tombstones cleared, {} rows repaired, epoch now {}",
+                rep.tombstones_cleared, rep.rows_repaired, rep.epoch
+            );
+            print_stat(&c, "");
+        }
+        "stat" => {
+            let store =
+                Store::open(&store_dir).unwrap_or_else(|e| die(&format!("cannot open store: {e}")));
+            let filter: String = args.get("filter", String::new());
+            let names = if ns.is_empty() {
+                let all = Collection::list(&store);
+                if all.is_empty() {
+                    die("store holds no namespaces");
+                }
+                all
+            } else {
+                vec![ns.clone()]
+            };
+            for name in names {
+                let c = Collection::open(&store, &name).unwrap_or_else(|e| die(&e));
+                print_stat(&c, &filter);
+            }
+        }
+        other => die(&format!("unknown subcommand {other:?}\n{USAGE}")),
+    }
+}

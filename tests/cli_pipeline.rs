@@ -4,8 +4,7 @@
 
 use std::process::Command;
 
-mod common;
-use common::TmpDir;
+use testutil::TmpDir;
 
 fn tmpdir(tag: &str) -> TmpDir {
     TmpDir::new(tag)

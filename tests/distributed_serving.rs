@@ -11,8 +11,7 @@ use dnnd::{
 use std::sync::Arc;
 use ygm::World;
 
-mod common;
-use common::TmpDir;
+use testutil::TmpDir;
 
 #[test]
 fn build_shard_reload_serve() {

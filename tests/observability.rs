@@ -6,10 +6,10 @@
 use dataset::{synth, L2};
 use dnnd::{build, BuildReport, CommOpts, DnndConfig};
 use obs::{EventKind, JsonValue, RunReport, Tracer};
-mod common;
-use common::TmpDir;
+
 use std::process::Command;
 use std::sync::Arc;
+use testutil::TmpDir;
 use ygm::World;
 
 fn traced_build(seed: u64) -> (Arc<Tracer>, BuildReport) {

@@ -11,8 +11,7 @@ use nnd::{search_batch, KnnGraph, SearchParams};
 use std::sync::Arc;
 use ygm::World;
 
-mod common;
-use common::TmpDir;
+use testutil::TmpDir;
 
 fn tmpdir(tag: &str) -> TmpDir {
     TmpDir::new(tag)

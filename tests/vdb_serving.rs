@@ -1,0 +1,245 @@
+//! Integration tests of the vector-DB product layer under distributed
+//! serving (`crates/vdb` + `serve::run_serve_vdb`):
+//!
+//! * the tombstone-visibility contract — once an id is deleted, it never
+//!   appears in any result set again, before *or* after compaction;
+//! * filter-pushed search is bit-identical across reruns, rank counts
+//!   {1, 2, 4}, and kernel dispatch (cached-norm batched kernels vs the
+//!   scalar pair-by-pair path);
+//! * online inserts/deletes with watermark-triggered compaction replay
+//!   bit-identically and keep the liveness classes partitioning the id
+//!   space.
+
+use dataset::batch::BatchMetric;
+use dataset::metric::Metric;
+use dataset::set::{PointId, PointSet};
+use dataset::synth::{gaussian_mixture, split_queries, MixtureParams};
+use dataset::L2;
+use metall::Store;
+use serve::{run_serve_vdb, ServeParams, VdbServeConfig};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+use testutil::TmpDir;
+use vdb::Collection;
+use ygm::World;
+
+const NS: &str = "it";
+
+/// One collection + query-pool fixture: the collection indexes the base
+/// split with deterministic per-id `bucket` metadata.
+fn fixture(n: usize, pool_n: usize, k: usize, seed: u64) -> (Collection, Arc<PointSet<Vec<f32>>>) {
+    let full = gaussian_mixture(MixtureParams::embedding_like(n, 12), seed);
+    let (base, queries) = split_queries(full, pool_n);
+    let meta = (0..base.len() as u64)
+        .map(|id| vdb::MetaRecord::bucket_record(seed, id))
+        .collect();
+    let collection = Collection::create(NS, base, meta, "l2", k, seed).expect("create");
+    (collection, Arc::new(queries))
+}
+
+/// (Re-)persist `c` as the only namespace of a fresh store at `dir`.
+fn persist(dir: &Path, c: &Collection) {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).unwrap();
+    let mut store = Store::create(dir).expect("store");
+    c.save(&mut store).expect("save");
+}
+
+fn base_params(arrivals: usize) -> ServeParams {
+    ServeParams::new(8)
+        .serve_seed(0xBD8)
+        .n_arrivals(arrivals)
+        .offered_qps(3_000.0)
+}
+
+/// A deleted id must never be served again: not from the graph, not from
+/// the cache, not before compaction, not after it.
+#[test]
+fn tombstoned_ids_never_returned_before_or_after_compaction() {
+    let (collection, pool) = fixture(240, 24, 8, 11);
+    let dir = TmpDir::new("vdb-tombstone");
+    let params = base_params(160);
+    let cfg = VdbServeConfig::default();
+
+    persist(dir.path(), &collection);
+    let (before, _, _) = run_serve_vdb(&World::new(2), dir.path(), NS, &pool, &L2, &params, &cfg);
+    assert!(before.stats.total_answered() > 0, "nothing answered");
+
+    // Delete the three ids the unfiltered run returned most often — the
+    // worst case for both the beam search and the result cache.
+    let mut freq: BTreeMap<PointId, usize> = BTreeMap::new();
+    for (_, _, ids) in &before.answers {
+        for &id in ids {
+            *freq.entry(id).or_default() += 1;
+        }
+    }
+    let mut by_freq: Vec<(usize, PointId)> = freq.iter().map(|(&id, &n)| (n, id)).collect();
+    by_freq.sort_unstable_by(|a, b| b.cmp(a));
+    let victims: Vec<PointId> = by_freq.iter().take(3).map(|&(_, id)| id).collect();
+    assert_eq!(victims.len(), 3, "fixture too small to pick victims");
+
+    let mut deleted = collection.clone();
+    assert_eq!(deleted.delete(&victims).expect("delete"), 3);
+
+    // Pre-compaction: tombstones are masked out at the home rank and
+    // filtered from cache hits.
+    persist(dir.path(), &deleted);
+    let (masked, _, _) = run_serve_vdb(&World::new(2), dir.path(), NS, &pool, &L2, &params, &cfg);
+    assert!(
+        masked.stats.total_answered() > 0,
+        "masked run answered none"
+    );
+    for (idx, _, ids) in &masked.answers {
+        for v in &victims {
+            assert!(
+                !ids.contains(v),
+                "tombstoned id {v} returned pre-compaction for arrival {idx}"
+            );
+        }
+    }
+
+    // Post-compaction: the ids are now dead (adjacency rewritten, epoch
+    // bumped) and must stay invisible.
+    let report = deleted.compact().expect("compact");
+    assert_eq!(report.tombstones_cleared, 3);
+    persist(dir.path(), &deleted);
+    let (compacted, stat, _) =
+        run_serve_vdb(&World::new(2), dir.path(), NS, &pool, &L2, &params, &cfg);
+    assert!(compacted.stats.total_answered() > 0);
+    assert_eq!(stat.dead, 3);
+    assert_eq!(stat.tombstones, 0);
+    for (idx, _, ids) in &compacted.answers {
+        for v in &victims {
+            assert!(
+                !ids.contains(v),
+                "dead id {v} returned post-compaction for arrival {idx}"
+            );
+        }
+    }
+}
+
+/// The scalar pair-by-pair fallback path of [`BatchMetric`]: same metric
+/// bits as [`L2`], no cached-norm kernels.
+#[derive(Debug, Clone, Copy)]
+struct ScalarL2;
+
+impl Metric<Vec<f32>> for ScalarL2 {
+    fn distance(&self, a: &Vec<f32>, b: &Vec<f32>) -> f32 {
+        L2.distance(a, b)
+    }
+    fn name(&self) -> &'static str {
+        "l2"
+    }
+}
+
+// All default methods: empty norm cache, pair-by-pair evaluation.
+impl BatchMetric<Vec<f32>> for ScalarL2 {}
+
+/// Filter-pushed distributed search is a pure function of the serve seed:
+/// bit-identical across reruns, across rank counts, and across kernel
+/// dispatch (batched cached-norm vs scalar evaluation).
+#[test]
+fn filtered_search_is_bit_identical_across_reruns_ranks_and_kernels() {
+    let (collection, pool) = fixture(240, 24, 8, 13);
+    let dir = TmpDir::new("vdb-identity");
+    persist(dir.path(), &collection);
+
+    // Static predicate AND-ed with per-query filter: traffic.
+    let cfg = VdbServeConfig {
+        filter: Some("bucket in [0 .. 59]".parse().expect("predicate")),
+        ..VdbServeConfig::default()
+    };
+    let params = base_params(140).workload_str("filter:pct=60,sel=0.4");
+
+    let (reference, _, _) =
+        run_serve_vdb(&World::new(2), dir.path(), NS, &pool, &L2, &params, &cfg);
+    let v = reference.stats.vdb.as_ref().expect("vdb stats");
+    assert!(v.filtered > 0, "no query carried a predicate");
+    assert!(
+        !v.selectivity_hist.is_empty(),
+        "filtered dispatches recorded no selectivity"
+    );
+
+    // Rerun: the store is unmutated, so the same dir replays exactly.
+    let (rerun, _, _) = run_serve_vdb(&World::new(2), dir.path(), NS, &pool, &L2, &params, &cfg);
+    assert_eq!(rerun, reference, "rerun diverged");
+
+    // Rank counts: the mask is evaluated at each query's home rank, but
+    // the outcome is replicated and slot-clocked.
+    for ranks in [1usize, 4] {
+        let (other, _, _) = run_serve_vdb(
+            &World::new(ranks),
+            dir.path(),
+            NS,
+            &pool,
+            &L2,
+            &params,
+            &cfg,
+        );
+        assert_eq!(
+            other, reference,
+            "filtered outcome changed between 2 and {ranks} ranks"
+        );
+    }
+
+    // Kernel dispatch: the scalar path must reproduce the batched path
+    // bit for bit (the BatchMetric contract, now under masking).
+    let (scalar, _, _) = run_serve_vdb(
+        &World::new(2),
+        dir.path(),
+        NS,
+        &pool,
+        &ScalarL2,
+        &params,
+        &cfg,
+    );
+    assert_eq!(
+        scalar, reference,
+        "scalar kernel dispatch diverged from batched"
+    );
+}
+
+/// Online inserts/deletes and the watermark-triggered compaction replay
+/// bit-identically from a pristine store, keep the liveness classes
+/// partitioning the id space, and persist the mutated namespace.
+#[test]
+fn online_mutations_replay_bit_identically_and_persist() {
+    let (collection, pool) = fixture(240, 24, 8, 17);
+    let dir = TmpDir::new("vdb-mutate");
+    let initial_points = collection.stat().points;
+    let cfg = VdbServeConfig {
+        compact_watermark: 0.01,
+        ..VdbServeConfig::default()
+    };
+    let params = base_params(200).workload_str("filter:pct=50,sel=0.3;mutate:ins=9,del=6");
+
+    persist(dir.path(), &collection);
+    let (reference, stat, _) =
+        run_serve_vdb(&World::new(2), dir.path(), NS, &pool, &L2, &params, &cfg);
+    let v = reference.stats.vdb.as_ref().expect("vdb stats");
+    assert!(v.inserts > 0, "schedule applied no inserts");
+    assert!(v.deletes > 0, "schedule applied no deletes");
+    assert!(v.compactions > 0, "watermark never triggered compaction");
+    assert_eq!(
+        stat.live + stat.tombstones + stat.dead,
+        stat.points,
+        "liveness classes must partition the id space"
+    );
+    assert_eq!(stat.points, initial_points + v.inserts);
+    assert!(stat.epoch > 0, "ingest/compact must bump the epoch");
+
+    // The mutated namespace was saved back: reopening shows the final
+    // counters the run reported.
+    let store = Store::open(dir.path()).expect("reopen");
+    let persisted = Collection::open(&store, NS).expect("open");
+    assert_eq!(persisted.stat(), stat);
+    drop(store);
+
+    // Pristine store -> the whole mutation schedule replays exactly.
+    persist(dir.path(), &collection);
+    let (replay, replay_stat, _) =
+        run_serve_vdb(&World::new(2), dir.path(), NS, &pool, &L2, &params, &cfg);
+    assert_eq!(replay, reference, "mutating run diverged on replay");
+    assert_eq!(replay_stat, stat);
+}
